@@ -1,0 +1,68 @@
+// Ablation A1: the §VI closed-form stall model vs the discrete-event
+// simulation, across the latency-bound (NVLink) and bandwidth-bound (NIC)
+// regimes. The analytic model should track the simulated shape.
+#include <iostream>
+#include <vector>
+
+#include "analysis/analytic_model.h"
+#include "bench/bench_common.h"
+#include "dnn/resnet.h"
+#include "dnn/vgg.h"
+
+int main() {
+  using namespace stash;
+  using profiler::ClusterSpec;
+
+  bench::print_header(
+      "Ablation A1 — analytic (tau*L + G/B) vs simulated communication stalls",
+      "T ~ tau*L on fast links (depth hurts), T ~ G/B on slow links "
+      "(gradient volume hurts).");
+
+  coll::CollectiveConfig coll_cfg;  // same constants the trainer uses
+  const int batch = 32;
+
+  struct Case {
+    std::string label;
+    dnn::Model model;
+  };
+  std::vector<Case> cases;
+  for (int d : {18, 50, 152}) cases.push_back({"resnet" + std::to_string(d),
+                                               dnn::make_resnet(d)});
+  for (int d : {11, 19}) cases.push_back({"vgg" + std::to_string(d), dnn::make_vgg(d)});
+
+  util::Table t({"model", "regime on NVLink", "I/C sim %", "I/C analytic %",
+                 "regime on NIC", "N/W-config sim %", "N/W-config analytic %"});
+  ClusterSpec nvlink{"p3.16xlarge"};
+  ClusterSpec network{"p3.8xlarge", 2};
+  for (auto& c : cases) {
+    bench::StepRunner runner(c.model, dnn::imagenet_1k());
+    double t1 = runner.time(nvlink, profiler::Step::kSingleGpuSynthetic, batch);
+    double t2 = runner.time(nvlink, profiler::Step::kAllGpuSynthetic, batch);
+    double t5 = runner.time(nvlink, profiler::Step::kNetworkSynthetic, batch);
+
+    double sim_ic = bench::pct(t2 - t1, t1);
+    double sim_nw_cfg = bench::pct(t5 - t1, t1);  // total comm stall of the pair
+    double ana_ic =
+        analysis::predict_comm_stall_pct(c.model, nvlink, batch, coll_cfg);
+    double ana_nw =
+        analysis::predict_comm_stall_pct(c.model, network, batch, coll_cfg);
+
+    auto regime = [&](const ClusterSpec& spec) {
+      analysis::TransferModel m{coll_cfg.launch_blocking_latency,
+                                analysis::ring_bottleneck_bw(spec)};
+      return analysis::regime_name(analysis::classify_regime(
+          c.model.gradient_bytes(), static_cast<int>(c.model.num_param_tensors()), m));
+    };
+
+    t.row()
+        .cell(c.label)
+        .cell(regime(nvlink))
+        .cell(sim_ic, 1)
+        .cell(ana_ic, 1)
+        .cell(regime(network))
+        .cell(bench::cell_or_blank(sim_nw_cfg))
+        .cell(ana_nw, 1);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation A4: DS-Analyzer vs Stash — what the prior work's profile misses.
+// DS-Analyzer measures prep and fetch stalls only; on communication-bound
+// configurations the dominant slowdown goes unattributed.
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "stash/ds_analyzer.h"
+
+int main() {
+  using namespace stash;
+  using profiler::ClusterSpec;
+
+  bench::print_header(
+      "Ablation A4 — DS-Analyzer (steps 2-4) vs Stash (steps 1-5)",
+      "DS-Analyzer has 'a key omission of not profiling communication "
+      "stalls' (§I); its prep+fetch attribution misses the dominant cost.");
+
+  const int batch = 32;
+  std::vector<std::pair<std::string, ClusterSpec>> cases{
+      {"resnet18", ClusterSpec{"p2.16xlarge"}},
+      {"resnet18", ClusterSpec{"p3.16xlarge"}},
+      {"vgg11", ClusterSpec{"p3.16xlarge"}},
+  };
+
+  util::Table t({"model", "config", "DS-A prep %", "DS-A fetch %",
+                 "DS-A unattributed %", "Stash I/C %", "Stash N/W %"});
+  for (const auto& [model_name, spec] : cases) {
+    dnn::Model model = dnn::make_zoo_model(model_name);
+    dnn::Dataset data = dnn::dataset_for(model_name);
+    profiler::DsAnalyzer ds(model, data, bench::bench_profile_options());
+    profiler::StashProfiler st(model, data, bench::bench_profile_options());
+    auto dsr = ds.profile(spec, batch);
+    auto str = st.profile(spec, batch);
+    t.row()
+        .cell(model_name)
+        .cell(spec.label())
+        .cell(dsr.prep_stall_pct, 1)
+        .cell(dsr.fetch_stall_pct, 1)
+        .cell(dsr.unattributed_pct, 1)
+        .cell(str.ic_stall_pct, 1)
+        .cell(str.has_network_step ? util::format_double(str.nw_stall_pct, 1) : "-");
+  }
+  t.print(std::cout);
+  return 0;
+}

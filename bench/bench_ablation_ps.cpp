@@ -1,0 +1,80 @@
+// Ablation A2: collective strategy comparison — ring all-reduce vs the
+// parameter-server baseline (the paper's §IV rationale: PS is strictly
+// worse) plus tree and hierarchical all-reduce as extensions.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cloud/builder.h"
+#include "coll/baselines.h"
+#include "util/units.h"
+#include "coll/ring_allreduce.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace stash;
+
+// Time one collective exchange of `bytes` on a fresh cluster.
+template <typename MakeOp>
+double run_collective(const std::string& instance_name, int count, MakeOp&& make_op) {
+  sim::Simulator sim;
+  hw::FlowNetwork net(sim);
+  hw::Cluster cluster(net, sim,
+                      cloud::cluster_configs_for(cloud::instance(instance_name), count),
+                      cloud::fabric_bandwidth());
+  coll::CollectiveContext ctx{sim, net, cluster, coll::CollectiveConfig{}};
+  double done = -1;
+  auto proc = [&]() -> sim::Task<void> {
+    co_await make_op(ctx);
+    done = sim.now();
+  };
+  sim.spawn(proc());
+  sim.run();
+  return done;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation A2 — gradient exchange strategies (time per 100 MiB exchange, ms)",
+      "parameter-server performance is strictly less than all-reduce (§IV); "
+      "hierarchical all-reduce helps across slow networks.");
+
+  const double bytes = util::mib(100);
+  struct Config {
+    const char* name;
+    int count;
+  };
+  std::vector<Config> configs{{"p2.8xlarge", 1}, {"p3.16xlarge", 1}, {"p3.8xlarge", 2},
+                              {"p3.16xlarge", 2}};
+
+  util::Table t({"cluster", "ring all-reduce", "tree all-reduce", "parameter server",
+                 "hierarchical"});
+  for (const auto& c : configs) {
+    double ring = run_collective(c.name, c.count, [&](coll::CollectiveContext& ctx) {
+      return coll::ring_allreduce(ctx, bytes);
+    });
+    double tree = run_collective(c.name, c.count, [&](coll::CollectiveContext& ctx) {
+      return coll::tree_allreduce(ctx, bytes);
+    });
+    double ps = run_collective(c.name, c.count, [&](coll::CollectiveContext& ctx) {
+      auto server = coll::PsServer::create(ctx.net);
+      return coll::parameter_server_exchange(ctx, server, bytes);
+    });
+    double hier = run_collective(c.name, c.count, [&](coll::CollectiveContext& ctx) {
+      return coll::hierarchical_allreduce(ctx, bytes);
+    });
+    std::string label = std::string(c.name) + (c.count > 1 ? "*2" : "");
+    t.row()
+        .cell(label)
+        .cell(ring * 1e3, 2)
+        .cell(tree * 1e3, 2)
+        .cell(ps * 1e3, 2)
+        .cell(hier * 1e3, 2);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Shared harness for the paper-reproduction benches.
+//
+// Each bench binary regenerates one table or figure: it runs the Stash
+// profiler steps it needs on the simulated hardware and prints the same
+// rows/series the paper reports, with the paper's qualitative claim quoted
+// in the header so the output is self-checking by eye. EXPERIMENTS.md
+// records paper-vs-measured for every artifact.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "dnn/zoo.h"
+#include "stash/profiler.h"
+#include "util/table.h"
+
+namespace stash::bench {
+
+inline profiler::ProfileOptions bench_profile_options() {
+  profiler::ProfileOptions opt;
+  opt.iterations = 4;
+  opt.warmup_iterations = 1;
+  return opt;
+}
+
+// STASH_BENCH_FAST=1 trims sweeps for smoke runs.
+inline bool fast_mode() {
+  const char* env = std::getenv("STASH_BENCH_FAST");
+  return env != nullptr && std::string(env) != "0";
+}
+
+inline void print_header(const std::string& artifact, const std::string& claim) {
+  std::cout << "\n=== " << artifact << " ===\n";
+  if (!claim.empty()) std::cout << "paper: " << claim << "\n";
+}
+
+inline double pct(double num, double den) {
+  return den > 0.0 ? std::max(0.0, num / den * 100.0) : 0.0;
+}
+
+// Memoizing step runner: benches often need the same step time in several
+// tables (e.g. T2 feeds both the CPU-stall and the I/C-stall columns).
+class StepRunner {
+ public:
+  explicit StepRunner(std::string model_name)
+      : model_(dnn::make_zoo_model(model_name)),
+        profiler_(model_, dnn::dataset_for(model_name), bench_profile_options()) {}
+
+  StepRunner(dnn::Model model, dnn::Dataset dataset)
+      : model_(std::move(model)), profiler_(model_, std::move(dataset),
+                                            bench_profile_options()) {}
+
+  const dnn::Model& model() const { return model_; }
+  const profiler::StashProfiler& profiler() const { return profiler_; }
+
+  // Per-iteration time of one profiler step; NaN if the configuration
+  // cannot run it (batch does not fit / no network split).
+  double time(const profiler::ClusterSpec& spec, profiler::Step step, int batch) {
+    auto key = std::make_tuple(spec.label(), static_cast<int>(step), batch);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    double t = std::nan("");
+    try {
+      if (step == profiler::Step::kNetworkSynthetic && spec.count == 1) {
+        if (auto split = profiler::network_split(spec))
+          t = profiler_.run_step(*split, step, batch).per_iteration;
+      } else {
+        t = profiler_.run_step(spec, step, batch).per_iteration;
+      }
+    } catch (const ddl::ModelDoesNotFit&) {
+      // leave NaN: the paper simply has no bar for this combination
+    }
+    cache_.emplace(key, t);
+    return t;
+  }
+
+  double ic_stall_pct(const profiler::ClusterSpec& spec, int batch) {
+    double t1 = time(spec, profiler::Step::kSingleGpuSynthetic, batch);
+    double t2 = time(spec, profiler::Step::kAllGpuSynthetic, batch);
+    return pct(t2 - t1, t1);
+  }
+  double nw_stall_pct(const profiler::ClusterSpec& spec, int batch) {
+    double t2 = time(spec, profiler::Step::kAllGpuSynthetic, batch);
+    double t5 = time(spec, profiler::Step::kNetworkSynthetic, batch);
+    if (std::isnan(t5)) return std::nan("");
+    return pct(t5 - t2, t2);
+  }
+  double prep_stall_pct(const profiler::ClusterSpec& spec, int batch) {
+    double t2 = time(spec, profiler::Step::kAllGpuSynthetic, batch);
+    double t4 = time(spec, profiler::Step::kRealWarm, batch);
+    return pct(t4 - t2, t4);
+  }
+  double fetch_stall_pct(const profiler::ClusterSpec& spec, int batch) {
+    double t3 = time(spec, profiler::Step::kRealCold, batch);
+    double t4 = time(spec, profiler::Step::kRealWarm, batch);
+    return pct(t3 - t4, t3);
+  }
+
+  // Steady-state epoch time/cost from the warm-cache step.
+  double epoch_seconds(const profiler::ClusterSpec& spec, int batch) {
+    double t4 = time(spec, profiler::Step::kRealWarm, batch);
+    if (std::isnan(t4)) return std::nan("");
+    double samples = profiler_.dataset().num_samples;
+    return t4 * samples / (static_cast<double>(batch) * spec.gpus_used());
+  }
+  double epoch_cost_usd(const profiler::ClusterSpec& spec, int batch) {
+    double secs = epoch_seconds(spec, batch);
+    if (std::isnan(secs)) return std::nan("");
+    return cloud::cost_usd(cloud::instance(spec.instance), secs, spec.count);
+  }
+
+ private:
+  dnn::Model model_;
+  profiler::StashProfiler profiler_;
+  std::map<std::tuple<std::string, int, int>, double> cache_;
+};
+
+// Formats possibly-NaN cells the way the paper leaves absent bars blank.
+inline std::string cell_or_blank(double v, int precision = 1) {
+  return std::isnan(v) ? "-" : util::format_double(v, precision);
+}
+
+}  // namespace stash::bench

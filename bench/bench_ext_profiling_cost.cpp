@@ -1,0 +1,74 @@
+// Extension E4 (§VI-B): the monetary cost of characterization itself —
+// Stash's five steps per configuration vs a Srifty-style grid probe.
+//
+// The paper argues the cost of building an automated recommender is often
+// ignored: Srifty took ~40K unique bandwidth measurements over clusters of
+// up to 64 VMs, which must be repeated when the network, region, or
+// offering changes. Stash needs five short training runs per
+// (model, configuration) pair. This bench prices both on the Table-I
+// catalog.
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cloud/instance.h"
+
+int main() {
+  using namespace stash;
+  bench::print_header(
+      "Extension E4 — cost of the characterization itself (§VI-B)",
+      "Srifty needs ~40K probe measurements over up to 64 VMs, re-run per "
+      "region/network change; Stash runs five short steps per config.");
+
+  // Stash: five steps, each ~2 minutes of instance time (a handful of
+  // iterations plus setup), per configuration of interest.
+  const double stash_step_minutes = 2.0;
+  const int stash_steps = 5;
+
+  util::Table stash_t({"configuration", "instances billed", "minutes billed",
+                       "cost ($)"});
+  double stash_total = 0.0;
+  for (const auto& spec :
+       {profiler::ClusterSpec{"p2.8xlarge"}, profiler::ClusterSpec{"p2.16xlarge"},
+        profiler::ClusterSpec{"p3.8xlarge"}, profiler::ClusterSpec{"p3.16xlarge"},
+        profiler::ClusterSpec{"p3.8xlarge", 2}}) {
+    double minutes = stash_step_minutes * stash_steps;
+    double cost = spec.hourly_price() * minutes / 60.0;
+    stash_total += cost;
+    stash_t.row()
+        .cell(spec.label())
+        .cell(spec.count)
+        .cell(minutes, 0)
+        .cell(cost, 2);
+  }
+  stash_t.row().cell("TOTAL (one model)").cell("-").cell("-").cell(stash_total, 2);
+  stash_t.print(std::cout);
+
+  // Srifty-style probe: 40K measurements; assume 1 s each amortized across
+  // a mean probe cluster of 8 VMs at the P3 blended rate, plus cold-start
+  // provisioning of the largest (64-VM) clusters.
+  const double probe_measurements = 40'000.0;
+  const double seconds_per_measurement = 1.0;
+  const double mean_probe_vms = 8.0;
+  const double blended_rate = cloud::instance("p3.8xlarge").price_per_hour;
+  double probe_hours = probe_measurements * seconds_per_measurement / 3600.0;
+  double probe_cost = probe_hours * mean_probe_vms * blended_rate;
+  const double coldstart_hours = 64 * 0.25;  // 15 min provisioning x 64 VMs
+  double coldstart_cost = coldstart_hours * blended_rate;
+
+  util::Table srifty_t({"component", "hours billed", "cost ($)"});
+  srifty_t.row().cell("40K grid probes (8 VM avg)").cell(probe_hours * mean_probe_vms, 1)
+      .cell(probe_cost, 2);
+  srifty_t.row().cell("64-VM cluster cold starts").cell(coldstart_hours, 1)
+      .cell(coldstart_cost, 2);
+  srifty_t.row().cell("TOTAL (per region/network epoch)").cell("-").cell(
+      probe_cost + coldstart_cost, 2);
+  srifty_t.print(std::cout);
+
+  std::cout << "\nStash characterization for one model: $"
+            << util::format_double(stash_total, 2)
+            << " vs Srifty-style probe table: $"
+            << util::format_double(probe_cost + coldstart_cost, 2)
+            << " (and the probe table expires with the network).\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Extension E2: network-QoS variance and its effect on network stalls.
+//
+// §III: AWS network QoS "is subject to high temporal... and spatial...
+// variations and is hard to definitively characterize" — the paper's
+// argument against Srifty-style bandwidth tables. Under an AR(1) QoS
+// process the network stall of a p3.8xlarge pair becomes a distribution;
+// this bench reports it across seeds.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cloud/builder.h"
+#include "cloud/network_qos.h"
+#include "ddl/trainer.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace stash;
+
+double iteration_seconds(const dnn::Model& model, const std::string& instance_name,
+                         int machines, bool with_qos, std::uint64_t seed) {
+  sim::Simulator sim;
+  hw::FlowNetwork net(sim);
+  hw::Cluster cluster(net, sim,
+                      cloud::cluster_configs_for(cloud::instance(instance_name),
+                                                 machines),
+                      cloud::fabric_bandwidth());
+  if (with_qos) {
+    cloud::NetworkQosConfig qos;
+    qos.seed = seed;
+    qos.horizon = 30.0;
+    cloud::apply_network_qos(sim, net, cluster, qos);
+  }
+  ddl::TrainConfig cfg;
+  cfg.per_gpu_batch = 32;
+  cfg.iterations = 10;
+  cfg.warmup_iterations = 2;
+  ddl::Trainer trainer(sim, net, cluster, model, dnn::dataset_for(model.name()), cfg);
+  return trainer.run().per_iteration;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Extension E2 — network stall under time-varying QoS (p3.8xlarge*2)",
+      "AWS bandwidth varies temporally; a single probe misleads. Stall "
+      "becomes a distribution across QoS draws.");
+
+  const int seeds = bench::fast_mode() ? 5 : 15;
+  std::vector<std::string> models{"resnet50", "vgg11"};
+
+  util::Table t({"model", "nominal NW stall %", "QoS p10 %", "QoS median %",
+                 "QoS p90 %", "QoS max %"});
+  for (const auto& model_name : models) {
+    dnn::Model model = dnn::make_zoo_model(model_name);
+    // Stash step 2: same 8 GPUs inside one machine (p3.16xlarge).
+    double t2 = iteration_seconds(model, "p3.16xlarge", 1, false, 0);
+    double nominal5 = iteration_seconds(model, "p3.8xlarge", 2, false, 0);
+    double nominal_stall = (nominal5 - t2) / t2 * 100.0;
+
+    util::SampleSet stalls;
+    for (int s = 0; s < seeds; ++s) {
+      double t5 = iteration_seconds(model, "p3.8xlarge", 2, true, 1000 + s);
+      stalls.add((t5 - t2) / t2 * 100.0);
+    }
+    t.row()
+        .cell(model_name)
+        .cell(nominal_stall, 1)
+        .cell(stalls.percentile(10), 1)
+        .cell(stalls.median(), 1)
+        .cell(stalls.percentile(90), 1)
+        .cell(stalls.percentile(100), 1);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Extension E6: what a full training run costs — cold first epoch, warm
+// steady epochs, and the on-demand vs spot decision.
+//
+// Combines the Stash profile (steps 3/4 scaled over epochs, §IV's
+// linear-scaling observation) with a Poisson interruption model for
+// transient instances (related-work territory the paper points at). The
+// answer tenants want: spot is ~60-70% cheaper if the job checkpoints.
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cloud/spot.h"
+#include "stash/session.h"
+#include "util/units.h"
+
+int main() {
+  using namespace stash;
+  bench::print_header(
+      "Extension E6 — 90-epoch training runs: on-demand vs spot",
+      "first epoch pays the cold SSD read; spot pays interruptions and "
+      "checkpoints but bills at ~30% of on-demand.");
+
+  struct Job {
+    const char* model;
+    const char* instance;
+    int batch;
+    int epochs;
+  };
+  std::vector<Job> jobs{{"resnet18", "p3.16xlarge", 32, 90},
+                        {"resnet50", "p3.16xlarge", 32, 90},
+                        {"alexnet", "p2.8xlarge", 128, 90}};
+  if (bench::fast_mode()) jobs = {{"resnet18", "p3.16xlarge", 32, 90}};
+
+  cloud::SpotConfig spot;  // defaults: 0.3 price, 0.2 interruptions/h
+
+  util::Table t({"job", "config", "cold epoch (s)", "steady epoch (s)",
+                 "on-demand total (h)", "on-demand ($)", "spot total (h)",
+                 "spot ($)", "interruptions", "saving %"});
+  for (const Job& j : jobs) {
+    profiler::StashProfiler prof(dnn::make_zoo_model(j.model),
+                                 dnn::dataset_for(j.model),
+                                 bench::bench_profile_options());
+    profiler::ClusterSpec spec{j.instance};
+    auto est = profiler::estimate_training(prof, spec, j.batch, j.epochs);
+    auto spot_run = cloud::mean_spot_outcome(est.total_seconds,
+                                             cloud::instance(j.instance), 1, spot,
+                                             2026);
+    t.row()
+        .cell(std::string(j.model) + " x" + std::to_string(j.epochs))
+        .cell(est.config_label)
+        .cell(est.first_epoch_seconds, 0)
+        .cell(est.steady_epoch_seconds, 0)
+        .cell(util::to_hours(est.total_seconds), 2)
+        .cell(est.total_cost_usd, 2)
+        .cell(util::to_hours(spot_run.wall_seconds), 2)
+        .cell(spot_run.cost_usd, 2)
+        .cell(spot_run.interruptions)
+        .cell((est.total_cost_usd - spot_run.cost_usd) / est.total_cost_usd * 100.0,
+              1);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Extension E3: straggler amplification under synchronous data parallelism.
+//
+// Failure-injection study: one slow GPU paces every barrier, so a single
+// degraded device taxes the whole machine. Complements the paper's
+// homogeneous-hardware characterization with the QoS-failure angle.
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cloud/builder.h"
+#include "ddl/trainer.h"
+
+namespace {
+
+using namespace stash;
+
+double iteration_seconds(const std::string& instance_name, const dnn::Model& model,
+                         ddl::StragglerConfig straggler) {
+  sim::Simulator sim;
+  hw::FlowNetwork net(sim);
+  hw::Cluster cluster(net, sim,
+                      cloud::cluster_configs_for(cloud::instance(instance_name), 1),
+                      cloud::fabric_bandwidth());
+  ddl::TrainConfig cfg;
+  cfg.per_gpu_batch = 32;
+  cfg.iterations = 8;
+  cfg.warmup_iterations = 2;
+  cfg.straggler = straggler;
+  ddl::Trainer trainer(sim, net, cluster, model, dnn::dataset_for(model.name()), cfg);
+  return trainer.run().per_iteration;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Extension E3 — straggler amplification on p3.16xlarge (8 GPUs)",
+      "one slow GPU paces all eight through the synchronization barrier; "
+      "the whole-machine slowdown approaches the straggler's own.");
+
+  std::vector<double> slowdowns{1.0, 1.1, 1.25, 1.5, 2.0};
+  std::vector<std::string> models{"resnet50", "vgg11"};
+
+  util::Table t({"model", "straggler slowdown", "iteration (ms)",
+                 "machine slowdown %", "efficiency lost %"});
+  for (const auto& model_name : models) {
+    dnn::Model model = dnn::make_zoo_model(model_name);
+    double base = 0.0;
+    for (double s : slowdowns) {
+      ddl::StragglerConfig cfg;
+      if (s > 1.0) {
+        cfg.worker_index = 3;
+        cfg.slowdown = s;
+      }
+      double ti = iteration_seconds("p3.16xlarge", model, cfg);
+      if (s == 1.0) base = ti;
+      t.row()
+          .cell(model_name)
+          .cell(s, 2)
+          .cell(ti * 1e3, 1)
+          .cell((ti - base) / base * 100.0, 1)
+          .cell((1.0 - base / ti) * 100.0, 1);
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 4: CPU (prep) and disk (fetch) stall % of total training time on
+// the P2 family, small models, batch sizes 32 and 128.
+#include <iostream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace stash;
+  using profiler::ClusterSpec;
+
+  std::vector<ClusterSpec> configs{ClusterSpec{"p2.xlarge"}, ClusterSpec{"p2.8xlarge"},
+                                   ClusterSpec{"p2.8xlarge", 2},
+                                   ClusterSpec{"p2.16xlarge"}};
+  std::vector<std::string> models = dnn::small_vision_models();
+  std::vector<int> batches{32, 128};
+  if (bench::fast_mode()) {
+    models = {"alexnet", "resnet18"};
+    batches = {32};
+  }
+
+  // One memoizing runner per model: T2/T3/T4 feed both tables.
+  std::map<std::string, std::unique_ptr<bench::StepRunner>> runners;
+  for (const auto& m : models) runners.emplace(m, std::make_unique<bench::StepRunner>(m));
+
+  std::vector<std::string> headers{"batch", "model"};
+  for (const auto& c : configs) headers.push_back(c.label());
+
+  bench::print_header("Figure 4(a) — CPU stall % of training time, P2, small models",
+                      "CPU stalls are negligible: AWS vCPUs are sufficient for "
+                      "pre-processing (unlike the private cluster of DS-Analyzer).");
+  {
+    util::Table t(headers);
+    for (int batch : batches)
+      for (const auto& model : models) {
+        t.row().cell(batch).cell(model);
+        for (const auto& c : configs)
+          t.cell(bench::cell_or_blank(runners.at(model)->prep_stall_pct(c, batch)));
+      }
+    t.print(std::cout);
+  }
+
+  bench::print_header("Figure 4(b) — disk stall % of training time, P2, small models",
+                      "disk stall scales with #GPUs per instance: 16 loader workers "
+                      "contend on one SSD, so the 16xlarge fares worst.");
+  {
+    util::Table t(headers);
+    for (int batch : batches)
+      for (const auto& model : models) {
+        t.row().cell(batch).cell(model);
+        for (const auto& c : configs)
+          t.cell(bench::cell_or_blank(runners.at(model)->fetch_stall_pct(c, batch)));
+      }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 5: interconnect stall % for small models on multi-GPU P2 and P3
+// instances. I/C stall % = (T2 - T1) / T1 * 100.
+#include <iostream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+void run_family(const std::string& title, const std::string& claim,
+                const std::vector<stash::profiler::ClusterSpec>& configs,
+                const std::vector<std::string>& models,
+                const std::vector<int>& batches) {
+  using namespace stash;
+  bench::print_header(title, claim);
+
+  std::map<std::string, std::unique_ptr<bench::StepRunner>> runners;
+  for (const auto& m : models) runners.emplace(m, std::make_unique<bench::StepRunner>(m));
+
+  std::vector<std::string> headers{"batch", "model"};
+  for (const auto& c : configs) headers.push_back(c.label());
+  util::Table t(headers);
+  for (int batch : batches)
+    for (const auto& model : models) {
+      t.row().cell(batch).cell(model);
+      for (const auto& c : configs)
+        t.cell(bench::cell_or_blank(runners.at(model)->ic_stall_pct(c, batch)));
+    }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace stash;
+  using profiler::ClusterSpec;
+
+  std::vector<std::string> models = dnn::small_vision_models();
+  std::vector<int> p2_batches{32, 128};
+  std::vector<int> p3_batches{32, 128};
+  if (bench::fast_mode()) {
+    models = {"alexnet", "resnet18"};
+    p2_batches = {32};
+    p3_batches = {32};
+  }
+
+  run_family("Figure 5(a) — I/C stall % of single-GPU time, small models, P2",
+             "p2.16xlarge has the worst stalls due to PCIe contention "
+             "(communication overheads up to ~90% of training time).",
+             {ClusterSpec{"p2.8xlarge"}, ClusterSpec{"p2.8xlarge", 2},
+              ClusterSpec{"p2.16xlarge"}},
+             models, p2_batches);
+
+  run_family("Figure 5(b) — I/C stall % of single-GPU time, small models, P3",
+             "p3.8xlarge suffers from sub-optimal (fragmented) crossbar "
+             "allocation and is not strictly better than the 16xlarge, "
+             "especially at small batch sizes.",
+             {ClusterSpec{"p3.8xlarge"}, ClusterSpec{"p3.8xlarge", 2},
+              ClusterSpec{"p3.16xlarge"}},
+             models, p3_batches);
+  return 0;
+}

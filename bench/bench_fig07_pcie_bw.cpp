@@ -1,0 +1,59 @@
+// Figure 7: per-GPU PCIe bandwidth measured in P2 — all GPUs run the
+// bandwidth probe concurrently (the CUDA bandwidthTest methodology) and the
+// per-device throughput is reported.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cloud/builder.h"
+#include "hw/flow_network.h"
+#include "hw/topology.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "util/units.h"
+
+namespace {
+
+// Concurrent H2D copies of `bytes` to every GPU; returns per-GPU GB/s.
+double probe_per_gpu_bandwidth(const std::string& instance_name) {
+  using namespace stash;
+  sim::Simulator sim;
+  hw::FlowNetwork net(sim);
+  hw::Machine machine(net, sim,
+                      cloud::machine_config_for(cloud::instance(instance_name)), 0);
+
+  const double bytes = util::gib(1);
+  std::vector<double> done(static_cast<std::size_t>(machine.num_gpus()), 0.0);
+  auto copy = [&](int g, double& out) -> sim::Task<void> {
+    co_await net.transfer(bytes, machine.h2d_path(g));
+    out = sim.now();
+  };
+  for (int g = 0; g < machine.num_gpus(); ++g)
+    sim.spawn(copy(g, done[static_cast<std::size_t>(g)]));
+  sim.run();
+
+  double worst = 0.0;
+  for (double t : done) worst = std::max(worst, t);
+  return util::to_gb_per_s(bytes / worst);
+}
+
+}  // namespace
+
+int main() {
+  using namespace stash;
+  bench::print_header(
+      "Figure 7 — per-GPU PCIe bandwidth measured in P2",
+      "GPUs in 16xlarge receive significantly less bandwidth than all other "
+      "P2 types; the shared bus does not grow with the instance.");
+
+  util::Table t({"instance", "GPUs probing", "per-GPU H2D bandwidth (GB/s)"});
+  for (const char* name : {"p2.xlarge", "p2.8xlarge", "p2.16xlarge"}) {
+    t.row()
+        .cell(name)
+        .cell(cloud::instance(name).num_gpus)
+        .cell(probe_per_gpu_bandwidth(name), 2);
+  }
+  t.print(std::cout);
+  return 0;
+}

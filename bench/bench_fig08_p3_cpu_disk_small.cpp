@@ -1,0 +1,56 @@
+// Figure 8: CPU and disk stall % on P3, small models.
+#include <iostream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace stash;
+  using profiler::ClusterSpec;
+
+  std::vector<ClusterSpec> configs{ClusterSpec{"p3.2xlarge"}, ClusterSpec{"p3.8xlarge"},
+                                   ClusterSpec{"p3.8xlarge", 2},
+                                   ClusterSpec{"p3.16xlarge"}};
+  std::vector<std::string> models = dnn::small_vision_models();
+  std::vector<int> batches{32, 128};
+  if (bench::fast_mode()) {
+    models = {"alexnet", "resnet18"};
+    batches = {32};
+  }
+
+  std::map<std::string, std::unique_ptr<bench::StepRunner>> runners;
+  for (const auto& m : models) runners.emplace(m, std::make_unique<bench::StepRunner>(m));
+
+  std::vector<std::string> headers{"batch", "model"};
+  for (const auto& c : configs) headers.push_back(c.label());
+
+  bench::print_header("Figure 8(a) — CPU stall % of training time, P3, small models",
+                      "CPU stall is negligible.");
+  {
+    util::Table t(headers);
+    for (int batch : batches)
+      for (const auto& model : models) {
+        t.row().cell(batch).cell(model);
+        for (const auto& c : configs)
+          t.cell(bench::cell_or_blank(runners.at(model)->prep_stall_pct(c, batch)));
+      }
+    t.print(std::cout);
+  }
+
+  bench::print_header("Figure 8(b) — disk stall % of training time, P3, small models",
+                      "disk stall highest for the 16xlarge (eight fast V100 "
+                      "pipelines against one SSD).");
+  {
+    util::Table t(headers);
+    for (int batch : batches)
+      for (const auto& model : models) {
+        t.row().cell(batch).cell(model);
+        for (const auto& c : configs)
+          t.cell(bench::cell_or_blank(runners.at(model)->fetch_stall_pct(c, batch)));
+      }
+    t.print(std::cout);
+  }
+  return 0;
+}

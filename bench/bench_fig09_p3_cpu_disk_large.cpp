@@ -1,0 +1,59 @@
+// Figure 9: CPU and disk stall % on P3, large models (ResNet50, VGG11 at
+// batches 16/64; BERT-large at batch 4).
+#include <iostream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace stash;
+  using profiler::ClusterSpec;
+
+  std::vector<ClusterSpec> configs{ClusterSpec{"p3.2xlarge"}, ClusterSpec{"p3.8xlarge"},
+                                   ClusterSpec{"p3.8xlarge", 2},
+                                   ClusterSpec{"p3.16xlarge"},
+                                   ClusterSpec{"p3.24xlarge"}};
+  struct Workload {
+    std::string model;
+    int batch;
+  };
+  std::vector<Workload> workloads{{"resnet50", 16}, {"vgg11", 16}, {"resnet50", 64},
+                                  {"vgg11", 64},    {"bert-large", 4}};
+  if (bench::fast_mode()) workloads = {{"resnet50", 16}, {"bert-large", 4}};
+
+  std::map<std::string, std::unique_ptr<bench::StepRunner>> runners;
+  for (const auto& w : workloads)
+    if (!runners.contains(w.model))
+      runners.emplace(w.model, std::make_unique<bench::StepRunner>(w.model));
+
+  std::vector<std::string> headers{"batch", "model"};
+  for (const auto& c : configs) headers.push_back(c.label());
+
+  bench::print_header("Figure 9(a) — CPU stall %, P3, large models + BERT",
+                      "CPU stall is negligible.");
+  {
+    util::Table t(headers);
+    for (const auto& w : workloads) {
+      t.row().cell(w.batch).cell(w.model);
+      for (const auto& c : configs)
+        t.cell(bench::cell_or_blank(runners.at(w.model)->prep_stall_pct(c, w.batch)));
+    }
+    t.print(std::cout);
+  }
+
+  bench::print_header("Figure 9(b) — disk stall %, P3, large models + BERT",
+                      "disk stall high for experiments with 8 GPUs; BERT's SQuAD "
+                      "dataset caches entirely, so it sees none.");
+  {
+    util::Table t(headers);
+    for (const auto& w : workloads) {
+      t.row().cell(w.batch).cell(w.model);
+      for (const auto& c : configs)
+        t.cell(bench::cell_or_blank(runners.at(w.model)->fetch_stall_pct(c, w.batch)));
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

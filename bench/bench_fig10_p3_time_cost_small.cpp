@@ -1,0 +1,56 @@
+// Figure 10: training time and cost per epoch on P3, small models.
+#include <iostream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace stash;
+  using profiler::ClusterSpec;
+
+  std::vector<ClusterSpec> configs{ClusterSpec{"p3.2xlarge"}, ClusterSpec{"p3.8xlarge"},
+                                   ClusterSpec{"p3.8xlarge", 2},
+                                   ClusterSpec{"p3.16xlarge"}};
+  std::vector<std::string> models = dnn::small_vision_models();
+  std::vector<int> batches{32, 128};
+  if (bench::fast_mode()) {
+    models = {"alexnet", "shufflenet"};
+    batches = {32};
+  }
+
+  std::map<std::string, std::unique_ptr<bench::StepRunner>> runners;
+  for (const auto& m : models) runners.emplace(m, std::make_unique<bench::StepRunner>(m));
+
+  std::vector<std::string> headers{"batch", "model"};
+  for (const auto& c : configs) headers.push_back(c.label());
+
+  bench::print_header("Figure 10(a) — training time per epoch (s), P3, small models",
+                      "the 16xlarge is the most performant P3 configuration.");
+  {
+    util::Table t(headers);
+    for (int batch : batches)
+      for (const auto& model : models) {
+        t.row().cell(batch).cell(model);
+        for (const auto& c : configs)
+          t.cell(bench::cell_or_blank(runners.at(model)->epoch_seconds(c, batch), 0));
+      }
+    t.print(std::cout);
+  }
+
+  bench::print_header("Figure 10(b) — training cost per epoch ($), P3, small models",
+                      "the single-GPU 2xlarge is the most cost-optimal; "
+                      "network-connected pairs are the least.");
+  {
+    util::Table t(headers);
+    for (int batch : batches)
+      for (const auto& model : models) {
+        t.row().cell(batch).cell(model);
+        for (const auto& c : configs)
+          t.cell(bench::cell_or_blank(runners.at(model)->epoch_cost_usd(c, batch), 2));
+      }
+    t.print(std::cout);
+  }
+  return 0;
+}

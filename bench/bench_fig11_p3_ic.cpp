@@ -1,0 +1,69 @@
+// Figure 11: interconnect stall on P3 — small models (a) and large models
+// including BERT (b). The 16xlarge (complete crossbar) has the lowest
+// stalls; the 24xlarge matches it (same NVLink hardware).
+#include <iostream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace stash;
+  using profiler::ClusterSpec;
+
+  std::vector<ClusterSpec> configs{ClusterSpec{"p3.8xlarge"},
+                                   ClusterSpec{"p3.8xlarge", 2},
+                                   ClusterSpec{"p3.16xlarge"},
+                                   ClusterSpec{"p3.24xlarge"}};
+
+  std::map<std::string, std::unique_ptr<bench::StepRunner>> runners;
+  auto runner = [&](const std::string& m) -> bench::StepRunner& {
+    if (!runners.contains(m)) runners.emplace(m, std::make_unique<bench::StepRunner>(m));
+    return *runners.at(m);
+  };
+
+  std::vector<std::string> headers{"batch", "model"};
+  for (const auto& c : configs) headers.push_back(c.label());
+
+  bench::print_header("Figure 11(a) — I/C stall %, P3, small models",
+                      "16xlarge has the lowest stall; the fragmented 8xlarge is "
+                      "not strictly better despite having fewer GPUs.");
+  {
+    std::vector<std::string> models = dnn::small_vision_models();
+    std::vector<int> batches{32, 128};
+    if (bench::fast_mode()) {
+      models = {"alexnet", "resnet18"};
+      batches = {32};
+    }
+    util::Table t(headers);
+    for (int batch : batches)
+      for (const auto& model : models) {
+        t.row().cell(batch).cell(model);
+        for (const auto& c : configs)
+          t.cell(bench::cell_or_blank(runner(model).ic_stall_pct(c, batch)));
+      }
+    t.print(std::cout);
+  }
+
+  bench::print_header("Figure 11(b) — I/C stall %, P3, large models + BERT",
+                      "VGG shows low I/C stall (few layers); the 24xlarge is no "
+                      "better than the 16xlarge — same NVLink interconnect.");
+  {
+    struct Workload {
+      std::string model;
+      int batch;
+    };
+    std::vector<Workload> workloads{{"resnet50", 16}, {"vgg11", 16}, {"resnet50", 64},
+                                    {"vgg11", 64},    {"bert-large", 4}};
+    if (bench::fast_mode()) workloads = {{"resnet50", 16}, {"vgg11", 16}};
+    util::Table t(headers);
+    for (const auto& w : workloads) {
+      t.row().cell(w.batch).cell(w.model);
+      for (const auto& c : configs)
+        t.cell(bench::cell_or_blank(runner(w.model).ic_stall_pct(c, w.batch)));
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

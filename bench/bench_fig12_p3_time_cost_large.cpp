@@ -1,0 +1,83 @@
+// Figure 12: training time and cost per epoch on P3, large models + BERT,
+// including the §V-B BERT-on-24xlarge batch-doubling experiment (X2).
+#include <iostream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace stash;
+  using profiler::ClusterSpec;
+
+  std::vector<ClusterSpec> configs{ClusterSpec{"p3.2xlarge"}, ClusterSpec{"p3.8xlarge"},
+                                   ClusterSpec{"p3.8xlarge", 2},
+                                   ClusterSpec{"p3.16xlarge"},
+                                   ClusterSpec{"p3.24xlarge"}};
+  struct Workload {
+    std::string model;
+    int batch;
+  };
+  std::vector<Workload> workloads{{"resnet50", 16}, {"vgg11", 16}, {"resnet50", 64},
+                                  {"vgg11", 64},    {"bert-large", 4}};
+  if (bench::fast_mode()) workloads = {{"resnet50", 16}, {"bert-large", 4}};
+
+  std::map<std::string, std::unique_ptr<bench::StepRunner>> runners;
+  auto runner = [&](const std::string& m) -> bench::StepRunner& {
+    if (!runners.contains(m)) runners.emplace(m, std::make_unique<bench::StepRunner>(m));
+    return *runners.at(m);
+  };
+
+  std::vector<std::string> headers{"batch", "model"};
+  for (const auto& c : configs) headers.push_back(c.label());
+
+  bench::print_header("Figure 12(a) — training time per epoch (s), P3, large models",
+                      "16xlarge and 24xlarge are equally performant (same NVLink); "
+                      "network pairs are the slowest.");
+  {
+    util::Table t(headers);
+    for (const auto& w : workloads) {
+      t.row().cell(w.batch).cell(w.model);
+      for (const auto& c : configs)
+        t.cell(bench::cell_or_blank(runner(w.model).epoch_seconds(c, w.batch), 0));
+    }
+    t.print(std::cout);
+  }
+
+  bench::print_header("Figure 12(b) — training cost per epoch ($), P3, large models",
+                      "the 24xlarge is the least cost-optimal in most experiments.");
+  {
+    util::Table t(headers);
+    for (const auto& w : workloads) {
+      t.row().cell(w.batch).cell(w.model);
+      for (const auto& c : configs)
+        t.cell(bench::cell_or_blank(runner(w.model).epoch_cost_usd(c, w.batch), 2));
+    }
+    t.print(std::cout);
+  }
+
+  // §V-B (X2): BERT on the 24xlarge with its 32 GiB GPUs can double the
+  // batch to 8 — the paper measures ~12.8% faster but more expensive
+  // ($2.37 vs $2.10 on the 16xlarge at batch 4).
+  bench::print_header("§V-B — BERT batch doubling on p3.24xlarge (X2)",
+                      "doubling the batch improved training time ~12.8% but cost "
+                      "$2.37/epoch vs $2.10 on the 16xlarge at batch 4.");
+  {
+    bench::StepRunner& r = runner("bert-large");
+    double t16_b4 = r.epoch_seconds(ClusterSpec{"p3.16xlarge"}, 4);
+    double c16_b4 = r.epoch_cost_usd(ClusterSpec{"p3.16xlarge"}, 4);
+    double t24_b4 = r.epoch_seconds(ClusterSpec{"p3.24xlarge"}, 4);
+    double t24_b8 = r.epoch_seconds(ClusterSpec{"p3.24xlarge"}, 8);
+    double c24_b8 = r.epoch_cost_usd(ClusterSpec{"p3.24xlarge"}, 8);
+    util::Table t({"config", "batch", "epoch time (s)", "epoch cost ($)",
+                   "vs 24xlarge@4 (%)"});
+    t.row().cell("p3.16xlarge").cell(4).cell(t16_b4, 0).cell(c16_b4, 2).cell("-");
+    t.row().cell("p3.24xlarge").cell(4).cell(t24_b4, 0).cell(
+        r.epoch_cost_usd(ClusterSpec{"p3.24xlarge"}, 4), 2).cell("0.0");
+    t.row().cell("p3.24xlarge").cell(8).cell(t24_b8, 0).cell(c24_b8, 2).cell(
+        (t24_b4 - t24_b8) / t24_b4 * 100.0, 1);
+    t.print(std::cout);
+  }
+  return 0;
+}

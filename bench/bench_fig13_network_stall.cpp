@@ -1,0 +1,40 @@
+// Figure 13: network stall of two network-connected p3.8xlarge instances,
+// swept over batch size. N/W stall % = (T5 - T2) / T2 * 100, where T2 is
+// the single p3.16xlarge (same 8 GPUs, NVLink only).
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace stash;
+  using profiler::ClusterSpec;
+
+  bench::print_header(
+      "Figure 13 — network stall % of two p3.8xlarge vs one 8-GPU machine",
+      "network stall is as high as ~500%: once the all-reduce ring contains "
+      "a network link, training throttles on it.");
+
+  std::vector<int> batches{4, 8, 16, 32};
+  std::vector<std::string> models{"resnet50", "vgg11"};
+  if (bench::fast_mode()) batches = {4, 32};
+
+  ClusterSpec single{"p3.16xlarge"};
+  util::Table t({"batch", "model", "T2 16xlarge (ms)", "T5 8xlarge*2 (ms)",
+                 "N/W stall %"});
+  for (const auto& model : models) {
+    bench::StepRunner runner(model);
+    for (int batch : batches) {
+      double t2 = runner.time(single, profiler::Step::kAllGpuSynthetic, batch);
+      double t5 = runner.time(single, profiler::Step::kNetworkSynthetic, batch);
+      t.row()
+          .cell(batch)
+          .cell(model)
+          .cell(t2 * 1e3, 1)
+          .cell(t5 * 1e3, 1)
+          .cell(bench::cell_or_blank(bench::pct(t5 - t2, t2)));
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 14: P2 vs P3 training time and cost per epoch for small models.
+#include <iostream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace stash;
+  using profiler::ClusterSpec;
+
+  std::vector<ClusterSpec> configs{ClusterSpec{"p2.xlarge"},   ClusterSpec{"p2.8xlarge"},
+                                   ClusterSpec{"p2.16xlarge"}, ClusterSpec{"p3.2xlarge"},
+                                   ClusterSpec{"p3.8xlarge"},  ClusterSpec{"p3.16xlarge"}};
+  std::vector<std::string> models{"shufflenet", "squeezenet", "mobilenet-v2",
+                                  "alexnet", "resnet18"};
+  const int batch = 64;
+  if (bench::fast_mode()) models = {"shufflenet", "resnet18"};
+
+  std::map<std::string, std::unique_ptr<bench::StepRunner>> runners;
+  for (const auto& m : models) runners.emplace(m, std::make_unique<bench::StepRunner>(m));
+
+  std::vector<std::string> headers{"model"};
+  for (const auto& c : configs) headers.push_back(c.label());
+
+  bench::print_header("Figure 14(a) — training time per epoch (s), P2 vs P3",
+                      "P3 is generally faster; tiny models cannot exploit V100s.");
+  {
+    util::Table t(headers);
+    for (const auto& model : models) {
+      t.row().cell(model);
+      for (const auto& c : configs)
+        t.cell(bench::cell_or_blank(runners.at(model)->epoch_seconds(c, batch), 0));
+    }
+    t.print(std::cout);
+  }
+
+  bench::print_header(
+      "Figure 14(b) — training cost per epoch ($), P2 vs P3",
+      "P3 is generally more cost-optimal despite ~3.5x pricier hours — "
+      "except very small models like ShuffleNet, cheapest on P2.");
+  {
+    util::Table t(headers);
+    for (const auto& model : models) {
+      t.row().cell(model);
+      for (const auto& c : configs)
+        t.cell(bench::cell_or_blank(runners.at(model)->epoch_cost_usd(c, batch), 2));
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 15: GPU memory utilization of P2 vs P3 for ShuffleNet and
+// ResNet18 across batch sizes. Utilization = training footprint / device
+// memory; ShuffleNet cannot fill a V100.
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "ddl/trainer.h"
+#include "hw/gpu.h"
+#include "util/units.h"
+
+int main() {
+  using namespace stash;
+  bench::print_header(
+      "Figure 15 — GPU memory utilization (%), P2 (K80 12 GiB) vs P3 (V100 16 GiB)",
+      "ShuffleNet has low GPU utilization in P3: small models cannot exploit "
+      "the V100's memory and compute, so they are cheapest on P2.");
+
+  struct GpuCol {
+    const char* label;
+    hw::GpuSpec spec;
+  };
+  std::vector<GpuCol> gpus{{"P2 (K80)", hw::k80_spec()}, {"P3 (V100)", hw::v100_spec()}};
+  std::vector<int> batches{32, 64, 128};
+  std::vector<std::string> models{"shufflenet", "resnet18"};
+
+  util::Table t({"model", "batch", "footprint (GiB)", "P2 (K80) util %",
+                 "P3 (V100) util %", "max batch K80", "max batch V100"});
+  for (const auto& model_name : models) {
+    dnn::Model model = dnn::make_zoo_model(model_name);
+    for (int batch : batches) {
+      double need = model.train_memory_bytes(batch);
+      t.row()
+          .cell(model_name)
+          .cell(batch)
+          .cell(util::to_gib(need), 2)
+          .cell(bench::pct(need, gpus[0].spec.memory_bytes), 1)
+          .cell(bench::pct(need, gpus[1].spec.memory_bytes), 1)
+          .cell(ddl::Trainer::max_batch_that_fits(model, gpus[0].spec))
+          .cell(ddl::Trainer::max_batch_that_fits(model, gpus[1].spec));
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

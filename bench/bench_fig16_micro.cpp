@@ -1,0 +1,64 @@
+// Figure 16: micro characterization — communication stalls vs model depth.
+// ResNet {18,34,50,101,152} and VGG {11,13,16,19} plus the ResNet
+// architecture ablations (no batch-norm, no residual projections), batch 32
+// on p3.16xlarge (I/C) and its two-machine split (N/W).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "dnn/resnet.h"
+#include "dnn/vgg.h"
+
+int main() {
+  using namespace stash;
+  using profiler::ClusterSpec;
+
+  bench::print_header(
+      "Figure 16 — I/C and N/W stall vs number of layers (batch 32, p3.16xlarge)",
+      "both stalls grow with depth; VGG has LOW I/C stall but HIGH N/W stall "
+      "while ResNet is the reverse (T ~ tau*L on NVLink, T ~ G/B on the NIC). "
+      "Removing BN lowers the layer count and with it the stalls; removing "
+      "residual projections barely changes anything.");
+
+  struct Variant {
+    std::string label;
+    dnn::Model model;
+  };
+  std::vector<Variant> variants;
+  std::vector<int> resnet_depths{18, 34, 50, 101, 152};
+  std::vector<int> vgg_depths{11, 13, 16, 19};
+  if (bench::fast_mode()) {
+    resnet_depths = {18, 152};
+    vgg_depths = {11, 19};
+  }
+  for (int d : resnet_depths) variants.push_back({"resnet" + std::to_string(d),
+                                                  dnn::make_resnet(d)});
+  for (int d : vgg_depths) variants.push_back({"vgg" + std::to_string(d),
+                                               dnn::make_vgg(d)});
+  variants.push_back({"resnet50-nobn",
+                      dnn::make_resnet(50, dnn::ResNetOptions{.batch_norm = false})});
+  variants.push_back({"resnet50-nores",
+                      dnn::make_resnet(50, dnn::ResNetOptions{.residual = false})});
+
+  const int batch = 32;
+  ClusterSpec spec{"p3.16xlarge"};
+  util::Table t({"model", "param tensors", "grads (MB)", "I/C stall (ms)",
+                 "I/C stall %", "N/W stall (ms)", "N/W stall %"});
+  for (auto& v : variants) {
+    bench::StepRunner runner(v.model, dnn::imagenet_1k());
+    double t1 = runner.time(spec, profiler::Step::kSingleGpuSynthetic, batch);
+    double t2 = runner.time(spec, profiler::Step::kAllGpuSynthetic, batch);
+    double t5 = runner.time(spec, profiler::Step::kNetworkSynthetic, batch);
+    t.row()
+        .cell(v.label)
+        .cell(v.model.num_param_tensors())
+        .cell(v.model.gradient_bytes() / 1e6, 1)
+        .cell((t2 - t1) * 1e3, 1)  // the §VI text argues in stall *time*
+        .cell(bench::pct(t2 - t1, t1), 1)
+        .cell(bench::cell_or_blank((t5 - t2) * 1e3))
+        .cell(bench::cell_or_blank(bench::pct(t5 - t2, t2)));
+  }
+  t.print(std::cout);
+  return 0;
+}

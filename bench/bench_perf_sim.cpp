@@ -1,0 +1,91 @@
+// Micro-benchmarks of the simulation substrate itself (google-benchmark):
+// event-queue throughput, flow-network rebalance cost, and end-to-end ring
+// all-reduce simulation speed. These bound how large a characterization
+// sweep the harness can afford.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cloud/builder.h"
+#include "coll/ring_allreduce.h"
+#include "ddl/trainer.h"
+#include "dnn/zoo.h"
+#include "hw/flow_network.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace stash;
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < n; ++i) sim.schedule((i * 7919) % 1000, [] {});
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_FlowNetworkFairShare(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    hw::FlowNetwork net(sim);
+    hw::Link* link = net.add_link("l", 1e9);
+    std::vector<hw::Link*> path{link};
+    auto run_flow = [&](double bytes) -> sim::Task<void> {
+      co_await net.transfer(bytes, path);
+    };
+    for (int i = 0; i < flows; ++i) sim.spawn(run_flow(1e6 * (1 + i % 7)));
+    sim.run();
+    benchmark::DoNotOptimize(link->bytes_carried());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FlowNetworkFairShare)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_RingAllreduceSim(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    hw::FlowNetwork net(sim);
+    hw::Cluster cluster(net, sim,
+                        cloud::cluster_configs_for(cloud::instance("p3.16xlarge"), 1),
+                        cloud::fabric_bandwidth());
+    coll::CollectiveContext ctx{sim, net, cluster, coll::CollectiveConfig{}};
+    double done = -1;
+    auto proc = [&]() -> sim::Task<void> {
+      co_await coll::ring_allreduce(ctx, util::mib(100));
+      done = sim.now();
+    };
+    sim.spawn(proc());
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_RingAllreduceSim);
+
+void BM_TrainerIteration(benchmark::State& state) {
+  dnn::Model model = dnn::make_resnet18();
+  dnn::Dataset data = dnn::imagenet_1k();
+  for (auto _ : state) {
+    sim::Simulator sim;
+    hw::FlowNetwork net(sim);
+    hw::Cluster cluster(net, sim,
+                        cloud::cluster_configs_for(cloud::instance("p3.16xlarge"), 1),
+                        cloud::fabric_bandwidth());
+    ddl::TrainConfig cfg;
+    cfg.iterations = 3;
+    cfg.warmup_iterations = 1;
+    ddl::Trainer trainer(sim, net, cluster, model, data, cfg);
+    benchmark::DoNotOptimize(trainer.run().per_iteration);
+  }
+}
+BENCHMARK(BM_TrainerIteration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

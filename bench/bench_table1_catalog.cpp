@@ -1,0 +1,34 @@
+// Table I: AWS GPU instance types with prices (N. Virginia).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "cloud/instance.h"
+#include "util/units.h"
+
+int main() {
+  using namespace stash;
+  bench::print_header("Table I — AWS GPU instance types with prices (N. Virginia)",
+                      "P4: 8xA100 NVSwitch; P3: V100 PCIe/NVLink; P2: K80 PCIe.");
+
+  util::Table t({"instance", "family", "GPUs", "GPU", "vCPUs", "interconnect",
+                 "GPU mem (GB)", "main mem (GB)", "network (Gbps)", "price/hr ($)"});
+  for (const auto& i : cloud::instance_catalog()) {
+    const char* ic = i.interconnect == hw::InterconnectKind::kPcieOnly ? "PCIe"
+                     : i.interconnect == hw::InterconnectKind::kPcieNvlink
+                         ? "PCIe + NVLink"
+                         : "NVSwitch";
+    t.row()
+        .cell(i.name)
+        .cell(i.family)
+        .cell(i.num_gpus)
+        .cell(i.gpu.name)
+        .cell(i.vcpus)
+        .cell(ic)
+        .cell(util::to_gib(i.gpu_memory_total), 0)
+        .cell(util::to_gib(i.main_memory), 0)
+        .cell(util::to_gbps(i.network_bw), 0)
+        .cell(i.price_per_hour, 4);
+  }
+  t.print(std::cout);
+  return 0;
+}

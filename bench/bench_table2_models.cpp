@@ -1,0 +1,41 @@
+// Table II: DDL models used — generator parameter counts vs the paper's
+// reported gradient sizes, plus the dataset bindings.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "dnn/zoo.h"
+#include "util/units.h"
+
+int main() {
+  using namespace stash;
+  bench::print_header("Table II — DDL models used",
+                      "gradient sizes 0.73M (squeezenet) to 345M (bert-large); "
+                      "ImageNet-1k 133 GB, SQuAD 2.0 45 MB.");
+
+  util::Table t({"model", "domain/type", "paper grads (M)", "built grads (M)",
+                 "drift %", "param tensors", "fwd GFLOPs/sample", "dataset"});
+  struct Row {
+    const char* name;
+    const char* klass;
+  };
+  for (const Row& r : {Row{"alexnet", "vision/small"}, Row{"mobilenet-v2", "vision/small"},
+                       Row{"squeezenet", "vision/small"}, Row{"shufflenet", "vision/small"},
+                       Row{"resnet18", "vision/small"}, Row{"resnet50", "vision/large"},
+                       Row{"vgg11", "vision/large"}, Row{"bert-large", "nlp"}}) {
+    dnn::Model m = dnn::make_zoo_model(r.name);
+    double paper = dnn::paper_gradient_millions(r.name);
+    double built = m.total_params() / 1e6;
+    dnn::Dataset d = dnn::dataset_for(r.name);
+    t.row()
+        .cell(r.name)
+        .cell(r.klass)
+        .cell(paper, 2)
+        .cell(built, 2)
+        .cell((built - paper) / paper * 100.0, 1)
+        .cell(m.num_param_tensors())
+        .cell(m.fwd_flops_per_sample() / 1e9, 2)
+        .cell(d.name + " (" + util::format_double(d.total_bytes / 1e9, 1) + " GB)");
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// §V-A anecdote (X1): training a large model on P2 is ruinous — for
+// ResNet50 on p2.16xlarge the paper observed ~750% interconnect stall and
+// ~$41 for a single epoch, ~2000% more than P3.
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace stash;
+  using profiler::ClusterSpec;
+
+  bench::print_header(
+      "§V-A (X1) — ResNet50 on p2.16xlarge vs p3.16xlarge",
+      "interconnect stall ~750% and ~$41/epoch on P2; P3 is ~20x cheaper.");
+
+  bench::StepRunner runner("resnet50");
+  const int batch = 32;
+  util::Table t({"config", "I/C stall %", "epoch time (s)", "epoch cost ($)"});
+  for (const char* name : {"p2.16xlarge", "p3.16xlarge"}) {
+    ClusterSpec spec{name};
+    t.row()
+        .cell(name)
+        .cell(bench::cell_or_blank(runner.ic_stall_pct(spec, batch)))
+        .cell(bench::cell_or_blank(runner.epoch_seconds(spec, batch), 0))
+        .cell(bench::cell_or_blank(runner.epoch_cost_usd(spec, batch), 2));
+  }
+  t.print(std::cout);
+  return 0;
+}

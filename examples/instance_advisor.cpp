@@ -1,0 +1,59 @@
+// Instance advisor: rank every catalog configuration for a model by
+// projected epoch time and cost — the paper's §V recommendations computed
+// for *your* model instead of asserted.
+//
+//   $ instance_advisor [model] [batch]
+//   $ instance_advisor vgg11 32
+#include <iostream>
+#include <string>
+
+#include "dnn/zoo.h"
+#include "stash/recommend.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace stash;
+
+  std::string model_name = argc > 1 ? argv[1] : "resnet18";
+  int batch = argc > 2 ? std::stoi(argv[2]) : 32;
+
+  dnn::Model model = dnn::make_zoo_model(model_name);
+  profiler::RecommendOptions options;
+  options.per_gpu_batch = batch;
+
+  std::cout << "Ranking cluster configurations for " << model.name()
+            << " at per-GPU batch " << batch << " (listed fastest first)\n";
+  auto recs = profiler::recommend(model, dnn::dataset_for(model_name), options);
+  if (recs.empty()) {
+    std::cout << "No configuration fits this model at batch " << batch
+              << "; try a smaller batch.\n";
+    return 1;
+  }
+
+  util::Table t({"config", "GPUs", "epoch time (s)", "epoch cost ($)", "I/C stall %",
+                 "N/W stall %", "disk stall %", "time rank", "cost rank"});
+  for (const auto& r : recs) {
+    t.row()
+        .cell(r.spec.label())
+        .cell(r.report.gpus)
+        .cell(r.report.epoch_seconds, 0)
+        .cell(r.report.epoch_cost_usd, 2)
+        .cell(r.report.ic_stall_pct, 1)
+        .cell(r.report.has_network_step ? util::format_double(r.report.nw_stall_pct, 1)
+                                        : "-")
+        .cell(r.report.fetch_stall_pct, 1)
+        .cell(r.by_time)
+        .cell(r.by_cost);
+  }
+  t.print(std::cout);
+
+  const auto* fastest = &recs.front();
+  const profiler::Recommendation* cheapest = nullptr;
+  for (const auto& r : recs)
+    if (r.by_cost == 0) cheapest = &r;
+  std::cout << "\nFastest: " << fastest->spec.label() << ".  Cheapest: "
+            << (cheapest ? cheapest->spec.label() : "?")
+            << ".  (The paper's rule of thumb: single-GPU instances minimize cost, "
+               "full-crossbar NVLink machines minimize time; avoid network pairs.)\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Model architect: how architecture choices drive communication stalls
+// (the paper's §VI micro-characterization as a design tool).
+//
+// Sweeps ResNet depth and the batch-norm/residual ablations on a chosen
+// instance, comparing the simulated interconnect stall with the closed-form
+// tau*L + G/B prediction, and prints the regime each variant lands in.
+//
+//   $ model_architect [instance] [batch]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/analytic_model.h"
+#include "dnn/resnet.h"
+#include "dnn/vgg.h"
+#include "dnn/zoo.h"
+#include "stash/profiler.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace stash;
+
+  std::string instance = argc > 1 ? argv[1] : "p3.16xlarge";
+  int batch = argc > 2 ? std::stoi(argv[2]) : 32;
+  profiler::ClusterSpec spec{instance};
+  coll::CollectiveConfig coll_cfg;
+
+  std::cout << "Architecture sweep on " << instance << ", per-GPU batch " << batch
+            << " — what should you change in your model to reduce stalls?\n";
+
+  struct Variant {
+    std::string label;
+    dnn::Model model;
+  };
+  std::vector<Variant> variants;
+  for (int d : {18, 34, 50, 101, 152})
+    variants.push_back({"resnet" + std::to_string(d), dnn::make_resnet(d)});
+  variants.push_back(
+      {"resnet50 w/o batch-norm",
+       dnn::make_resnet(50, dnn::ResNetOptions{.batch_norm = false})});
+  variants.push_back(
+      {"resnet50 w/o residual",
+       dnn::make_resnet(50, dnn::ResNetOptions{.residual = false})});
+  for (int d : {11, 19})
+    variants.push_back({"vgg" + std::to_string(d), dnn::make_vgg(d)});
+
+  util::Table t({"variant", "tensors", "grads (MB)", "regime", "I/C sim %",
+                 "I/C analytic %"});
+  for (auto& v : variants) {
+    profiler::StashProfiler p(v.model, dnn::imagenet_1k());
+    double t1 = 0.0, t2 = 0.0;
+    try {
+      t1 = p.run_step(spec, profiler::Step::kSingleGpuSynthetic, batch)
+               .per_iteration;
+      t2 = p.run_step(spec, profiler::Step::kAllGpuSynthetic, batch)
+               .per_iteration;
+    } catch (const ddl::ModelDoesNotFit&) {
+      t.row().cell(v.label).cell(v.model.num_param_tensors())
+          .cell(v.model.gradient_bytes() / 1e6, 1)
+          .cell("does not fit at this batch").cell("-").cell("-");
+      continue;
+    }
+    analysis::TransferModel tm{coll_cfg.launch_blocking_latency,
+                               analysis::ring_bottleneck_bw(spec)};
+    t.row()
+        .cell(v.label)
+        .cell(v.model.num_param_tensors())
+        .cell(v.model.gradient_bytes() / 1e6, 1)
+        .cell(analysis::regime_name(analysis::classify_regime(
+            v.model.gradient_bytes(),
+            static_cast<int>(v.model.num_param_tensors()), tm)))
+        .cell(std::max(0.0, (t2 - t1) / t1 * 100.0), 1)
+        .cell(analysis::predict_comm_stall_pct(v.model, spec, batch, coll_cfg), 1);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nGuidance (paper §VI-A4): shallow networks with large gradients "
+               "want the best interconnect; very deep networks with small "
+               "per-layer gradients tolerate weaker interconnects, and batch-norm "
+               "removal shrinks the per-layer launch bill.\n";
+  return 0;
+}

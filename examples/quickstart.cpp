@@ -1,0 +1,82 @@
+// Quickstart: profile one model on one instance type with Stash.
+//
+//   $ quickstart [model] [instance] [batch] [trace.json]
+//   $ quickstart resnet18 p3.8xlarge 32
+//
+// Runs the five-step Stash methodology on the simulated instance and
+// prints the four stalls plus the projected epoch time and cost. With a
+// fourth argument, also writes a chrome://tracing timeline of the
+// warm-cache run to that file.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cloud/builder.h"
+#include "ddl/trainer.h"
+#include "dnn/zoo.h"
+#include "stash/profiler.h"
+#include "util/table.h"
+#include "util/trace.h"
+
+int main(int argc, char** argv) {
+  using namespace stash;
+
+  std::string model_name = argc > 1 ? argv[1] : "resnet18";
+  std::string instance = argc > 2 ? argv[2] : "p3.8xlarge";
+  int batch = argc > 3 ? std::stoi(argv[3]) : 32;
+  std::string trace_path = argc > 4 ? argv[4] : "";
+
+  dnn::Model model = dnn::make_zoo_model(model_name);
+  dnn::Dataset dataset = dnn::dataset_for(model_name);
+  std::cout << "Profiling " << model.name() << " (" << model.total_params() / 1e6
+            << "M params, " << model.num_param_tensors() << " gradient tensors) on "
+            << instance << ", per-GPU batch " << batch << "\n";
+
+  profiler::StashProfiler stash_profiler(model, dataset);
+  profiler::StallReport report =
+      stash_profiler.profile(profiler::ClusterSpec{instance}, batch);
+
+  util::Table steps({"step", "configuration", "per-iteration (ms)"});
+  steps.row().cell("1").cell("synthetic, single GPU").cell(report.t1 * 1e3, 2);
+  steps.row().cell("2").cell("synthetic, all GPUs").cell(report.t2 * 1e3, 2);
+  steps.row().cell("3").cell("real data, cold cache").cell(report.t3 * 1e3, 2);
+  steps.row().cell("4").cell("real data, warm cache").cell(report.t4 * 1e3, 2);
+  steps.row().cell("5").cell("synthetic, network split").cell(
+      report.has_network_step ? util::format_double(report.t5 * 1e3, 2) : "n/a");
+  steps.print(std::cout);
+
+  util::Table stalls({"stall", "definition", "value (%)"});
+  stalls.row().cell("interconnect").cell("(T2-T1)/T1").cell(report.ic_stall_pct, 1);
+  stalls.row().cell("network").cell("(T5-T2)/T2").cell(
+      report.has_network_step ? util::format_double(report.nw_stall_pct, 1) : "n/a");
+  stalls.row().cell("CPU (prep)").cell("(T4-T2)/T4").cell(report.prep_stall_pct, 1);
+  stalls.row().cell("disk (fetch)").cell("(T3-T4)/T3").cell(report.fetch_stall_pct, 1);
+  stalls.print(std::cout);
+
+  std::cout << "steady-state epoch: " << util::format_double(report.epoch_seconds, 0)
+            << " s,  $" << util::format_double(report.epoch_cost_usd, 2)
+            << " per epoch on " << report.config_label << "\n";
+
+  if (!trace_path.empty()) {
+    // Re-run the warm-cache configuration with a timeline recorder attached.
+    sim::Simulator sim;
+    hw::FlowNetwork net(sim);
+    hw::Cluster cluster(net, sim,
+                        cloud::cluster_configs_for(cloud::instance(instance), 1),
+                        cloud::fabric_bandwidth());
+    ddl::TrainConfig cfg;
+    cfg.per_gpu_batch = batch;
+    cfg.iterations = 6;
+    cfg.warmup_iterations = 2;
+    cfg.synthetic_data = false;
+    util::TraceRecorder trace;
+    cfg.trace = &trace;
+    ddl::Trainer trainer(sim, net, cluster, model, dataset, cfg);
+    trainer.run();
+    std::ofstream out(trace_path);
+    trace.write(out);
+    std::cout << "wrote " << trace.size() << " timeline spans to " << trace_path
+              << " (open in chrome://tracing)\n";
+  }
+  return 0;
+}

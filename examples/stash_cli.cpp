@@ -1,0 +1,167 @@
+// stash — command-line front-end for the profiler (the tool the paper's
+// tenants would actually run).
+//
+//   stash catalog
+//   stash models
+//   stash profile  <model> [--instance p3.8xlarge] [--count N] [--batch B]
+//                  [--full-quad] [--csv]
+//   stash recommend <model> [--batch B] [--csv]
+//   stash stalls   <model> --instance <type> [--batch B]   (single line)
+//
+// Every subcommand prints an ASCII table by default or CSV with --csv.
+#include <iostream>
+#include <string>
+
+#include "cloud/spot.h"
+#include "dnn/zoo.h"
+#include "stash/recommend.h"
+#include "stash/session.h"
+#include "util/args.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace stash;
+
+int usage() {
+  std::cout <<
+      "usage: stash_cli <command> [args]\n"
+      "  catalog                          list Table-I instance types\n"
+      "  models                           list the Table-II model zoo\n"
+      "  profile <model> [--instance T] [--count N] [--batch B]\n"
+      "          [--full-quad] [--csv]    run the five-step Stash profile\n"
+      "  recommend <model> [--batch B] [--csv]\n"
+      "                                   rank every configuration\n"
+      "  estimate <model> [--instance T] [--count N] [--batch B]\n"
+      "           [--epochs E] [--spot] [--csv]\n"
+      "                                   whole-run time & cost estimate\n";
+  return 2;
+}
+
+void emit(const util::Table& t, bool csv) {
+  if (csv)
+    std::cout << t.to_csv();
+  else
+    t.print(std::cout);
+}
+
+int cmd_catalog(const util::Args& args) {
+  util::Table t({"instance", "GPUs", "GPU", "interconnect", "network (Gbps)",
+                 "price/hr ($)"});
+  for (const auto& i : cloud::instance_catalog()) {
+    const char* ic = i.interconnect == hw::InterconnectKind::kPcieOnly ? "PCIe"
+                     : i.interconnect == hw::InterconnectKind::kPcieNvlink
+                         ? "PCIe+NVLink"
+                         : "NVSwitch";
+    t.row().cell(i.name).cell(i.num_gpus).cell(i.gpu.name).cell(ic).cell(
+        util::to_gbps(i.network_bw), 0).cell(i.price_per_hour, 4);
+  }
+  emit(t, args.has("csv"));
+  return 0;
+}
+
+int cmd_models(const util::Args& args) {
+  util::Table t({"model", "params (M)", "grad tensors", "fwd GFLOPs", "dataset"});
+  for (const char* name : {"alexnet", "mobilenet-v2", "squeezenet", "shufflenet",
+                           "resnet18", "resnet50", "vgg11", "bert-large"}) {
+    dnn::Model m = dnn::make_zoo_model(name);
+    t.row().cell(name).cell(m.total_params() / 1e6, 2).cell(m.num_param_tensors())
+        .cell(m.fwd_flops_per_sample() / 1e9, 2).cell(dnn::dataset_for(name).name);
+  }
+  emit(t, args.has("csv"));
+  return 0;
+}
+
+int cmd_profile(const util::Args& args) {
+  std::string model_name = args.positional(1);
+  if (model_name.empty()) return usage();
+  profiler::ClusterSpec spec;
+  spec.instance = args.get("instance", "p3.8xlarge");
+  spec.count = args.get_int("count", 1);
+  if (args.has("full-quad")) spec.slice = cloud::CrossbarSlice::kFullQuad;
+  int batch = args.get_int("batch", 32);
+
+  dnn::Model model = dnn::make_zoo_model(model_name);
+  profiler::StashProfiler prof(model, dnn::dataset_for(model_name));
+  profiler::StallReport r = prof.profile(spec, batch);
+
+  util::Table t({"config", "model", "batch", "I/C %", "N/W %", "prep %", "fetch %",
+                 "epoch (s)", "epoch ($)"});
+  t.row().cell(r.config_label).cell(r.model_name).cell(r.per_gpu_batch)
+      .cell(r.ic_stall_pct, 1)
+      .cell(r.has_network_step ? util::format_double(r.nw_stall_pct, 1) : "-")
+      .cell(r.prep_stall_pct, 1).cell(r.fetch_stall_pct, 1)
+      .cell(r.epoch_seconds, 0).cell(r.epoch_cost_usd, 2);
+  emit(t, args.has("csv"));
+  return 0;
+}
+
+int cmd_recommend(const util::Args& args) {
+  std::string model_name = args.positional(1);
+  if (model_name.empty()) return usage();
+  profiler::RecommendOptions opt;
+  opt.per_gpu_batch = args.get_int("batch", 32);
+  auto recs =
+      profiler::recommend(dnn::make_zoo_model(model_name),
+                          dnn::dataset_for(model_name), opt);
+  if (recs.empty()) {
+    std::cerr << "no configuration fits " << model_name << " at batch "
+              << opt.per_gpu_batch << "\n";
+    return 1;
+  }
+  util::Table t({"config", "epoch (s)", "epoch ($)", "time rank", "cost rank"});
+  for (const auto& r : recs)
+    t.row().cell(r.spec.label()).cell(r.report.epoch_seconds, 0)
+        .cell(r.report.epoch_cost_usd, 2).cell(r.by_time).cell(r.by_cost);
+  emit(t, args.has("csv"));
+  return 0;
+}
+
+int cmd_estimate(const util::Args& args) {
+  std::string model_name = args.positional(1);
+  if (model_name.empty()) return usage();
+  profiler::ClusterSpec spec;
+  spec.instance = args.get("instance", "p3.8xlarge");
+  spec.count = args.get_int("count", 1);
+  int batch = args.get_int("batch", 32);
+  int epochs = args.get_int("epochs", 90);
+
+  profiler::StashProfiler prof(dnn::make_zoo_model(model_name),
+                               dnn::dataset_for(model_name));
+  auto est = profiler::estimate_training(prof, spec, batch, epochs);
+
+  util::Table t({"config", "epochs", "cold epoch (s)", "steady epoch (s)",
+                 "total (h)", "cost ($)", "pricing"});
+  t.row().cell(est.config_label).cell(est.epochs).cell(est.first_epoch_seconds, 0)
+      .cell(est.steady_epoch_seconds, 0).cell(util::to_hours(est.total_seconds), 2)
+      .cell(est.total_cost_usd, 2).cell("on-demand");
+  if (args.has("spot")) {
+    auto spot = cloud::mean_spot_outcome(est.total_seconds,
+                                         cloud::instance(spec.instance), spec.count,
+                                         cloud::SpotConfig{}, 2026);
+    t.row().cell(est.config_label).cell(est.epochs).cell("-").cell("-")
+        .cell(util::to_hours(spot.wall_seconds), 2).cell(spot.cost_usd, 2)
+        .cell("spot (mean of 25 draws)");
+  }
+  emit(t, args.has("csv"));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::Args args(argc, argv);
+    std::string cmd = args.positional(0);
+    if (cmd == "catalog") return cmd_catalog(args);
+    if (cmd == "models") return cmd_models(args);
+    if (cmd == "profile") return cmd_profile(args);
+    if (cmd == "recommend") return cmd_recommend(args);
+    if (cmd == "estimate") return cmd_estimate(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

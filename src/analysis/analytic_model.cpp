@@ -1,0 +1,105 @@
+#include "analysis/analytic_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "coll/ring_allreduce.h"
+
+namespace stash::analysis {
+
+double per_layer_transfer_time(double grad_bytes, int layers, const TransferModel& m) {
+  if (layers < 1) throw std::invalid_argument("per_layer_transfer_time: layers < 1");
+  if (m.bandwidth <= 0.0)
+    throw std::invalid_argument("per_layer_transfer_time: bandwidth <= 0");
+  return (m.tau + grad_bytes / (static_cast<double>(layers) * m.bandwidth)) * layers;
+}
+
+Regime classify_regime(double grad_bytes, int layers, const TransferModel& m) {
+  double latency_term = m.tau * layers;
+  double bandwidth_term = grad_bytes / m.bandwidth;
+  if (latency_term > 4.0 * bandwidth_term) return Regime::kLatencyBound;
+  if (bandwidth_term > 4.0 * latency_term) return Regime::kBandwidthBound;
+  return Regime::kMixed;
+}
+
+std::string regime_name(Regime r) {
+  switch (r) {
+    case Regime::kLatencyBound: return "latency-bound";
+    case Regime::kBandwidthBound: return "bandwidth-bound";
+    case Regime::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+double ring_bottleneck_bw(const profiler::ClusterSpec& spec) {
+  const auto& type = cloud::instance(spec.instance);
+  if (spec.count > 1) return type.network_bw;
+
+  const int k = spec.gpus_used();
+  // PCIe hop: lane-limited or a fair share of the doubly-traversed bridge
+  // (all k ring flows cross it twice per round).
+  double pcie_hop = std::min(type.pcie_lane_bw,
+                             type.host_bridge_bw / (2.0 * std::max(1, k)));
+  switch (type.interconnect) {
+    case hw::InterconnectKind::kPcieOnly:
+      return pcie_hop;
+    case hw::InterconnectKind::kNvswitch:
+      return type.nvlink_bw;
+    case hw::InterconnectKind::kPcieNvlink:
+      // 4-GPU slices may be fragmented: the single PCIe hop paces the ring
+      // (only one flow crosses the bridge, so it is lane- or half-bridge-
+      // limited, not k-way shared).
+      if (type.num_gpus == 4 && spec.slice == cloud::CrossbarSlice::kFragmented)
+        return std::min(type.pcie_lane_bw, type.host_bridge_bw / 2.0);
+      return type.nvlink_bw;
+  }
+  throw std::logic_error("unreachable");
+}
+
+double effective_tau(const profiler::ClusterSpec& spec,
+                     const coll::CollectiveConfig& config) {
+  const int k = spec.gpus_used();
+  double round = spec.count > 1 ? config.inter_round_latency
+                                : config.intra_round_latency;
+  return 2.0 * std::max(0, k - 1) * round;
+}
+
+double predict_comm_seconds(const dnn::Model& model,
+                            const profiler::ClusterSpec& spec,
+                            const coll::CollectiveConfig& config) {
+  const int k = spec.gpus_used();
+  if (k < 2) return 0.0;
+  double bw = ring_bottleneck_bw(spec);
+  double round = spec.count > 1 ? config.inter_round_latency
+                                : config.intra_round_latency;
+  double total = 0.0;
+  for (double g : model.gradient_tensors_backward())
+    total += coll::ring_allreduce_analytic(g, k, bw, round);
+  return total;
+}
+
+double predict_comm_stall_pct(const dnn::Model& model,
+                              const profiler::ClusterSpec& spec, int per_gpu_batch,
+                              const coll::CollectiveConfig& config) {
+  if (per_gpu_batch < 1) throw std::invalid_argument("per_gpu_batch < 1");
+  const auto& type = cloud::instance(spec.instance);
+  double batch = per_gpu_batch;
+  double fwd = model.fwd_flops_per_sample() * batch / type.gpu.effective_flops;
+  double bwd = model.bwd_flops_per_sample() * batch / type.gpu.effective_flops;
+  double single_gpu = (fwd + bwd) * 1.02;  // optimizer overhead
+
+  if (spec.gpus_used() < 2) return 0.0;
+  // Per-layer launch overhead blocks the compute stream (tau * L), as does
+  // the non-overlapped share of the transfers; the overlapped share hides
+  // behind the backward pass and stalls only past it.
+  double blocking = config.launch_blocking_latency *
+                    static_cast<double>(model.num_param_tensors());
+  double comm = predict_comm_seconds(model, spec, config);
+  double sync_comm = (1.0 - config.overlap_fraction) * comm;
+  double async_comm = config.overlap_fraction * comm;
+  double window = bwd + blocking + sync_comm;
+  double stall = blocking + sync_comm + std::max(0.0, async_comm - window);
+  return stall / single_gpu * 100.0;
+}
+
+}  // namespace stash::analysis

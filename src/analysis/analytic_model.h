@@ -1,0 +1,60 @@
+// Closed-form communication-stall model (paper §VI-A2).
+//
+// The paper explains the VGG/ResNet asymmetry with a per-layer transfer
+// model: a model with G bytes of gradients across L layers pays
+//
+//     T = (tau + G / (L * B)) * L = tau*L + G/B
+//
+// per synchronization pass over a link of bandwidth B with per-layer
+// launch latency tau. On fast links (NVLink) G/B is negligible and
+// T ~ tau*L — deep models (ResNet) stall more. On slow links (the NIC)
+// tau*L is negligible and T ~ G/B — gradient-heavy models (VGG) stall
+// more. This module provides that model plus an analytic interconnect-
+// stall predictor to compare against the simulator (ablation A1).
+#pragma once
+
+#include <string>
+
+#include "coll/collective.h"
+#include "dnn/model.h"
+#include "stash/cluster_spec.h"
+
+namespace stash::analysis {
+
+struct TransferModel {
+  double tau = 0.0;        // per-layer launch latency, seconds
+  double bandwidth = 0.0;  // governing link bandwidth, bytes/s
+};
+
+// T = (tau + G/(L*B)) * L.
+double per_layer_transfer_time(double grad_bytes, int layers, const TransferModel& m);
+
+enum class Regime { kLatencyBound, kBandwidthBound, kMixed };
+
+// Which term dominates (ratio > 4x either way -> bound; else mixed).
+Regime classify_regime(double grad_bytes, int layers, const TransferModel& m);
+std::string regime_name(Regime r);
+
+// Effective per-hop ring bandwidth for a cluster spec, from its hardware
+// constants: NVLink for complete crossbar rings, the PCIe lane/bridge share
+// for PCIe (and fragmented-slice) rings, the NIC across machines.
+double ring_bottleneck_bw(const profiler::ClusterSpec& spec);
+
+// Per-layer launch latency tau for the spec: 2(k-1) ring rounds each
+// paying the per-round latency.
+double effective_tau(const profiler::ClusterSpec& spec,
+                     const coll::CollectiveConfig& config);
+
+// Total per-iteration all-reduce time for a model on a spec, summing the
+// analytic ring cost per gradient tensor.
+double predict_comm_seconds(const dnn::Model& model,
+                            const profiler::ClusterSpec& spec,
+                            const coll::CollectiveConfig& config);
+
+// Analytic interconnect/network stall %: communication not hidden behind
+// the backward pass, relative to single-GPU iteration time.
+double predict_comm_stall_pct(const dnn::Model& model,
+                              const profiler::ClusterSpec& spec, int per_gpu_batch,
+                              const coll::CollectiveConfig& config);
+
+}  // namespace stash::analysis

@@ -1,0 +1,39 @@
+// Crossbar allocation policy for partial-machine instances.
+//
+// A p3.8xlarge is four V100s carved out of an eight-GPU crossbar machine
+// (paper Fig 1). If AWS hands the tenant a full quad, the NVLink ring is
+// complete; if other tenants already hold GPUs in both quads, the slice is
+// fragmented and the ring must cross PCIe, raising interconnect stalls.
+// The paper theorizes this is why p3.8xlarge does not have strictly lower
+// interconnect stalls than p3.16xlarge (§V-B1) and calls the trait
+// "probabilistic"; the policy models that coin flip.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace stash::cloud {
+
+enum class CrossbarSlice {
+  kFullQuad,    // {0,1,2,3}: fully NVLink-connected ring
+  kFragmented,  // {0,1,2,4}: one GPU from the far quad, ring crosses PCIe
+};
+
+// NVLink adjacency (relabelled to local ids 0..3) for a 4-GPU slice of the
+// 8-GPU hybrid cube mesh.
+std::vector<std::pair<int, int>> slice_nvlink_pairs(CrossbarSlice slice);
+
+struct AllocationPolicy {
+  // Probability that a 4-GPU request lands on an unfragmented quad. The
+  // paper observed fragmented allocations in its measurements.
+  double full_quad_probability = 0.3;
+
+  CrossbarSlice sample(util::Rng& rng) const {
+    return rng.bernoulli(full_quad_probability) ? CrossbarSlice::kFullQuad
+                                                : CrossbarSlice::kFragmented;
+  }
+};
+
+}  // namespace stash::cloud

@@ -1,0 +1,51 @@
+#include "cloud/builder.h"
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace stash::cloud {
+
+std::vector<std::pair<int, int>> slice_nvlink_pairs(CrossbarSlice slice) {
+  switch (slice) {
+    case CrossbarSlice::kFullQuad:
+      // {0,1,2,3} of the mesh: fully connected quad.
+      return {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
+    case CrossbarSlice::kFragmented:
+      // {0,1,2,4} relabelled: quad remnant {0,1,2} plus cross edge 0-4 -> 0-3.
+      return {{0, 1}, {0, 2}, {1, 2}, {0, 3}};
+  }
+  throw std::logic_error("unreachable");
+}
+
+hw::MachineConfig machine_config_for(const InstanceType& type, CrossbarSlice slice) {
+  hw::MachineConfig c;
+  c.name = type.name;
+  c.num_gpus = type.num_gpus;
+  c.gpu = type.gpu;
+  c.interconnect = type.interconnect;
+  c.pcie_lane_bw = type.pcie_lane_bw;
+  c.host_bridge_bw = type.host_bridge_bw;
+  c.nvlink_bw = type.nvlink_bw;
+  c.nic_bw = type.network_bw;
+  c.vcpus = type.vcpus;
+  c.dram_bytes = type.main_memory;
+  c.ssd_bw = type.ssd_bw;
+  c.ssd_latency = type.ssd_latency;
+  if (type.interconnect == hw::InterconnectKind::kPcieNvlink && type.num_gpus == 4)
+    c.nvlink_pairs = slice_nvlink_pairs(slice);
+  return c;
+}
+
+std::vector<hw::MachineConfig> cluster_configs_for(const InstanceType& type, int count,
+                                                   CrossbarSlice slice) {
+  if (count < 1) throw std::invalid_argument("cluster_configs_for: count must be >= 1");
+  std::vector<hw::MachineConfig> configs;
+  configs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) configs.push_back(machine_config_for(type, slice));
+  return configs;
+}
+
+double fabric_bandwidth() { return util::gbps(400); }
+
+}  // namespace stash::cloud

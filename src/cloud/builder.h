@@ -1,0 +1,28 @@
+// Maps catalog instance types onto simulated hardware.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/allocation.h"
+#include "cloud/instance.h"
+#include "hw/topology.h"
+
+namespace stash::cloud {
+
+// Hardware description of one instance. `slice` matters only for 4-GPU
+// NVLink types (p3.8xlarge); the paper's measured behaviour corresponds to
+// kFragmented, which is the default.
+hw::MachineConfig machine_config_for(const InstanceType& type,
+                                     CrossbarSlice slice = CrossbarSlice::kFragmented);
+
+// `count` identical instances joined by the placement-group fabric.
+std::vector<hw::MachineConfig> cluster_configs_for(
+    const InstanceType& type, int count,
+    CrossbarSlice slice = CrossbarSlice::kFragmented);
+
+// Placement-group fabric bandwidth: generous enough that per-instance NICs
+// are the constraint, like AWS cluster placement groups.
+double fabric_bandwidth();
+
+}  // namespace stash::cloud

@@ -1,0 +1,160 @@
+#include "cloud/instance.h"
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace stash::cloud {
+
+using hw::InterconnectKind;
+using util::gb_per_s;
+using util::gbps;
+using util::gib;
+using util::mb_per_s;
+
+namespace {
+
+std::vector<InstanceType> build_catalog() {
+  std::vector<InstanceType> catalog;
+
+  auto add = [&](InstanceType t) { catalog.push_back(std::move(t)); };
+
+  // ---- P2 family: K80 GPUs on a PCIe gen-3 tree. The host bridge is the
+  // same 24 GB/s root complex for 8xlarge and 16xlarge — doubling the GPUs
+  // "slices" the per-GPU share (paper Fig 7, §V-A1).
+  InstanceType p2;
+  p2.family = "P2";
+  p2.gpu = hw::k80_spec();
+  p2.interconnect = InterconnectKind::kPcieOnly;
+  p2.pcie_lane_bw = gb_per_s(10);
+  p2.ssd_bw = mb_per_s(200);  // gp2 EBS volume, sustained (post-burst) throughput
+  p2.ssd_latency = 0.5e-3;
+
+  p2.name = "p2.xlarge";
+  p2.num_gpus = 1;
+  p2.vcpus = 4;
+  p2.main_memory = gib(61);
+  p2.gpu_memory_total = gib(12);
+  p2.network_bw = gbps(7);  // "up to 10 Gbps": sustained baseline is lower
+  p2.price_per_hour = 0.90;
+  p2.host_bridge_bw = gb_per_s(10);  // single GPU owns its lane
+  add(p2);
+
+  p2.name = "p2.8xlarge";
+  p2.num_gpus = 8;
+  p2.vcpus = 32;
+  p2.main_memory = gib(488);
+  p2.gpu_memory_total = gib(96);
+  p2.network_bw = gbps(10);
+  p2.price_per_hour = 7.20;
+  p2.host_bridge_bw = gb_per_s(24);
+  add(p2);
+
+  p2.name = "p2.16xlarge";
+  p2.num_gpus = 16;
+  p2.vcpus = 64;
+  p2.main_memory = gib(732);
+  p2.gpu_memory_total = gib(192);
+  p2.network_bw = gbps(25);
+  p2.price_per_hour = 14.40;
+  p2.host_bridge_bw = gb_per_s(24);  // same bridge as 8xlarge
+  add(p2);
+
+  // ---- P3 family: V100 GPUs; multi-GPU types add an NVLink crossbar.
+  InstanceType p3;
+  p3.family = "P3";
+  p3.gpu = hw::v100_spec();
+  p3.pcie_lane_bw = gb_per_s(12);
+  p3.nvlink_bw = gb_per_s(22);
+  p3.ssd_bw = mb_per_s(200);
+  p3.ssd_latency = 0.5e-3;
+
+  p3.name = "p3.2xlarge";
+  p3.interconnect = InterconnectKind::kPcieOnly;
+  p3.num_gpus = 1;
+  p3.vcpus = 8;
+  p3.main_memory = gib(61);
+  p3.gpu_memory_total = gib(16);
+  p3.network_bw = gbps(7);  // "up to 10"
+  p3.price_per_hour = 3.06;
+  p3.host_bridge_bw = gb_per_s(12);
+  add(p3);
+
+  p3.interconnect = InterconnectKind::kPcieNvlink;
+  p3.name = "p3.8xlarge";
+  p3.num_gpus = 4;
+  p3.vcpus = 32;
+  p3.main_memory = gib(244);
+  p3.gpu_memory_total = gib(64);
+  p3.network_bw = gbps(10);
+  p3.price_per_hour = 12.24;
+  p3.host_bridge_bw = gb_per_s(24);
+  add(p3);
+
+  p3.name = "p3.16xlarge";
+  p3.num_gpus = 8;
+  p3.vcpus = 64;
+  p3.main_memory = gib(488);
+  p3.gpu_memory_total = gib(128);
+  p3.network_bw = gbps(25);
+  p3.price_per_hour = 24.48;
+  p3.host_bridge_bw = gb_per_s(48);
+  add(p3);
+
+  p3.name = "p3.24xlarge";  // p3dn.24xlarge: dedicated, 32 GiB V100s, NVMe
+  p3.gpu = hw::v100_spec(32);
+  p3.num_gpus = 8;
+  p3.vcpus = 96;
+  p3.main_memory = gib(768);
+  p3.gpu_memory_total = gib(256);
+  p3.network_bw = gbps(100);
+  p3.price_per_hour = 31.218;
+  p3.host_bridge_bw = gb_per_s(48);
+  p3.ssd_bw = mb_per_s(2000);  // local NVMe
+  p3.ssd_latency = 0.1e-3;
+  p3.dedicated = true;
+  add(p3);
+
+  // ---- P4 (catalog completeness; out of the characterization's scope).
+  InstanceType p4;
+  p4.family = "P4";
+  p4.name = "p4d.24xlarge";
+  p4.num_gpus = 8;
+  p4.gpu = hw::a100_spec();
+  p4.interconnect = InterconnectKind::kNvswitch;
+  p4.nvlink_bw = gb_per_s(50);  // NVSwitch per-GPU
+  p4.pcie_lane_bw = gb_per_s(25);
+  p4.host_bridge_bw = gb_per_s(64);
+  p4.network_bw = gbps(400);
+  p4.vcpus = 96;
+  p4.main_memory = gib(1152);
+  p4.gpu_memory_total = gib(320);
+  p4.price_per_hour = 32.7726;
+  p4.ssd_bw = mb_per_s(4000);
+  p4.ssd_latency = 0.1e-3;
+  p4.dedicated = true;
+  add(p4);
+
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<InstanceType>& instance_catalog() {
+  static const std::vector<InstanceType> catalog = build_catalog();
+  return catalog;
+}
+
+const InstanceType& instance(const std::string& name) {
+  for (const InstanceType& t : instance_catalog())
+    if (t.name == name) return t;
+  throw std::invalid_argument("unknown instance type: " + name);
+}
+
+double cost_usd(const InstanceType& type, double seconds, int count) {
+  if (seconds < 0.0 || count < 1)
+    throw std::invalid_argument("cost_usd: invalid duration or count");
+  return type.price_per_hour / 3600.0 * seconds * count;
+}
+
+}  // namespace stash::cloud

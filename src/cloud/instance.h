@@ -1,0 +1,43 @@
+// AWS GPU instance catalog (paper Table I, N. Virginia pricing).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/gpu.h"
+#include "hw/topology.h"
+
+namespace stash::cloud {
+
+struct InstanceType {
+  std::string name;    // e.g. "p3.16xlarge"
+  std::string family;  // "P2", "P3", "P4"
+  int num_gpus = 0;
+  hw::GpuSpec gpu;
+  hw::InterconnectKind interconnect = hw::InterconnectKind::kPcieOnly;
+  double network_bw = 0.0;      // bytes/s (Table I "Network Bandwidth")
+  int vcpus = 0;
+  double main_memory = 0.0;     // bytes
+  double gpu_memory_total = 0.0;
+  double price_per_hour = 0.0;  // USD
+  bool dedicated = false;       // p3.24xlarge / P4 dedicated offerings
+
+  // Hardware constants behind the spec sheet (DESIGN.md §6).
+  double pcie_lane_bw = 0.0;    // per-GPU PCIe bandwidth
+  double host_bridge_bw = 0.0;  // shared root complex; constant per family
+  double nvlink_bw = 0.0;
+  double ssd_bw = 0.0;
+  double ssd_latency = 0.0;
+};
+
+// All Table I rows.
+const std::vector<InstanceType>& instance_catalog();
+
+// Lookup by name; throws std::invalid_argument for unknown instances.
+const InstanceType& instance(const std::string& name);
+
+// Billing: USD for running `count` instances for `seconds` (per-second
+// billing, as AWS bills Linux instances).
+double cost_usd(const InstanceType& type, double seconds, int count = 1);
+
+}  // namespace stash::cloud

@@ -1,0 +1,53 @@
+#include "cloud/network_qos.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/task.h"
+
+namespace stash::cloud {
+
+namespace {
+
+sim::Task<void> shape_link(sim::Simulator& sim, hw::FlowNetwork& net, hw::Link* link,
+                           NetworkQosConfig config, util::Rng rng) {
+  const double nominal = link->capacity();
+  double fraction = config.mean_fraction;
+  double elapsed = 0.0;
+  while (elapsed < config.horizon) {
+    co_await sim.delay(config.update_interval);
+    elapsed += config.update_interval;
+    // AR(1) around the mean: x' = mu + rho*(x - mu) + eps.
+    double innovation = rng.normal(0.0, config.sigma);
+    fraction = config.mean_fraction +
+               config.persistence * (fraction - config.mean_fraction) + innovation;
+    fraction = std::clamp(fraction, config.min_fraction, config.max_fraction);
+    net.update_capacity(link, nominal * fraction);
+  }
+  // Restore nominal capacity so later phases are unaffected.
+  net.update_capacity(link, nominal);
+}
+
+}  // namespace
+
+void apply_network_qos(sim::Simulator& sim, hw::FlowNetwork& net,
+                       hw::Cluster& cluster, const NetworkQosConfig& config) {
+  if (config.mean_fraction <= 0.0 || config.mean_fraction > 1.0)
+    throw std::invalid_argument("NetworkQosConfig: mean_fraction in (0,1] required");
+  if (config.update_interval <= 0.0 || config.horizon <= 0.0)
+    throw std::invalid_argument("NetworkQosConfig: positive interval/horizon required");
+  if (config.min_fraction <= 0.0 || config.min_fraction > config.max_fraction)
+    throw std::invalid_argument("NetworkQosConfig: bad fraction bounds");
+
+  util::Rng root(config.seed);
+  std::uint64_t stream = 0;
+  for (std::size_t m = 0; m < cluster.num_machines(); ++m) {
+    hw::Machine& mach = cluster.machine(static_cast<int>(m));
+    for (hw::Link* nic : {mach.nic_tx(), mach.nic_rx()}) {
+      if (nic == nullptr) continue;
+      sim.spawn(shape_link(sim, net, nic, config, root.child(stream++)));
+    }
+  }
+}
+
+}  // namespace stash::cloud

@@ -1,0 +1,43 @@
+// Time-varying network QoS.
+//
+// The paper (§I, §III) notes that AWS network QoS "is subject to high
+// temporal (up to months) and spatial (availability zones, regions)
+// variations and is hard to definitively characterize" — one of its
+// arguments for stall-based characterization over Srifty-style bandwidth
+// tables. This module makes the simulated NICs live that reality: an AR(1)
+// mean-reverting process modulates each NIC's capacity around a long-run
+// utilization factor, so network stalls become a distribution rather than
+// a point. The QoS bench reports that distribution across seeds.
+#pragma once
+
+#include "hw/flow_network.h"
+#include "hw/topology.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace stash::cloud {
+
+struct NetworkQosConfig {
+  // Long-run mean fraction of nominal NIC bandwidth actually available.
+  double mean_fraction = 0.8;
+  // AR(1) mean-reversion coefficient per step (0 = iid, 1 = frozen).
+  double persistence = 0.7;
+  // Innovation standard deviation (fraction units).
+  double sigma = 0.1;
+  // Bandwidth is re-drawn this often (seconds of simulated time).
+  double update_interval = 0.25;
+  // Hard floor/ceiling as fractions of nominal capacity.
+  double min_fraction = 0.25;
+  double max_fraction = 1.0;
+  // How long the shaper runs; pick comfortably past the training window.
+  double horizon = 120.0;
+
+  std::uint64_t seed = 1;
+};
+
+// Spawns a QoS shaper process for every NIC link of every machine in the
+// cluster. Each NIC gets an independent RNG stream derived from the seed.
+void apply_network_qos(sim::Simulator& sim, hw::FlowNetwork& net,
+                       hw::Cluster& cluster, const NetworkQosConfig& config);
+
+}  // namespace stash::cloud

@@ -1,0 +1,79 @@
+#include "cloud/spot.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace stash::cloud {
+
+SpotOutcome simulate_spot_run(double work_seconds, const InstanceType& type,
+                              int count, const SpotConfig& config, util::Rng& rng) {
+  if (work_seconds < 0.0) throw std::invalid_argument("negative work_seconds");
+  if (count < 1) throw std::invalid_argument("count < 1");
+  if (config.price_factor <= 0.0 || config.price_factor > 1.0)
+    throw std::invalid_argument("price_factor must be in (0, 1]");
+  if (config.checkpoint_interval_s <= 0.0)
+    throw std::invalid_argument("checkpoint_interval_s must be positive");
+
+  SpotOutcome out;
+  double remaining = work_seconds;
+  double since_checkpoint = 0.0;
+
+  while (remaining > 0.0) {
+    // Time to the next interruption (infinite when the rate is zero).
+    double next_interruption =
+        config.interruptions_per_hour > 0.0
+            ? rng.exponential(3600.0 / config.interruptions_per_hour)
+            : std::numeric_limits<double>::infinity();
+
+    // Progress until we finish or get revoked, paying a checkpoint write
+    // every interval.
+    double until_checkpoint = config.checkpoint_interval_s - since_checkpoint;
+    double step = std::min({remaining, next_interruption, until_checkpoint});
+
+    out.wall_seconds += step;
+    remaining -= step;
+    since_checkpoint += step;
+
+    if (remaining <= 0.0) break;
+
+    if (step == next_interruption) {
+      // Revoked: lose the work since the last checkpoint, pay reprovision.
+      ++out.interruptions;
+      out.lost_work_seconds += since_checkpoint;
+      remaining += since_checkpoint;
+      since_checkpoint = 0.0;
+      out.wall_seconds += config.restart_overhead_s;
+    } else if (since_checkpoint >= config.checkpoint_interval_s) {
+      out.wall_seconds += config.checkpoint_write_s;
+      out.lost_work_seconds += config.checkpoint_write_s;
+      since_checkpoint = 0.0;
+    }
+  }
+
+  out.cost_usd = cost_usd(type, out.wall_seconds, count) * config.price_factor;
+  return out;
+}
+
+SpotOutcome mean_spot_outcome(double work_seconds, const InstanceType& type,
+                              int count, const SpotConfig& config,
+                              std::uint64_t seed, int trials) {
+  if (trials < 1) throw std::invalid_argument("trials < 1");
+  SpotOutcome mean;
+  util::Rng root(seed);
+  for (int t = 0; t < trials; ++t) {
+    util::Rng rng = root.child(static_cast<std::uint64_t>(t));
+    SpotOutcome o = simulate_spot_run(work_seconds, type, count, config, rng);
+    mean.wall_seconds += o.wall_seconds;
+    mean.cost_usd += o.cost_usd;
+    mean.interruptions += o.interruptions;
+    mean.lost_work_seconds += o.lost_work_seconds;
+  }
+  mean.wall_seconds /= trials;
+  mean.cost_usd /= trials;
+  mean.lost_work_seconds /= trials;
+  mean.interruptions = static_cast<int>(mean.interruptions / trials);
+  return mean;
+}
+
+}  // namespace stash::cloud

@@ -1,0 +1,50 @@
+// Spot / transient instance cost model.
+//
+// The paper's cost analysis prices on-demand instances; its related work
+// (§III, [48]) studies DDL on transient cloud instances that are cheaper
+// but "frequently revoked". This Monte-Carlo model answers the tenant's
+// follow-up question: given a job's on-demand wall time (from a Stash
+// estimate), what do spot interruptions do to its wall time and bill?
+//
+// Interruptions arrive as a Poisson process; the job checkpoints
+// periodically, loses the work since the last checkpoint on every
+// interruption, and pays a reprovision delay before resuming.
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/instance.h"
+#include "util/rng.h"
+
+namespace stash::cloud {
+
+struct SpotConfig {
+  // Spot price as a fraction of on-demand (historical AWS spot ~0.3).
+  double price_factor = 0.3;
+  // Mean interruptions per hour of runtime (Poisson rate).
+  double interruptions_per_hour = 0.2;
+  // Time to get a replacement instance and reload state.
+  double restart_overhead_s = 600.0;
+  // Checkpoint cadence and the stall each checkpoint write causes.
+  double checkpoint_interval_s = 900.0;
+  double checkpoint_write_s = 20.0;
+};
+
+struct SpotOutcome {
+  double wall_seconds = 0.0;  // end-to-end, including restarts/rework
+  double cost_usd = 0.0;      // billed at the spot price
+  int interruptions = 0;
+  double lost_work_seconds = 0.0;  // recomputed work + checkpoint writes
+};
+
+// One sampled run that needs `work_seconds` of useful compute on `count`
+// instances of `type`. Deterministic given the Rng state.
+SpotOutcome simulate_spot_run(double work_seconds, const InstanceType& type,
+                              int count, const SpotConfig& config, util::Rng& rng);
+
+// Convenience: mean outcome over `trials` independent runs.
+SpotOutcome mean_spot_outcome(double work_seconds, const InstanceType& type,
+                              int count, const SpotConfig& config,
+                              std::uint64_t seed, int trials = 25);
+
+}  // namespace stash::cloud

@@ -1,0 +1,154 @@
+#include "coll/baselines.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "coll/ring_allreduce.h"
+#include "sim/sync.h"
+
+namespace stash::coll {
+
+sim::Task<void> tree_allreduce(CollectiveContext& ctx, double bytes) {
+  auto gpus = ctx.cluster.ring_order();
+  const std::size_t k = gpus.size();
+  const double latency = ctx.round_latency();
+  if (k <= 1) {
+    co_await ctx.sim.delay(latency);
+    co_return;
+  }
+
+  // Reduce phase: at stride s, nodes at odd multiples of s send their
+  // partial sums to the even neighbour; broadcast mirrors it downward.
+  auto edge_transfer = [&](std::size_t from, std::size_t to) {
+    return ctx.net.transfer(bytes, ctx.cluster.path(gpus[from], gpus[to]));
+  };
+
+  // Upward: edges within a level run concurrently; levels are sequential.
+  for (std::size_t stride = 1; stride < k; stride *= 2) {
+    std::vector<sim::Task<void>> level;
+    for (std::size_t i = 0; i + stride < k; i += 2 * stride)
+      level.push_back(edge_transfer(i + stride, i));
+    co_await ctx.sim.delay(latency);
+    co_await sim::join_all(ctx.sim, std::move(level));
+  }
+  // Downward broadcast: same levels reversed, direction flipped.
+  std::size_t top = 1;
+  while (top * 2 < k) top *= 2;
+  for (std::size_t stride = top; stride >= 1; stride /= 2) {
+    std::vector<sim::Task<void>> level;
+    for (std::size_t i = 0; i + stride < k; i += 2 * stride)
+      level.push_back(edge_transfer(i, i + stride));
+    co_await ctx.sim.delay(latency);
+    co_await sim::join_all(ctx.sim, std::move(level));
+    if (stride == 1) break;
+  }
+}
+
+PsServer PsServer::create(hw::FlowNetwork& net, double bw) {
+  return PsServer{net.add_link("ps.ingest", bw), net.add_link("ps.egress", bw)};
+}
+
+namespace {
+sim::Task<void> ps_exchange_impl(CollectiveContext& ctx, PsServer server,
+                                 double bytes);
+}  // namespace
+
+sim::Task<void> parameter_server_exchange(CollectiveContext& ctx, PsServer server,
+                                          double bytes) {
+  // Validate eagerly: a lazy coroutine would defer the throw to first await.
+  if (server.ingest == nullptr || server.egress == nullptr)
+    throw std::invalid_argument("parameter_server_exchange: PsServer not created");
+  return ps_exchange_impl(ctx, server, bytes);
+}
+
+namespace {
+sim::Task<void> ps_exchange_impl(CollectiveContext& ctx, PsServer server,
+                                 double bytes) {
+  auto gpus = ctx.cluster.ring_order();
+  const double latency = ctx.round_latency();
+  if (gpus.size() <= 1) {
+    co_await ctx.sim.delay(latency);
+    co_return;
+  }
+
+  // The server lives in machine 0's host memory. A worker on machine 0
+  // pushes over its PCIe lane + bridge; remote workers additionally cross
+  // both NICs and the fabric. Every push funnels into the server's
+  // reduction bandwidth and every pull out of its serving bandwidth.
+  auto push_path = [&](hw::GpuRef w) {
+    const hw::Machine& m = ctx.cluster.machine(w.machine);
+    if (w.machine == 0)
+      return std::vector<hw::Link*>{m.pcie_up(w.local), m.host_bridge(),
+                                    server.ingest};
+    const hw::Machine& host = ctx.cluster.machine(0);
+    return std::vector<hw::Link*>{m.pcie_up(w.local), m.host_bridge(), m.nic_tx(),
+                                  ctx.cluster.fabric(), host.nic_rx(),
+                                  host.host_bridge(), server.ingest};
+  };
+  auto pull_path = [&](hw::GpuRef w) {
+    const hw::Machine& m = ctx.cluster.machine(w.machine);
+    if (w.machine == 0)
+      return std::vector<hw::Link*>{server.egress, m.host_bridge(),
+                                    m.pcie_down(w.local)};
+    const hw::Machine& host = ctx.cluster.machine(0);
+    return std::vector<hw::Link*>{server.egress, host.host_bridge(), host.nic_tx(),
+                                  ctx.cluster.fabric(), m.nic_rx(), m.host_bridge(),
+                                  m.pcie_down(w.local)};
+  };
+
+  co_await ctx.sim.delay(latency);
+  std::vector<sim::Task<void>> pushes;
+  for (auto w : gpus) pushes.push_back(ctx.net.transfer(bytes, push_path(w)));
+  co_await sim::join_all(ctx.sim, std::move(pushes));
+
+  co_await ctx.sim.delay(latency);
+  std::vector<sim::Task<void>> pulls;
+  for (auto w : gpus) pulls.push_back(ctx.net.transfer(bytes, pull_path(w)));
+  co_await sim::join_all(ctx.sim, std::move(pulls));
+}
+}  // namespace
+
+sim::Task<void> hierarchical_allreduce(CollectiveContext& ctx, double bytes) {
+  const auto machines = ctx.cluster.num_machines();
+  if (machines == 1) {
+    co_await ring_allreduce(ctx, bytes);
+    co_return;
+  }
+
+  // Phase 1: independent intra-machine rings (concurrent across machines).
+  std::vector<sim::Task<void>> intra;
+  for (std::size_t m = 0; m < machines; ++m) {
+    std::vector<hw::GpuRef> ring;
+    for (int g : ctx.cluster.machine(static_cast<int>(m)).ring_order())
+      ring.push_back(hw::GpuRef{static_cast<int>(m), g});
+    intra.push_back(ring_allreduce_over(ctx, std::move(ring), bytes,
+                                        ctx.config.intra_round_latency));
+  }
+  co_await sim::join_all(ctx.sim, std::move(intra));
+
+  // Phase 2: leaders exchange across the network.
+  std::vector<hw::GpuRef> leaders;
+  for (std::size_t m = 0; m < machines; ++m)
+    leaders.push_back(hw::GpuRef{static_cast<int>(m), 0});
+  co_await ring_allreduce_over(ctx, std::move(leaders), bytes,
+                               ctx.config.inter_round_latency);
+
+  // Phase 3: pipelined ring broadcast inside each machine — every ring
+  // edge forwards the payload concurrently (the fluid approximation of a
+  // chunked pipeline), so the cost is one payload over the slowest edge,
+  // not a star fan-out from the leader's PCIe lane.
+  std::vector<sim::Task<void>> bcast;
+  for (std::size_t m = 0; m < machines; ++m) {
+    const hw::Machine& mach = ctx.cluster.machine(static_cast<int>(m));
+    const auto& order = mach.ring_order();
+    for (std::size_t i = 0; i + 1 < order.size(); ++i)
+      bcast.push_back(ctx.net.transfer(
+          bytes, ctx.cluster.path(hw::GpuRef{static_cast<int>(m), order[i]},
+                                  hw::GpuRef{static_cast<int>(m), order[i + 1]})));
+  }
+  co_await ctx.sim.delay(ctx.config.intra_round_latency);
+  co_await sim::join_all(ctx.sim, std::move(bcast));
+}
+
+}  // namespace stash::coll

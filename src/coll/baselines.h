@@ -1,0 +1,41 @@
+// Alternative gradient-exchange strategies.
+//
+// The paper restricts its experiments to ring all-reduce, noting that
+// parameter-server exchange "is strictly less performant" (§IV) — these
+// implementations let the benches demonstrate that claim on the simulated
+// fabric, plus a hierarchical collective as an extension ablation.
+#pragma once
+
+#include "coll/collective.h"
+#include "sim/task.h"
+
+namespace stash::coll {
+
+// Binary-tree all-reduce: reduce up a tree then broadcast down,
+// 2*ceil(log2 k) rounds each moving the full payload per edge.
+sim::Task<void> tree_allreduce(CollectiveContext& ctx, double bytes);
+
+// Centralized parameter server hosted on machine 0's CPU. The server's
+// CPU-side gradient reduction and parameter serving are memory-bandwidth
+// bound; PsServer models that as ingest/egress links every push/pull
+// crosses. Create one per cluster and reuse it across iterations.
+struct PsServer {
+  hw::Link* ingest = nullptr;  // aggregate reduction throughput
+  hw::Link* egress = nullptr;  // aggregate serving throughput
+  // ~11 GB/s: single-socket streaming reduce bandwidth.
+  static PsServer create(hw::FlowNetwork& net, double bw = 11e9);
+};
+
+// Every worker pushes its full gradient, then pulls the updated
+// parameters. All pushes (and all pulls) are concurrent — the server's
+// links and host bridge are the hot spot.
+sim::Task<void> parameter_server_exchange(CollectiveContext& ctx, PsServer server,
+                                          double bytes);
+
+// Hierarchical all-reduce: ring all-reduce inside each machine, ring
+// all-reduce across machine leaders, then an intra-machine broadcast. For
+// multi-machine clusters this sends only one payload per machine across
+// the slow NIC instead of k/M.
+sim::Task<void> hierarchical_allreduce(CollectiveContext& ctx, double bytes);
+
+}  // namespace stash::coll

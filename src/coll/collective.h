@@ -1,0 +1,49 @@
+// Collective communication over the simulated fabric.
+//
+// All gradient exchange in the paper's setup is synchronous data-parallel
+// collective all-reduce (PyTorch DDP + NCCL). The simulated collectives
+// move real flows over the Cluster's link paths, so contention with other
+// traffic (H2D copies, other collectives) emerges from the FlowNetwork
+// rather than being assumed.
+#pragma once
+
+#include "hw/flow_network.h"
+#include "hw/topology.h"
+#include "sim/simulator.h"
+
+namespace stash::coll {
+
+struct CollectiveConfig {
+  // Wire-level cost per ring round (protocol hop latency).
+  double intra_round_latency = 2e-6;   // all hops inside one machine
+  double inter_round_latency = 20e-6;  // ring crosses a network link
+
+  // Per-collective launch overhead paid synchronously on the GPU's compute
+  // stream (bucket packing, kernel launch, framework bookkeeping). This is
+  // the paper's §VI per-layer "tau": with per-tensor flushes a model with L
+  // layers pays tau*L per iteration regardless of transfer overlap, which
+  // is why deep models stall more on fast interconnects (Fig 16a).
+  double launch_blocking_latency = 1e-4;
+
+  // Fraction of each collective's transfer that overlaps with backward
+  // compute. Overlap is imperfect in practice — NCCL kernels occupy SMs
+  // and PCIe copies steal memory bandwidth from compute — so the remaining
+  // (1 - overlap_fraction) is charged synchronously on the compute stream.
+  // 1.0 models ideal DDP overlap; 0.0 fully serial exchange.
+  double overlap_fraction = 0.5;
+};
+
+// Bundles the simulation handles every collective needs.
+struct CollectiveContext {
+  sim::Simulator& sim;
+  hw::FlowNetwork& net;
+  hw::Cluster& cluster;
+  CollectiveConfig config{};
+
+  double round_latency() const {
+    return cluster.multi_machine() ? config.inter_round_latency
+                                   : config.intra_round_latency;
+  }
+};
+
+}  // namespace stash::coll

@@ -1,0 +1,54 @@
+// FIFO communication stream.
+//
+// NCCL executes collectives launched on one communicator strictly in order.
+// CommStream reproduces that: operations enqueued while earlier ones are in
+// flight wait their turn. The DDP engine enqueues one all-reduce per
+// gradient bucket as the backward pass produces them; the stream serializes
+// the transfers while the backward compute continues — that's the
+// compute/communication overlap of Li et al. (PyTorch Distributed).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace stash::coll {
+
+class CommStream {
+ public:
+  explicit CommStream(sim::Simulator& sim) : sim_(sim) {}
+  CommStream(const CommStream&) = delete;
+  CommStream& operator=(const CommStream&) = delete;
+
+  using Op = std::function<sim::Task<void>()>;
+
+  // Returns a task that runs `op` after every previously enqueued operation
+  // has completed. Ordering is fixed at enqueue time; the caller must spawn
+  // or await the returned task for the stream to make progress.
+  sim::Task<void> enqueue(Op op) {
+    auto prev = tail_;
+    auto done = std::make_shared<sim::Event>(sim_);
+    tail_ = done;
+    ++enqueued_;
+    return run_in_order(std::move(prev), std::move(done), std::move(op));
+  }
+
+  std::size_t enqueued() const { return enqueued_; }
+
+ private:
+  sim::Task<void> run_in_order(std::shared_ptr<sim::Event> prev,
+                               std::shared_ptr<sim::Event> done, Op op) {
+    if (prev) co_await prev->wait();
+    co_await op();
+    done->trigger();
+  }
+
+  sim::Simulator& sim_;
+  std::shared_ptr<sim::Event> tail_;
+  std::size_t enqueued_ = 0;
+};
+
+}  // namespace stash::coll

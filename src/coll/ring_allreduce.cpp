@@ -1,0 +1,53 @@
+#include "coll/ring_allreduce.h"
+
+#include <stdexcept>
+
+#include "sim/sync.h"
+
+namespace stash::coll {
+
+sim::Task<void> ring_allreduce_over(CollectiveContext& ctx,
+                                    std::vector<hw::GpuRef> ring, double bytes,
+                                    double round_latency) {
+  if (bytes < 0.0) throw std::invalid_argument("ring_allreduce: negative bytes");
+  const std::size_t k = ring.size();
+  if (k == 0) throw std::invalid_argument("ring_allreduce: empty ring");
+  if (k == 1) {
+    co_await ctx.sim.delay(round_latency);
+    co_return;
+  }
+
+  // Reduce-scatter then all-gather: 2(k-1) rounds, each moving one
+  // bytes/k chunk along every ring edge concurrently. Rounds are
+  // barrier-synchronized (the standard round-synchronous approximation);
+  // the slowest edge paces every round.
+  const double chunk = bytes / static_cast<double>(k);
+  const int rounds = 2 * (static_cast<int>(k) - 1);
+  for (int r = 0; r < rounds; ++r) {
+    co_await ctx.sim.delay(round_latency);
+    std::vector<sim::Task<void>> flows;
+    flows.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      auto path = ctx.cluster.path(ring[i], ring[(i + 1) % k]);
+      flows.push_back(ctx.net.transfer(chunk, std::move(path)));
+    }
+    co_await sim::join_all(ctx.sim, std::move(flows));
+  }
+}
+
+sim::Task<void> ring_allreduce(CollectiveContext& ctx, double bytes) {
+  return ring_allreduce_over(ctx, ctx.cluster.ring_order(), bytes,
+                             ctx.round_latency());
+}
+
+double ring_allreduce_analytic(double bytes, int k, double bottleneck_bw,
+                               double round_latency) {
+  if (k < 1) throw std::invalid_argument("ring_allreduce_analytic: k < 1");
+  if (k == 1) return round_latency;
+  if (bottleneck_bw <= 0.0)
+    throw std::invalid_argument("ring_allreduce_analytic: bw <= 0");
+  double rounds = 2.0 * (k - 1);
+  return rounds * (round_latency + bytes / (static_cast<double>(k) * bottleneck_bw));
+}
+
+}  // namespace stash::coll

@@ -1,0 +1,28 @@
+// Ring all-reduce (reduce-scatter + all-gather), the collective used by
+// NCCL/PyTorch DDP and therefore by every experiment in the paper.
+#pragma once
+
+#include <vector>
+
+#include "coll/collective.h"
+#include "sim/task.h"
+
+namespace stash::coll {
+
+// All-reduces `bytes` of gradients across every GPU in the cluster, using
+// the cluster's NVLink-optimized ring order. Completes when the all-gather
+// phase drains. k=1 degenerates to a launch latency.
+sim::Task<void> ring_allreduce(CollectiveContext& ctx, double bytes);
+
+// Ring all-reduce over an explicit participant ring (used by the
+// hierarchical collective and by tests).
+sim::Task<void> ring_allreduce_over(CollectiveContext& ctx,
+                                    std::vector<hw::GpuRef> ring, double bytes,
+                                    double round_latency);
+
+// Closed-form cost used by the §VI analytic model and by tests:
+//   2(k-1) * (round_latency + bytes / (k * bottleneck_bw)).
+double ring_allreduce_analytic(double bytes, int k, double bottleneck_bw,
+                               double round_latency);
+
+}  // namespace stash::coll

@@ -1,0 +1,246 @@
+#include "ddl/pipeline.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "coll/ring_allreduce.h"
+#include "sim/mailbox.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "util/stats.h"
+
+namespace stash::ddl {
+
+double PipelinePlan::imbalance() const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (const auto& s : stages) {
+    lo = std::min(lo, s.fwd_flops_per_sample);
+    hi = std::max(hi, s.fwd_flops_per_sample);
+  }
+  return lo > 0.0 ? hi / lo : std::numeric_limits<double>::infinity();
+}
+
+PipelinePlan partition_model(const dnn::Model& model, int num_stages) {
+  if (num_stages < 1) throw std::invalid_argument("partition_model: num_stages < 1");
+  const auto& layers = model.layers();
+  if (layers.size() < static_cast<std::size_t>(num_stages))
+    throw std::invalid_argument("partition_model: fewer layers than stages");
+
+  const double target = model.fwd_flops_per_sample() / num_stages;
+  PipelinePlan plan;
+  PipelineStage current;
+  current.first_layer = 0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    acc += layers[i].fwd_flops_per_sample;
+    current.params += layers[i].params;
+    std::size_t remaining_layers = layers.size() - i - 1;
+    std::size_t remaining_stages =
+        static_cast<std::size_t>(num_stages) - plan.stages.size() - 1;
+    bool must_close = remaining_layers == remaining_stages;
+    bool want_close = acc >= target && remaining_stages > 0;
+    if ((must_close || want_close) && remaining_stages > 0) {
+      current.last_layer = i;
+      current.fwd_flops_per_sample = acc;
+      current.bwd_flops_per_sample = 2.0 * acc;
+      current.boundary_activation_bytes = layers[i].boundary_bytes();
+      plan.stages.push_back(current);
+      current = PipelineStage{};
+      current.first_layer = i + 1;
+      acc = 0.0;
+    }
+  }
+  current.last_layer = layers.size() - 1;
+  current.fwd_flops_per_sample = acc;
+  current.bwd_flops_per_sample = 2.0 * acc;
+  current.boundary_activation_bytes = 0.0;  // nothing beyond the last stage
+  plan.stages.push_back(current);
+  return plan;
+}
+
+double gpipe_bubble_fraction(int stages, int micro_batches) {
+  if (stages < 1 || micro_batches < 1)
+    throw std::invalid_argument("gpipe_bubble_fraction: invalid arguments");
+  return static_cast<double>(stages - 1) /
+         static_cast<double>(micro_batches + stages - 1);
+}
+
+namespace {
+
+struct PipeState {
+  sim::Simulator& sim;
+  hw::FlowNetwork& net;
+  hw::Cluster& cluster;
+  const PipelineConfig& config;
+  const PipelinePlan& plan;
+  std::vector<hw::GpuRef> gpus;  // replica r, stage s -> gpus[r*S + s]
+  double micro_samples = 0.0;
+  double flops_to_seconds = 0.0;  // 1 / effective_flops
+  coll::CollectiveContext coll_ctx;
+
+  // Indexed like `gpus`: fwd_boxes[i] holds activations arriving at that
+  // worker (from its previous stage); bwd_boxes[i] activation-gradients
+  // (from its next stage).
+  std::vector<std::unique_ptr<sim::Mailbox<int>>> fwd_boxes;
+  std::vector<std::unique_ptr<sim::Mailbox<int>>> bwd_boxes;
+  sim::Barrier iteration_barrier;
+  util::SampleSet iter_times;
+
+  PipeState(sim::Simulator& s, hw::FlowNetwork& n, hw::Cluster& c,
+            const PipelineConfig& cfg, const PipelinePlan& p,
+            std::vector<hw::GpuRef> g)
+      : sim(s),
+        net(n),
+        cluster(c),
+        config(cfg),
+        plan(p),
+        gpus(std::move(g)),
+        coll_ctx{s, n, c, cfg.collective},
+        iteration_barrier(s, p.num_stages() * static_cast<std::size_t>(
+                                                  cfg.replicas)) {}
+
+  std::size_t worker_index(int replica, std::size_t stage) const {
+    return static_cast<std::size_t>(replica) * plan.num_stages() + stage;
+  }
+
+  // The data-parallel peer group of stage s: one GPU per replica.
+  std::vector<hw::GpuRef> stage_peers(std::size_t stage) const {
+    std::vector<hw::GpuRef> peers;
+    for (int r = 0; r < config.replicas; ++r)
+      peers.push_back(gpus[worker_index(r, stage)]);
+    return peers;
+  }
+
+  double peer_round_latency(const std::vector<hw::GpuRef>& peers) const {
+    for (std::size_t i = 1; i < peers.size(); ++i)
+      if (peers[i].machine != peers[0].machine)
+        return config.collective.inter_round_latency;
+    return config.collective.intra_round_latency;
+  }
+};
+
+// Ships one boundary tensor to a neighbouring stage and deposits a token.
+sim::Task<void> ship(PipeState& st, double bytes, hw::GpuRef from, hw::GpuRef to,
+                     sim::Mailbox<int>& box) {
+  co_await st.sim.delay(st.config.stage_handoff_latency);
+  co_await st.net.transfer(bytes, st.cluster.path(from, to));
+  co_await box.put(1);
+}
+
+sim::Task<void> stage_worker(PipeState& st, int replica, std::size_t s) {
+  const PipelineStage& stage = st.plan.stages[s];
+  const std::size_t S = st.plan.num_stages();
+  const std::size_t self = st.worker_index(replica, s);
+  const double fwd_t =
+      stage.fwd_flops_per_sample * st.micro_samples * st.flops_to_seconds;
+  const double bwd_t =
+      stage.bwd_flops_per_sample * st.micro_samples * st.flops_to_seconds;
+  const double opt_t = st.config.optimizer_overhead *
+                       (fwd_t + bwd_t) * st.config.micro_batches;
+  const double act_bytes = stage.boundary_activation_bytes * st.micro_samples;
+  const double in_bytes =
+      s > 0 ? st.plan.stages[s - 1].boundary_activation_bytes * st.micro_samples
+            : 0.0;
+
+  for (int iter = 0; iter < st.config.iterations; ++iter) {
+    const double iter_start = st.sim.now();
+    // Forward flush: all micro-batches stream through.
+    for (int m = 0; m < st.config.micro_batches; ++m) {
+      if (s > 0) co_await st.fwd_boxes[self]->get();
+      co_await st.sim.delay(fwd_t);
+      if (s + 1 < S)
+        st.sim.spawn(ship(st, act_bytes, st.gpus[self], st.gpus[self + 1],
+                          *st.fwd_boxes[self + 1]));
+    }
+    // Backward flush: gradients flow back in reverse stage order.
+    for (int m = 0; m < st.config.micro_batches; ++m) {
+      if (s + 1 < S) co_await st.bwd_boxes[self]->get();
+      co_await st.sim.delay(bwd_t);
+      if (s > 0)
+        st.sim.spawn(ship(st, in_bytes, st.gpus[self], st.gpus[self - 1],
+                          *st.bwd_boxes[self - 1]));
+    }
+    // Hybrid parallelism: stage gradients are all-reduced across the
+    // replicas before the optimizer step. Replica 0 drives the collective
+    // (its flows cross every replica's links); the others synchronize at
+    // the iteration barrier.
+    if (st.config.replicas > 1 && replica == 0) {
+      auto peers = st.stage_peers(s);
+      co_await coll::ring_allreduce_over(st.coll_ctx, peers, stage.params * 4.0,
+                                         st.peer_round_latency(peers));
+    }
+    co_await st.sim.delay(opt_t);
+    co_await st.iteration_barrier.arrive_and_wait();
+    if (replica == 0 && s == 0 && iter >= st.config.warmup_iterations)
+      st.iter_times.add(st.sim.now() - iter_start);
+  }
+}
+
+}  // namespace
+
+namespace {
+int stages_for(const hw::Cluster& cluster, const PipelineConfig& config) {
+  config.validate();
+  int total = cluster.total_gpus();
+  if (total % config.replicas != 0)
+    throw std::invalid_argument(
+        "PipelineTrainer: GPU count not divisible by replicas");
+  return total / config.replicas;
+}
+}  // namespace
+
+PipelineTrainer::PipelineTrainer(sim::Simulator& sim, hw::FlowNetwork& net,
+                                 hw::Cluster& cluster, const dnn::Model& model,
+                                 PipelineConfig config)
+    : sim_(sim),
+      net_(net),
+      cluster_(cluster),
+      model_(model),
+      config_(config),
+      plan_(partition_model(model, stages_for(cluster, config))) {}
+
+PipelineResult PipelineTrainer::run() {
+  config_.validate();
+  std::vector<hw::GpuRef> gpus = cluster_.ring_order();
+
+  PipeState st(sim_, net_, cluster_, config_, plan_, gpus);
+  st.micro_samples = static_cast<double>(config_.mini_batch) / config_.micro_batches;
+  st.flops_to_seconds = 1.0 / cluster_.machine(0).gpu().effective_flops;
+  const std::size_t S = plan_.num_stages();
+  const std::size_t workers = S * static_cast<std::size_t>(config_.replicas);
+  for (std::size_t i = 0; i < workers; ++i) {
+    st.fwd_boxes.push_back(std::make_unique<sim::Mailbox<int>>(
+        sim_, static_cast<std::size_t>(config_.micro_batches)));
+    st.bwd_boxes.push_back(std::make_unique<sim::Mailbox<int>>(
+        sim_, static_cast<std::size_t>(config_.micro_batches)));
+  }
+  for (int r = 0; r < config_.replicas; ++r)
+    for (std::size_t s = 0; s < S; ++s) sim_.spawn(stage_worker(st, r, s));
+  sim_.run();
+  if (!sim_.all_processes_done())
+    throw std::logic_error("PipelineTrainer: simulation deadlocked");
+
+  PipelineResult result;
+  result.per_iteration = st.iter_times.mean();
+  result.measured_iterations = static_cast<int>(st.iter_times.count());
+  result.stages = S;
+  result.replicas = config_.replicas;
+  // No-bubble bound: the bottleneck stage's compute across the mini-batch.
+  double bottleneck = 0.0;
+  for (const auto& s : plan_.stages)
+    bottleneck = std::max(
+        bottleneck, (s.fwd_flops_per_sample + s.bwd_flops_per_sample) *
+                        static_cast<double>(config_.mini_batch) *
+                        st.flops_to_seconds);
+  result.ideal_per_iteration = bottleneck * (1.0 + config_.optimizer_overhead);
+  result.bubble_fraction =
+      result.per_iteration > 0.0
+          ? std::max(0.0, 1.0 - result.ideal_per_iteration / result.per_iteration)
+          : 0.0;
+  return result;
+}
+
+}  // namespace stash::ddl

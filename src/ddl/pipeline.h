@@ -1,0 +1,113 @@
+// Pipeline-parallel training (GPipe-style), the paper's declared future
+// work: "Large DNN models often do not fit on a single GPU's memory,
+// thereby forcing users to employ techniques such as model and hybrid
+// parallelism... Our profiling tool currently supports only data
+// parallelism" (§IV-A).
+//
+// The model's layers are partitioned into contiguous stages balanced by
+// forward FLOPs; each stage is pinned to one GPU of the cluster (in ring
+// order). A mini-batch is split into micro-batches that flow through the
+// stages: all forwards, then all backwards (GPipe flush schedule). Stage
+// boundaries exchange activations forward and activation-gradients
+// backward as real flows over the topology — which is why pipelining
+// tolerates slow NICs: only one cut tensor crosses the wire per
+// micro-batch, not the full gradient set.
+#pragma once
+
+#include <vector>
+
+#include "cloud/instance.h"
+#include "coll/collective.h"
+#include "dnn/model.h"
+#include "hw/flow_network.h"
+#include "hw/topology.h"
+#include "sim/simulator.h"
+
+namespace stash::ddl {
+
+struct PipelineStage {
+  std::size_t first_layer = 0;  // inclusive
+  std::size_t last_layer = 0;   // inclusive
+  double fwd_flops_per_sample = 0.0;
+  double bwd_flops_per_sample = 0.0;
+  double params = 0.0;
+  // Activation tensor produced at this stage's output boundary (per
+  // sample); the inter-stage transfer volume. Zero for the last stage.
+  double boundary_activation_bytes = 0.0;
+};
+
+struct PipelinePlan {
+  std::vector<PipelineStage> stages;
+
+  std::size_t num_stages() const { return stages.size(); }
+  // Largest / smallest stage forward-FLOPs ratio (1.0 = perfectly even).
+  double imbalance() const;
+};
+
+// Greedy contiguous partition of the model's layers into `num_stages`
+// stages balanced by forward FLOPs. Throws if the model has fewer layers
+// than stages or num_stages < 1.
+PipelinePlan partition_model(const dnn::Model& model, int num_stages);
+
+// GPipe bubble fraction for S stages and M micro-batches: the share of an
+// iteration the average stage spends idle, (S-1)/(M+S-1), for balanced
+// stages and negligible transfers.
+double gpipe_bubble_fraction(int stages, int micro_batches);
+
+struct PipelineConfig {
+  int micro_batches = 8;
+  int mini_batch = 32;  // samples per iteration through one pipeline replica
+  int iterations = 6;
+  int warmup_iterations = 2;
+  double optimizer_overhead = 0.02;
+  // Per micro-batch, per boundary: kernel-launch/sync overhead.
+  double stage_handoff_latency = 2e-5;
+
+  // Hybrid parallelism: the cluster's GPUs are split into `replicas`
+  // identical pipelines (data parallel across replicas, model parallel
+  // within one). After the backward flush, stage s of every replica
+  // ring-all-reduces its stage gradients with its peers. 1 = pure
+  // pipeline.
+  int replicas = 1;
+  coll::CollectiveConfig collective{};
+
+  void validate() const {
+    if (micro_batches < 1) throw std::invalid_argument("micro_batches must be >= 1");
+    if (mini_batch < micro_batches)
+      throw std::invalid_argument("mini_batch must be >= micro_batches");
+    if (iterations <= warmup_iterations)
+      throw std::invalid_argument("iterations must exceed warmup_iterations");
+    if (replicas < 1) throw std::invalid_argument("replicas must be >= 1");
+  }
+};
+
+struct PipelineResult {
+  double per_iteration = 0.0;
+  int measured_iterations = 0;
+  double ideal_per_iteration = 0.0;   // no-bubble, no-transfer bound
+  double bubble_fraction = 0.0;       // 1 - ideal/measured
+  std::size_t stages = 0;
+  int replicas = 1;
+};
+
+class PipelineTrainer {
+ public:
+  // GPUs are taken from the cluster's ring order: replica r owns the
+  // contiguous block [r*S, (r+1)*S) where S = total_gpus / replicas.
+  PipelineTrainer(sim::Simulator& sim, hw::FlowNetwork& net, hw::Cluster& cluster,
+                  const dnn::Model& model, PipelineConfig config);
+
+  PipelineResult run();
+
+  const PipelinePlan& plan() const { return plan_; }
+
+ private:
+  sim::Simulator& sim_;
+  hw::FlowNetwork& net_;
+  hw::Cluster& cluster_;
+  const dnn::Model& model_;
+  PipelineConfig config_;
+  PipelinePlan plan_;
+};
+
+}  // namespace stash::ddl

@@ -1,0 +1,151 @@
+// Configuration and results for one simulated training run.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "coll/collective.h"
+#include "hw/topology.h"
+#include "util/stats.h"
+#include "util/trace.h"
+
+namespace stash::ddl {
+
+// Communication-reduction strategies (paper §III motivation: "several
+// distributed DNN algorithms have been proposed to reduce communication
+// overhead... however, there is a lack of a profiling tool to measure the
+// real world efficacy"). Stash profiles these directly.
+enum class CommReduction {
+  kNone,      // full fp32 gradients every iteration (the paper's setup)
+  kFp16,      // half-precision gradient exchange: 2 bytes/parameter
+  kTopK,      // magnitude sparsification: send top-k values + indices
+  kLocalSgd,  // synchronize full gradients every `local_steps` iterations
+};
+
+struct CommReductionConfig {
+  CommReduction kind = CommReduction::kNone;
+  double topk_ratio = 0.01;  // fraction of gradient entries sent under kTopK
+  int local_steps = 4;       // synchronization period under kLocalSgd
+
+  // Bytes actually exchanged per byte of fp32 gradient.
+  double bytes_factor() const {
+    switch (kind) {
+      case CommReduction::kNone:
+      case CommReduction::kLocalSgd:
+        return 1.0;
+      case CommReduction::kFp16:
+        return 0.5;
+      case CommReduction::kTopK:
+        // value (4 B) + index (4 B) per surviving entry.
+        return std::min(1.0, topk_ratio * 2.0);
+    }
+    return 1.0;
+  }
+
+  // Whether iteration `iter` (0-based) performs gradient synchronization.
+  bool syncs_on(int iter) const {
+    if (kind != CommReduction::kLocalSgd) return true;
+    return (iter + 1) % std::max(1, local_steps) == 0;
+  }
+};
+
+// Compute-speed heterogeneity: one straggling worker slows every barrier
+// (failure-injection extension; the paper's clusters are homogeneous).
+struct StragglerConfig {
+  int worker_index = -1;  // -1 disables
+  double slowdown = 1.0;  // >1: this worker's compute takes longer
+
+  bool enabled() const { return worker_index >= 0 && slowdown > 1.0; }
+  double scale_for(std::size_t worker) const {
+    return enabled() && static_cast<int>(worker) == worker_index ? slowdown : 1.0;
+  }
+};
+
+struct TrainConfig {
+  int per_gpu_batch = 32;
+  // Simulated iteration window. Training is strictly periodic once the
+  // pipeline fills, so a short window scaled to the epoch is exact — the
+  // same single-epoch-representativeness the paper's methodology relies on.
+  int iterations = 8;
+  int warmup_iterations = 2;  // excluded from per-iteration statistics
+
+  // DDP gradient bucketing: gradients are flushed to all-reduce when the
+  // accumulated bucket reaches this size. <= 0 selects per-tensor flushes
+  // (one all-reduce per layer, the granularity the paper's §VI analysis
+  // assumes). 25 MiB mirrors PyTorch DDP's default.
+  double bucket_bytes = 0.0;
+
+  // Synthetic runs pre-populate GPU memory (Stash steps 1/2/5): no input
+  // pipeline, no H2D copies. Real-data runs exercise SSD -> cache -> CPU
+  // prep -> H2D (steps 3/4).
+  bool synthetic_data = true;
+  // Step 3 semantics: every read misses the DRAM cache.
+  bool cold_cache = false;
+
+  int loader_workers_per_gpu = 3;
+  int prefetch_depth = 4;
+
+  // Restrict training to these GPUs (Stash step 1 uses exactly one GPU of
+  // a multi-GPU machine). Empty = every GPU in the cluster.
+  std::vector<hw::GpuRef> use_gpus;
+
+  coll::CollectiveConfig collective{};
+  CommReductionConfig comm_reduction{};
+  StragglerConfig straggler{};
+
+  // Fraction of compute time charged for the optimizer step.
+  double optimizer_overhead = 0.02;
+
+  // Throw if the model + batch does not fit in GPU memory.
+  bool enforce_memory = true;
+
+  // Optional timeline sink: the lead worker, its H2D stage, and every
+  // collective record spans here (chrome://tracing format via
+  // TraceRecorder::to_json). Not owned; must outlive the run.
+  util::TraceRecorder* trace = nullptr;
+
+  void validate() const {
+    if (per_gpu_batch < 1) throw std::invalid_argument("per_gpu_batch must be >= 1");
+    if (iterations <= warmup_iterations)
+      throw std::invalid_argument("iterations must exceed warmup_iterations");
+    if (warmup_iterations < 0) throw std::invalid_argument("negative warmup");
+    if (loader_workers_per_gpu < 1 || prefetch_depth < 1)
+      throw std::invalid_argument("loader workers and prefetch depth must be >= 1");
+    if (comm_reduction.kind == CommReduction::kTopK &&
+        (comm_reduction.topk_ratio <= 0.0 || comm_reduction.topk_ratio > 1.0))
+      throw std::invalid_argument("topk_ratio must be in (0, 1]");
+    if (comm_reduction.kind == CommReduction::kLocalSgd &&
+        comm_reduction.local_steps < 1)
+      throw std::invalid_argument("local_steps must be >= 1");
+    if (straggler.slowdown < 1.0)
+      throw std::invalid_argument("straggler slowdown must be >= 1");
+  }
+};
+
+struct TrainResult {
+  int measured_iterations = 0;
+  double window_time = 0.0;    // simulated seconds across measured iterations
+  double per_iteration = 0.0;  // mean measured iteration time
+
+  // Diagnostics from the lead worker, mean per measured iteration.
+  double data_wait = 0.0;   // blocked on the prefetch queue
+  double h2d_time = 0.0;    // minibatch upload
+  double compute_time = 0.0;
+  double comm_tail = 0.0;   // all-reduce time not hidden behind backward
+
+  int gpus_used = 0;
+
+  // Scales the measured window to a full epoch of `dataset_samples`.
+  double epoch_time(double dataset_samples, int per_gpu_batch) const {
+    if (gpus_used < 1 || per_gpu_batch < 1)
+      throw std::logic_error("epoch_time on empty result");
+    double global_batch = static_cast<double>(per_gpu_batch) * gpus_used;
+    double iters = dataset_samples / global_batch;
+    return per_iteration * iters;
+  }
+};
+
+}  // namespace stash::ddl

@@ -1,0 +1,368 @@
+#include "ddl/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "coll/comm_stream.h"
+#include "coll/ring_allreduce.h"
+#include "sim/mailbox.h"
+#include "sim/sync.h"
+#include "util/stats.h"
+
+namespace stash::ddl {
+
+ModelDoesNotFit::ModelDoesNotFit(const std::string& model, int batch, double need,
+                                 double have)
+    : std::runtime_error("model " + model + " with per-GPU batch " +
+                         std::to_string(batch) + " needs " + std::to_string(need) +
+                         " bytes but the GPU has " + std::to_string(have)),
+      needed_bytes(need),
+      available_bytes(have) {}
+
+namespace {
+
+// Everything the worker/loader coroutines share. Lives on Trainer::run()'s
+// stack and outlives sim.run(), so references into it are safe.
+struct RunState {
+  sim::Simulator& sim;
+  hw::FlowNetwork& net;
+  hw::Cluster& cluster;
+  const TrainConfig& config;
+
+  std::vector<hw::GpuRef> gpus;
+  double round_latency = 0.0;
+  // One-round analysis of the participant ring, used to price the
+  // synchronous (non-overlapped) share of each collective without
+  // double-simulating: per hop, its link path; per link, how many times a
+  // round traverses it. The slowest hop's rate is evaluated against
+  // *current* capacities at each flush so time-varying QoS is felt.
+  std::vector<std::vector<hw::Link*>> ring_hop_paths;
+  std::unordered_map<const hw::Link*, int> ring_traversals;
+
+  double ring_seconds_per_chunk_byte() const {
+    double slowest = std::numeric_limits<double>::infinity();
+    for (const auto& path : ring_hop_paths) {
+      double rate = std::numeric_limits<double>::infinity();
+      for (const hw::Link* l : path)
+        rate = std::min(rate, l->capacity() / ring_traversals.at(l));
+      slowest = std::min(slowest, rate);
+    }
+    return std::isfinite(slowest) && slowest > 0.0 ? 1.0 / slowest : 0.0;
+  }
+
+  // Analytic cost of one all-reduce of `bytes` over the participant ring.
+  double estimate_collective_seconds(double bytes) const {
+    auto k = static_cast<double>(gpus.size());
+    if (k < 2) return 0.0;
+    double rounds = 2.0 * (k - 1.0);
+    return rounds * (round_latency + (bytes / k) * ring_seconds_per_chunk_byte());
+  }
+
+  // Precomputed per-iteration quantities.
+  std::vector<dnn::Model::BackwardStep> steps;
+  std::vector<double> flush_bytes;  // per-step all-reduce flush (0 = none)
+  std::size_t num_buckets = 0;
+  double fwd_time = 0.0;
+  double bwd_time = 0.0;
+  double opt_time = 0.0;
+  double batch_over_flops = 0.0;  // batch / gpu_flops
+  double h2d_bytes = 0.0;
+  double batch_disk_bytes = 0.0;
+  double prep_seconds = 0.0;
+  double miss_fraction = 0.0;
+
+  coll::CollectiveContext coll_ctx;
+  coll::CommStream stream;
+  sim::Barrier start_barrier;
+  sim::Barrier end_barrier;
+  // Host-side prefetch queue (loaders -> H2D stage) and device-side double
+  // buffer (H2D stage -> worker). The H2D stage copies batches to the GPU
+  // ahead of consumption — pinned-memory async uploads, PyTorch-style — so
+  // upload latency hides behind compute while its flows still contend on
+  // the PCIe bridge.
+  std::vector<std::unique_ptr<sim::Mailbox<int>>> boxes;
+  std::vector<std::unique_ptr<sim::Mailbox<int>>> device_boxes;
+  std::vector<int> produced;
+
+  // Measurements (lead worker, post-warmup).
+  util::SampleSet iter_times;
+  double sum_data_wait = 0.0;
+  double sum_h2d = 0.0;
+  double sum_compute = 0.0;
+  double sum_comm_tail = 0.0;
+
+  RunState(sim::Simulator& s, hw::FlowNetwork& n, hw::Cluster& c,
+           const TrainConfig& cfg, std::vector<hw::GpuRef> gpu_list)
+      : sim(s),
+        net(n),
+        cluster(c),
+        config(cfg),
+        gpus(std::move(gpu_list)),
+        coll_ctx{s, n, c, cfg.collective},
+        stream(s),
+        start_barrier(s, gpus.size()),
+        end_barrier(s, gpus.size()) {}
+};
+
+// Records a span on the shared trace if one is attached. Track ids: pid is
+// the machine of the lead GPU, tid the local GPU index; the comm stream
+// uses tid 100.
+void trace_span(RunState& st, const char* name, const char* category,
+                double start_s, int tid) {
+  if (st.config.trace == nullptr) return;
+  st.config.trace->add_span(name, category, start_s, st.sim.now() - start_s,
+                            st.gpus.front().machine, tid);
+}
+
+sim::Task<void> run_one_allreduce(RunState& st, double bytes,
+                                  std::shared_ptr<sim::Latch> latch) {
+  const double start = st.sim.now();
+  co_await st.stream.enqueue([&st, bytes]() -> sim::Task<void> {
+    return coll::ring_allreduce_over(st.coll_ctx, st.gpus, bytes, st.round_latency);
+  });
+  trace_span(st, "allreduce", "comm", start, 100);
+  latch->count_down();
+}
+
+sim::Task<void> loader(RunState& st, std::size_t gpu_idx) {
+  hw::Machine& mach = st.cluster.machine(st.gpus[gpu_idx].machine);
+  while (st.produced[gpu_idx] < st.config.iterations) {
+    ++st.produced[gpu_idx];
+    double miss_bytes = st.batch_disk_bytes * st.miss_fraction;
+    if (miss_bytes > 0.0) co_await mach.storage().read(miss_bytes);
+    if (st.prep_seconds > 0.0) co_await mach.cpus().run(st.prep_seconds);
+    co_await st.boxes[gpu_idx]->put(1);
+  }
+}
+
+// Uploads prefetched batches into the GPU's double buffer.
+sim::Task<void> h2d_stage(RunState& st, std::size_t idx) {
+  hw::Machine& mach = st.cluster.machine(st.gpus[idx].machine);
+  const int local_gpu = st.gpus[idx].local;
+  for (int iter = 0; iter < st.config.iterations; ++iter) {
+    co_await st.boxes[idx]->get();
+    const double start = st.sim.now();
+    co_await st.net.transfer(st.h2d_bytes, mach.h2d_path(local_gpu));
+    if (idx == 0) {
+      if (iter >= st.config.warmup_iterations) st.sum_h2d += st.sim.now() - start;
+      trace_span(st, "h2d", "pipeline", start, 50);
+    }
+    co_await st.device_boxes[idx]->put(1);
+  }
+}
+
+sim::Task<void> worker(RunState& st, std::size_t idx) {
+  const bool lead = idx == 0;
+  const double compute_scale = st.config.straggler.scale_for(idx);
+
+  for (int iter = 0; iter < st.config.iterations; ++iter) {
+    const bool measured = lead && iter >= st.config.warmup_iterations;
+    const double iter_start = st.sim.now();
+
+    if (!st.config.synthetic_data) {
+      const double wait_start = st.sim.now();
+      co_await st.device_boxes[idx]->get();
+      if (measured) st.sum_data_wait += st.sim.now() - wait_start;
+      if (lead) trace_span(st, "data_wait", "pipeline", wait_start, 0);
+    }
+
+    co_await st.start_barrier.arrive_and_wait();
+
+    // Gradient synchronization happens this iteration unless local SGD is
+    // deferring it; gradients may be compressed before exchange.
+    const bool syncs = st.config.comm_reduction.syncs_on(iter);
+    const double bytes_factor = st.config.comm_reduction.bytes_factor();
+
+    if (lead) {
+      const double compute_start = st.sim.now();
+      co_await st.sim.delay(st.fwd_time * compute_scale);
+      trace_span(st, "forward", "compute", compute_start, 0);
+      const double backward_start = st.sim.now();
+
+      const double overlap = st.config.collective.overlap_fraction;
+      const bool exchanges = st.gpus.size() > 1 && syncs;
+      const bool has_async = exchanges && overlap > 0.0;
+      auto latch = std::make_shared<sim::Latch>(st.sim,
+                                                has_async ? st.num_buckets : 0);
+      for (std::size_t s = 0; s < st.steps.size(); ++s) {
+        co_await st.sim.delay(st.steps[s].flops_per_sample * st.batch_over_flops *
+                              compute_scale);
+        if (exchanges && st.flush_bytes[s] > 0.0) {
+          // Bucket flush. The launch overhead (the paper's per-layer tau)
+          // and the non-overlapped share of the transfer block the compute
+          // stream; the overlapped share proceeds as real flows on the
+          // comm stream, contending with everything else.
+          double wire_bytes = st.flush_bytes[s] * bytes_factor;
+          double sync_cost =
+              (1.0 - overlap) * st.estimate_collective_seconds(wire_bytes);
+          co_await st.sim.delay(st.config.collective.launch_blocking_latency +
+                                sync_cost);
+          if (has_async)
+            st.sim.spawn(run_one_allreduce(st, overlap * wire_bytes, latch));
+        }
+      }
+      const double backward_end = st.sim.now();
+      trace_span(st, "backward+flush", "compute", backward_start, 0);
+      co_await latch->wait();
+      const double tail = st.sim.now() - backward_end;
+      trace_span(st, "comm_tail", "comm", backward_end, 0);
+      const double opt_start = st.sim.now();
+      co_await st.sim.delay(st.opt_time);
+      trace_span(st, "optimizer", "compute", opt_start, 0);
+      if (measured) {
+        st.sum_comm_tail += tail;
+        st.sum_compute += (backward_end - compute_start) + st.opt_time;
+      }
+    } else {
+      // Followers run the same compute schedule (possibly slower when
+      // straggling); the end barrier paces everyone on the slowest party.
+      co_await st.sim.delay((st.fwd_time + st.bwd_time + st.opt_time) *
+                            compute_scale);
+    }
+
+    co_await st.end_barrier.arrive_and_wait();
+    if (measured) st.iter_times.add(st.sim.now() - iter_start);
+  }
+}
+
+}  // namespace
+
+Trainer::Trainer(sim::Simulator& sim, hw::FlowNetwork& net, hw::Cluster& cluster,
+                 const dnn::Model& model, const dnn::Dataset& dataset,
+                 TrainConfig config)
+    : sim_(sim),
+      net_(net),
+      cluster_(cluster),
+      model_(model),
+      dataset_(dataset),
+      config_(std::move(config)) {}
+
+TrainResult Trainer::run() {
+  config_.validate();
+
+  std::vector<hw::GpuRef> gpus =
+      config_.use_gpus.empty() ? cluster_.ring_order() : config_.use_gpus;
+  if (gpus.empty()) throw std::invalid_argument("Trainer: no GPUs to train on");
+  for (const auto& g : gpus) {
+    if (g.machine < 0 || g.machine >= static_cast<int>(cluster_.num_machines()) ||
+        g.local < 0 || g.local >= cluster_.machine(g.machine).num_gpus())
+      throw std::out_of_range("Trainer: GPU reference out of range");
+  }
+
+  const hw::GpuSpec& gpu = cluster_.machine(gpus.front().machine).gpu();
+  if (config_.enforce_memory) {
+    double need = model_.train_memory_bytes(config_.per_gpu_batch);
+    if (need > gpu.memory_bytes)
+      throw ModelDoesNotFit(model_.name(), config_.per_gpu_batch, need,
+                            gpu.memory_bytes);
+  }
+
+  RunState st(sim_, net_, cluster_, config_, std::move(gpus));
+
+  if (config_.trace != nullptr) {
+    int pid = st.gpus.front().machine;
+    config_.trace->name_track(pid, 0, "lead GPU worker");
+    config_.trace->name_track(pid, 50, "H2D stage (gpu 0)");
+    config_.trace->name_track(pid, 100, "comm stream");
+  }
+
+  // Does the participant set span machines? That decides the per-round
+  // collective launch latency.
+  std::set<int> machines_used;
+  for (const auto& g : st.gpus) machines_used.insert(g.machine);
+  st.round_latency = machines_used.size() > 1
+                         ? config_.collective.inter_round_latency
+                         : config_.collective.intra_round_latency;
+
+  // One-round ring analysis: every hop moves one chunk concurrently; a
+  // link's bandwidth divides across all its traversals in the round, and
+  // the slowest hop paces it.
+  if (st.gpus.size() > 1) {
+    for (std::size_t i = 0; i < st.gpus.size(); ++i) {
+      auto path = cluster_.path(st.gpus[i], st.gpus[(i + 1) % st.gpus.size()]);
+      for (const hw::Link* l : path) ++st.ring_traversals[l];
+      st.ring_hop_paths.push_back(std::move(path));
+    }
+  }
+
+  st.steps = model_.backward_steps();
+  st.flush_bytes.assign(st.steps.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < st.steps.size(); ++i) {
+    acc += st.steps[i].grad_bytes;
+    if (config_.bucket_bytes <= 0.0 || acc >= config_.bucket_bytes) {
+      st.flush_bytes[i] = acc;
+      acc = 0.0;
+    }
+  }
+  if (acc > 0.0 && !st.flush_bytes.empty()) st.flush_bytes.back() += acc;
+  for (double b : st.flush_bytes)
+    if (b > 0.0) ++st.num_buckets;
+
+  const double batch = static_cast<double>(config_.per_gpu_batch);
+  st.batch_over_flops = batch / gpu.effective_flops;
+  st.fwd_time = model_.fwd_flops_per_sample() * st.batch_over_flops;
+  st.bwd_time = model_.bwd_flops_per_sample() * st.batch_over_flops;
+  st.opt_time = config_.optimizer_overhead * (st.fwd_time + st.bwd_time);
+  st.h2d_bytes = model_.input_tensor_bytes() * batch;
+  st.batch_disk_bytes = dataset_.bytes_per_sample() * batch;
+  st.prep_seconds = dataset_.prep_cpu_seconds_per_sample * batch;
+
+  if (config_.cold_cache) {
+    st.miss_fraction = 1.0;
+  } else {
+    const hw::Machine& m0 = cluster_.machine(st.gpus.front().machine);
+    double cache_bytes = m0.config().dram_bytes * 0.85;
+    st.miss_fraction =
+        1.0 - std::min(1.0, cache_bytes / std::max(1.0, dataset_.total_bytes));
+  }
+
+  if (!config_.synthetic_data) {
+    st.produced.assign(st.gpus.size(), 0);
+    for (std::size_t i = 0; i < st.gpus.size(); ++i) {
+      st.boxes.push_back(std::make_unique<sim::Mailbox<int>>(
+          sim_, static_cast<std::size_t>(config_.prefetch_depth)));
+      st.device_boxes.push_back(std::make_unique<sim::Mailbox<int>>(sim_, 2));
+      for (int w = 0; w < config_.loader_workers_per_gpu; ++w)
+        sim_.spawn(loader(st, i));
+      sim_.spawn(h2d_stage(st, i));
+    }
+  }
+
+  for (std::size_t i = 0; i < st.gpus.size(); ++i) sim_.spawn(worker(st, i));
+  sim_.run();
+  if (!sim_.all_processes_done())
+    throw std::logic_error("Trainer: simulation deadlocked");
+
+  TrainResult result;
+  result.measured_iterations = static_cast<int>(st.iter_times.count());
+  result.window_time = 0.0;
+  for (double t : st.iter_times.samples()) result.window_time += t;
+  result.per_iteration = st.iter_times.mean();
+  double n = std::max<std::size_t>(1, st.iter_times.count());
+  result.data_wait = st.sum_data_wait / n;
+  result.h2d_time = st.sum_h2d / n;
+  result.compute_time = st.sum_compute / n;
+  result.comm_tail = st.sum_comm_tail / n;
+  result.gpus_used = static_cast<int>(st.gpus.size());
+  return result;
+}
+
+int Trainer::max_batch_that_fits(const dnn::Model& model, const hw::GpuSpec& gpu) {
+  int best = 0;
+  for (int b = 1; b <= 1024; b *= 2) {
+    if (model.train_memory_bytes(b) <= gpu.memory_bytes)
+      best = b;
+    else
+      break;
+  }
+  return best;
+}
+
+}  // namespace stash::ddl

@@ -1,0 +1,66 @@
+// Synchronous data-parallel training simulation (PyTorch DDP semantics).
+//
+// One coroutine per participating GPU. Per iteration every worker:
+//   1. waits for a prefetched minibatch (real-data runs) and uploads it
+//      over its PCIe path — contending with collective traffic;
+//   2. synchronizes on a start barrier (synchronous data parallelism);
+//   3. the lead worker then executes forward compute, a layer-by-layer
+//      backward pass that flushes gradient buckets to ring all-reduce on a
+//      FIFO CommStream as they fill (compute/communication overlap), waits
+//      for the last all-reduce, and applies the optimizer;
+//   4. everyone meets at an end barrier.
+// Workers are identical and deterministic, so the lead's compute timeline
+// stands for all of them while the collectives themselves move flows over
+// every worker's links (that is where contention lives).
+//
+// The input pipeline runs `loader_workers_per_gpu` producer coroutines per
+// GPU: each batch costs an SSD read for the cache-missing fraction of its
+// samples, one vCPU for the decode/augment time, and a slot in the
+// bounded prefetch mailbox.
+#pragma once
+
+#include <memory>
+
+#include "cloud/instance.h"
+#include "coll/collective.h"
+#include "ddl/train_config.h"
+#include "dnn/dataset.h"
+#include "dnn/model.h"
+#include "hw/flow_network.h"
+#include "hw/topology.h"
+#include "sim/simulator.h"
+
+namespace stash::ddl {
+
+// Thrown when the model + batch does not fit in a GPU's memory.
+class ModelDoesNotFit : public std::runtime_error {
+ public:
+  ModelDoesNotFit(const std::string& model, int batch, double need, double have);
+  double needed_bytes;
+  double available_bytes;
+};
+
+class Trainer {
+ public:
+  Trainer(sim::Simulator& sim, hw::FlowNetwork& net, hw::Cluster& cluster,
+          const dnn::Model& model, const dnn::Dataset& dataset, TrainConfig config);
+
+  // Runs the configured window to completion and returns the measurements.
+  // The Simulator must be freshly constructed (time starts at ~0).
+  TrainResult run();
+
+  // Largest per-GPU batch (power of two) that fits the given GPU's memory;
+  // 0 if even batch 1 does not fit.
+  static int max_batch_that_fits(const dnn::Model& model, const hw::GpuSpec& gpu);
+
+ private:
+  struct State;
+  sim::Simulator& sim_;
+  hw::FlowNetwork& net_;
+  hw::Cluster& cluster_;
+  const dnn::Model& model_;
+  dnn::Dataset dataset_;
+  TrainConfig config_;
+};
+
+}  // namespace stash::ddl

@@ -1,0 +1,85 @@
+#include "dnn/bert.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace stash::dnn {
+
+Model make_bert(const BertConfig& cfg) {
+  if (cfg.hidden <= 0 || cfg.num_layers <= 0 || cfg.seq_len <= 0)
+    throw std::invalid_argument("make_bert: invalid config");
+
+  std::vector<Layer> layers;
+  const double h = cfg.hidden;
+  const double s = cfg.seq_len;
+  // Transformer training stores several intermediates per labelled output
+  // (pre-GELU, dropout masks, softmax copies, autograd workspaces); the
+  // multiplier calibrates total footprint so that BERT-large at seq 384
+  // maxes out at per-GPU batch 4 on a 16 GiB V100, matching the paper.
+  const double kStoredIntermediates = 4.5;
+  const double token_act = s * h * 4.0 * kStoredIntermediates;
+
+  // Embeddings: word + position + token-type + LayerNorm. Embedding lookups
+  // cost negligible FLOPs but their gradients are exchanged in full.
+  {
+    Layer w{"embed.word", LayerKind::kEmbedding, static_cast<double>(cfg.vocab) * h,
+            0.0, token_act};
+    w.output_bytes_per_sample = s * h * 4.0;
+    layers.push_back(w);
+  }
+  layers.push_back(Layer{"embed.pos", LayerKind::kEmbedding,
+                         static_cast<double>(cfg.max_position) * h, 0.0, 0.0});
+  layers.push_back(Layer{"embed.type", LayerKind::kEmbedding, 2.0 * h, 0.0, 0.0});
+  {
+    Layer ln{"embed.ln", LayerKind::kLayerNorm, 2.0 * h, 4.0 * s * h, token_act};
+    ln.output_bytes_per_sample = s * h * 4.0;
+    layers.push_back(ln);
+  }
+
+  for (int i = 0; i < cfg.num_layers; ++i) {
+    std::string base = "encoder." + std::to_string(i);
+    auto dense = [&](const std::string& name, double in, double out,
+                     double extra_flops = 0.0, double extra_act = 0.0) {
+      Layer l{base + "." + name, LayerKind::kAttention, in * out + out,
+              2.0 * s * in * out + extra_flops,
+              (s * out * 4.0 + extra_act) * kStoredIntermediates};
+      l.output_bytes_per_sample = s * out * 4.0;  // wire size of the output
+      layers.push_back(l);
+    };
+    // Self-attention projections.
+    dense("q", h, h);
+    dense("k", h, h);
+    // Attention scores and context mix ride on the V projection entry:
+    // 2 * (2 * S^2 * H) FLOPs, S^2*heads score activations.
+    dense("v", h, h, 4.0 * s * s * h, s * s * 16.0 * 4.0);
+    dense("attn.out", h, h);
+    {
+      Layer ln{base + ".ln1", LayerKind::kLayerNorm, 2.0 * h, 4.0 * s * h, token_act};
+      ln.output_bytes_per_sample = s * h * 4.0;
+      layers.push_back(ln);
+    }
+    dense("ff.in", h, cfg.intermediate);
+    dense("ff.out", cfg.intermediate, h);
+    {
+      Layer ln{base + ".ln2", LayerKind::kLayerNorm, 2.0 * h, 4.0 * s * h, token_act};
+      ln.output_bytes_per_sample = s * h * 4.0;
+      layers.push_back(ln);
+    }
+  }
+
+  // Pooler + span-prediction head (SQuAD).
+  layers.push_back(Layer{"pooler", LayerKind::kFullyConnected, h * h + h, 2.0 * h * h,
+                         h * 4.0});
+  layers.push_back(Layer{"qa_head", LayerKind::kFullyConnected, 2.0 * h + 2.0,
+                         2.0 * s * h * 2.0, s * 2.0 * 4.0});
+
+  // Input: token ids + mask + type ids (int32) for one sample.
+  double input_bytes = s * 3.0 * 4.0;
+  std::string name = cfg.hidden == 1024 && cfg.num_layers == 24 ? "bert-large" : "bert";
+  return Model(name, std::move(layers), input_bytes);
+}
+
+Model make_bert_large() { return make_bert(BertConfig{}); }
+
+}  // namespace stash::dnn

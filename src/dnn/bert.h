@@ -1,0 +1,21 @@
+// BERT transformer generator (paper Table II uses BERT-large on SQuAD 2.0).
+#pragma once
+
+#include "dnn/model.h"
+
+namespace stash::dnn {
+
+struct BertConfig {
+  int hidden = 1024;        // BERT-large
+  int num_layers = 24;
+  int intermediate = 4096;
+  int vocab = 30522;
+  int max_position = 512;
+  int seq_len = 384;        // SQuAD fine-tuning sequence length
+};
+
+Model make_bert(const BertConfig& config = {});
+// Convenience: BERT-large at SQuAD settings.
+Model make_bert_large();
+
+}  // namespace stash::dnn

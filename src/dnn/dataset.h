@@ -1,0 +1,29 @@
+// Training dataset descriptors (paper Table II).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stash::dnn {
+
+struct Dataset {
+  std::string name;
+  double num_samples = 0.0;
+  double total_bytes = 0.0;            // on-disk footprint
+  double prep_cpu_seconds_per_sample = 0.0;  // decode + augmentation cost
+
+  double bytes_per_sample() const {
+    if (num_samples <= 0.0) throw std::logic_error("Dataset has no samples");
+    return total_bytes / num_samples;
+  }
+};
+
+// ImageNet-1k (ILSVRC 2012): 1.28 M JPEGs, 133 GB on disk (Table II).
+// ~2.5 ms/sample of CPU for JPEG decode + random-resized-crop + normalize.
+Dataset imagenet_1k();
+
+// SQuAD 2.0: 45 MB of text (Table II); tokenization is trivially cheap and
+// the dataset caches entirely after the first touch.
+Dataset squad_v2();
+
+}  // namespace stash::dnn

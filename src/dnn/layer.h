@@ -1,0 +1,49 @@
+// Layer description for the DNN model zoo.
+//
+// Training simulation needs, per layer: how many trainable parameters it
+// carries (gradient volume for all-reduce), how much compute it costs
+// (forward FLOPs; backward is 2x), and how large its activations are (GPU
+// memory). Parameter-free layers (pooling, activation) may be omitted by
+// generators since they affect none of these materially.
+#pragma once
+
+#include <string>
+
+namespace stash::dnn {
+
+enum class LayerKind {
+  kConv,
+  kBatchNorm,
+  kFullyConnected,
+  kEmbedding,
+  kAttention,
+  kLayerNorm,
+  kOther,
+};
+
+struct Layer {
+  std::string name;
+  LayerKind kind = LayerKind::kOther;
+  double params = 0.0;                      // trainable parameter count
+  double fwd_flops_per_sample = 0.0;        // forward FLOPs for one sample
+  // Training-memory footprint of this layer's stored state per sample
+  // (output plus saved intermediates, dropout masks, workspaces).
+  double activation_bytes_per_sample = 0.0;
+  // Size of the single output tensor per sample — what actually crosses a
+  // pipeline-parallel stage boundary. Negative means "same as the memory
+  // footprint" (true for convnets, whose generators store one tensor per
+  // layer; transformers inflate memory by a stored-intermediates factor).
+  double output_bytes_per_sample = -1.0;
+
+  bool has_params() const { return params > 0.0; }
+  // fp32 gradients: 4 bytes per parameter.
+  double gradient_bytes() const { return params * 4.0; }
+  // Inter-stage wire volume per sample if a pipeline cut lands after this
+  // layer.
+  double boundary_bytes() const {
+    return output_bytes_per_sample >= 0.0 ? output_bytes_per_sample
+                                          : activation_bytes_per_sample;
+  }
+};
+
+}  // namespace stash::dnn

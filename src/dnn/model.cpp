@@ -1,0 +1,57 @@
+#include "dnn/model.h"
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace stash::dnn {
+
+Model::Model(std::string name, std::vector<Layer> layers, double input_tensor_bytes)
+    : name_(std::move(name)),
+      layers_(std::move(layers)),
+      input_tensor_bytes_(input_tensor_bytes) {
+  if (layers_.empty()) throw std::invalid_argument("Model needs at least one layer");
+  for (const Layer& l : layers_) {
+    total_params_ += l.params;
+    fwd_flops_ += l.fwd_flops_per_sample;
+    activation_bytes_ += l.activation_bytes_per_sample;
+    if (l.has_params()) ++num_param_tensors_;
+  }
+  if (total_params_ <= 0.0) throw std::invalid_argument("Model has no parameters");
+}
+
+std::vector<double> Model::gradient_tensors_backward() const {
+  std::vector<double> grads;
+  grads.reserve(num_param_tensors_);
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    if (it->has_params()) grads.push_back(it->gradient_bytes());
+  return grads;
+}
+
+std::vector<Model::BackwardStep> Model::backward_steps() const {
+  std::vector<BackwardStep> steps;
+  steps.reserve(num_param_tensors_);
+  double pending_flops = 0.0;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    pending_flops += 2.0 * it->fwd_flops_per_sample;
+    if (it->has_params()) {
+      steps.push_back(BackwardStep{it->gradient_bytes(), pending_flops});
+      pending_flops = 0.0;
+    }
+  }
+  // Parameter-free layers at the very input end bill to the last step.
+  if (pending_flops > 0.0 && !steps.empty()) steps.back().flops_per_sample += pending_flops;
+  return steps;
+}
+
+double Model::train_memory_bytes(int batch_size) const {
+  if (batch_size < 1) throw std::invalid_argument("batch_size must be >= 1");
+  // fp32 weights + gradients + SGD momentum = 12 bytes per parameter.
+  double param_state = total_params_ * 12.0;
+  double activations = activation_bytes_ * static_cast<double>(batch_size);
+  // CUDA context + framework workspace reserve.
+  double reserve = util::mib(600);
+  return param_state + activations + reserve;
+}
+
+}  // namespace stash::dnn

@@ -1,0 +1,63 @@
+// DNN model description: an ordered list of layers plus input geometry.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.h"
+
+namespace stash::dnn {
+
+class Model {
+ public:
+  Model(std::string name, std::vector<Layer> layers, double input_tensor_bytes);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Layer>& layers() const { return layers_; }
+  std::size_t num_layers() const { return layers_.size(); }
+  std::size_t num_param_tensors() const { return num_param_tensors_; }
+
+  double total_params() const { return total_params_; }
+  // Total gradient volume exchanged per iteration (fp32).
+  double gradient_bytes() const { return total_params_ * 4.0; }
+  double fwd_flops_per_sample() const { return fwd_flops_; }
+  // Standard approximation: backward costs twice the forward.
+  double bwd_flops_per_sample() const { return 2.0 * fwd_flops_; }
+
+  // Decoded input tensor size for one sample (H2D copy volume).
+  double input_tensor_bytes() const { return input_tensor_bytes_; }
+  double activation_bytes_per_sample() const { return activation_bytes_; }
+
+  // Gradient tensor sizes in backward order (last layer first): the order
+  // in which DDP-style training makes gradients available for all-reduce.
+  std::vector<double> gradient_tensors_backward() const;
+
+  // One step of the backward pass per parameter tensor, in execution order.
+  // `flops_per_sample` is the backward compute (2x forward) attributed to
+  // the tensor's layer plus any parameter-free layers encountered since the
+  // previous step; after the step completes, `grad_bytes` of gradient
+  // become available for all-reduce. The steps' FLOPs sum to
+  // bwd_flops_per_sample() and the bytes to gradient_bytes().
+  struct BackwardStep {
+    double grad_bytes;
+    double flops_per_sample;
+  };
+  std::vector<BackwardStep> backward_steps() const;
+
+  // Device memory needed to train with the given per-GPU batch size:
+  // weights + gradients + optimizer state (SGD momentum) + activations +
+  // a fixed framework/workspace reserve.
+  double train_memory_bytes(int batch_size) const;
+
+ private:
+  std::string name_;
+  std::vector<Layer> layers_;
+  double input_tensor_bytes_;
+  double total_params_ = 0.0;
+  double fwd_flops_ = 0.0;
+  double activation_bytes_ = 0.0;
+  std::size_t num_param_tensors_ = 0;
+};
+
+}  // namespace stash::dnn

@@ -1,0 +1,52 @@
+#include "dnn/profile_model.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace stash::dnn {
+
+Model make_profile_model(const ProfileSpec& spec) {
+  if (spec.num_param_tensors < 1)
+    throw std::invalid_argument("make_profile_model: need >= 1 tensor");
+  if (spec.total_params <= 0.0)
+    throw std::invalid_argument("make_profile_model: need positive params");
+
+  const int n = spec.num_param_tensors;
+  std::vector<double> weights(static_cast<std::size_t>(n), 1.0);
+  switch (spec.profile) {
+    case ParamProfile::kUniform:
+      break;
+    case ParamProfile::kPyramid:
+      // Quadratic growth towards the output, the usual convnet shape.
+      for (int i = 0; i < n; ++i) {
+        double x = static_cast<double>(i + 1);
+        weights[static_cast<std::size_t>(i)] = x * x;
+      }
+      break;
+    case ParamProfile::kFcHeavy: {
+      // Last three tensors carry 85% of the parameters.
+      int fc = n >= 3 ? 3 : n;
+      double trunk_share = n > fc ? 0.15 / (n - fc) : 0.0;
+      for (int i = 0; i < n - fc; ++i) weights[static_cast<std::size_t>(i)] = trunk_share;
+      for (int i = n - fc; i < n; ++i)
+        weights[static_cast<std::size_t>(i)] = 0.85 / fc;
+      break;
+    }
+  }
+
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+
+  std::vector<Layer> layers;
+  layers.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double share = weights[static_cast<std::size_t>(i)] / weight_sum;
+    layers.push_back(Layer{
+        spec.name + ".t" + std::to_string(i), LayerKind::kConv,
+        spec.total_params * share, spec.fwd_flops_per_sample / n,
+        spec.activation_bytes_per_sample / n});
+  }
+  return Model(spec.name, std::move(layers), spec.input_tensor_bytes);
+}
+
+}  // namespace stash::dnn

@@ -1,0 +1,35 @@
+// Profile-based model generator.
+//
+// For zoo models whose exact per-layer shapes are immaterial to stall
+// behaviour (AlexNet, MobileNet-v2, SqueezeNet, ShuffleNet), what matters
+// is (a) the total gradient volume, (b) the number of gradient tensors and
+// (c) roughly how parameters are distributed across them. This generator
+// produces a model matching the paper's Table II parameter totals exactly,
+// with a realistic tensor count and distribution shape.
+#pragma once
+
+#include <string>
+
+#include "dnn/model.h"
+
+namespace stash::dnn {
+
+enum class ParamProfile {
+  kUniform,   // parameters spread evenly
+  kPyramid,   // later layers heavier (typical convnet trunk)
+  kFcHeavy,   // bulk of parameters in the last few FC layers (AlexNet/VGG)
+};
+
+struct ProfileSpec {
+  std::string name;
+  double total_params = 0.0;       // Table II value
+  int num_param_tensors = 0;       // ~len(model.parameters()) in PyTorch
+  double fwd_flops_per_sample = 0.0;
+  double activation_bytes_per_sample = 0.0;
+  double input_tensor_bytes = 3.0 * 224 * 224 * 4;
+  ParamProfile profile = ParamProfile::kPyramid;
+};
+
+Model make_profile_model(const ProfileSpec& spec);
+
+}  // namespace stash::dnn

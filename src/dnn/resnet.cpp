@@ -1,0 +1,106 @@
+#include "dnn/resnet.h"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace stash::dnn {
+
+namespace {
+
+struct Builder {
+  std::vector<Layer> layers;
+  bool batch_norm;
+
+  // Training stores more than the labelled outputs (pre-activation copies,
+  // ReLU masks, autograd workspaces); the factor calibrates footprints so
+  // ResNet18 at batch 128 fills ~60 % of a K80 and ResNet152 at batch 32 still fits a 16 GiB V100 (the paper runs both), matching measured practice.
+  static constexpr double kStoredIntermediates = 2.5;
+
+  // Adds a conv (no bias, torchvision style) and its BN if enabled.
+  void conv(const std::string& name, int k, int c_in, int c_out, int out_hw) {
+    double spatial = static_cast<double>(out_hw) * out_hw;
+    double weight = static_cast<double>(k) * k * c_in * c_out;
+    double out_bytes = spatial * c_out * 4.0;  // fp32 output tensor
+    Layer l{name, LayerKind::kConv, weight, 2.0 * weight * spatial,
+            out_bytes * kStoredIntermediates};
+    l.output_bytes_per_sample = out_bytes;
+    layers.push_back(l);
+    if (batch_norm) {
+      Layer bn{name + ".bn", LayerKind::kBatchNorm, 2.0 * c_out,
+               4.0 * spatial * c_out,  // scale+shift pass
+               out_bytes * kStoredIntermediates};
+      bn.output_bytes_per_sample = out_bytes;
+      layers.push_back(bn);
+    }
+  }
+
+  void fc(const std::string& name, int in, int out) {
+    double weight = static_cast<double>(in) * out + out;  // bias
+    Layer l{name, LayerKind::kFullyConnected, weight, 2.0 * weight, out * 4.0};
+    l.output_bytes_per_sample = out * 4.0;
+    layers.push_back(l);
+  }
+};
+
+}  // namespace
+
+Model make_resnet(int depth, const ResNetOptions& options) {
+  struct StagePlan {
+    std::array<int, 4> blocks;
+    bool bottleneck;
+  };
+  StagePlan plan{};
+  switch (depth) {
+    case 18:  plan = {{2, 2, 2, 2}, false}; break;
+    case 34:  plan = {{3, 4, 6, 3}, false}; break;
+    case 50:  plan = {{3, 4, 6, 3}, true}; break;
+    case 101: plan = {{3, 4, 23, 3}, true}; break;
+    case 152: plan = {{3, 8, 36, 3}, true}; break;
+    default:
+      throw std::invalid_argument("make_resnet: depth must be one of 18/34/50/101/152");
+  }
+
+  Builder b{{}, options.batch_norm};
+  // Stem: 7x7/2 conv 3->64 at 112x112, then 3x3/2 maxpool to 56x56.
+  b.conv("stem", 7, 3, 64, 112);
+
+  const int expansion = plan.bottleneck ? 4 : 1;
+  const std::array<int, 4> widths{64, 128, 256, 512};
+  const std::array<int, 4> spatial{56, 28, 14, 7};
+  int c_in = 64;
+
+  for (int stage = 0; stage < 4; ++stage) {
+    int width = widths[static_cast<std::size_t>(stage)];
+    int hw = spatial[static_cast<std::size_t>(stage)];
+    int c_out = width * expansion;
+    for (int block = 0; block < plan.blocks[static_cast<std::size_t>(stage)]; ++block) {
+      std::string base = "layer" + std::to_string(stage + 1) + "." + std::to_string(block);
+      if (plan.bottleneck) {
+        b.conv(base + ".conv1", 1, c_in, width, hw);
+        b.conv(base + ".conv2", 3, width, width, hw);
+        b.conv(base + ".conv3", 1, width, c_out, hw);
+      } else {
+        b.conv(base + ".conv1", 3, c_in, width, hw);
+        b.conv(base + ".conv2", 3, width, width, hw);
+      }
+      // First block of a stage changes shape; the skip path needs a 1x1
+      // projection — which exists only if residual connections do.
+      if (block == 0 && options.residual && c_in != c_out)
+        b.conv(base + ".downsample", 1, c_in, c_out, hw);
+      c_in = c_out;
+    }
+  }
+
+  b.fc("fc", 512 * expansion, 1000);
+
+  // Decoded input tensor: 3 x 224 x 224 fp32.
+  double input_bytes = 3.0 * 224 * 224 * 4;
+  std::string name = "resnet" + std::to_string(depth);
+  if (!options.batch_norm) name += "-nobn";
+  if (!options.residual) name += "-nores";
+  return Model(name, std::move(b.layers), input_bytes);
+}
+
+}  // namespace stash::dnn

@@ -1,0 +1,22 @@
+// ResNet generator with real ImageNet convolution shapes.
+//
+// Used both for the Table II models (ResNet18/50) and for the paper's
+// micro-characterization (§VI-A): depth sweeps {18, 34, 50, 101, 152} and
+// architecture ablations (removing batch normalization shrinks the number
+// of gradient tensors; removing residual connections only drops the tiny
+// downsample projections, which is why the paper sees minimal impact).
+#pragma once
+
+#include "dnn/model.h"
+
+namespace stash::dnn {
+
+struct ResNetOptions {
+  bool batch_norm = true;  // emit BN layers (2 tensors per conv)
+  bool residual = true;    // emit downsample projections for skip paths
+};
+
+// depth in {18, 34, 50, 101, 152}.
+Model make_resnet(int depth, const ResNetOptions& options = {});
+
+}  // namespace stash::dnn

@@ -1,0 +1,66 @@
+#include "dnn/vgg.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace stash::dnn {
+
+Model make_vgg(int depth) {
+  // -1 encodes a max-pool (halves the spatial size, no parameters).
+  std::vector<int> cfg;
+  switch (depth) {
+    case 11:
+      cfg = {64, -1, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1};
+      break;
+    case 13:
+      cfg = {64, 64, -1, 128, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1};
+      break;
+    case 16:
+      cfg = {64, 64, -1, 128, 128, -1, 256, 256, 256, -1,
+             512, 512, 512, -1, 512, 512, 512, -1};
+      break;
+    case 19:
+      cfg = {64, 64, -1, 128, 128, -1, 256, 256, 256, 256, -1,
+             512, 512, 512, 512, -1, 512, 512, 512, 512, -1};
+      break;
+    default:
+      throw std::invalid_argument("make_vgg: depth must be one of 11/13/16/19");
+  }
+
+  // Stored-intermediates multiplier on training memory (see resnet.cpp).
+  constexpr double kStoredIntermediates = 2.5;
+
+  std::vector<Layer> layers;
+  int c_in = 3;
+  int hw = 224;
+  int conv_idx = 0;
+  for (int c : cfg) {
+    if (c < 0) {
+      hw /= 2;
+      continue;
+    }
+    double spatial = static_cast<double>(hw) * hw;
+    double weight = 9.0 * c_in * c + c;  // 3x3 conv with bias
+    double out_bytes = spatial * c * 4.0;
+    Layer l{"conv" + std::to_string(conv_idx++), LayerKind::kConv, weight,
+            2.0 * (9.0 * c_in * c) * spatial, out_bytes * kStoredIntermediates};
+    l.output_bytes_per_sample = out_bytes;
+    layers.push_back(l);
+    c_in = c;
+  }
+
+  auto fc = [&](const std::string& name, int in, int out) {
+    double weight = static_cast<double>(in) * out + out;
+    Layer l{name, LayerKind::kFullyConnected, weight, 2.0 * weight, out * 4.0};
+    l.output_bytes_per_sample = out * 4.0;
+    layers.push_back(l);
+  };
+  fc("fc1", 512 * 7 * 7, 4096);
+  fc("fc2", 4096, 4096);
+  fc("fc3", 4096, 1000);
+
+  return Model("vgg" + std::to_string(depth), std::move(layers), 3.0 * 224 * 224 * 4);
+}
+
+}  // namespace stash::dnn

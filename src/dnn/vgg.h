@@ -1,0 +1,16 @@
+// VGG generator with the real torchvision configurations.
+//
+// VGG is the paper's canonical "few layers, huge gradients" model: most of
+// its 133 M parameters sit in three fully-connected layers, so it exercises
+// the bandwidth-bound regime of the §VI analytic model.
+#pragma once
+
+#include "dnn/model.h"
+
+namespace stash::dnn {
+
+// depth in {11, 13, 16, 19} (configurations A/B/D/E, with batch norm
+// disabled to match the paper's use of the plain variants).
+Model make_vgg(int depth);
+
+}  // namespace stash::dnn

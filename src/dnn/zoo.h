@@ -1,0 +1,37 @@
+// The paper's model zoo (Table II) plus dataset bindings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnn/dataset.h"
+#include "dnn/model.h"
+
+namespace stash::dnn {
+
+// Table II rows.
+Model make_alexnet();       // 9.63 M gradients (paper's variant)
+Model make_mobilenet_v2();  // 3.4 M
+Model make_squeezenet();    // 0.73 M
+Model make_shufflenet();    // 1.8 M
+Model make_resnet18();      // 11.18 M (real generator, ~11.7 M)
+Model make_resnet50();      // 23.59 M (real generator, ~25.6 M)
+Model make_vgg11();         // 132.8 M (real generator, ~132.9 M)
+// BERT-large declared in bert.h (345 M, generator ~336 M).
+
+// Classification of Table II ("Small" vs "Large" vision models).
+std::vector<std::string> small_vision_models();
+std::vector<std::string> large_vision_models();
+
+// Builds any Table II model by its zoo name (as listed above plus
+// "bert-large"); throws std::invalid_argument for unknown names.
+Model make_zoo_model(const std::string& name);
+
+// Paper-reported gradient counts (millions of parameters) for Table II
+// validation and reporting.
+double paper_gradient_millions(const std::string& name);
+
+// The dataset each zoo model trains on (ImageNet-1k or SQuAD 2.0).
+Dataset dataset_for(const std::string& model_name);
+
+}  // namespace stash::dnn

@@ -1,0 +1,39 @@
+// vCPU pool for input pre-processing.
+//
+// Each data-loader worker occupies one vCPU while decoding/augmenting a
+// batch. When loader workers outnumber vCPUs the pool becomes the
+// bottleneck and prep stalls appear; on AWS P instances vCPUs are plentiful
+// (8-96), which is why the paper measures negligible CPU stalls (Figs 4a,
+// 8a, 9a).
+#pragma once
+
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace stash::hw {
+
+class CpuPool {
+ public:
+  CpuPool(sim::Simulator& sim, int vcpus)
+      : sim_(sim), vcpus_(vcpus), cores_(sim, static_cast<std::size_t>(vcpus)) {
+    if (vcpus <= 0) throw std::invalid_argument("CpuPool needs >= 1 vCPU");
+  }
+
+  // Occupies one vCPU for `cpu_seconds` of work.
+  sim::Task<void> run(double cpu_seconds) {
+    co_await cores_.acquire();
+    co_await sim_.delay(cpu_seconds);
+    cores_.release();
+  }
+
+  int vcpus() const { return vcpus_; }
+  std::size_t idle_cores() const { return cores_.available(); }
+
+ private:
+  sim::Simulator& sim_;
+  int vcpus_;
+  sim::Semaphore cores_;
+};
+
+}  // namespace stash::hw

@@ -1,0 +1,168 @@
+#include "hw/flow_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace stash::hw {
+
+namespace {
+// A flow is considered drained when fewer than this many bytes remain;
+// absorbs floating-point drift from piecewise rate integration.
+constexpr double kDrainEpsilonBytes = 1e-6;
+}  // namespace
+
+Link* FlowNetwork::add_link(std::string name, double capacity_bytes_per_s) {
+  links_.push_back(std::make_unique<Link>(std::move(name), capacity_bytes_per_s));
+  return links_.back().get();
+}
+
+sim::Task<void> FlowNetwork::transfer(double bytes, std::vector<Link*> path,
+                                      double latency_s) {
+  if (bytes < 0.0) throw std::invalid_argument("FlowNetwork::transfer: negative bytes");
+  for (Link* l : path)
+    if (l == nullptr) throw std::invalid_argument("FlowNetwork::transfer: null link");
+
+  if (latency_s > 0.0) co_await sim_.delay(latency_s);
+  if (bytes <= kDrainEpsilonBytes || path.empty()) {
+    for (Link* l : path) l->account_bytes(bytes);
+    co_return;
+  }
+
+  settle();
+  auto done = std::make_shared<sim::Event>(sim_);
+  for (Link* l : path) l->account_bytes(bytes);
+  flows_.push_back(Flow{next_flow_id_++, bytes, 0.0, std::move(path), done});
+  rebalance();
+  co_await done->wait();
+}
+
+double FlowNetwork::link_throughput(const Link* link) const {
+  double sum = 0.0;
+  for (const Flow& f : flows_)
+    if (std::find(f.path.begin(), f.path.end(), link) != f.path.end()) sum += f.rate;
+  return sum;
+}
+
+void FlowNetwork::update_capacity(Link* link, double capacity_bytes_per_s) {
+  if (link == nullptr) throw std::invalid_argument("update_capacity: null link");
+  settle();
+  link->set_capacity(capacity_bytes_per_s);
+  rebalance();
+}
+
+void FlowNetwork::settle() {
+  double dt = sim_.now() - last_settle_;
+  if (dt > 0.0) {
+    for (Flow& f : flows_) f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+  }
+  last_settle_ = sim_.now();
+}
+
+void FlowNetwork::compute_max_min_rates() {
+  // Progressive filling. All flows start frozen at zero and unfrozen flows
+  // grow uniformly until some link saturates; flows crossing a saturated
+  // link freeze at their current rate.
+  std::unordered_map<const Link*, double> headroom;
+  std::unordered_map<const Link*, int> unfrozen_count;
+  for (Flow& f : flows_) {
+    f.rate = 0.0;
+    for (const Link* l : f.path) {
+      headroom.try_emplace(l, l->capacity());
+      ++unfrozen_count[l];
+    }
+  }
+
+  std::vector<Flow*> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (Flow& f : flows_) unfrozen.push_back(&f);
+
+  while (!unfrozen.empty()) {
+    // The next link to saturate bounds the uniform rate increase.
+    double delta = std::numeric_limits<double>::infinity();
+    for (const auto& [link, room] : headroom) {
+      int n = unfrozen_count[link];
+      if (n > 0) delta = std::min(delta, room / n);
+    }
+    if (!std::isfinite(delta)) break;  // no loaded links remain
+
+    for (Flow* f : unfrozen) f->rate += delta;
+    for (auto& [link, room] : headroom) room -= delta * unfrozen_count[link];
+
+    // Freeze flows that cross any saturated link.
+    std::vector<Flow*> still;
+    still.reserve(unfrozen.size());
+    for (Flow* f : unfrozen) {
+      bool saturated = false;
+      for (const Link* l : f->path) {
+        if (headroom[l] <= 1e-9 * l->capacity()) {
+          saturated = true;
+          break;
+        }
+      }
+      if (saturated) {
+        for (const Link* l : f->path) --unfrozen_count[l];
+      } else {
+        still.push_back(f);
+      }
+    }
+    if (still.size() == unfrozen.size()) {
+      // Numerical stall guard: freeze everything crossing the tightest link.
+      break;
+    }
+    unfrozen.swap(still);
+  }
+}
+
+void FlowNetwork::rebalance() {
+  if (pending_completion_.valid()) {
+    sim_.cancel(pending_completion_);
+    pending_completion_ = {};
+  }
+
+  // Smallest delay that still advances the simulated clock at the current
+  // magnitude; a residual below it can never drain through the event loop
+  // (now + dt == now in double), so such flows are completed immediately.
+  const double min_progress = std::max(1e-12, sim_.now() * 1e-12);
+
+  double next = 0.0;
+  while (true) {
+    // Complete drained flows (settle() must have been called beforehand).
+    std::vector<std::shared_ptr<sim::Event>> finished;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      if (it->remaining <= kDrainEpsilonBytes) {
+        finished.push_back(std::move(it->done));
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto& ev : finished) ev->trigger();
+
+    compute_max_min_rates();
+    if (flows_.empty()) return;
+
+    next = std::numeric_limits<double>::infinity();
+    for (const Flow& f : flows_) {
+      if (f.rate > 0.0) next = std::min(next, f.remaining / f.rate);
+    }
+    if (!std::isfinite(next))
+      throw std::logic_error(
+          "FlowNetwork: active flows with zero rate (link with no capacity?)");
+    if (next >= min_progress) break;
+
+    // Sub-resolution residues: drain them now and go round again.
+    for (Flow& f : flows_) {
+      if (f.rate > 0.0 && f.remaining / f.rate < min_progress) f.remaining = 0.0;
+    }
+  }
+
+  pending_completion_ = sim_.schedule(next, [this] {
+    pending_completion_ = {};
+    settle();
+    rebalance();
+  });
+}
+
+}  // namespace stash::hw

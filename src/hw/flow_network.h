@@ -1,0 +1,84 @@
+// Flow-level bandwidth sharing with max-min fairness.
+//
+// The FlowNetwork simulates data transfers as fluid flows over paths of
+// Links. At any instant, each active flow receives the max-min fair rate
+// computed by progressive filling: all flows grow at the same rate until a
+// link saturates, flows through saturated links freeze, and the rest keep
+// growing. Rates are recomputed whenever a flow starts or completes (the
+// only capacity-changing events), making the model event-driven and exact
+// for piecewise-constant rate allocations.
+//
+// This is the standard fluid approximation used by flow-level network
+// simulators; it reproduces the paper's three hardware effects:
+//   * PCIe host-bridge contention on p2.16xlarge (Fig 7): sixteen H2D flows
+//     share one bridge, so each sees ~1/16 of it;
+//   * NVLink crossbar rings: disjoint hop links, no sharing, full rate;
+//   * slow-NIC bottleneck: a ring crossing a 10 Gbps NIC is throttled to it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/link.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace stash::hw {
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(sim::Simulator& sim) : sim_(sim) {}
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  // Creates a link owned by this network; the returned pointer is stable.
+  Link* add_link(std::string name, double capacity_bytes_per_s);
+
+  // Transfers `bytes` along `path` after an initial `latency_s`, completing
+  // when the last byte drains. An empty path models an on-device copy and
+  // completes after the latency alone. Zero-byte transfers complete after
+  // the latency.
+  sim::Task<void> transfer(double bytes, std::vector<Link*> path, double latency_s = 0.0);
+
+  // Instantaneous max-min fair rate of the flows currently on `link`
+  // (bytes/s, sum over flows). For tests and the Fig 7 bandwidth probe.
+  double link_throughput(const Link* link) const;
+
+  // Changes a link's capacity mid-simulation: in-flight flows are settled
+  // at their old rates up to now, then re-shared. Models time-varying
+  // network QoS (the paper's §III point that AWS bandwidth is subject to
+  // high temporal variation).
+  void update_capacity(Link* link, double capacity_bytes_per_s);
+
+  std::size_t active_flows() const { return flows_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+
+ private:
+  struct Flow {
+    std::uint64_t id;
+    double remaining;               // bytes left to transfer
+    double rate = 0.0;              // current fair-share rate, bytes/s
+    std::vector<Link*> path;
+    std::shared_ptr<sim::Event> done;
+  };
+
+  // Advances all flows' remaining bytes to the current simulated time.
+  void settle();
+  // Completes drained flows, recomputes max-min rates, and (re)schedules
+  // the next completion event.
+  void rebalance();
+  void compute_max_min_rates();
+
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Flow> flows_;
+  double last_settle_ = 0.0;
+  std::uint64_t next_flow_id_ = 1;
+  sim::EventId pending_completion_{};
+};
+
+}  // namespace stash::hw

@@ -1,0 +1,27 @@
+#include "hw/gpu.h"
+
+#include "util/units.h"
+
+namespace stash::hw {
+
+using util::gib;
+using util::tflops;
+
+GpuSpec k80_spec() {
+  // One K80 die: 4.37 TFLOP/s peak fp32; DNN-effective ~2.0.
+  return GpuSpec{"K80", tflops(2.0), gib(12)};
+}
+
+GpuSpec v100_spec(double memory_gib) {
+  // V100: 15.7 TFLOP/s peak fp32; DNN-effective ~7.8. p3.24xlarge ships the
+  // 32 GiB variant, every other P3 the 16 GiB one.
+  return GpuSpec{"V100", tflops(7.8), gib(memory_gib)};
+}
+
+GpuSpec a100_spec() {
+  // A100: 19.5 TFLOP/s peak fp32 (no tensor cores assumed), effective ~9.7;
+  // P4 is out of the paper's characterization scope but kept for the catalog.
+  return GpuSpec{"A100", tflops(9.7), gib(40)};
+}
+
+}  // namespace stash::hw

@@ -1,0 +1,34 @@
+// GPU compute model.
+//
+// A GPU is characterized by its effective training throughput (FLOP/s
+// actually sustained by convnet/transformer kernels, ~50% of peak fp32)
+// and its memory capacity. Compute phases of training are simulated as
+// delays of `flops / effective_flops` seconds; data movement is simulated
+// separately by the FlowNetwork over the GPU's PCIe/NVLink links.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stash::hw {
+
+struct GpuSpec {
+  std::string name;              // e.g. "K80", "V100"
+  double effective_flops = 0.0;  // sustained FLOP/s for DNN kernels
+  double memory_bytes = 0.0;     // device memory capacity
+
+  // Seconds needed to execute `flops` of work on this GPU.
+  double compute_time(double flops) const {
+    if (effective_flops <= 0.0) throw std::logic_error("GpuSpec has no throughput");
+    return flops / effective_flops;
+  }
+};
+
+// Catalog of the GPU dies used by the paper's instance families.
+// Effective throughput is ~50% of peak fp32, the utilization convnets
+// typically sustain (DESIGN.md §6).
+GpuSpec k80_spec();
+GpuSpec v100_spec(double memory_gib = 16.0);
+GpuSpec a100_spec();
+
+}  // namespace stash::hw

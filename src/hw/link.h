@@ -1,0 +1,46 @@
+// A unidirectional bandwidth-limited link in the hardware graph.
+//
+// Links represent every shared medium in the simulated machines: a PCIe
+// lane from a GPU to the host bridge, the host bridge itself, an NVLink
+// between two GPUs, a NIC, the inter-machine network fabric, or an SSD's
+// read channel. The FlowNetwork shares each link's capacity among active
+// flows with max-min fairness.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace stash::hw {
+
+class Link {
+ public:
+  Link(std::string name, double capacity_bytes_per_s)
+      : name_(std::move(name)), capacity_(capacity_bytes_per_s) {
+    if (capacity_ <= 0.0) throw std::invalid_argument("Link capacity must be positive");
+  }
+
+  const std::string& name() const { return name_; }
+  double capacity() const { return capacity_; }
+
+  // Capacity changes must go through FlowNetwork::update_capacity so that
+  // in-flight flows are settled and re-shared; this setter is the low-level
+  // half of that operation.
+  void set_capacity(double capacity_bytes_per_s) {
+    if (capacity_bytes_per_s <= 0.0)
+      throw std::invalid_argument("Link capacity must be positive");
+    capacity_ = capacity_bytes_per_s;
+  }
+
+  // Total bytes carried since construction (updated by the FlowNetwork as
+  // flows progress); used by utilization reports and tests.
+  double bytes_carried() const { return bytes_carried_; }
+  void account_bytes(double bytes) { bytes_carried_ += bytes; }
+
+ private:
+  std::string name_;
+  double capacity_;  // bytes per second
+  double bytes_carried_ = 0.0;
+};
+
+}  // namespace stash::hw

@@ -1,0 +1,101 @@
+// Storage device and DRAM page-cache models for the input pipeline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+#include "hw/flow_network.h"
+#include "sim/task.h"
+
+namespace stash::hw {
+
+// A bandwidth-limited storage device (the instance-attached gp2 SSD).
+// Concurrent reads from the data-loader workers share the device's
+// bandwidth via the FlowNetwork, producing the I/O contention that the
+// paper observes on 16xlarge instances (Figs 4b, 8b, 9b).
+class StorageDevice {
+ public:
+  StorageDevice(FlowNetwork& net, const std::string& name, double read_bw_bytes_per_s,
+                double access_latency_s)
+      : net_(net),
+        link_(net.add_link(name + ".read", read_bw_bytes_per_s)),
+        latency_(access_latency_s) {}
+
+  // Reads `bytes`, completing when the last byte arrives. Concurrent reads
+  // contend for the device's bandwidth.
+  sim::Task<void> read(double bytes) { return net_.transfer(bytes, {link_}, latency_); }
+
+  Link* link() { return link_; }
+  double read_bandwidth() const { return link_->capacity(); }
+  double access_latency() const { return latency_; }
+
+ private:
+  FlowNetwork& net_;
+  Link* link_;
+  double latency_;
+};
+
+// DRAM page-cache model at sample granularity with FIFO eviction.
+//
+// DS-Analyzer's methodology distinguishes a cold-cache epoch (step 3) from
+// a fully-cached epoch (step 4); between those extremes the hit fraction is
+// governed by how much of the dataset fits in main memory, which this
+// model captures: samples are admitted on miss until the capacity is
+// reached, then the oldest resident sample is evicted.
+class SampleCache {
+ public:
+  SampleCache(double capacity_bytes, double bytes_per_sample)
+      : capacity_samples_(bytes_per_sample > 0.0
+                              ? static_cast<std::uint64_t>(capacity_bytes / bytes_per_sample)
+                              : 0) {
+    if (bytes_per_sample <= 0.0)
+      throw std::invalid_argument("SampleCache: bytes_per_sample must be positive");
+  }
+
+  // True (and counts a hit) if the sample is resident; otherwise admits it
+  // (evicting the oldest if full) and counts a miss.
+  bool access(std::uint64_t sample_id) {
+    if (resident_.contains(sample_id)) {
+      ++hits_;
+      return true;
+    }
+    ++misses_;
+    if (capacity_samples_ == 0) return false;
+    if (resident_.size() >= capacity_samples_) {
+      resident_.erase(fifo_.front());
+      fifo_.pop_front();
+    }
+    resident_.insert(sample_id);
+    fifo_.push_back(sample_id);
+    return false;
+  }
+
+  // Drops everything (DS-Analyzer clears OS caches before step 3).
+  void clear() {
+    resident_.clear();
+    fifo_.clear();
+  }
+
+  std::uint64_t capacity_samples() const { return capacity_samples_; }
+  std::uint64_t resident_samples() const { return resident_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void reset_counters() { hits_ = misses_ = 0; }
+
+  double hit_rate() const {
+    std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+ private:
+  std::uint64_t capacity_samples_;
+  std::unordered_set<std::uint64_t> resident_;
+  std::deque<std::uint64_t> fifo_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace stash::hw

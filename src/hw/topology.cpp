@@ -1,0 +1,229 @@
+#include "hw/topology.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace stash::hw {
+
+namespace {
+
+// DGX-1V-style hybrid cube mesh used by p3.16xlarge (paper Fig 1): two
+// fully-connected quads {0..3} and {4..7} plus the cross edges i <-> i+4.
+std::vector<std::pair<int, int>> cube_mesh_8() {
+  std::vector<std::pair<int, int>> edges;
+  for (int base : {0, 4})
+    for (int i = base; i < base + 4; ++i)
+      for (int j = i + 1; j < base + 4; ++j) edges.emplace_back(i, j);
+  for (int i = 0; i < 4; ++i) edges.emplace_back(i, i + 4);
+  return edges;
+}
+
+std::vector<std::pair<int, int>> full_mesh(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  return edges;
+}
+
+}  // namespace
+
+Machine::Machine(FlowNetwork& net, sim::Simulator& sim, MachineConfig config,
+                 int machine_id)
+    : config_(std::move(config)), id_(machine_id) {
+  if (config_.num_gpus < 1) throw std::invalid_argument("Machine needs >= 1 GPU");
+  if (config_.pcie_lane_bw <= 0 || config_.host_bridge_bw <= 0)
+    throw std::invalid_argument("Machine needs PCIe bandwidths");
+
+  if (config_.interconnect != InterconnectKind::kPcieOnly && config_.nvlink_pairs.empty()) {
+    if (config_.interconnect == InterconnectKind::kNvswitch) {
+      config_.nvlink_pairs = full_mesh(config_.num_gpus);
+    } else if (config_.num_gpus == 8) {
+      config_.nvlink_pairs = cube_mesh_8();
+    } else if (config_.num_gpus == 4) {
+      config_.nvlink_pairs = full_mesh(4);
+    } else if (config_.num_gpus > 1) {
+      throw std::invalid_argument(
+          "NVLink machine with " + std::to_string(config_.num_gpus) +
+          " GPUs requires explicit nvlink_pairs");
+    }
+  }
+
+  build_links(net);
+  compute_ring_order();
+
+  storage_ = std::make_unique<StorageDevice>(
+      net, config_.name + "#" + std::to_string(id_) + ".ssd", config_.ssd_bw,
+      config_.ssd_latency);
+  cpus_ = std::make_unique<CpuPool>(sim, config_.vcpus);
+}
+
+void Machine::build_links(FlowNetwork& net) {
+  const std::string prefix = config_.name + "#" + std::to_string(id_) + ".";
+  for (int g = 0; g < config_.num_gpus; ++g) {
+    pcie_up_.push_back(net.add_link(prefix + "pcie_up" + std::to_string(g),
+                                    config_.pcie_lane_bw));
+    pcie_down_.push_back(net.add_link(prefix + "pcie_down" + std::to_string(g),
+                                      config_.pcie_lane_bw));
+  }
+  host_bridge_ = net.add_link(prefix + "host_bridge", config_.host_bridge_bw);
+
+  nvlink_.assign(static_cast<std::size_t>(config_.num_gpus),
+                 std::vector<Link*>(static_cast<std::size_t>(config_.num_gpus), nullptr));
+  for (auto [i, j] : config_.nvlink_pairs) {
+    if (i < 0 || j < 0 || i >= config_.num_gpus || j >= config_.num_gpus || i == j)
+      throw std::invalid_argument("invalid nvlink pair");
+    if (config_.nvlink_bw <= 0) throw std::invalid_argument("nvlink_bw must be set");
+    auto si = static_cast<std::size_t>(i);
+    auto sj = static_cast<std::size_t>(j);
+    nvlink_[si][sj] = net.add_link(
+        prefix + "nvl" + std::to_string(i) + "_" + std::to_string(j), config_.nvlink_bw);
+    nvlink_[sj][si] = net.add_link(
+        prefix + "nvl" + std::to_string(j) + "_" + std::to_string(i), config_.nvlink_bw);
+  }
+
+  if (config_.nic_bw > 0) {
+    nic_tx_ = net.add_link(prefix + "nic_tx", config_.nic_bw);
+    nic_rx_ = net.add_link(prefix + "nic_rx", config_.nic_bw);
+  }
+}
+
+bool Machine::nvlink_connected(int i, int j) const {
+  if (i == j) return false;
+  if (i < 0 || j < 0 || i >= config_.num_gpus || j >= config_.num_gpus) return false;
+  return nvlink_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] != nullptr;
+}
+
+std::vector<Link*> Machine::gpu_to_gpu_path(int src, int dst) const {
+  if (src == dst) return {};
+  if (src < 0 || dst < 0 || src >= config_.num_gpus || dst >= config_.num_gpus)
+    throw std::out_of_range("gpu_to_gpu_path: GPU index out of range");
+  if (nvlink_connected(src, dst))
+    return {nvlink_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)]};
+  // PCIe peer-to-peer is staged through host memory, so the payload crosses
+  // the root complex twice (GPU -> host, host -> GPU). The host bridge
+  // appears twice in the path and the max-min allocator charges it per
+  // traversal, halving the effective peer bandwidth — this is what makes
+  // PCIe rings so expensive on the 16xlarge (paper §V-A1).
+  return {pcie_up_[static_cast<std::size_t>(src)], host_bridge_, host_bridge_,
+          pcie_down_[static_cast<std::size_t>(dst)]};
+}
+
+std::vector<Link*> Machine::h2d_path(int gpu) const {
+  if (gpu < 0 || gpu >= config_.num_gpus) throw std::out_of_range("h2d_path: bad GPU");
+  return {host_bridge_, pcie_down_[static_cast<std::size_t>(gpu)]};
+}
+
+void Machine::compute_ring_order() {
+  const int n = config_.num_gpus;
+  ring_order_.resize(static_cast<std::size_t>(n));
+  std::iota(ring_order_.begin(), ring_order_.end(), 0);
+  ring_pcie_hops_ = 0;
+  if (n <= 2 || config_.interconnect == InterconnectKind::kPcieOnly) {
+    if (config_.interconnect != InterconnectKind::kPcieOnly && n == 2)
+      ring_pcie_hops_ = nvlink_connected(0, 1) ? 0 : 2;
+    return;
+  }
+
+  auto pcie_hops = [&](const std::vector<int>& order) {
+    int hops = 0;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      int a = order[k];
+      int b = order[(k + 1) % order.size()];
+      if (!nvlink_connected(a, b)) ++hops;
+    }
+    return hops;
+  };
+
+  if (n <= 8) {
+    // Exhaustive over rings with GPU 0 first (rings are rotation-invariant).
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    std::vector<int> best = perm;
+    int best_hops = pcie_hops(perm);
+    while (std::next_permutation(perm.begin() + 1, perm.end())) {
+      int h = pcie_hops(perm);
+      if (h < best_hops) {
+        best_hops = h;
+        best = perm;
+        if (h == 0) break;
+      }
+    }
+    ring_order_ = best;
+    ring_pcie_hops_ = best_hops;
+    return;
+  }
+
+  // Greedy nearest-neighbour for larger counts: prefer NVLink edges.
+  std::vector<int> order{0};
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  used[0] = true;
+  while (static_cast<int>(order.size()) < n) {
+    int cur = order.back();
+    int next = -1;
+    for (int cand = 0; cand < n; ++cand)
+      if (!used[static_cast<std::size_t>(cand)] && nvlink_connected(cur, cand)) {
+        next = cand;
+        break;
+      }
+    if (next < 0)
+      for (int cand = 0; cand < n; ++cand)
+        if (!used[static_cast<std::size_t>(cand)]) {
+          next = cand;
+          break;
+        }
+    order.push_back(next);
+    used[static_cast<std::size_t>(next)] = true;
+  }
+  ring_order_ = order;
+  ring_pcie_hops_ = pcie_hops(order);
+}
+
+SampleCache& Machine::cache(double bytes_per_sample) {
+  if (!cache_) {
+    // Reserve ~15% of DRAM for the OS, frameworks and batch buffers.
+    cache_ = std::make_unique<SampleCache>(config_.dram_bytes * 0.85, bytes_per_sample);
+  }
+  return *cache_;
+}
+
+Cluster::Cluster(FlowNetwork& net, sim::Simulator& sim,
+                 std::vector<MachineConfig> configs, double fabric_bw) {
+  if (configs.empty()) throw std::invalid_argument("Cluster needs >= 1 machine");
+  for (std::size_t m = 0; m < configs.size(); ++m)
+    machines_.push_back(
+        std::make_unique<Machine>(net, sim, configs[m], static_cast<int>(m)));
+  if (machines_.size() > 1) {
+    for (const auto& mach : machines_)
+      if (mach->nic_tx() == nullptr)
+        throw std::invalid_argument("multi-machine cluster requires NICs (nic_bw > 0)");
+    fabric_ = net.add_link("fabric", fabric_bw);
+  }
+}
+
+int Cluster::total_gpus() const {
+  int total = 0;
+  for (const auto& m : machines_) total += m->num_gpus();
+  return total;
+}
+
+std::vector<GpuRef> Cluster::ring_order() const {
+  std::vector<GpuRef> order;
+  for (const auto& m : machines_)
+    for (int g : m->ring_order()) order.push_back(GpuRef{m->id(), g});
+  return order;
+}
+
+std::vector<Link*> Cluster::path(GpuRef src, GpuRef dst) const {
+  if (src.machine == dst.machine)
+    return machine(src.machine).gpu_to_gpu_path(src.local, dst.local);
+  const Machine& a = machine(src.machine);
+  const Machine& b = machine(dst.machine);
+  // Cross-machine: device -> host bridge -> NIC -> fabric -> NIC -> host
+  // bridge -> device. Crossing traffic shares the host bridges with
+  // intra-node H2D copies, so the two kinds of flows contend realistically.
+  return {a.pcie_up(src.local), a.host_bridge(), a.nic_tx(), fabric_,
+          b.nic_rx(),           b.host_bridge(), b.pcie_down(dst.local)};
+}
+
+}  // namespace stash::hw

@@ -1,0 +1,153 @@
+// Machine and cluster topologies.
+//
+// A Machine is a set of GPUs joined by an interconnect (PCIe tree, or PCIe
+// plus an NVLink crossbar), with a NIC, an SSD, a vCPU pool and a DRAM
+// cache. A Cluster is one or more machines joined by a network fabric.
+// Both expose link-level *paths* that the collectives and the input
+// pipeline route their flows over:
+//
+//   PCIe machine      gpu_i -> [pcie_up_i, host_bridge, pcie_down_j] -> gpu_j
+//   NVLink machine    gpu_i -> [nvlink_ij] -> gpu_j          (if adjacent)
+//                     gpu_i -> PCIe path                     (otherwise)
+//   cross machine     gpu_i -> [pcie_up_i, nic_tx_A, fabric, nic_rx_B,
+//                               pcie_down_j] -> gpu_j
+//
+// The PCIe host bridge is a single shared link whose capacity is constant
+// across instance sizes of a family — the paper's explanation for the
+// p2.16xlarge bandwidth "slicing" (Fig 7, §V-A1).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hw/cpu.h"
+#include "hw/flow_network.h"
+#include "hw/gpu.h"
+#include "hw/storage.h"
+#include "sim/simulator.h"
+
+namespace stash::hw {
+
+enum class InterconnectKind {
+  kPcieOnly,    // P2 family, p3.2xlarge
+  kPcieNvlink,  // P3 multi-GPU: NVLink crossbar, PCIe fallback
+  kNvswitch,    // P4 (catalog only)
+};
+
+struct MachineConfig {
+  std::string name;  // used to label links, e.g. "p2.16xlarge#0"
+  int num_gpus = 1;
+  GpuSpec gpu;
+  InterconnectKind interconnect = InterconnectKind::kPcieOnly;
+
+  double pcie_lane_bw = 0.0;    // per-GPU PCIe bandwidth (bytes/s)
+  double host_bridge_bw = 0.0;  // shared root-complex bandwidth (bytes/s)
+  double nvlink_bw = 0.0;       // per NVLink-edge bandwidth (bytes/s)
+  // NVLink adjacency as unordered GPU-id pairs. Empty with kPcieNvlink and
+  // 8 GPUs selects the built-in hybrid-cube-mesh (Fig 1); with 4 GPUs the
+  // full quad. kNvswitch treats every pair as adjacent.
+  std::vector<std::pair<int, int>> nvlink_pairs;
+
+  double nic_bw = 0.0;  // instance network bandwidth (bytes/s)
+  int vcpus = 1;
+  double dram_bytes = 0.0;
+  double ssd_bw = 0.0;
+  double ssd_latency = 0.0;
+};
+
+class Machine {
+ public:
+  // Creates the machine's links inside `net`. `machine_id` namespaces link
+  // names when several machines share a FlowNetwork.
+  Machine(FlowNetwork& net, sim::Simulator& sim, MachineConfig config, int machine_id);
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  int id() const { return id_; }
+  int num_gpus() const { return config_.num_gpus; }
+  const MachineConfig& config() const { return config_; }
+  const GpuSpec& gpu() const { return config_.gpu; }
+
+  bool nvlink_connected(int i, int j) const;
+
+  // Link path for a GPU-to-GPU transfer inside this machine.
+  std::vector<Link*> gpu_to_gpu_path(int src, int dst) const;
+  // Host-memory-to-device path (minibatch upload); always PCIe.
+  std::vector<Link*> h2d_path(int gpu) const;
+
+  // GPU visit order that minimizes the number of non-NVLink hops in a ring
+  // (exhaustive over <= 8 GPUs, greedy beyond). For PCIe-only machines this
+  // is just 0..n-1.
+  const std::vector<int>& ring_order() const { return ring_order_; }
+  // Number of ring hops that fall back to PCIe (0 on a full crossbar).
+  int ring_pcie_hops() const { return ring_pcie_hops_; }
+
+  Link* nic_tx() const { return nic_tx_; }
+  Link* nic_rx() const { return nic_rx_; }
+  Link* pcie_up(int gpu) const { return pcie_up_.at(static_cast<std::size_t>(gpu)); }
+  Link* pcie_down(int gpu) const { return pcie_down_.at(static_cast<std::size_t>(gpu)); }
+  Link* host_bridge() const { return host_bridge_; }
+
+  StorageDevice& storage() { return *storage_; }
+  CpuPool& cpus() { return *cpus_; }
+  SampleCache& cache(double bytes_per_sample);  // lazily sized DRAM cache
+
+ private:
+  void build_links(FlowNetwork& net);
+  void compute_ring_order();
+
+  MachineConfig config_;
+  int id_;
+  std::vector<Link*> pcie_up_;    // GPU -> host
+  std::vector<Link*> pcie_down_;  // host -> GPU
+  Link* host_bridge_ = nullptr;
+  // nvlink_[i][j]: directed link i->j, null if not adjacent.
+  std::vector<std::vector<Link*>> nvlink_;
+  Link* nic_tx_ = nullptr;
+  Link* nic_rx_ = nullptr;
+  std::unique_ptr<StorageDevice> storage_;
+  std::unique_ptr<CpuPool> cpus_;
+  std::unique_ptr<SampleCache> cache_;
+  std::vector<int> ring_order_;
+  int ring_pcie_hops_ = 0;
+};
+
+// Global reference to one GPU in a cluster.
+struct GpuRef {
+  int machine = 0;
+  int local = 0;
+  bool operator==(const GpuRef&) const = default;
+};
+
+class Cluster {
+ public:
+  // Builds `configs.size()` machines joined by a fabric of `fabric_bw`
+  // bytes/s (effectively unlimited inside one placement group; the NICs are
+  // the real constraint).
+  Cluster(FlowNetwork& net, sim::Simulator& sim, std::vector<MachineConfig> configs,
+          double fabric_bw);
+
+  std::size_t num_machines() const { return machines_.size(); }
+  Machine& machine(int i) { return *machines_.at(static_cast<std::size_t>(i)); }
+  const Machine& machine(int i) const { return *machines_.at(static_cast<std::size_t>(i)); }
+  int total_gpus() const;
+
+  // Flattened GPU list in ring order: machines in index order, each
+  // machine's GPUs in its ring order.
+  std::vector<GpuRef> ring_order() const;
+
+  // Link path between two GPUs anywhere in the cluster.
+  std::vector<Link*> path(GpuRef src, GpuRef dst) const;
+
+  Link* fabric() const { return fabric_; }
+  bool multi_machine() const { return machines_.size() > 1; }
+
+ private:
+  std::vector<std::unique_ptr<Machine>> machines_;
+  Link* fabric_ = nullptr;
+};
+
+}  // namespace stash::hw

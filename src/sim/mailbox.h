@@ -1,0 +1,111 @@
+// Bounded FIFO channel between simulation coroutines.
+//
+// Producers `co_await put(item)` and block while the mailbox is full;
+// consumers `co_await get()` and block while it is empty. This is the
+// backpressure mechanism of the input pipeline: the prefetch queue between
+// the data loader and the GPU worker is a Mailbox with capacity equal to
+// the prefetch depth.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace stash::sim {
+
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox(Simulator& sim, std::size_t capacity) : sim_(sim), capacity_(capacity) {
+    if (capacity_ == 0) throw std::invalid_argument("Mailbox capacity must be >= 1");
+  }
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  auto put(T item) {
+    struct Awaiter {
+      Mailbox& box;
+      T item;
+      bool await_ready() {
+        if (box.items_.size() < box.capacity_ && box.putters_.empty()) {
+          box.deposit(std::move(item));
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        box.putters_.push_back(PendingPut{h, std::move(item)});
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, std::move(item)};
+  }
+
+  auto get() {
+    struct Awaiter {
+      Mailbox& box;
+      std::optional<T> value{};
+      bool await_ready() {
+        if (!box.items_.empty()) {
+          value.emplace(std::move(box.items_.front()));
+          box.items_.pop_front();
+          box.admit_putter();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        box.getters_.push_back(PendingGet{h, &value});
+      }
+      T await_resume() { return std::move(*value); }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  struct PendingPut {
+    std::coroutine_handle<> handle;
+    T item;
+  };
+  struct PendingGet {
+    std::coroutine_handle<> handle;
+    std::optional<T>* slot;
+  };
+
+  // Adds an item, waking a waiting consumer if present.
+  void deposit(T item) {
+    if (!getters_.empty()) {
+      PendingGet g = std::move(getters_.front());
+      getters_.pop_front();
+      g.slot->emplace(std::move(item));
+      sim_.schedule(0.0, [h = g.handle] { h.resume(); });
+      return;
+    }
+    items_.push_back(std::move(item));
+  }
+
+  // After a slot frees up, admits the oldest blocked producer.
+  void admit_putter() {
+    if (putters_.empty() || items_.size() >= capacity_) return;
+    PendingPut p = std::move(putters_.front());
+    putters_.pop_front();
+    deposit(std::move(p.item));
+    sim_.schedule(0.0, [h = p.handle] { h.resume(); });
+  }
+
+  Simulator& sim_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::deque<PendingPut> putters_;
+  std::deque<PendingGet> getters_;
+};
+
+}  // namespace stash::sim

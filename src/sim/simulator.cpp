@@ -1,0 +1,87 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace stash::sim {
+
+EventId Simulator::schedule(SimTime delay_s, Callback fn) {
+  if (delay_s < 0.0) throw std::invalid_argument("Simulator::schedule: negative delay");
+  return schedule_at(now_ + delay_s, std::move(fn));
+}
+
+EventId Simulator::schedule_at(SimTime t, Callback fn) {
+  if (t < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  std::uint64_t seq = next_seq_++;
+  queue_.push(Scheduled{t, seq});
+  callbacks_.emplace(seq, std::move(fn));
+  return EventId{seq};
+}
+
+void Simulator::cancel(EventId id) {
+  if (id.valid()) callbacks_.erase(id.seq);
+}
+
+void Simulator::spawn(Task<void> task) {
+  if (!task.valid()) throw std::invalid_argument("Simulator::spawn: invalid task");
+  roots_.push_back(std::move(task));
+  // Start at the current simulated time, synchronously: a process may run
+  // up to its first suspension point before spawn returns, matching the
+  // "process begins now" semantics.
+  roots_.back().start();
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Scheduled top = queue_.top();
+    auto it = callbacks_.find(top.seq);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // cancelled
+      continue;
+    }
+    queue_.pop();
+    now_ = top.time;
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++events_executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::check_root_failures() {
+  for (const auto& t : roots_) t.check();
+}
+
+SimTime Simulator::run() {
+  while (step()) {
+  }
+  check_root_failures();
+  return now_;
+}
+
+SimTime Simulator::run_until(SimTime t) {
+  while (!queue_.empty()) {
+    Scheduled top = queue_.top();
+    if (!callbacks_.contains(top.seq)) {
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    step();
+  }
+  // Advance the clock to the requested horizon even if nothing fires there.
+  now_ = std::max(now_, t);
+  check_root_failures();
+  return now_;
+}
+
+bool Simulator::all_processes_done() const {
+  for (const auto& t : roots_)
+    if (!t.done()) return false;
+  return true;
+}
+
+}  // namespace stash::sim

@@ -1,0 +1,102 @@
+// Discrete-event simulator core.
+//
+// The Simulator owns a time-ordered event queue and the root coroutine
+// processes spawned onto it. Model code is written as coroutines that
+// `co_await sim.delay(dt)` or await synchronization primitives (sim/sync.h);
+// callbacks remain available for low-level components such as the flow
+// network's rate recomputation.
+//
+// Determinism: events at equal timestamps fire in schedule order (a
+// monotonically increasing sequence number breaks ties), so a run is a pure
+// function of the model and its RNG seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace stash::sim {
+
+using SimTime = double;  // seconds since simulation start
+
+// Identifies a scheduled event for cancellation.
+struct EventId {
+  std::uint64_t seq = 0;
+  bool valid() const { return seq != 0; }
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run `delay_s` seconds from now (>= 0).
+  EventId schedule(SimTime delay_s, Callback fn);
+  // Schedules `fn` at absolute simulated time `t` (>= now()).
+  EventId schedule_at(SimTime t, Callback fn);
+  // Cancels a scheduled event; no-op if it already fired or was cancelled.
+  void cancel(EventId id);
+
+  // Spawns a root process starting at the current simulated time. The
+  // Simulator keeps the task alive until it completes (or the Simulator is
+  // destroyed, which reclaims unfinished process trees).
+  void spawn(Task<void> task);
+
+  // Awaitable that resumes the coroutine after `dt` simulated seconds.
+  auto delay(SimTime dt) {
+    struct Awaiter {
+      Simulator& sim;
+      SimTime dt;
+      bool await_ready() const noexcept { return dt <= 0.0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.schedule(dt, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, dt};
+  }
+
+  // Runs until the event queue is empty. Rethrows the first exception
+  // captured by any root process. Returns the final simulated time.
+  SimTime run();
+  // Runs until the queue is empty or simulated time would exceed `t`.
+  SimTime run_until(SimTime t);
+
+  // True if every spawned root process has completed. A false value after
+  // run() indicates a model deadlock (processes blocked forever).
+  bool all_processes_done() const;
+  std::size_t num_processes() const { return roots_.size(); }
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Scheduled {
+    SimTime time;
+    std::uint64_t seq;
+    bool operator>(const Scheduled& o) const {
+      return time > o.time || (time == o.time && seq > o.seq);
+    }
+  };
+
+  bool step();                 // executes one event; false if queue empty
+  void check_root_failures();  // rethrows stored process exceptions
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
+  // seq -> callback; erased on fire/cancel. Cancelled events stay in the
+  // priority queue but are skipped when popped.
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::vector<Task<void>> roots_;
+};
+
+}  // namespace stash::sim

@@ -1,0 +1,175 @@
+// Synchronization primitives for simulation coroutines.
+//
+// All primitives resume waiters through the Simulator's event queue (at the
+// current simulated time) rather than inline, so triggering code never
+// re-enters arbitrary coroutine frames and wake-up order is deterministic
+// (FIFO per primitive, sequence-ordered across primitives).
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace stash::sim {
+
+// One-shot event: wait() suspends until trigger(); waits after the trigger
+// complete immediately. trigger() is idempotent.
+class Event {
+ public:
+  explicit Event(Simulator& sim) : sim_(sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool triggered() const { return triggered_; }
+
+  void trigger() {
+    if (triggered_) return;
+    triggered_ = true;
+    for (auto h : waiters_) sim_.schedule(0.0, [h] { h.resume(); });
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Event& ev;
+      bool await_ready() const noexcept { return ev.triggered_; }
+      void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  bool triggered_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// One-shot countdown latch (std::latch analogue).
+class Latch {
+ public:
+  Latch(Simulator& sim, std::size_t count) : event_(sim), count_(count) {
+    if (count_ == 0) event_.trigger();
+  }
+
+  void count_down() {
+    if (count_ == 0) throw std::logic_error("Latch::count_down below zero");
+    if (--count_ == 0) event_.trigger();
+  }
+
+  auto wait() { return event_.wait(); }
+  std::size_t pending() const { return count_; }
+
+ private:
+  Event event_;
+  std::size_t count_;
+};
+
+// Counting semaphore with FIFO waiters. release() hands the permit directly
+// to the oldest waiter, so acquisition order equals arrival order.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, std::size_t initial) : sim_(sim), permits_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& sem;
+      bool await_ready() const noexcept {
+        if (sem.permits_ > 0 && sem.waiters_.empty()) {
+          --sem.permits_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { sem.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_.schedule(0.0, [h] { h.resume(); });
+    } else {
+      ++permits_;
+    }
+  }
+
+  std::size_t available() const { return permits_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Simulator& sim_;
+  std::size_t permits_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// Reusable generation-counted barrier for a fixed participant count
+// (synchronous data-parallel workers synchronize on one per iteration).
+class Barrier {
+ public:
+  Barrier(Simulator& sim, std::size_t parties) : sim_(sim), parties_(parties) {
+    if (parties_ == 0) throw std::invalid_argument("Barrier needs >= 1 party");
+  }
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  auto arrive_and_wait() {
+    struct Awaiter {
+      Barrier& bar;
+      bool await_ready() const noexcept { return bar.parties_ == 1; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        ++bar.arrived_;
+        if (bar.arrived_ == bar.parties_) {
+          bar.arrived_ = 0;
+          ++bar.generation_;
+          for (auto w : bar.waiters_) bar.sim_.schedule(0.0, [w] { w.resume(); });
+          bar.waiters_.clear();
+          return false;  // last arriver proceeds immediately
+        }
+        bar.waiters_.push_back(h);
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  std::size_t parties() const { return parties_; }
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  Simulator& sim_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// Runs all tasks concurrently as root processes and completes when every
+// one of them has finished.
+inline Task<void> join_all(Simulator& sim, std::vector<Task<void>> tasks) {
+  auto latch = std::make_shared<Latch>(sim, tasks.size());
+  for (auto& t : tasks) {
+    // Wrap each task so that its completion counts down the shared latch.
+    auto wrapper = [](Task<void> inner, std::shared_ptr<Latch> l) -> Task<void> {
+      co_await std::move(inner);
+      l->count_down();
+    };
+    sim.spawn(wrapper(std::move(t), latch));
+  }
+  co_await latch->wait();
+}
+
+}  // namespace stash::sim

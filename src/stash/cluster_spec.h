@@ -1,0 +1,45 @@
+// Describes one training-cluster configuration under characterization,
+// e.g. "p3.16xlarge", "p3.8xlarge*2", or "p2.8xlarge using 4 of 8 GPUs".
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cloud/allocation.h"
+#include "cloud/instance.h"
+
+namespace stash::profiler {
+
+struct ClusterSpec {
+  std::string instance;  // catalog name
+  int count = 1;         // machines, joined by the placement-group fabric
+  // GPUs used per machine (-1 = all). Stash step 5 splits a machine's GPU
+  // count across two network-connected peers using this.
+  int gpus_per_machine = -1;
+  cloud::CrossbarSlice slice = cloud::CrossbarSlice::kFragmented;
+
+  int gpus_used() const {
+    int per = gpus_per_machine > 0 ? gpus_per_machine
+                                   : cloud::instance(instance).num_gpus;
+    return per * count;
+  }
+
+  // Human-readable label matching the paper's figures: "p3.8xlarge*2".
+  std::string label() const {
+    std::string s = instance;
+    if (count > 1) s += "*" + std::to_string(count);
+    if (gpus_per_machine > 0) s += "[" + std::to_string(gpus_per_machine) + "gpu]";
+    return s;
+  }
+
+  double hourly_price() const {
+    return cloud::instance(instance).price_per_hour * count;
+  }
+};
+
+// The network-connected counterpart Stash step 5 measures against: the
+// same total GPU count spread over two machines of the same family.
+// nullopt when the spec is already multi-machine or has a single GPU.
+std::optional<ClusterSpec> network_split(const ClusterSpec& spec);
+
+}  // namespace stash::profiler

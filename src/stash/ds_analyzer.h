@@ -1,0 +1,38 @@
+// DS-Analyzer baseline (Mohan et al.), the prior work Stash extends.
+//
+// DS-Analyzer runs only steps 2-4: it measures CPU (prep) and disk (fetch)
+// stalls but has "a key omission of not profiling communication-related
+// stalls" (paper §I). Running both profilers on the same workload shows
+// exactly what the omission costs — on communication-bound configurations
+// DS-Analyzer attributes almost none of the slowdown.
+#pragma once
+
+#include "stash/profiler.h"
+
+namespace stash::profiler {
+
+struct DsAnalyzerReport {
+  std::string config_label;
+  std::string model_name;
+  int per_gpu_batch = 0;
+
+  double t2 = 0.0, t3 = 0.0, t4 = 0.0;
+  double prep_stall_pct = 0.0;
+  double fetch_stall_pct = 0.0;
+
+  // Share of the real-data iteration DS-Analyzer cannot attribute to any
+  // stall because it never measures communication: (t2 - ideal_compute)/t4.
+  double unattributed_pct = 0.0;
+};
+
+class DsAnalyzer {
+ public:
+  DsAnalyzer(dnn::Model model, dnn::Dataset dataset, ProfileOptions options = {});
+
+  DsAnalyzerReport profile(const ClusterSpec& spec, int per_gpu_batch) const;
+
+ private:
+  StashProfiler inner_;  // reuses the same step runner
+};
+
+}  // namespace stash::profiler

@@ -1,0 +1,142 @@
+#include "stash/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cloud/builder.h"
+#include "hw/flow_network.h"
+#include "sim/simulator.h"
+
+namespace stash::profiler {
+
+std::optional<ClusterSpec> network_split(const ClusterSpec& spec) {
+  if (spec.count != 1) return std::nullopt;
+  int total = spec.gpus_used();
+  if (total < 2) return std::nullopt;
+  int per_machine = total / 2;
+  if (per_machine * 2 != total) return std::nullopt;  // odd counts don't split
+
+  // Smallest same-family catalog instance that can host half the GPUs.
+  const auto& base = cloud::instance(spec.instance);
+  const cloud::InstanceType* best = nullptr;
+  for (const auto& cand : cloud::instance_catalog()) {
+    if (cand.family != base.family || cand.num_gpus < per_machine) continue;
+    if (cand.dedicated && !base.dedicated) continue;
+    if (best == nullptr || cand.num_gpus < best->num_gpus ||
+        (cand.num_gpus == best->num_gpus &&
+         cand.price_per_hour < best->price_per_hour))
+      best = &cand;
+  }
+  if (best == nullptr) return std::nullopt;
+
+  ClusterSpec split;
+  split.instance = best->name;
+  split.count = 2;
+  split.gpus_per_machine = per_machine == best->num_gpus ? -1 : per_machine;
+  split.slice = spec.slice;
+  return split;
+}
+
+StashProfiler::StashProfiler(dnn::Model model, dnn::Dataset dataset,
+                             ProfileOptions options)
+    : model_(std::move(model)), dataset_(std::move(dataset)), options_(options) {}
+
+ddl::TrainConfig StashProfiler::step_config(Step step, int per_gpu_batch,
+                                            int gpus_in_spec) const {
+  ddl::TrainConfig cfg;
+  cfg.per_gpu_batch = per_gpu_batch;
+  cfg.iterations = options_.iterations;
+  cfg.warmup_iterations = options_.warmup_iterations;
+  cfg.bucket_bytes = options_.bucket_bytes;
+  cfg.collective = options_.collective;
+  cfg.loader_workers_per_gpu = options_.loader_workers_per_gpu;
+  cfg.prefetch_depth = options_.prefetch_depth;
+  switch (step) {
+    case Step::kSingleGpuSynthetic:
+      cfg.synthetic_data = true;
+      cfg.use_gpus = {hw::GpuRef{0, 0}};
+      break;
+    case Step::kAllGpuSynthetic:
+    case Step::kNetworkSynthetic:
+      cfg.synthetic_data = true;
+      break;
+    case Step::kRealCold:
+      cfg.synthetic_data = false;
+      cfg.cold_cache = true;
+      break;
+    case Step::kRealWarm:
+      cfg.synthetic_data = false;
+      cfg.cold_cache = false;
+      break;
+  }
+  (void)gpus_in_spec;
+  return cfg;
+}
+
+ddl::TrainResult StashProfiler::run_step(const ClusterSpec& spec, Step step,
+                                         int per_gpu_batch) const {
+  sim::Simulator sim;
+  hw::FlowNetwork net(sim);
+  hw::Cluster cluster(
+      net, sim,
+      cloud::cluster_configs_for(cloud::instance(spec.instance), spec.count,
+                                 spec.slice),
+      cloud::fabric_bandwidth());
+
+  ddl::TrainConfig cfg = step_config(step, per_gpu_batch, spec.gpus_used());
+  // Restrict to the spec's per-machine GPU subset (step-5 splits and step 1).
+  if (cfg.use_gpus.empty() && spec.gpus_per_machine > 0) {
+    for (int m = 0; m < spec.count; ++m) {
+      const auto& order = cluster.machine(m).ring_order();
+      for (int g = 0; g < spec.gpus_per_machine; ++g)
+        cfg.use_gpus.push_back(hw::GpuRef{m, order[static_cast<std::size_t>(g)]});
+    }
+  }
+
+  ddl::Trainer trainer(sim, net, cluster, model_, dataset_, cfg);
+  return trainer.run();
+}
+
+StallReport StashProfiler::profile(const ClusterSpec& spec, int per_gpu_batch) const {
+  StallReport report;
+  report.config_label = spec.label();
+  report.model_name = model_.name();
+  report.per_gpu_batch = per_gpu_batch;
+  report.gpus = spec.gpus_used();
+
+  report.t1 = run_step(spec, Step::kSingleGpuSynthetic, per_gpu_batch).per_iteration;
+  report.t2 = run_step(spec, Step::kAllGpuSynthetic, per_gpu_batch).per_iteration;
+  report.t3 = run_step(spec, Step::kRealCold, per_gpu_batch).per_iteration;
+  ddl::TrainResult warm = run_step(spec, Step::kRealWarm, per_gpu_batch);
+  report.t4 = warm.per_iteration;
+
+  report.t5 = std::nan("");
+  if (auto split = network_split(spec)) {
+    try {
+      report.t5 =
+          run_step(*split, Step::kNetworkSynthetic, per_gpu_batch).per_iteration;
+      report.has_network_step = true;
+    } catch (const ddl::ModelDoesNotFit&) {
+      // The split instances can have smaller GPUs than the original (e.g.
+      // p3.24xlarge's 32 GiB V100s split onto 16 GiB p3.8xlarge ones); the
+      // network step is then unmeasurable at this batch size.
+    }
+  }
+
+  auto pct = [](double num, double den) {
+    return den > 0.0 ? std::max(0.0, num / den * 100.0) : 0.0;
+  };
+  report.ic_stall_pct = pct(report.t2 - report.t1, report.t1);
+  report.nw_stall_pct =
+      report.has_network_step ? pct(report.t5 - report.t2, report.t2) : 0.0;
+  report.prep_stall_pct = pct(report.t4 - report.t2, report.t4);
+  report.fetch_stall_pct = pct(report.t3 - report.t4, report.t3);
+
+  report.epoch_seconds = warm.epoch_time(dataset_.num_samples, per_gpu_batch);
+  report.epoch_cost_usd = cloud::cost_usd(cloud::instance(spec.instance),
+                                          report.epoch_seconds, spec.count);
+  return report;
+}
+
+}  // namespace stash::profiler

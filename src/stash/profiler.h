@@ -1,0 +1,94 @@
+// Stash: the stall-centric DDL profiler (the paper's core contribution).
+//
+// Stash decomposes distributed training time into four stalls by running
+// five controlled configurations of the same workload (paper §IV-B):
+//
+//   step 1 (T1): synthetic data, ONE GPU of the machine   -> no communication
+//   step 2 (T2): synthetic data, all GPUs of the spec     -> interconnect only
+//   step 3 (T3): real data, cold caches                   -> + disk + CPU
+//   step 4 (T4): real data, fully DRAM-cached             -> + CPU
+//   step 5 (T5): synthetic data, same GPU count over two
+//                network-connected machines               -> + network
+//
+//   interconnect stall % = (T2 - T1) / T1 * 100
+//   network stall %      = (T5 - T2) / T2 * 100
+//   prep (CPU) stall %   = (T4 - T2) / T4 * 100
+//   fetch (disk) stall % = (T3 - T4) / T3 * 100
+//
+// Steps 2-4 are DS-Analyzer's methodology; steps 1 and 5 are Stash's
+// additions. All times are per training iteration; because the workload is
+// strictly periodic, per-iteration differences equal per-epoch differences
+// scaled by the (identical) iteration count.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ddl/train_config.h"
+#include "ddl/trainer.h"
+#include "dnn/dataset.h"
+#include "dnn/model.h"
+#include "stash/cluster_spec.h"
+
+namespace stash::profiler {
+
+enum class Step {
+  kSingleGpuSynthetic,  // 1
+  kAllGpuSynthetic,     // 2
+  kRealCold,            // 3
+  kRealWarm,            // 4
+  kNetworkSynthetic,    // 5 (run on the network-split spec)
+};
+
+struct StallReport {
+  std::string config_label;
+  std::string model_name;
+  int per_gpu_batch = 0;
+  int gpus = 0;
+
+  // Per-iteration times of each profiler step (seconds). t5 is NaN when no
+  // network split exists (single-GPU specs).
+  double t1 = 0.0, t2 = 0.0, t3 = 0.0, t4 = 0.0, t5 = 0.0;
+  bool has_network_step = false;
+
+  double ic_stall_pct = 0.0;
+  double nw_stall_pct = 0.0;
+  double prep_stall_pct = 0.0;
+  double fetch_stall_pct = 0.0;
+
+  // Steady-state (warm-cache) epoch projections for the cost figures.
+  double epoch_seconds = 0.0;
+  double epoch_cost_usd = 0.0;
+};
+
+struct ProfileOptions {
+  int iterations = 6;
+  int warmup_iterations = 2;
+  double bucket_bytes = 0.0;  // per-tensor, the paper's granularity
+  coll::CollectiveConfig collective{};
+  int loader_workers_per_gpu = 3;
+  int prefetch_depth = 4;
+};
+
+class StashProfiler {
+ public:
+  StashProfiler(dnn::Model model, dnn::Dataset dataset, ProfileOptions options = {});
+
+  // Runs one profiler step on a spec and returns the full train result.
+  ddl::TrainResult run_step(const ClusterSpec& spec, Step step, int per_gpu_batch) const;
+
+  // Runs the complete five-step methodology.
+  StallReport profile(const ClusterSpec& spec, int per_gpu_batch) const;
+
+  const dnn::Model& model() const { return model_; }
+  const dnn::Dataset& dataset() const { return dataset_; }
+
+ private:
+  ddl::TrainConfig step_config(Step step, int per_gpu_batch, int gpus_in_spec) const;
+
+  dnn::Model model_;
+  dnn::Dataset dataset_;
+  ProfileOptions options_;
+};
+
+}  // namespace stash::profiler

@@ -1,0 +1,58 @@
+#include "stash/recommend.h"
+
+#include <algorithm>
+
+#include "ddl/trainer.h"
+
+namespace stash::profiler {
+
+std::vector<ClusterSpec> default_candidates() {
+  std::vector<ClusterSpec> specs;
+  for (const char* name : {"p2.xlarge", "p2.8xlarge", "p2.16xlarge", "p3.2xlarge",
+                           "p3.8xlarge", "p3.16xlarge", "p3.24xlarge"})
+    specs.push_back(ClusterSpec{name});
+  specs.push_back(ClusterSpec{"p2.8xlarge", 2});
+  specs.push_back(ClusterSpec{"p3.8xlarge", 2});
+  return specs;
+}
+
+std::vector<Recommendation> recommend(const dnn::Model& model,
+                                      const dnn::Dataset& dataset,
+                                      const RecommendOptions& options) {
+  std::vector<ClusterSpec> candidates =
+      options.candidates.empty() ? default_candidates() : options.candidates;
+
+  StashProfiler profiler(model, dataset, options.profile);
+  std::vector<Recommendation> recs;
+  for (const ClusterSpec& spec : candidates) {
+    const auto& type = cloud::instance(spec.instance);
+    if (model.train_memory_bytes(options.per_gpu_batch) > type.gpu.memory_bytes)
+      continue;  // batch does not fit this GPU
+    Recommendation r;
+    r.spec = spec;
+    r.report = profiler.profile(spec, options.per_gpu_batch);
+    recs.push_back(std::move(r));
+  }
+
+  std::vector<std::size_t> idx(recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) idx[i] = i;
+
+  auto assign_ranks = [&](auto key, int Recommendation::*field) {
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return key(recs[a]) < key(recs[b]); });
+    for (std::size_t rank = 0; rank < idx.size(); ++rank)
+      recs[idx[rank]].*field = static_cast<int>(rank);
+  };
+  assign_ranks([](const Recommendation& r) { return r.report.epoch_seconds; },
+               &Recommendation::by_time);
+  assign_ranks([](const Recommendation& r) { return r.report.epoch_cost_usd; },
+               &Recommendation::by_cost);
+
+  std::sort(recs.begin(), recs.end(), [](const Recommendation& a,
+                                         const Recommendation& b) {
+    return a.by_time < b.by_time;
+  });
+  return recs;
+}
+
+}  // namespace stash::profiler

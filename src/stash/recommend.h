@@ -1,0 +1,44 @@
+// Instance recommendation from stall profiles (paper §V recommendations).
+//
+// The paper's takeaways, encoded: rank candidate cluster configurations for
+// a model by projected epoch time and cost, using the Stash profile of each
+// candidate. Users get the paper's conclusions (2xlarge most cost-optimal,
+// 16xlarge most performant for P3, avoid network-connected clusters, avoid
+// p2.16xlarge) computed for *their* model rather than asserted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stash/profiler.h"
+
+namespace stash::profiler {
+
+struct Recommendation {
+  ClusterSpec spec;
+  StallReport report;
+  // Rank positions (0 = best) under each objective.
+  int by_time = 0;
+  int by_cost = 0;
+};
+
+struct RecommendOptions {
+  // Candidate configurations; empty = the paper's characterization set for
+  // the model's family preference (all P2 and P3 single-machine types plus
+  // the 8xlarge*2 network configurations).
+  std::vector<ClusterSpec> candidates;
+  int per_gpu_batch = 32;
+  ProfileOptions profile{};
+};
+
+// The paper's default candidate set.
+std::vector<ClusterSpec> default_candidates();
+
+// Profiles every candidate and returns them ranked by epoch time (primary
+// listing); each entry also carries its cost rank. Candidates whose GPU
+// memory cannot fit the batch are skipped.
+std::vector<Recommendation> recommend(const dnn::Model& model,
+                                      const dnn::Dataset& dataset,
+                                      const RecommendOptions& options);
+
+}  // namespace stash::profiler

@@ -1,0 +1,36 @@
+#include "stash/session.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stash::profiler {
+
+TrainingEstimate estimate_training(const StashProfiler& profiler,
+                                   const ClusterSpec& spec, int per_gpu_batch,
+                                   int epochs) {
+  if (epochs < 1) throw std::invalid_argument("estimate_training: epochs < 1");
+
+  ddl::TrainResult cold = profiler.run_step(spec, Step::kRealCold, per_gpu_batch);
+  ddl::TrainResult warm = profiler.run_step(spec, Step::kRealWarm, per_gpu_batch);
+
+  double samples = profiler.dataset().num_samples;
+  TrainingEstimate e;
+  e.config_label = spec.label();
+  e.model_name = profiler.model().name();
+  e.epochs = epochs;
+  e.per_gpu_batch = per_gpu_batch;
+  e.first_epoch_seconds = cold.epoch_time(samples, per_gpu_batch);
+  e.steady_epoch_seconds = warm.epoch_time(samples, per_gpu_batch);
+  e.total_seconds =
+      e.first_epoch_seconds + (epochs - 1) * e.steady_epoch_seconds;
+  e.total_cost_usd =
+      cloud::cost_usd(cloud::instance(spec.instance), e.total_seconds, spec.count);
+  double all_warm = epochs * e.steady_epoch_seconds;
+  e.cold_start_overhead_pct =
+      all_warm > 0.0
+          ? std::max(0.0, (e.total_seconds - all_warm) / e.total_seconds * 100.0)
+          : 0.0;
+  return e;
+}
+
+}  // namespace stash::profiler

@@ -1,0 +1,35 @@
+// End-to-end training estimates from the profiler steps.
+//
+// The paper reports per-epoch time and cost, noting that "the entire
+// training time ... scales linearly with the number of epochs" but that
+// the FIRST epoch differs: it reads the dataset cold from the SSD while
+// later epochs hit the DRAM cache (DS-Analyzer's step 3 vs step 4). This
+// module turns the two measured steps into a whole-run estimate — what a
+// tenant actually pays to train a model for E epochs on a configuration.
+#pragma once
+
+#include "stash/profiler.h"
+
+namespace stash::profiler {
+
+struct TrainingEstimate {
+  std::string config_label;
+  std::string model_name;
+  int epochs = 0;
+  int per_gpu_batch = 0;
+
+  double first_epoch_seconds = 0.0;   // cold-cache epoch (step 3 scaled)
+  double steady_epoch_seconds = 0.0;  // warm-cache epochs (step 4 scaled)
+  double total_seconds = 0.0;
+  double total_cost_usd = 0.0;
+
+  // Share of the whole run spent waiting on the cold first epoch's disk.
+  double cold_start_overhead_pct = 0.0;
+};
+
+// Profiles steps 3 and 4 on the spec and extrapolates an E-epoch run.
+TrainingEstimate estimate_training(const StashProfiler& profiler,
+                                   const ClusterSpec& spec, int per_gpu_batch,
+                                   int epochs);
+
+}  // namespace stash::profiler

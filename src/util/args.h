@@ -1,0 +1,78 @@
+// Minimal command-line argument parser for the CLI and examples.
+//
+// Supports positionals plus --key=value / --key value options and --flag
+// booleans. No external dependencies; throws std::invalid_argument with a
+// usable message on malformed input.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace stash::util {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        std::string body = a.substr(2);
+        if (body.empty()) throw std::invalid_argument("empty option '--'");
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+          options_[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          options_[body] = argv[++i];
+        } else {
+          options_[body] = "";  // bare flag
+        }
+      } else {
+        positionals_.push_back(std::move(a));
+      }
+    }
+  }
+
+  std::size_t num_positional() const { return positionals_.size(); }
+
+  std::string positional(std::size_t index, const std::string& fallback = "") const {
+    return index < positionals_.size() ? positionals_[index] : fallback;
+  }
+
+  bool has(const std::string& key) const { return options_.contains(key); }
+
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    auto it = options_.find(key);
+    return it != options_.end() ? it->second : fallback;
+  }
+
+  int get_int(const std::string& key, int fallback) const {
+    auto it = options_.find(key);
+    if (it == options_.end()) return fallback;
+    try {
+      return std::stoi(it->second);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("option --" + key + " expects an integer, got '" +
+                                  it->second + "'");
+    }
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    auto it = options_.find(key);
+    if (it == options_.end()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("option --" + key + " expects a number, got '" +
+                                  it->second + "'");
+    }
+  }
+
+ private:
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> options_;
+};
+
+}  // namespace stash::util

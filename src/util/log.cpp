@@ -1,0 +1,47 @@
+#include "util/log.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace stash::util {
+
+namespace {
+
+LogLevel parse_env_level() {
+  const char* env = std::getenv("STASH_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  std::string v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  return LogLevel::kOff;
+}
+
+LogLevel& level_storage() {
+  static LogLevel level = parse_env_level();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage(); }
+void set_log_level(LogLevel level) { level_storage() = level; }
+
+void log_write(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace stash::util

@@ -1,0 +1,45 @@
+// Minimal leveled logging. Off by default so that benches print only the
+// tables they are asked for; enable with STASH_LOG=debug|info|warn.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace stash::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+// Current threshold, read once from the STASH_LOG environment variable.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_write(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string log_concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_write(LogLevel::kDebug, detail::log_concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_write(LogLevel::kInfo, detail::log_concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_write(LogLevel::kWarn, detail::log_concat(std::forward<Args>(args)...));
+}
+
+}  // namespace stash::util

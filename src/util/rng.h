@@ -1,0 +1,67 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the simulator draws from an Rng that is
+// explicitly seeded by the experiment configuration, so a run is fully
+// reproducible from its seed. Child generators are derived with
+// SplitMix64-style mixing so that two components never share a stream.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace stash::util {
+
+// Mixes a 64-bit value; used to derive independent child seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97f4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed)
+      : engine_(splitmix64(seed)), seed_base_(splitmix64(seed)) {}
+
+  // Derives an independent generator for a named sub-component.
+  Rng child(std::uint64_t stream_id) const {
+    return Rng(seed_base_ ^ splitmix64(stream_id));
+  }
+
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Normal draw clamped to [lo, hi]; convenient for jittered service times
+  // that must stay positive.
+  double clamped_normal(double mean, double stddev, double lo, double hi) {
+    double v = normal(mean, stddev);
+    if (v < lo) return lo;
+    if (v > hi) return hi;
+    return v;
+  }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_base_ = 0;
+};
+
+}  // namespace stash::util

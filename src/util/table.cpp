@@ -1,0 +1,88 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stash::util {
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  if (rows_.empty()) throw std::logic_error("Table::cell before Table::row");
+  if (rows_.back().size() >= headers_.size())
+    throw std::logic_error("Table row has more cells than headers");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+Table& Table::cell(double value, int precision) { return cell(format_double(value, precision)); }
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+
+  auto emit_row = [&](std::ostringstream& os, const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::string v = c < cells.size() ? cells[c] : "";
+      os << "| " << v << std::string(width[c] - v.size(), ' ') << ' ';
+    }
+    os << "|\n";
+  };
+
+  std::ostringstream os;
+  emit_row(os, headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << "|" << std::string(width[c] + 2, '-');
+  os << "|\n";
+  for (const auto& r : rows_) emit_row(os, r);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << (c ? "," : "") << quote(headers_[c]);
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      os << (c ? "," : "") << quote(c < r.size() ? r[c] : "");
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_ascii(); }
+
+}  // namespace stash::util

@@ -1,0 +1,45 @@
+// ASCII table / CSV printer used by the bench harness to emit the rows and
+// series that the paper's tables and figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stash::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Starts a new row. Subsequent add_*() calls append cells to it.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  // Numeric cell with fixed precision.
+  Table& cell(double value, int precision = 2);
+  Table& cell(long long value);
+  Table& cell(int value);
+  Table& cell(std::size_t value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return headers_.size(); }
+  const std::vector<std::string>& header() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  // Renders with aligned columns and a header rule.
+  std::string to_ascii() const;
+  // Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given precision (helper shared with benches).
+std::string format_double(double value, int precision);
+
+}  // namespace stash::util

@@ -1,0 +1,65 @@
+#include "util/trace.h"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stash::util {
+
+namespace {
+
+// JSON string escaping for the few characters that can appear in labels.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceRecorder::add_span(std::string name, std::string category, double start_s,
+                             double duration_s, int pid, int tid) {
+  if (duration_s < 0.0) throw std::invalid_argument("TraceRecorder: negative duration");
+  spans_.push_back(Span{std::move(name), std::move(category), start_s, duration_s,
+                        pid, tid});
+}
+
+void TraceRecorder::name_track(int pid, int tid, std::string label) {
+  track_names_.push_back(TrackName{pid, tid, std::move(label)});
+}
+
+std::string TraceRecorder::to_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& t : track_names_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << t.pid
+       << ",\"tid\":" << t.tid << ",\"args\":{\"name\":\"" << escape(t.label)
+       << "\"}}";
+  }
+  for (const auto& s : spans_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"X\",\"name\":\"" << escape(s.name) << "\",\"cat\":\""
+       << escape(s.category) << "\",\"ts\":" << s.start_s * 1e6
+       << ",\"dur\":" << s.duration_s * 1e6 << ",\"pid\":" << s.pid
+       << ",\"tid\":" << s.tid << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+void TraceRecorder::write(std::ostream& os) const { os << to_json(); }
+
+}  // namespace stash::util

@@ -1,0 +1,52 @@
+// Chrome-trace event recorder.
+//
+// Collects named duration spans on (process, thread) tracks and serializes
+// them in the Chrome trace-event JSON format, loadable in chrome://tracing
+// or Perfetto. The trainer uses it to emit per-iteration timelines (data
+// wait / H2D / forward / backward / collectives) so a stall diagnosis can
+// be read straight off the track view.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stash::util {
+
+class TraceRecorder {
+ public:
+  struct Span {
+    std::string name;
+    std::string category;
+    double start_s = 0.0;     // simulated seconds
+    double duration_s = 0.0;
+    int pid = 0;  // track group (e.g. machine)
+    int tid = 0;  // track (e.g. GPU worker)
+  };
+
+  void add_span(std::string name, std::string category, double start_s,
+                double duration_s, int pid, int tid);
+
+  // Labels a track; emitted as a thread_name metadata record.
+  void name_track(int pid, int tid, std::string label);
+
+  std::size_t size() const { return spans_.size(); }
+  const std::vector<Span>& spans() const { return spans_; }
+
+  // Chrome trace-event JSON (timestamps in microseconds, as the format
+  // requires).
+  std::string to_json() const;
+  void write(std::ostream& os) const;
+
+ private:
+  struct TrackName {
+    int pid;
+    int tid;
+    std::string label;
+  };
+  std::vector<Span> spans_;
+  std::vector<TrackName> track_names_;
+};
+
+}  // namespace stash::util

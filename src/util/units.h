@@ -1,0 +1,44 @@
+// Units and quantity helpers used throughout the library.
+//
+// All simulated time is in seconds (double), data sizes in bytes (double —
+// sizes reach hundreds of GB and participate in rate arithmetic), rates in
+// bytes/second and FLOP rates in FLOP/second. The constexpr helpers below
+// make call sites read like the specs they encode: `gbps(25)`,
+// `gib(16)`, `usec(60)`.
+#pragma once
+
+namespace stash::util {
+
+// --- data sizes (bytes) ---
+constexpr double kib(double v) { return v * 1024.0; }
+constexpr double mib(double v) { return v * 1024.0 * 1024.0; }
+constexpr double gib(double v) { return v * 1024.0 * 1024.0 * 1024.0; }
+constexpr double kb(double v) { return v * 1e3; }
+constexpr double mb(double v) { return v * 1e6; }
+constexpr double gb(double v) { return v * 1e9; }
+
+// --- rates (bytes per second) ---
+// Network link rates are quoted in decimal bits per second.
+constexpr double gbps(double v) { return v * 1e9 / 8.0; }
+constexpr double mbps(double v) { return v * 1e6 / 8.0; }
+// Bus/interconnect rates are usually quoted in decimal bytes per second.
+constexpr double gb_per_s(double v) { return v * 1e9; }
+constexpr double mb_per_s(double v) { return v * 1e6; }
+
+// --- time (seconds) ---
+constexpr double usec(double v) { return v * 1e-6; }
+constexpr double msec(double v) { return v * 1e-3; }
+constexpr double minutes(double v) { return v * 60.0; }
+constexpr double hours(double v) { return v * 3600.0; }
+
+// --- compute ---
+constexpr double gflop(double v) { return v * 1e9; }
+constexpr double tflops(double v) { return v * 1e12; }
+
+// --- conversions for reporting ---
+constexpr double to_gb_per_s(double bytes_per_s) { return bytes_per_s / 1e9; }
+constexpr double to_gbps(double bytes_per_s) { return bytes_per_s * 8.0 / 1e9; }
+constexpr double to_gib(double bytes) { return bytes / (1024.0 * 1024.0 * 1024.0); }
+constexpr double to_hours(double seconds) { return seconds / 3600.0; }
+
+}  // namespace stash::util

@@ -1,0 +1,139 @@
+#include "analysis/analytic_model.h"
+
+#include <gtest/gtest.h>
+
+#include "dnn/resnet.h"
+#include "dnn/vgg.h"
+#include "dnn/zoo.h"
+#include "util/units.h"
+
+namespace stash::analysis {
+namespace {
+
+using util::gb_per_s;
+using util::mib;
+
+TEST(TransferTime, MatchesPaperFormula) {
+  TransferModel m{1e-4, 1e9};
+  // (tau + G/(L*B)) * L = tau*L + G/B
+  EXPECT_NEAR(per_layer_transfer_time(1e9, 100, m), 1e-4 * 100 + 1.0, 1e-12);
+  EXPECT_THROW(per_layer_transfer_time(1.0, 0, m), std::invalid_argument);
+  EXPECT_THROW(per_layer_transfer_time(1.0, 1, TransferModel{0, 0}),
+               std::invalid_argument);
+}
+
+TEST(Regime, FastLinkIsLatencyBound) {
+  // NVLink: G/B negligible, tau*L dominates (paper: T ~ tau*L).
+  TransferModel nvlink{5e-4, gb_per_s(22)};
+  dnn::Model resnet = dnn::make_resnet(152);
+  Regime r = classify_regime(resnet.gradient_bytes(),
+                             static_cast<int>(resnet.num_param_tensors()), nvlink);
+  EXPECT_EQ(r, Regime::kLatencyBound);
+}
+
+TEST(Regime, SlowLinkIsBandwidthBound) {
+  // 10 Gbps NIC: G/B dominates (paper: T ~ G/B).
+  TransferModel nic{1e-4, util::gbps(10)};
+  dnn::Model vgg = dnn::make_vgg(16);
+  Regime r = classify_regime(vgg.gradient_bytes(),
+                             static_cast<int>(vgg.num_param_tensors()), nic);
+  EXPECT_EQ(r, Regime::kBandwidthBound);
+}
+
+TEST(Regime, Names) {
+  EXPECT_EQ(regime_name(Regime::kLatencyBound), "latency-bound");
+  EXPECT_EQ(regime_name(Regime::kBandwidthBound), "bandwidth-bound");
+  EXPECT_EQ(regime_name(Regime::kMixed), "mixed");
+}
+
+TEST(PaperArgument, DeeperModelSlowerOnFastLink) {
+  // §VI-A2: L_res > L_vgg => T_res > T_vgg on NVLink...
+  TransferModel nvlink{1e-4, gb_per_s(22)};
+  dnn::Model res = dnn::make_resnet(152);
+  dnn::Model vgg = dnn::make_vgg(16);
+  double t_res = per_layer_transfer_time(
+      res.gradient_bytes(), static_cast<int>(res.num_param_tensors()), nvlink);
+  double t_vgg = per_layer_transfer_time(
+      vgg.gradient_bytes(), static_cast<int>(vgg.num_param_tensors()), nvlink);
+  EXPECT_GT(t_res, t_vgg);
+}
+
+TEST(PaperArgument, HeavierModelSlowerOnSlowLink) {
+  // ...and G_vgg > G_res => T_vgg > T_res on the network.
+  TransferModel nic{1e-4, util::gbps(10)};
+  dnn::Model res = dnn::make_resnet(152);
+  dnn::Model vgg = dnn::make_vgg(16);
+  double t_res = per_layer_transfer_time(
+      res.gradient_bytes(), static_cast<int>(res.num_param_tensors()), nic);
+  double t_vgg = per_layer_transfer_time(
+      vgg.gradient_bytes(), static_cast<int>(vgg.num_param_tensors()), nic);
+  EXPECT_GT(t_vgg, t_res);
+}
+
+TEST(RingBottleneck, ByInterconnectKind) {
+  using profiler::ClusterSpec;
+  // PCIe: bridge shared by 2 traversals x k flows.
+  double p2_16 = ring_bottleneck_bw(ClusterSpec{"p2.16xlarge"});
+  double p2_8 = ring_bottleneck_bw(ClusterSpec{"p2.8xlarge"});
+  EXPECT_LT(p2_16, p2_8);
+  // NVLink full mesh.
+  EXPECT_NEAR(ring_bottleneck_bw(ClusterSpec{"p3.16xlarge"}), gb_per_s(22), 1.0);
+  // Fragmented quad: PCIe hop.
+  EXPECT_LT(ring_bottleneck_bw(ClusterSpec{"p3.8xlarge"}), gb_per_s(22));
+  ClusterSpec full{"p3.8xlarge"};
+  full.slice = cloud::CrossbarSlice::kFullQuad;
+  EXPECT_NEAR(ring_bottleneck_bw(full), gb_per_s(22), 1.0);
+  // Multi-machine: the NIC.
+  EXPECT_NEAR(ring_bottleneck_bw(ClusterSpec{"p3.8xlarge", 2}), util::gbps(10), 1.0);
+}
+
+TEST(EffectiveTau, ScalesWithRingSize) {
+  coll::CollectiveConfig cfg;
+  using profiler::ClusterSpec;
+  double tau8 = effective_tau(ClusterSpec{"p3.16xlarge"}, cfg);
+  double tau16 = effective_tau(ClusterSpec{"p2.16xlarge"}, cfg);
+  EXPECT_NEAR(tau8, 14 * cfg.intra_round_latency, 1e-12);
+  EXPECT_NEAR(tau16, 30 * cfg.intra_round_latency, 1e-12);
+  double tau1 = effective_tau(ClusterSpec{"p2.xlarge"}, cfg);
+  EXPECT_DOUBLE_EQ(tau1, 0.0);
+}
+
+TEST(PredictComm, ZeroForSingleGpu) {
+  coll::CollectiveConfig cfg;
+  EXPECT_DOUBLE_EQ(
+      predict_comm_seconds(dnn::make_resnet18(), profiler::ClusterSpec{"p3.2xlarge"},
+                           cfg),
+      0.0);
+}
+
+TEST(PredictComm, NetworkCostsMoreThanNvlink) {
+  coll::CollectiveConfig cfg;
+  dnn::Model vgg = dnn::make_vgg11();
+  double nv = predict_comm_seconds(vgg, profiler::ClusterSpec{"p3.16xlarge"}, cfg);
+  double nw = predict_comm_seconds(vgg, profiler::ClusterSpec{"p3.8xlarge", 2}, cfg);
+  EXPECT_GT(nw, 5.0 * nv);
+}
+
+TEST(PredictStall, VggResnetAsymmetry) {
+  coll::CollectiveConfig cfg;
+  dnn::Model vgg = dnn::make_vgg11();
+  dnn::Model res = dnn::make_resnet50();
+  using profiler::ClusterSpec;
+  // Interconnect: ResNet stalls more; network: VGG stalls more.
+  double ic_vgg = predict_comm_stall_pct(vgg, ClusterSpec{"p3.16xlarge"}, 32, cfg);
+  double ic_res = predict_comm_stall_pct(res, ClusterSpec{"p3.16xlarge"}, 32, cfg);
+  double nw_vgg = predict_comm_stall_pct(vgg, ClusterSpec{"p3.8xlarge", 2}, 32, cfg);
+  double nw_res = predict_comm_stall_pct(res, ClusterSpec{"p3.8xlarge", 2}, 32, cfg);
+  EXPECT_LE(ic_vgg, ic_res);
+  EXPECT_GT(nw_vgg, nw_res);
+}
+
+TEST(PredictStall, InvalidBatchThrows) {
+  coll::CollectiveConfig cfg;
+  EXPECT_THROW(predict_comm_stall_pct(dnn::make_resnet18(),
+                                      profiler::ClusterSpec{"p3.16xlarge"}, 0, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stash::analysis

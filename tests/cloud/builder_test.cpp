@@ -1,0 +1,86 @@
+#include "cloud/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/allocation.h"
+#include "sim/simulator.h"
+
+namespace stash::cloud {
+namespace {
+
+TEST(Builder, ConfigCarriesSpecs) {
+  auto cfg = machine_config_for(instance("p2.16xlarge"));
+  EXPECT_EQ(cfg.num_gpus, 16);
+  EXPECT_EQ(cfg.vcpus, 64);
+  EXPECT_EQ(cfg.interconnect, hw::InterconnectKind::kPcieOnly);
+  EXPECT_GT(cfg.ssd_bw, 0.0);
+}
+
+TEST(Builder, FragmentedSliceHasPcieHop) {
+  sim::Simulator sim;
+  hw::FlowNetwork net(sim);
+  auto cfg = machine_config_for(instance("p3.8xlarge"), CrossbarSlice::kFragmented);
+  hw::Machine m(net, sim, cfg, 0);
+  EXPECT_EQ(m.ring_pcie_hops(), 1);
+}
+
+TEST(Builder, FullQuadSliceHasNvlinkRing) {
+  sim::Simulator sim;
+  hw::FlowNetwork net(sim);
+  auto cfg = machine_config_for(instance("p3.8xlarge"), CrossbarSlice::kFullQuad);
+  hw::Machine m(net, sim, cfg, 0);
+  EXPECT_EQ(m.ring_pcie_hops(), 0);
+}
+
+TEST(Builder, SixteenXlargeAlwaysFullMesh) {
+  sim::Simulator sim;
+  hw::FlowNetwork net(sim);
+  auto cfg = machine_config_for(instance("p3.16xlarge"), CrossbarSlice::kFragmented);
+  hw::Machine m(net, sim, cfg, 0);
+  EXPECT_EQ(m.ring_pcie_hops(), 0);  // slice only affects 4-GPU types
+}
+
+TEST(Builder, ClusterConfigsReplicate) {
+  auto configs = cluster_configs_for(instance("p3.8xlarge"), 2);
+  ASSERT_EQ(configs.size(), 2u);
+  EXPECT_EQ(configs[0].num_gpus, configs[1].num_gpus);
+}
+
+TEST(Builder, InvalidCountThrows) {
+  EXPECT_THROW(cluster_configs_for(instance("p2.xlarge"), 0), std::invalid_argument);
+}
+
+TEST(Allocation, SliceAdjacencyShapes) {
+  auto full = slice_nvlink_pairs(CrossbarSlice::kFullQuad);
+  EXPECT_EQ(full.size(), 6u);  // complete K4
+  auto frag = slice_nvlink_pairs(CrossbarSlice::kFragmented);
+  EXPECT_EQ(frag.size(), 4u);  // triangle + pendant
+}
+
+TEST(Allocation, PolicyIsProbabilistic) {
+  AllocationPolicy policy;
+  policy.full_quad_probability = 0.5;
+  util::Rng rng(1234);
+  int full = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i)
+    if (policy.sample(rng) == CrossbarSlice::kFullQuad) ++full;
+  EXPECT_NEAR(static_cast<double>(full) / trials, 0.5, 0.05);
+}
+
+TEST(Allocation, ExtremePolicies) {
+  util::Rng rng(1);
+  AllocationPolicy never{0.0};
+  AllocationPolicy always{1.0};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(never.sample(rng), CrossbarSlice::kFragmented);
+    EXPECT_EQ(always.sample(rng), CrossbarSlice::kFullQuad);
+  }
+}
+
+TEST(Builder, FabricFasterThanAnyNic) {
+  for (const auto& t : instance_catalog()) EXPECT_GE(fabric_bandwidth(), t.network_bw);
+}
+
+}  // namespace
+}  // namespace stash::cloud

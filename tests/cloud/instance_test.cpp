@@ -1,0 +1,104 @@
+#include "cloud/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace stash::cloud {
+namespace {
+
+using util::gbps;
+using util::gib;
+
+TEST(Catalog, HasAllTableOneRows) {
+  const auto& cat = instance_catalog();
+  EXPECT_EQ(cat.size(), 8u);
+  for (const char* name :
+       {"p2.xlarge", "p2.8xlarge", "p2.16xlarge", "p3.2xlarge", "p3.8xlarge",
+        "p3.16xlarge", "p3.24xlarge", "p4d.24xlarge"})
+    EXPECT_NO_THROW(instance(name)) << name;
+}
+
+TEST(Catalog, UnknownThrows) {
+  EXPECT_THROW(instance("g4dn.xlarge"), std::invalid_argument);
+}
+
+// Table I spot checks: GPUs, vCPUs, memory, network, price.
+TEST(Catalog, P2SpecsMatchTableOne) {
+  const auto& x = instance("p2.xlarge");
+  EXPECT_EQ(x.num_gpus, 1);
+  EXPECT_EQ(x.vcpus, 4);
+  EXPECT_DOUBLE_EQ(x.price_per_hour, 0.90);
+  EXPECT_EQ(x.gpu.name, "K80");
+
+  const auto& big = instance("p2.16xlarge");
+  EXPECT_EQ(big.num_gpus, 16);
+  EXPECT_EQ(big.vcpus, 64);
+  EXPECT_NEAR(big.main_memory, gib(732), 1.0);
+  EXPECT_NEAR(big.network_bw, gbps(25), 1.0);
+  EXPECT_DOUBLE_EQ(big.price_per_hour, 14.40);
+}
+
+TEST(Catalog, P3SpecsMatchTableOne) {
+  const auto& two = instance("p3.2xlarge");
+  EXPECT_EQ(two.num_gpus, 1);
+  EXPECT_DOUBLE_EQ(two.price_per_hour, 3.06);
+  EXPECT_NEAR(two.gpu_memory_total, gib(16), 1.0);
+
+  const auto& eight = instance("p3.8xlarge");
+  EXPECT_EQ(eight.num_gpus, 4);
+  EXPECT_DOUBLE_EQ(eight.price_per_hour, 12.24);
+  EXPECT_EQ(eight.interconnect, hw::InterconnectKind::kPcieNvlink);
+
+  const auto& sixteen = instance("p3.16xlarge");
+  EXPECT_EQ(sixteen.num_gpus, 8);
+  EXPECT_DOUBLE_EQ(sixteen.price_per_hour, 24.48);
+  EXPECT_NEAR(sixteen.network_bw, gbps(25), 1.0);
+
+  const auto& twentyfour = instance("p3.24xlarge");
+  EXPECT_EQ(twentyfour.num_gpus, 8);
+  EXPECT_DOUBLE_EQ(twentyfour.price_per_hour, 31.218);
+  EXPECT_NEAR(twentyfour.network_bw, gbps(100), 1.0);
+  EXPECT_TRUE(twentyfour.dedicated);
+  // 32 GiB V100s: twice the per-GPU memory of the 16xlarge.
+  EXPECT_NEAR(twentyfour.gpu.memory_bytes, gib(32), 1.0);
+}
+
+TEST(Catalog, SameHostBridgeAcrossP2Sizes) {
+  // The paper's Fig 7 explanation: 8xlarge and 16xlarge share the same
+  // aggregate PCIe bandwidth.
+  EXPECT_DOUBLE_EQ(instance("p2.8xlarge").host_bridge_bw,
+                   instance("p2.16xlarge").host_bridge_bw);
+}
+
+TEST(Catalog, SameNvlinkAcross16And24xlarge) {
+  // §V-B1: "both the 16xlarge and the 24xlarge use the same NVLink
+  // interconnect hardware".
+  EXPECT_DOUBLE_EQ(instance("p3.16xlarge").nvlink_bw,
+                   instance("p3.24xlarge").nvlink_bw);
+}
+
+TEST(Cost, PerSecondBilling) {
+  const auto& t = instance("p3.16xlarge");
+  EXPECT_NEAR(cost_usd(t, 3600.0), 24.48, 1e-9);
+  EXPECT_NEAR(cost_usd(t, 1800.0, 2), 24.48, 1e-9);
+  EXPECT_NEAR(cost_usd(t, 0.0), 0.0, 1e-12);
+}
+
+TEST(Cost, InvalidArgsThrow) {
+  const auto& t = instance("p2.xlarge");
+  EXPECT_THROW(cost_usd(t, -1.0), std::invalid_argument);
+  EXPECT_THROW(cost_usd(t, 10.0, 0), std::invalid_argument);
+}
+
+TEST(Catalog, PriceOrderingWithinFamilies) {
+  EXPECT_LT(instance("p2.xlarge").price_per_hour, instance("p2.8xlarge").price_per_hour);
+  EXPECT_LT(instance("p2.8xlarge").price_per_hour,
+            instance("p2.16xlarge").price_per_hour);
+  EXPECT_LT(instance("p3.2xlarge").price_per_hour, instance("p3.8xlarge").price_per_hour);
+  EXPECT_LT(instance("p3.16xlarge").price_per_hour,
+            instance("p3.24xlarge").price_per_hour);
+}
+
+}  // namespace
+}  // namespace stash::cloud

@@ -1,0 +1,139 @@
+#include "cloud/network_qos.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/builder.h"
+#include "cloud/instance.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace stash::cloud {
+namespace {
+
+using util::gbps;
+
+struct Fixture {
+  sim::Simulator sim;
+  hw::FlowNetwork net{sim};
+  std::unique_ptr<hw::Cluster> cluster;
+
+  explicit Fixture(int machines) {
+    cluster = std::make_unique<hw::Cluster>(
+        net, sim, cluster_configs_for(instance("p3.8xlarge"), machines),
+        fabric_bandwidth());
+  }
+};
+
+TEST(UpdateCapacity, ResharesInFlightFlows) {
+  sim::Simulator sim;
+  hw::FlowNetwork net(sim);
+  hw::Link* l = net.add_link("l", 100.0);
+  double done = -1;
+  std::vector<hw::Link*> path{l};
+  auto proc = [&]() -> sim::Task<void> {
+    co_await net.transfer(1000.0, path);
+    done = sim.now();
+  };
+  sim.spawn(proc());
+  // Halve the capacity at t=5: 500 B done, remaining 500 B at 50 B/s.
+  sim.schedule(5.0, [&] { net.update_capacity(l, 50.0); });
+  sim.run();
+  EXPECT_NEAR(done, 15.0, 1e-9);
+}
+
+TEST(UpdateCapacity, RaisingCapacitySpeedsFlow) {
+  sim::Simulator sim;
+  hw::FlowNetwork net(sim);
+  hw::Link* l = net.add_link("l", 100.0);
+  double done = -1;
+  std::vector<hw::Link*> path{l};
+  auto proc = [&]() -> sim::Task<void> {
+    co_await net.transfer(1000.0, path);
+    done = sim.now();
+  };
+  sim.spawn(proc());
+  sim.schedule(5.0, [&] { net.update_capacity(l, 500.0); });
+  sim.run();
+  EXPECT_NEAR(done, 6.0, 1e-9);
+}
+
+TEST(UpdateCapacity, InvalidArgsThrow) {
+  sim::Simulator sim;
+  hw::FlowNetwork net(sim);
+  hw::Link* l = net.add_link("l", 100.0);
+  EXPECT_THROW(net.update_capacity(nullptr, 10.0), std::invalid_argument);
+  EXPECT_THROW(net.update_capacity(l, 0.0), std::invalid_argument);
+}
+
+TEST(NetworkQos, ShapesNicCapacityWithinBounds) {
+  Fixture f(2);
+  NetworkQosConfig cfg;
+  cfg.horizon = 5.0;
+  cfg.update_interval = 0.1;
+  cfg.min_fraction = 0.4;
+  cfg.max_fraction = 0.9;
+  apply_network_qos(f.sim, f.net, *f.cluster, cfg);
+  double nominal = instance("p3.8xlarge").network_bw;
+  hw::Link* nic = f.cluster->machine(0).nic_tx();
+  bool observed_change = false;
+  for (int i = 1; i <= 40; ++i) {
+    f.sim.schedule(i * 0.125, [&, nominal] {
+      double c = nic->capacity();
+      EXPECT_GE(c, 0.4 * nominal - 1.0);
+      EXPECT_LE(c, 0.9 * nominal + 1.0);
+      if (c < 0.95 * nominal) observed_change = true;
+    });
+  }
+  f.sim.run();
+  EXPECT_TRUE(observed_change);
+  // Restored after the horizon.
+  EXPECT_NEAR(nic->capacity(), nominal, 1.0);
+}
+
+TEST(NetworkQos, DeterministicPerSeed) {
+  auto trajectory = [](std::uint64_t seed) {
+    Fixture f(2);
+    NetworkQosConfig cfg;
+    cfg.horizon = 2.0;
+    cfg.update_interval = 0.1;
+    cfg.seed = seed;
+    apply_network_qos(f.sim, f.net, *f.cluster, cfg);
+    std::vector<double> caps;
+    hw::Link* nic = f.cluster->machine(1).nic_rx();
+    for (int i = 1; i <= 15; ++i)
+      f.sim.schedule(i * 0.11, [&] { caps.push_back(nic->capacity()); });
+    f.sim.run();
+    return caps;
+  };
+  EXPECT_EQ(trajectory(7), trajectory(7));
+  EXPECT_NE(trajectory(7), trajectory(8));
+}
+
+TEST(NetworkQos, SingleMachineWithNicStillShaped) {
+  Fixture f(1);
+  NetworkQosConfig cfg;
+  cfg.horizon = 1.0;
+  EXPECT_NO_THROW(apply_network_qos(f.sim, f.net, *f.cluster, cfg));
+  f.sim.run();
+  EXPECT_TRUE(f.sim.all_processes_done());
+}
+
+TEST(NetworkQos, InvalidConfigsThrow) {
+  Fixture f(2);
+  NetworkQosConfig cfg;
+  cfg.mean_fraction = 0.0;
+  EXPECT_THROW(apply_network_qos(f.sim, f.net, *f.cluster, cfg),
+               std::invalid_argument);
+  cfg = NetworkQosConfig{};
+  cfg.update_interval = 0.0;
+  EXPECT_THROW(apply_network_qos(f.sim, f.net, *f.cluster, cfg),
+               std::invalid_argument);
+  cfg = NetworkQosConfig{};
+  cfg.min_fraction = 0.9;
+  cfg.max_fraction = 0.5;
+  EXPECT_THROW(apply_network_qos(f.sim, f.net, *f.cluster, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stash::cloud

@@ -1,0 +1,103 @@
+#include "cloud/spot.h"
+
+#include <gtest/gtest.h>
+
+namespace stash::cloud {
+namespace {
+
+const InstanceType& p3_16() { return instance("p3.16xlarge"); }
+
+SpotConfig no_interruptions() {
+  SpotConfig cfg;
+  cfg.interruptions_per_hour = 0.0;
+  return cfg;
+}
+
+TEST(Spot, ZeroRateMatchesOnDemandTimeAtSpotPrice) {
+  util::Rng rng(1);
+  SpotConfig cfg = no_interruptions();
+  double work = 3600.0;
+  SpotOutcome o = simulate_spot_run(work, p3_16(), 1, cfg, rng);
+  // Only checkpoint writes inflate wall time: 3 full intervals of 900 s
+  // inside one hour of work -> 3 writes of 20 s.
+  EXPECT_NEAR(o.wall_seconds, work + 3 * cfg.checkpoint_write_s, 1e-9);
+  EXPECT_EQ(o.interruptions, 0);
+  EXPECT_NEAR(o.cost_usd,
+              cost_usd(p3_16(), o.wall_seconds, 1) * cfg.price_factor, 1e-9);
+}
+
+TEST(Spot, InterruptionsInflateWallTime) {
+  SpotConfig calm = no_interruptions();
+  SpotConfig stormy;
+  stormy.interruptions_per_hour = 2.0;
+  util::Rng r1(7), r2(7);
+  double work = 4.0 * 3600.0;
+  SpotOutcome quiet = simulate_spot_run(work, p3_16(), 1, calm, r1);
+  SpotOutcome rough = simulate_spot_run(work, p3_16(), 1, stormy, r2);
+  EXPECT_GT(rough.wall_seconds, quiet.wall_seconds);
+  EXPECT_GT(rough.interruptions, 0);
+  EXPECT_GT(rough.lost_work_seconds, 0.0);
+}
+
+TEST(Spot, CheaperThanOnDemandAtTypicalRates) {
+  SpotConfig cfg;  // defaults: 0.3 price factor, 0.2 interruptions/hour
+  SpotOutcome o = mean_spot_outcome(6.0 * 3600.0, p3_16(), 1, cfg, 42);
+  double on_demand = cost_usd(p3_16(), 6.0 * 3600.0, 1);
+  EXPECT_LT(o.cost_usd, on_demand);
+}
+
+TEST(Spot, FrequentCheckpointsBoundLoss) {
+  SpotConfig coarse;
+  coarse.interruptions_per_hour = 1.0;
+  coarse.checkpoint_interval_s = 3600.0;
+  SpotConfig fine = coarse;
+  fine.checkpoint_interval_s = 300.0;
+  SpotOutcome o_coarse = mean_spot_outcome(8 * 3600.0, p3_16(), 1, coarse, 9, 40);
+  SpotOutcome o_fine = mean_spot_outcome(8 * 3600.0, p3_16(), 1, fine, 9, 40);
+  EXPECT_LT(o_fine.lost_work_seconds, o_coarse.lost_work_seconds);
+}
+
+TEST(Spot, DeterministicPerSeed) {
+  SpotConfig cfg;
+  SpotOutcome a = mean_spot_outcome(3600.0, p3_16(), 2, cfg, 5, 10);
+  SpotOutcome b = mean_spot_outcome(3600.0, p3_16(), 2, cfg, 5, 10);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, b.wall_seconds);
+  EXPECT_DOUBLE_EQ(a.cost_usd, b.cost_usd);
+}
+
+TEST(Spot, ZeroWorkCompletesInstantly) {
+  util::Rng rng(3);
+  SpotOutcome o = simulate_spot_run(0.0, p3_16(), 1, SpotConfig{}, rng);
+  EXPECT_DOUBLE_EQ(o.wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(o.cost_usd, 0.0);
+}
+
+TEST(Spot, InvalidArgsThrow) {
+  util::Rng rng(1);
+  SpotConfig cfg;
+  EXPECT_THROW(simulate_spot_run(-1.0, p3_16(), 1, cfg, rng), std::invalid_argument);
+  EXPECT_THROW(simulate_spot_run(1.0, p3_16(), 0, cfg, rng), std::invalid_argument);
+  cfg.price_factor = 0.0;
+  EXPECT_THROW(simulate_spot_run(1.0, p3_16(), 1, cfg, rng), std::invalid_argument);
+  cfg = SpotConfig{};
+  cfg.checkpoint_interval_s = 0.0;
+  EXPECT_THROW(simulate_spot_run(1.0, p3_16(), 1, cfg, rng), std::invalid_argument);
+  EXPECT_THROW(mean_spot_outcome(1.0, p3_16(), 1, SpotConfig{}, 1, 0),
+               std::invalid_argument);
+}
+
+// Rate sweep: wall time grows monotonically (in expectation) with the
+// interruption rate.
+class RateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RateSweep, WallTimeAtLeastWork) {
+  SpotConfig cfg;
+  cfg.interruptions_per_hour = GetParam();
+  SpotOutcome o = mean_spot_outcome(2 * 3600.0, p3_16(), 1, cfg, 11, 30);
+  EXPECT_GE(o.wall_seconds, 2 * 3600.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateSweep, ::testing::Values(0.0, 0.1, 0.5, 1.0, 3.0));
+
+}  // namespace
+}  // namespace stash::cloud

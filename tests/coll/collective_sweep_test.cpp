@@ -1,0 +1,104 @@
+// Parameterized sweeps of the simulated ring all-reduce against the closed
+// form, across payload sizes and cluster shapes where the analytic model
+// is exact (uncontended, disjoint hops or a single known bottleneck).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "cloud/builder.h"
+#include "cloud/instance.h"
+#include "coll/ring_allreduce.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace stash::coll {
+namespace {
+
+using util::gb_per_s;
+using util::gbps;
+using util::mib;
+
+double simulate_ring(const std::string& instance_name, int count, double bytes) {
+  sim::Simulator sim;
+  hw::FlowNetwork net(sim);
+  hw::Cluster cluster(net, sim,
+                      cloud::cluster_configs_for(cloud::instance(instance_name), count),
+                      cloud::fabric_bandwidth());
+  CollectiveContext ctx{sim, net, cluster, CollectiveConfig{}};
+  double done = -1;
+  auto proc = [&]() -> sim::Task<void> {
+    co_await ring_allreduce(ctx, bytes);
+    done = sim.now();
+  };
+  sim.spawn(proc());
+  sim.run();
+  return done;
+}
+
+class NvlinkBytesSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NvlinkBytesSweep, MatchesClosedForm) {
+  double bytes = GetParam();
+  double t = simulate_ring("p3.16xlarge", 1, bytes);
+  CollectiveConfig cfg;
+  double expect =
+      ring_allreduce_analytic(bytes, 8, gb_per_s(22), cfg.intra_round_latency);
+  EXPECT_NEAR(t, expect, 1e-6 * expect + 1e-12) << bytes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Payloads, NvlinkBytesSweep,
+                         ::testing::Values(mib(1), mib(4), mib(16), mib(64),
+                                           mib(256), mib(1024)));
+
+class NicBytesSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NicBytesSweep, NicBoundRingMatchesClosedForm) {
+  double bytes = GetParam();
+  double t = simulate_ring("p3.8xlarge", 2, bytes);
+  CollectiveConfig cfg;
+  double expect = ring_allreduce_analytic(bytes, 8, gbps(10),
+                                          cfg.inter_round_latency);
+  // The NIC hop dominates each round; small slack for intra-hop rounding.
+  EXPECT_NEAR(t, expect, 0.03 * expect + 1e-9) << bytes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Payloads, NicBytesSweep,
+                         ::testing::Values(mib(8), mib(32), mib(128), mib(512)));
+
+// Doubling the payload at zero latency doubles the time on every shape.
+class LinearityShape
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(LinearityShape, BytesLinear) {
+  auto [name, count] = GetParam();
+  auto run_zero_latency = [&](double bytes) {
+    sim::Simulator sim;
+    hw::FlowNetwork net(sim);
+    hw::Cluster cluster(net, sim,
+                        cloud::cluster_configs_for(cloud::instance(name), count),
+                        cloud::fabric_bandwidth());
+    CollectiveContext ctx{sim, net, cluster, CollectiveConfig{0.0, 0.0, 0.0}};
+    double done = -1;
+    auto proc = [&]() -> sim::Task<void> {
+      co_await ring_allreduce(ctx, bytes);
+      done = sim.now();
+    };
+    sim.spawn(proc());
+    sim.run();
+    return done;
+  };
+  double t1 = run_zero_latency(mib(32));
+  double t2 = run_zero_latency(mib(64));
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-6 * t2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LinearityShape,
+                         ::testing::Values(std::tuple{"p2.8xlarge", 1},
+                                           std::tuple{"p2.16xlarge", 1},
+                                           std::tuple{"p3.8xlarge", 1},
+                                           std::tuple{"p3.16xlarge", 1},
+                                           std::tuple{"p3.16xlarge", 2}));
+
+}  // namespace
+}  // namespace stash::coll

@@ -1,0 +1,73 @@
+#include "coll/comm_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace stash::coll {
+namespace {
+
+sim::Task<void> spawn_op(sim::Simulator& sim, CommStream& stream, double duration,
+                         int id, std::vector<std::pair<int, double>>& completions) {
+  co_await stream.enqueue([&sim, duration]() -> sim::Task<void> {
+    co_await sim.delay(duration);
+  });
+  completions.emplace_back(id, sim.now());
+}
+
+TEST(CommStream, SerializesInEnqueueOrder) {
+  sim::Simulator sim;
+  CommStream stream(sim);
+  std::vector<std::pair<int, double>> completions;
+  sim.spawn(spawn_op(sim, stream, 3.0, 0, completions));
+  sim.spawn(spawn_op(sim, stream, 1.0, 1, completions));
+  sim.spawn(spawn_op(sim, stream, 2.0, 2, completions));
+  sim.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0].first, 0);
+  EXPECT_DOUBLE_EQ(completions[0].second, 3.0);
+  EXPECT_EQ(completions[1].first, 1);
+  EXPECT_DOUBLE_EQ(completions[1].second, 4.0);
+  EXPECT_EQ(completions[2].first, 2);
+  EXPECT_DOUBLE_EQ(completions[2].second, 6.0);
+  EXPECT_EQ(stream.enqueued(), 3u);
+}
+
+TEST(CommStream, LateEnqueueRunsAfterInFlightOp) {
+  sim::Simulator sim;
+  CommStream stream(sim);
+  std::vector<std::pair<int, double>> completions;
+  sim.spawn(spawn_op(sim, stream, 5.0, 0, completions));
+  sim.schedule(1.0, [&] { sim.spawn(spawn_op(sim, stream, 1.0, 1, completions)); });
+  sim.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[1].second, 6.0);  // waits for op 0 at t=5
+}
+
+TEST(CommStream, IdleStreamRunsImmediately) {
+  sim::Simulator sim;
+  CommStream stream(sim);
+  std::vector<std::pair<int, double>> completions;
+  sim.schedule(2.0, [&] { sim.spawn(spawn_op(sim, stream, 1.0, 0, completions)); });
+  sim.run();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_DOUBLE_EQ(completions[0].second, 3.0);
+}
+
+TEST(CommStream, ManyOpsNoStarvation) {
+  sim::Simulator sim;
+  CommStream stream(sim);
+  std::vector<std::pair<int, double>> completions;
+  for (int i = 0; i < 100; ++i) sim.spawn(spawn_op(sim, stream, 0.5, i, completions));
+  sim.run();
+  ASSERT_EQ(completions.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(completions[static_cast<std::size_t>(i)].first, i);
+    EXPECT_DOUBLE_EQ(completions[static_cast<std::size_t>(i)].second, 0.5 * (i + 1));
+  }
+}
+
+}  // namespace
+}  // namespace stash::coll

@@ -1,0 +1,180 @@
+#include "coll/ring_allreduce.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/builder.h"
+#include "cloud/instance.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace stash::coll {
+namespace {
+
+using util::gb_per_s;
+using util::mib;
+
+struct Fixture {
+  sim::Simulator sim;
+  hw::FlowNetwork net{sim};
+  std::unique_ptr<hw::Cluster> cluster;
+  CollectiveConfig config;
+
+  explicit Fixture(const std::string& instance_name, int count = 1,
+                   cloud::CrossbarSlice slice = cloud::CrossbarSlice::kFragmented) {
+    cluster = std::make_unique<hw::Cluster>(
+        net, sim,
+        cloud::cluster_configs_for(cloud::instance(instance_name), count, slice),
+        cloud::fabric_bandwidth());
+  }
+
+  CollectiveContext ctx() { return CollectiveContext{sim, net, *cluster, config}; }
+
+  // Runs one collective, returns the simulated duration.
+  template <typename Fn>
+  double run(Fn&& fn) {
+    double done = -1;
+    auto ctx_obj = std::make_shared<CollectiveContext>(ctx());
+    auto proc = [](CollectiveContext& c, Fn fn2, sim::Simulator& s,
+                   double& out) -> sim::Task<void> {
+      co_await fn2(c);
+      out = s.now();
+    };
+    sim.spawn(proc(*ctx_obj, std::forward<Fn>(fn), sim, done));
+    sim.run();
+    return done;
+  }
+};
+
+TEST(RingAllreduce, AnalyticFormula) {
+  // 2(k-1) * (lat + B/(k*bw))
+  EXPECT_NEAR(ring_allreduce_analytic(800.0, 4, 100.0, 0.5), 6 * (0.5 + 2.0), 1e-12);
+  EXPECT_NEAR(ring_allreduce_analytic(1000.0, 1, 100.0, 0.25), 0.25, 1e-12);
+  EXPECT_THROW(ring_allreduce_analytic(1.0, 0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ring_allreduce_analytic(1.0, 2, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(RingAllreduce, SingleGpuIsLaunchLatencyOnly) {
+  Fixture f("p3.2xlarge");
+  double t = f.run([](CollectiveContext& c) { return ring_allreduce(c, mib(100)); });
+  EXPECT_NEAR(t, f.config.intra_round_latency, 1e-9);
+}
+
+TEST(RingAllreduce, NvlinkRingMatchesAnalytic) {
+  // p3.16xlarge: full NVLink ring, disjoint 22 GB/s hops. The simulated
+  // time must match the closed form exactly (rounds are synchronous and
+  // hops are uncontended).
+  Fixture f("p3.16xlarge");
+  double bytes = mib(256);
+  double t = f.run([&](CollectiveContext& c) { return ring_allreduce(c, bytes); });
+  double expect =
+      ring_allreduce_analytic(bytes, 8, gb_per_s(22), f.config.intra_round_latency);
+  EXPECT_NEAR(t, expect, 1e-6 * expect);
+}
+
+TEST(RingAllreduce, PcieRingThrottledByBridge) {
+  // p2.8xlarge: 8 GPUs ring over a 24 GB/s bridge crossed twice per hop.
+  // Each round moves 8 chunks x 2 traversals through the bridge:
+  // round = 2 * bytes / (8 * 24 GB/s) * 8 = bytes/12e9... i.e. the
+  // effective per-round time is 16*(bytes/8)/24e9.
+  Fixture f("p2.8xlarge");
+  double bytes = mib(96);
+  double t = f.run([&](CollectiveContext& c) { return ring_allreduce(c, bytes); });
+  double round = 16.0 * (bytes / 8.0) / gb_per_s(24);
+  double expect = 14.0 * (f.config.intra_round_latency + round);
+  EXPECT_NEAR(t, expect, 1e-6 * expect);
+}
+
+TEST(RingAllreduce, SixteenXlargeSlowerThanEightXlarge) {
+  // Same payload, same family: the 16xlarge ring is slower than the
+  // 8xlarge ring because the bridge is shared by twice the GPUs
+  // (paper Fig 5a / §V-A1).
+  Fixture f8("p2.8xlarge");
+  Fixture f16("p2.16xlarge");
+  double bytes = mib(64);
+  double t8 = f8.run([&](CollectiveContext& c) { return ring_allreduce(c, bytes); });
+  double t16 = f16.run([&](CollectiveContext& c) { return ring_allreduce(c, bytes); });
+  EXPECT_GT(t16, 1.5 * t8);
+}
+
+TEST(RingAllreduce, FragmentedSliceSlowerThanFullQuad) {
+  // §V-B1: the fragmented p3.8xlarge ring crosses PCIe once and loses the
+  // crossbar benefit.
+  Fixture good("p3.8xlarge", 1, cloud::CrossbarSlice::kFullQuad);
+  Fixture bad("p3.8xlarge", 1, cloud::CrossbarSlice::kFragmented);
+  double bytes = mib(128);
+  double tg = good.run([&](CollectiveContext& c) { return ring_allreduce(c, bytes); });
+  double tb = bad.run([&](CollectiveContext& c) { return ring_allreduce(c, bytes); });
+  EXPECT_GT(tb, tg);
+}
+
+TEST(RingAllreduce, NetworkRingThrottledByNic) {
+  // Two p3.8xlarge over a 10 Gbps NIC: the crossing hop paces every round.
+  Fixture f("p3.8xlarge", 2);
+  double bytes = mib(128);
+  double t = f.run([&](CollectiveContext& c) { return ring_allreduce(c, bytes); });
+  double expect = ring_allreduce_analytic(bytes, 8, util::gbps(10),
+                                          f.config.inter_round_latency);
+  // NIC-paced rounds; intra hops are faster and hide inside the round.
+  EXPECT_NEAR(t, expect, 0.02 * expect);
+}
+
+TEST(RingAllreduce, NetworkMuchSlowerThanNvlink) {
+  // The paper's headline: crossing the network can be ~5x+ worse than the
+  // single 8-GPU machine.
+  Fixture one("p3.16xlarge");
+  Fixture two("p3.8xlarge", 2);
+  double bytes = mib(512);  // VGG-scale gradients
+  double t1 = one.run([&](CollectiveContext& c) { return ring_allreduce(c, bytes); });
+  double t2 = two.run([&](CollectiveContext& c) { return ring_allreduce(c, bytes); });
+  EXPECT_GT(t2, 5.0 * t1);
+}
+
+TEST(RingAllreduce, ZeroBytesCostsOnlyLatency) {
+  Fixture f("p3.16xlarge");
+  double t = f.run([](CollectiveContext& c) { return ring_allreduce(c, 0.0); });
+  EXPECT_NEAR(t, 14.0 * f.config.intra_round_latency, 1e-9);
+}
+
+TEST(RingAllreduce, CostScalesLinearlyInBytes) {
+  Fixture f("p3.16xlarge");
+  CollectiveConfig no_latency{0.0, 0.0};
+  f.config = no_latency;
+  double t1 = f.run([&](CollectiveContext& c) { return ring_allreduce(c, mib(64)); });
+  Fixture f2("p3.16xlarge");
+  f2.config = no_latency;
+  double t2 = f2.run([&](CollectiveContext& c) { return ring_allreduce(c, mib(128)); });
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-6 * t2);
+}
+
+// Property sweep over cluster shapes: simulated ring time is within 30% of
+// the analytic bound computed from the slowest hop (contention-free rings
+// should sit right on it).
+class RingShapeSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(RingShapeSweep, MatchesAnalyticBound) {
+  auto [name, count] = GetParam();
+  Fixture f(name, count);
+  double bytes = mib(100);
+  double t = f.run([&](CollectiveContext& c) { return ring_allreduce(c, bytes); });
+  int k = f.cluster->total_gpus();
+  if (k == 1) return;
+  // Upper bound: slowest possible hop is the NIC (multi-machine) or the
+  // doubly-crossed bridge shared by all ring flows.
+  EXPECT_GT(t, 0.0);
+  double latency = f.cluster->multi_machine() ? f.config.inter_round_latency
+                                              : f.config.intra_round_latency;
+  EXPECT_GE(t, 2.0 * (k - 1) * latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RingShapeSweep,
+                         ::testing::Values(std::tuple{"p2.8xlarge", 1},
+                                           std::tuple{"p2.16xlarge", 1},
+                                           std::tuple{"p3.8xlarge", 1},
+                                           std::tuple{"p3.16xlarge", 1},
+                                           std::tuple{"p3.8xlarge", 2},
+                                           std::tuple{"p3.16xlarge", 2},
+                                           std::tuple{"p2.8xlarge", 2}));
+
+}  // namespace
+}  // namespace stash::coll

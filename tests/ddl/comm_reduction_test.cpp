@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cloud/builder.h"
+#include "cloud/instance.h"
+#include "ddl/trainer.h"
+#include "dnn/zoo.h"
+#include "util/units.h"
+
+namespace stash::ddl {
+namespace {
+
+double run_iteration(const std::string& instance_name, int count,
+                     const dnn::Model& model, TrainConfig cfg) {
+  sim::Simulator sim;
+  hw::FlowNetwork net(sim);
+  hw::Cluster cluster(net, sim,
+                      cloud::cluster_configs_for(cloud::instance(instance_name), count),
+                      cloud::fabric_bandwidth());
+  Trainer trainer(sim, net, cluster, model, dnn::dataset_for(model.name()), cfg);
+  return trainer.run().per_iteration;
+}
+
+TrainConfig base_cfg() {
+  TrainConfig cfg;
+  cfg.per_gpu_batch = 32;
+  cfg.iterations = 8;
+  cfg.warmup_iterations = 2;
+  return cfg;
+}
+
+TEST(CommReductionConfig, BytesFactor) {
+  CommReductionConfig c;
+  EXPECT_DOUBLE_EQ(c.bytes_factor(), 1.0);
+  c.kind = CommReduction::kFp16;
+  EXPECT_DOUBLE_EQ(c.bytes_factor(), 0.5);
+  c.kind = CommReduction::kTopK;
+  c.topk_ratio = 0.01;
+  EXPECT_DOUBLE_EQ(c.bytes_factor(), 0.02);
+  c.topk_ratio = 0.9;  // dense enough that value+index exceeds fp32: capped
+  EXPECT_DOUBLE_EQ(c.bytes_factor(), 1.0);
+  c.kind = CommReduction::kLocalSgd;
+  EXPECT_DOUBLE_EQ(c.bytes_factor(), 1.0);
+}
+
+TEST(CommReductionConfig, LocalSgdSyncSchedule) {
+  CommReductionConfig c;
+  c.kind = CommReduction::kLocalSgd;
+  c.local_steps = 3;
+  EXPECT_FALSE(c.syncs_on(0));
+  EXPECT_FALSE(c.syncs_on(1));
+  EXPECT_TRUE(c.syncs_on(2));
+  EXPECT_FALSE(c.syncs_on(3));
+  EXPECT_TRUE(c.syncs_on(5));
+  c.kind = CommReduction::kNone;
+  EXPECT_TRUE(c.syncs_on(0));
+}
+
+TEST(CommReduction, Fp16HalvesNetworkPain) {
+  // On a NIC-bound pair, halving the gradient bytes nearly halves the
+  // communication stall.
+  dnn::Model vgg = dnn::make_vgg11();
+  TrainConfig cfg = base_cfg();
+  double full = run_iteration("p3.8xlarge", 2, vgg, cfg);
+  cfg.comm_reduction.kind = CommReduction::kFp16;
+  double fp16 = run_iteration("p3.8xlarge", 2, vgg, cfg);
+  EXPECT_LT(fp16, full);
+  // Compute floor: fp16 can't be better than half, but must recover a
+  // large share of the comm-bound gap.
+  EXPECT_LT(fp16, 0.75 * full);
+}
+
+TEST(CommReduction, TopKNearlyEliminatesNetworkStall) {
+  dnn::Model vgg = dnn::make_vgg11();
+  TrainConfig cfg = base_cfg();
+  double full = run_iteration("p3.8xlarge", 2, vgg, cfg);
+  cfg.comm_reduction.kind = CommReduction::kTopK;
+  cfg.comm_reduction.topk_ratio = 0.01;
+  double topk = run_iteration("p3.8xlarge", 2, vgg, cfg);
+  EXPECT_LT(topk, 0.3 * full);
+}
+
+TEST(CommReduction, LocalSgdAmortizesSync) {
+  dnn::Model vgg = dnn::make_vgg11();
+  TrainConfig cfg = base_cfg();
+  cfg.iterations = 10;
+  cfg.warmup_iterations = 2;
+  double every = run_iteration("p3.8xlarge", 2, vgg, cfg);
+  cfg.comm_reduction.kind = CommReduction::kLocalSgd;
+  cfg.comm_reduction.local_steps = 4;
+  double local = run_iteration("p3.8xlarge", 2, vgg, cfg);
+  // Three of four iterations skip the exchange entirely.
+  EXPECT_LT(local, 0.6 * every);
+}
+
+TEST(CommReduction, NoEffectOnSingleGpu) {
+  dnn::Model model = dnn::make_resnet18();
+  TrainConfig cfg = base_cfg();
+  cfg.use_gpus = {hw::GpuRef{0, 0}};
+  double none = run_iteration("p3.2xlarge", 1, model, cfg);
+  cfg.comm_reduction.kind = CommReduction::kTopK;
+  cfg.comm_reduction.topk_ratio = 0.01;
+  double topk = run_iteration("p3.2xlarge", 1, model, cfg);
+  EXPECT_DOUBLE_EQ(none, topk);
+}
+
+TEST(CommReduction, InvalidConfigsThrow) {
+  dnn::Model model = dnn::make_resnet18();
+  TrainConfig cfg = base_cfg();
+  cfg.comm_reduction.kind = CommReduction::kTopK;
+  cfg.comm_reduction.topk_ratio = 0.0;
+  EXPECT_THROW(run_iteration("p3.16xlarge", 1, model, cfg), std::invalid_argument);
+  cfg = base_cfg();
+  cfg.comm_reduction.kind = CommReduction::kLocalSgd;
+  cfg.comm_reduction.local_steps = 0;
+  EXPECT_THROW(run_iteration("p3.16xlarge", 1, model, cfg), std::invalid_argument);
+}
+
+TEST(Straggler, SlowWorkerPacesEveryIteration) {
+  dnn::Model model = dnn::make_resnet18();
+  TrainConfig cfg = base_cfg();
+  double uniform = run_iteration("p3.16xlarge", 1, model, cfg);
+  cfg.straggler.worker_index = 5;
+  cfg.straggler.slowdown = 2.0;
+  double straggling = run_iteration("p3.16xlarge", 1, model, cfg);
+  EXPECT_GT(straggling, 1.4 * uniform);
+}
+
+TEST(Straggler, LeadStragglerAlsoCounts) {
+  dnn::Model model = dnn::make_resnet18();
+  TrainConfig cfg = base_cfg();
+  cfg.straggler.worker_index = 0;
+  cfg.straggler.slowdown = 1.5;
+  double lead_slow = run_iteration("p3.16xlarge", 1, model, cfg);
+  cfg.straggler.worker_index = -1;
+  double uniform = run_iteration("p3.16xlarge", 1, model, cfg);
+  EXPECT_GT(lead_slow, uniform);
+}
+
+TEST(Straggler, DisabledByDefault) {
+  StragglerConfig s;
+  EXPECT_FALSE(s.enabled());
+  EXPECT_DOUBLE_EQ(s.scale_for(3), 1.0);
+  s.worker_index = 3;
+  s.slowdown = 1.5;
+  EXPECT_TRUE(s.enabled());
+  EXPECT_DOUBLE_EQ(s.scale_for(3), 1.5);
+  EXPECT_DOUBLE_EQ(s.scale_for(2), 1.0);
+}
+
+TEST(Straggler, InvalidSlowdownThrows) {
+  dnn::Model model = dnn::make_resnet18();
+  TrainConfig cfg = base_cfg();
+  cfg.straggler.worker_index = 1;
+  cfg.straggler.slowdown = 0.5;
+  EXPECT_THROW(run_iteration("p3.16xlarge", 1, model, cfg), std::invalid_argument);
+}
+
+// Sweep: amplification is bounded by the slowdown itself.
+class StragglerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(StragglerSweep, AmplificationBounded) {
+  double slowdown = GetParam();
+  dnn::Model model = dnn::make_alexnet();
+  TrainConfig cfg = base_cfg();
+  double uniform = run_iteration("p3.16xlarge", 1, model, cfg);
+  cfg.straggler.worker_index = 3;
+  cfg.straggler.slowdown = slowdown;
+  double straggling = run_iteration("p3.16xlarge", 1, model, cfg);
+  EXPECT_GE(straggling, uniform - 1e-12);
+  EXPECT_LE(straggling, slowdown * uniform * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slowdowns, StragglerSweep,
+                         ::testing::Values(1.1, 1.25, 1.5, 2.0, 3.0));
+
+}  // namespace
+}  // namespace stash::ddl

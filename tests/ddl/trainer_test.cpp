@@ -1,0 +1,271 @@
+#include "ddl/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cloud/builder.h"
+#include "cloud/instance.h"
+#include "coll/ring_allreduce.h"
+#include "dnn/bert.h"
+#include "dnn/zoo.h"
+#include "util/units.h"
+
+namespace stash::ddl {
+namespace {
+
+using util::gib;
+
+struct Harness {
+  sim::Simulator sim;
+  hw::FlowNetwork net{sim};
+  std::unique_ptr<hw::Cluster> cluster;
+
+  explicit Harness(const std::string& instance_name, int count = 1,
+                   cloud::CrossbarSlice slice = cloud::CrossbarSlice::kFragmented) {
+    cluster = std::make_unique<hw::Cluster>(
+        net, sim,
+        cloud::cluster_configs_for(cloud::instance(instance_name), count, slice),
+        cloud::fabric_bandwidth());
+  }
+
+  TrainResult train(const dnn::Model& model, TrainConfig cfg) {
+    Trainer t(sim, net, *cluster, model, dnn::dataset_for(model.name()), cfg);
+    return t.run();
+  }
+};
+
+TrainConfig synthetic_cfg(int batch = 32) {
+  TrainConfig cfg;
+  cfg.per_gpu_batch = batch;
+  cfg.iterations = 6;
+  cfg.warmup_iterations = 2;
+  cfg.synthetic_data = true;
+  return cfg;
+}
+
+TEST(Trainer, SingleGpuSyntheticMatchesComputeModel) {
+  Harness h("p3.2xlarge");
+  dnn::Model model = dnn::make_resnet18();
+  TrainConfig cfg = synthetic_cfg();
+  cfg.use_gpus = {hw::GpuRef{0, 0}};
+  TrainResult r = h.train(model, cfg);
+
+  double flops = (model.fwd_flops_per_sample() + model.bwd_flops_per_sample()) * 32;
+  double compute = flops / h.cluster->machine(0).gpu().effective_flops;
+  double expected = compute * 1.02;  // optimizer overhead
+  EXPECT_NEAR(r.per_iteration, expected, 1e-9);
+  EXPECT_EQ(r.measured_iterations, 4);
+  EXPECT_DOUBLE_EQ(r.comm_tail, 0.0);
+  EXPECT_DOUBLE_EQ(r.data_wait, 0.0);
+}
+
+TEST(Trainer, MultiGpuSlowerThanSingleGpu) {
+  // The interconnect stall: same per-GPU batch, distributed training pays
+  // for gradient synchronization (Stash step 2 vs step 1).
+  Harness h1("p3.16xlarge");
+  dnn::Model model = dnn::make_resnet18();
+  TrainConfig single = synthetic_cfg();
+  single.use_gpus = {hw::GpuRef{0, 0}};
+  double t1 = h1.train(model, single).per_iteration;
+
+  Harness h8("p3.16xlarge");
+  double t8 = h8.train(model, synthetic_cfg()).per_iteration;
+  EXPECT_GT(t8, t1);
+}
+
+TEST(Trainer, CommTailPositiveOnSlowInterconnect) {
+  Harness h("p2.16xlarge");
+  dnn::Model model = dnn::make_alexnet();
+  TrainResult r = h.train(model, synthetic_cfg());
+  EXPECT_GT(r.comm_tail, 0.0);
+}
+
+TEST(Trainer, OverlapNeverWorseThanSerial) {
+  // Total iteration time <= compute + full collective time (overlap helps,
+  // never hurts).
+  Harness h("p3.16xlarge");
+  dnn::Model model = dnn::make_vgg11();
+  TrainResult r = h.train(model, synthetic_cfg());
+  double serial_comm = 0.0;
+  for (const auto& s : model.backward_steps())
+    serial_comm += coll::ring_allreduce_analytic(s.grad_bytes, 8, util::gb_per_s(22),
+                                                 8e-6);
+  EXPECT_LE(r.per_iteration, r.compute_time + serial_comm + 1e-6);
+}
+
+TEST(Trainer, NetworkStallDwarfsInterconnect) {
+  // Stash step 5 vs step 2 (paper Fig 13): same GPU count, but the ring
+  // crosses a 10 Gbps NIC.
+  dnn::Model model = dnn::make_vgg11();
+  Harness one("p3.16xlarge");
+  double t_one = one.train(model, synthetic_cfg()).per_iteration;
+  Harness two("p3.8xlarge", 2);
+  double t_two = two.train(model, synthetic_cfg()).per_iteration;
+  EXPECT_GT(t_two, 2.0 * t_one);
+}
+
+TEST(Trainer, WarmCacheFasterThanCold) {
+  Harness cold_h("p2.8xlarge");
+  dnn::Model model = dnn::make_alexnet();
+  TrainConfig cfg = synthetic_cfg();
+  cfg.synthetic_data = false;
+  cfg.cold_cache = true;
+  double t_cold = cold_h.train(model, cfg).per_iteration;
+
+  Harness warm_h("p2.8xlarge");
+  cfg.cold_cache = false;
+  double t_warm = warm_h.train(model, cfg).per_iteration;
+  EXPECT_GT(t_cold, t_warm);
+}
+
+TEST(Trainer, WarmCacheHidesPipelineBehindCompute) {
+  // On a machine whose DRAM holds the dataset, prep is fully overlapped:
+  // warm-cache real-data time equals synthetic time (negligible CPU stall,
+  // paper Fig 4a/8a).
+  dnn::Model model = dnn::make_resnet18();
+  Harness synth_h("p3.16xlarge");
+  double t_synth = synth_h.train(model, synthetic_cfg()).per_iteration;
+
+  Harness warm_h("p3.16xlarge");
+  TrainConfig cfg = synthetic_cfg();
+  cfg.synthetic_data = false;
+  double t_warm = warm_h.train(model, cfg).per_iteration;
+  EXPECT_LT((t_warm - t_synth) / t_synth, 0.25);
+}
+
+TEST(Trainer, ColdCacheDiskBoundOn16xlarge) {
+  // Sixteen loaders hammer one SSD: data wait dominates (paper Fig 4b).
+  dnn::Model model = dnn::make_alexnet();
+  Harness h("p2.16xlarge");
+  TrainConfig cfg = synthetic_cfg();
+  cfg.synthetic_data = false;
+  cfg.cold_cache = true;
+  TrainResult r = h.train(model, cfg);
+  EXPECT_GT(r.data_wait, 0.0);
+}
+
+TEST(Trainer, BucketingReducesLatencyCost) {
+  // Ablation A3: 25 MiB buckets amortize per-collective launch latency.
+  // The win is largest in the latency-dominated regime — many tiny
+  // gradient tensors on a slow, high-round-count interconnect (ShuffleNet's
+  // 170 tensors on the 16-GPU PCIe box). On NVLink with bandwidth-heavy
+  // models the effect is a wash (bucketing trades away overlap
+  // granularity), which bench_ablation_bucketing quantifies.
+  dnn::Model model = dnn::make_shufflenet();
+  Harness per_tensor("p2.16xlarge");
+  TrainConfig cfg = synthetic_cfg();
+  double t_tensor = per_tensor.train(model, cfg).per_iteration;
+
+  Harness bucketed("p2.16xlarge");
+  cfg.bucket_bytes = util::mib(25);
+  double t_bucket = bucketed.train(model, cfg).per_iteration;
+  EXPECT_LT(t_bucket, t_tensor);
+}
+
+TEST(Trainer, MemoryEnforcement) {
+  Harness h("p2.xlarge");  // 12 GiB K80
+  dnn::Model bert = dnn::make_bert_large();
+  TrainConfig cfg = synthetic_cfg(32);
+  cfg.use_gpus = {hw::GpuRef{0, 0}};
+  EXPECT_THROW(h.train(bert, cfg), ModelDoesNotFit);
+
+  Harness h2("p2.xlarge");
+  cfg.enforce_memory = false;
+  EXPECT_NO_THROW(h2.train(bert, cfg));
+}
+
+TEST(Trainer, MaxBatchThatFits) {
+  dnn::Model bert = dnn::make_bert_large();
+  int on_v100 = Trainer::max_batch_that_fits(bert, hw::v100_spec());
+  EXPECT_GE(on_v100, 4);   // the paper trains batch 4 on 16 GiB
+  EXPECT_LE(on_v100, 16);
+  int on_v100_32 = Trainer::max_batch_that_fits(bert, hw::v100_spec(32));
+  EXPECT_GT(on_v100_32, on_v100);  // §V-B: 24xlarge can double the batch
+  dnn::Model shuffle = dnn::make_shufflenet();
+  EXPECT_GE(Trainer::max_batch_that_fits(shuffle, hw::k80_spec()), 128);
+}
+
+TEST(Trainer, EpochTimeScalesWindow) {
+  Harness h("p3.16xlarge");
+  dnn::Model model = dnn::make_resnet18();
+  TrainResult r = h.train(model, synthetic_cfg());
+  double epoch = r.epoch_time(1'281'167.0, 32);
+  EXPECT_NEAR(epoch, r.per_iteration * 1'281'167.0 / (32.0 * 8.0), 1e-6 * epoch);
+}
+
+TEST(Trainer, InvalidConfigsThrow) {
+  Harness h("p2.xlarge");
+  dnn::Model model = dnn::make_alexnet();
+  TrainConfig cfg = synthetic_cfg();
+  cfg.iterations = 2;
+  cfg.warmup_iterations = 2;
+  EXPECT_THROW(h.train(model, cfg), std::invalid_argument);
+
+  TrainConfig bad_gpu = synthetic_cfg();
+  bad_gpu.use_gpus = {hw::GpuRef{0, 5}};
+  Harness h2("p2.xlarge");
+  EXPECT_THROW(h2.train(model, bad_gpu), std::out_of_range);
+
+  TrainConfig bad_batch = synthetic_cfg(0);
+  Harness h3("p2.xlarge");
+  EXPECT_THROW(h3.train(model, bad_batch), std::invalid_argument);
+}
+
+TEST(Trainer, TraceRecordsIterationTimeline) {
+  Harness h("p3.16xlarge");
+  dnn::Model model = dnn::make_resnet18();
+  TrainConfig cfg = synthetic_cfg();
+  cfg.synthetic_data = false;  // exercise data_wait + h2d spans too
+  util::TraceRecorder trace;
+  cfg.trace = &trace;
+  h.train(model, cfg);
+  EXPECT_GT(trace.size(), 0u);
+  bool saw_forward = false, saw_backward = false, saw_allreduce = false,
+       saw_h2d = false;
+  for (const auto& s : trace.spans()) {
+    EXPECT_GE(s.duration_s, 0.0);
+    if (s.name == "forward") saw_forward = true;
+    if (s.name == "backward+flush") saw_backward = true;
+    if (s.name == "allreduce") saw_allreduce = true;
+    if (s.name == "h2d") saw_h2d = true;
+  }
+  EXPECT_TRUE(saw_forward);
+  EXPECT_TRUE(saw_backward);
+  EXPECT_TRUE(saw_allreduce);
+  EXPECT_TRUE(saw_h2d);
+  // Serializes to parseable-looking chrome trace JSON.
+  std::string json = trace.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+}
+
+TEST(Trainer, DeterministicAcrossRuns) {
+  dnn::Model model = dnn::make_resnet18();
+  Harness a("p3.16xlarge");
+  Harness b("p3.16xlarge");
+  double ta = a.train(model, synthetic_cfg()).per_iteration;
+  double tb = b.train(model, synthetic_cfg()).per_iteration;
+  EXPECT_DOUBLE_EQ(ta, tb);
+}
+
+// Batch-size sweep property: per-iteration time grows monotonically with
+// batch size; communication volume does not change, so stall fraction
+// shrinks (larger batches amortize the all-reduce).
+class BatchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchSweep, IterationTimeMonotoneInBatch) {
+  int batch = GetParam();
+  dnn::Model model = dnn::make_resnet18();
+  Harness small("p3.16xlarge");
+  Harness large("p3.16xlarge");
+  double t_small = small.train(model, synthetic_cfg(batch)).per_iteration;
+  double t_large = large.train(model, synthetic_cfg(batch * 2)).per_iteration;
+  EXPECT_GT(t_large, t_small);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSweep, ::testing::Values(8, 16, 32, 64));
+
+}  // namespace
+}  // namespace stash::ddl

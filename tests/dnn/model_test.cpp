@@ -1,0 +1,75 @@
+#include "dnn/model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace stash::dnn {
+namespace {
+
+Model tiny_model() {
+  std::vector<Layer> layers{
+      Layer{"conv", LayerKind::kConv, 100.0, 1000.0, 400.0},
+      Layer{"act", LayerKind::kOther, 0.0, 10.0, 400.0},
+      Layer{"fc", LayerKind::kFullyConnected, 50.0, 500.0, 200.0},
+  };
+  return Model("tiny", std::move(layers), 1000.0);
+}
+
+TEST(Model, AggregatesTotals) {
+  Model m = tiny_model();
+  EXPECT_DOUBLE_EQ(m.total_params(), 150.0);
+  EXPECT_DOUBLE_EQ(m.gradient_bytes(), 600.0);
+  EXPECT_DOUBLE_EQ(m.fwd_flops_per_sample(), 1510.0);
+  EXPECT_DOUBLE_EQ(m.bwd_flops_per_sample(), 3020.0);
+  EXPECT_DOUBLE_EQ(m.activation_bytes_per_sample(), 1000.0);
+  EXPECT_EQ(m.num_layers(), 3u);
+  EXPECT_EQ(m.num_param_tensors(), 2u);
+}
+
+TEST(Model, GradientTensorsInBackwardOrder) {
+  Model m = tiny_model();
+  auto grads = m.gradient_tensors_backward();
+  ASSERT_EQ(grads.size(), 2u);
+  EXPECT_DOUBLE_EQ(grads[0], 200.0);  // fc first (backward pass order)
+  EXPECT_DOUBLE_EQ(grads[1], 400.0);
+}
+
+TEST(Model, TrainMemoryGrowsWithBatch) {
+  Model m = tiny_model();
+  double m1 = m.train_memory_bytes(1);
+  double m32 = m.train_memory_bytes(32);
+  EXPECT_GT(m32, m1);
+  EXPECT_NEAR(m32 - m1, 31.0 * m.activation_bytes_per_sample(), 1e-6);
+}
+
+TEST(Model, TrainMemoryIncludesParamState) {
+  Model m = tiny_model();
+  // weights+grads+momentum: 12 bytes/param.
+  EXPECT_GE(m.train_memory_bytes(1), 150.0 * 12.0);
+}
+
+TEST(Model, InvalidBatchThrows) {
+  Model m = tiny_model();
+  EXPECT_THROW(m.train_memory_bytes(0), std::invalid_argument);
+}
+
+TEST(Model, EmptyModelThrows) {
+  EXPECT_THROW(Model("empty", {}, 0.0), std::invalid_argument);
+}
+
+TEST(Model, ParamFreeModelThrows) {
+  std::vector<Layer> layers{Layer{"pool", LayerKind::kOther, 0.0, 1.0, 1.0}};
+  EXPECT_THROW(Model("pool-only", std::move(layers), 1.0), std::invalid_argument);
+}
+
+TEST(Layer, GradientBytesFp32) {
+  Layer l{"x", LayerKind::kConv, 25.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(l.gradient_bytes(), 100.0);
+  EXPECT_TRUE(l.has_params());
+  Layer p{"pool", LayerKind::kOther, 0.0, 0.0, 0.0};
+  EXPECT_FALSE(p.has_params());
+}
+
+}  // namespace
+}  // namespace stash::dnn

@@ -1,0 +1,171 @@
+#include "dnn/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "dnn/bert.h"
+#include "dnn/resnet.h"
+#include "dnn/vgg.h"
+#include "util/units.h"
+
+namespace stash::dnn {
+namespace {
+
+// Table II check: every zoo model's parameter count must match the paper's
+// reported gradient size. Real generators are allowed ~10% drift (the paper
+// itself rounds differently from torchvision); profile models must be exact
+// by construction.
+class TableTwo : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TableTwo, GradientSizeMatchesPaper) {
+  const std::string name = GetParam();
+  Model m = make_zoo_model(name);
+  double paper = paper_gradient_millions(name) * 1e6;
+  double tolerance = 0.10 * paper;
+  EXPECT_NEAR(m.total_params(), paper, tolerance) << name;
+}
+
+TEST_P(TableTwo, ModelIsWellFormed) {
+  Model m = make_zoo_model(GetParam());
+  EXPECT_GT(m.num_param_tensors(), 0u);
+  EXPECT_GT(m.fwd_flops_per_sample(), 0.0);
+  EXPECT_GT(m.input_tensor_bytes(), 0.0);
+  auto grads = m.gradient_tensors_backward();
+  EXPECT_EQ(grads.size(), m.num_param_tensors());
+  double sum = 0.0;
+  for (double g : grads) {
+    EXPECT_GT(g, 0.0);
+    sum += g;
+  }
+  EXPECT_NEAR(sum, m.gradient_bytes(), 1e-6 * m.gradient_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, TableTwo,
+                         ::testing::Values("alexnet", "mobilenet-v2", "squeezenet",
+                                           "shufflenet", "resnet18", "resnet50",
+                                           "vgg11", "bert-large"));
+
+TEST(Zoo, UnknownModelThrows) {
+  EXPECT_THROW(make_zoo_model("gpt-7"), std::invalid_argument);
+  EXPECT_THROW(paper_gradient_millions("gpt-7"), std::invalid_argument);
+}
+
+TEST(Zoo, SmallAndLargeClassification) {
+  auto small = small_vision_models();
+  auto large = large_vision_models();
+  EXPECT_EQ(small.size(), 5u);
+  EXPECT_EQ(large.size(), 2u);
+  for (const auto& n : small) EXPECT_NO_THROW(make_zoo_model(n));
+  for (const auto& n : large) EXPECT_NO_THROW(make_zoo_model(n));
+}
+
+TEST(Zoo, DatasetBindings) {
+  EXPECT_EQ(dataset_for("resnet18").name, "imagenet-1k");
+  EXPECT_EQ(dataset_for("bert-large").name, "squad-2.0");
+}
+
+TEST(Datasets, TableTwoSizes) {
+  Dataset in = imagenet_1k();
+  EXPECT_NEAR(in.total_bytes, util::gb(133), 1.0);
+  EXPECT_NEAR(in.num_samples, 1'281'167.0, 1.0);
+  EXPECT_NEAR(in.bytes_per_sample(), util::gb(133) / 1'281'167.0, 1.0);
+  Dataset sq = squad_v2();
+  EXPECT_NEAR(sq.total_bytes, util::mb(45), 1.0);
+}
+
+TEST(ResNet, RealParamCounts) {
+  // torchvision reference: resnet18 11.69M, resnet34 21.80M, resnet50
+  // 25.56M, resnet101 44.55M, resnet152 60.19M.
+  EXPECT_NEAR(make_resnet(18).total_params(), 11.69e6, 0.3e6);
+  EXPECT_NEAR(make_resnet(34).total_params(), 21.80e6, 0.5e6);
+  EXPECT_NEAR(make_resnet(50).total_params(), 25.56e6, 0.8e6);
+  EXPECT_NEAR(make_resnet(101).total_params(), 44.55e6, 1.2e6);
+  EXPECT_NEAR(make_resnet(152).total_params(), 60.19e6, 1.5e6);
+}
+
+TEST(ResNet, DepthIncreasesLayersAndParams) {
+  Model r18 = make_resnet(18);
+  Model r50 = make_resnet(50);
+  Model r152 = make_resnet(152);
+  EXPECT_LT(r18.num_param_tensors(), r50.num_param_tensors());
+  EXPECT_LT(r50.num_param_tensors(), r152.num_param_tensors());
+  EXPECT_LT(r18.total_params(), r50.total_params());
+  EXPECT_LT(r50.total_params(), r152.total_params());
+}
+
+TEST(ResNet, RemovingBatchNormDropsTensors) {
+  Model with_bn = make_resnet(18);
+  Model without = make_resnet(18, ResNetOptions{.batch_norm = false});
+  EXPECT_LT(without.num_param_tensors(), with_bn.num_param_tensors());
+  // BN carries few parameters: totals barely move.
+  EXPECT_NEAR(without.total_params(), with_bn.total_params(),
+              0.01 * with_bn.total_params());
+}
+
+TEST(ResNet, RemovingResidualBarelyChangesModel) {
+  Model with_res = make_resnet(18);
+  Model without = make_resnet(18, ResNetOptions{.residual = false});
+  // Only the 1x1 downsample projections disappear.
+  EXPECT_LT(without.num_param_tensors(), with_res.num_param_tensors());
+  EXPECT_NEAR(without.total_params(), with_res.total_params(),
+              0.1 * with_res.total_params());
+}
+
+TEST(ResNet, InvalidDepthThrows) {
+  EXPECT_THROW(make_resnet(20), std::invalid_argument);
+}
+
+TEST(Vgg, RealParamCounts) {
+  // torchvision: vgg11 132.86M, vgg13 133.05M, vgg16 138.36M, vgg19 143.67M.
+  EXPECT_NEAR(make_vgg(11).total_params(), 132.86e6, 0.5e6);
+  EXPECT_NEAR(make_vgg(13).total_params(), 133.05e6, 0.5e6);
+  EXPECT_NEAR(make_vgg(16).total_params(), 138.36e6, 0.5e6);
+  EXPECT_NEAR(make_vgg(19).total_params(), 143.67e6, 0.5e6);
+}
+
+TEST(Vgg, FarFewerTensorsThanResNet) {
+  // The paper's §VI contrast: VGG has few layers with huge gradients,
+  // ResNet many layers with small gradients.
+  Model vgg16 = make_vgg(16);
+  Model r152 = make_resnet(152);
+  EXPECT_LT(vgg16.num_param_tensors(), 40u);
+  EXPECT_GT(r152.num_param_tensors(), 300u);
+  EXPECT_GT(vgg16.total_params(), r152.total_params());
+}
+
+TEST(Vgg, InvalidDepthThrows) {
+  EXPECT_THROW(make_vgg(12), std::invalid_argument);
+}
+
+TEST(Bert, LargeConfigParams) {
+  Model bert = make_bert_large();
+  // BERT-large: ~335M from this generator, 340-345M reported.
+  EXPECT_NEAR(bert.total_params(), 340e6, 10e6);
+  // 8 fused weight+bias tensors per encoder block x 24 blocks + embeddings.
+  EXPECT_GT(bert.num_param_tensors(), 150u);
+}
+
+TEST(Bert, SeqLenScalesFlopsNotParams) {
+  BertConfig short_cfg;
+  short_cfg.seq_len = 128;
+  BertConfig long_cfg;
+  long_cfg.seq_len = 512;
+  Model a = make_bert(short_cfg);
+  Model b = make_bert(long_cfg);
+  EXPECT_DOUBLE_EQ(a.total_params(), b.total_params());
+  EXPECT_LT(a.fwd_flops_per_sample(), b.fwd_flops_per_sample());
+}
+
+TEST(Bert, InvalidConfigThrows) {
+  BertConfig bad;
+  bad.seq_len = 0;
+  EXPECT_THROW(make_bert(bad), std::invalid_argument);
+}
+
+TEST(Bert, MemoryFitsBatch4OnV100) {
+  // The paper trains BERT-large with batch 4 on 16 GB V100s.
+  Model bert = make_bert_large();
+  EXPECT_LT(bert.train_memory_bytes(4), util::gib(16));
+}
+
+}  // namespace
+}  // namespace stash::dnn

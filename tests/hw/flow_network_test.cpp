@@ -1,0 +1,227 @@
+#include "hw/flow_network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "util/units.h"
+
+namespace stash::hw {
+namespace {
+
+using util::gb_per_s;
+using util::mb;
+
+// Helper: run a transfer and record its completion time.
+sim::Task<void> timed_transfer(sim::Simulator& sim, FlowNetwork& net, double bytes,
+                               std::vector<Link*> path, double latency, double& done_at) {
+  co_await net.transfer(bytes, std::move(path), latency);
+  done_at = sim.now();
+}
+
+TEST(FlowNetwork, SingleFlowUsesFullCapacity) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Link* l = net.add_link("l", 100.0);  // 100 B/s
+  double done = -1;
+  sim.spawn(timed_transfer(sim, net, 1000.0, {l}, 0.0, done));
+  sim.run();
+  EXPECT_NEAR(done, 10.0, 1e-9);
+}
+
+TEST(FlowNetwork, LatencyDelaysStart) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Link* l = net.add_link("l", 100.0);
+  double done = -1;
+  sim.spawn(timed_transfer(sim, net, 1000.0, {l}, 2.5, done));
+  sim.run();
+  EXPECT_NEAR(done, 12.5, 1e-9);
+}
+
+TEST(FlowNetwork, EmptyPathCompletesAfterLatency) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  double done = -1;
+  sim.spawn(timed_transfer(sim, net, mb(100), {}, 3.0, done));
+  sim.run();
+  EXPECT_NEAR(done, 3.0, 1e-9);
+}
+
+TEST(FlowNetwork, ZeroBytesCompletesAfterLatency) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Link* l = net.add_link("l", 100.0);
+  double done = -1;
+  sim.spawn(timed_transfer(sim, net, 0.0, {l}, 1.0, done));
+  sim.run();
+  EXPECT_NEAR(done, 1.0, 1e-9);
+}
+
+TEST(FlowNetwork, TwoFlowsShareFairly) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Link* l = net.add_link("l", 100.0);
+  double a = -1, b = -1;
+  sim.spawn(timed_transfer(sim, net, 1000.0, {l}, 0.0, a));
+  sim.spawn(timed_transfer(sim, net, 1000.0, {l}, 0.0, b));
+  sim.run();
+  // Both share 50 B/s, finishing together at t=20.
+  EXPECT_NEAR(a, 20.0, 1e-9);
+  EXPECT_NEAR(b, 20.0, 1e-9);
+}
+
+TEST(FlowNetwork, ShortFlowFinishesThenLongSpeedsUp) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Link* l = net.add_link("l", 100.0);
+  double small = -1, big = -1;
+  sim.spawn(timed_transfer(sim, net, 500.0, {l}, 0.0, small));
+  sim.spawn(timed_transfer(sim, net, 1500.0, {l}, 0.0, big));
+  sim.run();
+  // Shared until the small flow drains at t=10 (500 B at 50 B/s); the big
+  // flow then has 1000 B left at full rate -> finishes at t=20.
+  EXPECT_NEAR(small, 10.0, 1e-9);
+  EXPECT_NEAR(big, 20.0, 1e-9);
+}
+
+TEST(FlowNetwork, LateArrivalSlowsExistingFlow) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Link* l = net.add_link("l", 100.0);
+  double a = -1, b = -1;
+  sim.spawn(timed_transfer(sim, net, 1000.0, {l}, 0.0, a));
+  sim.spawn(timed_transfer(sim, net, 500.0, {l}, 5.0, b));
+  sim.run();
+  // Flow A alone for 5 s (500 B done), then shares: A has 500 B at 50 B/s
+  // -> t=15; B has 500 B at 50 B/s -> t=15.
+  EXPECT_NEAR(a, 15.0, 1e-9);
+  EXPECT_NEAR(b, 15.0, 1e-9);
+}
+
+TEST(FlowNetwork, BottleneckLinkGovernsPath) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Link* fast = net.add_link("fast", 1000.0);
+  Link* slow = net.add_link("slow", 10.0);
+  double done = -1;
+  sim.spawn(timed_transfer(sim, net, 100.0, {fast, slow}, 0.0, done));
+  sim.run();
+  EXPECT_NEAR(done, 10.0, 1e-9);
+}
+
+TEST(FlowNetwork, MaxMinUnevenShare) {
+  // Two links: A (cap 100) carries flows 1 and 2; B (cap 30) carries flow 2
+  // only. Max-min: flow 2 is capped at 30 by B; flow 1 gets the remaining
+  // 70 of A.
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Link* la = net.add_link("A", 100.0);
+  Link* lb = net.add_link("B", 30.0);
+  double f1 = -1, f2 = -1;
+  sim.spawn(timed_transfer(sim, net, 700.0, {la}, 0.0, f1));
+  sim.spawn(timed_transfer(sim, net, 300.0, {la, lb}, 0.0, f2));
+  sim.run();
+  EXPECT_NEAR(f1, 10.0, 1e-9);
+  EXPECT_NEAR(f2, 10.0, 1e-9);
+}
+
+TEST(FlowNetwork, LinkThroughputReflectsActiveFlows) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Link* l = net.add_link("l", 100.0);
+  double a = -1;
+  sim.spawn(timed_transfer(sim, net, 1000.0, {l}, 0.0, a));
+  sim.schedule(1.0, [&] { EXPECT_NEAR(net.link_throughput(l), 100.0, 1e-9); });
+  sim.run();
+  EXPECT_NEAR(net.link_throughput(l), 0.0, 1e-12);  // all drained
+}
+
+TEST(FlowNetwork, BytesAccounted) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Link* l = net.add_link("l", 100.0);
+  double a = -1, b = -1;
+  sim.spawn(timed_transfer(sim, net, 250.0, {l}, 0.0, a));
+  sim.spawn(timed_transfer(sim, net, 750.0, {l}, 0.0, b));
+  sim.run();
+  EXPECT_NEAR(l->bytes_carried(), 1000.0, 1e-9);
+}
+
+TEST(FlowNetwork, NegativeBytesThrows) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Link* l = net.add_link("l", 100.0);
+  bool threw = false;
+  std::vector<Link*> path{l};
+  auto proc = [&]() -> sim::Task<void> {
+    try {
+      co_await net.transfer(-1.0, path);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+  };
+  sim.spawn(proc());
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(FlowNetwork, DuplicateLinkInPathChargedPerTraversal) {
+  // A path crossing the same link twice (PCIe peer-to-peer staged through
+  // host memory) gets at most half the link's capacity.
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Link* bridge = net.add_link("bridge", 100.0);
+  double done = -1;
+  sim.spawn(timed_transfer(sim, net, 1000.0, {bridge, bridge}, 0.0, done));
+  sim.run();
+  EXPECT_NEAR(done, 20.0, 1e-9);  // 50 B/s effective
+}
+
+// Property-style sweep: N equal flows on one link each get capacity/N and
+// all finish at N * bytes / capacity.
+class FairShareSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairShareSweep, EqualFlowsFinishTogether) {
+  const int n = GetParam();
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Link* l = net.add_link("l", 100.0);
+  std::vector<double> done(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i)
+    sim.spawn(timed_transfer(sim, net, 100.0, {l}, 0.0, done[static_cast<std::size_t>(i)]));
+  sim.run();
+  for (double d : done) EXPECT_NEAR(d, static_cast<double>(n), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FairShareSweep, ::testing::Values(1, 2, 3, 4, 8, 16, 32));
+
+// Invariant: total rate through a link never exceeds its capacity, sampled
+// while a random mix of flows is in flight.
+TEST(FlowNetwork, CapacityNeverExceeded) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Link* shared = net.add_link("shared", 50.0);
+  Link* side = net.add_link("side", 20.0);
+  std::vector<double> done(6, -1);
+  sim.spawn(timed_transfer(sim, net, 100.0, {shared}, 0.0, done[0]));
+  sim.spawn(timed_transfer(sim, net, 200.0, {shared, side}, 0.5, done[1]));
+  sim.spawn(timed_transfer(sim, net, 300.0, {side}, 1.0, done[2]));
+  sim.spawn(timed_transfer(sim, net, 150.0, {shared}, 1.5, done[3]));
+  sim.spawn(timed_transfer(sim, net, 50.0, {shared, side}, 2.0, done[4]));
+  sim.spawn(timed_transfer(sim, net, 75.0, {side}, 2.5, done[5]));
+  for (int i = 1; i <= 40; ++i) {
+    sim.schedule(i * 0.25, [&] {
+      EXPECT_LE(net.link_throughput(shared), 50.0 + 1e-9);
+      EXPECT_LE(net.link_throughput(side), 20.0 + 1e-9);
+    });
+  }
+  sim.run();
+  for (double d : done) EXPECT_GT(d, 0.0);
+  EXPECT_TRUE(sim.all_processes_done());
+}
+
+}  // namespace
+}  // namespace stash::hw

@@ -1,0 +1,128 @@
+#include "hw/storage.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/cpu.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace stash::hw {
+namespace {
+
+using util::mb;
+using util::mb_per_s;
+
+sim::Task<void> timed_read(sim::Simulator& sim, StorageDevice& dev, double bytes,
+                           double& done_at) {
+  co_await dev.read(bytes);
+  done_at = sim.now();
+}
+
+TEST(StorageDevice, SequentialReadTime) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  StorageDevice ssd(net, "ssd", mb_per_s(250), 0.001);
+  double done = -1;
+  sim.spawn(timed_read(sim, ssd, mb(250), done));
+  sim.run();
+  EXPECT_NEAR(done, 1.001, 1e-9);
+}
+
+TEST(StorageDevice, ConcurrentReadersContend) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  StorageDevice ssd(net, "ssd", mb_per_s(100), 0.0);
+  double a = -1, b = -1, c = -1, d = -1;
+  for (double* out : {&a, &b, &c, &d}) sim.spawn(timed_read(sim, ssd, mb(100), *out));
+  sim.run();
+  // Four 100 MB reads over a 100 MB/s device drain together at t=4.
+  for (double t : {a, b, c, d}) EXPECT_NEAR(t, 4.0, 1e-6);
+}
+
+TEST(SampleCache, ColdMissesThenHits) {
+  SampleCache cache(1000.0, 1.0);  // 1000 samples
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_FALSE(cache.access(2));
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_TRUE(cache.access(2));
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(SampleCache, FifoEvictionWhenFull) {
+  SampleCache cache(3.0, 1.0);  // 3 samples
+  cache.access(1);
+  cache.access(2);
+  cache.access(3);
+  cache.access(4);                // evicts 1
+  EXPECT_FALSE(cache.access(1));  // 1 gone, evicts 2
+  EXPECT_TRUE(cache.access(3));
+  EXPECT_TRUE(cache.access(4));
+  EXPECT_EQ(cache.resident_samples(), 3u);
+}
+
+TEST(SampleCache, ZeroCapacityNeverHits) {
+  SampleCache cache(0.5, 1.0);  // capacity rounds to zero samples
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(SampleCache, ClearDropsResidency) {
+  SampleCache cache(10.0, 1.0);
+  cache.access(1);
+  cache.clear();
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_EQ(cache.resident_samples(), 1u);
+}
+
+TEST(SampleCache, ResetCountersKeepsResidency) {
+  SampleCache cache(10.0, 1.0);
+  cache.access(1);
+  cache.reset_counters();
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(SampleCache, InvalidSampleSizeThrows) {
+  EXPECT_THROW(SampleCache(100.0, 0.0), std::invalid_argument);
+}
+
+sim::Task<void> timed_cpu(sim::Simulator& sim, CpuPool& pool, double secs, double& done_at) {
+  co_await pool.run(secs);
+  done_at = sim.now();
+}
+
+TEST(CpuPool, ParallelUpToVcpus) {
+  sim::Simulator sim;
+  CpuPool pool(sim, 2);
+  double a = -1, b = -1, c = -1;
+  sim.spawn(timed_cpu(sim, pool, 1.0, a));
+  sim.spawn(timed_cpu(sim, pool, 1.0, b));
+  sim.spawn(timed_cpu(sim, pool, 1.0, c));
+  sim.run();
+  EXPECT_NEAR(a, 1.0, 1e-9);
+  EXPECT_NEAR(b, 1.0, 1e-9);
+  EXPECT_NEAR(c, 2.0, 1e-9);  // queued behind the first two
+}
+
+TEST(CpuPool, ZeroVcpusThrows) {
+  sim::Simulator sim;
+  EXPECT_THROW(CpuPool(sim, 0), std::invalid_argument);
+}
+
+TEST(CpuPool, IdleCoresTrack) {
+  sim::Simulator sim;
+  CpuPool pool(sim, 4);
+  EXPECT_EQ(pool.idle_cores(), 4u);
+  double a = -1;
+  sim.spawn(timed_cpu(sim, pool, 1.0, a));
+  EXPECT_EQ(pool.idle_cores(), 3u);
+  sim.run();
+  EXPECT_EQ(pool.idle_cores(), 4u);
+}
+
+}  // namespace
+}  // namespace stash::hw

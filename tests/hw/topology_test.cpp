@@ -1,0 +1,238 @@
+#include "hw/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace stash::hw {
+namespace {
+
+using util::gb_per_s;
+using util::gbps;
+using util::gib;
+using util::mb_per_s;
+
+MachineConfig pcie_config(int gpus) {
+  MachineConfig c;
+  c.name = "pcie_box";
+  c.num_gpus = gpus;
+  c.gpu = k80_spec();
+  c.interconnect = InterconnectKind::kPcieOnly;
+  c.pcie_lane_bw = gb_per_s(10);
+  c.host_bridge_bw = gb_per_s(24);
+  c.nic_bw = gbps(10);
+  c.vcpus = 32;
+  c.dram_bytes = gib(488);
+  c.ssd_bw = mb_per_s(250);
+  c.ssd_latency = 0.0005;
+  return c;
+}
+
+MachineConfig nvlink_config(int gpus) {
+  MachineConfig c = pcie_config(gpus);
+  c.name = "nvlink_box";
+  c.gpu = v100_spec();
+  c.interconnect = InterconnectKind::kPcieNvlink;
+  c.nvlink_bw = gb_per_s(22);
+  return c;
+}
+
+TEST(Machine, PcieOnlyPathGoesThroughHostBridge) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Machine m(net, sim, pcie_config(4), 0);
+  auto path = m.gpu_to_gpu_path(0, 3);
+  // Staged through host memory: the bridge is traversed twice.
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], m.pcie_up(0));
+  EXPECT_EQ(path[1], m.host_bridge());
+  EXPECT_EQ(path[2], m.host_bridge());
+  EXPECT_EQ(path[3], m.pcie_down(3));
+}
+
+TEST(Machine, SameGpuPathIsEmpty) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Machine m(net, sim, pcie_config(4), 0);
+  EXPECT_TRUE(m.gpu_to_gpu_path(2, 2).empty());
+}
+
+TEST(Machine, OutOfRangeGpuThrows) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Machine m(net, sim, pcie_config(2), 0);
+  EXPECT_THROW(m.gpu_to_gpu_path(0, 2), std::out_of_range);
+  EXPECT_THROW(m.h2d_path(-1), std::out_of_range);
+}
+
+TEST(Machine, CubeMesh8Adjacency) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Machine m(net, sim, nvlink_config(8), 0);
+  // Within quads: fully connected.
+  EXPECT_TRUE(m.nvlink_connected(0, 1));
+  EXPECT_TRUE(m.nvlink_connected(2, 3));
+  EXPECT_TRUE(m.nvlink_connected(4, 7));
+  // Cross edges i <-> i+4 only.
+  EXPECT_TRUE(m.nvlink_connected(1, 5));
+  EXPECT_FALSE(m.nvlink_connected(0, 5));
+  EXPECT_FALSE(m.nvlink_connected(3, 4));
+  EXPECT_FALSE(m.nvlink_connected(0, 0));
+}
+
+TEST(Machine, NvlinkPathIsSingleHop) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Machine m(net, sim, nvlink_config(8), 0);
+  auto path = m.gpu_to_gpu_path(0, 1);
+  EXPECT_EQ(path.size(), 1u);
+}
+
+TEST(Machine, NonAdjacentNvlinkFallsBackToPcie) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Machine m(net, sim, nvlink_config(8), 0);
+  auto path = m.gpu_to_gpu_path(0, 5);  // not adjacent in cube mesh
+  EXPECT_EQ(path.size(), 4u);
+}
+
+TEST(Machine, CubeMesh8HasFullNvlinkRing) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Machine m(net, sim, nvlink_config(8), 0);
+  EXPECT_EQ(m.ring_pcie_hops(), 0);
+  EXPECT_EQ(m.ring_order().size(), 8u);
+}
+
+TEST(Machine, FullQuadHasNvlinkRing) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Machine m(net, sim, nvlink_config(4), 0);
+  EXPECT_EQ(m.ring_pcie_hops(), 0);
+}
+
+TEST(Machine, BadSliceForcesPcieHops) {
+  // Allocation {0,1,2,4} of the cube mesh relabelled to 0..3: edges
+  // 0-1, 0-2, 1-2 (quad remnant) and 0-3 (cross edge). Best ring has
+  // exactly one non-NVLink hop.
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  MachineConfig c = nvlink_config(4);
+  c.nvlink_pairs = {{0, 1}, {0, 2}, {1, 2}, {0, 3}};
+  Machine m(net, sim, c, 0);
+  EXPECT_EQ(m.ring_pcie_hops(), 1);
+}
+
+TEST(Machine, RingOrderIsPermutation) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Machine m(net, sim, nvlink_config(8), 0);
+  std::vector<int> sorted = m.ring_order();
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Machine, H2dPathUsesBridgeAndLane) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Machine m(net, sim, pcie_config(4), 0);
+  auto path = m.h2d_path(2);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], m.host_bridge());
+  EXPECT_EQ(path[1], m.pcie_down(2));
+}
+
+TEST(Machine, InvalidConfigsThrow) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  MachineConfig c = pcie_config(0);
+  EXPECT_THROW(Machine(net, sim, c, 0), std::invalid_argument);
+  c = pcie_config(2);
+  c.pcie_lane_bw = 0;
+  EXPECT_THROW(Machine(net, sim, c, 0), std::invalid_argument);
+  c = nvlink_config(5);  // no built-in mesh for 5 GPUs
+  EXPECT_THROW(Machine(net, sim, c, 0), std::invalid_argument);
+}
+
+TEST(Machine, CacheSizedFromDram) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Machine m(net, sim, pcie_config(2), 0);
+  SampleCache& cache = m.cache(util::kib(110));  // ~ImageNet JPEG avg
+  EXPECT_GT(cache.capacity_samples(), 1'000'000u);  // 488 GB holds ImageNet
+}
+
+TEST(Cluster, SingleMachineNeedsNoFabric) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Cluster cl(net, sim, {pcie_config(4)}, gbps(100));
+  EXPECT_FALSE(cl.multi_machine());
+  EXPECT_EQ(cl.total_gpus(), 4);
+  EXPECT_EQ(cl.fabric(), nullptr);
+}
+
+TEST(Cluster, CrossMachinePathCrossesNicsAndFabric) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Cluster cl(net, sim, {nvlink_config(4), nvlink_config(4)}, gbps(100));
+  auto path = cl.path(GpuRef{0, 1}, GpuRef{1, 2});
+  ASSERT_EQ(path.size(), 7u);
+  EXPECT_EQ(path[1], cl.machine(0).host_bridge());
+  EXPECT_EQ(path[2], cl.machine(0).nic_tx());
+  EXPECT_EQ(path[3], cl.fabric());
+  EXPECT_EQ(path[4], cl.machine(1).nic_rx());
+  EXPECT_EQ(path[5], cl.machine(1).host_bridge());
+}
+
+TEST(Cluster, IntraMachinePathDelegates) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Cluster cl(net, sim, {nvlink_config(4), nvlink_config(4)}, gbps(100));
+  auto path = cl.path(GpuRef{1, 0}, GpuRef{1, 1});
+  EXPECT_EQ(path.size(), 1u);  // NVLink hop
+}
+
+TEST(Cluster, RingOrderCoversAllGpus) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  Cluster cl(net, sim, {nvlink_config(4), nvlink_config(4)}, gbps(100));
+  auto ring = cl.ring_order();
+  ASSERT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring[0].machine, 0);
+  EXPECT_EQ(ring[4].machine, 1);
+}
+
+TEST(Cluster, MultiMachineWithoutNicThrows) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  MachineConfig c = pcie_config(2);
+  c.nic_bw = 0;
+  EXPECT_THROW(Cluster(net, sim, {c, c}, gbps(100)), std::invalid_argument);
+}
+
+TEST(Cluster, EmptyThrows) {
+  sim::Simulator sim;
+  FlowNetwork net(sim);
+  EXPECT_THROW(Cluster(net, sim, {}, gbps(100)), std::invalid_argument);
+}
+
+TEST(GpuSpecs, CatalogValues) {
+  EXPECT_EQ(k80_spec().name, "K80");
+  EXPECT_NEAR(k80_spec().memory_bytes, gib(12), 1.0);
+  EXPECT_EQ(v100_spec().name, "V100");
+  EXPECT_NEAR(v100_spec().memory_bytes, gib(16), 1.0);
+  EXPECT_NEAR(v100_spec(32).memory_bytes, gib(32), 1.0);
+  EXPECT_GT(v100_spec().effective_flops, k80_spec().effective_flops);
+  EXPECT_GT(a100_spec().effective_flops, v100_spec().effective_flops);
+}
+
+TEST(GpuSpecs, ComputeTime) {
+  GpuSpec g{"X", 2e12, gib(16)};
+  EXPECT_NEAR(g.compute_time(4e12), 2.0, 1e-12);
+  GpuSpec bad{"Y", 0.0, 0.0};
+  EXPECT_THROW(bad.compute_time(1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace stash::hw

@@ -1,0 +1,121 @@
+#include "sim/mailbox.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace stash::sim {
+namespace {
+
+Task<void> producer(Simulator& sim, Mailbox<int>& box, int n, double period,
+                    std::vector<double>& put_times) {
+  for (int i = 0; i < n; ++i) {
+    if (period > 0) co_await sim.delay(period);
+    co_await box.put(i);
+    put_times.push_back(sim.now());
+  }
+}
+
+Task<void> consumer(Simulator& sim, Mailbox<int>& box, int n, double service,
+                    std::vector<int>& got, std::vector<double>& get_times) {
+  for (int i = 0; i < n; ++i) {
+    int v = co_await box.get();
+    got.push_back(v);
+    get_times.push_back(sim.now());
+    if (service > 0) co_await sim.delay(service);
+  }
+}
+
+TEST(Mailbox, FifoDelivery) {
+  Simulator sim;
+  Mailbox<int> box(sim, 4);
+  std::vector<double> put_times, get_times;
+  std::vector<int> got;
+  sim.spawn(producer(sim, box, 5, 0.0, put_times));
+  sim.spawn(consumer(sim, box, 5, 0.0, got, get_times));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(sim.all_processes_done());
+}
+
+TEST(Mailbox, ProducerBlocksWhenFull) {
+  Simulator sim;
+  Mailbox<int> box(sim, 2);
+  std::vector<double> put_times, get_times;
+  std::vector<int> got;
+  // Producer is instantaneous; consumer takes 1s per item. Puts 0 and 1
+  // land at t=0, the consumer's first get at t=0 frees a slot for put 2,
+  // and put 3 must wait for the consumer's next get at t=1.
+  sim.spawn(producer(sim, box, 4, 0.0, put_times));
+  sim.spawn(consumer(sim, box, 4, 1.0, got, get_times));
+  sim.run();
+  ASSERT_EQ(put_times.size(), 4u);
+  EXPECT_DOUBLE_EQ(put_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(put_times[1], 0.0);
+  EXPECT_DOUBLE_EQ(put_times[2], 0.0);
+  EXPECT_DOUBLE_EQ(put_times[3], 1.0);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Mailbox, ConsumerBlocksWhenEmpty) {
+  Simulator sim;
+  Mailbox<int> box(sim, 2);
+  std::vector<double> put_times, get_times;
+  std::vector<int> got;
+  sim.spawn(consumer(sim, box, 3, 0.0, got, get_times));
+  sim.spawn(producer(sim, box, 3, 2.0, put_times));
+  sim.run();
+  ASSERT_EQ(get_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(get_times[0], 2.0);
+  EXPECT_DOUBLE_EQ(get_times[1], 4.0);
+  EXPECT_DOUBLE_EQ(get_times[2], 6.0);
+}
+
+TEST(Mailbox, CapacityBoundsQueueDepth) {
+  Simulator sim;
+  Mailbox<int> box(sim, 3);
+  std::vector<double> put_times;
+  sim.spawn(producer(sim, box, 3, 0.0, put_times));
+  sim.run();
+  EXPECT_EQ(box.size(), 3u);
+  EXPECT_EQ(box.capacity(), 3u);
+}
+
+TEST(Mailbox, ZeroCapacityThrows) {
+  Simulator sim;
+  EXPECT_THROW(Mailbox<int>(sim, 0), std::invalid_argument);
+}
+
+TEST(Mailbox, MultipleProducersSingleConsumer) {
+  Simulator sim;
+  Mailbox<int> box(sim, 1);
+  std::vector<double> pa, pb, get_times;
+  std::vector<int> got;
+  sim.spawn(producer(sim, box, 10, 0.0, pa));
+  sim.spawn(producer(sim, box, 10, 0.0, pb));
+  sim.spawn(consumer(sim, box, 20, 0.1, got, get_times));
+  sim.run();
+  EXPECT_EQ(got.size(), 20u);
+  EXPECT_TRUE(sim.all_processes_done());
+}
+
+TEST(Mailbox, MoveOnlyPayload) {
+  Simulator sim;
+  Mailbox<std::unique_ptr<int>> box(sim, 1);
+  int result = 0;
+  auto prod = [&]() -> Task<void> { co_await box.put(std::make_unique<int>(7)); };
+  auto cons = [&]() -> Task<void> {
+    auto p = co_await box.get();
+    result = *p;
+  };
+  sim.spawn(prod());
+  sim.spawn(cons());
+  sim.run();
+  EXPECT_EQ(result, 7);
+}
+
+}  // namespace
+}  // namespace stash::sim

@@ -1,0 +1,227 @@
+#include "sim/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace stash::sim {
+namespace {
+
+Task<void> wait_event(Simulator& sim, Event& ev, double& resumed_at) {
+  co_await ev.wait();
+  resumed_at = sim.now();
+}
+
+Task<void> trigger_later(Simulator& sim, Event& ev, double at) {
+  co_await sim.delay(at);
+  ev.trigger();
+}
+
+TEST(Event, WaitersResumeAtTriggerTime) {
+  Simulator sim;
+  Event ev(sim);
+  double a = -1, b = -1;
+  sim.spawn(wait_event(sim, ev, a));
+  sim.spawn(wait_event(sim, ev, b));
+  sim.spawn(trigger_later(sim, ev, 3.0));
+  sim.run();
+  EXPECT_DOUBLE_EQ(a, 3.0);
+  EXPECT_DOUBLE_EQ(b, 3.0);
+  EXPECT_TRUE(sim.all_processes_done());
+}
+
+TEST(Event, WaitAfterTriggerCompletesImmediately) {
+  Simulator sim;
+  Event ev(sim);
+  ev.trigger();
+  double a = -1;
+  sim.spawn(wait_event(sim, ev, a));
+  sim.run();
+  EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+TEST(Event, TriggerIsIdempotent) {
+  Simulator sim;
+  Event ev(sim);
+  double a = -1;
+  sim.spawn(wait_event(sim, ev, a));
+  ev.trigger();
+  ev.trigger();
+  sim.run();
+  EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+Task<void> count_down_later(Simulator& sim, Latch& latch, double at) {
+  co_await sim.delay(at);
+  latch.count_down();
+}
+
+Task<void> wait_latch(Simulator& sim, Latch& latch, double& resumed_at) {
+  co_await latch.wait();
+  resumed_at = sim.now();
+}
+
+TEST(Latch, CompletesWhenAllCountsArrive) {
+  Simulator sim;
+  Latch latch(sim, 3);
+  double at = -1;
+  sim.spawn(wait_latch(sim, latch, at));
+  sim.spawn(count_down_later(sim, latch, 1.0));
+  sim.spawn(count_down_later(sim, latch, 2.0));
+  sim.spawn(count_down_later(sim, latch, 5.0));
+  sim.run();
+  EXPECT_DOUBLE_EQ(at, 5.0);
+}
+
+TEST(Latch, ZeroCountIsAlreadyDone) {
+  Simulator sim;
+  Latch latch(sim, 0);
+  double at = -1;
+  sim.spawn(wait_latch(sim, latch, at));
+  sim.run();
+  EXPECT_DOUBLE_EQ(at, 0.0);
+}
+
+TEST(Latch, CountBelowZeroThrows) {
+  Simulator sim;
+  Latch latch(sim, 1);
+  latch.count_down();
+  EXPECT_THROW(latch.count_down(), std::logic_error);
+}
+
+Task<void> use_resource(Simulator& sim, Semaphore& sem, double hold,
+                        std::vector<double>& acquire_times) {
+  co_await sem.acquire();
+  acquire_times.push_back(sim.now());
+  co_await sim.delay(hold);
+  sem.release();
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Simulator sim;
+  Semaphore sem(sim, 2);
+  std::vector<double> acquire_times;
+  for (int i = 0; i < 4; ++i) sim.spawn(use_resource(sim, sem, 1.0, acquire_times));
+  sim.run();
+  // Two enter at t=0, the next two at t=1.
+  ASSERT_EQ(acquire_times.size(), 4u);
+  EXPECT_DOUBLE_EQ(acquire_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(acquire_times[1], 0.0);
+  EXPECT_DOUBLE_EQ(acquire_times[2], 1.0);
+  EXPECT_DOUBLE_EQ(acquire_times[3], 1.0);
+}
+
+TEST(Semaphore, FifoOrderAmongWaiters) {
+  Simulator sim;
+  Semaphore sem(sim, 1);
+  std::vector<int> order;
+  auto proc = [&](int id) -> Task<void> {
+    co_await sem.acquire();
+    order.push_back(id);
+    co_await sim.delay(1.0);
+    sem.release();
+  };
+  for (int i = 0; i < 5; ++i) sim.spawn(proc(i));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Semaphore, ReleaseWithoutWaitersRestoresPermit) {
+  Simulator sim;
+  Semaphore sem(sim, 0);
+  sem.release();
+  EXPECT_EQ(sem.available(), 1u);
+}
+
+Task<void> barrier_worker(Simulator& sim, Barrier& bar, double work,
+                          std::vector<double>& out) {
+  co_await sim.delay(work);
+  co_await bar.arrive_and_wait();
+  out.push_back(sim.now());
+}
+
+TEST(Barrier, AllPartiesLeaveAtLastArrival) {
+  Simulator sim;
+  Barrier bar(sim, 3);
+  std::vector<double> out;
+  sim.spawn(barrier_worker(sim, bar, 1.0, out));
+  sim.spawn(barrier_worker(sim, bar, 2.0, out));
+  sim.spawn(barrier_worker(sim, bar, 7.0, out));
+  sim.run();
+  ASSERT_EQ(out.size(), 3u);
+  for (double t : out) EXPECT_DOUBLE_EQ(t, 7.0);
+}
+
+Task<void> barrier_loop(Simulator& sim, Barrier& bar, double step, int iters,
+                        std::vector<double>& out) {
+  for (int i = 0; i < iters; ++i) {
+    co_await sim.delay(step);
+    co_await bar.arrive_and_wait();
+  }
+  out.push_back(sim.now());
+}
+
+TEST(Barrier, ReusableAcrossGenerations) {
+  Simulator sim;
+  Barrier bar(sim, 2);
+  std::vector<double> out;
+  sim.spawn(barrier_loop(sim, bar, 1.0, 3, out));
+  sim.spawn(barrier_loop(sim, bar, 2.0, 3, out));
+  sim.run();
+  // Each iteration is paced by the slower worker: 2, 4, 6.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 6.0);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+  EXPECT_EQ(bar.generation(), 3u);
+}
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  Simulator sim;
+  Barrier bar(sim, 1);
+  std::vector<double> out;
+  sim.spawn(barrier_worker(sim, bar, 1.0, out));
+  sim.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+}
+
+TEST(Barrier, ZeroPartiesThrows) {
+  Simulator sim;
+  EXPECT_THROW(Barrier(sim, 0), std::invalid_argument);
+}
+
+Task<void> sleep_for(Simulator& sim, double t) { co_await sim.delay(t); }
+
+TEST(JoinAll, CompletesAtSlowestTask) {
+  Simulator sim;
+  std::vector<Task<void>> tasks;
+  tasks.push_back(sleep_for(sim, 1.0));
+  tasks.push_back(sleep_for(sim, 9.0));
+  tasks.push_back(sleep_for(sim, 4.0));
+  double done_at = -1;
+  auto waiter = [&]() -> Task<void> {
+    co_await join_all(sim, std::move(tasks));
+    done_at = sim.now();
+  };
+  sim.spawn(waiter());
+  sim.run();
+  EXPECT_DOUBLE_EQ(done_at, 9.0);
+}
+
+TEST(JoinAll, EmptyVectorCompletesImmediately) {
+  Simulator sim;
+  double done_at = -1;
+  auto waiter = [&]() -> Task<void> {
+    co_await join_all(sim, {});
+    done_at = sim.now();
+  };
+  sim.spawn(waiter());
+  sim.run();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+}
+
+}  // namespace
+}  // namespace stash::sim

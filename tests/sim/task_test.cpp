@@ -1,0 +1,140 @@
+#include "sim/task.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace stash::sim {
+namespace {
+
+Task<void> record_times(Simulator& sim, std::vector<double>& out) {
+  out.push_back(sim.now());
+  co_await sim.delay(1.5);
+  out.push_back(sim.now());
+  co_await sim.delay(2.5);
+  out.push_back(sim.now());
+}
+
+TEST(Task, DelaysAdvanceSimulatedTime) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.spawn(record_times(sim, times));
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{0.0, 1.5, 4.0}));
+  EXPECT_TRUE(sim.all_processes_done());
+}
+
+Task<int> answer(Simulator& sim) {
+  co_await sim.delay(1.0);
+  co_return 42;
+}
+
+Task<void> awaits_child(Simulator& sim, int& out) {
+  out = co_await answer(sim);
+}
+
+TEST(Task, ChildTaskReturnsValue) {
+  Simulator sim;
+  int out = 0;
+  sim.spawn(awaits_child(sim, out));
+  sim.run();
+  EXPECT_EQ(out, 42);
+}
+
+Task<void> thrower(Simulator& sim) {
+  co_await sim.delay(1.0);
+  throw std::runtime_error("model bug");
+}
+
+TEST(Task, RootExceptionPropagatesFromRun) {
+  Simulator sim;
+  sim.spawn(thrower(sim));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+Task<void> catches_child(Simulator& sim, bool& caught) {
+  try {
+    co_await thrower(sim);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(Task, ChildExceptionRethrownAtAwait) {
+  Simulator sim;
+  bool caught = false;
+  sim.spawn(catches_child(sim, caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+Task<void> nested_inner(Simulator& sim, std::vector<int>& log) {
+  log.push_back(1);
+  co_await sim.delay(1.0);
+  log.push_back(2);
+}
+
+Task<void> nested_outer(Simulator& sim, std::vector<int>& log) {
+  log.push_back(0);
+  co_await nested_inner(sim, log);
+  log.push_back(3);
+}
+
+TEST(Task, NestedAwaitRunsInOrder) {
+  Simulator sim;
+  std::vector<int> log;
+  sim.spawn(nested_outer(sim, log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Task, SpawnRunsUpToFirstSuspension) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.spawn(record_times(sim, times));
+  // Before run(), the process has executed to its first co_await.
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 0.0);
+  sim.run();
+}
+
+TEST(Task, UnfinishedProcessDetected) {
+  Simulator sim;
+  // A process waiting on a delay that is cancelled can never finish; we
+  // emulate a stuck process by never running the simulator.
+  std::vector<double> times;
+  sim.spawn(record_times(sim, times));
+  EXPECT_FALSE(sim.all_processes_done());
+  sim.run();
+  EXPECT_TRUE(sim.all_processes_done());
+}
+
+TEST(Task, AbandonedProcessTreeIsReclaimed) {
+  // Destroying a Simulator with suspended processes must not leak or crash.
+  std::vector<double> times;
+  {
+    Simulator sim;
+    sim.spawn(record_times(sim, times));
+  }
+  EXPECT_EQ(times.size(), 1u);
+}
+
+Task<void> spawn_many(Simulator& sim, int n, int& done) {
+  for (int i = 0; i < n; ++i) co_await sim.delay(0.001);
+  ++done;
+}
+
+TEST(Task, ManyConcurrentProcesses) {
+  Simulator sim;
+  int done = 0;
+  for (int i = 0; i < 500; ++i) sim.spawn(spawn_many(sim, 20, done));
+  sim.run();
+  EXPECT_EQ(done, 500);
+  EXPECT_TRUE(sim.all_processes_done());
+}
+
+}  // namespace
+}  // namespace stash::sim

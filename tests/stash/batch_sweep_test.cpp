@@ -1,0 +1,87 @@
+// Property sweeps over batch size: communication volume per iteration is
+// batch-independent while compute scales linearly, so every communication
+// stall percentage must decrease monotonically with batch size — the
+// gradient visible across all of the paper's "smallest vs largest batch"
+// figure pairs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/zoo.h"
+#include "stash/profiler.h"
+
+namespace stash::profiler {
+namespace {
+
+ProfileOptions fast_options() {
+  ProfileOptions opt;
+  opt.iterations = 3;
+  opt.warmup_iterations = 1;
+  return opt;
+}
+
+struct SweepCase {
+  const char* model;
+  const char* instance;
+};
+
+class BatchStallSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(BatchStallSweep, IcStallDecreasesWithBatch) {
+  const SweepCase& c = GetParam();
+  StashProfiler prof(dnn::make_zoo_model(c.model), dnn::dataset_for(c.model),
+                     fast_options());
+  ClusterSpec spec{c.instance};
+  double prev = std::numeric_limits<double>::infinity();
+  for (int batch : {8, 32, 128}) {
+    double t1 = prof.run_step(spec, Step::kSingleGpuSynthetic, batch).per_iteration;
+    double t2 = prof.run_step(spec, Step::kAllGpuSynthetic, batch).per_iteration;
+    double stall = (t2 - t1) / t1 * 100.0;
+    EXPECT_LT(stall, prev * 1.001) << c.model << " on " << c.instance << " at batch "
+                                   << batch;
+    prev = stall;
+  }
+}
+
+TEST_P(BatchStallSweep, IterationTimeIncreasesWithBatch) {
+  const SweepCase& c = GetParam();
+  StashProfiler prof(dnn::make_zoo_model(c.model), dnn::dataset_for(c.model),
+                     fast_options());
+  ClusterSpec spec{c.instance};
+  double prev = 0.0;
+  for (int batch : {8, 32, 128}) {
+    double t2 = prof.run_step(spec, Step::kAllGpuSynthetic, batch).per_iteration;
+    EXPECT_GT(t2, prev) << c.model << " on " << c.instance << " at batch " << batch;
+    prev = t2;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BatchStallSweep,
+                         ::testing::Values(SweepCase{"alexnet", "p2.8xlarge"},
+                                           SweepCase{"alexnet", "p2.16xlarge"},
+                                           SweepCase{"resnet18", "p3.8xlarge"},
+                                           SweepCase{"resnet18", "p3.16xlarge"},
+                                           SweepCase{"shufflenet", "p2.16xlarge"},
+                                           SweepCase{"squeezenet", "p3.16xlarge"}));
+
+// Network stall also decreases with batch (Fig 13's x-axis trend) for
+// bandwidth-heavy models.
+TEST(BatchSweepNetwork, Fig13TrendHoldsForVgg) {
+  StashProfiler prof(dnn::make_zoo_model("vgg11"), dnn::imagenet_1k(),
+                     fast_options());
+  ClusterSpec spec{"p3.16xlarge"};
+  auto split = network_split(spec);
+  ASSERT_TRUE(split.has_value());
+  double prev = std::numeric_limits<double>::infinity();
+  for (int batch : {4, 8, 16, 32}) {
+    double t2 = prof.run_step(spec, Step::kAllGpuSynthetic, batch).per_iteration;
+    double t5 =
+        prof.run_step(*split, Step::kNetworkSynthetic, batch).per_iteration;
+    double stall = (t5 - t2) / t2 * 100.0;
+    EXPECT_LT(stall, prev) << "batch " << batch;
+    prev = stall;
+  }
+}
+
+}  // namespace
+}  // namespace stash::profiler

@@ -1,0 +1,85 @@
+// Integration sweep: the Stash methodology's structural invariants must
+// hold for every (model, configuration) cell the paper's macro
+// characterization visits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/zoo.h"
+#include "stash/profiler.h"
+
+namespace stash::profiler {
+namespace {
+
+ProfileOptions sweep_options() {
+  ProfileOptions opt;
+  opt.iterations = 3;
+  opt.warmup_iterations = 1;
+  return opt;
+}
+
+struct Cell {
+  const char* model;
+  const char* instance;
+  int count;
+  int batch;
+};
+
+class MacroSweep : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(MacroSweep, MethodologyInvariants) {
+  const Cell& cell = GetParam();
+  ClusterSpec spec{cell.instance, cell.count};
+  StashProfiler profiler(dnn::make_zoo_model(cell.model),
+                         dnn::dataset_for(cell.model), sweep_options());
+  StallReport r = profiler.profile(spec, cell.batch);
+
+  // Step ordering: communication and pipeline overheads only ever add.
+  EXPECT_GE(r.t2, r.t1 - 1e-12) << "distributed must not beat single GPU";
+  EXPECT_GE(r.t4, r.t2 - 1e-12) << "real data must not beat synthetic";
+  EXPECT_GE(r.t3, r.t4 - 1e-12) << "cold cache must not beat warm";
+  // Note: t5 >= t2 is deliberately NOT asserted. The paper's own headline
+  // finding (Fig 6a) is that two NIC-connected p2.8xlarge beat one
+  // p2.16xlarge: the network step can be FASTER than the single machine
+  // when the machine's interconnect is the real bottleneck.
+  if (r.has_network_step) {
+    EXPECT_GT(r.t5, 0.0);
+    EXPECT_TRUE(std::isfinite(r.t5));
+  }
+
+  // Stall percentages well-formed.
+  for (double pct : {r.ic_stall_pct, r.nw_stall_pct, r.prep_stall_pct,
+                     r.fetch_stall_pct}) {
+    EXPECT_GE(pct, 0.0);
+    EXPECT_TRUE(std::isfinite(pct));
+  }
+  EXPECT_LT(r.prep_stall_pct, 100.0);
+  EXPECT_LT(r.fetch_stall_pct, 100.0);
+
+  // Projections consistent and positive.
+  EXPECT_GT(r.epoch_seconds, 0.0);
+  EXPECT_GT(r.epoch_cost_usd, 0.0);
+  EXPECT_EQ(r.gpus, spec.gpus_used());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, MacroSweep,
+    ::testing::Values(
+        // P2 family, small models (Figs 4-6).
+        Cell{"alexnet", "p2.xlarge", 1, 32}, Cell{"alexnet", "p2.8xlarge", 1, 128},
+        Cell{"alexnet", "p2.16xlarge", 1, 32}, Cell{"alexnet", "p2.8xlarge", 2, 32},
+        Cell{"mobilenet-v2", "p2.16xlarge", 1, 64},
+        Cell{"squeezenet", "p2.8xlarge", 1, 96},
+        Cell{"shufflenet", "p2.16xlarge", 1, 128},
+        Cell{"resnet18", "p2.8xlarge", 2, 32},
+        // P3 family, small + large models (Figs 8-12).
+        Cell{"resnet18", "p3.2xlarge", 1, 32}, Cell{"resnet18", "p3.8xlarge", 1, 32},
+        Cell{"resnet18", "p3.16xlarge", 1, 128},
+        Cell{"shufflenet", "p3.16xlarge", 1, 32},
+        Cell{"resnet50", "p3.16xlarge", 1, 16}, Cell{"resnet50", "p3.24xlarge", 1, 64},
+        Cell{"vgg11", "p3.8xlarge", 1, 16}, Cell{"vgg11", "p3.8xlarge", 2, 32},
+        Cell{"bert-large", "p3.16xlarge", 1, 4},
+        Cell{"bert-large", "p3.24xlarge", 1, 8}));
+
+}  // namespace
+}  // namespace stash::profiler

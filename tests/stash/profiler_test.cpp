@@ -1,0 +1,169 @@
+#include "stash/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/zoo.h"
+
+namespace stash::profiler {
+namespace {
+
+ProfileOptions fast_options() {
+  ProfileOptions opt;
+  opt.iterations = 5;
+  opt.warmup_iterations = 2;
+  return opt;
+}
+
+StallReport profile_model(const std::string& model, const ClusterSpec& spec,
+                          int batch = 32) {
+  StashProfiler profiler(dnn::make_zoo_model(model), dnn::dataset_for(model),
+                         fast_options());
+  return profiler.profile(spec, batch);
+}
+
+TEST(NetworkSplit, SixteenXlargeSplitsToTwoEightXlarge) {
+  auto split = network_split(ClusterSpec{"p2.16xlarge"});
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->instance, "p2.8xlarge");
+  EXPECT_EQ(split->count, 2);
+  EXPECT_EQ(split->gpus_per_machine, -1);
+  EXPECT_EQ(split->gpus_used(), 16);
+}
+
+TEST(NetworkSplit, P3SixteenXlargeSplits) {
+  auto split = network_split(ClusterSpec{"p3.16xlarge"});
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->instance, "p3.8xlarge");
+  EXPECT_EQ(split->gpus_used(), 8);
+}
+
+TEST(NetworkSplit, EightXlargeSplitsToHalfUsed) {
+  auto split = network_split(ClusterSpec{"p3.8xlarge"});
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->count, 2);
+  EXPECT_EQ(split->gpus_per_machine, 2);
+  EXPECT_EQ(split->gpus_used(), 4);
+}
+
+TEST(NetworkSplit, SingleGpuHasNoSplit) {
+  EXPECT_FALSE(network_split(ClusterSpec{"p2.xlarge"}).has_value());
+  EXPECT_FALSE(network_split(ClusterSpec{"p3.2xlarge"}).has_value());
+}
+
+TEST(NetworkSplit, MultiMachineSpecHasNoSplit) {
+  EXPECT_FALSE(network_split(ClusterSpec{"p3.8xlarge", 2}).has_value());
+}
+
+TEST(ClusterSpecLabel, Formats) {
+  EXPECT_EQ(ClusterSpec{"p3.16xlarge"}.label(), "p3.16xlarge");
+  EXPECT_EQ((ClusterSpec{"p3.8xlarge", 2}.label()), "p3.8xlarge*2");
+  EXPECT_EQ((ClusterSpec{"p3.8xlarge", 2, 2}.label()), "p3.8xlarge*2[2gpu]");
+}
+
+TEST(StashProfiler, StepTimesAreOrdered) {
+  // Structural invariants of the methodology: distributed synthetic (T2) is
+  // at least single-GPU (T1); cold cache (T3) at least warm (T4); warm real
+  // data (T4) at least synthetic (T2).
+  StallReport r = profile_model("resnet18", ClusterSpec{"p3.16xlarge"});
+  EXPECT_GE(r.t2, r.t1);
+  EXPECT_GE(r.t3, r.t4 - 1e-12);
+  EXPECT_GE(r.t4, r.t2 - 1e-12);
+  EXPECT_GE(r.t5, r.t2);
+  EXPECT_TRUE(r.has_network_step);
+  EXPECT_EQ(r.gpus, 8);
+}
+
+TEST(StashProfiler, StallPercentagesNonNegative) {
+  StallReport r = profile_model("alexnet", ClusterSpec{"p2.8xlarge"});
+  EXPECT_GE(r.ic_stall_pct, 0.0);
+  EXPECT_GE(r.nw_stall_pct, 0.0);
+  EXPECT_GE(r.prep_stall_pct, 0.0);
+  EXPECT_GE(r.fetch_stall_pct, 0.0);
+}
+
+TEST(StashProfiler, SingleGpuSpecHasNoCommStalls) {
+  StallReport r = profile_model("resnet18", ClusterSpec{"p3.2xlarge"});
+  EXPECT_NEAR(r.ic_stall_pct, 0.0, 1e-9);
+  EXPECT_FALSE(r.has_network_step);
+  EXPECT_TRUE(std::isnan(r.t5));
+}
+
+TEST(StashProfiler, P2SixteenXlargeWorstInterconnect) {
+  // Paper Fig 5a: the 16xlarge has the worst I/C stalls of the P2 family.
+  StallReport r8 = profile_model("alexnet", ClusterSpec{"p2.8xlarge"});
+  StallReport r16 = profile_model("alexnet", ClusterSpec{"p2.16xlarge"});
+  EXPECT_GT(r16.ic_stall_pct, r8.ic_stall_pct);
+  EXPECT_GT(r16.ic_stall_pct, 40.0);  // "up to 90%" territory
+}
+
+TEST(StashProfiler, FragmentedEightXlargeWorseThanSixteen) {
+  // Paper §V-B1: p3.8xlarge does not have strictly lower interconnect
+  // stalls than p3.16xlarge because of crossbar fragmentation — visible
+  // "especially for smaller models or while using smaller batch sizes",
+  // where the PCIe-hop transfer time pokes out past the short backward.
+  StallReport r8 = profile_model("alexnet", ClusterSpec{"p3.8xlarge"}, 4);
+  StallReport r16 = profile_model("alexnet", ClusterSpec{"p3.16xlarge"}, 4);
+  EXPECT_GT(r8.ic_stall_pct, r16.ic_stall_pct);
+}
+
+TEST(StashProfiler, FullQuadEightXlargeBeatsFragmented) {
+  ClusterSpec frag{"p3.8xlarge"};
+  ClusterSpec full{"p3.8xlarge"};
+  full.slice = cloud::CrossbarSlice::kFullQuad;
+  StallReport rf = profile_model("resnet18", frag);
+  StallReport rq = profile_model("resnet18", full);
+  EXPECT_LT(rq.ic_stall_pct, rf.ic_stall_pct);
+}
+
+TEST(StashProfiler, NetworkStallLarge) {
+  // Paper Fig 13: network stalls up to 500% for large-gradient models.
+  StallReport r = profile_model("vgg11", ClusterSpec{"p3.16xlarge"}, 16);
+  EXPECT_GT(r.nw_stall_pct, 100.0);
+}
+
+TEST(StashProfiler, VggVsResnetAsymmetry) {
+  // Paper §VI/Fig 16: VGG (few layers, huge gradients) has lower I/C stall
+  // but far higher N/W stall than ResNet (many layers, small gradients).
+  StallReport vgg = profile_model("vgg11", ClusterSpec{"p3.16xlarge"});
+  StallReport res = profile_model("resnet50", ClusterSpec{"p3.16xlarge"});
+  EXPECT_LT(vgg.ic_stall_pct, res.ic_stall_pct);
+  EXPECT_GT(vgg.nw_stall_pct, res.nw_stall_pct);
+}
+
+TEST(StashProfiler, CpuStallNegligibleOnAws) {
+  // Paper Figs 4a/8a: vCPUs are sufficient, prep stalls ~0.
+  for (const char* inst : {"p2.8xlarge", "p3.16xlarge"}) {
+    StallReport r = profile_model("resnet18", ClusterSpec{inst});
+    EXPECT_LT(r.prep_stall_pct, 10.0) << inst;
+  }
+}
+
+TEST(StashProfiler, DiskStallScalesWithGpusPerInstance) {
+  // Paper Fig 4b: more loader workers per SSD -> more fetch stall.
+  StallReport r8 = profile_model("alexnet", ClusterSpec{"p2.8xlarge"}, 128);
+  StallReport r16 = profile_model("alexnet", ClusterSpec{"p2.16xlarge"}, 128);
+  EXPECT_GT(r16.fetch_stall_pct, r8.fetch_stall_pct);
+  EXPECT_GT(r16.fetch_stall_pct, 10.0);
+}
+
+TEST(StashProfiler, TwentyFourXlargeNoBetterThanSixteen) {
+  // Paper §V-B1: same NVLink, same stalls, no meaningful speedup.
+  StallReport r16 = profile_model("resnet50", ClusterSpec{"p3.16xlarge"});
+  StallReport r24 = profile_model("resnet50", ClusterSpec{"p3.24xlarge"});
+  EXPECT_NEAR(r24.t2, r16.t2, 0.10 * r16.t2);
+  // ...but it is strictly more expensive.
+  EXPECT_GT(r24.epoch_cost_usd, r16.epoch_cost_usd * 1.1);
+}
+
+TEST(StashProfiler, EpochProjectionConsistent) {
+  StallReport r = profile_model("resnet18", ClusterSpec{"p3.16xlarge"});
+  // 1.28M samples / (32*8) per iteration.
+  double iters = 1'281'167.0 / (32.0 * 8.0);
+  EXPECT_NEAR(r.epoch_seconds, r.t4 * iters, 0.01 * r.epoch_seconds);
+  EXPECT_GT(r.epoch_cost_usd, 0.0);
+}
+
+}  // namespace
+}  // namespace stash::profiler

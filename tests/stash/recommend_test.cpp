@@ -1,0 +1,89 @@
+#include "stash/recommend.h"
+
+#include <gtest/gtest.h>
+
+#include "dnn/zoo.h"
+
+namespace stash::profiler {
+namespace {
+
+RecommendOptions fast_options(int batch = 32) {
+  RecommendOptions opt;
+  opt.per_gpu_batch = batch;
+  opt.profile.iterations = 4;
+  opt.profile.warmup_iterations = 1;
+  return opt;
+}
+
+TEST(Recommend, DefaultCandidatesCoverTableOne) {
+  auto c = default_candidates();
+  EXPECT_EQ(c.size(), 9u);  // 7 single-machine + 2 network pairs
+}
+
+TEST(Recommend, RanksAreAPermutation) {
+  auto recs = recommend(dnn::make_shufflenet(), dnn::imagenet_1k(), fast_options());
+  ASSERT_FALSE(recs.empty());
+  std::vector<bool> seen_time(recs.size(), false), seen_cost(recs.size(), false);
+  for (const auto& r : recs) {
+    ASSERT_LT(static_cast<std::size_t>(r.by_time), recs.size());
+    ASSERT_LT(static_cast<std::size_t>(r.by_cost), recs.size());
+    seen_time[static_cast<std::size_t>(r.by_time)] = true;
+    seen_cost[static_cast<std::size_t>(r.by_cost)] = true;
+  }
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_TRUE(seen_time[i]);
+    EXPECT_TRUE(seen_cost[i]);
+  }
+  // Primary listing is sorted by time rank.
+  for (std::size_t i = 1; i < recs.size(); ++i)
+    EXPECT_LT(recs[i - 1].by_time, recs[i].by_time);
+}
+
+TEST(Recommend, SingleGpuMostCostOptimal) {
+  // Paper §V-B3: the smallest instance (no communication stalls) wins on
+  // cost; a big NVLink machine wins on time.
+  auto recs = recommend(dnn::make_resnet18(), dnn::imagenet_1k(), fast_options());
+  ASSERT_FALSE(recs.empty());
+  const Recommendation* cheapest = nullptr;
+  const Recommendation* fastest = nullptr;
+  for (const auto& r : recs) {
+    if (r.by_cost == 0) cheapest = &r;
+    if (r.by_time == 0) fastest = &r;
+  }
+  ASSERT_NE(cheapest, nullptr);
+  ASSERT_NE(fastest, nullptr);
+  EXPECT_EQ(cloud::instance(cheapest->spec.instance).num_gpus, 1);
+  EXPECT_GE(cloud::instance(fastest->spec.instance).num_gpus, 8);
+}
+
+TEST(Recommend, SkipsConfigurationsThatDontFit) {
+  // BERT-large at batch 32 fits no catalog GPU: every candidate is skipped.
+  auto recs = recommend(dnn::make_zoo_model("bert-large"), dnn::squad_v2(),
+                        fast_options(32));
+  EXPECT_TRUE(recs.empty());
+  // At batch 4 all V100 instances qualify but the 12 GiB K80s do not.
+  auto recs4 = recommend(dnn::make_zoo_model("bert-large"), dnn::squad_v2(),
+                         fast_options(4));
+  ASSERT_GT(recs4.size(), 1u);
+  for (const auto& r : recs4)
+    EXPECT_EQ(cloud::instance(r.spec.instance).family, "P3") << r.spec.label();
+}
+
+TEST(Recommend, CustomCandidateList) {
+  RecommendOptions opt = fast_options();
+  opt.candidates = {ClusterSpec{"p3.2xlarge"}, ClusterSpec{"p3.16xlarge"}};
+  auto recs = recommend(dnn::make_resnet18(), dnn::imagenet_1k(), opt);
+  EXPECT_EQ(recs.size(), 2u);
+}
+
+TEST(Recommend, NetworkPairsRankLast) {
+  // Paper §V-B2: "network connected instances are the least cost optimal".
+  RecommendOptions opt = fast_options();
+  opt.candidates = {ClusterSpec{"p3.16xlarge"}, ClusterSpec{"p3.8xlarge", 2}};
+  auto recs = recommend(dnn::make_vgg11(), dnn::imagenet_1k(), opt);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs.front().spec.count, 1);  // single machine wins on time
+}
+
+}  // namespace
+}  // namespace stash::profiler

@@ -1,0 +1,63 @@
+#include "stash/session.h"
+
+#include <gtest/gtest.h>
+
+#include "dnn/zoo.h"
+
+namespace stash::profiler {
+namespace {
+
+ProfileOptions fast_options() {
+  ProfileOptions opt;
+  opt.iterations = 3;
+  opt.warmup_iterations = 1;
+  return opt;
+}
+
+TEST(Session, FirstEpochSlowerThanSteady) {
+  StashProfiler prof(dnn::make_zoo_model("alexnet"), dnn::imagenet_1k(),
+                     fast_options());
+  TrainingEstimate e = estimate_training(prof, ClusterSpec{"p2.16xlarge"}, 128, 10);
+  EXPECT_GT(e.first_epoch_seconds, e.steady_epoch_seconds);
+  EXPECT_NEAR(e.total_seconds,
+              e.first_epoch_seconds + 9 * e.steady_epoch_seconds, 1e-6);
+  EXPECT_GT(e.cold_start_overhead_pct, 0.0);
+  EXPECT_GT(e.total_cost_usd, 0.0);
+}
+
+TEST(Session, ColdStartAmortizesWithEpochs) {
+  StashProfiler prof(dnn::make_zoo_model("shufflenet"), dnn::imagenet_1k(),
+                     fast_options());
+  ClusterSpec spec{"p2.16xlarge"};
+  TrainingEstimate e2 = estimate_training(prof, spec, 128, 2);
+  TrainingEstimate e50 = estimate_training(prof, spec, 128, 50);
+  EXPECT_GT(e2.cold_start_overhead_pct, e50.cold_start_overhead_pct);
+}
+
+TEST(Session, SingleEpochIsJustColdEpoch) {
+  StashProfiler prof(dnn::make_zoo_model("resnet18"), dnn::imagenet_1k(),
+                     fast_options());
+  TrainingEstimate e = estimate_training(prof, ClusterSpec{"p3.8xlarge"}, 32, 1);
+  EXPECT_NEAR(e.total_seconds, e.first_epoch_seconds, 1e-9);
+}
+
+TEST(Session, LabelsAndCostConsistent) {
+  StashProfiler prof(dnn::make_zoo_model("resnet18"), dnn::imagenet_1k(),
+                     fast_options());
+  ClusterSpec spec{"p3.8xlarge", 2};
+  TrainingEstimate e = estimate_training(prof, spec, 32, 3);
+  EXPECT_EQ(e.config_label, "p3.8xlarge*2");
+  EXPECT_NEAR(e.total_cost_usd,
+              cloud::cost_usd(cloud::instance("p3.8xlarge"), e.total_seconds, 2),
+              1e-9);
+}
+
+TEST(Session, InvalidEpochsThrow) {
+  StashProfiler prof(dnn::make_zoo_model("resnet18"), dnn::imagenet_1k(),
+                     fast_options());
+  EXPECT_THROW(estimate_training(prof, ClusterSpec{"p3.8xlarge"}, 32, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stash::profiler

@@ -1,0 +1,71 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+namespace stash::util {
+namespace {
+
+Args make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, Positionals) {
+  Args a = make({"profile", "resnet18"});
+  EXPECT_EQ(a.num_positional(), 2u);
+  EXPECT_EQ(a.positional(0), "profile");
+  EXPECT_EQ(a.positional(1), "resnet18");
+  EXPECT_EQ(a.positional(5, "dflt"), "dflt");
+}
+
+TEST(Args, KeyEqualsValue) {
+  Args a = make({"--batch=64", "--instance=p3.16xlarge"});
+  EXPECT_EQ(a.get("batch"), "64");
+  EXPECT_EQ(a.get_int("batch", 0), 64);
+  EXPECT_EQ(a.get("instance"), "p3.16xlarge");
+}
+
+TEST(Args, KeySpaceValue) {
+  Args a = make({"--batch", "32", "pos"});
+  EXPECT_EQ(a.get_int("batch", 0), 32);
+  EXPECT_EQ(a.positional(0), "pos");
+}
+
+TEST(Args, BareFlag) {
+  Args a = make({"--fast", "--csv"});
+  EXPECT_TRUE(a.has("fast"));
+  EXPECT_TRUE(a.has("csv"));
+  EXPECT_FALSE(a.has("slow"));
+  EXPECT_EQ(a.get("fast"), "");
+}
+
+TEST(Args, FlagFollowedByOption) {
+  // A bare flag followed by another option must not swallow it.
+  Args a = make({"--fast", "--batch=8"});
+  EXPECT_TRUE(a.has("fast"));
+  EXPECT_EQ(a.get_int("batch", 0), 8);
+}
+
+TEST(Args, Defaults) {
+  Args a = make({});
+  EXPECT_EQ(a.get("missing", "x"), "x");
+  EXPECT_EQ(a.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Args, NumericParsing) {
+  Args a = make({"--ratio=0.25"});
+  EXPECT_DOUBLE_EQ(a.get_double("ratio", 0), 0.25);
+  Args bad = make({"--batch=abc"});
+  EXPECT_THROW(bad.get_int("batch", 0), std::invalid_argument);
+  EXPECT_THROW(bad.get_double("batch", 0), std::invalid_argument);
+}
+
+TEST(Args, EmptyDashDashThrows) {
+  std::vector<const char*> v{"prog", "--"};
+  EXPECT_THROW(Args(static_cast<int>(v.size()), v.data()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stash::util

@@ -1,0 +1,93 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace stash::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ChildStreamsAreIndependentAndStable) {
+  Rng root(7);
+  Rng c1 = root.child(1);
+  Rng c1_again = Rng(7).child(1);
+  Rng c2 = root.child(2);
+  EXPECT_DOUBLE_EQ(c1.uniform(0, 1), c1_again.uniform(0, 1));
+  // Streams 1 and 2 should not be identical.
+  bool differ = false;
+  for (int i = 0; i < 10; ++i)
+    if (c1.uniform(0, 1) != c2.uniform(0, 1)) differ = true;
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_int(0, 3));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ClampedNormalStaysInRange) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.clamped_normal(1.0, 10.0, 0.5, 1.5);
+    EXPECT_GE(v, 0.5);
+    EXPECT_LE(v, 1.5);
+  }
+}
+
+TEST(Rng, NormalHasApproxMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ExponentialHasApproxMean) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.2);
+}
+
+TEST(Rng, SplitMixAvalanche) {
+  // Adjacent inputs should produce wildly different outputs.
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  EXPECT_NE(splitmix64(0), 0u);
+}
+
+}  // namespace
+}  // namespace stash::util

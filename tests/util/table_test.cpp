@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace stash::util {
+namespace {
+
+TEST(Table, AsciiAlignsColumns) {
+  Table t({"model", "stall%"});
+  t.row().cell("resnet18").cell(42.5, 1);
+  t.row().cell("vgg11").cell(7.0, 1);
+  std::string out = t.to_ascii();
+  EXPECT_NE(out.find("| model    | stall% |"), std::string::npos);
+  EXPECT_NE(out.find("| resnet18 | 42.5   |"), std::string::npos);
+  EXPECT_NE(out.find("| vgg11    | 7.0    |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "note"});
+  t.row().cell("a,b").cell("say \"hi\"");
+  std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvHeaderFirstLine) {
+  Table t({"x", "y"});
+  t.row().cell(1).cell(2);
+  std::string csv = t.to_csv();
+  EXPECT_EQ(csv.substr(0, 4), "x,y\n");
+}
+
+TEST(Table, NumericCellFormatting) {
+  Table t({"v"});
+  t.row().cell(3.14159, 3);
+  EXPECT_NE(t.to_ascii().find("3.142"), std::string::npos);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"only"});
+  t.row().cell("ok");
+  EXPECT_THROW(t.cell("overflow"), std::logic_error);
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"c"});
+  EXPECT_THROW(t.cell("x"), std::logic_error);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, ShortRowRendersBlank) {
+  Table t({"a", "b"});
+  t.row().cell("x");
+  std::string out = t.to_ascii();
+  EXPECT_NE(out.find("| x | "), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.0 / 3.0, 2), "0.33");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace stash::util

@@ -1,0 +1,56 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace stash::util {
+namespace {
+
+TEST(TraceRecorder, EmptyTraceIsValidJson) {
+  TraceRecorder tr;
+  std::string json = tr.to_json();
+  EXPECT_EQ(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+}
+
+TEST(TraceRecorder, SpanSerialization) {
+  TraceRecorder tr;
+  tr.add_span("forward", "compute", 0.001, 0.002, 1, 2);
+  std::string json = tr.to_json();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);   // seconds -> us
+  EXPECT_NE(json.find("\"dur\":2000"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+}
+
+TEST(TraceRecorder, TrackNamesEmittedAsMetadata) {
+  TraceRecorder tr;
+  tr.name_track(0, 0, "lead GPU worker");
+  std::string json = tr.to_json();
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("lead GPU worker"), std::string::npos);
+}
+
+TEST(TraceRecorder, EscapesSpecialCharacters) {
+  TraceRecorder tr;
+  tr.add_span("a\"b\\c", "x", 0, 1, 0, 0);
+  std::string json = tr.to_json();
+  EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+TEST(TraceRecorder, NegativeDurationThrows) {
+  TraceRecorder tr;
+  EXPECT_THROW(tr.add_span("x", "y", 0.0, -1.0, 0, 0), std::invalid_argument);
+}
+
+TEST(TraceRecorder, CountsSpans) {
+  TraceRecorder tr;
+  for (int i = 0; i < 5; ++i) tr.add_span("s", "c", i, 0.5, 0, 0);
+  EXPECT_EQ(tr.size(), 5u);
+  EXPECT_EQ(tr.spans().size(), 5u);
+}
+
+}  // namespace
+}  // namespace stash::util

@@ -1,0 +1,51 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace stash::util {
+namespace {
+
+TEST(Units, BinarySizes) {
+  EXPECT_DOUBLE_EQ(kib(1), 1024.0);
+  EXPECT_DOUBLE_EQ(mib(1), 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(gib(2), 2.0 * 1024 * 1024 * 1024);
+}
+
+TEST(Units, DecimalSizes) {
+  EXPECT_DOUBLE_EQ(kb(1), 1e3);
+  EXPECT_DOUBLE_EQ(mb(3), 3e6);
+  EXPECT_DOUBLE_EQ(gb(1.5), 1.5e9);
+}
+
+TEST(Units, NetworkRatesAreBits) {
+  // 10 Gbps NIC moves 1.25 GB/s.
+  EXPECT_DOUBLE_EQ(gbps(10), 1.25e9);
+  EXPECT_DOUBLE_EQ(mbps(800), 1e8);
+}
+
+TEST(Units, BusRatesAreBytes) {
+  EXPECT_DOUBLE_EQ(gb_per_s(12), 12e9);
+  EXPECT_DOUBLE_EQ(mb_per_s(250), 2.5e8);
+}
+
+TEST(Units, Time) {
+  EXPECT_DOUBLE_EQ(usec(60), 60e-6);
+  EXPECT_DOUBLE_EQ(msec(2.5), 2.5e-3);
+  EXPECT_DOUBLE_EQ(minutes(2), 120.0);
+  EXPECT_DOUBLE_EQ(hours(1), 3600.0);
+}
+
+TEST(Units, Compute) {
+  EXPECT_DOUBLE_EQ(gflop(4), 4e9);
+  EXPECT_DOUBLE_EQ(tflops(7.8), 7.8e12);
+}
+
+TEST(Units, ReportConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_gb_per_s(gb_per_s(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_gbps(gbps(25)), 25.0);
+  EXPECT_DOUBLE_EQ(to_gib(gib(16)), 16.0);
+  EXPECT_DOUBLE_EQ(to_hours(hours(3)), 3.0);
+}
+
+}  // namespace
+}  // namespace stash::util
