@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_analytic.dir/bench_ablation_analytic.cpp.o"
+  "CMakeFiles/bench_ablation_analytic.dir/bench_ablation_analytic.cpp.o.d"
+  "bench_ablation_analytic"
+  "bench_ablation_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bucketing.dir/bench_ablation_bucketing.cpp.o"
+  "CMakeFiles/bench_ablation_bucketing.dir/bench_ablation_bucketing.cpp.o.d"
+  "bench_ablation_bucketing"
+  "bench_ablation_bucketing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bucketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_dsanalyzer.cpp" "bench/CMakeFiles/bench_ablation_dsanalyzer.dir/bench_ablation_dsanalyzer.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_dsanalyzer.dir/bench_ablation_dsanalyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stash/CMakeFiles/stash_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/stash_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddl/CMakeFiles/stash_ddl.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/stash_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/stash_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/stash_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/stash_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

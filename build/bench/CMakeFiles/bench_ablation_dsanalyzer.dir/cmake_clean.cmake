@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dsanalyzer.dir/bench_ablation_dsanalyzer.cpp.o"
+  "CMakeFiles/bench_ablation_dsanalyzer.dir/bench_ablation_dsanalyzer.cpp.o.d"
+  "bench_ablation_dsanalyzer"
+  "bench_ablation_dsanalyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dsanalyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

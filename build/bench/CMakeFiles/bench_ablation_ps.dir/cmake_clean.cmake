@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ps.dir/bench_ablation_ps.cpp.o"
+  "CMakeFiles/bench_ablation_ps.dir/bench_ablation_ps.cpp.o.d"
+  "bench_ablation_ps"
+  "bench_ablation_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_comm_reduction.dir/bench_ext_comm_reduction.cpp.o"
+  "CMakeFiles/bench_ext_comm_reduction.dir/bench_ext_comm_reduction.cpp.o.d"
+  "bench_ext_comm_reduction"
+  "bench_ext_comm_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_comm_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

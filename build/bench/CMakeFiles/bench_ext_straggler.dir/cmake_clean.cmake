@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_straggler.dir/bench_ext_straggler.cpp.o"
+  "CMakeFiles/bench_ext_straggler.dir/bench_ext_straggler.cpp.o.d"
+  "bench_ext_straggler"
+  "bench_ext_straggler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_straggler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

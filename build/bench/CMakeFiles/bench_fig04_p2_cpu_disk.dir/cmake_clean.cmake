@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_p2_cpu_disk.dir/bench_fig04_p2_cpu_disk.cpp.o"
+  "CMakeFiles/bench_fig04_p2_cpu_disk.dir/bench_fig04_p2_cpu_disk.cpp.o.d"
+  "bench_fig04_p2_cpu_disk"
+  "bench_fig04_p2_cpu_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_p2_cpu_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_pcie_bw.dir/bench_fig07_pcie_bw.cpp.o"
+  "CMakeFiles/bench_fig07_pcie_bw.dir/bench_fig07_pcie_bw.cpp.o.d"
+  "bench_fig07_pcie_bw"
+  "bench_fig07_pcie_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_pcie_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

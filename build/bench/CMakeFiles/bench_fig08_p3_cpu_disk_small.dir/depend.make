@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_p3_cpu_disk_small.
+# This may be replaced when dependencies are built.

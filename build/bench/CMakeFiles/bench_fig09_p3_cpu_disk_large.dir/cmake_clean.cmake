@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_p3_cpu_disk_large.dir/bench_fig09_p3_cpu_disk_large.cpp.o"
+  "CMakeFiles/bench_fig09_p3_cpu_disk_large.dir/bench_fig09_p3_cpu_disk_large.cpp.o.d"
+  "bench_fig09_p3_cpu_disk_large"
+  "bench_fig09_p3_cpu_disk_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_p3_cpu_disk_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

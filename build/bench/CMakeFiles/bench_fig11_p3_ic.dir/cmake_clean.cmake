@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_p3_ic.dir/bench_fig11_p3_ic.cpp.o"
+  "CMakeFiles/bench_fig11_p3_ic.dir/bench_fig11_p3_ic.cpp.o.d"
+  "bench_fig11_p3_ic"
+  "bench_fig11_p3_ic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_p3_ic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

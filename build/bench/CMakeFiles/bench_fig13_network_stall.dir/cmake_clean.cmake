@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_network_stall.dir/bench_fig13_network_stall.cpp.o"
+  "CMakeFiles/bench_fig13_network_stall.dir/bench_fig13_network_stall.cpp.o.d"
+  "bench_fig13_network_stall"
+  "bench_fig13_network_stall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_network_stall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

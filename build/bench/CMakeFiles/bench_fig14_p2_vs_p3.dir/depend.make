@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14_p2_vs_p3.
+# This may be replaced when dependencies are built.

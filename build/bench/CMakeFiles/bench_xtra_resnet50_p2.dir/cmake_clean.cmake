@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xtra_resnet50_p2.dir/bench_xtra_resnet50_p2.cpp.o"
+  "CMakeFiles/bench_xtra_resnet50_p2.dir/bench_xtra_resnet50_p2.cpp.o.d"
+  "bench_xtra_resnet50_p2"
+  "bench_xtra_resnet50_p2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xtra_resnet50_p2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_sweep.dir/cluster_sweep.cpp.o"
+  "CMakeFiles/cluster_sweep.dir/cluster_sweep.cpp.o.d"
+  "cluster_sweep"
+  "cluster_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_advisor.dir/instance_advisor.cpp.o"
+  "CMakeFiles/instance_advisor.dir/instance_advisor.cpp.o.d"
+  "instance_advisor"
+  "instance_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

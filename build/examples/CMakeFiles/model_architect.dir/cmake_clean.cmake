@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_architect.dir/model_architect.cpp.o"
+  "CMakeFiles/model_architect.dir/model_architect.cpp.o.d"
+  "model_architect"
+  "model_architect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_architect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

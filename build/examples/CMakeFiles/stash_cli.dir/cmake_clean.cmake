@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_cli.dir/stash_cli.cpp.o"
+  "CMakeFiles/stash_cli.dir/stash_cli.cpp.o.d"
+  "stash_cli"
+  "stash_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

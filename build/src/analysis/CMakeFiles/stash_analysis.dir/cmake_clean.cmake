@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_analysis.dir/analytic_model.cpp.o"
+  "CMakeFiles/stash_analysis.dir/analytic_model.cpp.o.d"
+  "libstash_analysis.a"
+  "libstash_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

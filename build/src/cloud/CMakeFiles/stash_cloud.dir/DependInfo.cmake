@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/builder.cpp" "src/cloud/CMakeFiles/stash_cloud.dir/builder.cpp.o" "gcc" "src/cloud/CMakeFiles/stash_cloud.dir/builder.cpp.o.d"
+  "/root/repo/src/cloud/instance.cpp" "src/cloud/CMakeFiles/stash_cloud.dir/instance.cpp.o" "gcc" "src/cloud/CMakeFiles/stash_cloud.dir/instance.cpp.o.d"
+  "/root/repo/src/cloud/network_qos.cpp" "src/cloud/CMakeFiles/stash_cloud.dir/network_qos.cpp.o" "gcc" "src/cloud/CMakeFiles/stash_cloud.dir/network_qos.cpp.o.d"
+  "/root/repo/src/cloud/spot.cpp" "src/cloud/CMakeFiles/stash_cloud.dir/spot.cpp.o" "gcc" "src/cloud/CMakeFiles/stash_cloud.dir/spot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/stash_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stash_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_cloud.dir/builder.cpp.o"
+  "CMakeFiles/stash_cloud.dir/builder.cpp.o.d"
+  "CMakeFiles/stash_cloud.dir/instance.cpp.o"
+  "CMakeFiles/stash_cloud.dir/instance.cpp.o.d"
+  "CMakeFiles/stash_cloud.dir/network_qos.cpp.o"
+  "CMakeFiles/stash_cloud.dir/network_qos.cpp.o.d"
+  "CMakeFiles/stash_cloud.dir/spot.cpp.o"
+  "CMakeFiles/stash_cloud.dir/spot.cpp.o.d"
+  "libstash_cloud.a"
+  "libstash_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/baselines.cpp" "src/coll/CMakeFiles/stash_coll.dir/baselines.cpp.o" "gcc" "src/coll/CMakeFiles/stash_coll.dir/baselines.cpp.o.d"
+  "/root/repo/src/coll/ring_allreduce.cpp" "src/coll/CMakeFiles/stash_coll.dir/ring_allreduce.cpp.o" "gcc" "src/coll/CMakeFiles/stash_coll.dir/ring_allreduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/stash_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

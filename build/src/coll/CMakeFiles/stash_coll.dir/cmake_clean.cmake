@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_coll.dir/baselines.cpp.o"
+  "CMakeFiles/stash_coll.dir/baselines.cpp.o.d"
+  "CMakeFiles/stash_coll.dir/ring_allreduce.cpp.o"
+  "CMakeFiles/stash_coll.dir/ring_allreduce.cpp.o.d"
+  "libstash_coll.a"
+  "libstash_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_ddl.dir/pipeline.cpp.o"
+  "CMakeFiles/stash_ddl.dir/pipeline.cpp.o.d"
+  "CMakeFiles/stash_ddl.dir/trainer.cpp.o"
+  "CMakeFiles/stash_ddl.dir/trainer.cpp.o.d"
+  "libstash_ddl.a"
+  "libstash_ddl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_ddl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

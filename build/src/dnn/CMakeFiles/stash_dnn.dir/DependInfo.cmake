@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/bert.cpp" "src/dnn/CMakeFiles/stash_dnn.dir/bert.cpp.o" "gcc" "src/dnn/CMakeFiles/stash_dnn.dir/bert.cpp.o.d"
+  "/root/repo/src/dnn/model.cpp" "src/dnn/CMakeFiles/stash_dnn.dir/model.cpp.o" "gcc" "src/dnn/CMakeFiles/stash_dnn.dir/model.cpp.o.d"
+  "/root/repo/src/dnn/profile_model.cpp" "src/dnn/CMakeFiles/stash_dnn.dir/profile_model.cpp.o" "gcc" "src/dnn/CMakeFiles/stash_dnn.dir/profile_model.cpp.o.d"
+  "/root/repo/src/dnn/resnet.cpp" "src/dnn/CMakeFiles/stash_dnn.dir/resnet.cpp.o" "gcc" "src/dnn/CMakeFiles/stash_dnn.dir/resnet.cpp.o.d"
+  "/root/repo/src/dnn/vgg.cpp" "src/dnn/CMakeFiles/stash_dnn.dir/vgg.cpp.o" "gcc" "src/dnn/CMakeFiles/stash_dnn.dir/vgg.cpp.o.d"
+  "/root/repo/src/dnn/zoo.cpp" "src/dnn/CMakeFiles/stash_dnn.dir/zoo.cpp.o" "gcc" "src/dnn/CMakeFiles/stash_dnn.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

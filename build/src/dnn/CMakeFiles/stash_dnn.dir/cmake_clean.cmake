@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_dnn.dir/bert.cpp.o"
+  "CMakeFiles/stash_dnn.dir/bert.cpp.o.d"
+  "CMakeFiles/stash_dnn.dir/model.cpp.o"
+  "CMakeFiles/stash_dnn.dir/model.cpp.o.d"
+  "CMakeFiles/stash_dnn.dir/profile_model.cpp.o"
+  "CMakeFiles/stash_dnn.dir/profile_model.cpp.o.d"
+  "CMakeFiles/stash_dnn.dir/resnet.cpp.o"
+  "CMakeFiles/stash_dnn.dir/resnet.cpp.o.d"
+  "CMakeFiles/stash_dnn.dir/vgg.cpp.o"
+  "CMakeFiles/stash_dnn.dir/vgg.cpp.o.d"
+  "CMakeFiles/stash_dnn.dir/zoo.cpp.o"
+  "CMakeFiles/stash_dnn.dir/zoo.cpp.o.d"
+  "libstash_dnn.a"
+  "libstash_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

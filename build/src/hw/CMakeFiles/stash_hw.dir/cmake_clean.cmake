@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_hw.dir/flow_network.cpp.o"
+  "CMakeFiles/stash_hw.dir/flow_network.cpp.o.d"
+  "CMakeFiles/stash_hw.dir/gpu.cpp.o"
+  "CMakeFiles/stash_hw.dir/gpu.cpp.o.d"
+  "CMakeFiles/stash_hw.dir/topology.cpp.o"
+  "CMakeFiles/stash_hw.dir/topology.cpp.o.d"
+  "libstash_hw.a"
+  "libstash_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

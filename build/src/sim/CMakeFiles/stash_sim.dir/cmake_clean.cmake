@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_sim.dir/simulator.cpp.o"
+  "CMakeFiles/stash_sim.dir/simulator.cpp.o.d"
+  "libstash_sim.a"
+  "libstash_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

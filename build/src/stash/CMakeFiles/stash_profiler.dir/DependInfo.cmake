@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stash/ds_analyzer.cpp" "src/stash/CMakeFiles/stash_profiler.dir/ds_analyzer.cpp.o" "gcc" "src/stash/CMakeFiles/stash_profiler.dir/ds_analyzer.cpp.o.d"
+  "/root/repo/src/stash/profiler.cpp" "src/stash/CMakeFiles/stash_profiler.dir/profiler.cpp.o" "gcc" "src/stash/CMakeFiles/stash_profiler.dir/profiler.cpp.o.d"
+  "/root/repo/src/stash/recommend.cpp" "src/stash/CMakeFiles/stash_profiler.dir/recommend.cpp.o" "gcc" "src/stash/CMakeFiles/stash_profiler.dir/recommend.cpp.o.d"
+  "/root/repo/src/stash/session.cpp" "src/stash/CMakeFiles/stash_profiler.dir/session.cpp.o" "gcc" "src/stash/CMakeFiles/stash_profiler.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ddl/CMakeFiles/stash_ddl.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/stash_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/stash_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/stash_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/stash_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_profiler.dir/ds_analyzer.cpp.o"
+  "CMakeFiles/stash_profiler.dir/ds_analyzer.cpp.o.d"
+  "CMakeFiles/stash_profiler.dir/profiler.cpp.o"
+  "CMakeFiles/stash_profiler.dir/profiler.cpp.o.d"
+  "CMakeFiles/stash_profiler.dir/recommend.cpp.o"
+  "CMakeFiles/stash_profiler.dir/recommend.cpp.o.d"
+  "CMakeFiles/stash_profiler.dir/session.cpp.o"
+  "CMakeFiles/stash_profiler.dir/session.cpp.o.d"
+  "libstash_profiler.a"
+  "libstash_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_util.dir/log.cpp.o"
+  "CMakeFiles/stash_util.dir/log.cpp.o.d"
+  "CMakeFiles/stash_util.dir/table.cpp.o"
+  "CMakeFiles/stash_util.dir/table.cpp.o.d"
+  "CMakeFiles/stash_util.dir/trace.cpp.o"
+  "CMakeFiles/stash_util.dir/trace.cpp.o.d"
+  "libstash_util.a"
+  "libstash_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

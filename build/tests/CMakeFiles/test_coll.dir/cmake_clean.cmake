@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll.dir/coll/baselines_test.cpp.o"
+  "CMakeFiles/test_coll.dir/coll/baselines_test.cpp.o.d"
+  "CMakeFiles/test_coll.dir/coll/collective_sweep_test.cpp.o"
+  "CMakeFiles/test_coll.dir/coll/collective_sweep_test.cpp.o.d"
+  "CMakeFiles/test_coll.dir/coll/comm_stream_test.cpp.o"
+  "CMakeFiles/test_coll.dir/coll/comm_stream_test.cpp.o.d"
+  "CMakeFiles/test_coll.dir/coll/ring_allreduce_test.cpp.o"
+  "CMakeFiles/test_coll.dir/coll/ring_allreduce_test.cpp.o.d"
+  "test_coll"
+  "test_coll.pdb"
+  "test_coll[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

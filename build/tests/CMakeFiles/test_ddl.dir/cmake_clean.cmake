@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddl.dir/ddl/comm_reduction_test.cpp.o"
+  "CMakeFiles/test_ddl.dir/ddl/comm_reduction_test.cpp.o.d"
+  "CMakeFiles/test_ddl.dir/ddl/pipeline_test.cpp.o"
+  "CMakeFiles/test_ddl.dir/ddl/pipeline_test.cpp.o.d"
+  "CMakeFiles/test_ddl.dir/ddl/trainer_test.cpp.o"
+  "CMakeFiles/test_ddl.dir/ddl/trainer_test.cpp.o.d"
+  "test_ddl"
+  "test_ddl.pdb"
+  "test_ddl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

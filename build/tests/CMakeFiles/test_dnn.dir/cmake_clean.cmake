@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnn.dir/dnn/model_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/model_test.cpp.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/zoo_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/zoo_test.cpp.o.d"
+  "test_dnn"
+  "test_dnn.pdb"
+  "test_dnn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

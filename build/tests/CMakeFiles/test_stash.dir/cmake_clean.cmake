@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stash.dir/stash/batch_sweep_test.cpp.o"
+  "CMakeFiles/test_stash.dir/stash/batch_sweep_test.cpp.o.d"
+  "CMakeFiles/test_stash.dir/stash/characterization_test.cpp.o"
+  "CMakeFiles/test_stash.dir/stash/characterization_test.cpp.o.d"
+  "CMakeFiles/test_stash.dir/stash/ds_analyzer_test.cpp.o"
+  "CMakeFiles/test_stash.dir/stash/ds_analyzer_test.cpp.o.d"
+  "CMakeFiles/test_stash.dir/stash/profiler_test.cpp.o"
+  "CMakeFiles/test_stash.dir/stash/profiler_test.cpp.o.d"
+  "CMakeFiles/test_stash.dir/stash/recommend_test.cpp.o"
+  "CMakeFiles/test_stash.dir/stash/recommend_test.cpp.o.d"
+  "CMakeFiles/test_stash.dir/stash/session_test.cpp.o"
+  "CMakeFiles/test_stash.dir/stash/session_test.cpp.o.d"
+  "test_stash"
+  "test_stash.pdb"
+  "test_stash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

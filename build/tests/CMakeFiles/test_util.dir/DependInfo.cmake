@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/args_test.cpp" "tests/CMakeFiles/test_util.dir/util/args_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/args_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/test_util.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/trace_test.cpp" "tests/CMakeFiles/test_util.dir/util/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/trace_test.cpp.o.d"
+  "/root/repo/tests/util/units_test.cpp" "tests/CMakeFiles/test_util.dir/util/units_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/stash_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/stash_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/stash_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/stash_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddl/CMakeFiles/stash_ddl.dir/DependInfo.cmake"
+  "/root/repo/build/src/stash/CMakeFiles/stash_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/stash_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
