@@ -14,8 +14,10 @@
 
 #include "cloud/spot.h"
 #include "dnn/zoo.h"
+#include "faults/fault_plan.h"
 #include "stash/recommend.h"
 #include "stash/session.h"
+#include "stash/spot_replay.h"
 #include "util/args.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -31,11 +33,20 @@ int usage() {
       "  models                           list the Table-II model zoo\n"
       "  profile <model> [--instance T] [--count N] [--batch B]\n"
       "          [--full-quad] [--csv]    run the five-step Stash profile\n"
+      "          [--faults=SPEC] [--recovery=restart|shrink] [--timeout S]\n"
+      "                                   ...and again with SPEC injected,\n"
+      "                                   reporting the fault degradation\n"
       "  recommend <model> [--batch B] [--csv]\n"
       "                                   rank every configuration\n"
       "  estimate <model> [--instance T] [--count N] [--batch B]\n"
-      "           [--epochs E] [--spot] [--csv]\n"
-      "                                   whole-run time & cost estimate\n";
+      "           [--epochs E] [--spot] [--spot-mode analytic|replay] [--csv]\n"
+      "                                   whole-run time & cost estimate\n"
+      "\n"
+      "fault SPEC: ';'-separated events, e.g.\n"
+      "  straggler@2+5:w1:x2.5  worker 1 at half speed for t=[2,7)\n"
+      "  link@4+3:m0:x0.1       machine 0 NIC at 10%% for t=[4,7)\n"
+      "  disk@1+2:m0:x0.25      machine 0 SSD at 25%% for t=[1,3)\n"
+      "  crash@6:m1:r30         machine 1 revoked at t=6, replaced after 30 s\n";
   return 2;
 }
 
@@ -84,6 +95,61 @@ int cmd_profile(const util::Args& args) {
 
   dnn::Model model = dnn::make_zoo_model(model_name);
   profiler::StashProfiler prof(model, dnn::dataset_for(model_name));
+
+  if (args.has("faults")) {
+    faults::FaultPlan plan = faults::FaultPlan::parse(args.get("faults"));
+    profiler::FaultProfileOptions fopt;
+    std::string recovery = args.get("recovery", "restart");
+    if (recovery == "restart")
+      fopt.policy = ddl::RecoveryPolicy::kCheckpointRestart;
+    else if (recovery == "shrink")
+      fopt.policy = ddl::RecoveryPolicy::kShrink;
+    else {
+      std::cerr << "unknown --recovery '" << recovery
+                << "' (expected restart|shrink)\n";
+      return 2;
+    }
+    fopt.barrier_timeout_s = args.get_double("timeout", fopt.barrier_timeout_s);
+    fopt.checkpoint_interval_s =
+        args.get_double("ckpt-interval", fopt.checkpoint_interval_s);
+    fopt.checkpoint_write_s =
+        args.get_double("ckpt-write", fopt.checkpoint_write_s);
+
+    profiler::FaultProfileReport fr =
+        prof.profile_under_faults(spec, batch, plan, fopt);
+    util::Table t({"run", "I/C %", "N/W %", "prep %", "fetch %", "fault %",
+                   "epoch (s)", "epoch ($)"});
+    auto row = [&t](const char* label, const profiler::StallReport& r) {
+      t.row().cell(label).cell(r.ic_stall_pct, 1)
+          .cell(r.has_network_step ? util::format_double(r.nw_stall_pct, 1) : "-")
+          .cell(r.prep_stall_pct, 1).cell(r.fetch_stall_pct, 1)
+          .cell(r.fault_stall_pct, 1)
+          .cell(r.epoch_seconds, 0).cell(r.epoch_cost_usd, 2);
+    };
+    row("healthy", fr.healthy);
+    row("faulted", fr.faulted);
+    emit(t, args.has("csv"));
+    if (!args.has("csv")) {
+      std::cout << "epoch slowdown: " << util::format_double(fr.epoch_slowdown, 2)
+                << "x   fault stall: "
+                << util::format_double(fr.fault_stall_seconds, 1)
+                << " s   checkpoints: " << fr.checkpoints_written << " ("
+                << util::format_double(fr.checkpoint_seconds, 1)
+                << " s)   gpus at end: " << fr.gpus_at_end << "\n";
+      for (const auto& rec : fr.recoveries)
+        std::cout << "recovery @" << util::format_double(rec.time_s, 1)
+                  << " s iter " << rec.at_iteration << ": "
+                  << (rec.policy == ddl::RecoveryPolicy::kCheckpointRestart
+                          ? "restart"
+                          : "shrink")
+                  << ", workers " << rec.workers_before << "->"
+                  << rec.workers_after << ", waited "
+                  << util::format_double(rec.wait_seconds, 1) << " s, reworked "
+                  << rec.rework_iterations << " iters\n";
+    }
+    return 0;
+  }
+
   profiler::StallReport r = prof.profile(spec, batch);
 
   util::Table t({"config", "model", "batch", "I/C %", "N/W %", "prep %", "fetch %",
@@ -137,12 +203,28 @@ int cmd_estimate(const util::Args& args) {
       .cell(est.steady_epoch_seconds, 0).cell(util::to_hours(est.total_seconds), 2)
       .cell(est.total_cost_usd, 2).cell("on-demand");
   if (args.has("spot")) {
-    auto spot = cloud::mean_spot_outcome(est.total_seconds,
-                                         cloud::instance(spec.instance), spec.count,
-                                         cloud::SpotConfig{}, 2026);
-    t.row().cell(est.config_label).cell(est.epochs).cell("-").cell("-")
-        .cell(util::to_hours(spot.wall_seconds), 2).cell(spot.cost_usd, 2)
-        .cell("spot (mean of 25 draws)");
+    std::string mode = args.get("spot-mode", "analytic");
+    if (mode == "replay") {
+      // Event-driven estimate: measure iteration time and the per-revocation
+      // recovery cost by running an actual crash through the trainer.
+      auto replay = profiler::replay_spot_run(prof, spec, batch,
+                                              est.total_seconds,
+                                              cloud::SpotConfig{}, 2026);
+      t.row().cell(est.config_label).cell(est.epochs).cell("-").cell("-")
+          .cell(util::to_hours(replay.outcome.wall_seconds), 2)
+          .cell(replay.outcome.cost_usd, 2).cell("spot (event-driven replay)");
+    } else if (mode == "analytic") {
+      auto spot = cloud::mean_spot_outcome(est.total_seconds,
+                                           cloud::instance(spec.instance),
+                                           spec.count, cloud::SpotConfig{}, 2026);
+      t.row().cell(est.config_label).cell(est.epochs).cell("-").cell("-")
+          .cell(util::to_hours(spot.wall_seconds), 2).cell(spot.cost_usd, 2)
+          .cell("spot (mean of 25 draws)");
+    } else {
+      std::cerr << "unknown --spot-mode '" << mode
+                << "' (expected analytic|replay)\n";
+      return 2;
+    }
   }
   emit(t, args.has("csv"));
   return 0;

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full build + test suite, then the fault and
+# concurrency tests again under ASan+UBSan (the coroutine-heavy recovery
+# paths are exactly where lifetime bugs hide).
+#
+# Usage: scripts/verify.sh [--no-sanitizers]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier 1: configure + build + ctest (default preset)"
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+ctest --preset default -j "$(nproc)"
+
+if [[ "${1:-}" == "--no-sanitizers" ]]; then
+  echo "==> skipping sanitizer pass"
+  exit 0
+fi
+
+echo "==> tier 1: ASan+UBSan pass over fault/concurrency tests"
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)" \
+  --target test_sim test_faults test_ddl test_stash
+ctest --preset asan -j "$(nproc)" \
+  -R '(Fault|Abortable|SpotReplay|Revocation|Barrier|Event|Latch|Semaphore|Mailbox|Simulator)'
+
+echo "==> verify OK"

@@ -4,16 +4,30 @@
 #include <limits>
 #include <stdexcept>
 
+#include <cmath>
+
 namespace stash::cloud {
+
+void SpotConfig::validate() const {
+  if (!(price_factor > 0.0) || price_factor > 1.0 || !std::isfinite(price_factor))
+    throw std::invalid_argument("SpotConfig: price_factor must be in (0, 1]");
+  if (interruptions_per_hour < 0.0 || !std::isfinite(interruptions_per_hour))
+    throw std::invalid_argument(
+        "SpotConfig: interruptions_per_hour must be finite and >= 0");
+  if (restart_overhead_s < 0.0 || !std::isfinite(restart_overhead_s))
+    throw std::invalid_argument("SpotConfig: restart_overhead_s must be >= 0");
+  if (!(checkpoint_interval_s > 0.0) || !std::isfinite(checkpoint_interval_s))
+    throw std::invalid_argument(
+        "SpotConfig: checkpoint_interval_s must be positive");
+  if (checkpoint_write_s < 0.0 || !std::isfinite(checkpoint_write_s))
+    throw std::invalid_argument("SpotConfig: checkpoint_write_s must be >= 0");
+}
 
 SpotOutcome simulate_spot_run(double work_seconds, const InstanceType& type,
                               int count, const SpotConfig& config, util::Rng& rng) {
   if (work_seconds < 0.0) throw std::invalid_argument("negative work_seconds");
   if (count < 1) throw std::invalid_argument("count < 1");
-  if (config.price_factor <= 0.0 || config.price_factor > 1.0)
-    throw std::invalid_argument("price_factor must be in (0, 1]");
-  if (config.checkpoint_interval_s <= 0.0)
-    throw std::invalid_argument("checkpoint_interval_s must be positive");
+  config.validate();
 
   SpotOutcome out;
   double remaining = work_seconds;

@@ -28,6 +28,10 @@ struct SpotConfig {
   // Checkpoint cadence and the stall each checkpoint write causes.
   double checkpoint_interval_s = 900.0;
   double checkpoint_write_s = 20.0;
+
+  // Throws std::invalid_argument with a field-specific message on nonsense
+  // values (negative rates, zero intervals, out-of-range price factor).
+  void validate() const;
 };
 
 struct SpotOutcome {
@@ -39,6 +43,13 @@ struct SpotOutcome {
 
 // One sampled run that needs `work_seconds` of useful compute on `count`
 // instances of `type`. Deterministic given the Rng state.
+//
+// This is the closed-form rework model (lost work = time since the last
+// checkpoint, restarts cost a flat overhead) — cheap enough for catalog
+// sweeps. The event-driven counterpart, which runs actual revocations
+// through the ddl::Trainer's crash-recovery machinery (barrier-watchdog
+// detection, checkpoint replay at simulated speed), is
+// stash::profiler::replay_spot_run in stash/spot_replay.h.
 SpotOutcome simulate_spot_run(double work_seconds, const InstanceType& type,
                               int count, const SpotConfig& config, util::Rng& rng);
 

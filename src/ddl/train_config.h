@@ -7,7 +7,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include <string>
+
 #include "coll/collective.h"
+#include "faults/fault_plan.h"
 #include "hw/topology.h"
 #include "util/stats.h"
 #include "util/trace.h"
@@ -64,6 +67,58 @@ struct StragglerConfig {
   }
 };
 
+// How the trainer responds when a participant's machine crashes mid-run.
+enum class RecoveryPolicy {
+  // Wait for the replacement machine, then replay from the last periodic
+  // checkpoint with the full worker set (the spot checkpoint-restart flow).
+  kCheckpointRestart,
+  // Drop the lost machine's workers, rebuild the (N-1)-worker ring, and
+  // continue from the last committed iteration (elastic/shrinking DDP).
+  kShrink,
+};
+
+// Fault tolerance knobs. Attaching a FaultState enables the fault-aware
+// execution path: barriers gain a watchdog timeout, and crashes trigger the
+// configured recovery instead of deadlocking the run.
+struct FaultToleranceConfig {
+  // Live fault view (not owned; must outlive the run). nullptr = healthy run.
+  const faults::FaultState* faults = nullptr;
+  RecoveryPolicy policy = RecoveryPolicy::kCheckpointRestart;
+  // Watchdog on every iteration barrier: if the full party fails to arrive
+  // within this window the survivors declare a fault and unwind.
+  double barrier_timeout_s = 30.0;
+  // Periodic checkpoint cadence (simulated seconds) and per-checkpoint write
+  // stall, mirroring cloud::SpotConfig's fields; checkpoint-restart replays
+  // from the last completed checkpoint.
+  double checkpoint_interval_s = 900.0;
+  double checkpoint_write_s = 20.0;
+
+  bool enabled() const { return faults != nullptr; }
+
+  void validate() const {
+    if (!enabled()) return;
+    if (!(barrier_timeout_s > 0.0))
+      throw std::invalid_argument(
+          "fault tolerance requires barrier_timeout_s > 0 (a crashed worker "
+          "is only detectable through the barrier watchdog)");
+    if (!(checkpoint_interval_s > 0.0))
+      throw std::invalid_argument("checkpoint_interval_s must be positive");
+    if (checkpoint_write_s < 0.0)
+      throw std::invalid_argument("checkpoint_write_s must be >= 0");
+  }
+};
+
+// One recovery episode: what was lost, what it cost, how training resumed.
+struct RecoveryRecord {
+  double time_s = 0.0;       // when the fault was detected
+  int at_iteration = 0;      // first iteration not committed when it hit
+  RecoveryPolicy policy = RecoveryPolicy::kCheckpointRestart;
+  int workers_before = 0;
+  int workers_after = 0;
+  double wait_seconds = 0.0;    // detection gap + reprovision wait
+  int rework_iterations = 0;    // committed work discarded by the rollback
+};
+
 struct TrainConfig {
   int per_gpu_batch = 32;
   // Simulated iteration window. Training is strictly periodic once the
@@ -95,6 +150,7 @@ struct TrainConfig {
   coll::CollectiveConfig collective{};
   CommReductionConfig comm_reduction{};
   StragglerConfig straggler{};
+  FaultToleranceConfig fault_tolerance{};
 
   // Fraction of compute time charged for the optimizer step.
   double optimizer_overhead = 0.02;
@@ -122,6 +178,7 @@ struct TrainConfig {
       throw std::invalid_argument("local_steps must be >= 1");
     if (straggler.slowdown < 1.0)
       throw std::invalid_argument("straggler slowdown must be >= 1");
+    fault_tolerance.validate();
   }
 };
 
@@ -137,6 +194,17 @@ struct TrainResult {
   double comm_tail = 0.0;   // all-reduce time not hidden behind backward
 
   int gpus_used = 0;
+
+  // Fault accounting (the fifth stall category, alongside the paper's
+  // interconnect/network/prep/fetch): simulated seconds lost to faults —
+  // detection timeouts, reprovision waits, and replayed (rework)
+  // iterations. Checkpoint writes are tracked separately because they are
+  // paid even on fault-free runs.
+  double fault_stall = 0.0;
+  double checkpoint_seconds = 0.0;
+  int checkpoints_written = 0;
+  int gpus_at_end = 0;  // < gpus_used after a kShrink recovery
+  std::vector<RecoveryRecord> recoveries;
 
   // Scales the measured window to a full epoch of `dataset_samples`.
   double epoch_time(double dataset_samples, int per_gpu_batch) const {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -27,23 +28,136 @@ ModelDoesNotFit::ModelDoesNotFit(const std::string& model, int batch, double nee
 
 namespace {
 
+struct Attempt;
+
 // Everything the worker/loader coroutines share. Lives on Trainer::run()'s
-// stack and outlives sim.run(), so references into it are safe.
+// stack and outlives sim.run(), so references into it are safe. Fault
+// recovery re-runs the worker group as a sequence of "attempts"; attempt
+// state is arena-allocated here because coroutines parked in an aborted
+// attempt (dead workers, stranded loaders) still reference it until the
+// Simulator reclaims them.
 struct RunState {
   sim::Simulator& sim;
   hw::FlowNetwork& net;
   hw::Cluster& cluster;
   const TrainConfig& config;
 
+  std::vector<hw::GpuRef> all_gpus;  // the configured participant set
+  int trace_pid = 0;
+
+  // Precomputed per-iteration quantities.
+  std::vector<dnn::Model::BackwardStep> steps;
+  std::vector<double> flush_bytes;  // per-step all-reduce flush (0 = none)
+  std::size_t num_buckets = 0;
+  double fwd_time = 0.0;
+  double bwd_time = 0.0;
+  double opt_time = 0.0;
+  double batch_over_flops = 0.0;  // batch / gpu_flops
+  double h2d_bytes = 0.0;
+  double batch_disk_bytes = 0.0;
+  double prep_seconds = 0.0;
+  double miss_fraction = 0.0;
+
+  coll::CollectiveContext coll_ctx;
+  coll::CommStream stream;
+
+  std::vector<std::unique_ptr<Attempt>> attempts;
+
+  // Measurements (lead worker, post-warmup).
+  util::SampleSet iter_times;
+  double sum_data_wait = 0.0;
+  double sum_h2d = 0.0;
+  double sum_compute = 0.0;
+  double sum_comm_tail = 0.0;
+
+  // Fault-tolerance progress. high_water is the furthest committed
+  // iteration across all attempts; iterations below it in a later attempt
+  // are rework (charged to the fault stall, excluded from statistics).
+  int high_water = 0;
+  double last_ckpt_time = 0.0;  // run start counts as checkpoint zero
+  int last_ckpt_iter = 0;
+  int checkpoints_written = 0;
+  double checkpoint_seconds = 0.0;
+  double fault_wait_seconds = 0.0;
+  double fault_rework_seconds = 0.0;
+  std::vector<RecoveryRecord> recoveries;
+  bool finished = false;
+  int gpus_at_end = 0;
+
+  RunState(sim::Simulator& s, hw::FlowNetwork& n, hw::Cluster& c,
+           const TrainConfig& cfg, std::vector<hw::GpuRef> gpu_list)
+      : sim(s),
+        net(n),
+        cluster(c),
+        config(cfg),
+        all_gpus(std::move(gpu_list)),
+        coll_ctx{s, n, c, cfg.collective},
+        stream(s) {}
+};
+
+// One contiguous execution of the worker group: a participant set, an
+// iteration range, and the barriers/mailboxes that tie them together. A
+// healthy run is exactly one attempt; every recovery opens a new one.
+struct Attempt {
   std::vector<hw::GpuRef> gpus;
-  double round_latency = 0.0;
-  // One-round analysis of the participant ring, used to price the
+  int start_iter;
+  int end_iter;
+  int rework_limit;  // iterations below this are replay of committed work
+
+  sim::AbortableBarrier start_barrier;
+  sim::AbortableBarrier end_barrier;
+  // Host-side prefetch queue (loaders -> H2D stage) and device-side double
+  // buffer (H2D stage -> worker), per participant.
+  std::vector<std::unique_ptr<sim::Mailbox<int>>> boxes;
+  std::vector<std::unique_ptr<sim::Mailbox<int>>> device_boxes;
+  std::vector<int> produced;
+
+  sim::Event done;
+  std::size_t live_workers;
+  bool aborted = false;
+  std::optional<double> detected_time;  // first watchdog/abort observation
+  double last_death_time = 0.0;         // silent crash exits (no survivor saw it)
+  int completed_through;    // first global iteration index NOT committed
+  double last_commit_time;  // when the last end barrier released
+
+  // One-round analysis of this attempt's ring, used to price the
   // synchronous (non-overlapped) share of each collective without
   // double-simulating: per hop, its link path; per link, how many times a
   // round traverses it. The slowest hop's rate is evaluated against
-  // *current* capacities at each flush so time-varying QoS is felt.
+  // *current* capacities at each flush so time-varying QoS (and injected
+  // link faults) are felt.
+  double round_latency = 0.0;
   std::vector<std::vector<hw::Link*>> ring_hop_paths;
   std::unordered_map<const hw::Link*, int> ring_traversals;
+
+  Attempt(RunState& st, std::vector<hw::GpuRef> parts, int from, int to)
+      : gpus(std::move(parts)),
+        start_iter(from),
+        end_iter(to),
+        rework_limit(st.high_water),
+        start_barrier(st.sim, gpus.size(), st.config.fault_tolerance.enabled()
+                                               ? st.config.fault_tolerance.barrier_timeout_s
+                                               : 0.0),
+        end_barrier(st.sim, gpus.size(), st.config.fault_tolerance.enabled()
+                                             ? st.config.fault_tolerance.barrier_timeout_s
+                                             : 0.0),
+        done(st.sim),
+        live_workers(gpus.size()),
+        completed_through(from),
+        last_commit_time(st.sim.now()) {
+    std::set<int> machines_used;
+    for (const auto& g : gpus) machines_used.insert(g.machine);
+    round_latency = machines_used.size() > 1
+                        ? st.config.collective.inter_round_latency
+                        : st.config.collective.intra_round_latency;
+    if (gpus.size() > 1) {
+      for (std::size_t i = 0; i < gpus.size(); ++i) {
+        auto path = st.cluster.path(gpus[i], gpus[(i + 1) % gpus.size()]);
+        for (const hw::Link* l : path) ++ring_traversals[l];
+        ring_hop_paths.push_back(std::move(path));
+      }
+    }
+  }
 
   double ring_seconds_per_chunk_byte() const {
     double slowest = std::numeric_limits<double>::infinity();
@@ -64,50 +178,26 @@ struct RunState {
     return rounds * (round_latency + (bytes / k) * ring_seconds_per_chunk_byte());
   }
 
-  // Precomputed per-iteration quantities.
-  std::vector<dnn::Model::BackwardStep> steps;
-  std::vector<double> flush_bytes;  // per-step all-reduce flush (0 = none)
-  std::size_t num_buckets = 0;
-  double fwd_time = 0.0;
-  double bwd_time = 0.0;
-  double opt_time = 0.0;
-  double batch_over_flops = 0.0;  // batch / gpu_flops
-  double h2d_bytes = 0.0;
-  double batch_disk_bytes = 0.0;
-  double prep_seconds = 0.0;
-  double miss_fraction = 0.0;
+  // A survivor observed the fault (barrier timeout or abort). Kills both
+  // barriers so workers still in flight unwind at their next arrival
+  // instead of waiting out another watchdog window.
+  void mark_fault(double now) {
+    if (!detected_time) detected_time = now;
+    aborted = true;
+    start_barrier.abort();
+    end_barrier.abort();
+  }
 
-  coll::CollectiveContext coll_ctx;
-  coll::CommStream stream;
-  sim::Barrier start_barrier;
-  sim::Barrier end_barrier;
-  // Host-side prefetch queue (loaders -> H2D stage) and device-side double
-  // buffer (H2D stage -> worker). The H2D stage copies batches to the GPU
-  // ahead of consumption — pinned-memory async uploads, PyTorch-style — so
-  // upload latency hides behind compute while its flows still contend on
-  // the PCIe bridge.
-  std::vector<std::unique_ptr<sim::Mailbox<int>>> boxes;
-  std::vector<std::unique_ptr<sim::Mailbox<int>>> device_boxes;
-  std::vector<int> produced;
+  // A worker on a crashed machine exits silently: no barrier abort (dead
+  // processes don't notify anyone) — survivors find out via the watchdog.
+  void note_death(double now) {
+    aborted = true;
+    last_death_time = now;
+  }
 
-  // Measurements (lead worker, post-warmup).
-  util::SampleSet iter_times;
-  double sum_data_wait = 0.0;
-  double sum_h2d = 0.0;
-  double sum_compute = 0.0;
-  double sum_comm_tail = 0.0;
-
-  RunState(sim::Simulator& s, hw::FlowNetwork& n, hw::Cluster& c,
-           const TrainConfig& cfg, std::vector<hw::GpuRef> gpu_list)
-      : sim(s),
-        net(n),
-        cluster(c),
-        config(cfg),
-        gpus(std::move(gpu_list)),
-        coll_ctx{s, n, c, cfg.collective},
-        stream(s),
-        start_barrier(s, gpus.size()),
-        end_barrier(s, gpus.size()) {}
+  void worker_exited() {
+    if (--live_workers == 0) done.trigger();
+  }
 };
 
 // Records a span on the shared trace if one is attached. Track ids: pid is
@@ -117,68 +207,96 @@ void trace_span(RunState& st, const char* name, const char* category,
                 double start_s, int tid) {
   if (st.config.trace == nullptr) return;
   st.config.trace->add_span(name, category, start_s, st.sim.now() - start_s,
-                            st.gpus.front().machine, tid);
+                            st.trace_pid, tid);
 }
 
-sim::Task<void> run_one_allreduce(RunState& st, double bytes,
+sim::Task<void> run_one_allreduce(RunState& st, Attempt& at, double bytes,
                                   std::shared_ptr<sim::Latch> latch) {
   const double start = st.sim.now();
-  co_await st.stream.enqueue([&st, bytes]() -> sim::Task<void> {
-    return coll::ring_allreduce_over(st.coll_ctx, st.gpus, bytes, st.round_latency);
+  co_await st.stream.enqueue([&st, &at, bytes]() -> sim::Task<void> {
+    return coll::ring_allreduce_over(st.coll_ctx, at.gpus, bytes, at.round_latency);
   });
   trace_span(st, "allreduce", "comm", start, 100);
   latch->count_down();
 }
 
-sim::Task<void> loader(RunState& st, std::size_t gpu_idx) {
-  hw::Machine& mach = st.cluster.machine(st.gpus[gpu_idx].machine);
-  while (st.produced[gpu_idx] < st.config.iterations) {
-    ++st.produced[gpu_idx];
+sim::Task<void> loader(RunState& st, Attempt& at, std::size_t gpu_idx) {
+  hw::Machine& mach = st.cluster.machine(at.gpus[gpu_idx].machine);
+  const int machine = at.gpus[gpu_idx].machine;
+  const faults::FaultState* fs = st.config.fault_tolerance.faults;
+  const int needed = at.end_iter - at.start_iter;
+  while (at.produced[gpu_idx] < needed) {
+    if (fs != nullptr && fs->crashed(machine, st.sim.now())) co_return;
+    ++at.produced[gpu_idx];
     double miss_bytes = st.batch_disk_bytes * st.miss_fraction;
     if (miss_bytes > 0.0) co_await mach.storage().read(miss_bytes);
     if (st.prep_seconds > 0.0) co_await mach.cpus().run(st.prep_seconds);
-    co_await st.boxes[gpu_idx]->put(1);
+    co_await at.boxes[gpu_idx]->put(1);
   }
 }
 
 // Uploads prefetched batches into the GPU's double buffer.
-sim::Task<void> h2d_stage(RunState& st, std::size_t idx) {
-  hw::Machine& mach = st.cluster.machine(st.gpus[idx].machine);
-  const int local_gpu = st.gpus[idx].local;
-  for (int iter = 0; iter < st.config.iterations; ++iter) {
-    co_await st.boxes[idx]->get();
+sim::Task<void> h2d_stage(RunState& st, Attempt& at, std::size_t idx) {
+  hw::Machine& mach = st.cluster.machine(at.gpus[idx].machine);
+  const int local_gpu = at.gpus[idx].local;
+  for (int iter = at.start_iter; iter < at.end_iter; ++iter) {
+    co_await at.boxes[idx]->get();
     const double start = st.sim.now();
     co_await st.net.transfer(st.h2d_bytes, mach.h2d_path(local_gpu));
     if (idx == 0) {
-      if (iter >= st.config.warmup_iterations) st.sum_h2d += st.sim.now() - start;
+      if (iter >= st.config.warmup_iterations && iter >= at.rework_limit)
+        st.sum_h2d += st.sim.now() - start;
       trace_span(st, "h2d", "pipeline", start, 50);
     }
-    co_await st.device_boxes[idx]->put(1);
+    co_await at.device_boxes[idx]->put(1);
   }
 }
 
-sim::Task<void> worker(RunState& st, std::size_t idx) {
+sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
   const bool lead = idx == 0;
-  const double compute_scale = st.config.straggler.scale_for(idx);
+  const int machine = at.gpus[idx].machine;
+  const double het_scale = st.config.straggler.scale_for(idx);
+  const faults::FaultState* fs = st.config.fault_tolerance.faults;
+  const auto& ft = st.config.fault_tolerance;
 
-  for (int iter = 0; iter < st.config.iterations; ++iter) {
-    const bool measured = lead && iter >= st.config.warmup_iterations;
+  for (int iter = at.start_iter; iter < at.end_iter; ++iter) {
+    // A revoked machine's process dies between iterations: it stops
+    // arriving at barriers and the survivors' watchdog does the detection.
+    if (fs != nullptr && fs->crashed(machine, st.sim.now())) {
+      at.note_death(st.sim.now());
+      at.worker_exited();
+      co_return;
+    }
+
+    const bool rework = iter < at.rework_limit;
+    const bool measured =
+        lead && !rework && iter >= st.config.warmup_iterations;
     const double iter_start = st.sim.now();
+    const double compute_scale =
+        het_scale *
+        (fs != nullptr ? fs->compute_scale(static_cast<int>(idx), st.sim.now())
+                       : 1.0);
 
     if (!st.config.synthetic_data) {
       const double wait_start = st.sim.now();
-      co_await st.device_boxes[idx]->get();
+      co_await at.device_boxes[idx]->get();
       if (measured) st.sum_data_wait += st.sim.now() - wait_start;
       if (lead) trace_span(st, "data_wait", "pipeline", wait_start, 0);
     }
 
-    co_await st.start_barrier.arrive_and_wait();
+    if (co_await at.start_barrier.arrive_and_wait() !=
+        sim::AbortableBarrier::Result::kOk) {
+      at.mark_fault(st.sim.now());
+      at.worker_exited();
+      co_return;
+    }
 
     // Gradient synchronization happens this iteration unless local SGD is
     // deferring it; gradients may be compressed before exchange.
     const bool syncs = st.config.comm_reduction.syncs_on(iter);
     const double bytes_factor = st.config.comm_reduction.bytes_factor();
 
+    bool wrote_checkpoint = false;
     if (lead) {
       const double compute_start = st.sim.now();
       co_await st.sim.delay(st.fwd_time * compute_scale);
@@ -186,7 +304,7 @@ sim::Task<void> worker(RunState& st, std::size_t idx) {
       const double backward_start = st.sim.now();
 
       const double overlap = st.config.collective.overlap_fraction;
-      const bool exchanges = st.gpus.size() > 1 && syncs;
+      const bool exchanges = at.gpus.size() > 1 && syncs;
       const bool has_async = exchanges && overlap > 0.0;
       auto latch = std::make_shared<sim::Latch>(st.sim,
                                                 has_async ? st.num_buckets : 0);
@@ -200,11 +318,11 @@ sim::Task<void> worker(RunState& st, std::size_t idx) {
           // comm stream, contending with everything else.
           double wire_bytes = st.flush_bytes[s] * bytes_factor;
           double sync_cost =
-              (1.0 - overlap) * st.estimate_collective_seconds(wire_bytes);
+              (1.0 - overlap) * at.estimate_collective_seconds(wire_bytes);
           co_await st.sim.delay(st.config.collective.launch_blocking_latency +
                                 sync_cost);
           if (has_async)
-            st.sim.spawn(run_one_allreduce(st, overlap * wire_bytes, latch));
+            st.sim.spawn(run_one_allreduce(st, at, overlap * wire_bytes, latch));
         }
       }
       const double backward_end = st.sim.now();
@@ -219,6 +337,16 @@ sim::Task<void> worker(RunState& st, std::size_t idx) {
         st.sum_comm_tail += tail;
         st.sum_compute += (backward_end - compute_start) + st.opt_time;
       }
+      // Periodic checkpoint: the lead pays the write stall before the end
+      // barrier (so the whole group paces on it); the checkpoint only
+      // becomes durable once this iteration commits.
+      if (ft.enabled() &&
+          st.sim.now() - st.last_ckpt_time >= ft.checkpoint_interval_s) {
+        const double ckpt_start = st.sim.now();
+        co_await st.sim.delay(ft.checkpoint_write_s);
+        trace_span(st, "checkpoint", "pipeline", ckpt_start, 0);
+        wrote_checkpoint = true;
+      }
     } else {
       // Followers run the same compute schedule (possibly slower when
       // straggling); the end barrier paces everyone on the slowest party.
@@ -226,9 +354,125 @@ sim::Task<void> worker(RunState& st, std::size_t idx) {
                             compute_scale);
     }
 
-    co_await st.end_barrier.arrive_and_wait();
-    if (measured) st.iter_times.add(st.sim.now() - iter_start);
+    if (co_await at.end_barrier.arrive_and_wait() !=
+        sim::AbortableBarrier::Result::kOk) {
+      at.mark_fault(st.sim.now());
+      at.worker_exited();
+      co_return;
+    }
+
+    // Iteration committed.
+    at.completed_through = std::max(at.completed_through, iter + 1);
+    at.last_commit_time = st.sim.now();
+    if (lead) {
+      st.high_water = std::max(st.high_water, iter + 1);
+      if (wrote_checkpoint) {
+        st.last_ckpt_time = st.sim.now();
+        st.last_ckpt_iter = iter + 1;
+        ++st.checkpoints_written;
+        st.checkpoint_seconds += ft.checkpoint_write_s;
+      }
+      if (rework) {
+        st.fault_rework_seconds += st.sim.now() - iter_start;
+      } else if (iter >= st.config.warmup_iterations) {
+        st.iter_times.add(st.sim.now() - iter_start);
+      }
+    }
   }
+  at.worker_exited();
+}
+
+// Spawns the pipeline + worker group for one attempt. Spawn order matters
+// for deterministic event sequencing and mirrors the original layout:
+// loaders and H2D stages first, then workers.
+void launch_attempt(RunState& st, Attempt& at) {
+  if (!st.config.synthetic_data) {
+    at.produced.assign(at.gpus.size(), 0);
+    for (std::size_t i = 0; i < at.gpus.size(); ++i) {
+      at.boxes.push_back(std::make_unique<sim::Mailbox<int>>(
+          st.sim, static_cast<std::size_t>(st.config.prefetch_depth)));
+      at.device_boxes.push_back(std::make_unique<sim::Mailbox<int>>(st.sim, 2));
+      for (int w = 0; w < st.config.loader_workers_per_gpu; ++w)
+        st.sim.spawn(loader(st, at, i));
+      st.sim.spawn(h2d_stage(st, at, i));
+    }
+  }
+  for (std::size_t i = 0; i < at.gpus.size(); ++i)
+    st.sim.spawn(worker(st, at, i));
+}
+
+// Supervises the run: executes attempts until the iteration window is
+// complete, applying the configured recovery policy after every fault.
+sim::Task<void> orchestrate(RunState& st) {
+  const auto& ft = st.config.fault_tolerance;
+  std::vector<hw::GpuRef> participants = st.all_gpus;
+  int next_start = 0;
+  int transient_retries = 0;
+
+  while (true) {
+    st.attempts.push_back(std::make_unique<Attempt>(st, participants, next_start,
+                                                    st.config.iterations));
+    Attempt& at = *st.attempts.back();
+    launch_attempt(st, at);
+    co_await at.done.wait();
+    st.gpus_at_end = static_cast<int>(at.gpus.size());
+    if (!at.aborted) break;
+
+    // --- Fault detected: decide how to continue. ---
+    const faults::FaultState& fs = *ft.faults;
+    const double detect = at.detected_time.value_or(at.last_death_time);
+    std::vector<int> dead;
+    {
+      std::set<int> machines;
+      for (const auto& g : at.gpus) machines.insert(g.machine);
+      for (int m : machines)
+        if (fs.crashed(m, detect)) dead.push_back(m);
+    }
+
+    RecoveryRecord rec;
+    rec.time_s = detect;
+    rec.at_iteration = at.completed_through;
+    rec.policy = ft.policy;
+    rec.workers_before = static_cast<int>(at.gpus.size());
+
+    if (dead.empty()) {
+      // Watchdog fired with every machine healthy: the timeout is shorter
+      // than a legitimate iteration (e.g. an extreme straggler window).
+      // Retry from the last commit, but refuse to spin forever.
+      if (++transient_retries > 3)
+        throw std::runtime_error(
+            "Trainer: barrier watchdog fired repeatedly with no crashed "
+            "machine; barrier_timeout_s is too small for this workload");
+      next_start = at.completed_through;
+      rec.workers_after = rec.workers_before;
+    } else if (ft.policy == RecoveryPolicy::kCheckpointRestart) {
+      // Wait out the reprovision of every lost machine, then replay from
+      // the last durable checkpoint with the full participant set.
+      double resume = detect;
+      for (int m : dead) resume = std::max(resume, fs.repair_time(m, detect));
+      if (resume > st.sim.now()) co_await st.sim.delay(resume - st.sim.now());
+      next_start = st.last_ckpt_iter;
+      rec.rework_iterations = at.completed_through - st.last_ckpt_iter;
+      rec.workers_after = rec.workers_before;
+    } else {
+      // kShrink: drop the dead machines' workers and continue from the last
+      // committed iteration on the rebuilt (smaller) ring.
+      std::vector<hw::GpuRef> survivors;
+      for (const auto& g : participants)
+        if (std::find(dead.begin(), dead.end(), g.machine) == dead.end())
+          survivors.push_back(g);
+      if (survivors.empty())
+        throw std::runtime_error("Trainer: every worker was lost to faults");
+      participants = std::move(survivors);
+      next_start = at.completed_through;
+      rec.workers_after = static_cast<int>(participants.size());
+    }
+
+    rec.wait_seconds = st.sim.now() - at.last_commit_time;
+    st.fault_wait_seconds += rec.wait_seconds;
+    st.recoveries.push_back(rec);
+  }
+  st.finished = true;
 }
 
 }  // namespace
@@ -264,31 +508,12 @@ TrainResult Trainer::run() {
   }
 
   RunState st(sim_, net_, cluster_, config_, std::move(gpus));
+  st.trace_pid = st.all_gpus.front().machine;
 
   if (config_.trace != nullptr) {
-    int pid = st.gpus.front().machine;
-    config_.trace->name_track(pid, 0, "lead GPU worker");
-    config_.trace->name_track(pid, 50, "H2D stage (gpu 0)");
-    config_.trace->name_track(pid, 100, "comm stream");
-  }
-
-  // Does the participant set span machines? That decides the per-round
-  // collective launch latency.
-  std::set<int> machines_used;
-  for (const auto& g : st.gpus) machines_used.insert(g.machine);
-  st.round_latency = machines_used.size() > 1
-                         ? config_.collective.inter_round_latency
-                         : config_.collective.intra_round_latency;
-
-  // One-round ring analysis: every hop moves one chunk concurrently; a
-  // link's bandwidth divides across all its traversals in the round, and
-  // the slowest hop paces it.
-  if (st.gpus.size() > 1) {
-    for (std::size_t i = 0; i < st.gpus.size(); ++i) {
-      auto path = cluster_.path(st.gpus[i], st.gpus[(i + 1) % st.gpus.size()]);
-      for (const hw::Link* l : path) ++st.ring_traversals[l];
-      st.ring_hop_paths.push_back(std::move(path));
-    }
+    config_.trace->name_track(st.trace_pid, 0, "lead GPU worker");
+    config_.trace->name_track(st.trace_pid, 50, "H2D stage (gpu 0)");
+    config_.trace->name_track(st.trace_pid, 100, "comm stream");
   }
 
   st.steps = model_.backward_steps();
@@ -317,27 +542,20 @@ TrainResult Trainer::run() {
   if (config_.cold_cache) {
     st.miss_fraction = 1.0;
   } else {
-    const hw::Machine& m0 = cluster_.machine(st.gpus.front().machine);
+    const hw::Machine& m0 = cluster_.machine(st.all_gpus.front().machine);
     double cache_bytes = m0.config().dram_bytes * 0.85;
     st.miss_fraction =
         1.0 - std::min(1.0, cache_bytes / std::max(1.0, dataset_.total_bytes));
   }
 
-  if (!config_.synthetic_data) {
-    st.produced.assign(st.gpus.size(), 0);
-    for (std::size_t i = 0; i < st.gpus.size(); ++i) {
-      st.boxes.push_back(std::make_unique<sim::Mailbox<int>>(
-          sim_, static_cast<std::size_t>(config_.prefetch_depth)));
-      st.device_boxes.push_back(std::make_unique<sim::Mailbox<int>>(sim_, 2));
-      for (int w = 0; w < config_.loader_workers_per_gpu; ++w)
-        sim_.spawn(loader(st, i));
-      sim_.spawn(h2d_stage(st, i));
-    }
-  }
-
-  for (std::size_t i = 0; i < st.gpus.size(); ++i) sim_.spawn(worker(st, i));
+  const bool fault_mode = config_.fault_tolerance.enabled();
+  sim_.spawn(orchestrate(st));
   sim_.run();
-  if (!sim_.all_processes_done())
+  // A healthy run must drain every coroutine. A faulted run legitimately
+  // leaves parked frames behind (dead workers, stranded loaders of aborted
+  // attempts) — there the orchestrator reaching the end is the liveness
+  // criterion.
+  if (fault_mode ? !st.finished : !sim_.all_processes_done())
     throw std::logic_error("Trainer: simulation deadlocked");
 
   TrainResult result;
@@ -350,7 +568,12 @@ TrainResult Trainer::run() {
   result.h2d_time = st.sum_h2d / n;
   result.compute_time = st.sum_compute / n;
   result.comm_tail = st.sum_comm_tail / n;
-  result.gpus_used = static_cast<int>(st.gpus.size());
+  result.gpus_used = static_cast<int>(st.all_gpus.size());
+  result.gpus_at_end = fault_mode ? st.gpus_at_end : result.gpus_used;
+  result.fault_stall = st.fault_wait_seconds + st.fault_rework_seconds;
+  result.checkpoint_seconds = st.checkpoint_seconds;
+  result.checkpoints_written = st.checkpoints_written;
+  result.recoveries = std::move(st.recoveries);
   return result;
 }
 

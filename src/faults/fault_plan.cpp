@@ -1,0 +1,243 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace stash::faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kGpuStraggler:
+      return "straggler";
+    case FaultKind::kLinkDegrade:
+      return "link";
+    case FaultKind::kSlowDisk:
+      return "disk";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
+void FaultPlan::validate() const {
+  for (const FaultEvent& e : events) {
+    if (!(e.start_s >= 0.0) || !std::isfinite(e.start_s))
+      throw std::invalid_argument("FaultPlan: event start must be finite and >= 0");
+    switch (e.kind) {
+      case FaultKind::kGpuStraggler:
+        if (e.worker < 0)
+          throw std::invalid_argument("FaultPlan: straggler needs a worker index");
+        if (!(e.duration_s > 0.0))
+          throw std::invalid_argument("FaultPlan: straggler window must be positive");
+        if (!(e.factor > 1.0) || !std::isfinite(e.factor))
+          throw std::invalid_argument("FaultPlan: straggler factor must be > 1");
+        break;
+      case FaultKind::kLinkDegrade:
+      case FaultKind::kSlowDisk:
+        if (e.kind == FaultKind::kSlowDisk && e.machine < 0)
+          throw std::invalid_argument("FaultPlan: disk fault needs a machine index");
+        if (!(e.duration_s > 0.0))
+          throw std::invalid_argument("FaultPlan: degrade window must be positive");
+        if (e.factor < 0.0 || e.factor > 1.0 || !std::isfinite(e.factor))
+          throw std::invalid_argument(
+              "FaultPlan: bandwidth factor must be in [0, 1]");
+        break;
+      case FaultKind::kCrash:
+        if (e.machine < 0)
+          throw std::invalid_argument("FaultPlan: crash needs a machine index");
+        if (!(e.reprovision_s >= 0.0) || !std::isfinite(e.reprovision_s))
+          throw std::invalid_argument("FaultPlan: reprovision must be >= 0");
+        break;
+    }
+  }
+}
+
+namespace {
+
+// Prints a double without trailing zeros ("2", "2.5", "0.25").
+std::string num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+double parse_num(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("FaultPlan: bad number for ") + what +
+                                ": '" + s + "'");
+  }
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t from = 0;
+  while (from <= s.size()) {
+    std::size_t at = s.find(sep, from);
+    if (at == std::string::npos) {
+      out.push_back(s.substr(from));
+      break;
+    }
+    out.push_back(s.substr(from, at - from));
+    from = at + 1;
+  }
+  return out;
+}
+
+FaultEvent parse_event(const std::string& text) {
+  auto fields = split(text, ':');
+  auto head = split(fields[0], '@');
+  if (head.size() != 2)
+    throw std::invalid_argument("FaultPlan: event needs kind@time: '" + text + "'");
+
+  FaultEvent e;
+  const std::string& kind = head[0];
+  if (kind == "straggler")
+    e.kind = FaultKind::kGpuStraggler;
+  else if (kind == "link")
+    e.kind = FaultKind::kLinkDegrade;
+  else if (kind == "disk")
+    e.kind = FaultKind::kSlowDisk;
+  else if (kind == "crash")
+    e.kind = FaultKind::kCrash;
+  else
+    throw std::invalid_argument("FaultPlan: unknown fault kind '" + kind + "'");
+
+  auto window = split(head[1], '+');
+  e.start_s = parse_num(window[0], "start");
+  if (window.size() == 2) e.duration_s = parse_num(window[1], "duration");
+
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    if (f.empty()) throw std::invalid_argument("FaultPlan: empty field in '" + text + "'");
+    if (f == "fabric")
+      e.machine = -1;
+    else if (f[0] == 'm')
+      e.machine = static_cast<int>(parse_num(f.substr(1), "machine"));
+    else if (f[0] == 'w')
+      e.worker = static_cast<int>(parse_num(f.substr(1), "worker"));
+    else if (f[0] == 'x')
+      e.factor = parse_num(f.substr(1), "factor");
+    else if (f[0] == 'r')
+      e.reprovision_s = parse_num(f.substr(1), "reprovision");
+    else
+      throw std::invalid_argument("FaultPlan: unknown field '" + f + "'");
+  }
+  return e;
+}
+
+}  // namespace
+
+std::string FaultPlan::to_spec() const {
+  std::string out;
+  for (const FaultEvent& e : events) {
+    if (!out.empty()) out += ';';
+    out += to_string(e.kind);
+    out += '@' + num(e.start_s);
+    if (e.kind != FaultKind::kCrash) out += '+' + num(e.duration_s);
+    if (e.kind == FaultKind::kGpuStraggler)
+      out += ":w" + std::to_string(e.worker);
+    else
+      out += e.machine < 0 ? std::string(":fabric")
+                           : ":m" + std::to_string(e.machine);
+    if (e.kind == FaultKind::kCrash)
+      out += ":r" + num(e.reprovision_s);
+    else
+      out += ":x" + num(e.factor);
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& part : split(spec, ';')) {
+    if (part.empty()) continue;
+    plan.events.push_back(parse_event(part));
+  }
+  plan.validate();
+  return plan;
+}
+
+FaultPlan make_revocation_plan(double horizon_s, int machines,
+                               double interruptions_per_hour,
+                               double reprovision_s, util::Rng& rng) {
+  if (horizon_s < 0.0) throw std::invalid_argument("revocation plan: negative horizon");
+  if (machines < 1) throw std::invalid_argument("revocation plan: machines < 1");
+  if (interruptions_per_hour < 0.0)
+    throw std::invalid_argument("revocation plan: negative interruption rate");
+
+  FaultPlan plan;
+  if (interruptions_per_hour <= 0.0) return plan;
+  double mean_gap = 3600.0 / interruptions_per_hour;
+  double t = 0.0;
+  int victim = 0;
+  while (true) {
+    t += rng.exponential(mean_gap);
+    if (t >= horizon_s) break;
+    FaultEvent e;
+    e.kind = FaultKind::kCrash;
+    e.start_s = t;
+    e.machine = victim;
+    e.reprovision_s = reprovision_s;
+    plan.events.push_back(e);
+    victim = (victim + 1) % machines;
+    // The victim is down until its replacement arrives; the next draw starts
+    // from the recovery point so back-to-back revocations stay physical.
+    t += reprovision_s;
+  }
+  return plan;
+}
+
+FaultState::FaultState(const FaultPlan& plan) {
+  plan.validate();
+  for (const FaultEvent& e : plan.events) {
+    switch (e.kind) {
+      case FaultKind::kGpuStraggler:
+        stragglers_.push_back(Window{e.worker, e.start_s, e.end_s(), e.factor});
+        break;
+      case FaultKind::kCrash:
+        crashes_.push_back(Crash{e.machine, e.start_s, e.start_s + e.reprovision_s});
+        break;
+      default:
+        break;  // capacity faults live in the FaultInjector
+    }
+  }
+  std::sort(crashes_.begin(), crashes_.end(),
+            [](const Crash& a, const Crash& b) { return a.start < b.start; });
+}
+
+double FaultState::compute_scale(int worker, double now) const {
+  double scale = 1.0;
+  for (const Window& w : stragglers_)
+    if (w.target == worker && now >= w.start && now < w.end) scale *= w.factor;
+  return scale;
+}
+
+bool FaultState::crashed(int machine, double now) const {
+  for (const Crash& c : crashes_)
+    if (c.machine == machine && now >= c.start && now < c.repair) return true;
+  return false;
+}
+
+double FaultState::repair_time(int machine, double now) const {
+  double latest = now;
+  for (const Crash& c : crashes_)
+    if (c.machine == machine && now >= c.start && now < c.repair)
+      latest = std::max(latest, c.repair);
+  return latest;
+}
+
+double FaultState::next_crash_after(double now) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Crash& c : crashes_)
+    if (c.start > now) best = std::min(best, c.start);
+  return best;
+}
+
+}  // namespace stash::faults

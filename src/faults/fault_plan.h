@@ -1,0 +1,121 @@
+// Deterministic fault schedules for resilience simulation.
+//
+// A FaultPlan is a serializable list of fault events — GPU straggler
+// windows, link degradation/flap windows, slow-disk windows, and worker
+// crashes with a reprovision delay. Plans are plain data: they can be
+// written by hand, parsed from a compact spec string (the CLI's
+// --faults=...), or sampled from a Poisson revocation process with an
+// explicit seed. The same plan injected into the same simulation always
+// produces bit-identical results.
+//
+// Two consumers exist:
+//   * FaultInjector (injector.h) drives capacity-changing events through
+//     the Simulator queue and the FlowNetwork;
+//   * FaultState is a pure time-indexed view of the plan that the Trainer
+//     queries per iteration (compute slowdowns, crash/repair status) — no
+//     mutation, so queries never perturb event ordering.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace stash::faults {
+
+enum class FaultKind {
+  kGpuStraggler,  // worker's compute slowed by `factor` over a window
+  kLinkDegrade,   // machine NIC (or fabric) bandwidth scaled by `factor`
+  kSlowDisk,      // machine SSD read bandwidth scaled by `factor`
+  kCrash,         // machine revoked; replacement after `reprovision_s`
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kGpuStraggler;
+  double start_s = 0.0;
+  double duration_s = 0.0;  // window length; unused for kCrash
+  // Target: machine index for kLinkDegrade/kSlowDisk/kCrash (-1 selects the
+  // inter-machine fabric for kLinkDegrade); global worker index for
+  // kGpuStraggler.
+  int machine = -1;
+  int worker = -1;
+  // kGpuStraggler: compute slowdown (> 1, e.g. 2.0 = half speed).
+  // kLinkDegrade / kSlowDisk: bandwidth multiplier in [0, 1]; 0 models a
+  // full flap (clamped to a ~zero floor, since links need positive capacity).
+  double factor = 1.0;
+  // kCrash: delay until a replacement machine is usable again.
+  double reprovision_s = 60.0;
+
+  double end_s() const { return start_s + duration_s; }
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  // Throws std::invalid_argument on malformed events (negative times,
+  // straggler factor <= 1, bandwidth factor outside [0, 1], missing target).
+  void validate() const;
+
+  // Compact spec round-trip, e.g.
+  //   "straggler@2+5:w1:x2.5;link@4+3:m0:x0.1;disk@1+2:m0:x0.25;crash@6:m1:r30"
+  // Times are seconds ("start" or "start+duration"); targets are wN (worker),
+  // mN (machine) or "fabric"; xF is the factor, rS the reprovision delay.
+  std::string to_spec() const;
+  static FaultPlan parse(const std::string& spec);
+};
+
+// Samples machine revocations as a Poisson process over `horizon_s` — the
+// event-driven counterpart of cloud::SpotConfig's closed-form model. Each
+// interruption revokes one machine (round-robin over `machines`) and brings
+// the replacement up after `reprovision_s`. Deterministic given `rng`.
+FaultPlan make_revocation_plan(double horizon_s, int machines,
+                               double interruptions_per_hour,
+                               double reprovision_s, util::Rng& rng);
+
+// Read-only time-indexed view of a plan for the Trainer: "is machine m dead
+// at time t", "how slow is worker w's compute at time t". Values are pure
+// functions of (plan, t), so the Trainer can sample them at any event time
+// without registering callbacks.
+class FaultState {
+ public:
+  FaultState() = default;
+  explicit FaultState(const FaultPlan& plan);
+
+  // Product of all straggler factors whose window covers `now` for this
+  // worker (1.0 when healthy).
+  double compute_scale(int worker, double now) const;
+
+  // True while a crash of `machine` is in effect (revoked, replacement not
+  // yet up) at `now`.
+  bool crashed(int machine, double now) const;
+
+  // Absolute time the replacement for the crash active at `now` becomes
+  // usable; `now` itself when the machine is healthy.
+  double repair_time(int machine, double now) const;
+
+  // Earliest crash start strictly after `now` (+inf if none) — lets
+  // replay drivers size their horizons.
+  double next_crash_after(double now) const;
+
+  bool has_crashes() const { return !crashes_.empty(); }
+
+ private:
+  struct Window {
+    int target;
+    double start, end;
+    double factor;
+  };
+  struct Crash {
+    int machine;
+    double start, repair;
+  };
+  std::vector<Window> stragglers_;
+  std::vector<Crash> crashes_;
+};
+
+}  // namespace stash::faults

@@ -1,0 +1,94 @@
+#include "faults/injector.h"
+
+#include <algorithm>
+
+namespace stash::faults {
+
+namespace {
+// Links need positive capacity; a "zeroed" flap parks flows at a rate that
+// moves no meaningful data over any simulated window.
+constexpr double kFlapFloorBytesPerS = 1e-3;
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& sim, hw::FlowNetwork& net,
+                             hw::Cluster& cluster, const FaultPlan& plan)
+    : sim_(sim), net_(net), cluster_(cluster), plan_(plan), state_(plan) {}
+
+FaultInjector::~FaultInjector() { disarm(); }
+
+std::vector<hw::Link*> FaultInjector::targets_for(const FaultEvent& e) const {
+  std::vector<hw::Link*> out;
+  if (e.kind == FaultKind::kLinkDegrade) {
+    if (e.machine < 0) {
+      if (cluster_.fabric() != nullptr) out.push_back(cluster_.fabric());
+    } else if (e.machine < static_cast<int>(cluster_.num_machines())) {
+      const hw::Machine& m = cluster_.machine(e.machine);
+      if (m.nic_tx() != nullptr) out.push_back(m.nic_tx());
+      if (m.nic_rx() != nullptr) out.push_back(m.nic_rx());
+    }
+  } else if (e.kind == FaultKind::kSlowDisk) {
+    if (e.machine >= 0 && e.machine < static_cast<int>(cluster_.num_machines()))
+      out.push_back(cluster_.machine(e.machine).storage().link());
+  }
+  return out;
+}
+
+void FaultInjector::set_effective(hw::Link* link) {
+  const LinkShare& s = shares_.at(link);
+  net_.update_capacity(link, std::max(kFlapFloorBytesPerS, s.base * s.factor));
+}
+
+void FaultInjector::apply(hw::Link* link, double factor) {
+  shares_[link].factor *= std::max(factor, 0.0);
+  set_effective(link);
+}
+
+void FaultInjector::restore(hw::Link* link, double factor) {
+  auto it = shares_.find(link);
+  if (it == shares_.end()) return;
+  double f = std::max(factor, 0.0);
+  if (f > 0.0)
+    it->second.factor /= f;
+  else
+    it->second.factor = 1.0;  // flap windows never nest in practice
+  // Guard drift: a link with no remaining windows is exactly at base.
+  if (it->second.factor > 0.999999 && it->second.factor < 1.000001)
+    it->second.factor = 1.0;
+  set_effective(link);
+}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  plan_.validate();
+  armed_ = true;
+  const double now = sim_.now();
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind != FaultKind::kLinkDegrade && e.kind != FaultKind::kSlowDisk)
+      continue;  // stragglers/crashes are queried from FaultState
+    if (e.start_s < now) continue;
+    std::vector<hw::Link*> links = targets_for(e);
+    if (links.empty()) continue;
+    for (hw::Link* l : links)
+      if (!shares_.contains(l)) shares_.emplace(l, LinkShare{l->capacity()});
+    double factor = e.factor;
+    scheduled_.push_back(sim_.schedule_at(e.start_s, [this, links, factor] {
+      for (hw::Link* l : links) apply(l, factor);
+    }));
+    scheduled_.push_back(sim_.schedule_at(e.end_s(), [this, links, factor] {
+      for (hw::Link* l : links) restore(l, factor);
+    }));
+  }
+}
+
+void FaultInjector::disarm() {
+  if (!armed_) return;
+  for (sim::EventId id : scheduled_) sim_.cancel(id);
+  scheduled_.clear();
+  for (auto& [link, share] : shares_) {
+    share.factor = 1.0;
+    net_.update_capacity(link, share.base);
+  }
+  armed_ = false;
+}
+
+}  // namespace stash::faults

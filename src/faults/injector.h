@@ -1,0 +1,71 @@
+// Drives a FaultPlan's capacity faults through the Simulator event queue.
+//
+// arm() schedules one start and one end event per degradation window. At
+// the start of a window the target links' capacities are rescaled through
+// FlowNetwork::update_capacity (settling in-flight flows at their old
+// rates); at the end the original share is restored. Overlapping windows on
+// the same link compose multiplicatively. A full flap (factor 0) clamps to
+// a ~zero floor because links must keep positive capacity; flows across a
+// flapped link effectively freeze until the window closes.
+//
+// disarm() cancels every not-yet-fired event and restores all base
+// capacities, so an injector can be torn down mid-plan (e.g. a run_until
+// horizon ends inside a window) without leaking degraded links. The
+// destructor disarms automatically.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "hw/flow_network.h"
+#include "hw/topology.h"
+#include "sim/simulator.h"
+
+namespace stash::faults {
+
+class FaultInjector {
+ public:
+  // Targets events at `cluster`'s links. Events naming machines outside the
+  // cluster are ignored (a plan written for a 2-machine spec degrades
+  // gracefully on the profiler's 1-machine steps).
+  FaultInjector(sim::Simulator& sim, hw::FlowNetwork& net, hw::Cluster& cluster,
+                const FaultPlan& plan);
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedules the plan's capacity events; idempotent. Events whose start is
+  // already in the past (relative to sim.now()) are dropped.
+  void arm();
+  // Cancels pending events and restores every touched link's base capacity.
+  void disarm();
+
+  const FaultState& state() const { return state_; }
+  bool armed() const { return armed_; }
+  // Events scheduled by arm() and not yet released by disarm() (fired
+  // events keep their slots until disarm clears the list).
+  std::size_t scheduled_events() const { return scheduled_.size(); }
+
+ private:
+  void apply(hw::Link* link, double factor);   // enter a window
+  void restore(hw::Link* link, double factor); // leave a window
+  void set_effective(hw::Link* link);
+  std::vector<hw::Link*> targets_for(const FaultEvent& e) const;
+
+  sim::Simulator& sim_;
+  hw::FlowNetwork& net_;
+  hw::Cluster& cluster_;
+  FaultPlan plan_;
+  FaultState state_;
+
+  struct LinkShare {
+    double base;           // capacity at arm() time
+    double factor = 1.0;   // product of active window factors
+  };
+  std::unordered_map<hw::Link*, LinkShare> shares_;
+  std::vector<sim::EventId> scheduled_;
+  bool armed_ = false;
+};
+
+}  // namespace stash::faults

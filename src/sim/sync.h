@@ -157,6 +157,105 @@ class Barrier {
   std::vector<std::coroutine_handle<>> waiters_;
 };
 
+// Barrier variant for fault-tolerant synchronization: arrivals can time out
+// (the NCCL-watchdog analogue — a crashed participant never arrives, so the
+// survivors unblock after `timeout_s` and unwind), and the barrier can be
+// aborted explicitly. Once aborted or timed out the barrier is dead: every
+// current and future arrival resumes immediately with a non-kOk result, so
+// a worker group can tear itself down without deadlocking.
+//
+// The timeout clock starts when a generation's first participant suspends
+// and is cancelled when the generation completes, so healthy iterations pay
+// no timeout overhead and schedule no stray events.
+class AbortableBarrier {
+ public:
+  enum class Result { kOk, kAborted, kTimeout };
+
+  // timeout_s == 0 disables the watchdog (waits are unbounded).
+  AbortableBarrier(Simulator& sim, std::size_t parties, double timeout_s = 0.0)
+      : sim_(sim), parties_(parties), timeout_s_(timeout_s) {
+    if (parties_ == 0) throw std::invalid_argument("AbortableBarrier needs >= 1 party");
+    if (timeout_s_ < 0.0)
+      throw std::invalid_argument("AbortableBarrier timeout must be >= 0");
+  }
+  AbortableBarrier(const AbortableBarrier&) = delete;
+  AbortableBarrier& operator=(const AbortableBarrier&) = delete;
+
+  auto arrive_and_wait() {
+    struct Awaiter {
+      AbortableBarrier& bar;
+      Result result = Result::kOk;
+      bool await_ready() {
+        if (bar.aborted_) {
+          result = bar.timed_out_ ? Result::kTimeout : Result::kAborted;
+          return true;
+        }
+        if (bar.waiters_.size() + 1 == bar.parties_) {
+          bar.release_all(Result::kOk);  // last arriver proceeds immediately
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        if (bar.waiters_.empty() && bar.timeout_s_ > 0.0)
+          bar.timeout_event_ =
+              bar.sim_.schedule(bar.timeout_s_, [&b = bar] { b.on_timeout(); });
+        bar.waiters_.push_back(Waiter{h, &result});
+      }
+      Result await_resume() const noexcept { return result; }
+    };
+    return Awaiter{*this};
+  }
+
+  // Kills the barrier: wakes everyone currently waiting with kAborted and
+  // makes all future arrivals return kAborted immediately. Idempotent.
+  void abort() {
+    if (aborted_) return;
+    aborted_ = true;
+    release_all(Result::kAborted);
+  }
+
+  bool aborted() const { return aborted_; }
+  bool timed_out() const { return timed_out_; }
+  std::size_t parties() const { return parties_; }
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    Result* slot;  // points into the suspended awaiter frame
+  };
+
+  void release_all(Result r) {
+    if (timeout_event_.valid()) {
+      sim_.cancel(timeout_event_);
+      timeout_event_ = EventId{};
+    }
+    ++generation_;
+    for (Waiter& w : waiters_) {
+      *w.slot = r;
+      sim_.schedule(0.0, [h = w.handle] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  void on_timeout() {
+    timeout_event_ = EventId{};
+    timed_out_ = true;
+    aborted_ = true;
+    release_all(Result::kTimeout);
+  }
+
+  Simulator& sim_;
+  std::size_t parties_;
+  double timeout_s_;
+  bool aborted_ = false;
+  bool timed_out_ = false;
+  std::uint64_t generation_ = 0;
+  std::vector<Waiter> waiters_;
+  EventId timeout_event_{};
+};
+
 // Runs all tasks concurrently as root processes and completes when every
 // one of them has finished.
 inline Task<void> join_all(Simulator& sim, std::vector<Task<void>> tasks) {

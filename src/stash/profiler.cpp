@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "cloud/builder.h"
+#include "faults/injector.h"
 #include "hw/flow_network.h"
 #include "sim/simulator.h"
 
@@ -38,9 +41,28 @@ std::optional<ClusterSpec> network_split(const ClusterSpec& spec) {
   return split;
 }
 
+void ProfileOptions::validate() const {
+  if (iterations < 1)
+    throw std::invalid_argument("ProfileOptions: iterations must be >= 1");
+  if (warmup_iterations < 0)
+    throw std::invalid_argument("ProfileOptions: warmup_iterations must be >= 0");
+  if (warmup_iterations >= iterations)
+    throw std::invalid_argument(
+        "ProfileOptions: warmup_iterations must be < iterations (no measured "
+        "iterations would remain)");
+  if (loader_workers_per_gpu < 1)
+    throw std::invalid_argument("ProfileOptions: loader_workers_per_gpu must be >= 1");
+  if (prefetch_depth < 1)
+    throw std::invalid_argument("ProfileOptions: prefetch_depth must be >= 1");
+  if (!std::isfinite(bucket_bytes))
+    throw std::invalid_argument("ProfileOptions: bucket_bytes must be finite");
+}
+
 StashProfiler::StashProfiler(dnn::Model model, dnn::Dataset dataset,
                              ProfileOptions options)
-    : model_(std::move(model)), dataset_(std::move(dataset)), options_(options) {}
+    : model_(std::move(model)), dataset_(std::move(dataset)), options_(options) {
+  options_.validate();
+}
 
 ddl::TrainConfig StashProfiler::step_config(Step step, int per_gpu_batch,
                                             int gpus_in_spec) const {
@@ -75,7 +97,10 @@ ddl::TrainConfig StashProfiler::step_config(Step step, int per_gpu_batch,
 }
 
 ddl::TrainResult StashProfiler::run_step(const ClusterSpec& spec, Step step,
-                                         int per_gpu_batch) const {
+                                         int per_gpu_batch,
+                                         const faults::FaultPlan* plan,
+                                         const FaultProfileOptions& fopt) const {
+  options_.validate();
   sim::Simulator sim;
   hw::FlowNetwork net(sim);
   hw::Cluster cluster(
@@ -94,28 +119,45 @@ ddl::TrainResult StashProfiler::run_step(const ClusterSpec& spec, Step step,
     }
   }
 
+  // Inject the plan, if any: capacity faults through the event queue, crash
+  // and straggler state through the trainer's fault-tolerance hooks. Events
+  // aimed at machines this step does not build (e.g. a machine-1 crash on
+  // the single-machine steps) fall away harmlessly.
+  std::optional<faults::FaultInjector> injector;
+  if (plan != nullptr) {
+    injector.emplace(sim, net, cluster, *plan);
+    injector->arm();
+    cfg.fault_tolerance = fopt.tolerance(&injector->state());
+  }
+
   ddl::Trainer trainer(sim, net, cluster, model_, dataset_, cfg);
   return trainer.run();
 }
 
-StallReport StashProfiler::profile(const ClusterSpec& spec, int per_gpu_batch) const {
+StallReport StashProfiler::profile_impl(const ClusterSpec& spec, int per_gpu_batch,
+                                        const faults::FaultPlan* plan,
+                                        const FaultProfileOptions& fopt,
+                                        ddl::TrainResult* warm_out) const {
   StallReport report;
   report.config_label = spec.label();
   report.model_name = model_.name();
   report.per_gpu_batch = per_gpu_batch;
   report.gpus = spec.gpus_used();
 
-  report.t1 = run_step(spec, Step::kSingleGpuSynthetic, per_gpu_batch).per_iteration;
-  report.t2 = run_step(spec, Step::kAllGpuSynthetic, per_gpu_batch).per_iteration;
-  report.t3 = run_step(spec, Step::kRealCold, per_gpu_batch).per_iteration;
-  ddl::TrainResult warm = run_step(spec, Step::kRealWarm, per_gpu_batch);
+  report.t1 =
+      run_step(spec, Step::kSingleGpuSynthetic, per_gpu_batch, plan, fopt).per_iteration;
+  report.t2 =
+      run_step(spec, Step::kAllGpuSynthetic, per_gpu_batch, plan, fopt).per_iteration;
+  report.t3 = run_step(spec, Step::kRealCold, per_gpu_batch, plan, fopt).per_iteration;
+  ddl::TrainResult warm = run_step(spec, Step::kRealWarm, per_gpu_batch, plan, fopt);
   report.t4 = warm.per_iteration;
 
   report.t5 = std::nan("");
   if (auto split = network_split(spec)) {
     try {
       report.t5 =
-          run_step(*split, Step::kNetworkSynthetic, per_gpu_batch).per_iteration;
+          run_step(*split, Step::kNetworkSynthetic, per_gpu_batch, plan, fopt)
+              .per_iteration;
       report.has_network_step = true;
     } catch (const ddl::ModelDoesNotFit&) {
       // The split instances can have smaller GPUs than the original (e.g.
@@ -124,8 +166,16 @@ StallReport StashProfiler::profile(const ClusterSpec& spec, int per_gpu_batch) c
     }
   }
 
-  auto pct = [](double num, double den) {
-    return den > 0.0 ? std::max(0.0, num / den * 100.0) : 0.0;
+  // A stall percentage with a ~zero or non-finite denominator (a step whose
+  // measured window collapsed) is meaningless: clamp it to 0 and flag the
+  // report instead of letting -nan% reach a table.
+  auto pct = [&report](double num, double den) {
+    double v = num / den;
+    if (!(den > 1e-12) || !std::isfinite(v)) {
+      report.degenerate_pcts = true;
+      return 0.0;
+    }
+    return std::max(0.0, v * 100.0);
   };
   report.ic_stall_pct = pct(report.t2 - report.t1, report.t1);
   report.nw_stall_pct =
@@ -133,10 +183,40 @@ StallReport StashProfiler::profile(const ClusterSpec& spec, int per_gpu_batch) c
   report.prep_stall_pct = pct(report.t4 - report.t2, report.t4);
   report.fetch_stall_pct = pct(report.t3 - report.t4, report.t3);
 
+  // Fault share of the warm run's total wall time (measured window + fault
+  // losses) — the fifth stall category.
+  if (warm.fault_stall > 0.0)
+    report.fault_stall_pct =
+        pct(warm.fault_stall, warm.window_time + warm.fault_stall);
+
   report.epoch_seconds = warm.epoch_time(dataset_.num_samples, per_gpu_batch);
   report.epoch_cost_usd = cloud::cost_usd(cloud::instance(spec.instance),
                                           report.epoch_seconds, spec.count);
+  if (warm_out != nullptr) *warm_out = std::move(warm);
   return report;
+}
+
+StallReport StashProfiler::profile(const ClusterSpec& spec, int per_gpu_batch) const {
+  return profile_impl(spec, per_gpu_batch, nullptr, {}, nullptr);
+}
+
+FaultProfileReport StashProfiler::profile_under_faults(
+    const ClusterSpec& spec, int per_gpu_batch, const faults::FaultPlan& plan,
+    const FaultProfileOptions& fopt) const {
+  plan.validate();
+  FaultProfileReport out;
+  out.healthy = profile_impl(spec, per_gpu_batch, nullptr, {}, nullptr);
+  ddl::TrainResult warm;
+  out.faulted = profile_impl(spec, per_gpu_batch, &plan, fopt, &warm);
+  out.fault_stall_seconds = warm.fault_stall;
+  out.checkpoint_seconds = warm.checkpoint_seconds;
+  out.checkpoints_written = warm.checkpoints_written;
+  out.gpus_at_end = warm.gpus_at_end;
+  out.recoveries = warm.recoveries;
+  out.epoch_slowdown = out.healthy.epoch_seconds > 0.0
+                           ? out.faulted.epoch_seconds / out.healthy.epoch_seconds
+                           : 1.0;
+  return out;
 }
 
 }  // namespace stash::profiler

@@ -23,11 +23,13 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "ddl/train_config.h"
 #include "ddl/trainer.h"
 #include "dnn/dataset.h"
 #include "dnn/model.h"
+#include "faults/fault_plan.h"
 #include "stash/cluster_spec.h"
 
 namespace stash::profiler {
@@ -55,6 +57,15 @@ struct StallReport {
   double nw_stall_pct = 0.0;
   double prep_stall_pct = 0.0;
   double fetch_stall_pct = 0.0;
+  // Fault stall (fifth category): share of the faulted warm run's wall time
+  // lost to fault detection, reprovision waits, and replayed work. Always 0
+  // on healthy profiles.
+  double fault_stall_pct = 0.0;
+
+  // Set when a stall percentage had a ~zero or non-finite denominator and
+  // was clamped to 0 instead of printing -nan%; such a report's percentages
+  // are not trustworthy.
+  bool degenerate_pcts = false;
 
   // Steady-state (warm-cache) epoch projections for the cost figures.
   double epoch_seconds = 0.0;
@@ -68,6 +79,44 @@ struct ProfileOptions {
   coll::CollectiveConfig collective{};
   int loader_workers_per_gpu = 3;
   int prefetch_depth = 4;
+
+  // Throws std::invalid_argument (with the offending field named) on
+  // nonsense values; called by every profiling entry point so a bad option
+  // fails fast instead of producing silent garbage.
+  void validate() const;
+};
+
+// Fault-conditioned profiling: how one plan is applied to the five steps.
+struct FaultProfileOptions {
+  ddl::RecoveryPolicy policy = ddl::RecoveryPolicy::kCheckpointRestart;
+  double barrier_timeout_s = 30.0;
+  double checkpoint_interval_s = 900.0;
+  double checkpoint_write_s = 20.0;
+
+  ddl::FaultToleranceConfig tolerance(const faults::FaultState* state) const {
+    ddl::FaultToleranceConfig ft;
+    ft.faults = state;
+    ft.policy = policy;
+    ft.barrier_timeout_s = barrier_timeout_s;
+    ft.checkpoint_interval_s = checkpoint_interval_s;
+    ft.checkpoint_write_s = checkpoint_write_s;
+    return ft;
+  }
+};
+
+// Degradation report: the same five-step stall decomposition measured on a
+// healthy cluster and again with a FaultPlan injected into every step.
+struct FaultProfileReport {
+  StallReport healthy;
+  StallReport faulted;
+  // From the faulted warm-data run (the step closest to production).
+  double fault_stall_seconds = 0.0;
+  double checkpoint_seconds = 0.0;
+  int checkpoints_written = 0;
+  int gpus_at_end = 0;
+  std::vector<ddl::RecoveryRecord> recoveries;
+  // faulted steady-epoch time over healthy steady-epoch time (>= 1).
+  double epoch_slowdown = 1.0;
 };
 
 class StashProfiler {
@@ -75,16 +124,31 @@ class StashProfiler {
   StashProfiler(dnn::Model model, dnn::Dataset dataset, ProfileOptions options = {});
 
   // Runs one profiler step on a spec and returns the full train result.
-  ddl::TrainResult run_step(const ClusterSpec& spec, Step step, int per_gpu_batch) const;
+  // With a non-null `plan`, the step runs with the plan's faults injected
+  // and recovery per `fopt`.
+  ddl::TrainResult run_step(const ClusterSpec& spec, Step step, int per_gpu_batch,
+                            const faults::FaultPlan* plan = nullptr,
+                            const FaultProfileOptions& fopt = {}) const;
 
   // Runs the complete five-step methodology.
   StallReport profile(const ClusterSpec& spec, int per_gpu_batch) const;
+
+  // Runs the methodology twice — healthy and with `plan` injected — and
+  // reports the fault-conditioned degradation: healthy vs. faulted T1-T5,
+  // stall percentages, and the recovery log of the faulted warm run.
+  FaultProfileReport profile_under_faults(const ClusterSpec& spec, int per_gpu_batch,
+                                          const faults::FaultPlan& plan,
+                                          const FaultProfileOptions& fopt = {}) const;
 
   const dnn::Model& model() const { return model_; }
   const dnn::Dataset& dataset() const { return dataset_; }
 
  private:
   ddl::TrainConfig step_config(Step step, int per_gpu_batch, int gpus_in_spec) const;
+  StallReport profile_impl(const ClusterSpec& spec, int per_gpu_batch,
+                           const faults::FaultPlan* plan,
+                           const FaultProfileOptions& fopt,
+                           ddl::TrainResult* warm_out) const;
 
   dnn::Model model_;
   dnn::Dataset dataset_;

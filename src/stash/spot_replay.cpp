@@ -1,0 +1,95 @@
+#include "stash/spot_replay.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace stash::profiler {
+
+SpotReplayResult replay_spot_run(const StashProfiler& prof, const ClusterSpec& spec,
+                                 int per_gpu_batch, double work_seconds,
+                                 const cloud::SpotConfig& config,
+                                 std::uint64_t seed) {
+  if (work_seconds < 0.0)
+    throw std::invalid_argument("replay_spot_run: negative work_seconds");
+  config.validate();
+
+  SpotReplayResult out;
+
+  // 1. Healthy warm-data run: the true iteration time on this spec.
+  ddl::TrainResult healthy = prof.run_step(spec, Step::kRealWarm, per_gpu_batch);
+  ++out.trainer_runs;
+  out.healthy_iteration_s = healthy.per_iteration;
+
+  // 2. Calibration: revoke machine 0 mid-window and let the trainer recover
+  // via checkpoint-restart. The recovery record's wait is the measured
+  // fixed cost of one revocation: the partial iteration thrown away, the
+  // watchdog detection gap, and the reprovision wait.
+  const double iter_s = std::max(healthy.per_iteration, 1e-9);
+  FaultProfileOptions fopt;
+  fopt.policy = ddl::RecoveryPolicy::kCheckpointRestart;
+  fopt.barrier_timeout_s = std::max(2.0 * iter_s, 1e-6);
+  fopt.checkpoint_interval_s = config.checkpoint_interval_s;
+  fopt.checkpoint_write_s = config.checkpoint_write_s;
+
+  faults::FaultPlan plan;
+  {
+    faults::FaultEvent crash;
+    crash.kind = faults::FaultKind::kCrash;
+    // Land between two mid-window iterations so both warmup and the tail
+    // survive; the exact phase does not matter for the fixed cost.
+    crash.start_s = iter_s * 2.5;
+    crash.machine = 0;
+    crash.reprovision_s = config.restart_overhead_s;
+    plan.events.push_back(crash);
+  }
+  ddl::TrainResult faulted =
+      prof.run_step(spec, Step::kRealWarm, per_gpu_batch, &plan, fopt);
+  ++out.trainer_runs;
+  if (!faulted.recoveries.empty())
+    out.recovery_fixed_cost_s = faulted.recoveries.front().wait_seconds;
+  else  // crash missed the window (degenerate spec); assume watchdog + restart
+    out.recovery_fixed_cost_s = fopt.barrier_timeout_s + config.restart_overhead_s;
+
+  // 3. Poisson interruption process over the job, using measured constants.
+  util::Rng rng(seed);
+  cloud::SpotOutcome o;
+  double remaining = work_seconds;
+  double since_checkpoint = 0.0;
+  while (remaining > 0.0) {
+    double next_interruption =
+        config.interruptions_per_hour > 0.0
+            ? rng.exponential(3600.0 / config.interruptions_per_hour)
+            : std::numeric_limits<double>::infinity();
+    double until_checkpoint = config.checkpoint_interval_s - since_checkpoint;
+    double step = std::min({remaining, next_interruption, until_checkpoint});
+
+    o.wall_seconds += step;
+    remaining -= step;
+    since_checkpoint += step;
+    if (remaining <= 0.0) break;
+
+    if (step == next_interruption) {
+      ++o.interruptions;
+      // Rework replays at the measured training speed: the work since the
+      // last checkpoint is lost and re-run, plus the measured fixed cost.
+      o.lost_work_seconds += since_checkpoint;
+      remaining += since_checkpoint;
+      o.wall_seconds += out.recovery_fixed_cost_s;
+      since_checkpoint = 0.0;
+    } else if (since_checkpoint >= config.checkpoint_interval_s) {
+      o.wall_seconds += config.checkpoint_write_s;
+      o.lost_work_seconds += config.checkpoint_write_s;
+      since_checkpoint = 0.0;
+    }
+  }
+  o.cost_usd = cloud::cost_usd(cloud::instance(spec.instance), o.wall_seconds,
+                               spec.count) *
+               config.price_factor;
+  out.outcome = o;
+  return out;
+}
+
+}  // namespace stash::profiler

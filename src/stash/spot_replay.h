@@ -1,0 +1,41 @@
+// Event-driven spot-instance outcome estimation.
+//
+// cloud::simulate_spot_run prices revocations with a closed-form rework
+// model (lost work = time since last checkpoint, restarts cost a flat
+// configured overhead). This module replaces those assumptions with
+// measurements taken from the simulator: it runs an actual revocation
+// through ddl::Trainer's crash-recovery machinery — barrier-watchdog
+// detection, reprovision wait, checkpoint replay at simulated training
+// speed — and drives the Poisson interruption process with the measured
+// per-iteration time and per-revocation recovery cost. The outer loop stays
+// analytic (a multi-hour job cannot be replayed iteration-by-iteration),
+// but every constant it uses is observed, not assumed.
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/spot.h"
+#include "stash/cluster_spec.h"
+#include "stash/profiler.h"
+
+namespace stash::profiler {
+
+struct SpotReplayResult {
+  cloud::SpotOutcome outcome;
+  // Measured warm-data per-iteration time on the healthy cluster.
+  double healthy_iteration_s = 0.0;
+  // Measured fixed cost of one revocation (watchdog detection gap +
+  // reprovision wait), from the calibration run's recovery record.
+  double recovery_fixed_cost_s = 0.0;
+  // Trainer simulations executed (healthy + crash calibration).
+  int trainer_runs = 0;
+};
+
+// Estimates wall time and spot bill for `work_seconds` of useful training
+// on `spec`, revocations arriving per `config`. Deterministic given `seed`.
+SpotReplayResult replay_spot_run(const StashProfiler& prof, const ClusterSpec& spec,
+                                 int per_gpu_batch, double work_seconds,
+                                 const cloud::SpotConfig& config,
+                                 std::uint64_t seed);
+
+}  // namespace stash::profiler

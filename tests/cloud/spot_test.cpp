@@ -99,5 +99,38 @@ TEST_P(RateSweep, WallTimeAtLeastWork) {
 
 INSTANTIATE_TEST_SUITE_P(Rates, RateSweep, ::testing::Values(0.0, 0.1, 0.5, 1.0, 3.0));
 
+TEST(SpotConfig, DefaultsAreValid) { EXPECT_NO_THROW(SpotConfig{}.validate()); }
+
+TEST(SpotConfig, ValidateRejectsNonsense) {
+  util::Rng rng(1);
+  auto run = [&rng](const SpotConfig& cfg) {
+    return simulate_spot_run(100.0, p3_16(), 1, cfg, rng);
+  };
+
+  SpotConfig bad_price;
+  bad_price.price_factor = 0.0;
+  EXPECT_THROW(bad_price.validate(), std::invalid_argument);
+  EXPECT_THROW(run(bad_price), std::invalid_argument);
+  bad_price.price_factor = 1.5;
+  EXPECT_THROW(bad_price.validate(), std::invalid_argument);
+
+  SpotConfig bad_rate;
+  bad_rate.interruptions_per_hour = -1.0;
+  EXPECT_THROW(bad_rate.validate(), std::invalid_argument);
+  EXPECT_THROW(run(bad_rate), std::invalid_argument);
+
+  SpotConfig bad_restart;
+  bad_restart.restart_overhead_s = -5.0;
+  EXPECT_THROW(bad_restart.validate(), std::invalid_argument);
+
+  SpotConfig bad_interval;
+  bad_interval.checkpoint_interval_s = 0.0;
+  EXPECT_THROW(bad_interval.validate(), std::invalid_argument);
+
+  SpotConfig bad_write;
+  bad_write.checkpoint_write_s = -1.0;
+  EXPECT_THROW(bad_write.validate(), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace stash::cloud

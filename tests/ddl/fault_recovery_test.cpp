@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "cloud/builder.h"
+#include "cloud/instance.h"
+#include "ddl/trainer.h"
+#include "dnn/zoo.h"
+#include "faults/fault_plan.h"
+
+namespace stash::ddl {
+namespace {
+
+struct Harness {
+  sim::Simulator sim;
+  hw::FlowNetwork net{sim};
+  std::unique_ptr<hw::Cluster> cluster;
+
+  explicit Harness(const std::string& instance_name, int count = 1) {
+    cluster = std::make_unique<hw::Cluster>(
+        net, sim,
+        cloud::cluster_configs_for(cloud::instance(instance_name), count,
+                                   cloud::CrossbarSlice::kFragmented),
+        cloud::fabric_bandwidth());
+  }
+
+  TrainResult train(const dnn::Model& model, TrainConfig cfg) {
+    Trainer t(sim, net, *cluster, model, dnn::dataset_for(model.name()), cfg);
+    return t.run();
+  }
+};
+
+TrainConfig synthetic_cfg() {
+  TrainConfig cfg;
+  cfg.per_gpu_batch = 32;
+  cfg.iterations = 6;
+  cfg.warmup_iterations = 2;
+  cfg.synthetic_data = true;
+  return cfg;
+}
+
+// Healthy per-iteration time for this model on 2x p3.8xlarge — used to
+// place crashes mid-run regardless of the model's absolute speed.
+double healthy_iteration_s(const dnn::Model& model) {
+  Harness h("p3.8xlarge", 2);
+  return h.train(model, synthetic_cfg()).per_iteration;
+}
+
+TrainConfig fault_cfg(const faults::FaultState& fs, RecoveryPolicy policy,
+                      double iter_s) {
+  TrainConfig cfg = synthetic_cfg();
+  cfg.fault_tolerance.faults = &fs;
+  cfg.fault_tolerance.policy = policy;
+  cfg.fault_tolerance.barrier_timeout_s = 2.0 * iter_s;
+  return cfg;
+}
+
+faults::FaultPlan crash_plan(double at_s, int machine, double reprovision_s) {
+  faults::FaultEvent e;
+  e.kind = faults::FaultKind::kCrash;
+  e.start_s = at_s;
+  e.machine = machine;
+  e.reprovision_s = reprovision_s;
+  faults::FaultPlan plan;
+  plan.events.push_back(e);
+  return plan;
+}
+
+TEST(FaultRecovery, CrashMidTrainingRecoversViaCheckpointRestart) {
+  dnn::Model model = dnn::make_alexnet();
+  const double iter_s = healthy_iteration_s(model);
+
+  faults::FaultPlan plan = crash_plan(2.5 * iter_s, 1, 4.0 * iter_s);
+  faults::FaultState fs(plan);
+
+  Harness h("p3.8xlarge", 2);
+  TrainResult r =
+      h.train(model, fault_cfg(fs, RecoveryPolicy::kCheckpointRestart, iter_s));
+
+  // The run completed the full measurement window despite the revocation.
+  EXPECT_EQ(r.measured_iterations, 4);
+  EXPECT_GT(r.per_iteration, 0.0);
+  ASSERT_EQ(r.recoveries.size(), 1u);
+  const RecoveryRecord& rec = r.recoveries[0];
+  EXPECT_EQ(rec.policy, RecoveryPolicy::kCheckpointRestart);
+  EXPECT_EQ(rec.workers_before, 8);
+  EXPECT_EQ(rec.workers_after, 8);  // restart keeps the full worker set
+  EXPECT_GT(rec.wait_seconds, 0.0);
+  EXPECT_GE(rec.rework_iterations, 1);  // no checkpoint yet: replay from 0
+  EXPECT_EQ(r.gpus_at_end, 8);
+  // The fault stall covers detection, reprovision wait, and rework.
+  EXPECT_GT(r.fault_stall, 0.0);
+  EXPECT_GE(r.fault_stall, rec.wait_seconds);
+}
+
+TEST(FaultRecovery, CrashMidTrainingRecoversViaShrink) {
+  dnn::Model model = dnn::make_alexnet();
+  const double iter_s = healthy_iteration_s(model);
+
+  faults::FaultPlan plan = crash_plan(2.5 * iter_s, 1, 100.0);
+  faults::FaultState fs(plan);
+
+  Harness h("p3.8xlarge", 2);
+  TrainResult r = h.train(model, fault_cfg(fs, RecoveryPolicy::kShrink, iter_s));
+
+  EXPECT_EQ(r.measured_iterations, 4);
+  ASSERT_EQ(r.recoveries.size(), 1u);
+  const RecoveryRecord& rec = r.recoveries[0];
+  EXPECT_EQ(rec.policy, RecoveryPolicy::kShrink);
+  EXPECT_EQ(rec.workers_before, 8);
+  EXPECT_EQ(rec.workers_after, 4);  // machine 1's workers are dropped
+  EXPECT_EQ(rec.rework_iterations, 0);  // shrink resumes at last commit
+  EXPECT_EQ(r.gpus_at_end, 4);
+  EXPECT_GT(r.fault_stall, 0.0);
+  // Shrink never waits for the 100 s reprovision.
+  EXPECT_LT(rec.wait_seconds, 100.0);
+}
+
+TEST(FaultRecovery, DeterministicAcrossRuns) {
+  dnn::Model model = dnn::make_alexnet();
+  const double iter_s = healthy_iteration_s(model);
+  faults::FaultPlan plan = crash_plan(2.5 * iter_s, 1, 4.0 * iter_s);
+  plan.events.push_back(faults::FaultPlan::parse(
+      "straggler@0+1000:w2:x1.5").events[0]);
+  faults::FaultState fs(plan);
+
+  auto run_once = [&](RecoveryPolicy policy) {
+    Harness h("p3.8xlarge", 2);
+    return h.train(model, fault_cfg(fs, policy, iter_s));
+  };
+  for (RecoveryPolicy policy :
+       {RecoveryPolicy::kCheckpointRestart, RecoveryPolicy::kShrink}) {
+    TrainResult a = run_once(policy);
+    TrainResult b = run_once(policy);
+    // Bit-identical: same plan + same seedless deterministic sim.
+    EXPECT_EQ(a.measured_iterations, b.measured_iterations);
+    EXPECT_EQ(a.window_time, b.window_time);
+    EXPECT_EQ(a.per_iteration, b.per_iteration);
+    EXPECT_EQ(a.data_wait, b.data_wait);
+    EXPECT_EQ(a.h2d_time, b.h2d_time);
+    EXPECT_EQ(a.compute_time, b.compute_time);
+    EXPECT_EQ(a.comm_tail, b.comm_tail);
+    EXPECT_EQ(a.fault_stall, b.fault_stall);
+    EXPECT_EQ(a.checkpoint_seconds, b.checkpoint_seconds);
+    EXPECT_EQ(a.checkpoints_written, b.checkpoints_written);
+    EXPECT_EQ(a.gpus_at_end, b.gpus_at_end);
+    ASSERT_EQ(a.recoveries.size(), b.recoveries.size());
+    for (std::size_t i = 0; i < a.recoveries.size(); ++i) {
+      EXPECT_EQ(a.recoveries[i].time_s, b.recoveries[i].time_s);
+      EXPECT_EQ(a.recoveries[i].at_iteration, b.recoveries[i].at_iteration);
+      EXPECT_EQ(a.recoveries[i].wait_seconds, b.recoveries[i].wait_seconds);
+      EXPECT_EQ(a.recoveries[i].rework_iterations,
+                b.recoveries[i].rework_iterations);
+    }
+  }
+}
+
+TEST(FaultRecovery, PeriodicCheckpointsBoundRework) {
+  dnn::Model model = dnn::make_alexnet();
+  const double iter_s = healthy_iteration_s(model);
+
+  faults::FaultPlan plan = crash_plan(4.5 * iter_s, 1, 2.0 * iter_s);
+  faults::FaultState fs(plan);
+
+  Harness h("p3.8xlarge", 2);
+  TrainConfig cfg = fault_cfg(fs, RecoveryPolicy::kCheckpointRestart, iter_s);
+  cfg.fault_tolerance.checkpoint_interval_s = 2.0 * iter_s;
+  cfg.fault_tolerance.checkpoint_write_s = 0.1 * iter_s;
+  TrainResult r = h.train(model, cfg);
+
+  EXPECT_GE(r.checkpoints_written, 1);
+  EXPECT_GT(r.checkpoint_seconds, 0.0);
+  ASSERT_EQ(r.recoveries.size(), 1u);
+  // The checkpoint caps the rollback below "everything since iteration 0".
+  EXPECT_LT(r.recoveries[0].rework_iterations, r.recoveries[0].at_iteration);
+}
+
+TEST(FaultRecovery, StragglerWindowSlowsMeasuredIterations) {
+  dnn::Model model = dnn::make_resnet18();
+  const double healthy = healthy_iteration_s(model);
+
+  // Worker 3 at half speed across the whole run.
+  faults::FaultPlan plan = faults::FaultPlan::parse("straggler@0+100000:w3:x2");
+  faults::FaultState fs(plan);
+
+  Harness h("p3.8xlarge", 2);
+  TrainConfig cfg = synthetic_cfg();
+  cfg.fault_tolerance.faults = &fs;
+  cfg.fault_tolerance.barrier_timeout_s = 1e6;  // watchdog never fires
+  TrainResult r = h.train(model, cfg);
+  EXPECT_GT(r.per_iteration, healthy);
+  EXPECT_TRUE(r.recoveries.empty());
+  EXPECT_DOUBLE_EQ(r.fault_stall, 0.0);
+}
+
+TEST(FaultRecovery, EmptyPlanMatchesHealthyRun) {
+  dnn::Model model = dnn::make_alexnet();
+  const double healthy = healthy_iteration_s(model);
+
+  faults::FaultPlan empty;
+  faults::FaultState fs(empty);
+  Harness h("p3.8xlarge", 2);
+  TrainConfig cfg = synthetic_cfg();
+  cfg.fault_tolerance.faults = &fs;
+  cfg.fault_tolerance.barrier_timeout_s = 30.0;
+  TrainResult r = h.train(model, cfg);
+
+  // The fault-aware path with nothing to inject reproduces the healthy
+  // timeline exactly (watchdogs are armed but never fire).
+  EXPECT_DOUBLE_EQ(r.per_iteration, healthy);
+  EXPECT_TRUE(r.recoveries.empty());
+  EXPECT_DOUBLE_EQ(r.fault_stall, 0.0);
+  EXPECT_EQ(r.gpus_at_end, r.gpus_used);
+}
+
+TEST(FaultRecovery, ValidationRejectsBadFaultToleranceConfig) {
+  dnn::Model model = dnn::make_alexnet();
+  faults::FaultPlan empty;
+  faults::FaultState fs(empty);
+
+  {
+    Harness h("p3.8xlarge", 2);
+    TrainConfig cfg = synthetic_cfg();
+    cfg.fault_tolerance.faults = &fs;
+    cfg.fault_tolerance.barrier_timeout_s = 0.0;
+    EXPECT_THROW(h.train(model, cfg), std::invalid_argument);
+  }
+  {
+    Harness h("p3.8xlarge", 2);
+    TrainConfig cfg = synthetic_cfg();
+    cfg.fault_tolerance.faults = &fs;
+    cfg.fault_tolerance.checkpoint_interval_s = 0.0;
+    EXPECT_THROW(h.train(model, cfg), std::invalid_argument);
+  }
+  {
+    Harness h("p3.8xlarge", 2);
+    TrainConfig cfg = synthetic_cfg();
+    cfg.fault_tolerance.faults = &fs;
+    cfg.fault_tolerance.checkpoint_write_s = -1.0;
+    EXPECT_THROW(h.train(model, cfg), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace stash::ddl

@@ -1,0 +1,215 @@
+#include "faults/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace stash::faults {
+namespace {
+
+TEST(FaultPlan, ParsesEveryKind) {
+  FaultPlan plan = FaultPlan::parse(
+      "straggler@2+5:w1:x2.5;link@4+3:m0:x0.1;disk@1+2:m0:x0.25;crash@6:m1:r30");
+  ASSERT_EQ(plan.events.size(), 4u);
+
+  const FaultEvent& s = plan.events[0];
+  EXPECT_EQ(s.kind, FaultKind::kGpuStraggler);
+  EXPECT_DOUBLE_EQ(s.start_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.duration_s, 5.0);
+  EXPECT_DOUBLE_EQ(s.end_s(), 7.0);
+  EXPECT_EQ(s.worker, 1);
+  EXPECT_DOUBLE_EQ(s.factor, 2.5);
+
+  const FaultEvent& l = plan.events[1];
+  EXPECT_EQ(l.kind, FaultKind::kLinkDegrade);
+  EXPECT_EQ(l.machine, 0);
+  EXPECT_DOUBLE_EQ(l.factor, 0.1);
+
+  const FaultEvent& d = plan.events[2];
+  EXPECT_EQ(d.kind, FaultKind::kSlowDisk);
+  EXPECT_DOUBLE_EQ(d.duration_s, 2.0);
+
+  const FaultEvent& c = plan.events[3];
+  EXPECT_EQ(c.kind, FaultKind::kCrash);
+  EXPECT_EQ(c.machine, 1);
+  EXPECT_DOUBLE_EQ(c.reprovision_s, 30.0);
+}
+
+TEST(FaultPlan, SpecRoundTrips) {
+  const std::string spec =
+      "straggler@2+5:w1:x2.5;link@4+3:fabric:x0.1;disk@1+2:m0:x0.25;"
+      "crash@6:m1:r30";
+  FaultPlan plan = FaultPlan::parse(spec);
+  EXPECT_EQ(plan.to_spec(), spec);
+  // And parsing the serialization again yields the same events.
+  FaultPlan again = FaultPlan::parse(plan.to_spec());
+  ASSERT_EQ(again.events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(again.events[i].kind, plan.events[i].kind);
+    EXPECT_DOUBLE_EQ(again.events[i].start_s, plan.events[i].start_s);
+    EXPECT_DOUBLE_EQ(again.events[i].duration_s, plan.events[i].duration_s);
+    EXPECT_EQ(again.events[i].machine, plan.events[i].machine);
+    EXPECT_EQ(again.events[i].worker, plan.events[i].worker);
+    EXPECT_DOUBLE_EQ(again.events[i].factor, plan.events[i].factor);
+  }
+}
+
+TEST(FaultPlan, FabricTargetParses) {
+  FaultPlan plan = FaultPlan::parse("link@0+1:fabric:x0.5");
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].machine, -1);
+}
+
+TEST(FaultPlan, EmptySpecYieldsEmptyPlan) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_TRUE(FaultPlan::parse(";;").empty());
+}
+
+TEST(FaultPlan, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("meteor@1+1:m0:x0.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("link4+3:m0:x0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("link@abc+3:m0:x0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("link@4+3:m0:q0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("link@4+3::x0.1"), std::invalid_argument);
+}
+
+TEST(FaultPlan, ValidateRejectsBadEvents) {
+  {  // straggler factor must be > 1 (it is a slowdown)
+    FaultPlan p;
+    FaultEvent e;
+    e.kind = FaultKind::kGpuStraggler;
+    e.worker = 0;
+    e.duration_s = 1.0;
+    e.factor = 0.5;
+    p.events.push_back(e);
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  }
+  {  // straggler needs a worker target
+    FaultPlan p;
+    FaultEvent e;
+    e.kind = FaultKind::kGpuStraggler;
+    e.duration_s = 1.0;
+    e.factor = 2.0;
+    p.events.push_back(e);
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  }
+  {  // bandwidth factor above 1 is not a degradation
+    FaultPlan p;
+    FaultEvent e;
+    e.kind = FaultKind::kLinkDegrade;
+    e.machine = 0;
+    e.duration_s = 1.0;
+    e.factor = 1.5;
+    p.events.push_back(e);
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  }
+  {  // zero-length degrade window
+    FaultPlan p;
+    FaultEvent e;
+    e.kind = FaultKind::kSlowDisk;
+    e.machine = 0;
+    e.duration_s = 0.0;
+    e.factor = 0.5;
+    p.events.push_back(e);
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  }
+  {  // crash needs a machine
+    FaultPlan p;
+    FaultEvent e;
+    e.kind = FaultKind::kCrash;
+    p.events.push_back(e);
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  }
+  {  // negative start time
+    FaultPlan p;
+    FaultEvent e;
+    e.kind = FaultKind::kCrash;
+    e.machine = 0;
+    e.start_s = -1.0;
+    p.events.push_back(e);
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  }
+}
+
+TEST(FaultPlan, ZeroFactorFlapIsValid) {
+  FaultPlan plan = FaultPlan::parse("link@1+1:m0:x0");
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_DOUBLE_EQ(plan.events[0].factor, 0.0);
+}
+
+TEST(RevocationPlan, DeterministicGivenSeed) {
+  util::Rng a(1234), b(1234);
+  FaultPlan pa = make_revocation_plan(7200.0, 2, 4.0, 30.0, a);
+  FaultPlan pb = make_revocation_plan(7200.0, 2, 4.0, 30.0, b);
+  ASSERT_EQ(pa.events.size(), pb.events.size());
+  EXPECT_FALSE(pa.empty());
+  for (std::size_t i = 0; i < pa.events.size(); ++i) {
+    EXPECT_EQ(pa.events[i].kind, FaultKind::kCrash);
+    EXPECT_DOUBLE_EQ(pa.events[i].start_s, pb.events[i].start_s);
+    EXPECT_EQ(pa.events[i].machine, pb.events[i].machine);
+  }
+  // Victims rotate round-robin over the machines.
+  for (std::size_t i = 0; i < pa.events.size(); ++i)
+    EXPECT_EQ(pa.events[i].machine, static_cast<int>(i % 2));
+  // Consecutive crashes are separated by at least the reprovision delay.
+  for (std::size_t i = 1; i < pa.events.size(); ++i)
+    EXPECT_GE(pa.events[i].start_s - pa.events[i - 1].start_s, 30.0);
+  EXPECT_NO_THROW(pa.validate());
+}
+
+TEST(RevocationPlan, ZeroRateYieldsEmptyPlan) {
+  util::Rng rng(1);
+  EXPECT_TRUE(make_revocation_plan(3600.0, 2, 0.0, 30.0, rng).empty());
+}
+
+TEST(RevocationPlan, RejectsBadArguments) {
+  util::Rng rng(1);
+  EXPECT_THROW(make_revocation_plan(-1.0, 2, 1.0, 30.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(make_revocation_plan(10.0, 0, 1.0, 30.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(make_revocation_plan(10.0, 2, -1.0, 30.0, rng),
+               std::invalid_argument);
+}
+
+TEST(FaultState, ComputeScaleCoversWindow) {
+  FaultPlan plan = FaultPlan::parse("straggler@2+5:w1:x2.5");
+  FaultState st(plan);
+  EXPECT_DOUBLE_EQ(st.compute_scale(1, 1.9), 1.0);
+  EXPECT_DOUBLE_EQ(st.compute_scale(1, 2.0), 2.5);   // inclusive start
+  EXPECT_DOUBLE_EQ(st.compute_scale(1, 6.99), 2.5);
+  EXPECT_DOUBLE_EQ(st.compute_scale(1, 7.0), 1.0);   // exclusive end
+  EXPECT_DOUBLE_EQ(st.compute_scale(0, 3.0), 1.0);   // other workers untouched
+}
+
+TEST(FaultState, OverlappingStragglersCompose) {
+  FaultPlan plan =
+      FaultPlan::parse("straggler@0+10:w0:x2;straggler@5+10:w0:x3");
+  FaultState st(plan);
+  EXPECT_DOUBLE_EQ(st.compute_scale(0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(st.compute_scale(0, 7.0), 6.0);
+  EXPECT_DOUBLE_EQ(st.compute_scale(0, 12.0), 3.0);
+}
+
+TEST(FaultState, CrashAndRepairWindows) {
+  FaultPlan plan = FaultPlan::parse("crash@6:m1:r30");
+  FaultState st(plan);
+  EXPECT_TRUE(st.has_crashes());
+  EXPECT_FALSE(st.crashed(1, 5.9));
+  EXPECT_TRUE(st.crashed(1, 6.0));
+  EXPECT_TRUE(st.crashed(1, 35.9));
+  EXPECT_FALSE(st.crashed(1, 36.0));  // replacement is up
+  EXPECT_FALSE(st.crashed(0, 10.0));  // other machine healthy
+  EXPECT_DOUBLE_EQ(st.repair_time(1, 10.0), 36.0);
+  EXPECT_DOUBLE_EQ(st.repair_time(1, 50.0), 50.0);  // healthy => now
+  EXPECT_DOUBLE_EQ(st.next_crash_after(0.0), 6.0);
+  EXPECT_EQ(st.next_crash_after(6.0),
+            std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+}  // namespace stash::faults

@@ -1,0 +1,190 @@
+#include "faults/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cloud/builder.h"
+#include "cloud/instance.h"
+#include "hw/flow_network.h"
+#include "hw/topology.h"
+#include "sim/simulator.h"
+
+namespace stash::faults {
+namespace {
+
+struct Harness {
+  sim::Simulator sim;
+  hw::FlowNetwork net{sim};
+  std::unique_ptr<hw::Cluster> cluster;
+
+  explicit Harness(int machines = 2) {
+    cluster = std::make_unique<hw::Cluster>(
+        net, sim,
+        cloud::cluster_configs_for(cloud::instance("p3.8xlarge"), machines,
+                                   cloud::CrossbarSlice::kFragmented),
+        cloud::fabric_bandwidth());
+  }
+
+  hw::Link* nic_tx(int m) { return cluster->machine(m).nic_tx(); }
+};
+
+sim::Task<void> timed_transfer(sim::Simulator& sim, hw::FlowNetwork& net,
+                               double bytes, std::vector<hw::Link*> path,
+                               double& done_at) {
+  co_await net.transfer(bytes, std::move(path), 0.0);
+  done_at = sim.now();
+}
+
+TEST(FaultInjector, DegradeWindowSlowsTransferDeterministically) {
+  Harness h;
+  hw::Link* nic = h.nic_tx(0);
+  const double cap = nic->capacity();
+
+  FaultPlan plan = FaultPlan::parse("link@1+2:m0:x0.5");
+  FaultInjector inj(h.sim, h.net, *h.cluster, plan);
+  inj.arm();
+  EXPECT_EQ(inj.scheduled_events(), 2u);  // window start + end
+
+  // 2*cap bytes: one healthy second moves cap, then the half-speed window
+  // needs two more seconds for the rest -> finish at t=3 instead of t=2.
+  double done = -1;
+  h.sim.spawn(timed_transfer(h.sim, h.net, 2.0 * cap, {nic}, done));
+  h.sim.run();
+  EXPECT_NEAR(done, 3.0, 1e-6);
+  // The window closed: capacity is restored exactly.
+  EXPECT_DOUBLE_EQ(nic->capacity(), cap);
+}
+
+TEST(FaultInjector, RunUntilMidWindowThenDisarmRestoresCapacity) {
+  Harness h;
+  hw::Link* nic = h.nic_tx(0);
+  const double cap = nic->capacity();
+
+  FaultPlan plan = FaultPlan::parse("link@1+2:m0:x0.5");
+  FaultInjector inj(h.sim, h.net, *h.cluster, plan);
+  inj.arm();
+
+  // Stop the clock inside the degradation window: the capacity is scaled
+  // and the window-end event is still pending.
+  h.sim.run_until(2.0);
+  EXPECT_DOUBLE_EQ(nic->capacity(), 0.5 * cap);
+  EXPECT_EQ(inj.scheduled_events(), 2u);
+
+  // Tearing the injector down mid-plan cancels the pending end event and
+  // restores the base capacity immediately.
+  inj.disarm();
+  EXPECT_FALSE(inj.armed());
+  EXPECT_EQ(inj.scheduled_events(), 0u);
+  EXPECT_DOUBLE_EQ(nic->capacity(), cap);
+
+  // Draining the queue must not resurrect the window (its events were
+  // cancelled, not just ignored).
+  h.sim.run();
+  EXPECT_DOUBLE_EQ(nic->capacity(), cap);
+}
+
+TEST(FaultInjector, DestructorDisarmsMidPlan) {
+  Harness h;
+  hw::Link* nic = h.nic_tx(0);
+  const double cap = nic->capacity();
+  {
+    FaultPlan plan = FaultPlan::parse("link@1+5:m0:x0.25");
+    FaultInjector inj(h.sim, h.net, *h.cluster, plan);
+    inj.arm();
+    h.sim.run_until(2.0);
+    EXPECT_DOUBLE_EQ(nic->capacity(), 0.25 * cap);
+  }
+  EXPECT_DOUBLE_EQ(nic->capacity(), cap);
+  h.sim.run();
+  EXPECT_DOUBLE_EQ(nic->capacity(), cap);
+}
+
+TEST(FaultInjector, FullFlapClampsToPositiveFloor) {
+  Harness h;
+  hw::Link* nic = h.nic_tx(0);
+  const double cap = nic->capacity();
+
+  FaultPlan plan = FaultPlan::parse("link@1+2:m0:x0");
+  FaultInjector inj(h.sim, h.net, *h.cluster, plan);
+  inj.arm();
+  h.sim.run_until(1.5);
+  EXPECT_GT(nic->capacity(), 0.0);  // links must stay positive
+  EXPECT_LT(nic->capacity(), 1.0);  // ...but effectively dead
+  h.sim.run();
+  EXPECT_DOUBLE_EQ(nic->capacity(), cap);
+}
+
+TEST(FaultInjector, OverlappingWindowsComposeMultiplicatively) {
+  Harness h;
+  hw::Link* nic = h.nic_tx(0);
+  const double cap = nic->capacity();
+
+  FaultPlan plan = FaultPlan::parse("link@1+4:m0:x0.5;link@2+1:m0:x0.5");
+  FaultInjector inj(h.sim, h.net, *h.cluster, plan);
+  inj.arm();
+  h.sim.run_until(1.5);
+  EXPECT_DOUBLE_EQ(nic->capacity(), 0.5 * cap);
+  h.sim.run_until(2.5);  // both windows active
+  EXPECT_DOUBLE_EQ(nic->capacity(), 0.25 * cap);
+  h.sim.run_until(3.5);  // inner window closed
+  EXPECT_DOUBLE_EQ(nic->capacity(), 0.5 * cap);
+  h.sim.run();
+  EXPECT_DOUBLE_EQ(nic->capacity(), cap);
+}
+
+TEST(FaultInjector, SlowDiskScalesStorageLink) {
+  Harness h;
+  hw::Link* ssd = h.cluster->machine(0).storage().link();
+  const double cap = ssd->capacity();
+
+  FaultPlan plan = FaultPlan::parse("disk@1+2:m0:x0.25");
+  FaultInjector inj(h.sim, h.net, *h.cluster, plan);
+  inj.arm();
+  h.sim.run_until(1.5);
+  EXPECT_DOUBLE_EQ(ssd->capacity(), 0.25 * cap);
+  h.sim.run();
+  EXPECT_DOUBLE_EQ(ssd->capacity(), cap);
+}
+
+TEST(FaultInjector, FabricTargetScalesFabricLink) {
+  Harness h;
+  ASSERT_NE(h.cluster->fabric(), nullptr);
+  const double cap = h.cluster->fabric()->capacity();
+
+  FaultPlan plan = FaultPlan::parse("link@1+2:fabric:x0.5");
+  FaultInjector inj(h.sim, h.net, *h.cluster, plan);
+  inj.arm();
+  h.sim.run_until(1.5);
+  EXPECT_DOUBLE_EQ(h.cluster->fabric()->capacity(), 0.5 * cap);
+  h.sim.run();
+  EXPECT_DOUBLE_EQ(h.cluster->fabric()->capacity(), cap);
+}
+
+TEST(FaultInjector, EventsOutsideClusterAreIgnored) {
+  Harness h(1);  // single machine: no machine 1, no fabric degradation target
+  FaultPlan plan = FaultPlan::parse("link@1+2:m5:x0.5;disk@1+2:m3:x0.5");
+  FaultInjector inj(h.sim, h.net, *h.cluster, plan);
+  inj.arm();
+  EXPECT_EQ(inj.scheduled_events(), 0u);
+  h.sim.run();  // nothing scheduled, nothing breaks
+}
+
+TEST(FaultInjector, ArmIsIdempotentAndPastEventsDrop) {
+  Harness h;
+  hw::Link* nic = h.nic_tx(0);
+  const double cap = nic->capacity();
+
+  FaultPlan plan = FaultPlan::parse("link@1+2:m0:x0.5");
+  h.sim.run_until(5.0);  // the whole window is already in the past
+  FaultInjector inj(h.sim, h.net, *h.cluster, plan);
+  inj.arm();
+  inj.arm();
+  EXPECT_EQ(inj.scheduled_events(), 0u);
+  h.sim.run();
+  EXPECT_DOUBLE_EQ(nic->capacity(), cap);
+}
+
+}  // namespace
+}  // namespace stash::faults

@@ -211,6 +211,98 @@ TEST(JoinAll, CompletesAtSlowestTask) {
   EXPECT_DOUBLE_EQ(done_at, 9.0);
 }
 
+Task<void> abortable_worker(Simulator& sim, AbortableBarrier& bar, double work,
+                            std::vector<AbortableBarrier::Result>& results,
+                            std::vector<double>& times) {
+  co_await sim.delay(work);
+  AbortableBarrier::Result r = co_await bar.arrive_and_wait();
+  results.push_back(r);
+  times.push_back(sim.now());
+}
+
+TEST(AbortableBarrier, BehavesLikeBarrierWhenHealthy) {
+  Simulator sim;
+  AbortableBarrier bar(sim, 3, 100.0);
+  std::vector<AbortableBarrier::Result> results;
+  std::vector<double> times;
+  sim.spawn(abortable_worker(sim, bar, 1.0, results, times));
+  sim.spawn(abortable_worker(sim, bar, 2.0, results, times));
+  sim.spawn(abortable_worker(sim, bar, 7.0, results, times));
+  sim.run();
+  ASSERT_EQ(results.size(), 3u);
+  for (auto r : results) EXPECT_EQ(r, AbortableBarrier::Result::kOk);
+  for (double t : times) EXPECT_DOUBLE_EQ(t, 7.0);
+  EXPECT_FALSE(bar.aborted());
+  EXPECT_EQ(bar.generation(), 1u);
+  EXPECT_TRUE(sim.all_processes_done());
+}
+
+TEST(AbortableBarrier, WatchdogFiresWhenPartyNeverArrives) {
+  Simulator sim;
+  AbortableBarrier bar(sim, 3, 5.0);
+  std::vector<AbortableBarrier::Result> results;
+  std::vector<double> times;
+  // Only two of three parties arrive: the watchdog releases them kTimeout
+  // 5 s after the first waiter suspended.
+  sim.spawn(abortable_worker(sim, bar, 1.0, results, times));
+  sim.spawn(abortable_worker(sim, bar, 2.0, results, times));
+  sim.run();
+  ASSERT_EQ(results.size(), 2u);
+  for (auto r : results) EXPECT_EQ(r, AbortableBarrier::Result::kTimeout);
+  for (double t : times) EXPECT_DOUBLE_EQ(t, 6.0);  // first wait at t=1
+  EXPECT_TRUE(bar.aborted());
+  EXPECT_TRUE(bar.timed_out());
+}
+
+TEST(AbortableBarrier, TimeoutCancelledWhenAllArrive) {
+  Simulator sim;
+  AbortableBarrier bar(sim, 2, 5.0);
+  std::vector<AbortableBarrier::Result> results;
+  std::vector<double> times;
+  sim.spawn(abortable_worker(sim, bar, 1.0, results, times));
+  sim.spawn(abortable_worker(sim, bar, 2.0, results, times));
+  double end = sim.run();
+  // No stray watchdog event keeps the clock running to t=6.
+  EXPECT_DOUBLE_EQ(end, 2.0);
+  for (auto r : results) EXPECT_EQ(r, AbortableBarrier::Result::kOk);
+}
+
+TEST(AbortableBarrier, AbortWakesWaitersAndPoisonsFutureArrivals) {
+  Simulator sim;
+  AbortableBarrier bar(sim, 3);
+  std::vector<AbortableBarrier::Result> results;
+  std::vector<double> times;
+  sim.spawn(abortable_worker(sim, bar, 1.0, results, times));
+  sim.spawn(abortable_worker(sim, bar, 2.0, results, times));
+  sim.schedule(4.0, [&bar] { bar.abort(); });
+  sim.run();
+  ASSERT_EQ(results.size(), 2u);
+  for (auto r : results) EXPECT_EQ(r, AbortableBarrier::Result::kAborted);
+  for (double t : times) EXPECT_DOUBLE_EQ(t, 4.0);
+
+  // A late arrival on the dead barrier returns kAborted without waiting.
+  sim.spawn(abortable_worker(sim, bar, 1.0, results, times));
+  sim.run();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results.back(), AbortableBarrier::Result::kAborted);
+  EXPECT_DOUBLE_EQ(times.back(), 5.0);  // its own delay only
+}
+
+TEST(AbortableBarrier, AbortIsIdempotent) {
+  Simulator sim;
+  AbortableBarrier bar(sim, 2);
+  bar.abort();
+  bar.abort();
+  EXPECT_TRUE(bar.aborted());
+  EXPECT_FALSE(bar.timed_out());
+}
+
+TEST(AbortableBarrier, InvalidConstructionThrows) {
+  Simulator sim;
+  EXPECT_THROW(AbortableBarrier(sim, 0), std::invalid_argument);
+  EXPECT_THROW(AbortableBarrier(sim, 2, -1.0), std::invalid_argument);
+}
+
 TEST(JoinAll, EmptyVectorCompletesImmediately) {
   Simulator sim;
   double done_at = -1;

@@ -1,0 +1,168 @@
+#include "stash/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dnn/zoo.h"
+#include "stash/spot_replay.h"
+
+namespace stash::profiler {
+namespace {
+
+StashProfiler make_profiler(const char* model = "alexnet") {
+  return StashProfiler(dnn::make_zoo_model(model), dnn::dataset_for(model));
+}
+
+ClusterSpec two_machine_spec() {
+  ClusterSpec spec;
+  spec.instance = "p3.8xlarge";
+  spec.count = 2;
+  return spec;
+}
+
+TEST(FaultProfile, EndToEndCrashDegradation) {
+  StashProfiler prof = make_profiler();
+  ClusterSpec spec = two_machine_spec();
+
+  // Place the crash mid-window using the measured warm iteration time.
+  double iter_s = prof.run_step(spec, Step::kRealWarm, 32).per_iteration;
+  ASSERT_GT(iter_s, 0.0);
+
+  faults::FaultPlan plan;
+  {
+    faults::FaultEvent e;
+    e.kind = faults::FaultKind::kCrash;
+    e.start_s = 2.5 * iter_s;
+    e.machine = 1;
+    e.reprovision_s = 4.0 * iter_s;
+    plan.events.push_back(e);
+  }
+  FaultProfileOptions fopt;
+  fopt.policy = ddl::RecoveryPolicy::kCheckpointRestart;
+  fopt.barrier_timeout_s = 2.0 * iter_s;
+
+  FaultProfileReport rep = prof.profile_under_faults(spec, 32, plan, fopt);
+
+  // Healthy side is fault-free; faulted side recorded the revocation.
+  EXPECT_DOUBLE_EQ(rep.healthy.fault_stall_pct, 0.0);
+  EXPECT_GT(rep.fault_stall_seconds, 0.0);
+  EXPECT_GT(rep.faulted.fault_stall_pct, 0.0);
+  EXPECT_LE(rep.faulted.fault_stall_pct, 100.0);
+  ASSERT_GE(rep.recoveries.size(), 1u);
+  EXPECT_EQ(rep.recoveries[0].workers_after, 8);
+  EXPECT_EQ(rep.gpus_at_end, 8);
+  // The faulted profile keeps a full stall decomposition (no NaNs).
+  for (double pct : {rep.faulted.ic_stall_pct, rep.faulted.prep_stall_pct,
+                     rep.faulted.fetch_stall_pct, rep.faulted.fault_stall_pct}) {
+    EXPECT_TRUE(std::isfinite(pct));
+    EXPECT_GE(pct, 0.0);
+  }
+  EXPECT_GT(rep.epoch_slowdown, 0.0);
+}
+
+TEST(FaultProfile, ShrinkPolicyEndsWithFewerGpus) {
+  StashProfiler prof = make_profiler();
+  ClusterSpec spec = two_machine_spec();
+  double iter_s = prof.run_step(spec, Step::kRealWarm, 32).per_iteration;
+
+  faults::FaultPlan plan;
+  {
+    faults::FaultEvent e;
+    e.kind = faults::FaultKind::kCrash;
+    e.start_s = 2.5 * iter_s;
+    e.machine = 1;
+    e.reprovision_s = 1000.0;  // shrink should never wait for this
+    plan.events.push_back(e);
+  }
+  FaultProfileOptions fopt;
+  fopt.policy = ddl::RecoveryPolicy::kShrink;
+  fopt.barrier_timeout_s = 2.0 * iter_s;
+
+  FaultProfileReport rep = prof.profile_under_faults(spec, 32, plan, fopt);
+  ASSERT_GE(rep.recoveries.size(), 1u);
+  EXPECT_EQ(rep.gpus_at_end, 4);
+  EXPECT_LT(rep.recoveries[0].wait_seconds, 1000.0);
+}
+
+TEST(FaultProfile, HealthyProfileHasCleanPercentages) {
+  StashProfiler prof = make_profiler();
+  StallReport r = prof.profile(two_machine_spec(), 32);
+  EXPECT_FALSE(r.degenerate_pcts);
+  for (double pct : {r.ic_stall_pct, r.nw_stall_pct, r.prep_stall_pct,
+                     r.fetch_stall_pct, r.fault_stall_pct}) {
+    EXPECT_TRUE(std::isfinite(pct));
+    EXPECT_GE(pct, 0.0);
+  }
+}
+
+TEST(ProfileOptions, ValidationRejectsNonsense) {
+  dnn::Model model = dnn::make_zoo_model("alexnet");
+  dnn::Dataset data = dnn::dataset_for("alexnet");
+
+  ProfileOptions bad_iters;
+  bad_iters.iterations = 0;
+  EXPECT_THROW(StashProfiler(model, data, bad_iters), std::invalid_argument);
+
+  ProfileOptions bad_warmup;
+  bad_warmup.warmup_iterations = -1;
+  EXPECT_THROW(StashProfiler(model, data, bad_warmup), std::invalid_argument);
+
+  ProfileOptions warmup_eats_window;
+  warmup_eats_window.iterations = 4;
+  warmup_eats_window.warmup_iterations = 4;
+  EXPECT_THROW(StashProfiler(model, data, warmup_eats_window),
+               std::invalid_argument);
+
+  ProfileOptions bad_loaders;
+  bad_loaders.loader_workers_per_gpu = 0;
+  EXPECT_THROW(StashProfiler(model, data, bad_loaders), std::invalid_argument);
+
+  ProfileOptions bad_prefetch;
+  bad_prefetch.prefetch_depth = 0;
+  EXPECT_THROW(StashProfiler(model, data, bad_prefetch), std::invalid_argument);
+
+  ProfileOptions bad_bucket;
+  bad_bucket.bucket_bytes = std::nan("");
+  EXPECT_THROW(StashProfiler(model, data, bad_bucket), std::invalid_argument);
+}
+
+TEST(SpotReplay, DeterministicAndMeasured) {
+  StashProfiler prof = make_profiler();
+  ClusterSpec spec = two_machine_spec();
+  cloud::SpotConfig cfg;
+  cfg.interruptions_per_hour = 2.0;
+  cfg.checkpoint_interval_s = 600.0;
+  cfg.restart_overhead_s = 120.0;
+
+  SpotReplayResult a = replay_spot_run(prof, spec, 32, 3600.0, cfg, 99);
+  SpotReplayResult b = replay_spot_run(prof, spec, 32, 3600.0, cfg, 99);
+
+  EXPECT_GT(a.healthy_iteration_s, 0.0);
+  EXPECT_GT(a.recovery_fixed_cost_s, 0.0);
+  EXPECT_EQ(a.trainer_runs, 2);  // healthy + crash calibration
+  // Wall time covers at least the useful work.
+  EXPECT_GE(a.outcome.wall_seconds, 3600.0);
+  EXPECT_GT(a.outcome.cost_usd, 0.0);
+
+  // Bit-identical across runs with the same seed.
+  EXPECT_EQ(a.outcome.wall_seconds, b.outcome.wall_seconds);
+  EXPECT_EQ(a.outcome.cost_usd, b.outcome.cost_usd);
+  EXPECT_EQ(a.outcome.interruptions, b.outcome.interruptions);
+  EXPECT_EQ(a.recovery_fixed_cost_s, b.recovery_fixed_cost_s);
+
+  // A different seed reshuffles the interruption arrivals.
+  SpotReplayResult c = replay_spot_run(prof, spec, 32, 3600.0, cfg, 100);
+  EXPECT_NE(a.outcome.wall_seconds, c.outcome.wall_seconds);
+}
+
+TEST(SpotReplay, RejectsNegativeWork) {
+  StashProfiler prof = make_profiler();
+  EXPECT_THROW(
+      replay_spot_run(prof, two_machine_spec(), 32, -1.0, cloud::SpotConfig{}, 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stash::profiler
