@@ -6,9 +6,17 @@
 //   stash profile  <model> [--instance p3.8xlarge] [--count N] [--batch B]
 //                  [--full-quad] [--csv]
 //   stash recommend <model> [--batch B] [--csv]
+//   stash estimate <model> [--instance T] [--epochs E] [--csv]
 //   stash stalls   <model> --instance <type> [--batch B]   (single line)
 //
 // Every subcommand prints an ASCII table by default or CSV with --csv.
+// profile, estimate and stalls additionally accept:
+//   --json          print a stash.run_manifest/1 JSON document instead of
+//                   the table (report + config + metrics snapshot)
+//   --trace=FILE    write a chrome://tracing timeline of the instrumented
+//                   (warm-data) profiler step
+//   --metrics=FILE  write the metrics registry snapshot as JSON
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -18,8 +26,11 @@
 #include "stash/recommend.h"
 #include "stash/session.h"
 #include "stash/spot_replay.h"
+#include "telemetry/manifest.h"
+#include "telemetry/metrics.h"
 #include "util/args.h"
 #include "util/table.h"
+#include "util/trace.h"
 #include "util/units.h"
 
 namespace {
@@ -41,6 +52,14 @@ int usage() {
       "  estimate <model> [--instance T] [--count N] [--batch B]\n"
       "           [--epochs E] [--spot] [--spot-mode analytic|replay] [--csv]\n"
       "                                   whole-run time & cost estimate\n"
+      "  stalls <model> --instance T [--count N] [--batch B] [--csv]\n"
+      "                                   one-line stall decomposition\n"
+      "\n"
+      "profile, estimate and stalls also accept:\n"
+      "  --json          print a stash.run_manifest/1 JSON document instead\n"
+      "                  of the table\n"
+      "  --trace=FILE    write a chrome://tracing timeline of the warm step\n"
+      "  --metrics=FILE  write the metrics registry snapshot as JSON\n"
       "\n"
       "fault SPEC: ';'-separated events, e.g.\n"
       "  straggler@2+5:w1:x2.5  worker 1 at half speed for t=[2,7)\n"
@@ -49,6 +68,79 @@ int usage() {
       "  crash@6:m1:r30         machine 1 revoked at t=6, replaced after 30 s\n";
   return 2;
 }
+
+// A stall report whose percentages were clamped (degenerate denominators) is
+// flagged in the row label; explain the marker once, on stderr, so tables
+// and CSV stay machine-splittable.
+std::string degenerate_mark(const profiler::StallReport& r) {
+  return r.degenerate_pcts ? " [!]" : "";
+}
+
+void warn_if_degenerate(const profiler::StallReport& r) {
+  if (r.degenerate_pcts)
+    std::cerr << "warning: [!] stall percentages are degenerate (a profiler "
+                 "step's measured window collapsed); affected values were "
+                 "clamped to 0 and are not trustworthy\n";
+}
+
+// Shared --trace/--metrics/--json plumbing for profile, estimate and stalls.
+struct TelemetrySinks {
+  explicit TelemetrySinks(const util::Args& args)
+      : trace_path(args.get("trace")),
+        metrics_path(args.get("metrics")),
+        json(args.has("json")) {}
+
+  bool want_trace() const { return !trace_path.empty(); }
+  bool want_metrics() const { return !metrics_path.empty() || json; }
+
+  void attach(profiler::ProfileOptions& opt) {
+    if (want_trace()) opt.trace = &trace;
+    if (want_metrics()) opt.metrics = &metrics;
+  }
+
+  telemetry::RunManifest manifest(const std::string& command,
+                                  const util::Args& args,
+                                  const std::string& model,
+                                  const profiler::ClusterSpec& spec) const {
+    telemetry::RunManifest man;
+    man.command = command;
+    man.add_config("model", model);
+    man.add_config("instance", spec.instance);
+    man.add_config("count", std::to_string(spec.count));
+    man.add_config("batch", std::to_string(args.get_int("batch", 32)));
+    if (want_metrics()) man.metrics = &metrics;
+    return man;
+  }
+
+  // Writes the side files and, under --json, the manifest to stdout.
+  // Returns 0, or 1 if a file could not be written.
+  int flush(const telemetry::RunManifest& man) const {
+    if (want_trace() && !write_file(trace_path, trace.to_json())) return 1;
+    if (!metrics_path.empty() &&
+        !write_file(metrics_path, metrics.to_json() + "\n"))
+      return 1;
+    if (json) std::cout << man.to_json() << "\n";
+    return 0;
+  }
+
+  std::string trace_path;
+  std::string metrics_path;
+  bool json = false;
+  util::TraceRecorder trace;
+  telemetry::MetricsRegistry metrics;
+
+ private:
+  static bool write_file(const std::string& path, const std::string& content) {
+    std::ofstream os(path, std::ios::binary);
+    os << content;
+    os.flush();
+    if (!os) {
+      std::cerr << "error: cannot write " << path << "\n";
+      return false;
+    }
+    return true;
+  }
+};
 
 void emit(const util::Table& t, bool csv) {
   if (csv)
@@ -93,8 +185,12 @@ int cmd_profile(const util::Args& args) {
   if (args.has("full-quad")) spec.slice = cloud::CrossbarSlice::kFullQuad;
   int batch = args.get_int("batch", 32);
 
+  TelemetrySinks sinks(args);
+  profiler::ProfileOptions opt;
+  sinks.attach(opt);
+
   dnn::Model model = dnn::make_zoo_model(model_name);
-  profiler::StashProfiler prof(model, dnn::dataset_for(model_name));
+  profiler::StashProfiler prof(model, dnn::dataset_for(model_name), opt);
 
   if (args.has("faults")) {
     faults::FaultPlan plan = faults::FaultPlan::parse(args.get("faults"));
@@ -117,10 +213,18 @@ int cmd_profile(const util::Args& args) {
 
     profiler::FaultProfileReport fr =
         prof.profile_under_faults(spec, batch, plan, fopt);
+    if (sinks.json) {
+      telemetry::RunManifest man =
+          sinks.manifest("profile", args, model_name, spec);
+      man.add_config("faults", args.get("faults"));
+      man.add_config("recovery", recovery);
+      man.fault_report = fr;
+      return sinks.flush(man);
+    }
     util::Table t({"run", "I/C %", "N/W %", "prep %", "fetch %", "fault %",
                    "epoch (s)", "epoch ($)"});
     auto row = [&t](const char* label, const profiler::StallReport& r) {
-      t.row().cell(label).cell(r.ic_stall_pct, 1)
+      t.row().cell(label + degenerate_mark(r)).cell(r.ic_stall_pct, 1)
           .cell(r.has_network_step ? util::format_double(r.nw_stall_pct, 1) : "-")
           .cell(r.prep_stall_pct, 1).cell(r.fetch_stall_pct, 1)
           .cell(r.fault_stall_pct, 1)
@@ -129,6 +233,9 @@ int cmd_profile(const util::Args& args) {
     row("healthy", fr.healthy);
     row("faulted", fr.faulted);
     emit(t, args.has("csv"));
+    warn_if_degenerate(fr.healthy);
+    warn_if_degenerate(fr.faulted);
+    if (int rc = sinks.flush({}); rc != 0) return rc;
     if (!args.has("csv")) {
       std::cout << "epoch slowdown: " << util::format_double(fr.epoch_slowdown, 2)
                 << "x   fault stall: "
@@ -152,15 +259,72 @@ int cmd_profile(const util::Args& args) {
 
   profiler::StallReport r = prof.profile(spec, batch);
 
+  if (sinks.json) {
+    telemetry::RunManifest man = sinks.manifest("profile", args, model_name, spec);
+    man.stall_report = r;
+    return sinks.flush(man);
+  }
+
   util::Table t({"config", "model", "batch", "I/C %", "N/W %", "prep %", "fetch %",
                  "epoch (s)", "epoch ($)"});
-  t.row().cell(r.config_label).cell(r.model_name).cell(r.per_gpu_batch)
+  t.row().cell(r.config_label + degenerate_mark(r)).cell(r.model_name)
+      .cell(r.per_gpu_batch)
       .cell(r.ic_stall_pct, 1)
       .cell(r.has_network_step ? util::format_double(r.nw_stall_pct, 1) : "-")
       .cell(r.prep_stall_pct, 1).cell(r.fetch_stall_pct, 1)
       .cell(r.epoch_seconds, 0).cell(r.epoch_cost_usd, 2);
   emit(t, args.has("csv"));
-  return 0;
+  warn_if_degenerate(r);
+  return sinks.flush({});
+}
+
+// The one-line summary promised in the header: the five stall percentages
+// for one model on one configuration, nothing else. Scripts can grep it;
+// --csv/--json give the structured forms.
+int cmd_stalls(const util::Args& args) {
+  std::string model_name = args.positional(1);
+  if (model_name.empty() || !args.has("instance")) return usage();
+  profiler::ClusterSpec spec;
+  spec.instance = args.get("instance");
+  spec.count = args.get_int("count", 1);
+  if (args.has("full-quad")) spec.slice = cloud::CrossbarSlice::kFullQuad;
+  int batch = args.get_int("batch", 32);
+
+  TelemetrySinks sinks(args);
+  profiler::ProfileOptions opt;
+  sinks.attach(opt);
+  profiler::StashProfiler prof(dnn::make_zoo_model(model_name),
+                               dnn::dataset_for(model_name), opt);
+  profiler::StallReport r = prof.profile(spec, batch);
+
+  if (sinks.json) {
+    telemetry::RunManifest man = sinks.manifest("stalls", args, model_name, spec);
+    man.stall_report = r;
+    return sinks.flush(man);
+  }
+  if (args.has("csv")) {
+    util::Table t({"config", "model", "batch", "I/C %", "N/W %", "prep %",
+                   "fetch %", "fault %"});
+    t.row().cell(r.config_label + degenerate_mark(r)).cell(r.model_name)
+        .cell(r.per_gpu_batch).cell(r.ic_stall_pct, 1)
+        .cell(r.has_network_step ? util::format_double(r.nw_stall_pct, 1) : "-")
+        .cell(r.prep_stall_pct, 1).cell(r.fetch_stall_pct, 1)
+        .cell(r.fault_stall_pct, 1);
+    std::cout << t.to_csv();
+  } else {
+    std::cout << r.model_name << " on " << r.config_label << " (batch "
+              << r.per_gpu_batch << "): I/C "
+              << util::format_double(r.ic_stall_pct, 1) << "%  N/W "
+              << (r.has_network_step
+                      ? util::format_double(r.nw_stall_pct, 1) + "%"
+                      : "-")
+              << "  prep " << util::format_double(r.prep_stall_pct, 1)
+              << "%  fetch " << util::format_double(r.fetch_stall_pct, 1)
+              << "%  fault " << util::format_double(r.fault_stall_pct, 1) << "%"
+              << degenerate_mark(r) << "\n";
+  }
+  warn_if_degenerate(r);
+  return sinks.flush({});
 }
 
 int cmd_recommend(const util::Args& args) {
@@ -193,9 +357,19 @@ int cmd_estimate(const util::Args& args) {
   int batch = args.get_int("batch", 32);
   int epochs = args.get_int("epochs", 90);
 
+  TelemetrySinks sinks(args);
+  profiler::ProfileOptions opt;
+  sinks.attach(opt);
   profiler::StashProfiler prof(dnn::make_zoo_model(model_name),
-                               dnn::dataset_for(model_name));
+                               dnn::dataset_for(model_name), opt);
   auto est = profiler::estimate_training(prof, spec, batch, epochs);
+
+  if (sinks.json) {
+    telemetry::RunManifest man = sinks.manifest("estimate", args, model_name, spec);
+    man.add_config("epochs", std::to_string(epochs));
+    man.estimate = est;
+    return sinks.flush(man);
+  }
 
   util::Table t({"config", "epochs", "cold epoch (s)", "steady epoch (s)",
                  "total (h)", "cost ($)", "pricing"});
@@ -227,7 +401,7 @@ int cmd_estimate(const util::Args& args) {
     }
   }
   emit(t, args.has("csv"));
-  return 0;
+  return sinks.flush({});
 }
 
 }  // namespace
@@ -241,6 +415,7 @@ int main(int argc, char** argv) {
     if (cmd == "profile") return cmd_profile(args);
     if (cmd == "recommend") return cmd_recommend(args);
     if (cmd == "estimate") return cmd_estimate(args);
+    if (cmd == "stalls") return cmd_stalls(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

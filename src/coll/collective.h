@@ -10,6 +10,7 @@
 #include "hw/flow_network.h"
 #include "hw/topology.h"
 #include "sim/simulator.h"
+#include "telemetry/metrics.h"
 
 namespace stash::coll {
 
@@ -39,6 +40,10 @@ struct CollectiveContext {
   hw::FlowNetwork& net;
   hw::Cluster& cluster;
   CollectiveConfig config{};
+  // Optional metrics sink (not owned; must outlive every collective). When
+  // set, collectives record per-call bytes, counts and per-round latencies
+  // under "coll/...".
+  telemetry::MetricsRegistry* metrics = nullptr;
 
   double round_latency() const {
     return cluster.multi_machine() ? config.inter_round_latency

@@ -12,6 +12,10 @@ sim::Task<void> ring_allreduce_over(CollectiveContext& ctx,
   if (bytes < 0.0) throw std::invalid_argument("ring_allreduce: negative bytes");
   const std::size_t k = ring.size();
   if (k == 0) throw std::invalid_argument("ring_allreduce: empty ring");
+  if (ctx.metrics != nullptr) {
+    ctx.metrics->counter("coll/ring/collectives").increment();
+    ctx.metrics->counter("coll/ring/bytes_sent").add(bytes);
+  }
   if (k == 1) {
     co_await ctx.sim.delay(round_latency);
     co_return;
@@ -24,6 +28,7 @@ sim::Task<void> ring_allreduce_over(CollectiveContext& ctx,
   const double chunk = bytes / static_cast<double>(k);
   const int rounds = 2 * (static_cast<int>(k) - 1);
   for (int r = 0; r < rounds; ++r) {
+    const double round_start = ctx.sim.now();
     co_await ctx.sim.delay(round_latency);
     std::vector<sim::Task<void>> flows;
     flows.reserve(k);
@@ -32,6 +37,11 @@ sim::Task<void> ring_allreduce_over(CollectiveContext& ctx,
       flows.push_back(ctx.net.transfer(chunk, std::move(path)));
     }
     co_await sim::join_all(ctx.sim, std::move(flows));
+    if (ctx.metrics != nullptr) {
+      ctx.metrics->counter("coll/ring/rounds").increment();
+      ctx.metrics->histogram("coll/ring/step_latency_s")
+          .observe(ctx.sim.now() - round_start);
+    }
   }
 }
 

@@ -12,6 +12,7 @@
 #include "coll/collective.h"
 #include "faults/fault_plan.h"
 #include "hw/topology.h"
+#include "telemetry/metrics.h"
 #include "util/stats.h"
 #include "util/trace.h"
 
@@ -158,10 +159,18 @@ struct TrainConfig {
   // Throw if the model + batch does not fit in GPU memory.
   bool enforce_memory = true;
 
-  // Optional timeline sink: the lead worker, its H2D stage, and every
-  // collective record spans here (chrome://tracing format via
+  // Optional timeline sink: every GPU worker (one span track per worker,
+  // grouped by machine pid), each worker's H2D stage, the comm stream, and
+  // the fault/recovery track record spans here (chrome://tracing format via
   // TraceRecorder::to_json). Not owned; must outlive the run.
   util::TraceRecorder* trace = nullptr;
+
+  // Optional metrics sink: per-iteration phase histograms, per-GPU busy
+  // seconds and utilization, pipeline occupancy, cache hit rate, collective
+  // counters, per-link bytes/busy time, fault accounting, and simulator
+  // internals all register here by hierarchical name. Not owned; must
+  // outlive the run.
+  telemetry::MetricsRegistry* metrics = nullptr;
 
   void validate() const {
     if (per_gpu_batch < 1) throw std::invalid_argument("per_gpu_batch must be >= 1");

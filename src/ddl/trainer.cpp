@@ -45,6 +45,23 @@ struct RunState {
   std::vector<hw::GpuRef> all_gpus;  // the configured participant set
   int trace_pid = 0;
 
+  // Optional metrics sink plus cached per-iteration instruments (null when
+  // no registry is attached).
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::Histogram* h_iter = nullptr;
+  telemetry::Histogram* h_data_wait = nullptr;
+  telemetry::Histogram* h_h2d = nullptr;
+  telemetry::Histogram* h_compute = nullptr;
+  telemetry::Histogram* h_comm_tail = nullptr;
+  telemetry::TimeWeightedGauge* g_prefetch_depth = nullptr;
+  telemetry::Counter* c_disk_bytes = nullptr;
+  telemetry::Counter* c_buckets = nullptr;
+
+  // Per-iteration counter-track sampling (link utilization deltas).
+  double prev_bridge_bytes = 0.0;
+  double prev_nic_bytes = 0.0;
+  double prev_sample_time = 0.0;
+
   // Precomputed per-iteration quantities.
   std::vector<dnn::Model::BackwardStep> steps;
   std::vector<double> flush_bytes;  // per-step all-reduce flush (0 = none)
@@ -91,8 +108,20 @@ struct RunState {
         cluster(c),
         config(cfg),
         all_gpus(std::move(gpu_list)),
-        coll_ctx{s, n, c, cfg.collective},
-        stream(s) {}
+        coll_ctx{s, n, c, cfg.collective, cfg.metrics},
+        stream(s) {
+    metrics = cfg.metrics;
+    if (metrics != nullptr) {
+      h_iter = &metrics->histogram("ddl/iter/total_s");
+      h_data_wait = &metrics->histogram("ddl/iter/data_wait_s");
+      h_h2d = &metrics->histogram("ddl/iter/h2d_s");
+      h_compute = &metrics->histogram("ddl/iter/compute_s");
+      h_comm_tail = &metrics->histogram("ddl/iter/comm_tail_s");
+      g_prefetch_depth = &metrics->time_gauge("ddl/pipeline/prefetch_depth");
+      c_disk_bytes = &metrics->counter("ddl/data/disk_bytes_read");
+      c_buckets = &metrics->counter("coll/buckets_flushed");
+    }
+  }
 };
 
 // One contiguous execution of the worker group: a participant set, an
@@ -201,13 +230,14 @@ struct Attempt {
 };
 
 // Records a span on the shared trace if one is attached. Track ids: pid is
-// the machine of the lead GPU, tid the local GPU index; the comm stream
-// uses tid 100.
+// the worker's machine, tid its local GPU index; each worker's H2D stage
+// uses tid 50+local, the fault/recovery track tid 90, and the comm stream
+// tid 100 (both on the lead machine's pid).
 void trace_span(RunState& st, const char* name, const char* category,
-                double start_s, int tid) {
+                double start_s, int pid, int tid) {
   if (st.config.trace == nullptr) return;
   st.config.trace->add_span(name, category, start_s, st.sim.now() - start_s,
-                            st.trace_pid, tid);
+                            pid, tid);
 }
 
 sim::Task<void> run_one_allreduce(RunState& st, Attempt& at, double bytes,
@@ -216,7 +246,7 @@ sim::Task<void> run_one_allreduce(RunState& st, Attempt& at, double bytes,
   co_await st.stream.enqueue([&st, &at, bytes]() -> sim::Task<void> {
     return coll::ring_allreduce_over(st.coll_ctx, at.gpus, bytes, at.round_latency);
   });
-  trace_span(st, "allreduce", "comm", start, 100);
+  trace_span(st, "allreduce", "comm", start, st.trace_pid, 100);
   latch->count_down();
 }
 
@@ -229,25 +259,44 @@ sim::Task<void> loader(RunState& st, Attempt& at, std::size_t gpu_idx) {
     if (fs != nullptr && fs->crashed(machine, st.sim.now())) co_return;
     ++at.produced[gpu_idx];
     double miss_bytes = st.batch_disk_bytes * st.miss_fraction;
-    if (miss_bytes > 0.0) co_await mach.storage().read(miss_bytes);
+    if (miss_bytes > 0.0) {
+      co_await mach.storage().read(miss_bytes);
+      if (st.c_disk_bytes != nullptr) st.c_disk_bytes->add(miss_bytes);
+    }
     if (st.prep_seconds > 0.0) co_await mach.cpus().run(st.prep_seconds);
     co_await at.boxes[gpu_idx]->put(1);
+    // Loader occupancy telemetry follows the lead GPU's prefetch queue: a
+    // time-weighted gauge for the metrics file and a Chrome counter track
+    // so occupancy renders as a graph under the span tracks.
+    if (gpu_idx == 0) {
+      double depth = static_cast<double>(at.boxes[0]->size());
+      if (st.g_prefetch_depth != nullptr)
+        st.g_prefetch_depth->set(st.sim.now(), depth);
+      if (st.config.trace != nullptr)
+        st.config.trace->add_counter("prefetch_depth(gpu0)", st.sim.now(), depth,
+                                     machine);
+    }
   }
 }
 
 // Uploads prefetched batches into the GPU's double buffer.
 sim::Task<void> h2d_stage(RunState& st, Attempt& at, std::size_t idx) {
   hw::Machine& mach = st.cluster.machine(at.gpus[idx].machine);
+  const int machine = at.gpus[idx].machine;
   const int local_gpu = at.gpus[idx].local;
   for (int iter = at.start_iter; iter < at.end_iter; ++iter) {
     co_await at.boxes[idx]->get();
+    if (idx == 0 && st.g_prefetch_depth != nullptr)
+      st.g_prefetch_depth->set(st.sim.now(),
+                               static_cast<double>(at.boxes[0]->size()));
     const double start = st.sim.now();
     co_await st.net.transfer(st.h2d_bytes, mach.h2d_path(local_gpu));
-    if (idx == 0) {
-      if (iter >= st.config.warmup_iterations && iter >= at.rework_limit)
-        st.sum_h2d += st.sim.now() - start;
-      trace_span(st, "h2d", "pipeline", start, 50);
+    if (idx == 0 && iter >= st.config.warmup_iterations &&
+        iter >= at.rework_limit) {
+      st.sum_h2d += st.sim.now() - start;
+      if (st.h_h2d != nullptr) st.h_h2d->observe(st.sim.now() - start);
     }
+    trace_span(st, "h2d", "pipeline", start, machine, 50 + local_gpu);
     co_await at.device_boxes[idx]->put(1);
   }
 }
@@ -255,14 +304,24 @@ sim::Task<void> h2d_stage(RunState& st, Attempt& at, std::size_t idx) {
 sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
   const bool lead = idx == 0;
   const int machine = at.gpus[idx].machine;
+  const int local = at.gpus[idx].local;
   const double het_scale = st.config.straggler.scale_for(idx);
   const faults::FaultState* fs = st.config.fault_tolerance.faults;
   const auto& ft = st.config.fault_tolerance;
+  telemetry::Counter* busy_s = nullptr;
+  if (st.metrics != nullptr)
+    busy_s = &st.metrics->counter("machine" + std::to_string(machine) + "/gpu" +
+                                  std::to_string(local) + "/busy_s");
 
   for (int iter = at.start_iter; iter < at.end_iter; ++iter) {
     // A revoked machine's process dies between iterations: it stops
     // arriving at barriers and the survivors' watchdog does the detection.
     if (fs != nullptr && fs->crashed(machine, st.sim.now())) {
+      if (st.config.trace != nullptr)
+        st.config.trace->add_instant("worker crash", "fault", st.sim.now(),
+                                     machine, local);
+      if (st.metrics != nullptr)
+        st.metrics->counter("faults/worker_deaths").increment();
       at.note_death(st.sim.now());
       at.worker_exited();
       co_return;
@@ -280,8 +339,12 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
     if (!st.config.synthetic_data) {
       const double wait_start = st.sim.now();
       co_await at.device_boxes[idx]->get();
-      if (measured) st.sum_data_wait += st.sim.now() - wait_start;
-      if (lead) trace_span(st, "data_wait", "pipeline", wait_start, 0);
+      if (measured) {
+        st.sum_data_wait += st.sim.now() - wait_start;
+        if (st.h_data_wait != nullptr)
+          st.h_data_wait->observe(st.sim.now() - wait_start);
+      }
+      trace_span(st, "data_wait", "pipeline", wait_start, machine, local);
     }
 
     if (co_await at.start_barrier.arrive_and_wait() !=
@@ -300,7 +363,7 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
     if (lead) {
       const double compute_start = st.sim.now();
       co_await st.sim.delay(st.fwd_time * compute_scale);
-      trace_span(st, "forward", "compute", compute_start, 0);
+      trace_span(st, "forward", "compute", compute_start, machine, local);
       const double backward_start = st.sim.now();
 
       const double overlap = st.config.collective.overlap_fraction;
@@ -321,21 +384,27 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
               (1.0 - overlap) * at.estimate_collective_seconds(wire_bytes);
           co_await st.sim.delay(st.config.collective.launch_blocking_latency +
                                 sync_cost);
+          if (st.c_buckets != nullptr) st.c_buckets->increment();
           if (has_async)
             st.sim.spawn(run_one_allreduce(st, at, overlap * wire_bytes, latch));
         }
       }
       const double backward_end = st.sim.now();
-      trace_span(st, "backward+flush", "compute", backward_start, 0);
+      trace_span(st, "backward+flush", "compute", backward_start, machine, local);
       co_await latch->wait();
       const double tail = st.sim.now() - backward_end;
-      trace_span(st, "comm_tail", "comm", backward_end, 0);
+      trace_span(st, "comm_tail", "comm", backward_end, machine, local);
       const double opt_start = st.sim.now();
       co_await st.sim.delay(st.opt_time);
-      trace_span(st, "optimizer", "compute", opt_start, 0);
+      trace_span(st, "optimizer", "compute", opt_start, machine, local);
+      if (busy_s != nullptr)
+        busy_s->add((st.fwd_time + st.bwd_time) * compute_scale + st.opt_time);
       if (measured) {
         st.sum_comm_tail += tail;
         st.sum_compute += (backward_end - compute_start) + st.opt_time;
+        if (st.h_compute != nullptr)
+          st.h_compute->observe((backward_end - compute_start) + st.opt_time);
+        if (st.h_comm_tail != nullptr) st.h_comm_tail->observe(tail);
       }
       // Periodic checkpoint: the lead pays the write stall before the end
       // barrier (so the whole group paces on it); the checkpoint only
@@ -344,14 +413,18 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
           st.sim.now() - st.last_ckpt_time >= ft.checkpoint_interval_s) {
         const double ckpt_start = st.sim.now();
         co_await st.sim.delay(ft.checkpoint_write_s);
-        trace_span(st, "checkpoint", "pipeline", ckpt_start, 0);
+        trace_span(st, "checkpoint", "pipeline", ckpt_start, machine, local);
         wrote_checkpoint = true;
       }
     } else {
       // Followers run the same compute schedule (possibly slower when
       // straggling); the end barrier paces everyone on the slowest party.
+      const double compute_start = st.sim.now();
       co_await st.sim.delay((st.fwd_time + st.bwd_time + st.opt_time) *
                             compute_scale);
+      trace_span(st, "compute", "compute", compute_start, machine, local);
+      if (busy_s != nullptr)
+        busy_s->add((st.fwd_time + st.bwd_time + st.opt_time) * compute_scale);
     }
 
     if (co_await at.end_barrier.arrive_and_wait() !=
@@ -376,6 +449,40 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
         st.fault_rework_seconds += st.sim.now() - iter_start;
       } else if (iter >= st.config.warmup_iterations) {
         st.iter_times.add(st.sim.now() - iter_start);
+        if (st.h_iter != nullptr) st.h_iter->observe(st.sim.now() - iter_start);
+      }
+      // Per-iteration counter-track samples: event-queue depth, in-flight
+      // flows, and the lead machine's host-bridge / NIC utilization over
+      // the just-finished iteration, all rendered as graphs by the viewer.
+      if (st.config.trace != nullptr) {
+        const double now = st.sim.now();
+        st.config.trace->add_counter(
+            "sim_queue_depth", now, static_cast<double>(st.sim.queue_depth()),
+            machine);
+        st.config.trace->add_counter(
+            "active_flows", now, static_cast<double>(st.net.active_flows()),
+            machine);
+        const hw::Machine& m0 = st.cluster.machine(machine);
+        const double dt = now - st.prev_sample_time;
+        if (dt > 0.0) {
+          const double bridge = m0.host_bridge()->bytes_carried();
+          st.config.trace->add_counter(
+              "host_bridge_util_pct", now,
+              (bridge - st.prev_bridge_bytes) /
+                  (m0.host_bridge()->capacity() * dt) * 100.0,
+              machine);
+          st.prev_bridge_bytes = bridge;
+          if (m0.nic_tx() != nullptr) {
+            const double nic = m0.nic_tx()->bytes_carried();
+            st.config.trace->add_counter(
+                "nic_tx_util_pct", now,
+                (nic - st.prev_nic_bytes) / (m0.nic_tx()->capacity() * dt) *
+                    100.0,
+                machine);
+            st.prev_nic_bytes = nic;
+          }
+          st.prev_sample_time = now;
+        }
       }
     }
   }
@@ -471,6 +578,26 @@ sim::Task<void> orchestrate(RunState& st) {
     rec.wait_seconds = st.sim.now() - at.last_commit_time;
     st.fault_wait_seconds += rec.wait_seconds;
     st.recoveries.push_back(rec);
+
+    // Telemetry: one instant at the detection, one span covering the whole
+    // recovery episode (detection gap + reprovision wait), and episode
+    // counters.
+    if (st.config.trace != nullptr) {
+      const char* label = dead.empty() ? "recovery:transient-retry"
+                          : ft.policy == RecoveryPolicy::kCheckpointRestart
+                              ? "recovery:restart"
+                              : "recovery:shrink";
+      st.config.trace->add_instant("fault detected", "fault", detect,
+                                   st.trace_pid, 90);
+      st.config.trace->add_span(label, "fault", detect, st.sim.now() - detect,
+                                st.trace_pid, 90);
+    }
+    if (st.metrics != nullptr) {
+      st.metrics->counter("faults/detections").increment();
+      st.metrics->counter("faults/recovery_episodes").increment();
+      st.metrics->counter("faults/recovery_wait_s").add(rec.wait_seconds);
+      st.metrics->counter("faults/rework_iterations").add(rec.rework_iterations);
+    }
   }
   st.finished = true;
 }
@@ -511,9 +638,27 @@ TrainResult Trainer::run() {
   st.trace_pid = st.all_gpus.front().machine;
 
   if (config_.trace != nullptr) {
-    config_.trace->name_track(st.trace_pid, 0, "lead GPU worker");
-    config_.trace->name_track(st.trace_pid, 50, "H2D stage (gpu 0)");
+    // One pid track group per machine (process_name metadata), one tid
+    // track per GPU worker, so multi-machine traces read as a grid of
+    // machines × workers rather than a single anonymous lead track.
+    std::set<int> machines_used;
+    for (const auto& g : st.all_gpus) machines_used.insert(g.machine);
+    for (int m : machines_used)
+      config_.trace->name_process(
+          m, cluster_.machine(m).config().name + " (machine " +
+                 std::to_string(m) + ")");
+    for (const auto& g : st.all_gpus) {
+      std::string label = "gpu" + std::to_string(g.local) + " worker";
+      if (g == st.all_gpus.front()) label += " (lead)";
+      config_.trace->name_track(g.machine, g.local, std::move(label));
+      if (!config_.synthetic_data)
+        config_.trace->name_track(g.machine, 50 + g.local,
+                                  "h2d stage (gpu" + std::to_string(g.local) +
+                                      ")");
+    }
     config_.trace->name_track(st.trace_pid, 100, "comm stream");
+    if (config_.fault_tolerance.enabled())
+      config_.trace->name_track(st.trace_pid, 90, "faults & recovery");
   }
 
   st.steps = model_.backward_steps();
@@ -557,6 +702,57 @@ TrainResult Trainer::run() {
   // criterion.
   if (fault_mode ? !st.finished : !sim_.all_processes_done())
     throw std::logic_error("Trainer: simulation deadlocked");
+
+  if (config_.metrics != nullptr) {
+    telemetry::MetricsRegistry& m = *config_.metrics;
+    const double total = sim_.now();
+    // Per-GPU utilization from the busy seconds the workers accumulated.
+    for (const auto& g : st.all_gpus) {
+      std::string prefix = "machine" + std::to_string(g.machine) + "/gpu" +
+                           std::to_string(g.local) + "/";
+      double busy = m.counter(prefix + "busy_s").value();
+      m.gauge(prefix + "util_pct").set(total > 0.0 ? busy / total * 100.0 : 0.0);
+    }
+    // Per-link transfer totals and occupancy (every link of the cluster:
+    // PCIe lanes, host bridges, NVLink edges, NICs, fabric, SSD channels).
+    for (const hw::Link* l : net_.links()) {
+      std::string prefix = "hw/" + l->name() + "/";
+      m.gauge(prefix + "bytes_carried").set(l->bytes_carried());
+      m.gauge(prefix + "busy_s").set(l->busy_seconds());
+      m.gauge(prefix + "util_pct")
+          .set(total > 0.0 ? l->busy_seconds() / total * 100.0 : 0.0);
+    }
+    if (!config_.synthetic_data) {
+      m.gauge("ddl/data/cache_hit_rate").set(1.0 - st.miss_fraction);
+      if (st.g_prefetch_depth != nullptr) {
+        // Close the occupancy window at the end of the run so the mean
+        // covers the full pipeline lifetime.
+        st.g_prefetch_depth->set(total, st.g_prefetch_depth->current());
+        m.gauge("ddl/pipeline/occupancy_pct")
+            .set(st.g_prefetch_depth->time_weighted_mean() /
+                 static_cast<double>(config_.prefetch_depth) * 100.0);
+      }
+    }
+    if (fault_mode) {
+      m.counter("ddl/checkpoint/count").add(st.checkpoints_written);
+      m.counter("ddl/checkpoint/write_s").add(st.checkpoint_seconds);
+      m.counter("faults/lost_work_s")
+          .add(st.fault_wait_seconds + st.fault_rework_seconds);
+      m.counter("faults/rework_s").add(st.fault_rework_seconds);
+    }
+    // Simulator internals. Event counts and queue depths are deterministic;
+    // anything wall-clock derived is registered volatile so deterministic
+    // snapshots can exclude it.
+    m.gauge("sim/events_executed")
+        .set(static_cast<double>(sim_.events_executed()));
+    m.gauge("sim/max_queue_depth")
+        .set(static_cast<double>(sim_.max_queue_depth()));
+    m.gauge("sim/sim_time_s").set(total);
+    m.gauge("sim/wall_time_s", /*volatile_metric=*/true)
+        .set(sim_.wall_seconds());
+    m.gauge("sim/sim_per_wall_ratio", /*volatile_metric=*/true)
+        .set(sim_.wall_seconds() > 0.0 ? total / sim_.wall_seconds() : 0.0);
+  }
 
   TrainResult result;
   result.measured_iterations = static_cast<int>(st.iter_times.count());

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace stash::hw {
 
@@ -56,6 +57,13 @@ void FlowNetwork::settle() {
   double dt = sim_.now() - last_settle_;
   if (dt > 0.0) {
     for (Flow& f : flows_) f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+    // Busy-time accounting: every link touched by an active flow was
+    // occupied for the elapsed window (links are deduplicated so shared
+    // links are charged once).
+    std::unordered_set<Link*> touched;
+    for (Flow& f : flows_)
+      for (Link* l : f.path) touched.insert(l);
+    for (Link* l : touched) l->account_busy(dt);
   }
   last_settle_ = sim_.now();
 }

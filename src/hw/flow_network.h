@@ -57,6 +57,15 @@ class FlowNetwork {
   std::size_t active_flows() const { return flows_.size(); }
   std::size_t num_links() const { return links_.size(); }
 
+  // Every link created on this network, in creation order (stable, so the
+  // telemetry export enumerating it is deterministic).
+  std::vector<const Link*> links() const {
+    std::vector<const Link*> out;
+    out.reserve(links_.size());
+    for (const auto& l : links_) out.push_back(l.get());
+    return out;
+  }
+
  private:
   struct Flow {
     std::uint64_t id;

@@ -37,10 +37,18 @@ class Link {
   double bytes_carried() const { return bytes_carried_; }
   void account_bytes(double bytes) { bytes_carried_ += bytes; }
 
+  // Simulated seconds during which at least one flow was active on this
+  // link (updated by the FlowNetwork at each settle). busy_seconds divided
+  // by the run duration is the link's occupancy; bytes_carried divided by
+  // (capacity * busy_seconds) its efficiency while busy.
+  double busy_seconds() const { return busy_seconds_; }
+  void account_busy(double seconds) { busy_seconds_ += seconds; }
+
  private:
   std::string name_;
   double capacity_;  // bytes per second
   double bytes_carried_ = 0.0;
+  double busy_seconds_ = 0.0;
 };
 
 }  // namespace stash::hw

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -16,6 +17,7 @@ EventId Simulator::schedule_at(SimTime t, Callback fn) {
   std::uint64_t seq = next_seq_++;
   queue_.push(Scheduled{t, seq});
   callbacks_.emplace(seq, std::move(fn));
+  max_queue_depth_ = std::max(max_queue_depth_, callbacks_.size());
   return EventId{seq};
 }
 
@@ -56,13 +58,18 @@ void Simulator::check_root_failures() {
 }
 
 SimTime Simulator::run() {
+  auto wall_start = std::chrono::steady_clock::now();
   while (step()) {
   }
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
   check_root_failures();
   return now_;
 }
 
 SimTime Simulator::run_until(SimTime t) {
+  auto wall_start = std::chrono::steady_clock::now();
   while (!queue_.empty()) {
     Scheduled top = queue_.top();
     if (!callbacks_.contains(top.seq)) {
@@ -74,6 +81,9 @@ SimTime Simulator::run_until(SimTime t) {
   }
   // Advance the clock to the requested horizon even if nothing fires there.
   now_ = std::max(now_, t);
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
   check_root_failures();
   return now_;
 }

@@ -77,6 +77,13 @@ class Simulator {
   std::size_t num_processes() const { return roots_.size(); }
   std::uint64_t events_executed() const { return events_executed_; }
 
+  // Telemetry: live pending-event count, the high-water mark it reached,
+  // and the wall-clock seconds spent inside run()/run_until() (for the
+  // sim-time / wall-time ratio the run manifest reports).
+  std::size_t queue_depth() const { return callbacks_.size(); }
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
+  double wall_seconds() const { return wall_seconds_; }
+
  private:
   struct Scheduled {
     SimTime time;
@@ -92,6 +99,8 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
+  std::size_t max_queue_depth_ = 0;
+  double wall_seconds_ = 0.0;
   std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
   // seq -> callback; erased on fire/cancel. Cancelled events stay in the
   // priority queue but are skipped when popped.

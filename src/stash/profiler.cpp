@@ -110,6 +110,10 @@ ddl::TrainResult StashProfiler::run_step(const ClusterSpec& spec, Step step,
       cloud::fabric_bandwidth());
 
   ddl::TrainConfig cfg = step_config(step, per_gpu_batch, spec.gpus_used());
+  if (step == options_.instrument_step) {
+    cfg.trace = options_.trace;
+    cfg.metrics = options_.metrics;
+  }
   // Restrict to the spec's per-machine GPU subset (step-5 splits and step 1).
   if (cfg.use_gpus.empty() && spec.gpus_per_machine > 0) {
     for (int m = 0; m < spec.count; ++m) {
@@ -192,6 +196,24 @@ StallReport StashProfiler::profile_impl(const ClusterSpec& spec, int per_gpu_bat
   report.epoch_seconds = warm.epoch_time(dataset_.num_samples, per_gpu_batch);
   report.epoch_cost_usd = cloud::cost_usd(cloud::instance(spec.instance),
                                           report.epoch_seconds, spec.count);
+
+  // Mirror the derived decomposition into the registry so a metrics file is
+  // self-contained: the stall percentages there match the report (and the
+  // manifest) exactly.
+  if (options_.metrics != nullptr) {
+    auto& m = *options_.metrics;
+    m.gauge("profiler/t1_s").set(report.t1);
+    m.gauge("profiler/t2_s").set(report.t2);
+    m.gauge("profiler/t3_s").set(report.t3);
+    m.gauge("profiler/t4_s").set(report.t4);
+    if (report.has_network_step) m.gauge("profiler/t5_s").set(report.t5);
+    m.gauge("profiler/ic_stall_pct").set(report.ic_stall_pct);
+    m.gauge("profiler/nw_stall_pct").set(report.nw_stall_pct);
+    m.gauge("profiler/prep_stall_pct").set(report.prep_stall_pct);
+    m.gauge("profiler/fetch_stall_pct").set(report.fetch_stall_pct);
+    m.gauge("profiler/fault_stall_pct").set(report.fault_stall_pct);
+  }
+
   if (warm_out != nullptr) *warm_out = std::move(warm);
   return report;
 }
@@ -205,7 +227,15 @@ FaultProfileReport StashProfiler::profile_under_faults(
     const FaultProfileOptions& fopt) const {
   plan.validate();
   FaultProfileReport out;
-  out.healthy = profile_impl(spec, per_gpu_batch, nullptr, {}, nullptr);
+  // Instrument only the faulted pass: with one shared registry/trace, running
+  // both passes instrumented would overlay two runs' counters and spans.
+  {
+    ProfileOptions healthy_opts = options_;
+    healthy_opts.trace = nullptr;
+    healthy_opts.metrics = nullptr;
+    StashProfiler healthy_profiler(model_, dataset_, healthy_opts);
+    out.healthy = healthy_profiler.profile_impl(spec, per_gpu_batch, nullptr, {}, nullptr);
+  }
   ddl::TrainResult warm;
   out.faulted = profile_impl(spec, per_gpu_batch, &plan, fopt, &warm);
   out.fault_stall_seconds = warm.fault_stall;

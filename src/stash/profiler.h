@@ -80,6 +80,17 @@ struct ProfileOptions {
   int loader_workers_per_gpu = 3;
   int prefetch_depth = 4;
 
+  // Optional telemetry sinks (not owned; may be null). They attach to the
+  // run of `instrument_step` — by default the warm-data step, the one
+  // closest to production — so a profile yields one trace and one metrics
+  // snapshot rather than five overlaid ones. run_step() also honors them
+  // whenever the step it is asked to run matches. After profile(), the
+  // profiler additionally records the derived T1..T5 and stall percentages
+  // into the registry under "profiler/".
+  util::TraceRecorder* trace = nullptr;
+  telemetry::MetricsRegistry* metrics = nullptr;
+  Step instrument_step = Step::kRealWarm;
+
   // Throws std::invalid_argument (with the offending field named) on
   // nonsense values; called by every profiling entry point so a bad option
   // fails fast instead of producing silent garbage.

@@ -1,0 +1,174 @@
+#include "telemetry/manifest.h"
+
+#include <ostream>
+
+#include "util/json.h"
+
+namespace stash::telemetry {
+
+namespace {
+
+const char* policy_name(ddl::RecoveryPolicy p) {
+  switch (p) {
+    case ddl::RecoveryPolicy::kCheckpointRestart:
+      return "checkpoint-restart";
+    case ddl::RecoveryPolicy::kShrink:
+      return "shrink";
+  }
+  return "unknown";
+}
+
+void write_recovery(util::JsonWriter& w, const ddl::RecoveryRecord& r) {
+  w.begin_object();
+  w.key("time_s").value(r.time_s);
+  w.key("at_iteration").value(r.at_iteration);
+  w.key("policy").value(policy_name(r.policy));
+  w.key("workers_before").value(r.workers_before);
+  w.key("workers_after").value(r.workers_after);
+  w.key("wait_seconds").value(r.wait_seconds);
+  w.key("rework_iterations").value(r.rework_iterations);
+  w.end_object();
+}
+
+void write_stall_report(util::JsonWriter& w, const profiler::StallReport& r) {
+  w.begin_object();
+  w.key("config").value(r.config_label);
+  w.key("model").value(r.model_name);
+  w.key("per_gpu_batch").value(r.per_gpu_batch);
+  w.key("gpus").value(r.gpus);
+  w.key("t1_s").value(r.t1);
+  w.key("t2_s").value(r.t2);
+  w.key("t3_s").value(r.t3);
+  w.key("t4_s").value(r.t4);
+  // t5 is NaN without a network split; json_double maps that to null.
+  w.key("t5_s").value(r.t5);
+  w.key("has_network_step").value(r.has_network_step);
+  w.key("ic_stall_pct").value(r.ic_stall_pct);
+  w.key("nw_stall_pct").value(r.nw_stall_pct);
+  w.key("prep_stall_pct").value(r.prep_stall_pct);
+  w.key("fetch_stall_pct").value(r.fetch_stall_pct);
+  w.key("fault_stall_pct").value(r.fault_stall_pct);
+  w.key("degenerate_pcts").value(r.degenerate_pcts);
+  w.key("epoch_seconds").value(r.epoch_seconds);
+  w.key("epoch_cost_usd").value(r.epoch_cost_usd);
+  w.end_object();
+}
+
+void write_train_result(util::JsonWriter& w, const ddl::TrainResult& r) {
+  w.begin_object();
+  w.key("measured_iterations").value(r.measured_iterations);
+  w.key("window_time_s").value(r.window_time);
+  w.key("per_iteration_s").value(r.per_iteration);
+  w.key("data_wait_s").value(r.data_wait);
+  w.key("h2d_s").value(r.h2d_time);
+  w.key("compute_s").value(r.compute_time);
+  w.key("comm_tail_s").value(r.comm_tail);
+  w.key("gpus_used").value(r.gpus_used);
+  w.key("gpus_at_end").value(r.gpus_at_end);
+  w.key("fault_stall_s").value(r.fault_stall);
+  w.key("checkpoint_s").value(r.checkpoint_seconds);
+  w.key("checkpoints_written").value(r.checkpoints_written);
+  w.key("recoveries").begin_array();
+  for (const auto& rec : r.recoveries) write_recovery(w, rec);
+  w.end_array();
+  w.end_object();
+}
+
+void write_fault_report(util::JsonWriter& w, const profiler::FaultProfileReport& r) {
+  w.begin_object();
+  w.key("healthy");
+  write_stall_report(w, r.healthy);
+  w.key("faulted");
+  write_stall_report(w, r.faulted);
+  w.key("fault_stall_seconds").value(r.fault_stall_seconds);
+  w.key("checkpoint_seconds").value(r.checkpoint_seconds);
+  w.key("checkpoints_written").value(r.checkpoints_written);
+  w.key("gpus_at_end").value(r.gpus_at_end);
+  w.key("epoch_slowdown").value(r.epoch_slowdown);
+  w.key("recoveries").begin_array();
+  for (const auto& rec : r.recoveries) write_recovery(w, rec);
+  w.end_array();
+  w.end_object();
+}
+
+void write_estimate(util::JsonWriter& w, const profiler::TrainingEstimate& r) {
+  w.begin_object();
+  w.key("config").value(r.config_label);
+  w.key("model").value(r.model_name);
+  w.key("epochs").value(r.epochs);
+  w.key("per_gpu_batch").value(r.per_gpu_batch);
+  w.key("first_epoch_seconds").value(r.first_epoch_seconds);
+  w.key("steady_epoch_seconds").value(r.steady_epoch_seconds);
+  w.key("total_seconds").value(r.total_seconds);
+  w.key("total_cost_usd").value(r.total_cost_usd);
+  w.key("cold_start_overhead_pct").value(r.cold_start_overhead_pct);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const profiler::StallReport& r) {
+  util::JsonWriter w;
+  write_stall_report(w, r);
+  return w.str();
+}
+
+std::string to_json(const ddl::RecoveryRecord& r) {
+  util::JsonWriter w;
+  write_recovery(w, r);
+  return w.str();
+}
+
+std::string to_json(const ddl::TrainResult& r) {
+  util::JsonWriter w;
+  write_train_result(w, r);
+  return w.str();
+}
+
+std::string to_json(const profiler::FaultProfileReport& r) {
+  util::JsonWriter w;
+  write_fault_report(w, r);
+  return w.str();
+}
+
+std::string to_json(const profiler::TrainingEstimate& r) {
+  util::JsonWriter w;
+  write_estimate(w, r);
+  return w.str();
+}
+
+std::string RunManifest::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("stash.run_manifest/1");
+  w.key("tool").value("stash");
+  w.key("command").value(command);
+  w.key("config").begin_object();
+  for (const auto& [k, v] : config) w.key(k).value(v);
+  w.end_object();
+  if (stall_report) {
+    w.key("stall_report");
+    write_stall_report(w, *stall_report);
+  }
+  if (fault_report) {
+    w.key("fault_report");
+    write_fault_report(w, *fault_report);
+  }
+  if (train_result) {
+    w.key("train_result");
+    write_train_result(w, *train_result);
+  }
+  if (estimate) {
+    w.key("estimate");
+    write_estimate(w, *estimate);
+  }
+  if (metrics != nullptr) {
+    w.key("metrics").raw(metrics->to_json(include_volatile_metrics));
+  }
+  w.end_object();
+  return w.str();
+}
+
+void RunManifest::write(std::ostream& os) const { os << to_json() << "\n"; }
+
+}  // namespace stash::telemetry

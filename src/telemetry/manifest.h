@@ -1,0 +1,60 @@
+// RunManifest: one self-describing JSON document per profiling run.
+//
+// A manifest bundles everything needed to audit a result after the fact:
+// the command and configuration that produced it, the StallReport (and, for
+// fault-conditioned runs, the FaultProfileReport), the raw TrainResult or
+// TrainingEstimate where one exists, and a full MetricsRegistry snapshot.
+// Doubles serialize with shortest-round-trip formatting, so a reader
+// recovers bit-identical stall percentages — the golden-file tests rely on
+// this.
+//
+// The header lives in telemetry/ with the registry it embeds; the
+// implementation is compiled into the profiler library because it
+// serializes profiler- and trainer-level report types.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ddl/train_config.h"
+#include "stash/profiler.h"
+#include "stash/session.h"
+#include "telemetry/metrics.h"
+
+namespace stash::telemetry {
+
+// Standalone serializers, reused by RunManifest and available to tests.
+std::string to_json(const profiler::StallReport& r);
+std::string to_json(const ddl::RecoveryRecord& r);
+std::string to_json(const ddl::TrainResult& r);
+std::string to_json(const profiler::FaultProfileReport& r);
+std::string to_json(const profiler::TrainingEstimate& r);
+
+struct RunManifest {
+  std::string command;  // e.g. "profile", "stalls", "estimate"
+
+  // Flattened configuration key/values in insertion order (model, instance,
+  // batch, option overrides — whatever produced the run).
+  std::vector<std::pair<std::string, std::string>> config;
+
+  std::optional<profiler::StallReport> stall_report;
+  std::optional<profiler::FaultProfileReport> fault_report;
+  std::optional<ddl::TrainResult> train_result;
+  std::optional<profiler::TrainingEstimate> estimate;
+
+  // Snapshot source (not owned; may be null for runs without metrics).
+  const MetricsRegistry* metrics = nullptr;
+  bool include_volatile_metrics = true;
+
+  void add_config(std::string key, std::string value) {
+    config.emplace_back(std::move(key), std::move(value));
+  }
+
+  std::string to_json() const;
+  void write(std::ostream& os) const;
+};
+
+}  // namespace stash::telemetry

@@ -1,0 +1,211 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace stash::telemetry {
+
+void TimeWeightedGauge::set(double now, double v) {
+  if (!started_) {
+    started_ = true;
+    first_t_ = last_t_ = now;
+    value_ = max_ = v;
+    return;
+  }
+  if (now < last_t_)
+    throw std::invalid_argument("TimeWeightedGauge: time went backwards");
+  weighted_sum_ += value_ * (now - last_t_);
+  last_t_ = now;
+  value_ = v;
+  max_ = std::max(max_, v);
+}
+
+double TimeWeightedGauge::time_weighted_mean() const {
+  double span = observed_span();
+  return span > 0.0 ? weighted_sum_ / span : 0.0;
+}
+
+namespace {
+
+std::vector<double> default_time_bounds() {
+  // 1e-6 s .. 1e4 s, four buckets per decade.
+  std::vector<double> bounds;
+  bounds.reserve(41);
+  for (int i = 0; i <= 40; ++i)
+    bounds.push_back(std::pow(10.0, -6.0 + static_cast<double>(i) / 4.0));
+  return bounds;
+}
+
+}  // namespace
+
+Histogram::Histogram() : Histogram(default_time_bounds()) {}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: needs at least one bucket bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  if (!std::isfinite(v)) throw std::invalid_argument("Histogram: non-finite value");
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    double before = static_cast<double>(cumulative);
+    cumulative += counts_[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Interpolate within this bucket. The underflow bucket's lower edge is
+    // the observed min; the overflow bucket's upper edge the observed max.
+    double lo = b == 0 ? min_ : bounds_[b - 1];
+    double hi = b < bounds_.size() ? bounds_[b] : max_;
+    double frac = (target - before) / static_cast<double>(counts_[b]);
+    double v = lo + frac * (hi - lo);
+    return std::clamp(v, min_, max_);
+  }
+  return max_;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name, Kind kind) {
+  if (name.empty())
+    throw std::invalid_argument("MetricsRegistry: empty metric name");
+  auto [it, inserted] = metrics_.try_emplace(name);
+  if (!inserted && it->second.kind != kind)
+    throw std::logic_error("MetricsRegistry: '" + name +
+                           "' already registered with a different kind");
+  if (inserted) it->second.kind = kind;
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Entry& e = entry(name, Kind::kCounter);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, bool volatile_metric) {
+  Entry& e = entry(name, Kind::kGauge);
+  if (!e.gauge) {
+    e.gauge = std::make_unique<Gauge>();
+    e.is_volatile = volatile_metric;
+  }
+  return *e.gauge;
+}
+
+TimeWeightedGauge& MetricsRegistry::time_gauge(const std::string& name) {
+  Entry& e = entry(name, Kind::kTimeGauge);
+  if (!e.time_gauge) e.time_gauge = std::make_unique<TimeWeightedGauge>();
+  return *e.time_gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  Entry& e = entry(name, Kind::kHistogram);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>();
+  return *e.histogram;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  Entry& e = entry(name, Kind::kHistogram);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *e.histogram;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = metrics_.find(name);
+  return it != metrics_.end() ? it->second.counter.get() : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  auto it = metrics_.find(name);
+  return it != metrics_.end() ? it->second.gauge.get() : nullptr;
+}
+
+const TimeWeightedGauge* MetricsRegistry::find_time_gauge(
+    const std::string& name) const {
+  auto it = metrics_.find(name);
+  return it != metrics_.end() ? it->second.time_gauge.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  auto it = metrics_.find(name);
+  return it != metrics_.end() ? it->second.histogram.get() : nullptr;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, e] : metrics_) out.push_back(name);
+  return out;
+}
+
+std::string MetricsRegistry::to_json(bool include_volatile) const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("stash.metrics/1");
+  w.key("metrics").begin_object();
+  for (const auto& [name, e] : metrics_) {
+    if (e.is_volatile && !include_volatile) continue;
+    w.key(name).begin_object();
+    switch (e.kind) {
+      case Kind::kCounter:
+        w.key("type").value("counter");
+        w.key("value").value(e.counter->value());
+        break;
+      case Kind::kGauge:
+        w.key("type").value("gauge");
+        w.key("value").value(e.gauge->value());
+        break;
+      case Kind::kTimeGauge:
+        w.key("type").value("time_weighted_gauge");
+        w.key("mean").value(e.time_gauge->time_weighted_mean());
+        w.key("max").value(e.time_gauge->max());
+        w.key("last").value(e.time_gauge->current());
+        w.key("span_s").value(e.time_gauge->observed_span());
+        break;
+      case Kind::kHistogram:
+        w.key("type").value("histogram");
+        w.key("count").value(static_cast<unsigned long long>(e.histogram->count()));
+        w.key("sum").value(e.histogram->sum());
+        w.key("min").value(e.histogram->min());
+        w.key("max").value(e.histogram->max());
+        w.key("mean").value(e.histogram->mean());
+        w.key("p50").value(e.histogram->percentile(50.0));
+        w.key("p95").value(e.histogram->percentile(95.0));
+        w.key("p99").value(e.histogram->percentile(99.0));
+        break;
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+void MetricsRegistry::write(std::ostream& os, bool include_volatile) const {
+  os << to_json(include_volatile);
+}
+
+}  // namespace stash::telemetry

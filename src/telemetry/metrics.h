@@ -1,0 +1,155 @@
+// Metrics registry: the numeric side of the telemetry layer.
+//
+// Components register instruments under hierarchical slash-separated names
+// ("machine0/gpu2/busy_s", "coll/ring/bytes_sent") and update them as the
+// simulation runs. A registry snapshot is a deterministic JSON document:
+// instruments serialize sorted by name, doubles use shortest-round-trip
+// formatting, and nothing in a snapshot depends on wall-clock time unless
+// the instrument was explicitly registered as volatile (the sim-time /
+// wall-time ratio is the one legitimate use). Two identical seeded runs
+// therefore produce byte-identical snapshots — a property the determinism
+// tests pin down.
+//
+// Four instrument kinds cover everything the paper's accounting needs:
+//   Counter            monotonically accumulating total (bytes, events)
+//   Gauge              last-write-wins scalar (utilization %, hit rate)
+//   TimeWeightedGauge  piecewise-constant signal integrated over simulated
+//                      time (queue depth, pipeline occupancy)
+//   Histogram          fixed log-spaced buckets with exact count/sum/min/max
+//                      and interpolated p50/p95/p99
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stash::telemetry {
+
+class Counter {
+ public:
+  void add(double delta) { value_ += delta; }
+  void increment() { value_ += 1.0; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Integrates a piecewise-constant signal over simulated time. Each set(now,
+// v) closes the window [last_t, now) at the previous value. The mean is
+// taken over the observed span [first_t, last_t]; callers that want the
+// integral to extend to the end of a run should issue a final
+// set(end_time, current()).
+class TimeWeightedGauge {
+ public:
+  void set(double now, double v);
+  double current() const { return value_; }
+  double max() const { return started_ ? max_ : 0.0; }
+  // Time-weighted mean over the observed span; 0 before two observations.
+  double time_weighted_mean() const;
+  double observed_span() const { return started_ ? last_t_ - first_t_ : 0.0; }
+
+ private:
+  bool started_ = false;
+  double first_t_ = 0.0;
+  double last_t_ = 0.0;
+  double value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-bucket histogram. Bucket upper bounds are set at construction (the
+// default covers 1 microsecond to 10^4 seconds, four buckets per decade,
+// which suits every duration this simulator produces). Percentiles are
+// linearly interpolated inside the containing bucket and clamped to the
+// exact observed [min, max].
+class Histogram {
+ public:
+  Histogram();  // default log-spaced time buckets
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  // p in [0, 100]; returns 0 on an empty histogram.
+  double percentile(double p) const;
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;          // ascending upper bounds
+  std::vector<std::uint64_t> counts_;   // bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Instrument accessors create on first use and return a stable reference.
+  // Registering the same name under two different kinds throws
+  // std::logic_error (a registry is a flat namespace). `volatile_metric`
+  // marks an instrument whose value is not a pure function of the model
+  // (e.g. wall-clock derived); volatile instruments are excluded from
+  // deterministic snapshots.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name, bool volatile_metric = false);
+  TimeWeightedGauge& time_gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  // Read-side lookups for tests and report code; nullptr when absent or of
+  // a different kind.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const TimeWeightedGauge* find_time_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  std::size_t size() const { return metrics_.size(); }
+  // Names in sorted order (the serialization order).
+  std::vector<std::string> names() const;
+
+  // Deterministic JSON snapshot, instruments sorted by name. With
+  // include_volatile=false the output is a pure function of the simulated
+  // model (byte-identical across identical runs).
+  std::string to_json(bool include_volatile = true) const;
+  void write(std::ostream& os, bool include_volatile = true) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kTimeGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    bool is_volatile = false;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<TimeWeightedGauge> time_gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& entry(const std::string& name, Kind kind);
+
+  std::map<std::string, Entry> metrics_;  // ordered => deterministic output
+};
+
+}  // namespace stash::telemetry

@@ -1,0 +1,60 @@
+// Minimal JSON emission helpers shared by every machine-readable output
+// (TraceRecorder, MetricsRegistry, RunManifest).
+//
+// There is deliberately no parser here — the repo has no dependency budget
+// for one and never consumes JSON, only produces it. What matters for the
+// producers is (a) strings are escaped correctly and (b) doubles round-trip
+// exactly, so a manifest reader recovers bit-identical stall percentages.
+#pragma once
+
+#include <string>
+
+namespace stash::util {
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes not
+// included). Control characters are \u-escaped.
+std::string json_escape(const std::string& s);
+
+// Shortest decimal representation that round-trips the exact double
+// (std::to_chars). Non-finite values have no JSON spelling and become
+// "null" — callers that care must clamp first.
+std::string json_double(double v);
+
+// Streaming JSON writer with automatic comma placement. Usage:
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("x").value(1.5);
+//   w.key("tags").begin_array().value("a").value("b").end_array();
+//   w.end_object();
+//   std::string doc = w.str();
+// The writer does not validate nesting beyond comma bookkeeping; callers
+// are expected to emit well-formed structures (tests enforce it).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(int v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(unsigned long long v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+  // Splices a pre-serialized JSON fragment in value position.
+  JsonWriter& raw(const std::string& json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma_for_value();
+  std::string out_;
+  // Whether the next value/key at the current nesting level needs a comma.
+  std::string need_comma_;  // stack of flags, one char per open scope
+  bool after_key_ = false;
+};
+
+}  // namespace stash::util

@@ -1,30 +1,14 @@
 #include "util/trace.h"
 
+#include <algorithm>
 #include <ostream>
-#include <sstream>
+#include <set>
 #include <stdexcept>
+#include <utility>
+
+#include "util/json.h"
 
 namespace stash::util {
-
-namespace {
-
-// JSON string escaping for the few characters that can appear in labels.
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 void TraceRecorder::add_span(std::string name, std::string category, double start_s,
                              double duration_s, int pid, int tid) {
@@ -33,31 +17,84 @@ void TraceRecorder::add_span(std::string name, std::string category, double star
                         pid, tid});
 }
 
+void TraceRecorder::add_instant(std::string name, std::string category,
+                                double time_s, int pid, int tid) {
+  // Simulated time starts at zero; a negative timestamp is always a bug.
+  if (time_s < 0.0) throw std::invalid_argument("TraceRecorder: negative time");
+  instants_.push_back(Instant{std::move(name), std::move(category), time_s, pid, tid});
+}
+
+void TraceRecorder::add_counter(std::string name, double time_s, double value,
+                                int pid) {
+  if (time_s < 0.0) throw std::invalid_argument("TraceRecorder: negative time");
+  counters_.push_back(CounterSample{std::move(name), time_s, value, pid});
+}
+
 void TraceRecorder::name_track(int pid, int tid, std::string label) {
   track_names_.push_back(TrackName{pid, tid, std::move(label)});
 }
 
+void TraceRecorder::name_process(int pid, std::string label) {
+  process_names_.push_back(ProcessName{pid, std::move(label)});
+}
+
+std::size_t TraceRecorder::num_counter_tracks() const {
+  std::set<std::pair<int, std::string>> tracks;
+  for (const auto& c : counters_) tracks.emplace(c.pid, c.name);
+  return tracks.size();
+}
+
+std::size_t TraceRecorder::num_span_tracks() const {
+  std::set<std::pair<int, int>> tracks;
+  for (const auto& s : spans_) tracks.emplace(s.pid, s.tid);
+  return tracks.size();
+}
+
 std::string TraceRecorder::to_json() const {
-  std::ostringstream os;
-  os << "{\"traceEvents\":[";
+  std::string out;
+  out += "{\"traceEvents\":[";
   bool first = true;
-  for (const auto& t : track_names_) {
-    if (!first) os << ",";
+  auto sep = [&] {
+    if (!first) out += ",";
     first = false;
-    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << t.pid
-       << ",\"tid\":" << t.tid << ",\"args\":{\"name\":\"" << escape(t.label)
-       << "\"}}";
+  };
+  for (const auto& p : process_names_) {
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+           std::to_string(p.pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+           json_escape(p.label) + "\"}}";
+  }
+  for (const auto& t : track_names_) {
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+           std::to_string(t.pid) + ",\"tid\":" + std::to_string(t.tid) +
+           ",\"args\":{\"name\":\"" + json_escape(t.label) + "\"}}";
   }
   for (const auto& s : spans_) {
-    if (!first) os << ",";
-    first = false;
-    os << "{\"ph\":\"X\",\"name\":\"" << escape(s.name) << "\",\"cat\":\""
-       << escape(s.category) << "\",\"ts\":" << s.start_s * 1e6
-       << ",\"dur\":" << s.duration_s * 1e6 << ",\"pid\":" << s.pid
-       << ",\"tid\":" << s.tid << "}";
+    sep();
+    out += "{\"ph\":\"X\",\"name\":\"" + json_escape(s.name) + "\",\"cat\":\"" +
+           json_escape(s.category) + "\",\"ts\":" + json_double(s.start_s * 1e6) +
+           ",\"dur\":" + json_double(s.duration_s * 1e6) +
+           ",\"pid\":" + std::to_string(s.pid) +
+           ",\"tid\":" + std::to_string(s.tid) + "}";
   }
-  os << "],\"displayTimeUnit\":\"ms\"}";
-  return os.str();
+  for (const auto& i : instants_) {
+    sep();
+    out += "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" + json_escape(i.name) +
+           "\",\"cat\":\"" + json_escape(i.category) +
+           "\",\"ts\":" + json_double(i.time_s * 1e6) +
+           ",\"pid\":" + std::to_string(i.pid) +
+           ",\"tid\":" + std::to_string(i.tid) + "}";
+  }
+  for (const auto& c : counters_) {
+    sep();
+    out += "{\"ph\":\"C\",\"name\":\"" + json_escape(c.name) +
+           "\",\"ts\":" + json_double(c.time_s * 1e6) +
+           ",\"pid\":" + std::to_string(c.pid) + ",\"args\":{\"value\":" +
+           json_double(c.value) + "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
 }
 
 void TraceRecorder::write(std::ostream& os) const { os << to_json(); }

@@ -3,8 +3,18 @@
 // Collects named duration spans on (process, thread) tracks and serializes
 // them in the Chrome trace-event JSON format, loadable in chrome://tracing
 // or Perfetto. The trainer uses it to emit per-iteration timelines (data
-// wait / H2D / forward / backward / collectives) so a stall diagnosis can
-// be read straight off the track view.
+// wait / H2D / forward / backward / collectives) for every GPU worker on
+// every machine, so a stall diagnosis can be read straight off the track
+// view.
+//
+// Besides duration spans ("ph":"X") the recorder supports:
+//   * instant events ("ph":"i") — point-in-time markers such as fault
+//     detections and worker deaths;
+//   * counter tracks ("ph":"C") — numeric series (queue depth, link
+//     utilization, loader occupancy) that render as graphs under the span
+//     tracks;
+//   * process_name / thread_name metadata ("ph":"M") — labels each machine
+//     (pid) and each GPU worker (tid) so multi-machine traces stay legible.
 #pragma once
 
 #include <cstdint>
@@ -25,14 +35,46 @@ class TraceRecorder {
     int tid = 0;  // track (e.g. GPU worker)
   };
 
+  struct Instant {
+    std::string name;
+    std::string category;
+    double time_s = 0.0;
+    int pid = 0;
+    int tid = 0;
+  };
+
+  struct CounterSample {
+    std::string name;  // counter-track name; one track per (pid, name)
+    double time_s = 0.0;
+    double value = 0.0;
+    int pid = 0;
+  };
+
   void add_span(std::string name, std::string category, double start_s,
                 double duration_s, int pid, int tid);
 
+  // Point-in-time marker on a (pid, tid) track.
+  void add_instant(std::string name, std::string category, double time_s,
+                   int pid, int tid);
+
+  // Appends one sample to the counter track `name` of process `pid`; the
+  // viewer renders consecutive samples of a track as a step graph.
+  void add_counter(std::string name, double time_s, double value, int pid);
+
   // Labels a track; emitted as a thread_name metadata record.
   void name_track(int pid, int tid, std::string label);
+  // Labels a process (track group); emitted as process_name metadata.
+  void name_process(int pid, std::string label);
 
   std::size_t size() const { return spans_.size(); }
   const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<Instant>& instants() const { return instants_; }
+  const std::vector<CounterSample>& counters() const { return counters_; }
+
+  // Number of distinct (pid, name) counter tracks recorded so far.
+  std::size_t num_counter_tracks() const;
+  // Number of distinct (pid, tid) pairs referenced by spans.
+  std::size_t num_span_tracks() const;
 
   // Chrome trace-event JSON (timestamps in microseconds, as the format
   // requires).
@@ -45,8 +87,15 @@ class TraceRecorder {
     int tid;
     std::string label;
   };
+  struct ProcessName {
+    int pid;
+    std::string label;
+  };
   std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+  std::vector<CounterSample> counters_;
   std::vector<TrackName> track_names_;
+  std::vector<ProcessName> process_names_;
 };
 
 }  // namespace stash::util

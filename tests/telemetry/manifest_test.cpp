@@ -1,0 +1,345 @@
+// Golden-file checks for the machine-readable outputs: every JSON document
+// the telemetry layer emits must parse as strict JSON, stall percentages
+// must round-trip bit-exactly, and identical runs must snapshot
+// byte-identically. The checker below is a minimal recursive-descent
+// validator written for the test — the repo deliberately ships no JSON
+// parser dependency.
+#include "telemetry/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "dnn/zoo.h"
+#include "stash/profiler.h"
+#include "telemetry/metrics.h"
+#include "util/json.h"
+#include "util/trace.h"
+
+namespace stash::telemetry {
+namespace {
+
+// Strict JSON validator (RFC 8259 grammar, no extensions: no trailing
+// commas, no NaN/Infinity literals, no comments).
+class JsonChecker {
+ public:
+  static bool valid(const std::string& s) {
+    JsonChecker c(s);
+    c.ws();
+    if (!c.value()) return false;
+    c.ws();
+    return c.pos_ == s.size();
+  }
+
+ private:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool literal(const char* word) {
+    std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size()) {
+      unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++pos_;
+        char e = peek();
+        if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(peek()))) return false;
+            ++pos_;
+          }
+        } else if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+                   e == 'n' || e == 'r' || e == 't') {
+          ++pos_;
+        } else {
+          return false;
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    eat('-');
+    if (peek() == '0') {
+      ++pos_;
+    } else if (!digits()) {
+      return false;
+    }
+    if (eat('.') && !digits()) return false;
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    ws();
+    if (eat('}')) return true;
+    while (true) {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (!eat(':')) return false;
+      ws();
+      if (!value()) return false;
+      ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    ws();
+    if (eat(']')) return true;
+    while (true) {
+      ws();
+      if (!value()) return false;
+      ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// Extracts the numeric value following "key": in a JSON document via strtod
+// (shortest-round-trip doubles make this exact).
+double number_after(const std::string& json, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  std::size_t at = json.find(needle);
+  EXPECT_NE(at, std::string::npos) << "missing key " << key;
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
+
+TEST(JsonChecker, AcceptsAndRejectsAsStrictJson) {
+  EXPECT_TRUE(JsonChecker::valid("{}"));
+  EXPECT_TRUE(JsonChecker::valid(R"({"a":[1,-2.5e3,"x\n",true,null]})"));
+  EXPECT_FALSE(JsonChecker::valid(""));
+  EXPECT_FALSE(JsonChecker::valid("{"));
+  EXPECT_FALSE(JsonChecker::valid("{'a':1}"));
+  EXPECT_FALSE(JsonChecker::valid("[1,]"));
+  EXPECT_FALSE(JsonChecker::valid("{\"a\":01}"));
+  EXPECT_FALSE(JsonChecker::valid("{\"a\":nan}"));
+  EXPECT_FALSE(JsonChecker::valid("{} extra"));
+  EXPECT_FALSE(JsonChecker::valid("{\"a\":\"\x01\"}"));
+}
+
+TEST(JsonDouble, RoundTripsThroughStrtod) {
+  for (double v : {0.0, 1.0 / 3.0, 97.39646745599968, 9.642200741509247e-14,
+                   -2.5e-300, 1.7976931348623157e308}) {
+    std::string s = util::json_double(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+  EXPECT_EQ(util::json_double(std::nan("")), "null");
+}
+
+class ManifestFixture : public ::testing::Test {
+ protected:
+  static profiler::ProfileOptions options(util::TraceRecorder* trace,
+                                          MetricsRegistry* metrics) {
+    profiler::ProfileOptions opt;
+    opt.trace = trace;
+    opt.metrics = metrics;
+    return opt;
+  }
+
+  static profiler::ClusterSpec spec() {
+    profiler::ClusterSpec s;
+    s.instance = "p3.8xlarge";  // 4 V100s, NVLink — the paper's workhorse
+    s.count = 1;
+    return s;
+  }
+};
+
+TEST_F(ManifestFixture, ManifestAndTraceAreValidJson) {
+  util::TraceRecorder trace;
+  MetricsRegistry metrics;
+  profiler::StashProfiler prof(dnn::make_zoo_model("resnet18"),
+                               dnn::dataset_for("resnet18"),
+                               options(&trace, &metrics));
+  profiler::StallReport r = prof.profile(spec(), 32);
+
+  RunManifest man;
+  man.command = "profile";
+  man.add_config("model", "resnet18");
+  man.add_config("weird \"key\"\n", "value with \\ and \x01 control");
+  man.stall_report = r;
+  man.metrics = &metrics;
+
+  EXPECT_TRUE(JsonChecker::valid(man.to_json()));
+  EXPECT_TRUE(JsonChecker::valid(trace.to_json()));
+  EXPECT_TRUE(JsonChecker::valid(metrics.to_json()));
+  EXPECT_TRUE(JsonChecker::valid(metrics.to_json(false)));
+}
+
+TEST_F(ManifestFixture, StallPercentagesRoundTripExactly) {
+  MetricsRegistry metrics;
+  profiler::StashProfiler prof(dnn::make_zoo_model("resnet18"),
+                               dnn::dataset_for("resnet18"),
+                               options(nullptr, &metrics));
+  profiler::StallReport r = prof.profile(spec(), 32);
+
+  RunManifest man;
+  man.command = "profile";
+  man.stall_report = r;
+  man.metrics = &metrics;
+  std::string json = man.to_json();
+
+  // The manifest's numbers are the report's numbers, bit for bit.
+  EXPECT_EQ(number_after(json, "ic_stall_pct"), r.ic_stall_pct);
+  EXPECT_EQ(number_after(json, "nw_stall_pct"), r.nw_stall_pct);
+  EXPECT_EQ(number_after(json, "prep_stall_pct"), r.prep_stall_pct);
+  EXPECT_EQ(number_after(json, "fetch_stall_pct"), r.fetch_stall_pct);
+  EXPECT_EQ(number_after(json, "t1_s"), r.t1);
+  EXPECT_EQ(number_after(json, "epoch_seconds"), r.epoch_seconds);
+
+  // And the registry mirrors the same decomposition under profiler/.
+  const Gauge* g = metrics.find_gauge("profiler/ic_stall_pct");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value(), r.ic_stall_pct);
+}
+
+TEST_F(ManifestFixture, IdenticalRunsSnapshotByteIdentically) {
+  auto snapshot = [this] {
+    MetricsRegistry metrics;
+    profiler::StashProfiler prof(dnn::make_zoo_model("resnet18"),
+                                 dnn::dataset_for("resnet18"),
+                                 options(nullptr, &metrics));
+    prof.profile(spec(), 32);
+    // Exclude volatile instruments (wall-clock derived); everything else is
+    // a pure function of the simulated run.
+    return metrics.to_json(false);
+  };
+  std::string a = snapshot();
+  std::string b = snapshot();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.size(), 1000u);  // non-trivial snapshot, not two empty docs
+}
+
+// The ISSUE's acceptance criteria for `stash profile --json --trace
+// --metrics`, checked at the library layer: one span track per GPU worker,
+// at least two counter tracks, per-GPU utilization, per-link bytes, and
+// iteration-phase histograms with ordered percentiles.
+TEST_F(ManifestFixture, InstrumentedProfileMeetsAcceptanceCriteria) {
+  util::TraceRecorder trace;
+  MetricsRegistry metrics;
+  profiler::StashProfiler prof(dnn::make_zoo_model("resnet18"),
+                               dnn::dataset_for("resnet18"),
+                               options(&trace, &metrics));
+  prof.profile(spec(), 32);
+
+  // p3.8xlarge has 4 GPUs: >= 4 worker span tracks plus H2D/comm tracks.
+  EXPECT_GE(trace.num_span_tracks(), 4u);
+  EXPECT_GE(trace.num_counter_tracks(), 2u);
+
+  for (int g = 0; g < 4; ++g) {
+    std::string base = "machine0/gpu" + std::to_string(g) + "/";
+    const Gauge* util = metrics.find_gauge(base + "util_pct");
+    ASSERT_NE(util, nullptr) << base;
+    EXPECT_GT(util->value(), 0.0);
+    EXPECT_LE(util->value(), 100.0);
+    EXPECT_NE(metrics.find_counter(base + "busy_s"), nullptr);
+  }
+
+  bool saw_link_bytes = false;
+  for (const std::string& name : metrics.names())
+    if (name.rfind("hw/", 0) == 0 &&
+        name.find("/bytes_carried") != std::string::npos)
+      saw_link_bytes = true;
+  EXPECT_TRUE(saw_link_bytes);
+
+  for (const char* h : {"ddl/iter/total_s", "ddl/iter/data_wait_s",
+                        "ddl/iter/h2d_s", "ddl/iter/compute_s",
+                        "ddl/iter/comm_tail_s"}) {
+    const Histogram* hist = metrics.find_histogram(h);
+    ASSERT_NE(hist, nullptr) << h;
+    EXPECT_GT(hist->count(), 0u) << h;
+    EXPECT_LE(hist->percentile(50), hist->percentile(95)) << h;
+    EXPECT_LE(hist->percentile(95), hist->percentile(99)) << h;
+  }
+
+  // Collective and simulator instrumentation made it into the registry.
+  ASSERT_NE(metrics.find_counter("coll/ring/bytes_sent"), nullptr);
+  EXPECT_GT(metrics.find_counter("coll/ring/bytes_sent")->value(), 0.0);
+  ASSERT_NE(metrics.find_gauge("sim/events_executed"), nullptr);
+  EXPECT_GT(metrics.find_gauge("sim/events_executed")->value(), 0.0);
+}
+
+TEST_F(ManifestFixture, EstimateSerializes) {
+  profiler::TrainingEstimate est;
+  est.config_label = "p3.8xlarge";
+  est.model_name = "resnet18";
+  est.epochs = 3;
+  est.per_gpu_batch = 32;
+  est.total_seconds = 1234.5;
+  RunManifest man;
+  man.command = "estimate";
+  man.estimate = est;
+  std::string json = man.to_json();
+  EXPECT_TRUE(JsonChecker::valid(json));
+  EXPECT_EQ(number_after(json, "total_seconds"), 1234.5);
+  EXPECT_NE(json.find("\"command\":\"estimate\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stash::telemetry

@@ -1,0 +1,182 @@
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stash::telemetry {
+namespace {
+
+TEST(Counter, AccumulatesAndIncrements) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0.0);
+  c.add(2.5);
+  c.increment();
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  g.set(1.0);
+  g.set(-4.0);
+  EXPECT_DOUBLE_EQ(g.value(), -4.0);
+}
+
+TEST(TimeWeightedGauge, MeanWeightsByDuration) {
+  TimeWeightedGauge g;
+  // Value 2 over [0, 1), value 10 over [1, 3): mean = (2*1 + 10*2) / 3.
+  g.set(0.0, 2.0);
+  g.set(1.0, 10.0);
+  g.set(3.0, 10.0);  // close the window
+  EXPECT_DOUBLE_EQ(g.time_weighted_mean(), 22.0 / 3.0);
+  EXPECT_DOUBLE_EQ(g.max(), 10.0);
+  EXPECT_DOUBLE_EQ(g.current(), 10.0);
+  EXPECT_DOUBLE_EQ(g.observed_span(), 3.0);
+}
+
+TEST(TimeWeightedGauge, RejectsTimeRunningBackwards) {
+  TimeWeightedGauge g;
+  g.set(1.0, 5.0);
+  EXPECT_THROW(g.set(0.5, 6.0), std::invalid_argument);
+}
+
+TEST(TimeWeightedGauge, EmptyIsZero) {
+  TimeWeightedGauge g;
+  EXPECT_EQ(g.time_weighted_mean(), 0.0);
+  EXPECT_EQ(g.max(), 0.0);
+  EXPECT_EQ(g.observed_span(), 0.0);
+}
+
+TEST(Histogram, TracksExactMoments) {
+  Histogram h;
+  for (double v : {0.001, 0.002, 0.003, 0.004}) h.observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.010);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 0.004);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0025);
+}
+
+TEST(Histogram, PercentilesMonotoneAndClamped) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(i * 1e-4);  // 0.1 ms .. 100 ms
+  double p50 = h.percentile(50), p95 = h.percentile(95), p99 = h.percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Interpolated values stay within the observed range and land in the
+  // right decade (the buckets are 4-per-decade, so tolerances are loose).
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  EXPECT_NEAR(p50, 0.05, 0.03);
+  EXPECT_GT(p99, 0.08);
+}
+
+TEST(Histogram, SingleValueCollapsesPercentiles) {
+  Histogram h;
+  h.observe(0.25);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.25);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 0.25);
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(50), 0.0);
+}
+
+TEST(Histogram, RejectsNonFinite) {
+  Histogram h;
+  EXPECT_THROW(h.observe(std::nan("")), std::invalid_argument);
+  EXPECT_THROW(h.observe(HUGE_VAL), std::invalid_argument);
+}
+
+TEST(Histogram, CustomBoundsRouteToBuckets) {
+  Histogram h({1.0, 10.0});
+  h.observe(0.5);   // bucket 0
+  h.observe(5.0);   // bucket 1
+  h.observe(50.0);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+}
+
+TEST(MetricsRegistry, CreatesOnFirstUseAndReturnsStableRefs) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x/bytes");
+  a.add(7.0);
+  EXPECT_DOUBLE_EQ(reg.counter("x/bytes").value(), 7.0);
+  EXPECT_EQ(&reg.counter("x/bytes"), &a);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, KindCollisionThrows) {
+  MetricsRegistry reg;
+  reg.counter("name");
+  EXPECT_THROW(reg.gauge("name"), std::logic_error);
+  EXPECT_THROW(reg.histogram("name"), std::logic_error);
+  EXPECT_THROW(reg.time_gauge("name"), std::logic_error);
+}
+
+TEST(MetricsRegistry, FindersReturnNullOnAbsentOrWrongKind) {
+  MetricsRegistry reg;
+  reg.counter("c");
+  EXPECT_NE(reg.find_counter("c"), nullptr);
+  EXPECT_EQ(reg.find_gauge("c"), nullptr);
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+}
+
+TEST(MetricsRegistry, NamesAreSorted) {
+  MetricsRegistry reg;
+  reg.counter("z");
+  reg.counter("a");
+  reg.counter("m");
+  auto names = reg.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "m");
+  EXPECT_EQ(names[2], "z");
+}
+
+TEST(MetricsRegistry, JsonSnapshotContainsAllKinds) {
+  MetricsRegistry reg;
+  reg.counter("c").add(3.0);
+  reg.gauge("g").set(0.5);
+  reg.time_gauge("t").set(0.0, 1.0);
+  reg.time_gauge("t").set(2.0, 1.0);
+  reg.histogram("h").observe(0.01);
+  std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"schema\":\"stash.metrics/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"c\":{\"type\":\"counter\",\"value\":3}"), std::string::npos);
+  EXPECT_NE(json.find("\"g\":{\"type\":\"gauge\",\"value\":0.5}"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"time_weighted_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(MetricsRegistry, VolatileMetricsExcludedFromDeterministicSnapshot) {
+  MetricsRegistry reg;
+  reg.gauge("stable").set(1.0);
+  reg.gauge("wall_time", /*volatile_metric=*/true).set(123.456);
+  std::string full = reg.to_json(true);
+  std::string stable = reg.to_json(false);
+  EXPECT_NE(full.find("wall_time"), std::string::npos);
+  EXPECT_EQ(stable.find("wall_time"), std::string::npos);
+  EXPECT_NE(stable.find("stable"), std::string::npos);
+}
+
+TEST(MetricsRegistry, SnapshotIsByteStableAcrossIdenticalUpdates) {
+  auto build = [] {
+    auto reg = std::make_unique<MetricsRegistry>();
+    reg->counter("b/bytes").add(1e9 / 3.0);
+    reg->histogram("a/lat").observe(0.0123456789);
+    reg->gauge("c/util").set(99.99999999);
+    return reg;
+  };
+  auto r1 = build();
+  auto r2 = build();
+  EXPECT_EQ(r1->to_json(), r2->to_json());
+}
+
+}  // namespace
+}  // namespace stash::telemetry

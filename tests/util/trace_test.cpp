@@ -52,5 +52,56 @@ TEST(TraceRecorder, CountsSpans) {
   EXPECT_EQ(tr.spans().size(), 5u);
 }
 
+TEST(TraceRecorder, InstantSerialization) {
+  TraceRecorder tr;
+  tr.add_instant("fault detected", "faults", 0.004, 2, 90);
+  std::string json = tr.to_json();
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fault detected\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":4000"), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);  // thread-scoped
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":90"), std::string::npos);
+}
+
+TEST(TraceRecorder, CounterSerialization) {
+  TraceRecorder tr;
+  tr.add_counter("queue_depth", 0.002, 7.0, 1);
+  std::string json = tr.to_json();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"queue_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2000"), std::string::npos);
+}
+
+TEST(TraceRecorder, ProcessNamesEmittedAsMetadata) {
+  TraceRecorder tr;
+  tr.name_process(3, "p3.8xlarge (machine 3)");
+  std::string json = tr.to_json();
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("p3.8xlarge (machine 3)"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+}
+
+TEST(TraceRecorder, CountsDistinctTracks) {
+  TraceRecorder tr;
+  // Three span tracks: (0,0), (0,1), (1,0). Two counter tracks on pid 0.
+  tr.add_span("a", "c", 0.0, 0.1, 0, 0);
+  tr.add_span("b", "c", 0.0, 0.1, 0, 1);
+  tr.add_span("c", "c", 0.0, 0.1, 1, 0);
+  tr.add_span("d", "c", 0.2, 0.1, 0, 0);  // same track as "a"
+  tr.add_counter("x", 0.0, 1.0, 0);
+  tr.add_counter("y", 0.0, 1.0, 0);
+  tr.add_counter("x", 0.5, 2.0, 0);  // same track as first "x"
+  EXPECT_EQ(tr.num_span_tracks(), 3u);
+  EXPECT_EQ(tr.num_counter_tracks(), 2u);
+}
+
+TEST(TraceRecorder, NegativeInstantTimeThrows) {
+  TraceRecorder tr;
+  EXPECT_THROW(tr.add_instant("x", "y", -1.0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(tr.add_counter("x", -1.0, 0.0, 0), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace stash::util
