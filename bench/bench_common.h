@@ -5,32 +5,64 @@
 // rows/series the paper reports, with the paper's qualitative claim quoted
 // in the header so the output is self-checking by eye. EXPERIMENTS.md
 // records paper-vs-measured for every artifact.
+//
+// Execution: every StepRunner shares one process-wide exec::ExecContext —
+// a thread pool sized by STASH_BENCH_JOBS (default: all cores) plus the
+// process-wide SimCache — so a step time that several tables need (T2
+// feeds both the CPU-stall and the I/C-stall columns) simulates exactly
+// once, and prefetch() can fan a whole figure grid across the pool before
+// the table is rendered. Output is identical for any jobs value: tables
+// read results by key, never by completion order.
 #pragma once
 
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
-#include <map>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "dnn/zoo.h"
+#include "exec/exec_context.h"
 #include "stash/profiler.h"
 #include "util/table.h"
 
 namespace stash::bench {
 
+// Concurrent simulations for bench sweeps: STASH_BENCH_JOBS, defaulting to
+// the machine's core count (jobs never change results, only wall time).
+inline int bench_jobs() {
+  const char* env = std::getenv("STASH_BENCH_JOBS");
+  if (env != nullptr && *env != '\0') {
+    int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return exec::default_jobs();
+}
+
+// The process-wide execution context every bench harness object shares.
+inline exec::ExecContext& bench_exec() {
+  static exec::ExecContext ctx(bench_jobs());
+  return ctx;
+}
+
 inline profiler::ProfileOptions bench_profile_options() {
   profiler::ProfileOptions opt;
   opt.iterations = 4;
   opt.warmup_iterations = 1;
+  opt.exec = &bench_exec();
   return opt;
 }
 
-// STASH_BENCH_FAST=1 trims sweeps for smoke runs.
+// STASH_BENCH_FAST=1 trims sweeps for smoke runs. Unset, "0", "false",
+// "off" and "no" (any case) disable it; anything else enables it.
 inline bool fast_mode() {
   const char* env = std::getenv("STASH_BENCH_FAST");
-  return env != nullptr && std::string(env) != "0";
+  if (env == nullptr) return false;
+  std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return v != "0" && v != "false" && v != "off" && v != "no";
 }
 
 inline void print_header(const std::string& artifact, const std::string& claim) {
@@ -42,10 +74,18 @@ inline double pct(double num, double den) {
   return den > 0.0 ? std::max(0.0, num / den * 100.0) : 0.0;
 }
 
-// Memoizing step runner: benches often need the same step time in several
-// tables (e.g. T2 feeds both the CPU-stall and the I/C-stall columns).
+// Step runner over the shared SimCache: benches often need the same step
+// time in several tables, and several benches need the same step time as
+// each other — the memo lives in exec::process_cache(), not here.
 class StepRunner {
  public:
+  // One grid point of a sweep, for prefetch().
+  struct Point {
+    profiler::ClusterSpec spec;
+    profiler::Step step;
+    int batch;
+  };
+
   explicit StepRunner(std::string model_name)
       : model_(dnn::make_zoo_model(model_name)),
         profiler_(model_, dnn::dataset_for(model_name), bench_profile_options()) {}
@@ -57,25 +97,46 @@ class StepRunner {
   const dnn::Model& model() const { return model_; }
   const profiler::StashProfiler& profiler() const { return profiler_; }
 
+  // Runs (or cache-fills) every grid point across the shared pool. Tables
+  // rendered afterwards hit the cache and print in their own order, so a
+  // bench's output never depends on the jobs count.
+  void prefetch(const std::vector<Point>& points) {
+    exec::parallel_for(bench_exec().pool(), points.size(),
+                       [&](std::size_t i) { time(points[i].spec, points[i].step,
+                                                 points[i].batch); });
+  }
+
+  // Every (config, step) pair of the five-step methodology at each batch —
+  // what a full stall-decomposition figure needs.
+  void prefetch_profile_grid(const std::vector<profiler::ClusterSpec>& specs,
+                             const std::vector<int>& batches) {
+    std::vector<Point> pts;
+    for (const auto& s : specs)
+      for (int b : batches)
+        for (profiler::Step st :
+             {profiler::Step::kSingleGpuSynthetic, profiler::Step::kAllGpuSynthetic,
+              profiler::Step::kRealCold, profiler::Step::kRealWarm,
+              profiler::Step::kNetworkSynthetic})
+          pts.push_back(Point{s, st, b});
+    prefetch(pts);
+  }
+
   // Per-iteration time of one profiler step; NaN if the configuration
-  // cannot run it (batch does not fit / no network split).
+  // cannot run it (batch does not fit / no network split). Memoized in the
+  // process-wide SimCache (failures too: deterministic scenarios fail
+  // deterministically).
   double time(const profiler::ClusterSpec& spec, profiler::Step step, int batch) {
-    auto key = std::make_tuple(spec.label(), static_cast<int>(step), batch);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
-    double t = std::nan("");
     try {
       if (step == profiler::Step::kNetworkSynthetic && spec.count == 1) {
         if (auto split = profiler::network_split(spec))
-          t = profiler_.run_step(*split, step, batch).per_iteration;
-      } else {
-        t = profiler_.run_step(spec, step, batch).per_iteration;
+          return profiler_.run_step(*split, step, batch).per_iteration;
+        return std::nan("");
       }
+      return profiler_.run_step(spec, step, batch).per_iteration;
     } catch (const ddl::ModelDoesNotFit&) {
       // leave NaN: the paper simply has no bar for this combination
+      return std::nan("");
     }
-    cache_.emplace(key, t);
-    return t;
   }
 
   double ic_stall_pct(const profiler::ClusterSpec& spec, int batch) {
@@ -116,7 +177,6 @@ class StepRunner {
  private:
   dnn::Model model_;
   profiler::StashProfiler profiler_;
-  std::map<std::tuple<std::string, int, int>, double> cache_;
 };
 
 // Formats possibly-NaN cells the way the paper leaves absent bars blank.

@@ -21,9 +21,20 @@ int main() {
     batches = {32};
   }
 
-  // One memoizing runner per model: T2/T3/T4 feed both tables.
+  // One runner per model over the shared SimCache: T2/T3/T4 feed both
+  // tables. Prefetch fans the full grid across the bench pool up front so
+  // the table loops below are pure cache hits.
   std::map<std::string, std::unique_ptr<bench::StepRunner>> runners;
   for (const auto& m : models) runners.emplace(m, std::make_unique<bench::StepRunner>(m));
+  for (auto& [m, runner] : runners) {
+    std::vector<bench::StepRunner::Point> grid;
+    for (const auto& c : configs)
+      for (int b : batches)
+        for (auto step : {profiler::Step::kAllGpuSynthetic, profiler::Step::kRealCold,
+                          profiler::Step::kRealWarm})
+          grid.push_back({c, step, b});
+    runner->prefetch(grid);
+  }
 
   std::vector<std::string> headers{"batch", "model"};
   for (const auto& c : configs) headers.push_back(c.label());

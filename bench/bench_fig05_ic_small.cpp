@@ -18,6 +18,16 @@ void run_family(const std::string& title, const std::string& claim,
 
   std::map<std::string, std::unique_ptr<bench::StepRunner>> runners;
   for (const auto& m : models) runners.emplace(m, std::make_unique<bench::StepRunner>(m));
+  // Fan the whole T1/T2 grid across the bench pool before rendering.
+  for (auto& [m, runner] : runners) {
+    std::vector<bench::StepRunner::Point> grid;
+    for (const auto& c : configs)
+      for (int b : batches)
+        for (auto step : {profiler::Step::kSingleGpuSynthetic,
+                          profiler::Step::kAllGpuSynthetic})
+          grid.push_back({c, step, b});
+    runner->prefetch(grid);
+  }
 
   std::vector<std::string> headers{"batch", "model"};
   for (const auto& c : configs) headers.push_back(c.label());

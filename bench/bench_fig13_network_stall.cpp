@@ -24,6 +24,14 @@ int main() {
                  "N/W stall %"});
   for (const auto& model : models) {
     bench::StepRunner runner(model);
+    {
+      std::vector<bench::StepRunner::Point> grid;
+      for (int b : batches)
+        for (auto step : {profiler::Step::kAllGpuSynthetic,
+                          profiler::Step::kNetworkSynthetic})
+          grid.push_back({single, step, b});
+      runner.prefetch(grid);
+    }
     for (int batch : batches) {
       double t2 = runner.time(single, profiler::Step::kAllGpuSynthetic, batch);
       double t5 = runner.time(single, profiler::Step::kNetworkSynthetic, batch);

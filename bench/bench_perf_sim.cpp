@@ -1,17 +1,32 @@
-// Micro-benchmarks of the simulation substrate itself (google-benchmark):
-// event-queue throughput, flow-network rebalance cost, and end-to-end ring
-// all-reduce simulation speed. These bound how large a characterization
-// sweep the harness can afford.
+// Micro-benchmarks of the simulation substrate itself: event-queue
+// throughput, flow-network rebalance cost, and end-to-end ring all-reduce
+// simulation speed (google-benchmark), plus a figure-suite sweep that times
+// the parallel profiling engine end to end at --jobs 1 and --jobs nproc.
+// These bound how large a characterization sweep the harness can afford.
+//
+// Besides the usual console output, the binary writes BENCH_perf_sim.json
+// (schema stash.bench_perf_sim/1, documented in EXPERIMENTS.md) so CI and
+// EXPERIMENTS.md comparisons are machine-readable. STASH_BENCH_FAST=1 skips
+// the google-benchmark suite and shrinks the sweep to a smoke test.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench/bench_common.h"
 #include "cloud/builder.h"
 #include "coll/ring_allreduce.h"
 #include "ddl/trainer.h"
 #include "dnn/zoo.h"
+#include "exec/exec_context.h"
 #include "hw/flow_network.h"
 #include "sim/simulator.h"
+#include "util/json.h"
 #include "util/units.h"
 
 namespace {
@@ -29,6 +44,61 @@ void BM_EventQueueThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EventScheduleCancel(benchmark::State& state) {
+  // Exercises the slab free list and the lazy-deletion path: half the
+  // scheduled events are cancelled before they fire.
+  const int n = static_cast<int>(state.range(0));
+  std::vector<sim::EventId> ids(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < n; ++i)
+      ids[static_cast<std::size_t>(i)] = sim.schedule((i * 7919) % 1000, [] {});
+    for (int i = 0; i < n; i += 2) sim.cancel(ids[static_cast<std::size_t>(i)]);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventScheduleCancel)->Arg(10000)->Arg(100000);
+
+// Steady-state event-loop churn: `depth` live events, each firing
+// reschedules itself until the run's budget is spent. This is the regime
+// real simulations live in — bounded queue depth, constant schedule/fire
+// traffic. The callback captures 24 bytes, past std::function's 16-byte
+// inline buffer, so the pre-slab implementation paid one heap allocation
+// per event here; the slab's 48-byte inline storage does not.
+struct ChurnEvent {
+  sim::Simulator* sim;
+  long long* remaining;
+  unsigned* rng;
+  void operator()() {
+    if (--*remaining <= 0) return;
+    *rng = *rng * 1664525u + 1013904223u;
+    sim->schedule(1.0 + (*rng >> 20) * 1e-3, *this);
+  }
+};
+
+long long run_churn(sim::Simulator& sim, int depth, long long events) {
+  long long remaining = events;
+  unsigned rng = 12345;
+  for (int i = 0; i < depth; ++i)
+    sim.schedule(1.0 + i * 1e-3, ChurnEvent{&sim, &remaining, &rng});
+  sim.run();
+  return events - remaining;
+}
+
+void BM_EventSteadyStateChurn(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const long long events = 200000;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    run_churn(sim, depth, events);
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventSteadyStateChurn)->Arg(256)->Arg(1000);
 
 void BM_FlowNetworkFairShare(benchmark::State& state) {
   const int flows = static_cast<int>(state.range(0));
@@ -86,6 +156,191 @@ void BM_TrainerIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainerIteration);
 
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// The headline events/sec number in BENCH_perf_sim.json: best-of-`reps`
+// wall time of the steady-state churn workload above.
+struct EventQueueResult {
+  int depth = 0;
+  long long events = 0;
+  double wall_seconds = 0.0;
+  double events_per_second = 0.0;
+};
+
+EventQueueResult measure_event_queue(int depth, long long events, int reps) {
+  EventQueueResult best;
+  best.depth = depth;
+  best.events = events;
+  for (int r = 0; r < reps; ++r) {
+    sim::Simulator sim;
+    auto t0 = std::chrono::steady_clock::now();
+    run_churn(sim, depth, events);
+    double secs = wall_seconds_since(t0);
+    if (best.wall_seconds == 0.0 || secs < best.wall_seconds)
+      best.wall_seconds = secs;
+  }
+  best.events_per_second = best.wall_seconds > 0.0
+                               ? static_cast<double>(events) / best.wall_seconds
+                               : 0.0;
+  return best;
+}
+
+// One figure-suite run: the five-step profile of each (model, config, batch)
+// grid point, fanned across a `jobs`-wide pool into a run-private SimCache
+// (private so the jobs=1 and jobs=nproc runs both do full work).
+struct SuiteResult {
+  int jobs = 1;
+  int scenarios = 0;
+  double wall_seconds = 0.0;
+  unsigned long long cache_hits = 0;
+  unsigned long long cache_misses = 0;
+};
+
+SuiteResult run_figure_suite(int jobs, const std::vector<std::string>& models,
+                             const std::vector<profiler::ClusterSpec>& specs,
+                             const std::vector<int>& batches) {
+  exec::SimCache cache;
+  exec::ExecContext ctx(jobs, &cache);
+  profiler::ProfileOptions opt;
+  opt.iterations = 4;
+  opt.warmup_iterations = 1;
+  opt.exec = &ctx;
+
+  struct Point {
+    profiler::StashProfiler* prof;
+    profiler::ClusterSpec spec;
+    profiler::Step step;
+    int batch;
+  };
+  std::vector<std::unique_ptr<profiler::StashProfiler>> profilers;
+  std::vector<Point> grid;
+  for (const auto& m : models) {
+    profilers.push_back(std::make_unique<profiler::StashProfiler>(
+        dnn::make_zoo_model(m), dnn::dataset_for(m), opt));
+    for (const auto& s : specs)
+      for (int b : batches)
+        for (profiler::Step st :
+             {profiler::Step::kSingleGpuSynthetic, profiler::Step::kAllGpuSynthetic,
+              profiler::Step::kRealCold, profiler::Step::kRealWarm,
+              profiler::Step::kNetworkSynthetic})
+          grid.push_back(Point{profilers.back().get(), s, st, b});
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  exec::parallel_for(ctx.pool(), grid.size(), [&](std::size_t i) {
+    const Point& p = grid[i];
+    try {
+      if (p.step == profiler::Step::kNetworkSynthetic && p.spec.count == 1) {
+        if (auto split = profiler::network_split(p.spec))
+          p.prof->run_step(*split, p.step, p.batch);
+        return;
+      }
+      p.prof->run_step(p.spec, p.step, p.batch);
+    } catch (const ddl::ModelDoesNotFit&) {
+      // the figure simply has no bar for this combination
+    }
+  });
+
+  SuiteResult res;
+  res.jobs = jobs;
+  res.scenarios = static_cast<int>(grid.size());
+  res.wall_seconds = wall_seconds_since(t0);
+  res.cache_hits = cache.hits();
+  res.cache_misses = cache.misses();
+  return res;
+}
+
+int write_report(const std::string& path, bool fast,
+                 const EventQueueResult& eq,
+                 const std::vector<SuiteResult>& suites) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("stash.bench_perf_sim/1");
+  w.key("fast_mode").value(fast);
+  w.key("hardware_concurrency").value(exec::default_jobs());
+  w.key("event_queue").begin_object();
+  w.key("workload").value("steady_state_churn");
+  w.key("depth").value(eq.depth);
+  w.key("events").value(static_cast<long long>(eq.events));
+  w.key("wall_seconds").value(eq.wall_seconds);
+  w.key("events_per_second").value(eq.events_per_second);
+  w.end_object();
+  w.key("figure_suite").begin_object();
+  w.key("scenarios").value(suites.empty() ? 0 : suites.front().scenarios);
+  w.key("runs").begin_array();
+  double base = suites.empty() ? 0.0 : suites.front().wall_seconds;
+  for (const SuiteResult& s : suites) {
+    w.begin_object();
+    w.key("jobs").value(s.jobs);
+    w.key("wall_seconds").value(s.wall_seconds);
+    w.key("speedup_vs_jobs1")
+        .value(s.wall_seconds > 0.0 ? base / s.wall_seconds : 0.0);
+    w.key("cache_hits").value(static_cast<unsigned long long>(s.cache_hits));
+    w.key("cache_misses").value(static_cast<unsigned long long>(s.cache_misses));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+
+  std::ofstream os(path, std::ios::binary);
+  os << w.str() << "\n";
+  os.flush();
+  if (!os) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool fast = bench::fast_mode();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!fast)
+    benchmark::RunSpecifiedBenchmarks();
+  else
+    std::cout << "STASH_BENCH_FAST: skipping google-benchmark suite\n";
+
+  EventQueueResult eq =
+      measure_event_queue(1000, fast ? 100000 : 2000000, fast ? 2 : 3);
+  std::cout << "event queue (churn, depth " << eq.depth << "): " << eq.events
+            << " events in " << util::format_double(eq.wall_seconds * 1e3, 1)
+            << " ms (" << util::format_double(eq.events_per_second / 1e6, 2)
+            << " M/s)\n";
+
+  std::vector<std::string> models{"alexnet", "resnet18", "resnet50", "vgg11"};
+  std::vector<profiler::ClusterSpec> specs{
+      profiler::ClusterSpec{"p2.8xlarge"}, profiler::ClusterSpec{"p2.16xlarge"},
+      profiler::ClusterSpec{"p3.8xlarge"}, profiler::ClusterSpec{"p3.16xlarge"}};
+  std::vector<int> batches{32};
+  if (fast) {
+    models = {"alexnet", "resnet18"};
+    specs = {profiler::ClusterSpec{"p3.8xlarge"}};
+  }
+
+  std::vector<int> job_counts{1};
+  if (exec::default_jobs() > 1) job_counts.push_back(exec::default_jobs());
+  std::vector<SuiteResult> suites;
+  for (int jobs : job_counts) {
+    SuiteResult s = run_figure_suite(jobs, models, specs, batches);
+    suites.push_back(s);
+    std::cout << "figure suite (jobs=" << s.jobs << "): " << s.scenarios
+              << " scenarios in " << util::format_double(s.wall_seconds, 2)
+              << " s (" << s.cache_misses << " simulated, " << s.cache_hits
+              << " cache hits)\n";
+  }
+  if (suites.size() > 1 && suites.back().wall_seconds > 0.0)
+    std::cout << "speedup jobs=" << suites.back().jobs << " vs jobs=1: "
+              << util::format_double(
+                     suites.front().wall_seconds / suites.back().wall_seconds, 2)
+              << "x\n";
+
+  return write_report("BENCH_perf_sim.json", fast, eq, suites);
+}

@@ -22,6 +22,7 @@
 
 #include "cloud/spot.h"
 #include "dnn/zoo.h"
+#include "exec/exec_context.h"
 #include "faults/fault_plan.h"
 #include "stash/recommend.h"
 #include "stash/session.h"
@@ -44,16 +45,21 @@ int usage() {
       "  models                           list the Table-II model zoo\n"
       "  profile <model> [--instance T] [--count N] [--batch B]\n"
       "          [--full-quad] [--csv]    run the five-step Stash profile\n"
+      "          [--jobs N]               run profiler steps on N threads\n"
       "          [--faults=SPEC] [--recovery=restart|shrink] [--timeout S]\n"
       "                                   ...and again with SPEC injected,\n"
       "                                   reporting the fault degradation\n"
-      "  recommend <model> [--batch B] [--csv]\n"
+      "  recommend <model> [--batch B] [--jobs N] [--csv]\n"
       "                                   rank every configuration\n"
       "  estimate <model> [--instance T] [--count N] [--batch B]\n"
-      "           [--epochs E] [--spot] [--spot-mode analytic|replay] [--csv]\n"
+      "           [--epochs E] [--jobs N] [--spot]\n"
+      "           [--spot-mode analytic|replay] [--csv]\n"
       "                                   whole-run time & cost estimate\n"
-      "  stalls <model> --instance T [--count N] [--batch B] [--csv]\n"
+      "  stalls <model> --instance T [--count N] [--batch B] [--jobs N] [--csv]\n"
       "                                   one-line stall decomposition\n"
+      "\n"
+      "--jobs N runs up to N simulations concurrently (default 1 = serial);\n"
+      "output is byte-identical for every N.\n"
       "\n"
       "profile, estimate and stalls also accept:\n"
       "  --json          print a stash.run_manifest/1 JSON document instead\n"
@@ -186,7 +192,9 @@ int cmd_profile(const util::Args& args) {
   int batch = args.get_int("batch", 32);
 
   TelemetrySinks sinks(args);
+  exec::ExecContext exec(args.get_int("jobs", 1));
   profiler::ProfileOptions opt;
+  opt.exec = &exec;
   sinks.attach(opt);
 
   dnn::Model model = dnn::make_zoo_model(model_name);
@@ -291,7 +299,9 @@ int cmd_stalls(const util::Args& args) {
   int batch = args.get_int("batch", 32);
 
   TelemetrySinks sinks(args);
+  exec::ExecContext exec(args.get_int("jobs", 1));
   profiler::ProfileOptions opt;
+  opt.exec = &exec;
   sinks.attach(opt);
   profiler::StashProfiler prof(dnn::make_zoo_model(model_name),
                                dnn::dataset_for(model_name), opt);
@@ -330,8 +340,10 @@ int cmd_stalls(const util::Args& args) {
 int cmd_recommend(const util::Args& args) {
   std::string model_name = args.positional(1);
   if (model_name.empty()) return usage();
+  exec::ExecContext exec(args.get_int("jobs", 1));
   profiler::RecommendOptions opt;
   opt.per_gpu_batch = args.get_int("batch", 32);
+  opt.profile.exec = &exec;
   auto recs =
       profiler::recommend(dnn::make_zoo_model(model_name),
                           dnn::dataset_for(model_name), opt);
@@ -358,7 +370,9 @@ int cmd_estimate(const util::Args& args) {
   int epochs = args.get_int("epochs", 90);
 
   TelemetrySinks sinks(args);
+  exec::ExecContext exec(args.get_int("jobs", 1));
   profiler::ProfileOptions opt;
+  opt.exec = &exec;
   sinks.attach(opt);
   profiler::StashProfiler prof(dnn::make_zoo_model(model_name),
                                dnn::dataset_for(model_name), opt);

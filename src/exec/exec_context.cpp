@@ -1,0 +1,10 @@
+#include "exec/exec_context.h"
+
+namespace stash::exec {
+
+SimCache& process_cache() {
+  static SimCache cache;
+  return cache;
+}
+
+}  // namespace stash::exec

@@ -1,0 +1,44 @@
+// Bundles the two halves of the execution layer — a thread pool and a
+// scenario cache — behind the one knob users see: --jobs N.
+//
+// jobs counts TOTAL concurrent simulations, calling thread included, so
+// jobs=1 is strictly serial (zero pool threads, parallel_for degrades to a
+// plain loop) and jobs=N spawns N-1 workers. Every layer that fans out
+// (profiler steps, recommend candidates, bench sweeps) takes an
+// ExecContext* and must behave identically for any jobs value — results
+// are merged by scenario key order, never completion order.
+#pragma once
+
+#include "exec/sim_cache.h"
+#include "exec/thread_pool.h"
+
+namespace stash::exec {
+
+// Process-wide scenario cache: bench binaries construct many profilers
+// (one StepRunner per model), and T2-of-resnet18-on-p3.8xlarge is the same
+// scenario no matter which of them asks.
+SimCache& process_cache();
+
+class ExecContext {
+ public:
+  // `cache == nullptr` selects the process-wide cache.
+  explicit ExecContext(int jobs = 1, SimCache* cache = nullptr)
+      : jobs_(jobs < 1 ? 1 : jobs),
+        pool_(jobs_ - 1),
+        cache_(cache != nullptr ? cache : &process_cache()) {}
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  int jobs() const { return jobs_; }
+  // Never null; a jobs=1 context returns a zero-thread pool that
+  // parallel_for treats as "run serially on the caller".
+  ThreadPool* pool() { return &pool_; }
+  SimCache& cache() { return *cache_; }
+
+ private:
+  int jobs_;
+  ThreadPool pool_;
+  SimCache* cache_;
+};
+
+}  // namespace stash::exec

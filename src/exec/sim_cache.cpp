@@ -1,0 +1,164 @@
+#include "exec/sim_cache.h"
+
+#include <utility>
+
+#include "util/json.h"
+
+namespace stash::exec {
+
+void KeyBuilder::fold(const std::string& bytes) {
+  for (unsigned char c : bytes) {
+    hash_ ^= static_cast<std::uint64_t>(c);
+    hash_ *= kFnvPrime;
+  }
+  canonical_ += bytes;
+}
+
+KeyBuilder& KeyBuilder::add(const std::string& tag, const std::string& v) {
+  // Length-prefixing makes the encoding injective: ("ab","c") can never
+  // collide with ("a","bc") under any tag/value split.
+  fold(tag + ":s" + std::to_string(v.size()) + ":" + v + ";");
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(const std::string& tag, double v) {
+  // Shortest round-trip form: distinct doubles get distinct encodings and
+  // equal doubles always encode identically (json_double maps non-finite
+  // values to "null", which is fine for a key — NaN != NaN never matters
+  // here because config validation rejects non-finite fields).
+  fold(tag + ":d" + util::json_double(v) + ";");
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(const std::string& tag, std::int64_t v) {
+  fold(tag + ":i" + std::to_string(v) + ";");
+  return *this;
+}
+
+bool cacheable(const ddl::TrainConfig& cfg) {
+  return cfg.trace == nullptr && cfg.metrics == nullptr &&
+         cfg.fault_tolerance.faults == nullptr;
+}
+
+ScenarioKey scenario_key(const dnn::Model& model, const dnn::Dataset& dataset,
+                         const profiler::ClusterSpec& spec, int step,
+                         const ddl::TrainConfig& cfg, std::uint64_t seed) {
+  KeyBuilder b;
+  b.add("v", "stash.sim_key/1");
+  // Model identity: the zoo builds models deterministically from the name,
+  // but custom models (model_architect) share names, so fold the derived
+  // quantities the trainer actually consumes.
+  b.add("model", model.name());
+  b.add("model.params", model.total_params());
+  b.add("model.tensors", static_cast<std::int64_t>(model.num_param_tensors()));
+  b.add("model.fwd_flops", model.fwd_flops_per_sample());
+  b.add("model.mem_b1", model.train_memory_bytes(1));
+
+  b.add("data", dataset.name);
+  b.add("data.samples", dataset.num_samples);
+  b.add("data.bytes", dataset.total_bytes);
+  b.add("data.prep_s", dataset.prep_cpu_seconds_per_sample);
+
+  b.add("spec.instance", spec.instance);
+  b.add("spec.count", spec.count);
+  b.add("spec.gpm", spec.gpus_per_machine);
+  b.add("spec.slice", static_cast<int>(spec.slice));
+
+  b.add("step", step);
+  b.add("seed", static_cast<std::int64_t>(seed));
+
+  b.add("cfg.batch", cfg.per_gpu_batch);
+  b.add("cfg.iters", cfg.iterations);
+  b.add("cfg.warmup", cfg.warmup_iterations);
+  b.add("cfg.bucket", cfg.bucket_bytes);
+  b.add("cfg.synthetic", cfg.synthetic_data);
+  b.add("cfg.cold", cfg.cold_cache);
+  b.add("cfg.loaders", cfg.loader_workers_per_gpu);
+  b.add("cfg.prefetch", cfg.prefetch_depth);
+  b.add("cfg.gpus", static_cast<std::int64_t>(cfg.use_gpus.size()));
+  for (const auto& g : cfg.use_gpus) {
+    b.add("cfg.gpu.m", g.machine);
+    b.add("cfg.gpu.g", g.local);
+  }
+  b.add("cfg.coll.intra", cfg.collective.intra_round_latency);
+  b.add("cfg.coll.inter", cfg.collective.inter_round_latency);
+  b.add("cfg.coll.launch", cfg.collective.launch_blocking_latency);
+  b.add("cfg.coll.overlap", cfg.collective.overlap_fraction);
+  b.add("cfg.red.kind", static_cast<int>(cfg.comm_reduction.kind));
+  b.add("cfg.red.topk", cfg.comm_reduction.topk_ratio);
+  b.add("cfg.red.local", cfg.comm_reduction.local_steps);
+  b.add("cfg.strag.worker", cfg.straggler.worker_index);
+  b.add("cfg.strag.slow", cfg.straggler.slowdown);
+  b.add("cfg.opt_overhead", cfg.optimizer_overhead);
+  b.add("cfg.enforce_mem", cfg.enforce_memory);
+
+  return ScenarioKey{b.hash(), b.canonical()};
+}
+
+ddl::TrainResult SimCache::get_or_run(
+    const ScenarioKey& key, const std::function<ddl::TrainResult()>& fn) {
+  std::shared_ptr<Slot> slot;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      slot = std::make_shared<Slot>();
+      map_.emplace(key, slot);
+      owner = true;
+      ++misses_;
+    } else {
+      slot = it->second;
+      ++hits_;
+    }
+  }
+  if (owner) {
+    ddl::TrainResult result;
+    std::exception_ptr error;
+    try {
+      result = fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(slot->mu);
+      slot->result = std::move(result);
+      slot->error = error;
+      slot->done = true;
+    }
+    slot->cv.notify_all();
+  }
+  std::unique_lock<std::mutex> lock(slot->mu);
+  slot->cv.wait(lock, [&] { return slot->done; });
+  if (slot->error) std::rethrow_exception(slot->error);
+  return slot->result;
+}
+
+const ddl::TrainResult* SimCache::find(const ScenarioKey& key) const {
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    slot = it->second;
+  }
+  std::lock_guard<std::mutex> lock(slot->mu);
+  return slot->done && !slot->error ? &slot->result : nullptr;
+}
+
+std::size_t SimCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::uint64_t SimCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t SimCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace stash::exec

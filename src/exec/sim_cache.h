@@ -1,0 +1,137 @@
+// Content-addressed, thread-safe memo of simulation results.
+//
+// Every figure bench, the five profiler steps, recommend's candidate grid
+// and the batch sweeps ultimately call the same pure function: (ClusterSpec,
+// TrainConfig, step, seed) -> ddl::TrainResult. The SimCache makes that
+// function execute exactly once per distinct scenario process-wide, no
+// matter how many layers ask for it or how many threads ask concurrently.
+//
+// Keys are content-addressed: a KeyBuilder folds every semantically
+// significant field (tagged, with shortest-round-trip double encoding so
+// 0.1 and 0.1000...1 never alias) into a canonical byte string and its
+// FNV-1a 64-bit hash. The map is keyed by the hash but compares the
+// canonical string on collision, so a 64-bit collision can never serve the
+// wrong result.
+//
+// Exactly-once under concurrency: the first requester of a key installs an
+// in-flight slot and computes outside the lock; later requesters block on
+// the slot's condition variable. A scenario that throws (ModelDoesNotFit
+// is routine) memoizes its exception — deterministic functions fail
+// deterministically, so re-running could only waste time.
+//
+// What must NOT go through the cache: runs with attached telemetry sinks
+// (trace/metrics) or armed fault injectors. Their value is the side
+// effects, which a cache hit would silently skip. scenario_key() callers
+// gate on that; SimCache itself is policy-free.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ddl/train_config.h"
+#include "dnn/dataset.h"
+#include "dnn/model.h"
+#include "stash/cluster_spec.h"
+
+namespace stash::exec {
+
+// Incremental FNV-1a over a tagged canonical encoding. Field order is part
+// of the content; every add() also appends to the canonical string used to
+// disambiguate hash collisions.
+class KeyBuilder {
+ public:
+  static constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+  static constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+  KeyBuilder& add(const std::string& tag, const std::string& v);
+  KeyBuilder& add(const std::string& tag, const char* v) {
+    return add(tag, std::string(v));
+  }
+  KeyBuilder& add(const std::string& tag, double v);
+  KeyBuilder& add(const std::string& tag, std::int64_t v);
+  KeyBuilder& add(const std::string& tag, int v) {
+    return add(tag, static_cast<std::int64_t>(v));
+  }
+  KeyBuilder& add(const std::string& tag, bool v) {
+    return add(tag, static_cast<std::int64_t>(v ? 1 : 0));
+  }
+
+  std::uint64_t hash() const { return hash_; }
+  const std::string& canonical() const { return canonical_; }
+
+ private:
+  void fold(const std::string& bytes);
+  std::uint64_t hash_ = kFnvOffset;
+  std::string canonical_;
+};
+
+struct ScenarioKey {
+  std::uint64_t hash = 0;
+  std::string canonical;
+
+  bool operator==(const ScenarioKey& o) const { return canonical == o.canonical; }
+};
+
+struct ScenarioKeyHash {
+  std::size_t operator()(const ScenarioKey& k) const {
+    return static_cast<std::size_t>(k.hash);
+  }
+};
+
+// Canonical key of one simulated training scenario. `seed` namespaces runs
+// that would otherwise collide (e.g. spot-replay re-draws); the profiler's
+// deterministic runs all use seed 0. Pointer-valued TrainConfig fields
+// (trace, metrics, fault_tolerance.faults) are deliberately NOT part of the
+// key — runs carrying them must bypass the cache entirely (see cacheable()).
+ScenarioKey scenario_key(const dnn::Model& model, const dnn::Dataset& dataset,
+                         const profiler::ClusterSpec& spec, int step,
+                         const ddl::TrainConfig& cfg, std::uint64_t seed = 0);
+
+// True when a run of `cfg` is a pure function of the key: no telemetry
+// sinks to populate and no live fault state to consult.
+bool cacheable(const ddl::TrainConfig& cfg);
+
+class SimCache {
+ public:
+  SimCache() = default;
+  SimCache(const SimCache&) = delete;
+  SimCache& operator=(const SimCache&) = delete;
+
+  // Returns the memoized result for `key`, running `fn` exactly once
+  // process-wide to produce it. Concurrent callers of the same key block
+  // until the first finishes. If `fn` throws, the exception is memoized
+  // and rethrown to every current and future caller of the key.
+  ddl::TrainResult get_or_run(const ScenarioKey& key,
+                              const std::function<ddl::TrainResult()>& fn);
+
+  // Peek without computing; nullptr when absent or still in flight.
+  // (Returned pointer is stable: slots are never evicted.)
+  const ddl::TrainResult* find(const ScenarioKey& key) const;
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    ddl::TrainResult result;
+    std::exception_ptr error;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<ScenarioKey, std::shared_ptr<Slot>, ScenarioKeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace stash::exec

@@ -1,0 +1,78 @@
+#include "exec/thread_pool.h"
+
+#include <utility>
+
+namespace stash::exec {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 0) threads = 0;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace detail {
+
+void ForState::drain() {
+  for (;;) {
+    std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    std::exception_ptr err;
+    try {
+      body(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    if (err && i < first_error_index) {
+      first_error_index = i;
+      error = err;
+    }
+    if (++completed == n) done_cv.notify_all();
+  }
+}
+
+void ForState::wait_and_rethrow() {
+  std::unique_lock<std::mutex> lock(mu);
+  done_cv.wait(lock, [this] { return completed == n; });
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace detail
+
+}  // namespace stash::exec

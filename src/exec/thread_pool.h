@@ -1,0 +1,109 @@
+// Fixed thread pool + fork-join helpers for the scenario-execution layer.
+//
+// The pool is deliberately simple: N worker threads draining one shared
+// queue. What makes it safe for this codebase's nested fan-outs (recommend
+// parallelizes candidates, each candidate's profile parallelizes its five
+// steps) is the caller-helps protocol in parallel_for: the thread that
+// opens a parallel region executes items from its own region while it
+// waits, so a region always makes progress even when every pool worker is
+// busy with outer-level work. Nesting therefore cannot deadlock — the
+// worst case is serial execution on the calling thread.
+//
+// Determinism contract: parallel_for only changes WHEN item i runs, never
+// what it computes or where its result lands (results are written by index,
+// merged by key order — never completion order). If several items throw,
+// the exception from the lowest index is rethrown, matching what a serial
+// loop would have surfaced first.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stash::exec {
+
+// Hardware concurrency with a sane floor (hardware_concurrency may be 0).
+inline int default_jobs() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers. 0 is allowed and makes post() run inline,
+  // which keeps "jobs=1 means serial" a property of the pool rather than a
+  // special case at every call site.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues fire-and-forget work (parallel_for's helper tasks). With zero
+  // workers the task runs inline on the calling thread.
+  void post(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+namespace detail {
+
+// Shared state of one parallel region: an atomic item cursor plus
+// completion accounting. Helpers and the caller drain the same cursor.
+struct ForState {
+  std::function<void(std::size_t)> body;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t completed = 0;
+  std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
+  // Runs items until the cursor is exhausted. Returns when this thread can
+  // claim no more work (other threads may still be finishing theirs).
+  void drain();
+  // Blocks until every item has completed, then rethrows the lowest-index
+  // exception if any item failed.
+  void wait_and_rethrow();
+};
+
+}  // namespace detail
+
+// Runs body(0..n-1), fanning out across `pool` (nullable). The calling
+// thread always participates; `pool == nullptr` or a zero-thread pool
+// degrades to a plain serial loop. Blocks until all items complete.
+template <typename Body>
+void parallel_for(ThreadPool* pool, std::size_t n, Body&& body) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() == 0 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto state = std::make_shared<detail::ForState>();
+  state->body = std::function<void(std::size_t)>(std::forward<Body>(body));
+  state->n = n;
+  std::size_t helpers = std::min<std::size_t>(pool->size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h)
+    pool->post([state] { state->drain(); });
+  state->drain();
+  state->wait_and_rethrow();
+}
+
+}  // namespace stash::exec

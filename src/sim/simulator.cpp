@@ -7,22 +7,81 @@
 
 namespace stash::sim {
 
-EventId Simulator::schedule(SimTime delay_s, Callback fn) {
-  if (delay_s < 0.0) throw std::invalid_argument("Simulator::schedule: negative delay");
-  return schedule_at(now_ + delay_s, std::move(fn));
+namespace {
+// Compaction is only worthwhile once the heap carries a meaningful number
+// of corpses; below this floor the scan costs more than it saves.
+constexpr std::size_t kCompactionFloor = 64;
+}  // namespace
+
+Simulator::Simulator() {
+  // Steady-state models schedule from a warm pool: pre-reserve so the first
+  // iterations of a run do not pay vector growth in the event hot path.
+  heap_.reserve(256);
+  records_.reserve(256);
 }
 
-EventId Simulator::schedule_at(SimTime t, Callback fn) {
-  if (t < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
-  std::uint64_t seq = next_seq_++;
-  queue_.push(Scheduled{t, seq});
-  callbacks_.emplace(seq, std::move(fn));
-  max_queue_depth_ = std::max(max_queue_depth_, callbacks_.size());
-  return EventId{seq};
+void Simulator::throw_negative_delay() {
+  throw std::invalid_argument("Simulator::schedule: negative delay");
+}
+
+void Simulator::throw_past_time() {
+  throw std::invalid_argument("Simulator::schedule_at: time in the past");
+}
+
+void Simulator::heap_push(HeapEntry e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const HeapEntry& a, const HeapEntry& b) { return a.after(b); });
+}
+
+void Simulator::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(),
+                [](const HeapEntry& a, const HeapEntry& b) { return a.after(b); });
+  heap_.pop_back();
+}
+
+EventId Simulator::schedule_impl(SimTime t, InlineCallback fn) {
+  std::uint32_t slot;
+  if (free_head_ != 0) {
+    slot = free_head_;
+    EventRecord& rec = records_[slot - 1];
+    free_head_ = rec.next_free;
+    rec.fn = std::move(fn);
+  } else {
+    records_.push_back(EventRecord{std::move(fn), 1, 0});
+    slot = static_cast<std::uint32_t>(records_.size());
+  }
+  std::uint32_t gen = records_[slot - 1].gen;
+  heap_push(HeapEntry{t, next_seq_++, slot, gen});
+  ++live_events_;
+  max_queue_depth_ = std::max(max_queue_depth_, live_events_);
+  return EventId{slot, gen};
 }
 
 void Simulator::cancel(EventId id) {
-  if (id.valid()) callbacks_.erase(id.seq);
+  if (!id.valid() || id.slot > records_.size()) return;
+  EventRecord& rec = records_[id.slot - 1];
+  if (rec.gen != id.gen) return;  // already fired, cancelled, or slot reused
+  rec.fn.reset();
+  ++rec.gen;
+  rec.next_free = free_head_;
+  free_head_ = id.slot;
+  --live_events_;
+  // The heap entry is now a lazily deleted corpse; compact once corpses
+  // outnumber live events so pathological cancel patterns (timeout guards
+  // that almost never fire) cannot grow the heap unboundedly.
+  ++stale_entries_;
+  if (stale_entries_ > live_events_ && stale_entries_ >= kCompactionFloor)
+    compact();
+}
+
+void Simulator::compact() {
+  auto stale = [this](const HeapEntry& e) { return !entry_live(e); };
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), stale), heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(),
+                 [](const HeapEntry& a, const HeapEntry& b) { return a.after(b); });
+  stale_entries_ = 0;
+  ++compactions_;
 }
 
 void Simulator::spawn(Task<void> task) {
@@ -35,17 +94,21 @@ void Simulator::spawn(Task<void> task) {
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Scheduled top = queue_.top();
-    auto it = callbacks_.find(top.seq);
-    if (it == callbacks_.end()) {
-      queue_.pop();  // cancelled
+  while (!heap_.empty()) {
+    HeapEntry top = heap_.front();
+    heap_pop();
+    EventRecord& rec = records_[top.slot - 1];
+    if (rec.gen != top.gen) {  // cancelled: lazily deleted corpse
+      if (stale_entries_ > 0) --stale_entries_;
       continue;
     }
-    queue_.pop();
     now_ = top.time;
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
+    InlineCallback fn = std::move(rec.fn);
+    rec.fn.reset();
+    ++rec.gen;
+    rec.next_free = free_head_;
+    free_head_ = top.slot;
+    --live_events_;
     ++events_executed_;
     fn();
     return true;
@@ -70,10 +133,11 @@ SimTime Simulator::run() {
 
 SimTime Simulator::run_until(SimTime t) {
   auto wall_start = std::chrono::steady_clock::now();
-  while (!queue_.empty()) {
-    Scheduled top = queue_.top();
-    if (!callbacks_.contains(top.seq)) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (!entry_live(top)) {
+      if (stale_entries_ > 0) --stale_entries_;
+      heap_pop();
       continue;
     }
     if (top.time > t) break;

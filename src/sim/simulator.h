@@ -9,12 +9,24 @@
 // Determinism: events at equal timestamps fire in schedule order (a
 // monotonically increasing sequence number breaks ties), so a run is a pure
 // function of the model and its RNG seeds.
+//
+// Hot-path layout: callbacks live in a slab of fixed-size event records
+// with inline storage for small callables (no per-event heap allocation
+// for the lambdas this codebase schedules) and a free list for O(1)
+// reuse. The binary heap holds plain {time, seq, slot, gen} entries over a
+// reused vector, so steady-state scheduling allocates nothing. Cancelled
+// events are deleted lazily — the slot's generation is bumped and the heap
+// entry becomes stale — and the heap is compacted in place once stale
+// entries outnumber live ones. EventIds carry the generation they were
+// issued under, so cancel() on an id whose event already fired (or whose
+// slot was since reused) is a checked no-op rather than a hazard.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/task.h"
@@ -23,27 +35,151 @@ namespace stash::sim {
 
 using SimTime = double;  // seconds since simulation start
 
-// Identifies a scheduled event for cancellation.
+// Identifies a scheduled event for cancellation. `slot` is the event's
+// position in the record slab (1-based; 0 = invalid) and `gen` the slot's
+// generation when the event was issued: a fired or cancelled event bumps
+// the generation, so stale ids can never cancel an unrelated event that
+// later reuses the slot.
 struct EventId {
-  std::uint64_t seq = 0;
-  bool valid() const { return seq != 0; }
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+  bool valid() const { return slot != 0; }
+};
+
+// Move-only type-erased callable with inline small-object storage. Callables
+// up to kInlineSize bytes that are nothrow-move-constructible live inside
+// the event record itself; larger ones fall back to one heap allocation
+// (rare: nothing in this codebase's hot paths exceeds the inline budget).
+class InlineCallback {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& o) noexcept { move_from(o); }
+  InlineCallback& operator=(InlineCallback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+  ~InlineCallback() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(*this); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(*this);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(InlineCallback&);
+    void (*move)(InlineCallback& dst, InlineCallback& src);  // construct dst, gut src
+    void (*destroy)(InlineCallback&);
+  };
+
+  template <typename Fn>
+  static Fn& as_inline(InlineCallback& c) {
+    return *std::launder(reinterpret_cast<Fn*>(c.buf_));
+  }
+  template <typename Fn>
+  static Fn*& as_heap(InlineCallback& c) {
+    return *reinterpret_cast<Fn**>(c.buf_);
+  }
+
+  template <typename Fn>
+  static void inline_invoke(InlineCallback& c) {
+    as_inline<Fn>(c)();
+  }
+  template <typename Fn>
+  static void inline_move(InlineCallback& d, InlineCallback& s) {
+    ::new (static_cast<void*>(d.buf_)) Fn(std::move(as_inline<Fn>(s)));
+    as_inline<Fn>(s).~Fn();
+  }
+  template <typename Fn>
+  static void inline_destroy(InlineCallback& c) {
+    as_inline<Fn>(c).~Fn();
+  }
+  template <typename Fn>
+  static constexpr Ops inline_ops = {&inline_invoke<Fn>, &inline_move<Fn>,
+                                     &inline_destroy<Fn>};
+
+  template <typename Fn>
+  static void heap_invoke(InlineCallback& c) {
+    (*as_heap<Fn>(c))();
+  }
+  template <typename Fn>
+  static void heap_move(InlineCallback& d, InlineCallback& s) {
+    as_heap<Fn>(d) = as_heap<Fn>(s);
+  }
+  template <typename Fn>
+  static void heap_destroy(InlineCallback& c) {
+    delete as_heap<Fn>(c);
+  }
+  template <typename Fn>
+  static constexpr Ops heap_ops = {&heap_invoke<Fn>, &heap_move<Fn>,
+                                   &heap_destroy<Fn>};
+
+  void move_from(InlineCallback& o) noexcept {
+    if (o.ops_ != nullptr) {
+      ops_ = o.ops_;
+      ops_->move(*this, o);
+      o.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
 };
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
-
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
 
   // Schedules `fn` to run `delay_s` seconds from now (>= 0).
-  EventId schedule(SimTime delay_s, Callback fn);
+  template <typename F>
+  EventId schedule(SimTime delay_s, F&& fn) {
+    if (delay_s < 0.0) throw_negative_delay();
+    return schedule_at(now_ + delay_s, std::forward<F>(fn));
+  }
   // Schedules `fn` at absolute simulated time `t` (>= now()).
-  EventId schedule_at(SimTime t, Callback fn);
-  // Cancels a scheduled event; no-op if it already fired or was cancelled.
+  template <typename F>
+  EventId schedule_at(SimTime t, F&& fn) {
+    if (t < now_) throw_past_time();
+    return schedule_impl(t, InlineCallback(std::forward<F>(fn)));
+  }
+  // Cancels a scheduled event. A checked no-op if the id is default, the
+  // event already fired or was already cancelled — including when the slot
+  // has since been reused by a newer event (the generation mismatch tells
+  // them apart).
   void cancel(EventId id);
 
   // Spawns a root process starting at the current simulated time. The
@@ -80,31 +216,59 @@ class Simulator {
   // Telemetry: live pending-event count, the high-water mark it reached,
   // and the wall-clock seconds spent inside run()/run_until() (for the
   // sim-time / wall-time ratio the run manifest reports).
-  std::size_t queue_depth() const { return callbacks_.size(); }
+  std::size_t queue_depth() const { return live_events_; }
   std::size_t max_queue_depth() const { return max_queue_depth_; }
   double wall_seconds() const { return wall_seconds_; }
+  // Stale (lazily deleted) entries currently parked in the heap, and how
+  // many compaction passes have run; exposed for the simulator tests.
+  std::size_t stale_entries() const { return stale_entries_; }
+  std::uint64_t compactions() const { return compactions_; }
 
  private:
-  struct Scheduled {
+  // One pending (or free) slab slot. `gen` advances every time the slot's
+  // event fires or is cancelled, invalidating outstanding EventIds and heap
+  // entries that reference the old generation.
+  struct EventRecord {
+    InlineCallback fn;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = 0;  // free-list link (1-based; 0 = end)
+  };
+
+  struct HeapEntry {
     SimTime time;
     std::uint64_t seq;
-    bool operator>(const Scheduled& o) const {
+    std::uint32_t slot;
+    std::uint32_t gen;
+    // Min-heap on (time, seq): earlier time first, schedule order on ties.
+    bool after(const HeapEntry& o) const {
       return time > o.time || (time == o.time && seq > o.seq);
     }
   };
 
+  EventId schedule_impl(SimTime t, InlineCallback fn);
   bool step();                 // executes one event; false if queue empty
   void check_root_failures();  // rethrows stored process exceptions
+  // Drops stale heap entries in place (and restores the heap property).
+  void compact();
+  void heap_push(HeapEntry e);
+  void heap_pop();
+  bool entry_live(const HeapEntry& e) const {
+    return records_[e.slot - 1].gen == e.gen;
+  }
+  [[noreturn]] static void throw_negative_delay();
+  [[noreturn]] static void throw_past_time();
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
+  std::size_t live_events_ = 0;
+  std::size_t stale_entries_ = 0;
   std::size_t max_queue_depth_ = 0;
+  std::uint64_t compactions_ = 0;
   double wall_seconds_ = 0.0;
-  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
-  // seq -> callback; erased on fire/cancel. Cancelled events stay in the
-  // priority queue but are skipped when popped.
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::vector<HeapEntry> heap_;       // binary min-heap, storage reused
+  std::vector<EventRecord> records_;  // slab, indexed by slot-1
+  std::uint32_t free_head_ = 0;       // head of the free-slot list (1-based)
   std::vector<Task<void>> roots_;
 };
 

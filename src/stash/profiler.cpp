@@ -1,7 +1,9 @@
 #include "stash/profiler.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <functional>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -100,7 +102,40 @@ ddl::TrainResult StashProfiler::run_step(const ClusterSpec& spec, Step step,
                                          int per_gpu_batch,
                                          const faults::FaultPlan* plan,
                                          const FaultProfileOptions& fopt) const {
+  bool instrumented = step == options_.instrument_step;
+  return run_step_sinked(spec, step, per_gpu_batch, plan, fopt,
+                         instrumented ? options_.trace : nullptr,
+                         instrumented ? options_.metrics : nullptr);
+}
+
+ddl::TrainResult StashProfiler::run_step_sinked(
+    const ClusterSpec& spec, Step step, int per_gpu_batch,
+    const faults::FaultPlan* plan, const FaultProfileOptions& fopt,
+    util::TraceRecorder* trace, telemetry::MetricsRegistry* metrics) const {
   options_.validate();
+
+  // Cacheable scenarios (no sinks, no fault plan) are memoized in the
+  // execution context's SimCache: the run is a pure function of its key,
+  // so recompute is pure waste. Everything else runs fresh every time.
+  if (options_.exec != nullptr && plan == nullptr && trace == nullptr &&
+      metrics == nullptr) {
+    ddl::TrainConfig key_cfg = step_config(step, per_gpu_batch, spec.gpus_used());
+    if (exec::cacheable(key_cfg)) {
+      exec::ScenarioKey key = exec::scenario_key(model_, dataset_, spec,
+                                                 static_cast<int>(step), key_cfg);
+      return options_.exec->cache().get_or_run(key, [&] {
+        return run_step_uncached(spec, step, per_gpu_batch, nullptr, fopt, nullptr,
+                                 nullptr);
+      });
+    }
+  }
+  return run_step_uncached(spec, step, per_gpu_batch, plan, fopt, trace, metrics);
+}
+
+ddl::TrainResult StashProfiler::run_step_uncached(
+    const ClusterSpec& spec, Step step, int per_gpu_batch,
+    const faults::FaultPlan* plan, const FaultProfileOptions& fopt,
+    util::TraceRecorder* trace, telemetry::MetricsRegistry* metrics) const {
   sim::Simulator sim;
   hw::FlowNetwork net(sim);
   hw::Cluster cluster(
@@ -110,10 +145,8 @@ ddl::TrainResult StashProfiler::run_step(const ClusterSpec& spec, Step step,
       cloud::fabric_bandwidth());
 
   ddl::TrainConfig cfg = step_config(step, per_gpu_batch, spec.gpus_used());
-  if (step == options_.instrument_step) {
-    cfg.trace = options_.trace;
-    cfg.metrics = options_.metrics;
-  }
+  cfg.trace = trace;
+  cfg.metrics = metrics;
   // Restrict to the spec's per-machine GPU subset (step-5 splits and step 1).
   if (cfg.use_gpus.empty() && spec.gpus_per_machine > 0) {
     for (int m = 0; m < spec.count; ++m) {
@@ -148,27 +181,72 @@ StallReport StashProfiler::profile_impl(const ClusterSpec& spec, int per_gpu_bat
   report.per_gpu_batch = per_gpu_batch;
   report.gpus = spec.gpus_used();
 
-  report.t1 =
-      run_step(spec, Step::kSingleGpuSynthetic, per_gpu_batch, plan, fopt).per_iteration;
-  report.t2 =
-      run_step(spec, Step::kAllGpuSynthetic, per_gpu_batch, plan, fopt).per_iteration;
-  report.t3 = run_step(spec, Step::kRealCold, per_gpu_batch, plan, fopt).per_iteration;
-  ddl::TrainResult warm = run_step(spec, Step::kRealWarm, per_gpu_batch, plan, fopt);
-  report.t4 = warm.per_iteration;
-
+  std::optional<ClusterSpec> split = network_split(spec);
   report.t5 = std::nan("");
-  if (auto split = network_split(spec)) {
-    try {
-      report.t5 =
-          run_step(*split, Step::kNetworkSynthetic, per_gpu_batch, plan, fopt)
-              .per_iteration;
-      report.has_network_step = true;
-    } catch (const ddl::ModelDoesNotFit&) {
-      // The split instances can have smaller GPUs than the original (e.g.
-      // p3.24xlarge's 32 GiB V100s split onto 16 GiB p3.8xlarge ones); the
-      // network step is then unmeasurable at this batch size.
-    }
-  }
+
+  // The five steps are independent simulations: dispatch them across the
+  // execution context's pool (serial without one). Each instrumented step
+  // records into a private registry; after the join the registries are
+  // merged in fixed step order — never completion order — so the metrics
+  // snapshot is byte-identical for any --jobs value. Failures are also
+  // deterministic: parallel_for rethrows the lowest-index step's exception,
+  // the one a serial loop would have hit first.
+  std::array<telemetry::MetricsRegistry, 5> step_metrics;
+  auto trace_for = [&](Step s) {
+    return s == options_.instrument_step ? options_.trace : nullptr;
+  };
+  auto metrics_for = [&](Step s, std::size_t i) {
+    return options_.metrics != nullptr && s == options_.instrument_step
+               ? &step_metrics[i]
+               : nullptr;
+  };
+  ddl::TrainResult warm;
+  std::array<std::function<void()>, 5> steps = {
+      [&] {
+        report.t1 = run_step_sinked(spec, Step::kSingleGpuSynthetic, per_gpu_batch,
+                                    plan, fopt, trace_for(Step::kSingleGpuSynthetic),
+                                    metrics_for(Step::kSingleGpuSynthetic, 0))
+                        .per_iteration;
+      },
+      [&] {
+        report.t2 = run_step_sinked(spec, Step::kAllGpuSynthetic, per_gpu_batch,
+                                    plan, fopt, trace_for(Step::kAllGpuSynthetic),
+                                    metrics_for(Step::kAllGpuSynthetic, 1))
+                        .per_iteration;
+      },
+      [&] {
+        report.t3 = run_step_sinked(spec, Step::kRealCold, per_gpu_batch, plan,
+                                    fopt, trace_for(Step::kRealCold),
+                                    metrics_for(Step::kRealCold, 2))
+                        .per_iteration;
+      },
+      [&] {
+        warm = run_step_sinked(spec, Step::kRealWarm, per_gpu_batch, plan, fopt,
+                               trace_for(Step::kRealWarm),
+                               metrics_for(Step::kRealWarm, 3));
+        report.t4 = warm.per_iteration;
+      },
+      [&] {
+        if (!split) return;
+        try {
+          report.t5 = run_step_sinked(*split, Step::kNetworkSynthetic,
+                                      per_gpu_batch, plan, fopt,
+                                      trace_for(Step::kNetworkSynthetic),
+                                      metrics_for(Step::kNetworkSynthetic, 4))
+                          .per_iteration;
+          report.has_network_step = true;
+        } catch (const ddl::ModelDoesNotFit&) {
+          // The split instances can have smaller GPUs than the original (e.g.
+          // p3.24xlarge's 32 GiB V100s split onto 16 GiB p3.8xlarge ones); the
+          // network step is then unmeasurable at this batch size.
+        }
+      },
+  };
+  exec::ThreadPool* pool =
+      options_.exec != nullptr ? options_.exec->pool() : nullptr;
+  exec::parallel_for(pool, steps.size(), [&](std::size_t i) { steps[i](); });
+  if (options_.metrics != nullptr)
+    for (const auto& m : step_metrics) options_.metrics->merge_from(m);
 
   // A stall percentage with a ~zero or non-finite denominator (a step whose
   // measured window collapsed) is meaningless: clamp it to 0 and flag the

@@ -29,6 +29,7 @@
 #include "ddl/trainer.h"
 #include "dnn/dataset.h"
 #include "dnn/model.h"
+#include "exec/exec_context.h"
 #include "faults/fault_plan.h"
 #include "stash/cluster_spec.h"
 
@@ -90,6 +91,16 @@ struct ProfileOptions {
   util::TraceRecorder* trace = nullptr;
   telemetry::MetricsRegistry* metrics = nullptr;
   Step instrument_step = Step::kRealWarm;
+
+  // Optional execution context (not owned; may be null = serial,
+  // uncached). With one attached, profile() dispatches its five steps
+  // across the context's pool and run_step() memoizes cacheable scenarios
+  // in the context's SimCache, so identical (spec, step, batch) runs across
+  // profile/estimate/recommend/benches execute exactly once per process.
+  // Instrumented runs (trace/metrics attached) and fault-injected runs
+  // bypass the cache: their side effects are the point. Results never
+  // depend on the jobs count — outputs are merged in scenario order.
+  exec::ExecContext* exec = nullptr;
 
   // Throws std::invalid_argument (with the offending field named) on
   // nonsense values; called by every profiling entry point so a bad option
@@ -153,9 +164,25 @@ class StashProfiler {
 
   const dnn::Model& model() const { return model_; }
   const dnn::Dataset& dataset() const { return dataset_; }
+  const ProfileOptions& options() const { return options_; }
 
  private:
   ddl::TrainConfig step_config(Step step, int per_gpu_batch, int gpus_in_spec) const;
+  // The actual step runner with explicit telemetry sinks; run_step() passes
+  // the options' sinks for the instrumented step, profile_impl() substitutes
+  // a private per-worker registry so parallel runs merge deterministically.
+  ddl::TrainResult run_step_sinked(const ClusterSpec& spec, Step step,
+                                   int per_gpu_batch, const faults::FaultPlan* plan,
+                                   const FaultProfileOptions& fopt,
+                                   util::TraceRecorder* trace,
+                                   telemetry::MetricsRegistry* metrics) const;
+  // The simulation itself, no cache consultation (get_or_run's compute fn).
+  ddl::TrainResult run_step_uncached(const ClusterSpec& spec, Step step,
+                                     int per_gpu_batch,
+                                     const faults::FaultPlan* plan,
+                                     const FaultProfileOptions& fopt,
+                                     util::TraceRecorder* trace,
+                                     telemetry::MetricsRegistry* metrics) const;
   StallReport profile_impl(const ClusterSpec& spec, int per_gpu_batch,
                            const faults::FaultPlan* plan,
                            const FaultProfileOptions& fopt,

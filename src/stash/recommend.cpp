@@ -22,7 +22,12 @@ std::vector<Recommendation> recommend(const dnn::Model& model,
   std::vector<ClusterSpec> candidates =
       options.candidates.empty() ? default_candidates() : options.candidates;
 
-  StashProfiler profiler(model, dataset, options.profile);
+  // Telemetry sinks are stripped: nine candidates' overlaid counters in one
+  // registry would be meaningless, and with a pool attached they would race.
+  ProfileOptions popt = options.profile;
+  popt.trace = nullptr;
+  popt.metrics = nullptr;
+  StashProfiler profiler(model, dataset, popt);
   std::vector<Recommendation> recs;
   for (const ClusterSpec& spec : candidates) {
     const auto& type = cloud::instance(spec.instance);
@@ -30,9 +35,20 @@ std::vector<Recommendation> recommend(const dnn::Model& model,
       continue;  // batch does not fit this GPU
     Recommendation r;
     r.spec = spec;
-    r.report = profiler.profile(spec, options.per_gpu_batch);
     recs.push_back(std::move(r));
   }
+
+  // Profile the surviving candidates across the execution context's pool.
+  // Each profile fans its own five steps out too; the caller-helps
+  // parallel_for makes that nesting safe, and the shared SimCache dedups
+  // scenarios that recur across candidates (e.g. the p3.8xlarge*2 network
+  // configuration is also p3.16xlarge's step-5 split). Results land by
+  // candidate index, so the ranking below never sees completion order.
+  exec::ThreadPool* pool =
+      options.profile.exec != nullptr ? options.profile.exec->pool() : nullptr;
+  exec::parallel_for(pool, recs.size(), [&](std::size_t i) {
+    recs[i].report = profiler.profile(recs[i].spec, options.per_gpu_batch);
+  });
 
   std::vector<std::size_t> idx(recs.size());
   for (std::size_t i = 0; i < recs.size(); ++i) idx[i] = i;

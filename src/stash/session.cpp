@@ -1,6 +1,8 @@
 #include "stash/session.h"
 
 #include <algorithm>
+#include <array>
+#include <functional>
 #include <stdexcept>
 
 namespace stash::profiler {
@@ -10,8 +12,18 @@ TrainingEstimate estimate_training(const StashProfiler& profiler,
                                    int epochs) {
   if (epochs < 1) throw std::invalid_argument("estimate_training: epochs < 1");
 
-  ddl::TrainResult cold = profiler.run_step(spec, Step::kRealCold, per_gpu_batch);
-  ddl::TrainResult warm = profiler.run_step(spec, Step::kRealWarm, per_gpu_batch);
+  // The two steps are independent simulations; overlap them on the
+  // profiler's execution context (serial without one). The instrumented
+  // step keeps its sinks — only one of the two can be instrumented, so
+  // there is no concurrent registry writer.
+  exec::ThreadPool* pool =
+      profiler.options().exec != nullptr ? profiler.options().exec->pool() : nullptr;
+  ddl::TrainResult cold, warm;
+  std::array<std::function<void()>, 2> steps = {
+      [&] { cold = profiler.run_step(spec, Step::kRealCold, per_gpu_batch); },
+      [&] { warm = profiler.run_step(spec, Step::kRealWarm, per_gpu_batch); },
+  };
+  exec::parallel_for(pool, steps.size(), [&](std::size_t i) { steps[i](); });
 
   double samples = profiler.dataset().num_samples;
   TrainingEstimate e;

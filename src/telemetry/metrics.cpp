@@ -29,6 +29,18 @@ double TimeWeightedGauge::time_weighted_mean() const {
   return span > 0.0 ? weighted_sum_ / span : 0.0;
 }
 
+void TimeWeightedGauge::merge_from(const TimeWeightedGauge& o) {
+  if (!o.started_) return;
+  if (!started_) {
+    *this = o;
+    return;
+  }
+  weighted_sum_ += o.weighted_sum_;
+  last_t_ += o.last_t_ - o.first_t_;
+  value_ = o.value_;
+  max_ = std::max(max_, o.max_);
+}
+
 namespace {
 
 std::vector<double> default_time_bounds() {
@@ -65,6 +77,17 @@ void Histogram::observe(double v) {
   }
   ++count_;
   sum_ += v;
+}
+
+void Histogram::merge_from(const Histogram& o) {
+  if (bounds_ != o.bounds_)
+    throw std::logic_error("Histogram::merge_from: bucket bounds differ");
+  if (o.count_ == 0) return;
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += o.counts_[b];
+  min_ = count_ == 0 ? o.min_ : std::min(min_, o.min_);
+  max_ = count_ == 0 ? o.max_ : std::max(max_, o.max_);
+  count_ += o.count_;
+  sum_ += o.sum_;
 }
 
 double Histogram::percentile(double p) const {
@@ -152,6 +175,32 @@ const TimeWeightedGauge* MetricsRegistry::find_time_gauge(
 const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
   auto it = metrics_.find(name);
   return it != metrics_.end() ? it->second.histogram.get() : nullptr;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& src) {
+  for (const auto& [name, se] : src.metrics_) {
+    Entry& de = entry(name, se.kind);
+    de.is_volatile = de.is_volatile || se.is_volatile;
+    switch (se.kind) {
+      case Kind::kCounter:
+        if (!de.counter) de.counter = std::make_unique<Counter>();
+        de.counter->add(se.counter->value());
+        break;
+      case Kind::kGauge:
+        if (!de.gauge) de.gauge = std::make_unique<Gauge>();
+        de.gauge->set(se.gauge->value());
+        break;
+      case Kind::kTimeGauge:
+        if (!de.time_gauge) de.time_gauge = std::make_unique<TimeWeightedGauge>();
+        de.time_gauge->merge_from(*se.time_gauge);
+        break;
+      case Kind::kHistogram:
+        if (!de.histogram)
+          de.histogram = std::make_unique<Histogram>(se.histogram->upper_bounds());
+        de.histogram->merge_from(*se.histogram);
+        break;
+    }
+  }
 }
 
 std::vector<std::string> MetricsRegistry::names() const {

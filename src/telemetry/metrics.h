@@ -61,6 +61,13 @@ class TimeWeightedGauge {
   double time_weighted_mean() const;
   double observed_span() const { return started_ ? last_t_ - first_t_ : 0.0; }
 
+  // Splices `o`'s observed span onto the end of this gauge's, as if the two
+  // signals had been recorded back to back: spans add, the weighted sum
+  // (and so the combined mean) accumulates, max is the joint max, and the
+  // last value becomes `o`'s. Merging into an untouched gauge is an exact
+  // copy — the property the deterministic parallel merge relies on.
+  void merge_from(const TimeWeightedGauge& o);
+
  private:
   bool started_ = false;
   double first_t_ = 0.0;
@@ -92,6 +99,11 @@ class Histogram {
 
   const std::vector<double>& upper_bounds() const { return bounds_; }
   const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  // Adds `o`'s observations bucket-wise. Throws std::logic_error if the two
+  // histograms were built with different bounds. Merging into a fresh
+  // histogram with equal bounds reproduces `o` exactly.
+  void merge_from(const Histogram& o);
 
  private:
   std::vector<double> bounds_;          // ascending upper bounds
@@ -130,6 +142,16 @@ class MetricsRegistry {
   std::size_t size() const { return metrics_.size(); }
   // Names in sorted order (the serialization order).
   std::vector<std::string> names() const;
+
+  // Folds every instrument of `src` into this registry: counters add,
+  // gauges take src's value (last write wins), time-weighted gauges splice
+  // spans, histograms add bucket-wise; volatility is inherited on creation
+  // and ORed on collision. Kind conflicts throw std::logic_error. Merging
+  // src into an empty registry reproduces src's snapshot byte-for-byte,
+  // which is what lets parallel workers record into private registries that
+  // are merged in scenario-key order (never completion order) without the
+  // output depending on --jobs.
+  void merge_from(const MetricsRegistry& src);
 
   // Deterministic JSON snapshot, instruments sorted by name. With
   // include_volatile=false the output is a pure function of the simulated

@@ -1,0 +1,214 @@
+#include "exec/sim_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dnn/zoo.h"
+#include "exec/thread_pool.h"
+
+namespace stash::exec {
+namespace {
+
+ScenarioKey key_with(const std::function<void(ddl::TrainConfig&)>& tweak,
+                     int step = 1, std::uint64_t seed = 0,
+                     const std::string& instance = "p3.8xlarge", int count = 1) {
+  dnn::Model model = dnn::make_zoo_model("resnet18");
+  dnn::Dataset data = dnn::dataset_for("resnet18");
+  profiler::ClusterSpec spec;
+  spec.instance = instance;
+  spec.count = count;
+  ddl::TrainConfig cfg;
+  tweak(cfg);
+  return scenario_key(model, data, spec, step, cfg, seed);
+}
+
+TEST(KeyBuilder, OrderAndTagsAreContent) {
+  KeyBuilder a, b, c;
+  a.add("x", 1).add("y", 2);
+  b.add("y", 2).add("x", 1);
+  c.add("x", 1).add("y", 2);
+  EXPECT_NE(a.canonical(), b.canonical());
+  EXPECT_EQ(a.canonical(), c.canonical());
+  EXPECT_EQ(a.hash(), c.hash());
+}
+
+TEST(KeyBuilder, DoublesUseRoundTripEncoding) {
+  KeyBuilder a, b;
+  a.add("v", 0.1);
+  b.add("v", 0.1 + 1e-18);  // same double after rounding
+  EXPECT_EQ(a.canonical(), b.canonical());
+  KeyBuilder c;
+  c.add("v", 0.2);
+  EXPECT_NE(a.canonical(), c.canonical());
+}
+
+TEST(ScenarioKeyTest, IdenticalInputsProduceIdenticalKeys) {
+  ScenarioKey a = key_with([](ddl::TrainConfig&) {});
+  ScenarioKey b = key_with([](ddl::TrainConfig&) {});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash, b.hash);
+}
+
+TEST(ScenarioKeyTest, EverySemanticFieldChangesTheKey) {
+  const ScenarioKey base = key_with([](ddl::TrainConfig&) {});
+  auto differs = [&](const ScenarioKey& k) { return !(k == base); };
+
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig&) {}, /*step=*/2)));
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig&) {}, 1, /*seed=*/7)));
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig&) {}, 1, 0, "p2.8xlarge")));
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig&) {}, 1, 0, "p3.8xlarge", 2)));
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig& c) { c.per_gpu_batch = 64; })));
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig& c) { c.iterations = 16; })));
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig& c) { c.warmup_iterations = 0; })));
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig& c) { c.bucket_bytes = 25e6; })));
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig& c) { c.synthetic_data = false; })));
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig& c) { c.cold_cache = true; })));
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig& c) { c.loader_workers_per_gpu = 5; })));
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig& c) { c.prefetch_depth = 2; })));
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig& c) {
+    c.use_gpus.push_back(hw::GpuRef{0, 0});
+  })));
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig& c) {
+    c.comm_reduction.kind = ddl::CommReduction::kFp16;
+  })));
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig& c) {
+    c.straggler.worker_index = 1;
+    c.straggler.slowdown = 2.0;
+  })));
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig& c) { c.optimizer_overhead = 0.05; })));
+  EXPECT_TRUE(differs(key_with([](ddl::TrainConfig& c) { c.enforce_memory = false; })));
+}
+
+TEST(ScenarioKeyTest, ModelAndDatasetAreContent) {
+  profiler::ClusterSpec spec;
+  spec.instance = "p3.8xlarge";
+  ddl::TrainConfig cfg;
+  ScenarioKey r18 = scenario_key(dnn::make_zoo_model("resnet18"),
+                                 dnn::dataset_for("resnet18"), spec, 1, cfg);
+  ScenarioKey r50 = scenario_key(dnn::make_zoo_model("resnet50"),
+                                 dnn::dataset_for("resnet50"), spec, 1, cfg);
+  EXPECT_FALSE(r18 == r50);
+}
+
+TEST(Cacheable, SinkAndFaultRunsAreNot) {
+  ddl::TrainConfig cfg;
+  EXPECT_TRUE(cacheable(cfg));
+
+  util::TraceRecorder trace;
+  cfg.trace = &trace;
+  EXPECT_FALSE(cacheable(cfg));
+  cfg.trace = nullptr;
+
+  telemetry::MetricsRegistry reg;
+  cfg.metrics = &reg;
+  EXPECT_FALSE(cacheable(cfg));
+  cfg.metrics = nullptr;
+
+  faults::FaultState state{faults::FaultPlan{}};
+  cfg.fault_tolerance.faults = &state;
+  EXPECT_FALSE(cacheable(cfg));
+  cfg.fault_tolerance.faults = nullptr;
+  EXPECT_TRUE(cacheable(cfg));
+}
+
+ScenarioKey toy_key(int i) {
+  KeyBuilder kb;
+  kb.add("toy", i);
+  return ScenarioKey{kb.hash(), kb.canonical()};
+}
+
+TEST(SimCache, MemoizesAndCountsHits) {
+  SimCache cache;
+  int runs = 0;
+  auto fn = [&] {
+    ++runs;
+    ddl::TrainResult r;
+    r.per_iteration = 1.5;
+    return r;
+  };
+  EXPECT_DOUBLE_EQ(cache.get_or_run(toy_key(1), fn).per_iteration, 1.5);
+  EXPECT_DOUBLE_EQ(cache.get_or_run(toy_key(1), fn).per_iteration, 1.5);
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  cache.get_or_run(toy_key(2), fn);
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SimCache, FindPeeksWithoutComputing) {
+  SimCache cache;
+  EXPECT_EQ(cache.find(toy_key(1)), nullptr);
+  cache.get_or_run(toy_key(1), [] {
+    ddl::TrainResult r;
+    r.per_iteration = 2.0;
+    return r;
+  });
+  const ddl::TrainResult* hit = cache.find(toy_key(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->per_iteration, 2.0);
+}
+
+TEST(SimCache, ExactlyOnceUnderConcurrency) {
+  SimCache cache;
+  std::atomic<int> runs{0};
+  auto fn = [&] {
+    runs.fetch_add(1);
+    // Widen the in-flight window so waiters really do block on the slot.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ddl::TrainResult r;
+    r.per_iteration = 3.0;
+    return r;
+  };
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&] {
+      if (cache.get_or_run(toy_key(42), fn).per_iteration == 3.0) ok.fetch_add(1);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(ok.load(), 8);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 7u);
+}
+
+TEST(SimCache, MemoizesExceptions) {
+  SimCache cache;
+  int runs = 0;
+  auto fn = [&]() -> ddl::TrainResult {
+    ++runs;
+    throw std::runtime_error("does not fit");
+  };
+  EXPECT_THROW(cache.get_or_run(toy_key(9), fn), std::runtime_error);
+  EXPECT_THROW(cache.get_or_run(toy_key(9), fn), std::runtime_error);
+  EXPECT_EQ(runs, 1);  // deterministic failures fail deterministically
+  EXPECT_EQ(cache.find(toy_key(9)), nullptr);  // errors are not results
+}
+
+TEST(SimCache, HashCollisionServedByCanonicalComparison) {
+  // Two keys with the SAME hash but different canonical strings must get
+  // distinct slots — the canonical string is the real identity.
+  SimCache cache;
+  ScenarioKey a{1234, "scenario-a"};
+  ScenarioKey b{1234, "scenario-b"};
+  auto make = [](double v) {
+    return [v] {
+      ddl::TrainResult r;
+      r.per_iteration = v;
+      return r;
+    };
+  };
+  EXPECT_DOUBLE_EQ(cache.get_or_run(a, make(1.0)).per_iteration, 1.0);
+  EXPECT_DOUBLE_EQ(cache.get_or_run(b, make(2.0)).per_iteration, 2.0);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+}  // namespace
+}  // namespace stash::exec

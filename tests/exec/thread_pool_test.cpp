@@ -1,0 +1,89 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace stash::exec {
+namespace {
+
+TEST(DefaultJobs, AtLeastOne) { EXPECT_GE(default_jobs(), 1); }
+
+TEST(ThreadPool, ZeroWorkersRunsPostInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0);
+  bool ran = false;
+  pool.post([&] { ran = true; });
+  // With no workers post() must execute before returning — nothing else
+  // could ever drain the queue.
+  EXPECT_TRUE(ran);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 500;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(&pool, kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, NullPoolIsSerialInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(nullptr, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ZeroItemsIsANoOp) {
+  ThreadPool pool(2);
+  parallel_for(&pool, 0, [&](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelFor, NestedRegionsDoNotDeadlock) {
+  // recommend() fans candidates out, each candidate's profile() fans its
+  // five steps out on the SAME pool. Caller-helps must keep both levels
+  // progressing even with fewer workers than outer items.
+  ThreadPool pool(2);
+  constexpr std::size_t kOuter = 8, kInner = 8;
+  std::atomic<int> total{0};
+  parallel_for(&pool, kOuter, [&](std::size_t) {
+    parallel_for(&pool, kInner, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), static_cast<int>(kOuter * kInner));
+}
+
+TEST(ParallelFor, RethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    try {
+      parallel_for(&pool, 64, [&](std::size_t i) {
+        if (i % 7 == 3) throw std::runtime_error("item " + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      // A serial loop would fail at i=3 first; the parallel region must
+      // surface that same exception no matter which item failed first in
+      // wall-clock order.
+      EXPECT_STREQ(e.what(), "item 3");
+    }
+  }
+}
+
+TEST(ParallelFor, CompletesAllItemsDespiteExceptions) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_for(&pool, 32,
+                            [&](std::size_t i) {
+                              ran.fetch_add(1);
+                              if (i == 0) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // wait_and_rethrow blocks until every claimed item finished, and the
+  // cursor hands out all items regardless of failures.
+  EXPECT_EQ(ran.load(), 32);
+}
+
+}  // namespace
+}  // namespace stash::exec

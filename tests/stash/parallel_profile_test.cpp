@@ -1,0 +1,149 @@
+// Determinism of the parallel profiling engine: every user-visible artifact
+// (stall report, metrics snapshot, run manifest) must be byte-identical
+// whether the five steps run serially or fanned across a pool — the
+// --jobs knob may change wall time, never results.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dnn/zoo.h"
+#include "exec/exec_context.h"
+#include "stash/profiler.h"
+#include "stash/recommend.h"
+#include "telemetry/manifest.h"
+#include "telemetry/metrics.h"
+
+namespace stash::profiler {
+namespace {
+
+struct ProfileArtifacts {
+  StallReport report;
+  std::string metrics_json;
+  std::string manifest_json;
+};
+
+ProfileArtifacts profile_with_jobs(int jobs) {
+  // Private cache per run: a shared cache would let the second run coast on
+  // the first's results and hide divergence in the compute path.
+  exec::SimCache cache;
+  exec::ExecContext ctx(jobs, &cache);
+  telemetry::MetricsRegistry metrics;
+  ProfileOptions opt;
+  opt.iterations = 4;
+  opt.warmup_iterations = 1;
+  opt.exec = &ctx;
+  opt.metrics = &metrics;
+  StashProfiler prof(dnn::make_zoo_model("resnet18"), dnn::dataset_for("resnet18"),
+                     opt);
+  ClusterSpec spec;
+  spec.instance = "p3.8xlarge";
+
+  ProfileArtifacts out;
+  out.report = prof.profile(spec, 32);
+  // Volatile instruments (wall-clock derived) are legitimately jobs-
+  // dependent; everything else must match to the byte.
+  out.metrics_json = metrics.to_json(/*include_volatile=*/false);
+  telemetry::RunManifest man;
+  man.command = "profile";
+  man.add_config("model", "resnet18");
+  man.add_config("instance", spec.instance);
+  man.metrics = &metrics;
+  man.include_volatile_metrics = false;
+  man.stall_report = out.report;
+  out.manifest_json = man.to_json();
+  return out;
+}
+
+TEST(ParallelProfile, ReportMetricsAndManifestAreJobsInvariant) {
+  ProfileArtifacts serial = profile_with_jobs(1);
+  ProfileArtifacts parallel = profile_with_jobs(8);
+
+  // Bit-exact doubles, not just approximately equal: the steps simulate the
+  // same scenarios with the same seeds regardless of which thread runs them.
+  EXPECT_EQ(telemetry::to_json(serial.report), telemetry::to_json(parallel.report));
+  EXPECT_EQ(serial.metrics_json, parallel.metrics_json);
+  EXPECT_EQ(serial.manifest_json, parallel.manifest_json);
+  EXPECT_GT(serial.report.epoch_seconds, 0.0);
+  EXPECT_FALSE(serial.metrics_json.empty());
+}
+
+TEST(ParallelProfile, RepeatProfileIsServedFromCache) {
+  exec::SimCache cache;
+  exec::ExecContext ctx(2, &cache);
+  ProfileOptions opt;
+  opt.iterations = 4;
+  opt.warmup_iterations = 1;
+  opt.exec = &ctx;
+  StashProfiler prof(dnn::make_zoo_model("alexnet"), dnn::dataset_for("alexnet"),
+                     opt);
+  ClusterSpec spec;
+  spec.instance = "p3.2xlarge";
+
+  StallReport first = prof.profile(spec, 32);
+  std::uint64_t misses_after_first = cache.misses();
+  EXPECT_GT(misses_after_first, 0u);
+
+  StallReport again = prof.profile(spec, 32);
+  EXPECT_EQ(cache.misses(), misses_after_first);  // nothing re-simulated
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_EQ(telemetry::to_json(first), telemetry::to_json(again));
+}
+
+TEST(ParallelProfile, InstrumentedStepBypassesCache) {
+  // A metrics-sinked run's side effects are the point: the instrumented
+  // step must re-run even when its scenario is already cached.
+  exec::SimCache cache;
+  exec::ExecContext ctx(2, &cache);
+  telemetry::MetricsRegistry metrics;
+  ProfileOptions opt;
+  opt.iterations = 4;
+  opt.warmup_iterations = 1;
+  opt.exec = &ctx;
+  StashProfiler plain(dnn::make_zoo_model("alexnet"), dnn::dataset_for("alexnet"),
+                      opt);
+  ClusterSpec spec;
+  spec.instance = "p3.2xlarge";
+  plain.run_step(spec, Step::kRealWarm, 32);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  opt.metrics = &metrics;
+  StashProfiler sinked(dnn::make_zoo_model("alexnet"), dnn::dataset_for("alexnet"),
+                       opt);
+  sinked.run_step(spec, Step::kRealWarm, 32);
+  // The sinked run neither consulted nor polluted the cache...
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+  // ...but really did run: the registry saw the simulation.
+  EXPECT_FALSE(metrics.names().empty());
+}
+
+TEST(ParallelRecommend, RankingIsJobsInvariant) {
+  auto run = [](int jobs) {
+    exec::SimCache cache;
+    exec::ExecContext ctx(jobs, &cache);
+    RecommendOptions opt;
+    opt.per_gpu_batch = 32;
+    opt.profile.iterations = 4;
+    opt.profile.warmup_iterations = 1;
+    opt.profile.exec = &ctx;
+    // A small candidate set keeps the test fast while still fanning out.
+    opt.candidates = {ClusterSpec{"p3.2xlarge"}, ClusterSpec{"p3.8xlarge"},
+                      ClusterSpec{"p3.16xlarge"}};
+    return recommend(dnn::make_zoo_model("resnet18"), dnn::dataset_for("resnet18"),
+                     opt);
+  };
+  auto serial = run(1);
+  auto parallel = run(6);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].spec.label(), parallel[i].spec.label());
+    EXPECT_EQ(serial[i].by_time, parallel[i].by_time);
+    EXPECT_EQ(serial[i].by_cost, parallel[i].by_cost);
+    EXPECT_EQ(telemetry::to_json(serial[i].report),
+              telemetry::to_json(parallel[i].report));
+  }
+}
+
+}  // namespace
+}  // namespace stash::profiler

@@ -178,5 +178,102 @@ TEST(MetricsRegistry, SnapshotIsByteStableAcrossIdenticalUpdates) {
   EXPECT_EQ(r1->to_json(), r2->to_json());
 }
 
+// Populates one instrument of every kind, the way a worker-private registry
+// fills up during one profiler step.
+void populate(MetricsRegistry& r) {
+  r.counter("bytes").add(100.0);
+  r.gauge("util").set(0.75);
+  r.gauge("wall", /*volatile_metric=*/true).set(3.25);
+  TimeWeightedGauge& tg = r.time_gauge("depth");
+  tg.set(0.0, 1.0);
+  tg.set(2.0, 3.0);
+  Histogram& h = r.histogram("iter_s");
+  h.observe(0.01);
+  h.observe(0.1);
+}
+
+TEST(MetricsMerge, IntoEmptyReproducesSourceByteForByte) {
+  // The property the deterministic parallel merge stands on: workers record
+  // into private registries, and merging one into an untouched registry must
+  // reproduce its snapshot exactly — volatile flags included.
+  MetricsRegistry src, dst;
+  populate(src);
+  dst.merge_from(src);
+  EXPECT_EQ(dst.to_json(true), src.to_json(true));
+  EXPECT_EQ(dst.to_json(false), src.to_json(false));
+}
+
+TEST(MetricsMerge, CountersAddAndGaugesLastWriteWins) {
+  MetricsRegistry a, b;
+  a.counter("n").add(3.0);
+  b.counter("n").add(4.0);
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(2.0);
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.find_counter("n")->value(), 7.0);
+  EXPECT_DOUBLE_EQ(a.find_gauge("g")->value(), 2.0);
+}
+
+TEST(MetricsMerge, TimeGaugeSplicesSpans) {
+  MetricsRegistry a, b;
+  TimeWeightedGauge& ga = a.time_gauge("q");
+  ga.set(0.0, 2.0);
+  ga.set(1.0, 2.0);  // span 1, mean 2
+  TimeWeightedGauge& gb = b.time_gauge("q");
+  gb.set(10.0, 4.0);
+  gb.set(13.0, 4.0);  // span 3, mean 4
+  a.merge_from(b);
+  const TimeWeightedGauge* m = a.find_time_gauge("q");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->observed_span(), 4.0);
+  EXPECT_DOUBLE_EQ(m->time_weighted_mean(), (2.0 * 1.0 + 4.0 * 3.0) / 4.0);
+  EXPECT_DOUBLE_EQ(m->max(), 4.0);
+  EXPECT_DOUBLE_EQ(m->current(), 4.0);
+}
+
+TEST(MetricsMerge, HistogramsAddBucketwise) {
+  MetricsRegistry a, b;
+  a.histogram("h").observe(0.5);
+  b.histogram("h").observe(2.0);
+  b.histogram("h").observe(8.0);
+  a.merge_from(b);
+  const Histogram* h = a.find_histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->sum(), 10.5);
+  EXPECT_DOUBLE_EQ(h->min(), 0.5);
+  EXPECT_DOUBLE_EQ(h->max(), 8.0);
+}
+
+TEST(MetricsMerge, HistogramBoundsMismatchThrows) {
+  Histogram a(std::vector<double>{1.0, 2.0});
+  Histogram b(std::vector<double>{1.0, 3.0});
+  a.observe(0.5);
+  b.observe(0.5);
+  EXPECT_THROW(a.merge_from(b), std::logic_error);
+}
+
+TEST(MetricsMerge, KindConflictThrows) {
+  MetricsRegistry a, b;
+  a.counter("x");
+  b.gauge("x");
+  EXPECT_THROW(a.merge_from(b), std::logic_error);
+}
+
+TEST(MetricsMerge, MergeOrderOfDisjointRegistriesIsIrrelevant) {
+  // Instruments serialize sorted by name, so folding disjoint worker
+  // registries in any order yields one snapshot.
+  MetricsRegistry ab, ba, a1, a2, b1, b2;
+  a1.counter("step1/events").add(5.0);
+  a2.counter("step1/events").add(5.0);
+  b1.gauge("step2/util").set(0.5);
+  b2.gauge("step2/util").set(0.5);
+  ab.merge_from(a1);
+  ab.merge_from(b1);
+  ba.merge_from(b2);
+  ba.merge_from(a2);
+  EXPECT_EQ(ab.to_json(), ba.to_json());
+}
+
 }  // namespace
 }  // namespace stash::telemetry
