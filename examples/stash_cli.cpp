@@ -16,6 +16,7 @@
 //   --trace=FILE    write a chrome://tracing timeline of the instrumented
 //                   (warm-data) profiler step
 //   --metrics=FILE  write the metrics registry snapshot as JSON
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -24,6 +25,10 @@
 #include "dnn/zoo.h"
 #include "exec/exec_context.h"
 #include "faults/fault_plan.h"
+#include "obs/causal_log.h"
+#include "obs/critical_path.h"
+#include "obs/progress.h"
+#include "stash/attribute.h"
 #include "stash/recommend.h"
 #include "stash/session.h"
 #include "stash/spot_replay.h"
@@ -38,6 +43,17 @@ namespace {
 
 using namespace stash;
 
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary);
+  os << content;
+  os.flush();
+  if (!os) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
 int usage() {
   std::cout <<
       "usage: stash_cli <command> [args]\n"
@@ -49,6 +65,9 @@ int usage() {
       "          [--faults=SPEC] [--recovery=restart|shrink] [--timeout S]\n"
       "                                   ...and again with SPEC injected,\n"
       "                                   reporting the fault degradation\n"
+      "  attribute <model> [--instance T] [--count N] [--batch B] [--jobs N]\n"
+      "            [--flame=FILE] [--csv]  causal critical-path attribution\n"
+      "                                   cross-checked against differencing\n"
       "  recommend <model> [--batch B] [--jobs N] [--csv]\n"
       "                                   rank every configuration\n"
       "  estimate <model> [--instance T] [--count N] [--batch B]\n"
@@ -61,11 +80,24 @@ int usage() {
       "--jobs N runs up to N simulations concurrently (default 1 = serial);\n"
       "output is byte-identical for every N.\n"
       "\n"
-      "profile, estimate and stalls also accept:\n"
+      "profile, estimate, stalls and recommend also accept:\n"
       "  --json          print a stash.run_manifest/1 JSON document instead\n"
-      "                  of the table\n"
+      "                  of the table (attribute prints stash.blame/1)\n"
       "  --trace=FILE    write a chrome://tracing timeline of the warm step\n"
-      "  --metrics=FILE  write the metrics registry snapshot as JSON\n"
+      "                  (attribute: of the primary causal run, with the\n"
+      "                  critical path as a highlighted track)\n"
+      "  --metrics=FILE  write the metrics registry snapshot\n"
+      "  --metrics-format=json|prom\n"
+      "                  snapshot format: stash.metrics/1 JSON (default) or\n"
+      "                  Prometheus text exposition\n"
+      "\n"
+      "profile also accepts:\n"
+      "  --blame=FILE    write a stash.blame/1 critical-path report of the\n"
+      "                  warm-data run (healthy profiles only)\n"
+      "  --flame=FILE    write a folded-stack flamegraph of the same run\n"
+      "\n"
+      "profile and attribute accept --progress (or STASH_PROGRESS=1) for\n"
+      "live step-completion reporting on stderr.\n"
       "\n"
       "fault SPEC: ';'-separated events, e.g.\n"
       "  straggler@2+5:w1:x2.5  worker 1 at half speed for t=[2,7)\n"
@@ -89,12 +121,24 @@ void warn_if_degenerate(const profiler::StallReport& r) {
                  "clamped to 0 and are not trustworthy\n";
 }
 
-// Shared --trace/--metrics/--json plumbing for profile, estimate and stalls.
+// Shared --trace/--metrics/--json plumbing for profile, estimate, stalls,
+// recommend and attribute.
 struct TelemetrySinks {
   explicit TelemetrySinks(const util::Args& args)
       : trace_path(args.get("trace")),
         metrics_path(args.get("metrics")),
+        metrics_format(args.get("metrics-format", "json")),
         json(args.has("json")) {}
+
+  // Validates the option values; returns 0 or the exit code to fail with.
+  int check() const {
+    if (metrics_format != "json" && metrics_format != "prom") {
+      std::cerr << "unknown --metrics-format '" << metrics_format
+                << "' (expected json|prom)\n";
+      return 2;
+    }
+    return 0;
+  }
 
   bool want_trace() const { return !trace_path.empty(); }
   bool want_metrics() const { return !metrics_path.empty() || json; }
@@ -118,35 +162,41 @@ struct TelemetrySinks {
     return man;
   }
 
-  // Writes the side files and, under --json, the manifest to stdout.
-  // Returns 0, or 1 if a file could not be written.
-  int flush(const telemetry::RunManifest& man) const {
+  std::string metrics_payload() const {
+    return metrics_format == "prom" ? metrics.to_prometheus()
+                                    : metrics.to_json() + "\n";
+  }
+
+  // Writes the --trace/--metrics side files. Returns 0, or 1 on a write
+  // failure.
+  int flush_files() const {
     if (want_trace() && !write_file(trace_path, trace.to_json())) return 1;
-    if (!metrics_path.empty() &&
-        !write_file(metrics_path, metrics.to_json() + "\n"))
+    if (!metrics_path.empty() && !write_file(metrics_path, metrics_payload()))
       return 1;
+    return 0;
+  }
+
+  // flush_files() plus, under --json, the manifest to stdout.
+  int flush(const telemetry::RunManifest& man) const {
+    if (int rc = flush_files(); rc != 0) return rc;
     if (json) std::cout << man.to_json() << "\n";
     return 0;
   }
 
   std::string trace_path;
   std::string metrics_path;
+  std::string metrics_format;
   bool json = false;
   util::TraceRecorder trace;
   telemetry::MetricsRegistry metrics;
-
- private:
-  static bool write_file(const std::string& path, const std::string& content) {
-    std::ofstream os(path, std::ios::binary);
-    os << content;
-    os.flush();
-    if (!os) {
-      std::cerr << "error: cannot write " << path << "\n";
-      return false;
-    }
-    return true;
-  }
 };
+
+// --progress (or STASH_PROGRESS=1): live step-completion lines on stderr.
+bool want_progress(const util::Args& args) {
+  if (args.has("progress")) return true;
+  const char* env = std::getenv("STASH_PROGRESS");
+  return env != nullptr && std::string(env) == "1";
+}
 
 void emit(const util::Table& t, bool csv) {
   if (csv)
@@ -192,10 +242,13 @@ int cmd_profile(const util::Args& args) {
   int batch = args.get_int("batch", 32);
 
   TelemetrySinks sinks(args);
+  if (int rc = sinks.check(); rc != 0) return rc;
   exec::ExecContext exec(args.get_int("jobs", 1));
   profiler::ProfileOptions opt;
   opt.exec = &exec;
   sinks.attach(opt);
+  obs::ProgressReporter progress;
+  if (want_progress(args)) opt.progress = &progress;
 
   dnn::Model model = dnn::make_zoo_model(model_name);
   profiler::StashProfiler prof(model, dnn::dataset_for(model_name), opt);
@@ -267,6 +320,21 @@ int cmd_profile(const util::Args& args) {
 
   profiler::StallReport r = prof.profile(spec, batch);
 
+  // --blame/--flame: one extra causally-instrumented warm run, walked for
+  // its critical path. Kept out of the five differencing steps so the
+  // profile itself stays cache-friendly.
+  const std::string blame_path = args.get("blame");
+  const std::string flame_path = args.get("flame");
+  if (!blame_path.empty() || !flame_path.empty()) {
+    obs::BlameReport br =
+        profiler::attribute_step(prof, spec, profiler::Step::kRealWarm, batch);
+    if (!blame_path.empty() &&
+        !write_file(blame_path, obs::blame_to_json(br) + "\n"))
+      return 1;
+    if (!flame_path.empty() && !write_file(flame_path, obs::blame_to_folded(br)))
+      return 1;
+  }
+
   if (sinks.json) {
     telemetry::RunManifest man = sinks.manifest("profile", args, model_name, spec);
     man.stall_report = r;
@@ -299,6 +367,7 @@ int cmd_stalls(const util::Args& args) {
   int batch = args.get_int("batch", 32);
 
   TelemetrySinks sinks(args);
+  if (int rc = sinks.check(); rc != 0) return rc;
   exec::ExecContext exec(args.get_int("jobs", 1));
   profiler::ProfileOptions opt;
   opt.exec = &exec;
@@ -340,23 +409,141 @@ int cmd_stalls(const util::Args& args) {
 int cmd_recommend(const util::Args& args) {
   std::string model_name = args.positional(1);
   if (model_name.empty()) return usage();
+  TelemetrySinks sinks(args);
+  if (int rc = sinks.check(); rc != 0) return rc;
   exec::ExecContext exec(args.get_int("jobs", 1));
   profiler::RecommendOptions opt;
   opt.per_gpu_batch = args.get_int("batch", 32);
   opt.profile.exec = &exec;
-  auto recs =
-      profiler::recommend(dnn::make_zoo_model(model_name),
-                          dnn::dataset_for(model_name), opt);
+  dnn::Model model = dnn::make_zoo_model(model_name);
+  dnn::Dataset dataset = dnn::dataset_for(model_name);
+  auto recs = profiler::recommend(model, dataset, opt);
   if (recs.empty()) {
     std::cerr << "no configuration fits " << model_name << " at batch "
               << opt.per_gpu_batch << "\n";
     return 1;
   }
+
+  // recommend() strips telemetry sinks — overlaying every candidate's
+  // counters in one registry would be meaningless — so the --trace/--metrics
+  // payload comes from one more profile of the top-ranked configuration.
+  // Cheap: its uninstrumented scenarios are already in the SimCache.
+  if (sinks.want_trace() || sinks.want_metrics()) {
+    profiler::ProfileOptions popt = opt.profile;
+    sinks.attach(popt);
+    profiler::StashProfiler winner(model, dataset, popt);
+    winner.profile(recs.front().spec, opt.per_gpu_batch);
+  }
+
+  if (sinks.json) {
+    telemetry::RunManifest man;
+    man.command = "recommend";
+    man.add_config("model", model_name);
+    man.add_config("batch", std::to_string(opt.per_gpu_batch));
+    man.add_config("winner", recs.front().spec.label());
+    man.recommendations = recs;
+    if (sinks.want_metrics()) man.metrics = &sinks.metrics;
+    return sinks.flush(man);
+  }
+
   util::Table t({"config", "epoch (s)", "epoch ($)", "time rank", "cost rank"});
   for (const auto& r : recs)
     t.row().cell(r.spec.label()).cell(r.report.epoch_seconds, 0)
         .cell(r.report.epoch_cost_usd, 2).cell(r.by_time).cell(r.by_cost);
   emit(t, args.has("csv"));
+  return sinks.flush_files();
+}
+
+// Causal critical-path attribution with the built-in differencing
+// cross-check: the blame table is measured on one run's event graph, the
+// crosscheck table shows how far each differencing estimate lands from it.
+int cmd_attribute(const util::Args& args) {
+  std::string model_name = args.positional(1);
+  if (model_name.empty()) return usage();
+  profiler::ClusterSpec spec;
+  spec.instance = args.get("instance", "p3.8xlarge");
+  spec.count = args.get_int("count", 1);
+  if (args.has("full-quad")) spec.slice = cloud::CrossbarSlice::kFullQuad;
+  int batch = args.get_int("batch", 32);
+
+  TelemetrySinks sinks(args);
+  if (int rc = sinks.check(); rc != 0) return rc;
+  exec::ExecContext exec(args.get_int("jobs", 1));
+  profiler::ProfileOptions opt;
+  opt.exec = &exec;
+  obs::ProgressReporter progress;
+  if (want_progress(args)) opt.progress = &progress;
+
+  profiler::StashProfiler prof(dnn::make_zoo_model(model_name),
+                               dnn::dataset_for(model_name), opt);
+  profiler::BlameProfile bp = profiler::attribute(
+      prof, spec, batch, sinks.want_trace() ? &sinks.trace : nullptr);
+  const obs::BlameReport& primary = bp.primary();
+
+  const std::string flame_path = args.get("flame");
+  if (!flame_path.empty() &&
+      !write_file(flame_path, obs::blame_to_folded(primary)))
+    return 1;
+  if (int rc = sinks.flush_files(); rc != 0) return rc;
+
+  if (sinks.json) {
+    std::cout << profiler::blame_profile_to_json(bp) << "\n";
+    return 0;
+  }
+
+  const double iters = primary.measured_iterations > 0
+                           ? static_cast<double>(primary.measured_iterations)
+                           : 1.0;
+  const double per_iter_total = primary.measured_window_s / iters;
+  util::Table blame({"category", "path (ms/iter)", "share %"});
+  for (std::size_t c = 0; c < obs::kBlameCategories; ++c) {
+    double s = primary.per_iteration_s[c];
+    if (s <= 0.0) continue;
+    blame.row().cell(obs::category_name(static_cast<obs::Category>(c)))
+        .cell(s * 1e3, 3)
+        .cell(per_iter_total > 0.0 ? s / per_iter_total * 100.0 : 0.0, 1);
+  }
+  emit(blame, args.has("csv"));
+
+  util::Table check({"stall", "differencing %", "critical path %", "delta (pp)",
+                     "differencing (ms)", "path (ms)"});
+  auto check_row = [&check](const char* label, const profiler::BlameCheck& c) {
+    auto& row = check.row().cell(label);
+    if (!c.available) {
+      row.cell("-").cell("-").cell("-").cell("-").cell("-");
+      return;
+    }
+    row.cell(c.differencing_pct, 1).cell(c.blame_pct, 1).cell(c.delta_pct(), 1)
+        .cell(c.differencing_s * 1e3, 3).cell(c.blame_s * 1e3, 3);
+  };
+  check_row("I/C", bp.ic);
+  check_row("N/W", bp.nw);
+  check_row("prep", bp.prep);
+  check_row("fetch", bp.fetch);
+  emit(check, args.has("csv"));
+
+  if (!args.has("csv")) {
+    std::cout << "primary run: " << primary.scenario << " on "
+              << primary.config_label << " ("
+              << primary.measured_iterations << " measured iterations, "
+              << util::format_double(per_iter_total * 1e3, 3) << " ms/iter)\n"
+              << "communication: "
+              << util::format_double(primary.comm_activity_s / iters * 1e3, 3)
+              << " ms/iter recorded, "
+              << util::format_double(primary.comm_on_path_s / iters * 1e3, 3)
+              << " on the critical path, "
+              << util::format_double(primary.comm_hidden_s / iters * 1e3, 3)
+              << " hidden under compute\n";
+    double unattrib =
+        primary.per_iteration_s[static_cast<std::size_t>(
+            obs::Category::kUnattributed)];
+    if (unattrib > 0.0)
+      std::cerr << "warning: "
+                << util::format_double(unattrib * 1e3, 3)
+                << " ms/iter of critical path is unattributed (instrumentation "
+                   "gap)\n";
+  }
+  warn_if_degenerate(bp.differencing);
   return 0;
 }
 
@@ -370,6 +557,7 @@ int cmd_estimate(const util::Args& args) {
   int epochs = args.get_int("epochs", 90);
 
   TelemetrySinks sinks(args);
+  if (int rc = sinks.check(); rc != 0) return rc;
   exec::ExecContext exec(args.get_int("jobs", 1));
   profiler::ProfileOptions opt;
   opt.exec = &exec;
@@ -427,6 +615,7 @@ int main(int argc, char** argv) {
     if (cmd == "catalog") return cmd_catalog(args);
     if (cmd == "models") return cmd_models(args);
     if (cmd == "profile") return cmd_profile(args);
+    if (cmd == "attribute") return cmd_attribute(args);
     if (cmd == "recommend") return cmd_recommend(args);
     if (cmd == "estimate") return cmd_estimate(args);
     if (cmd == "stalls") return cmd_stalls(args);

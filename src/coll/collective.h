@@ -9,6 +9,7 @@
 
 #include "hw/flow_network.h"
 #include "hw/topology.h"
+#include "obs/causal_log.h"
 #include "sim/simulator.h"
 #include "telemetry/metrics.h"
 
@@ -44,6 +45,11 @@ struct CollectiveContext {
   // set, collectives record per-call bytes, counts and per-round latencies
   // under "coll/...".
   telemetry::MetricsRegistry* metrics = nullptr;
+  // Optional causal-edge sink (not owned). When set, every collective round
+  // records an activity edge — interconnect for the intra-machine share,
+  // network for the cross-machine share — chained through the log's
+  // comm-chain tail so the critical-path walker can traverse the stream.
+  obs::CausalLog* causal = nullptr;
 
   double round_latency() const {
     return cluster.multi_machine() ? config.inter_round_latency

@@ -1,10 +1,76 @@
 #include "coll/ring_allreduce.h"
 
+#include <algorithm>
+#include <limits>
+#include <map>
 #include <stdexcept>
 
 #include "sim/sync.h"
 
 namespace stash::coll {
+
+namespace {
+
+// Analytic intra-machine share of one ring round: the duration a round
+// *would* have if only the intra-machine hops existed, over the duration
+// with every hop. Used to split each recorded round edge into an
+// interconnect part and a network part — the same decomposition the
+// trainer applies to its synchronous collective charge, so blame reports
+// agree with differencing's T5-T2 coordinate.
+double intra_round_fraction(CollectiveContext& ctx,
+                            const std::vector<hw::GpuRef>& ring, double chunk,
+                            double round_latency) {
+  const std::size_t k = ring.size();
+  std::map<hw::Link*, int> traversals;
+  for (std::size_t i = 0; i < k; ++i)
+    for (hw::Link* l : ctx.cluster.path(ring[i], ring[(i + 1) % k]))
+      ++traversals[l];
+  const double inf = std::numeric_limits<double>::infinity();
+  double full_rate = inf;
+  double intra_rate = inf;
+  bool crosses = false;
+  for (std::size_t i = 0; i < k; ++i) {
+    const hw::GpuRef& a = ring[i];
+    const hw::GpuRef& b = ring[(i + 1) % k];
+    double hop_rate = inf;
+    for (hw::Link* l : ctx.cluster.path(a, b))
+      hop_rate = std::min(hop_rate, l->capacity() / traversals[l]);
+    full_rate = std::min(full_rate, hop_rate);
+    if (a.machine == b.machine)
+      intra_rate = std::min(intra_rate, hop_rate);
+    else
+      crosses = true;
+  }
+  if (!crosses) return 1.0;
+  const double intra_latency = ctx.config.intra_round_latency;
+  const double intra_round =
+      intra_latency + (intra_rate < inf ? chunk / intra_rate : 0.0);
+  const double full_round =
+      round_latency + (full_rate > 0.0 ? chunk / full_rate : 0.0);
+  if (!(full_round > 0.0)) return 1.0;
+  return std::clamp(intra_round / full_round, 0.0, 1.0);
+}
+
+// Records one completed round [start, end], split interconnect/network by
+// `intra_frac`, chained onto the comm stream's edge chain.
+void record_round(CollectiveContext& ctx, const std::vector<hw::GpuRef>& ring,
+                  double start, double end, double intra_frac) {
+  obs::CausalLog& log = *ctx.causal;
+  const int machine = ring[0].machine;
+  const int gpu = ring[0].local;
+  const int iter = log.iteration();
+  const double split = start + intra_frac * (end - start);
+  int prev = log.comm_chain();
+  if (split > start || intra_frac >= 1.0)
+    prev = log.add_activity(obs::Category::kInterconnect, "ring_round",
+                            machine, gpu, iter, start, split, prev);
+  if (end > split)
+    prev = log.add_activity(obs::Category::kNetwork, "ring_round", machine,
+                            gpu, iter, split, end, prev);
+  log.set_comm_chain(prev);
+}
+
+}  // namespace
 
 sim::Task<void> ring_allreduce_over(CollectiveContext& ctx,
                                     std::vector<hw::GpuRef> ring, double bytes,
@@ -17,7 +83,10 @@ sim::Task<void> ring_allreduce_over(CollectiveContext& ctx,
     ctx.metrics->counter("coll/ring/bytes_sent").add(bytes);
   }
   if (k == 1) {
+    const double start = ctx.sim.now();
     co_await ctx.sim.delay(round_latency);
+    if (ctx.causal != nullptr)
+      record_round(ctx, ring, start, ctx.sim.now(), 1.0);
     co_return;
   }
 
@@ -27,6 +96,9 @@ sim::Task<void> ring_allreduce_over(CollectiveContext& ctx,
   // the slowest edge paces every round.
   const double chunk = bytes / static_cast<double>(k);
   const int rounds = 2 * (static_cast<int>(k) - 1);
+  const double intra_frac =
+      ctx.causal != nullptr ? intra_round_fraction(ctx, ring, chunk, round_latency)
+                            : 1.0;
   for (int r = 0; r < rounds; ++r) {
     const double round_start = ctx.sim.now();
     co_await ctx.sim.delay(round_latency);
@@ -37,6 +109,8 @@ sim::Task<void> ring_allreduce_over(CollectiveContext& ctx,
       flows.push_back(ctx.net.transfer(chunk, std::move(path)));
     }
     co_await sim::join_all(ctx.sim, std::move(flows));
+    if (ctx.causal != nullptr)
+      record_round(ctx, ring, round_start, ctx.sim.now(), intra_frac);
     if (ctx.metrics != nullptr) {
       ctx.metrics->counter("coll/ring/rounds").increment();
       ctx.metrics->histogram("coll/ring/step_latency_s")

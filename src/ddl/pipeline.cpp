@@ -89,6 +89,10 @@ struct PipeState {
   sim::Barrier iteration_barrier;
   util::SampleSet iter_times;
 
+  // Causal sink; may be null. Barrier straggler provenance comes from the
+  // barrier's own arrival tokens (sim::Barrier::last_token).
+  obs::CausalLog* causal = nullptr;
+
   PipeState(sim::Simulator& s, hw::FlowNetwork& n, hw::Cluster& c,
             const PipelineConfig& cfg, const PipelinePlan& p,
             std::vector<hw::GpuRef> g)
@@ -98,9 +102,10 @@ struct PipeState {
         config(cfg),
         plan(p),
         gpus(std::move(g)),
-        coll_ctx{s, n, c, cfg.collective},
+        coll_ctx{s, n, c, cfg.collective, nullptr, cfg.causal},
         iteration_barrier(s, p.num_stages() * static_cast<std::size_t>(
-                                                  cfg.replicas)) {}
+                                                  cfg.replicas)),
+        causal(cfg.causal) {}
 
   std::size_t worker_index(int replica, std::size_t stage) const {
     return static_cast<std::size_t>(replica) * plan.num_stages() + stage;
@@ -122,12 +127,22 @@ struct PipeState {
   }
 };
 
-// Ships one boundary tensor to a neighbouring stage and deposits a token.
+// Ships one boundary tensor to a neighbouring stage and deposits a token
+// carrying the transfer's causal edge (or the producer's, with no log).
 sim::Task<void> ship(PipeState& st, double bytes, hw::GpuRef from, hw::GpuRef to,
-                     sim::Mailbox<int>& box) {
+                     sim::Mailbox<int>& box, int src_edge) {
+  const double start = st.sim.now();
   co_await st.sim.delay(st.config.stage_handoff_latency);
   co_await st.net.transfer(bytes, st.cluster.path(from, to));
-  co_await box.put(1);
+  int edge = src_edge;
+  if (st.causal != nullptr)
+    edge = st.causal->add_activity(from.machine == to.machine
+                                       ? obs::Category::kInterconnect
+                                       : obs::Category::kNetwork,
+                                   "stage_handoff", from.machine, from.local,
+                                   st.causal->iteration(), start,
+                                   st.sim.now(), src_edge);
+  co_await box.put(edge);
 }
 
 sim::Task<void> stage_worker(PipeState& st, int replica, std::size_t s) {
@@ -145,23 +160,51 @@ sim::Task<void> stage_worker(PipeState& st, int replica, std::size_t s) {
       s > 0 ? st.plan.stages[s - 1].boundary_activation_bytes * st.micro_samples
             : 0.0;
 
+  const hw::GpuRef me = st.gpus[self];
+  int prev = -1;  // this worker's causal chain tail
   for (int iter = 0; iter < st.config.iterations; ++iter) {
     const double iter_start = st.sim.now();
+    if (replica == 0 && s == 0 && st.causal != nullptr)
+      st.causal->set_iteration(iter);
     // Forward flush: all micro-batches stream through.
     for (int m = 0; m < st.config.micro_batches; ++m) {
-      if (s > 0) co_await st.fwd_boxes[self]->get();
+      if (s > 0) {
+        const double wait_start = st.sim.now();
+        const int in_edge = co_await st.fwd_boxes[self]->get();
+        if (st.causal != nullptr && st.sim.now() > wait_start)
+          prev = st.causal->add_wait(obs::Category::kPipeline, "stage_wait",
+                                     me.machine, me.local, iter, wait_start,
+                                     st.sim.now(), prev, /*cause=*/in_edge);
+      }
+      const double fwd_start = st.sim.now();
       co_await st.sim.delay(fwd_t);
+      if (st.causal != nullptr)
+        prev = st.causal->add_activity(obs::Category::kCompute, "pipe_fwd",
+                                       me.machine, me.local, iter, fwd_start,
+                                       st.sim.now(), prev);
       if (s + 1 < S)
         st.sim.spawn(ship(st, act_bytes, st.gpus[self], st.gpus[self + 1],
-                          *st.fwd_boxes[self + 1]));
+                          *st.fwd_boxes[self + 1], prev));
     }
     // Backward flush: gradients flow back in reverse stage order.
     for (int m = 0; m < st.config.micro_batches; ++m) {
-      if (s + 1 < S) co_await st.bwd_boxes[self]->get();
+      if (s + 1 < S) {
+        const double wait_start = st.sim.now();
+        const int in_edge = co_await st.bwd_boxes[self]->get();
+        if (st.causal != nullptr && st.sim.now() > wait_start)
+          prev = st.causal->add_wait(obs::Category::kPipeline, "stage_wait",
+                                     me.machine, me.local, iter, wait_start,
+                                     st.sim.now(), prev, /*cause=*/in_edge);
+      }
+      const double bwd_start = st.sim.now();
       co_await st.sim.delay(bwd_t);
+      if (st.causal != nullptr)
+        prev = st.causal->add_activity(obs::Category::kCompute, "pipe_bwd",
+                                       me.machine, me.local, iter, bwd_start,
+                                       st.sim.now(), prev);
       if (s > 0)
         st.sim.spawn(ship(st, in_bytes, st.gpus[self], st.gpus[self - 1],
-                          *st.bwd_boxes[self - 1]));
+                          *st.bwd_boxes[self - 1], prev));
     }
     // Hybrid parallelism: stage gradients are all-reduced across the
     // replicas before the optimizer step. Replica 0 drives the collective
@@ -169,13 +212,32 @@ sim::Task<void> stage_worker(PipeState& st, int replica, std::size_t s) {
     // the iteration barrier.
     if (st.config.replicas > 1 && replica == 0) {
       auto peers = st.stage_peers(s);
+      if (st.causal != nullptr) st.causal->set_comm_chain(prev);
       co_await coll::ring_allreduce_over(st.coll_ctx, peers, stage.params * 4.0,
                                          st.peer_round_latency(peers));
+      if (st.causal != nullptr) prev = st.causal->comm_chain();
     }
+    const double opt_start = st.sim.now();
     co_await st.sim.delay(opt_t);
-    co_await st.iteration_barrier.arrive_and_wait();
-    if (replica == 0 && s == 0 && iter >= st.config.warmup_iterations)
-      st.iter_times.add(st.sim.now() - iter_start);
+    if (st.causal != nullptr)
+      prev = st.causal->add_activity(obs::Category::kCompute, "pipe_opt",
+                                     me.machine, me.local, iter, opt_start,
+                                     st.sim.now(), prev);
+    const double barrier_arrive = st.sim.now();
+    co_await st.iteration_barrier.arrive_and_wait(prev);
+    if (st.causal != nullptr && st.sim.now() > barrier_arrive)
+      prev = st.causal->add_wait(obs::Category::kBarrier, "iter_barrier",
+                                 me.machine, me.local, iter, barrier_arrive,
+                                 st.sim.now(), prev,
+                                 /*cause=*/st.iteration_barrier.last_token());
+    if (replica == 0 && s == 0) {
+      if (st.causal != nullptr)
+        st.causal->mark_iteration(iter, iter >= st.config.warmup_iterations,
+                                  /*rework=*/false, iter_start, st.sim.now(),
+                                  prev);
+      if (iter >= st.config.warmup_iterations)
+        st.iter_times.add(st.sim.now() - iter_start);
+    }
   }
 }
 

@@ -71,6 +71,11 @@ struct PipelineConfig {
   int replicas = 1;
   coll::CollectiveConfig collective{};
 
+  // Optional causal-edge sink (not owned): stage compute, boundary
+  // handoffs, bubbles, barriers and the hybrid all-reduce record typed
+  // edges for critical-path attribution, mirroring ddl::Trainer.
+  obs::CausalLog* causal = nullptr;
+
   void validate() const {
     if (micro_batches < 1) throw std::invalid_argument("micro_batches must be >= 1");
     if (mini_batch < micro_batches)

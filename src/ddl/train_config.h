@@ -12,6 +12,7 @@
 #include "coll/collective.h"
 #include "faults/fault_plan.h"
 #include "hw/topology.h"
+#include "obs/causal_log.h"
 #include "telemetry/metrics.h"
 #include "util/stats.h"
 #include "util/trace.h"
@@ -171,6 +172,12 @@ struct TrainConfig {
   // internals all register here by hierarchical name. Not owned; must
   // outlive the run.
   telemetry::MetricsRegistry* metrics = nullptr;
+
+  // Optional causal-edge sink: every coroutine (loaders, H2D stages,
+  // workers, collectives, fault recovery) records typed, linked edges here
+  // for critical-path attribution (obs::analyze_critical_path). Not owned;
+  // must outlive the run. One log per run — logs are not mergeable.
+  obs::CausalLog* causal = nullptr;
 
   void validate() const {
     if (per_gpu_batch < 1) throw std::invalid_argument("per_gpu_batch must be >= 1");

@@ -14,6 +14,7 @@
 #include "coll/ring_allreduce.h"
 #include "sim/mailbox.h"
 #include "sim/sync.h"
+#include "util/log.h"
 #include "util/stats.h"
 
 namespace stash::ddl {
@@ -48,6 +49,8 @@ struct RunState {
   // Optional metrics sink plus cached per-iteration instruments (null when
   // no registry is attached).
   telemetry::MetricsRegistry* metrics = nullptr;
+  // Optional causal-edge sink for critical-path attribution (null = off).
+  obs::CausalLog* causal = nullptr;
   telemetry::Histogram* h_iter = nullptr;
   telemetry::Histogram* h_data_wait = nullptr;
   telemetry::Histogram* h_h2d = nullptr;
@@ -108,9 +111,10 @@ struct RunState {
         cluster(c),
         config(cfg),
         all_gpus(std::move(gpu_list)),
-        coll_ctx{s, n, c, cfg.collective, cfg.metrics},
+        coll_ctx{s, n, c, cfg.collective, cfg.metrics, cfg.causal},
         stream(s) {
     metrics = cfg.metrics;
+    causal = cfg.causal;
     if (metrics != nullptr) {
       h_iter = &metrics->histogram("ddl/iter/total_s");
       h_data_wait = &metrics->histogram("ddl/iter/data_wait_s");
@@ -158,6 +162,12 @@ struct Attempt {
   double round_latency = 0.0;
   std::vector<std::vector<hw::Link*>> ring_hop_paths;
   std::unordered_map<const hw::Link*, int> ring_traversals;
+  // Intra-machine subset of the hops, for the causal split of the
+  // synchronous collective charge into interconnect vs. network time: the
+  // intra-only bottleneck prices what the same collective would cost with
+  // no machine boundary crossed.
+  std::vector<std::vector<hw::Link*>> intra_hop_paths;
+  std::unordered_map<const hw::Link*, int> intra_traversals;
 
   Attempt(RunState& st, std::vector<hw::GpuRef> parts, int from, int to)
       : gpus(std::move(parts)),
@@ -182,21 +192,31 @@ struct Attempt {
     if (gpus.size() > 1) {
       for (std::size_t i = 0; i < gpus.size(); ++i) {
         auto path = st.cluster.path(gpus[i], gpus[(i + 1) % gpus.size()]);
+        if (gpus[i].machine == gpus[(i + 1) % gpus.size()].machine) {
+          for (const hw::Link* l : path) ++intra_traversals[l];
+          intra_hop_paths.push_back(path);
+        }
         for (const hw::Link* l : path) ++ring_traversals[l];
         ring_hop_paths.push_back(std::move(path));
       }
     }
   }
 
-  double ring_seconds_per_chunk_byte() const {
+  static double slowest_hop_seconds_per_byte(
+      const std::vector<std::vector<hw::Link*>>& hops,
+      const std::unordered_map<const hw::Link*, int>& traversals) {
     double slowest = std::numeric_limits<double>::infinity();
-    for (const auto& path : ring_hop_paths) {
+    for (const auto& path : hops) {
       double rate = std::numeric_limits<double>::infinity();
       for (const hw::Link* l : path)
-        rate = std::min(rate, l->capacity() / ring_traversals.at(l));
+        rate = std::min(rate, l->capacity() / traversals.at(l));
       slowest = std::min(slowest, rate);
     }
     return std::isfinite(slowest) && slowest > 0.0 ? 1.0 / slowest : 0.0;
+  }
+
+  double ring_seconds_per_chunk_byte() const {
+    return slowest_hop_seconds_per_byte(ring_hop_paths, ring_traversals);
   }
 
   // Analytic cost of one all-reduce of `bytes` over the participant ring.
@@ -205,6 +225,19 @@ struct Attempt {
     if (k < 2) return 0.0;
     double rounds = 2.0 * (k - 1.0);
     return rounds * (round_latency + (bytes / k) * ring_seconds_per_chunk_byte());
+  }
+
+  // The same collective priced against only the intra-machine hops: the
+  // interconnect share of the charge. Always <= the full estimate — the
+  // intra bottleneck is a subset of the full ring's constraints.
+  double estimate_collective_seconds_intra(double bytes,
+                                           double intra_latency) const {
+    auto k = static_cast<double>(gpus.size());
+    if (k < 2) return 0.0;
+    double rounds = 2.0 * (k - 1.0);
+    double per_byte =
+        slowest_hop_seconds_per_byte(intra_hop_paths, intra_traversals);
+    return rounds * (intra_latency + (bytes / k) * per_byte);
   }
 
   // A survivor observed the fault (barrier timeout or abort). Kills both
@@ -240,11 +273,32 @@ void trace_span(RunState& st, const char* name, const char* category,
                             pid, tid);
 }
 
+// Body of one enqueued all-reduce. Runs when the comm stream reaches it:
+// first closes the causal queue-wait edge [enqueue, stream start] — caused
+// by the previous collective still draining (or instantaneous when the
+// stream was idle) — then performs the ring rounds, which chain their own
+// edges from it via the log's comm-chain tail.
+sim::Task<void> stream_allreduce(RunState& st, Attempt& at, double bytes,
+                                 int flush_edge, double enqueue_time) {
+  if (st.causal != nullptr) {
+    const double now = st.sim.now();
+    const int queued = st.causal->add_wait(
+        obs::Category::kInterconnect, "comm_queue", at.gpus[0].machine,
+        at.gpus[0].local, st.causal->iteration(), enqueue_time, now,
+        /*prev=*/flush_edge, /*cause=*/st.causal->comm_chain());
+    st.causal->set_comm_chain(queued);
+  }
+  co_await coll::ring_allreduce_over(st.coll_ctx, at.gpus, bytes,
+                                     at.round_latency);
+}
+
 sim::Task<void> run_one_allreduce(RunState& st, Attempt& at, double bytes,
-                                  std::shared_ptr<sim::Latch> latch) {
+                                  std::shared_ptr<sim::Latch> latch,
+                                  int flush_edge) {
   const double start = st.sim.now();
-  co_await st.stream.enqueue([&st, &at, bytes]() -> sim::Task<void> {
-    return coll::ring_allreduce_over(st.coll_ctx, at.gpus, bytes, at.round_latency);
+  co_await st.stream.enqueue([&st, &at, bytes, flush_edge,
+                              start]() -> sim::Task<void> {
+    return stream_allreduce(st, at, bytes, flush_edge, start);
   });
   trace_span(st, "allreduce", "comm", start, st.trace_pid, 100);
   latch->count_down();
@@ -253,18 +307,38 @@ sim::Task<void> run_one_allreduce(RunState& st, Attempt& at, double bytes,
 sim::Task<void> loader(RunState& st, Attempt& at, std::size_t gpu_idx) {
   hw::Machine& mach = st.cluster.machine(at.gpus[gpu_idx].machine);
   const int machine = at.gpus[gpu_idx].machine;
+  const int local = at.gpus[gpu_idx].local;
   const faults::FaultState* fs = st.config.fault_tolerance.faults;
   const int needed = at.end_iter - at.start_iter;
+  int prev = -1;  // this coroutine's causal chain tail
   while (at.produced[gpu_idx] < needed) {
     if (fs != nullptr && fs->crashed(machine, st.sim.now())) co_return;
     ++at.produced[gpu_idx];
+    const int iter_tag = at.start_iter + at.produced[gpu_idx] - 1;
     double miss_bytes = st.batch_disk_bytes * st.miss_fraction;
     if (miss_bytes > 0.0) {
+      const double fetch_start = st.sim.now();
       co_await mach.storage().read(miss_bytes);
+      if (st.causal != nullptr)
+        prev = st.causal->add_activity(obs::Category::kDisk, "disk_fetch",
+                                       machine, local, iter_tag, fetch_start,
+                                       st.sim.now(), prev);
       if (st.c_disk_bytes != nullptr) st.c_disk_bytes->add(miss_bytes);
     }
-    if (st.prep_seconds > 0.0) co_await mach.cpus().run(st.prep_seconds);
-    co_await at.boxes[gpu_idx]->put(1);
+    if (st.prep_seconds > 0.0) {
+      const double prep_start = st.sim.now();
+      co_await mach.cpus().run(st.prep_seconds);
+      if (st.causal != nullptr)
+        prev = st.causal->add_activity(obs::Category::kCpuPrep, "cpu_prep",
+                                       machine, local, iter_tag, prep_start,
+                                       st.sim.now(), prev);
+    }
+    const double put_start = st.sim.now();
+    co_await at.boxes[gpu_idx]->put(prev);
+    if (st.causal != nullptr && st.sim.now() > put_start)
+      prev = st.causal->add_wait(obs::Category::kPipeline, "prefetch_full",
+                                 machine, local, iter_tag, put_start,
+                                 st.sim.now(), prev, /*cause=*/-1);
     // Loader occupancy telemetry follows the lead GPU's prefetch queue: a
     // time-weighted gauge for the metrics file and a Chrome counter track
     // so occupancy renders as a graph under the span tracks.
@@ -284,20 +358,35 @@ sim::Task<void> h2d_stage(RunState& st, Attempt& at, std::size_t idx) {
   hw::Machine& mach = st.cluster.machine(at.gpus[idx].machine);
   const int machine = at.gpus[idx].machine;
   const int local_gpu = at.gpus[idx].local;
+  int prev = -1;  // this coroutine's causal chain tail
   for (int iter = at.start_iter; iter < at.end_iter; ++iter) {
-    co_await at.boxes[idx]->get();
+    const double get_start = st.sim.now();
+    const int batch_edge = co_await at.boxes[idx]->get();
+    if (st.causal != nullptr && st.sim.now() > get_start)
+      prev = st.causal->add_wait(obs::Category::kPipeline, "prefetch_wait",
+                                 machine, local_gpu, iter, get_start,
+                                 st.sim.now(), prev, /*cause=*/batch_edge);
     if (idx == 0 && st.g_prefetch_depth != nullptr)
       st.g_prefetch_depth->set(st.sim.now(),
                                static_cast<double>(at.boxes[0]->size()));
     const double start = st.sim.now();
     co_await st.net.transfer(st.h2d_bytes, mach.h2d_path(local_gpu));
+    if (st.causal != nullptr)
+      prev = st.causal->add_activity(obs::Category::kH2D, "h2d", machine,
+                                     local_gpu, iter, start, st.sim.now(),
+                                     prev);
     if (idx == 0 && iter >= st.config.warmup_iterations &&
         iter >= at.rework_limit) {
       st.sum_h2d += st.sim.now() - start;
       if (st.h_h2d != nullptr) st.h_h2d->observe(st.sim.now() - start);
     }
     trace_span(st, "h2d", "pipeline", start, machine, 50 + local_gpu);
-    co_await at.device_boxes[idx]->put(1);
+    const double put_start = st.sim.now();
+    co_await at.device_boxes[idx]->put(prev);
+    if (st.causal != nullptr && st.sim.now() > put_start)
+      prev = st.causal->add_wait(obs::Category::kPipeline, "device_full",
+                                 machine, local_gpu, iter, put_start,
+                                 st.sim.now(), prev, /*cause=*/-1);
   }
 }
 
@@ -313,6 +402,7 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
     busy_s = &st.metrics->counter("machine" + std::to_string(machine) + "/gpu" +
                                   std::to_string(local) + "/busy_s");
 
+  int prev = -1;  // this coroutine's causal chain tail
   for (int iter = at.start_iter; iter < at.end_iter; ++iter) {
     // A revoked machine's process dies between iterations: it stops
     // arriving at barriers and the survivors' watchdog does the detection.
@@ -336,9 +426,15 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
         (fs != nullptr ? fs->compute_scale(static_cast<int>(idx), st.sim.now())
                        : 1.0);
 
+    if (lead && st.causal != nullptr) st.causal->set_iteration(iter);
+
     if (!st.config.synthetic_data) {
       const double wait_start = st.sim.now();
-      co_await at.device_boxes[idx]->get();
+      const int batch_edge = co_await at.device_boxes[idx]->get();
+      if (st.causal != nullptr && st.sim.now() > wait_start)
+        prev = st.causal->add_wait(obs::Category::kPipeline, "data_wait",
+                                   machine, local, iter, wait_start,
+                                   st.sim.now(), prev, /*cause=*/batch_edge);
       if (measured) {
         st.sum_data_wait += st.sim.now() - wait_start;
         if (st.h_data_wait != nullptr)
@@ -347,12 +443,21 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
       trace_span(st, "data_wait", "pipeline", wait_start, machine, local);
     }
 
-    if (co_await at.start_barrier.arrive_and_wait() !=
+    // The arrival token threads this worker's causal chain into the
+    // barrier; after release, last_token() is the straggler's edge — the
+    // producer every other worker waited on.
+    const double start_arrive = st.sim.now();
+    if (co_await at.start_barrier.arrive_and_wait(prev) !=
         sim::AbortableBarrier::Result::kOk) {
       at.mark_fault(st.sim.now());
       at.worker_exited();
       co_return;
     }
+    if (st.causal != nullptr && st.sim.now() > start_arrive)
+      prev = st.causal->add_wait(obs::Category::kBarrier, "start_barrier",
+                                 machine, local, iter, start_arrive,
+                                 st.sim.now(), prev,
+                                 /*cause=*/at.start_barrier.last_token());
 
     // Gradient synchronization happens this iteration unless local SGD is
     // deferring it; gradients may be compressed before exchange.
@@ -363,6 +468,10 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
     if (lead) {
       const double compute_start = st.sim.now();
       co_await st.sim.delay(st.fwd_time * compute_scale);
+      if (st.causal != nullptr)
+        prev = st.causal->add_activity(obs::Category::kCompute, "forward",
+                                       machine, local, iter, compute_start,
+                                       st.sim.now(), prev);
       trace_span(st, "forward", "compute", compute_start, machine, local);
       const double backward_start = st.sim.now();
 
@@ -371,6 +480,7 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
       const bool has_async = exchanges && overlap > 0.0;
       auto latch = std::make_shared<sim::Latch>(st.sim,
                                                 has_async ? st.num_buckets : 0);
+      double seg_start = st.sim.now();  // open backward-compute segment
       for (std::size_t s = 0; s < st.steps.size(); ++s) {
         co_await st.sim.delay(st.steps[s].flops_per_sample * st.batch_over_flops *
                               compute_scale);
@@ -382,20 +492,61 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
           double wire_bytes = st.flush_bytes[s] * bytes_factor;
           double sync_cost =
               (1.0 - overlap) * at.estimate_collective_seconds(wire_bytes);
+          const double flush_start = st.sim.now();
+          if (st.causal != nullptr && flush_start > seg_start)
+            prev = st.causal->add_activity(obs::Category::kCompute, "backward",
+                                           machine, local, iter, seg_start,
+                                           flush_start, prev);
           co_await st.sim.delay(st.config.collective.launch_blocking_latency +
                                 sync_cost);
+          if (st.causal != nullptr) {
+            // The synchronous charge splits causally: launch overhead plus
+            // what the collective would cost inside the machine is
+            // interconnect time; the surplus only exists because the ring
+            // crosses machines, so it is network time.
+            const double sync_intra =
+                (1.0 - overlap) *
+                at.estimate_collective_seconds_intra(
+                    wire_bytes, st.config.collective.intra_round_latency);
+            const double ic_end = std::min(
+                st.sim.now(), flush_start +
+                                  st.config.collective.launch_blocking_latency +
+                                  sync_intra);
+            prev = st.causal->add_activity(obs::Category::kInterconnect,
+                                           "flush", machine, local, iter,
+                                           flush_start, ic_end, prev);
+            if (st.sim.now() > ic_end)
+              prev = st.causal->add_activity(obs::Category::kNetwork, "flush",
+                                             machine, local, iter, ic_end,
+                                             st.sim.now(), prev);
+          }
           if (st.c_buckets != nullptr) st.c_buckets->increment();
           if (has_async)
-            st.sim.spawn(run_one_allreduce(st, at, overlap * wire_bytes, latch));
+            st.sim.spawn(
+                run_one_allreduce(st, at, overlap * wire_bytes, latch, prev));
+          seg_start = st.sim.now();
         }
       }
+      if (st.causal != nullptr && st.sim.now() > seg_start)
+        prev = st.causal->add_activity(obs::Category::kCompute, "backward",
+                                       machine, local, iter, seg_start,
+                                       st.sim.now(), prev);
       const double backward_end = st.sim.now();
       trace_span(st, "backward+flush", "compute", backward_start, machine, local);
       co_await latch->wait();
+      if (st.causal != nullptr && st.sim.now() > backward_end)
+        prev = st.causal->add_wait(obs::Category::kInterconnect, "comm_tail",
+                                   machine, local, iter, backward_end,
+                                   st.sim.now(), prev,
+                                   /*cause=*/st.causal->comm_chain());
       const double tail = st.sim.now() - backward_end;
       trace_span(st, "comm_tail", "comm", backward_end, machine, local);
       const double opt_start = st.sim.now();
       co_await st.sim.delay(st.opt_time);
+      if (st.causal != nullptr)
+        prev = st.causal->add_activity(obs::Category::kCompute, "optimizer",
+                                       machine, local, iter, opt_start,
+                                       st.sim.now(), prev);
       trace_span(st, "optimizer", "compute", opt_start, machine, local);
       if (busy_s != nullptr)
         busy_s->add((st.fwd_time + st.bwd_time) * compute_scale + st.opt_time);
@@ -413,6 +564,10 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
           st.sim.now() - st.last_ckpt_time >= ft.checkpoint_interval_s) {
         const double ckpt_start = st.sim.now();
         co_await st.sim.delay(ft.checkpoint_write_s);
+        if (st.causal != nullptr)
+          prev = st.causal->add_activity(obs::Category::kCheckpoint,
+                                         "checkpoint", machine, local, iter,
+                                         ckpt_start, st.sim.now(), prev);
         trace_span(st, "checkpoint", "pipeline", ckpt_start, machine, local);
         wrote_checkpoint = true;
       }
@@ -422,22 +577,35 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
       const double compute_start = st.sim.now();
       co_await st.sim.delay((st.fwd_time + st.bwd_time + st.opt_time) *
                             compute_scale);
+      if (st.causal != nullptr)
+        prev = st.causal->add_activity(obs::Category::kCompute, "compute",
+                                       machine, local, iter, compute_start,
+                                       st.sim.now(), prev);
       trace_span(st, "compute", "compute", compute_start, machine, local);
       if (busy_s != nullptr)
         busy_s->add((st.fwd_time + st.bwd_time + st.opt_time) * compute_scale);
     }
 
-    if (co_await at.end_barrier.arrive_and_wait() !=
+    const double end_arrive = st.sim.now();
+    if (co_await at.end_barrier.arrive_and_wait(prev) !=
         sim::AbortableBarrier::Result::kOk) {
       at.mark_fault(st.sim.now());
       at.worker_exited();
       co_return;
     }
+    if (st.causal != nullptr && st.sim.now() > end_arrive)
+      prev = st.causal->add_wait(obs::Category::kBarrier, "end_barrier",
+                                 machine, local, iter, end_arrive,
+                                 st.sim.now(), prev,
+                                 /*cause=*/at.end_barrier.last_token());
 
     // Iteration committed.
     at.completed_through = std::max(at.completed_through, iter + 1);
     at.last_commit_time = st.sim.now();
     if (lead) {
+      if (st.causal != nullptr)
+        st.causal->mark_iteration(iter, measured, rework, iter_start,
+                                  st.sim.now(), prev);
       st.high_water = std::max(st.high_water, iter + 1);
       if (wrote_checkpoint) {
         st.last_ckpt_time = st.sim.now();
@@ -577,7 +745,17 @@ sim::Task<void> orchestrate(RunState& st) {
 
     rec.wait_seconds = st.sim.now() - at.last_commit_time;
     st.fault_wait_seconds += rec.wait_seconds;
+    util::log_warn("trainer: fault recovery at t=", rec.time_s,
+                   "s iter ", rec.at_iteration, ", workers ",
+                   rec.workers_before, "->", rec.workers_after, ", waited ",
+                   rec.wait_seconds, "s");
     st.recoveries.push_back(rec);
+    if (st.causal != nullptr)
+      st.causal->add_fault_window(
+          at.last_commit_time, st.sim.now(),
+          dead.empty() ? "transient-retry"
+          : ft.policy == RecoveryPolicy::kCheckpointRestart ? "restart"
+                                                            : "shrink");
 
     // Telemetry: one instant at the detection, one span covering the whole
     // recovery episode (detection gap + reprovision wait), and episode

@@ -1,0 +1,95 @@
+#include "obs/causal_log.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace stash::obs {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kCompute: return "compute";
+    case Category::kH2D: return "h2d";
+    case Category::kInterconnect: return "interconnect";
+    case Category::kNetwork: return "network";
+    case Category::kDisk: return "disk";
+    case Category::kCpuPrep: return "cpu_prep";
+    case Category::kBarrier: return "barrier";
+    case Category::kPipeline: return "pipeline";
+    case Category::kCheckpoint: return "checkpoint";
+    case Category::kFaultRecovery: return "fault_recovery";
+    case Category::kUnattributed: return "unattributed";
+  }
+  return "unknown";
+}
+
+int CausalLog::add(Category c, const char* phase, int machine, int gpu,
+                   int iteration, double start_s, double end_s, int prev,
+                   int cause, bool wait) {
+  const int id = static_cast<int>(edges_.size());
+  if (end_s < start_s)
+    throw std::invalid_argument("CausalLog: negative-length edge '" +
+                                std::string(phase) + "'");
+  if (prev >= id || cause >= id)
+    throw std::invalid_argument("CausalLog: forward link on edge '" +
+                                std::string(phase) + "'");
+  CausalEdge e;
+  e.start_s = start_s;
+  e.end_s = end_s;
+  e.category = c;
+  e.wait = wait;
+  e.machine = static_cast<std::int16_t>(machine);
+  e.gpu = static_cast<std::int16_t>(gpu);
+  e.iteration = iteration;
+  e.prev = prev;
+  e.cause = cause;
+  e.phase = phase;
+  edges_.push_back(e);
+  return id;
+}
+
+int CausalLog::add_activity(Category c, const char* phase, int machine,
+                            int gpu, int iteration, double start_s,
+                            double end_s, int prev) {
+  return add(c, phase, machine, gpu, iteration, start_s, end_s, prev, prev,
+             /*wait=*/false);
+}
+
+int CausalLog::add_wait(Category fallback, const char* phase, int machine,
+                        int gpu, int iteration, double start_s, double end_s,
+                        int prev, int cause) {
+  return add(fallback, phase, machine, gpu, iteration, start_s, end_s, prev,
+             cause, /*wait=*/true);
+}
+
+void CausalLog::mark_iteration(int iteration, bool measured, bool rework,
+                               double start_s, double end_s, int anchor) {
+  if (end_s < start_s)
+    throw std::invalid_argument("CausalLog: negative iteration window");
+  if (anchor >= static_cast<int>(edges_.size()))
+    throw std::invalid_argument("CausalLog: iteration anchor not recorded");
+  IterationMark m;
+  m.iteration = iteration;
+  m.measured = measured;
+  m.rework = rework;
+  m.start_s = start_s;
+  m.end_s = end_s;
+  m.anchor = anchor;
+  marks_.push_back(m);
+}
+
+void CausalLog::add_fault_window(double start_s, double end_s,
+                                 const char* what) {
+  if (end_s < start_s)
+    throw std::invalid_argument("CausalLog: negative fault window");
+  faults_.push_back(FaultWindow{start_s, end_s, what});
+}
+
+void CausalLog::clear() {
+  edges_.clear();
+  marks_.clear();
+  faults_.clear();
+  iteration_ = -1;
+  comm_chain_ = -1;
+}
+
+}  // namespace stash::obs

@@ -1,0 +1,140 @@
+// Causal-edge recorder: the raw material of critical-path attribution.
+//
+// The simulator already executes the complete causal event graph of a
+// training run — every coroutine suspension is a real dependency. This log
+// captures just enough of that graph to reconstruct the critical path
+// afterwards: a flat, append-only list of *edges*, each an interval of
+// simulated time on some worker, classified as either an activity (the
+// worker was doing something: compute, H2D copy, a collective round, a disk
+// fetch) or a wait (the worker was blocked on someone else).
+//
+// Two link fields per edge make the backward walk possible:
+//   prev   program-order predecessor on the same coroutine (-1 at the head);
+//   cause  for waits, the edge whose completion woke the waiter (-1 when
+//          the producer is unknown, e.g. backpressure); activity edges set
+//          cause == prev.
+// Both links always point at earlier edge ids (the log is append-only and
+// an edge is recorded when its interval closes), so any backward walk
+// terminates.
+//
+// The recorder is deliberately dumb: it validates intervals and link
+// monotonicity and nothing else. All analysis lives in critical_path.h.
+// One CausalLog instance belongs to one simulation; the profiler gives
+// every causally-instrumented run a private log, which keeps attribution
+// byte-identical for any --jobs value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stash::obs {
+
+// Blame categories. The first six mirror the paper's stall taxonomy
+// (compute, interconnect, network, disk fetch, CPU prep) plus the H2D stage
+// that DS-Analyzer folds into prep; the rest cover mechanisms the
+// differencing methodology cannot see individually.
+enum class Category : std::uint8_t {
+  kCompute = 0,       // GPU kernel time (forward/backward/optimizer)
+  kH2D = 1,           // host-to-device staging copies
+  kInterconnect = 2,  // intra-machine collective time (NVLink/PCIe)
+  kNetwork = 3,       // cross-machine collective time (NIC/fabric)
+  kDisk = 4,          // storage fetches on a cache miss
+  kCpuPrep = 5,       // CPU decode/augment work
+  kBarrier = 6,       // waiting for a slower peer at a barrier
+  kPipeline = 7,      // input-pipeline backpressure (bounded queues full)
+  kCheckpoint = 8,    // checkpoint writes
+  kFaultRecovery = 9,  // fault detection, reprovision waits, rework
+  kUnattributed = 10,  // critical-path time no recorded edge explains
+};
+
+inline constexpr std::size_t kNumCategories = 11;
+
+// Stable lower-case name used in JSON documents and folded stacks.
+const char* category_name(Category c);
+
+struct CausalEdge {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  Category category = Category::kUnattributed;
+  bool wait = false;
+  std::int16_t machine = 0;
+  std::int16_t gpu = 0;
+  std::int32_t iteration = -1;
+  std::int32_t prev = -1;   // program-order predecessor edge id
+  std::int32_t cause = -1;  // wake-up producer (waits); == prev for activity
+  const char* phase = "";   // static string: "forward", "h2d", "comm_round"...
+};
+
+// One completed training iteration, as seen by the lead worker. `anchor` is
+// the edge the backward walk starts from (the lead's end-of-iteration
+// barrier edge, which ends exactly at end_s).
+struct IterationMark {
+  std::int32_t iteration = -1;
+  bool measured = false;  // inside the measurement window, not rework
+  bool rework = false;    // replayed after a fault rollback
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::int32_t anchor = -1;
+};
+
+// A span of run time lost to fault handling between iteration commits
+// (detection, reprovision wait, restart). Lives outside iteration windows.
+struct FaultWindow {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  const char* what = "";
+};
+
+class CausalLog {
+ public:
+  CausalLog() = default;
+  CausalLog(const CausalLog&) = delete;
+  CausalLog& operator=(const CausalLog&) = delete;
+
+  // Records a closed interval [start_s, end_s] and returns its edge id.
+  // Throws std::invalid_argument on a negative-length interval or a link
+  // pointing at or past the new edge's own id.
+  int add_activity(Category c, const char* phase, int machine, int gpu,
+                   int iteration, double start_s, double end_s, int prev);
+  // `cause` is the producer edge whose completion ended the wait, or -1
+  // when unknown — then the wait itself is blamed on `fallback`.
+  int add_wait(Category fallback, const char* phase, int machine, int gpu,
+               int iteration, double start_s, double end_s, int prev,
+               int cause);
+
+  void mark_iteration(int iteration, bool measured, bool rework,
+                      double start_s, double end_s, int anchor);
+  void add_fault_window(double start_s, double end_s, const char* what);
+
+  // Ambient iteration tag for recorders that have no iteration of their own
+  // (the collective rounds run on the comm stream). Set by the lead worker
+  // at each iteration top.
+  void set_iteration(int it) { iteration_ = it; }
+  int iteration() const { return iteration_; }
+
+  // Tail of the chain of collective edges on the (serial) comm stream; the
+  // lead worker reads it as the cause of its post-backward latch wait, and
+  // each collective round links from it.
+  void set_comm_chain(int id) { comm_chain_ = id; }
+  int comm_chain() const { return comm_chain_; }
+
+  const std::vector<CausalEdge>& edges() const { return edges_; }
+  const std::vector<IterationMark>& iterations() const { return marks_; }
+  const std::vector<FaultWindow>& fault_windows() const { return faults_; }
+  std::size_t size() const { return edges_.size(); }
+
+  void clear();
+
+ private:
+  int add(Category c, const char* phase, int machine, int gpu, int iteration,
+          double start_s, double end_s, int prev, int cause, bool wait);
+
+  std::vector<CausalEdge> edges_;
+  std::vector<IterationMark> marks_;
+  std::vector<FaultWindow> faults_;
+  int iteration_ = -1;
+  int comm_chain_ = -1;
+};
+
+}  // namespace stash::obs

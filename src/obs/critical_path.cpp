@@ -1,0 +1,251 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "obs/causal_log.h"
+#include "util/json.h"
+#include "util/trace.h"
+
+namespace stash::obs {
+
+namespace {
+
+bool is_comm(Category c) {
+  return c == Category::kInterconnect || c == Category::kNetwork;
+}
+
+// Backward walk over one iteration window. Segments are collected in
+// reverse (end to start) and flipped once; every segment boundary is the
+// walker's own position `t`, so adjacent segments share bits exactly.
+IterationBlame walk_iteration(const std::vector<CausalEdge>& edges,
+                              const IterationMark& m) {
+  IterationBlame ib;
+  ib.iteration = m.iteration;
+  ib.measured = m.measured;
+  ib.rework = m.rework;
+  ib.start_s = m.start_s;
+  ib.end_s = m.end_s;
+
+  const double s0 = m.start_s;
+  double t = m.end_s;
+  int eid = m.anchor;
+
+  auto claim = [&](double lo, Category c, const char* phase, int machine,
+                   int gpu) {
+    if (lo < s0) lo = s0;
+    if (lo >= t) return;
+    BlameSegment seg;
+    seg.start_s = lo;
+    seg.end_s = t;
+    seg.category = c;
+    seg.phase = phase;
+    seg.machine = static_cast<std::int16_t>(machine);
+    seg.gpu = static_cast<std::int16_t>(gpu);
+    ib.segments.push_back(seg);
+    ib.by_category[static_cast<std::size_t>(c)] += t - lo;
+    t = lo;
+  };
+
+  while (t > s0) {
+    if (eid < 0) {
+      claim(s0, Category::kUnattributed, "gap", 0, 0);
+      break;
+    }
+    const CausalEdge& e = edges[static_cast<std::size_t>(eid)];
+    if (e.end_s < t) {
+      // The chain cannot explain (e.end_s, t]: no edge covers it.
+      claim(e.end_s, Category::kUnattributed, "gap", e.machine, e.gpu);
+      continue;  // revisit the same edge at its own end time
+    }
+    if (!e.wait) {
+      claim(e.start_s, e.category, e.phase, e.machine, e.gpu);
+      eid = e.prev;
+    } else if (e.cause >= 0 && e.end_s > e.start_s) {
+      eid = e.cause;  // the producer's activity covers the wait
+    } else if (e.end_s > e.start_s) {
+      // Blocked with no recorded producer: backpressure-style wait.
+      claim(e.start_s, e.category, e.phase, e.machine, e.gpu);
+      eid = e.prev;
+    } else {
+      eid = e.prev;  // instantaneous wait: pure program order
+    }
+  }
+  std::reverse(ib.segments.begin(), ib.segments.end());
+  return ib;
+}
+
+double clamp_pct(double num, double den) {
+  if (!(den > 1e-12)) return 0.0;
+  double pct = num / den * 100.0;
+  return std::isfinite(pct) ? pct : 0.0;
+}
+
+}  // namespace
+
+BlameReport analyze_critical_path(const CausalLog& log) {
+  BlameReport r;
+  const auto& edges = log.edges();
+
+  std::set<std::int32_t> measured_iters;
+  for (const IterationMark& m : log.iterations()) {
+    IterationBlame ib = walk_iteration(edges, m);
+    if (ib.measured) {
+      ++r.measured_iterations;
+      r.measured_window_s += ib.end_s - ib.start_s;
+      for (std::size_t c = 0; c < kBlameCategories; ++c)
+        r.totals_s[c] += ib.by_category[c];
+      for (const BlameSegment& seg : ib.segments)
+        if (is_comm(seg.category)) r.comm_on_path_s += seg.end_s - seg.start_s;
+      measured_iters.insert(m.iteration);
+    }
+    r.iterations.push_back(std::move(ib));
+  }
+  if (r.measured_iterations > 0)
+    for (std::size_t c = 0; c < kBlameCategories; ++c)
+      r.per_iteration_s[c] = r.totals_s[c] / r.measured_iterations;
+
+  for (const CausalEdge& e : edges)
+    if (!e.wait && is_comm(e.category) && measured_iters.count(e.iteration))
+      r.comm_activity_s += e.end_s - e.start_s;
+  r.comm_hidden_s = std::max(0.0, r.comm_activity_s - r.comm_on_path_s);
+
+  for (const FaultWindow& w : log.fault_windows()) {
+    r.fault_window_s += w.end_s - w.start_s;
+    ++r.fault_windows;
+  }
+
+  const auto cat = [&](Category c) {
+    return r.per_iteration_s[static_cast<std::size_t>(c)];
+  };
+  const double total = r.measured_iterations > 0
+                           ? r.measured_window_s / r.measured_iterations
+                           : 0.0;
+  r.ic_stall_pct = clamp_pct(cat(Category::kInterconnect),
+                             cat(Category::kCompute));
+  r.nw_stall_pct =
+      clamp_pct(cat(Category::kNetwork), total - cat(Category::kNetwork));
+  r.prep_stall_pct = clamp_pct(cat(Category::kCpuPrep) + cat(Category::kH2D) +
+                                   cat(Category::kPipeline),
+                               total);
+  r.fetch_stall_pct = clamp_pct(cat(Category::kDisk), total);
+  return r;
+}
+
+namespace {
+
+void write_category_map(util::JsonWriter& w,
+                        const std::array<double, kBlameCategories>& v) {
+  w.begin_object();
+  for (std::size_t c = 0; c < kBlameCategories; ++c)
+    w.key(category_name(static_cast<Category>(c))).value(v[c]);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_blame_fields(util::JsonWriter& w, const BlameReport& r) {
+  w.key("schema").value("stash.blame/1");
+  w.key("scenario").value(r.scenario);
+  w.key("model").value(r.model_name);
+  w.key("config").value(r.config_label);
+  w.key("gpus").value(r.gpus);
+  w.key("per_gpu_batch").value(r.per_gpu_batch);
+  w.key("measured_iterations").value(r.measured_iterations);
+  w.key("measured_window_s").value(r.measured_window_s);
+  w.key("totals_s");
+  write_category_map(w, r.totals_s);
+  w.key("per_iteration_s");
+  write_category_map(w, r.per_iteration_s);
+  w.key("stall_pcts").begin_object();
+  w.key("interconnect").value(r.ic_stall_pct);
+  w.key("network").value(r.nw_stall_pct);
+  w.key("prep").value(r.prep_stall_pct);
+  w.key("fetch").value(r.fetch_stall_pct);
+  w.end_object();
+  w.key("overlap").begin_object();
+  w.key("comm_activity_s").value(r.comm_activity_s);
+  w.key("comm_on_path_s").value(r.comm_on_path_s);
+  w.key("comm_hidden_s").value(r.comm_hidden_s);
+  w.end_object();
+  w.key("faults").begin_object();
+  w.key("windows").value(r.fault_windows);
+  w.key("seconds").value(r.fault_window_s);
+  w.end_object();
+  w.key("iterations").begin_array();
+  for (const IterationBlame& ib : r.iterations) {
+    w.begin_object();
+    w.key("iteration").value(ib.iteration);
+    w.key("measured").value(ib.measured);
+    w.key("rework").value(ib.rework);
+    w.key("start_s").value(ib.start_s);
+    w.key("end_s").value(ib.end_s);
+    w.key("by_category_s");
+    write_category_map(w, ib.by_category);
+    w.key("segments").begin_array();
+    for (const BlameSegment& s : ib.segments) {
+      w.begin_object();
+      w.key("start_s").value(s.start_s);
+      w.key("end_s").value(s.end_s);
+      w.key("category").value(category_name(s.category));
+      w.key("phase").value(s.phase);
+      w.key("machine").value(static_cast<int>(s.machine));
+      w.key("gpu").value(static_cast<int>(s.gpu));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::string blame_to_json(const BlameReport& r) {
+  util::JsonWriter w;
+  w.begin_object();
+  write_blame_fields(w, r);
+  w.end_object();
+  return w.str();
+}
+
+std::string blame_to_folded(const BlameReport& r) {
+  // machineM;gpuG;phase;category -> microseconds, sorted by stack string so
+  // the output is deterministic regardless of walk order.
+  std::map<std::string, double> stacks;
+  for (const IterationBlame& ib : r.iterations) {
+    if (!ib.measured) continue;
+    for (const BlameSegment& s : ib.segments) {
+      std::string key = "machine" + std::to_string(s.machine) + ";gpu" +
+                        std::to_string(s.gpu) + ";" + s.phase + ";" +
+                        category_name(s.category);
+      stacks[key] += s.end_s - s.start_s;
+    }
+  }
+  std::string out;
+  for (const auto& [stack, seconds] : stacks) {
+    long long us = std::llround(seconds * 1e6);
+    if (us <= 0) continue;
+    out += stack;
+    out += ' ';
+    out += std::to_string(us);
+    out += '\n';
+  }
+  return out;
+}
+
+void annotate_trace(const BlameReport& r, util::TraceRecorder& trace) {
+  constexpr int kCriticalPathTid = 120;
+  std::set<int> named;
+  for (const IterationBlame& ib : r.iterations) {
+    for (const BlameSegment& s : ib.segments) {
+      if (named.insert(s.machine).second)
+        trace.name_track(s.machine, kCriticalPathTid, "critical path");
+      trace.add_span(std::string(category_name(s.category)) + ":" + s.phase,
+                     "critical_path", s.start_s, s.end_s - s.start_s,
+                     s.machine, kCriticalPathTid);
+    }
+  }
+}
+
+}  // namespace stash::obs

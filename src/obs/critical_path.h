@@ -1,0 +1,127 @@
+// Critical-path analyzer: turns a CausalLog into a BlameReport.
+//
+// For every completed iteration the walker starts at the iteration's anchor
+// edge (the lead worker's end-of-iteration barrier edge, which ends exactly
+// at the iteration boundary) and walks the causal links backwards in time:
+//
+//   * an activity edge claims the interval it overlaps — that time is
+//     *blamed* on the edge's category — and the walk continues from its
+//     program-order predecessor;
+//   * a wait edge with a known cause is transparent: the producer that
+//     ended the wait was the real bottleneck, so the walk jumps to it
+//     without attributing anything (the producer's own activity covers the
+//     interval);
+//   * a wait edge with no recorded producer (backpressure) claims its
+//     interval under its fallback category;
+//   * any gap the links cannot explain becomes kUnattributed — a loud
+//     signal that instrumentation is missing, pinned to ~0 by tests.
+//
+// The walk is clipped to the iteration window, so the resulting segments
+// tile [start_s, end_s] exactly: segment boundaries are *reused* walker
+// positions, never recomputed, which makes "segments sum to the wall time"
+// an identity rather than a floating-point accident.
+//
+// Overlap accounting: the log also knows every collective edge that was
+// recorded, on or off the critical path. Total collective activity minus
+// the on-path share is the communication that successfully hid under
+// compute — the quantity differencing methodologies silently fold away.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stash::util {
+class TraceRecorder;
+class JsonWriter;
+}
+
+namespace stash::obs {
+
+class CausalLog;
+enum class Category : std::uint8_t;
+inline constexpr std::size_t kBlameCategories = 11;
+
+// One critical-path interval inside an iteration window.
+struct BlameSegment {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  Category category{};
+  const char* phase = "";
+  std::int16_t machine = 0;
+  std::int16_t gpu = 0;
+};
+
+struct IterationBlame {
+  std::int32_t iteration = -1;
+  bool measured = false;
+  bool rework = false;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  // Ascending, contiguous, exactly tiling [start_s, end_s].
+  std::vector<BlameSegment> segments;
+  std::array<double, kBlameCategories> by_category{};
+};
+
+struct BlameReport {
+  // Scenario metadata, filled by the caller (the profiler knows the spec).
+  std::string scenario;
+  std::string model_name;
+  std::string config_label;
+  int gpus = 0;
+  int per_gpu_batch = 0;
+
+  std::vector<IterationBlame> iterations;
+
+  // Aggregates over *measured* iterations only (warmup and rework excluded,
+  // matching the trainer's measurement window).
+  int measured_iterations = 0;
+  double measured_window_s = 0.0;
+  std::array<double, kBlameCategories> totals_s{};          // sum
+  std::array<double, kBlameCategories> per_iteration_s{};   // mean
+
+  // Overlap accounting, measured iterations only: every recorded collective
+  // activity second vs. the share that sat on the critical path. The
+  // difference hid under compute.
+  double comm_activity_s = 0.0;
+  double comm_on_path_s = 0.0;
+  double comm_hidden_s = 0.0;
+
+  // Fault accounting over the whole run (outside iteration windows).
+  double fault_window_s = 0.0;
+  int fault_windows = 0;
+
+  // Stall percentages in the paper's coordinate system, derived from the
+  // per-iteration means: interconnect over compute, network over non-network
+  // time, prep and fetch over the full iteration. Comparable directly with
+  // StallReport's differencing estimates.
+  double ic_stall_pct = 0.0;
+  double nw_stall_pct = 0.0;
+  double prep_stall_pct = 0.0;
+  double fetch_stall_pct = 0.0;
+};
+
+// Walks every marked iteration of `log`. Metadata fields of the returned
+// report are left empty for the caller to fill.
+BlameReport analyze_critical_path(const CausalLog& log);
+
+// `stash.blame/1` JSON document (see EXPERIMENTS.md for the schema).
+std::string blame_to_json(const BlameReport& report);
+
+// Writes the stash.blame/1 fields (schema key included) into an object the
+// caller has already opened — lets extended documents (the profiler's
+// cross-checked attribute report) add sibling keys to the same object.
+void write_blame_fields(util::JsonWriter& w, const BlameReport& report);
+
+// Folded-stack flamegraph lines, `machine<M>;gpu<G>;<phase>;<category> <us>`
+// aggregated over measured iterations and sorted by stack — pipe into
+// flamegraph.pl or load into speedscope.
+std::string blame_to_folded(const BlameReport& report);
+
+// Appends the critical path to a Chrome trace as a highlighted track
+// (tid 120 of every machine on the path): one span per segment, named
+// "<category>:<phase>".
+void annotate_trace(const BlameReport& report, util::TraceRecorder& trace);
+
+}  // namespace stash::obs

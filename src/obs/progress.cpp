@@ -1,0 +1,49 @@
+#include "obs/progress.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace stash::obs {
+
+ProgressReporter::ProgressReporter(std::ostream* os)
+    : os_(os != nullptr ? os : &std::cerr),
+      start_(std::chrono::steady_clock::now()) {}
+
+void ProgressReporter::begin(const std::string& task, int total) {
+  std::lock_guard<std::mutex> lock(mu_);
+  task_ = task;
+  total_ = total;
+  done_ = 0;
+  start_ = std::chrono::steady_clock::now();
+}
+
+void ProgressReporter::step(const std::string& what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++done_;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), ", %.2f s elapsed", elapsed);
+  std::string counter = total_ > 0 ? std::to_string(done_) + "/" +
+                                         std::to_string(total_)
+                                   : std::to_string(done_);
+  line("[" + task_ + "] " + counter + " " + what + suffix);
+}
+
+void ProgressReporter::note(const std::string& what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  line("[" + task_ + "] " + what);
+}
+
+void ProgressReporter::line(const std::string& text) {
+  *os_ << text << '\n';
+  os_->flush();
+}
+
+int ProgressReporter::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+}  // namespace stash::obs

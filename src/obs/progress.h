@@ -1,0 +1,45 @@
+// Live progress reporting for long profiling runs.
+//
+// A ProgressReporter prints one line per completed unit of work ("step 3/5
+// (T3 real cold) done, 1.24 s elapsed") to a stream of the caller's choice
+// — stderr for the CLI, so machine-readable stdout stays clean and every
+// determinism guarantee about the real outputs is untouched. Thread-safe:
+// the profiler's steps complete on pool threads in any order.
+//
+// A null reporter pointer everywhere means "silent", which is the default;
+// stash_cli turns one on with --progress (or STASH_PROGRESS=1).
+#pragma once
+
+#include <chrono>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace stash::obs {
+
+class ProgressReporter {
+ public:
+  // Writes to `os` (not owned); defaults to std::cerr.
+  explicit ProgressReporter(std::ostream* os = nullptr);
+
+  // Starts a new task with `total` expected units (0 = indeterminate).
+  void begin(const std::string& task, int total);
+  // Marks one unit done and prints "[task] k/N what, T s elapsed".
+  void step(const std::string& what);
+  // Prints an out-of-band line without advancing the counter.
+  void note(const std::string& what);
+
+  int done() const;
+
+ private:
+  void line(const std::string& text);
+
+  mutable std::mutex mu_;
+  std::ostream* os_;
+  std::string task_ = "stash";
+  int total_ = 0;
+  int done_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace stash::obs

@@ -117,6 +117,12 @@ class Semaphore {
 
 // Reusable generation-counted barrier for a fixed participant count
 // (synchronous data-parallel workers synchronize on one per iteration).
+//
+// Arrival tokens: each arriver may pass an opaque token (the trainer passes
+// its causal-edge chain tail); after the generation releases, last_token()
+// is the token of the *last* arriver — the straggler every other party was
+// waiting on. This gives wake-up provenance to observers without the
+// callers maintaining shared "who was last" state by hand.
 class Barrier {
  public:
   Barrier(Simulator& sim, std::size_t parties) : sim_(sim), parties_(parties) {
@@ -125,10 +131,16 @@ class Barrier {
   Barrier(const Barrier&) = delete;
   Barrier& operator=(const Barrier&) = delete;
 
-  auto arrive_and_wait() {
+  auto arrive_and_wait(int token = -1) {
     struct Awaiter {
       Barrier& bar;
-      bool await_ready() const noexcept { return bar.parties_ == 1; }
+      int token;
+      // Arrivals overwrite in order, so after release the value left behind
+      // is the last arriver's.
+      bool await_ready() noexcept {
+        bar.last_token_ = token;
+        return bar.parties_ == 1;
+      }
       bool await_suspend(std::coroutine_handle<> h) {
         ++bar.arrived_;
         if (bar.arrived_ == bar.parties_) {
@@ -143,17 +155,21 @@ class Barrier {
       }
       void await_resume() const noexcept {}
     };
-    return Awaiter{*this};
+    return Awaiter{*this, token};
   }
 
   std::size_t parties() const { return parties_; }
   std::uint64_t generation() const { return generation_; }
+  // Token of the latest arrival; after a release, the last arriver's. Valid
+  // until the next generation's first arrival overwrites it.
+  int last_token() const { return last_token_; }
 
  private:
   Simulator& sim_;
   std::size_t parties_;
   std::size_t arrived_ = 0;
   std::uint64_t generation_ = 0;
+  int last_token_ = -1;
   std::vector<std::coroutine_handle<>> waiters_;
 };
 
@@ -181,15 +197,20 @@ class AbortableBarrier {
   AbortableBarrier(const AbortableBarrier&) = delete;
   AbortableBarrier& operator=(const AbortableBarrier&) = delete;
 
-  auto arrive_and_wait() {
+  // Same arrival-token protocol as Barrier: last_token() is the last
+  // arriver's token once the generation releases. An aborted or timed-out
+  // barrier stops recording (there is no meaningful "straggler" then).
+  auto arrive_and_wait(int token = -1) {
     struct Awaiter {
       AbortableBarrier& bar;
+      int token;
       Result result = Result::kOk;
       bool await_ready() {
         if (bar.aborted_) {
           result = bar.timed_out_ ? Result::kTimeout : Result::kAborted;
           return true;
         }
+        bar.last_token_ = token;
         if (bar.waiters_.size() + 1 == bar.parties_) {
           bar.release_all(Result::kOk);  // last arriver proceeds immediately
           return true;
@@ -204,7 +225,7 @@ class AbortableBarrier {
       }
       Result await_resume() const noexcept { return result; }
     };
-    return Awaiter{*this};
+    return Awaiter{*this, token};
   }
 
   // Kills the barrier: wakes everyone currently waiting with kAborted and
@@ -219,6 +240,7 @@ class AbortableBarrier {
   bool timed_out() const { return timed_out_; }
   std::size_t parties() const { return parties_; }
   std::uint64_t generation() const { return generation_; }
+  int last_token() const { return last_token_; }
 
  private:
   struct Waiter {
@@ -252,6 +274,7 @@ class AbortableBarrier {
   bool aborted_ = false;
   bool timed_out_ = false;
   std::uint64_t generation_ = 0;
+  int last_token_ = -1;
   std::vector<Waiter> waiters_;
   EventId timeout_event_{};
 };

@@ -1,0 +1,190 @@
+#include "stash/attribute.h"
+
+#include <array>
+#include <cmath>
+#include <functional>
+
+#include "obs/causal_log.h"
+#include "util/json.h"
+
+namespace stash::profiler {
+
+namespace {
+
+const char* step_scenario_name(Step step) {
+  switch (step) {
+    case Step::kSingleGpuSynthetic: return "single_gpu_synthetic";
+    case Step::kAllGpuSynthetic: return "all_gpu_synthetic";
+    case Step::kRealCold: return "real_cold";
+    case Step::kRealWarm: return "real_warm";
+    case Step::kNetworkSynthetic: return "network_synthetic";
+  }
+  return "unknown";
+}
+
+double per_iter(const obs::BlameReport& r, obs::Category c) {
+  return r.per_iteration_s[static_cast<std::size_t>(c)];
+}
+
+}  // namespace
+
+obs::BlameReport attribute_step(const StashProfiler& profiler,
+                                const ClusterSpec& spec, Step step,
+                                int per_gpu_batch, util::TraceRecorder* trace) {
+  obs::CausalLog log;
+  ProfileOptions opts = profiler.options();
+  opts.trace = trace;
+  opts.metrics = nullptr;
+  opts.causal = &log;
+  opts.progress = nullptr;
+  opts.instrument_step = step;
+  StashProfiler instrumented(profiler.model(), profiler.dataset(), opts);
+  instrumented.run_step(spec, step, per_gpu_batch);
+
+  obs::BlameReport r = obs::analyze_critical_path(log);
+  r.scenario = step_scenario_name(step);
+  r.model_name = profiler.model().name();
+  r.config_label = spec.label();
+  r.gpus = spec.gpus_used();
+  r.per_gpu_batch = per_gpu_batch;
+  if (trace != nullptr) obs::annotate_trace(r, *trace);
+  return r;
+}
+
+BlameProfile attribute(const StashProfiler& profiler, const ClusterSpec& spec,
+                       int per_gpu_batch, util::TraceRecorder* trace) {
+  BlameProfile bp;
+
+  // Differencing pass first: the causal runs below own all instrumentation,
+  // and with an ExecContext attached the five uninstrumented steps land in
+  // the SimCache where recommend/estimate reuse them.
+  ProfileOptions diff_opts = profiler.options();
+  diff_opts.trace = nullptr;
+  diff_opts.metrics = nullptr;
+  diff_opts.causal = nullptr;
+  StashProfiler diff_profiler(profiler.model(), profiler.dataset(), diff_opts);
+  bp.differencing = diff_profiler.profile(spec, per_gpu_batch);
+
+  std::optional<ClusterSpec> split = network_split(spec);
+  bp.has_network = bp.differencing.has_network_step && split.has_value();
+
+  obs::ProgressReporter* progress = profiler.options().progress;
+  if (progress != nullptr)
+    progress->begin("attribute " + spec.label(), bp.has_network ? 4 : 3);
+  auto tick = [&](const char* what) {
+    if (progress != nullptr) progress->step(what);
+  };
+
+  // The four causal runs are independent simulations; dispatch them across
+  // the pool. Each owns a private CausalLog, and results land in fixed
+  // slots, so the profile is byte-identical for any --jobs value. The trace
+  // attaches to the primary run only — one timeline, not four overlaid.
+  util::TraceRecorder* warm_trace = bp.has_network ? nullptr : trace;
+  util::TraceRecorder* step5_trace = bp.has_network ? trace : nullptr;
+  std::array<std::function<void()>, 4> runs = {
+      [&] {
+        bp.step2 = attribute_step(profiler, spec, Step::kAllGpuSynthetic,
+                                  per_gpu_batch, nullptr);
+        tick("causal T2 all-GPU synthetic");
+      },
+      [&] {
+        bp.cold = attribute_step(profiler, spec, Step::kRealCold, per_gpu_batch,
+                                 nullptr);
+        tick("causal T3 real cold-cache");
+      },
+      [&] {
+        bp.warm = attribute_step(profiler, spec, Step::kRealWarm, per_gpu_batch,
+                                 warm_trace);
+        tick("causal T4 real warm-cache");
+      },
+      [&] {
+        if (!bp.has_network) return;
+        bp.step5 = attribute_step(profiler, *split, Step::kNetworkSynthetic,
+                                  per_gpu_batch, step5_trace);
+        tick("causal T5 two-machine synthetic");
+      },
+  };
+  exec::ExecContext* exec = profiler.options().exec;
+  exec::ThreadPool* pool = exec != nullptr ? exec->pool() : nullptr;
+  exec::parallel_for(pool, runs.size(), [&](std::size_t i) { runs[i](); });
+  if (progress != nullptr) progress->done();
+
+  // Per-category comparison, each side in that category's differencing
+  // coordinate (profiler.h formulas).
+  const StallReport& d = bp.differencing;
+  bp.ic.available = true;
+  bp.ic.differencing_s = d.t2 - d.t1;
+  bp.ic.differencing_pct = d.ic_stall_pct;
+  bp.ic.blame_s = per_iter(bp.step2, obs::Category::kInterconnect);
+  bp.ic.blame_pct = bp.step2.ic_stall_pct;
+
+  bp.nw.available = bp.has_network;
+  if (bp.nw.available) {
+    bp.nw.differencing_s = d.t5 - d.t2;
+    bp.nw.differencing_pct = d.nw_stall_pct;
+    bp.nw.blame_s = per_iter(bp.step5, obs::Category::kNetwork);
+    bp.nw.blame_pct = bp.step5.nw_stall_pct;
+  }
+
+  bp.prep.available = true;
+  bp.prep.differencing_s = d.t4 - d.t2;
+  bp.prep.differencing_pct = d.prep_stall_pct;
+  bp.prep.blame_s = per_iter(bp.warm, obs::Category::kCpuPrep) +
+                    per_iter(bp.warm, obs::Category::kH2D) +
+                    per_iter(bp.warm, obs::Category::kPipeline);
+  bp.prep.blame_pct = bp.warm.prep_stall_pct;
+
+  bp.fetch.available = true;
+  bp.fetch.differencing_s = d.t3 - d.t4;
+  bp.fetch.differencing_pct = d.fetch_stall_pct;
+  bp.fetch.blame_s = per_iter(bp.cold, obs::Category::kDisk);
+  bp.fetch.blame_pct = bp.cold.fetch_stall_pct;
+
+  return bp;
+}
+
+namespace {
+
+void write_check(util::JsonWriter& w, const char* name, const BlameCheck& c) {
+  w.key(name).begin_object();
+  w.key("available").value(c.available);
+  w.key("differencing_s").value(c.differencing_s);
+  w.key("blame_s").value(c.blame_s);
+  w.key("differencing_pct").value(c.differencing_pct);
+  w.key("blame_pct").value(c.blame_pct);
+  w.key("delta_pct").value(c.delta_pct());
+  w.end_object();
+}
+
+}  // namespace
+
+std::string blame_profile_to_json(const BlameProfile& bp) {
+  util::JsonWriter w;
+  w.begin_object();
+  obs::write_blame_fields(w, bp.primary());
+  const StallReport& d = bp.differencing;
+  w.key("differencing").begin_object();
+  w.key("t1_s").value(d.t1);
+  w.key("t2_s").value(d.t2);
+  w.key("t3_s").value(d.t3);
+  w.key("t4_s").value(d.t4);
+  if (d.has_network_step)
+    w.key("t5_s").value(d.t5);
+  else
+    w.key("t5_s").null();
+  w.key("ic_stall_pct").value(d.ic_stall_pct);
+  w.key("nw_stall_pct").value(d.nw_stall_pct);
+  w.key("prep_stall_pct").value(d.prep_stall_pct);
+  w.key("fetch_stall_pct").value(d.fetch_stall_pct);
+  w.end_object();
+  w.key("crosscheck").begin_object();
+  write_check(w, "interconnect", bp.ic);
+  write_check(w, "network", bp.nw);
+  write_check(w, "prep", bp.prep);
+  write_check(w, "fetch", bp.fetch);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace stash::profiler

@@ -1,0 +1,82 @@
+// Causal critical-path attribution: the ground-truth companion to the
+// five-step differencing methodology.
+//
+// Differencing infers each stall category from the *difference* between two
+// runs (e.g. interconnect = T2 - T1); the causal engine instead instruments
+// one run's full event graph (obs::CausalLog) and walks its critical path,
+// so each category's share is measured directly on the timeline that
+// produced it. The two views should agree — attribute() runs both and
+// reports the per-category delta, which is the profiler's built-in
+// self-validation: a large delta means either the differencing assumptions
+// (perfect periodicity, additive stalls) or the causal instrumentation
+// (edge coverage) broke for this scenario.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/critical_path.h"
+#include "stash/profiler.h"
+
+namespace stash::profiler {
+
+// One differencing-vs-causal comparison for a stall category. Both sides
+// are expressed in the differencing coordinate of that category (see the
+// formulas in profiler.h), so delta_pct is directly interpretable as
+// percentage points of stall.
+struct BlameCheck {
+  bool available = false;
+  double differencing_s = 0.0;  // seconds/iteration the differencing implies
+  double blame_s = 0.0;         // seconds/iteration on the critical path
+  double differencing_pct = 0.0;
+  double blame_pct = 0.0;
+  double delta_pct() const { return blame_pct - differencing_pct; }
+};
+
+// Full cross-checked attribution: the differencing decomposition plus four
+// causally-instrumented runs, one per stall coordinate.
+struct BlameProfile {
+  StallReport differencing;
+
+  // Causal blame reports for the runs each differencing formula references:
+  // step 2 (interconnect coordinate), step 3 (fetch), step 4 (prep, and the
+  // production-shaped run), step 5 on the network split (network; valid
+  // only when has_network).
+  obs::BlameReport step2;
+  obs::BlameReport cold;
+  obs::BlameReport warm;
+  obs::BlameReport step5;
+  bool has_network = false;
+
+  // The report `attribute` presents as *the* blame for this scenario: the
+  // two-machine step-5 run when a network split exists (it exercises every
+  // category's mechanism), otherwise the warm-data run.
+  const obs::BlameReport& primary() const { return has_network ? step5 : warm; }
+
+  BlameCheck ic;     // interconnect: step-2 blame vs (T2-T1)/T1
+  BlameCheck nw;     // network: step-5 blame vs (T5-T2)/T2
+  BlameCheck prep;   // CPU prep (+H2D +pipeline): warm blame vs (T4-T2)/T4
+  BlameCheck fetch;  // disk fetch: cold blame vs (T3-T4)/T3
+};
+
+// Runs one profiler step with a private CausalLog attached and returns the
+// analyzed blame report with scenario metadata filled. When `trace` is
+// non-null the run records its timeline there and the critical path is
+// appended as a highlighted track.
+obs::BlameReport attribute_step(const StashProfiler& profiler,
+                                const ClusterSpec& spec, Step step,
+                                int per_gpu_batch,
+                                util::TraceRecorder* trace = nullptr);
+
+// The full cross-check: five-step differencing (cached steps shared through
+// the profiler's ExecContext), then the four causal runs, then the
+// per-category comparison. `trace` attaches to the primary run only.
+BlameProfile attribute(const StashProfiler& profiler, const ClusterSpec& spec,
+                       int per_gpu_batch, util::TraceRecorder* trace = nullptr);
+
+// stash.blame/1 document of the primary report, extended with sibling
+// "differencing" and "crosscheck" objects (schema unchanged — consumers of
+// the base report ignore the extra keys).
+std::string blame_profile_to_json(const BlameProfile& bp);
+
+}  // namespace stash::profiler

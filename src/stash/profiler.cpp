@@ -12,6 +12,7 @@
 #include "faults/injector.h"
 #include "hw/flow_network.h"
 #include "sim/simulator.h"
+#include "util/log.h"
 
 namespace stash::profiler {
 
@@ -105,37 +106,42 @@ ddl::TrainResult StashProfiler::run_step(const ClusterSpec& spec, Step step,
   bool instrumented = step == options_.instrument_step;
   return run_step_sinked(spec, step, per_gpu_batch, plan, fopt,
                          instrumented ? options_.trace : nullptr,
-                         instrumented ? options_.metrics : nullptr);
+                         instrumented ? options_.metrics : nullptr,
+                         instrumented ? options_.causal : nullptr);
 }
 
 ddl::TrainResult StashProfiler::run_step_sinked(
     const ClusterSpec& spec, Step step, int per_gpu_batch,
     const faults::FaultPlan* plan, const FaultProfileOptions& fopt,
-    util::TraceRecorder* trace, telemetry::MetricsRegistry* metrics) const {
+    util::TraceRecorder* trace, telemetry::MetricsRegistry* metrics,
+    obs::CausalLog* causal) const {
   options_.validate();
 
   // Cacheable scenarios (no sinks, no fault plan) are memoized in the
   // execution context's SimCache: the run is a pure function of its key,
-  // so recompute is pure waste. Everything else runs fresh every time.
+  // so recompute is pure waste. Everything else runs fresh every time —
+  // a causal-instrumented run in particular exists for its side effects.
   if (options_.exec != nullptr && plan == nullptr && trace == nullptr &&
-      metrics == nullptr) {
+      metrics == nullptr && causal == nullptr) {
     ddl::TrainConfig key_cfg = step_config(step, per_gpu_batch, spec.gpus_used());
     if (exec::cacheable(key_cfg)) {
       exec::ScenarioKey key = exec::scenario_key(model_, dataset_, spec,
                                                  static_cast<int>(step), key_cfg);
       return options_.exec->cache().get_or_run(key, [&] {
         return run_step_uncached(spec, step, per_gpu_batch, nullptr, fopt, nullptr,
-                                 nullptr);
+                                 nullptr, nullptr);
       });
     }
   }
-  return run_step_uncached(spec, step, per_gpu_batch, plan, fopt, trace, metrics);
+  return run_step_uncached(spec, step, per_gpu_batch, plan, fopt, trace, metrics,
+                           causal);
 }
 
 ddl::TrainResult StashProfiler::run_step_uncached(
     const ClusterSpec& spec, Step step, int per_gpu_batch,
     const faults::FaultPlan* plan, const FaultProfileOptions& fopt,
-    util::TraceRecorder* trace, telemetry::MetricsRegistry* metrics) const {
+    util::TraceRecorder* trace, telemetry::MetricsRegistry* metrics,
+    obs::CausalLog* causal) const {
   sim::Simulator sim;
   hw::FlowNetwork net(sim);
   hw::Cluster cluster(
@@ -147,6 +153,7 @@ ddl::TrainResult StashProfiler::run_step_uncached(
   ddl::TrainConfig cfg = step_config(step, per_gpu_batch, spec.gpus_used());
   cfg.trace = trace;
   cfg.metrics = metrics;
+  cfg.causal = causal;
   // Restrict to the spec's per-machine GPU subset (step-5 splits and step 1).
   if (cfg.use_gpus.empty() && spec.gpus_per_machine > 0) {
     for (int m = 0; m < spec.count; ++m) {
@@ -200,51 +207,77 @@ StallReport StashProfiler::profile_impl(const ClusterSpec& spec, int per_gpu_bat
                ? &step_metrics[i]
                : nullptr;
   };
+  auto causal_for = [&](Step s) {
+    return s == options_.instrument_step ? options_.causal : nullptr;
+  };
+  obs::ProgressReporter* progress = options_.progress;
+  if (progress != nullptr) progress->begin("profile " + report.config_label, 5);
+  util::log_info("profiler: start ", model_.name(), " on ",
+                 report.config_label, " batch ", per_gpu_batch);
+  auto tick = [&](const char* what) {
+    if (progress != nullptr) progress->step(what);
+    util::log_debug("profiler: ", what, " [", report.config_label, "]");
+  };
   ddl::TrainResult warm;
   std::array<std::function<void()>, 5> steps = {
       [&] {
         report.t1 = run_step_sinked(spec, Step::kSingleGpuSynthetic, per_gpu_batch,
                                     plan, fopt, trace_for(Step::kSingleGpuSynthetic),
-                                    metrics_for(Step::kSingleGpuSynthetic, 0))
+                                    metrics_for(Step::kSingleGpuSynthetic, 0),
+                                    causal_for(Step::kSingleGpuSynthetic))
                         .per_iteration;
+        tick("T1 single-GPU synthetic");
       },
       [&] {
         report.t2 = run_step_sinked(spec, Step::kAllGpuSynthetic, per_gpu_batch,
                                     plan, fopt, trace_for(Step::kAllGpuSynthetic),
-                                    metrics_for(Step::kAllGpuSynthetic, 1))
+                                    metrics_for(Step::kAllGpuSynthetic, 1),
+                                    causal_for(Step::kAllGpuSynthetic))
                         .per_iteration;
+        tick("T2 all-GPU synthetic");
       },
       [&] {
         report.t3 = run_step_sinked(spec, Step::kRealCold, per_gpu_batch, plan,
                                     fopt, trace_for(Step::kRealCold),
-                                    metrics_for(Step::kRealCold, 2))
+                                    metrics_for(Step::kRealCold, 2),
+                                    causal_for(Step::kRealCold))
                         .per_iteration;
+        tick("T3 real cold-cache");
       },
       [&] {
         warm = run_step_sinked(spec, Step::kRealWarm, per_gpu_batch, plan, fopt,
                                trace_for(Step::kRealWarm),
-                               metrics_for(Step::kRealWarm, 3));
+                               metrics_for(Step::kRealWarm, 3),
+                               causal_for(Step::kRealWarm));
         report.t4 = warm.per_iteration;
+        tick("T4 real warm-cache");
       },
       [&] {
-        if (!split) return;
+        if (!split) {
+          tick("T5 skipped (no network split)");
+          return;
+        }
         try {
           report.t5 = run_step_sinked(*split, Step::kNetworkSynthetic,
                                       per_gpu_batch, plan, fopt,
                                       trace_for(Step::kNetworkSynthetic),
-                                      metrics_for(Step::kNetworkSynthetic, 4))
+                                      metrics_for(Step::kNetworkSynthetic, 4),
+                                      causal_for(Step::kNetworkSynthetic))
                           .per_iteration;
           report.has_network_step = true;
+          tick("T5 two-machine synthetic");
         } catch (const ddl::ModelDoesNotFit&) {
           // The split instances can have smaller GPUs than the original (e.g.
           // p3.24xlarge's 32 GiB V100s split onto 16 GiB p3.8xlarge ones); the
           // network step is then unmeasurable at this batch size.
+          tick("T5 skipped (model does not fit split)");
         }
       },
   };
   exec::ThreadPool* pool =
       options_.exec != nullptr ? options_.exec->pool() : nullptr;
   exec::parallel_for(pool, steps.size(), [&](std::size_t i) { steps[i](); });
+  if (progress != nullptr) progress->done();
   if (options_.metrics != nullptr)
     for (const auto& m : step_metrics) options_.metrics->merge_from(m);
 
@@ -311,6 +344,7 @@ FaultProfileReport StashProfiler::profile_under_faults(
     ProfileOptions healthy_opts = options_;
     healthy_opts.trace = nullptr;
     healthy_opts.metrics = nullptr;
+    healthy_opts.causal = nullptr;
     StashProfiler healthy_profiler(model_, dataset_, healthy_opts);
     out.healthy = healthy_profiler.profile_impl(spec, per_gpu_batch, nullptr, {}, nullptr);
   }

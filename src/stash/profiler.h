@@ -31,6 +31,7 @@
 #include "dnn/model.h"
 #include "exec/exec_context.h"
 #include "faults/fault_plan.h"
+#include "obs/progress.h"
 #include "stash/cluster_spec.h"
 
 namespace stash::profiler {
@@ -42,6 +43,11 @@ enum class Step {
   kRealWarm,            // 4
   kNetworkSynthetic,    // 5 (run on the network-split spec)
 };
+
+// The two-machine spec used for step 5: the original single-machine spec's
+// GPUs split evenly over two smaller same-family instances. nullopt when no
+// such split exists (multi-machine specs, odd GPU counts, no catalog match).
+std::optional<ClusterSpec> network_split(const ClusterSpec& spec);
 
 struct StallReport {
   std::string config_label;
@@ -91,6 +97,18 @@ struct ProfileOptions {
   util::TraceRecorder* trace = nullptr;
   telemetry::MetricsRegistry* metrics = nullptr;
   Step instrument_step = Step::kRealWarm;
+
+  // Optional causal-edge sink (not owned; may be null). Like trace/metrics
+  // it attaches to `instrument_step` only: a CausalLog models exactly one
+  // run and is not mergeable, so instrumenting several steps at once would
+  // interleave unrelated DAGs. Causal runs always bypass the SimCache — the
+  // recorded edges are the point, and a cache hit would skip them.
+  obs::CausalLog* causal = nullptr;
+
+  // Optional live progress sink (not owned; may be null). profile() reports
+  // each completed step here. Progress goes to a human on stderr and never
+  // into machine-readable outputs, so it does not perturb determinism.
+  obs::ProgressReporter* progress = nullptr;
 
   // Optional execution context (not owned; may be null = serial,
   // uncached). With one attached, profile() dispatches its five steps
@@ -175,14 +193,16 @@ class StashProfiler {
                                    int per_gpu_batch, const faults::FaultPlan* plan,
                                    const FaultProfileOptions& fopt,
                                    util::TraceRecorder* trace,
-                                   telemetry::MetricsRegistry* metrics) const;
+                                   telemetry::MetricsRegistry* metrics,
+                                   obs::CausalLog* causal) const;
   // The simulation itself, no cache consultation (get_or_run's compute fn).
   ddl::TrainResult run_step_uncached(const ClusterSpec& spec, Step step,
                                      int per_gpu_batch,
                                      const faults::FaultPlan* plan,
                                      const FaultProfileOptions& fopt,
                                      util::TraceRecorder* trace,
-                                     telemetry::MetricsRegistry* metrics) const;
+                                     telemetry::MetricsRegistry* metrics,
+                                     obs::CausalLog* causal) const;
   StallReport profile_impl(const ClusterSpec& spec, int per_gpu_batch,
                            const faults::FaultPlan* plan,
                            const FaultProfileOptions& fopt,

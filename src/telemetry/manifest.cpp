@@ -105,6 +105,18 @@ void write_estimate(util::JsonWriter& w, const profiler::TrainingEstimate& r) {
   w.end_object();
 }
 
+void write_recommendation(util::JsonWriter& w, const profiler::Recommendation& r) {
+  w.begin_object();
+  w.key("instance").value(r.spec.instance);
+  w.key("count").value(r.spec.count);
+  w.key("label").value(r.spec.label());
+  w.key("rank_by_time").value(r.by_time);
+  w.key("rank_by_cost").value(r.by_cost);
+  w.key("report");
+  write_stall_report(w, r.report);
+  w.end_object();
+}
+
 }  // namespace
 
 std::string to_json(const profiler::StallReport& r) {
@@ -137,6 +149,12 @@ std::string to_json(const profiler::TrainingEstimate& r) {
   return w.str();
 }
 
+std::string to_json(const profiler::Recommendation& r) {
+  util::JsonWriter w;
+  write_recommendation(w, r);
+  return w.str();
+}
+
 std::string RunManifest::to_json() const {
   util::JsonWriter w;
   w.begin_object();
@@ -161,6 +179,11 @@ std::string RunManifest::to_json() const {
   if (estimate) {
     w.key("estimate");
     write_estimate(w, *estimate);
+  }
+  if (!recommendations.empty()) {
+    w.key("recommendations").begin_array();
+    for (const auto& r : recommendations) write_recommendation(w, r);
+    w.end_array();
   }
   if (metrics != nullptr) {
     w.key("metrics").raw(metrics->to_json(include_volatile_metrics));

@@ -21,6 +21,7 @@
 
 #include "ddl/train_config.h"
 #include "stash/profiler.h"
+#include "stash/recommend.h"
 #include "stash/session.h"
 #include "telemetry/metrics.h"
 
@@ -32,6 +33,7 @@ std::string to_json(const ddl::RecoveryRecord& r);
 std::string to_json(const ddl::TrainResult& r);
 std::string to_json(const profiler::FaultProfileReport& r);
 std::string to_json(const profiler::TrainingEstimate& r);
+std::string to_json(const profiler::Recommendation& r);
 
 struct RunManifest {
   std::string command;  // e.g. "profile", "stalls", "estimate"
@@ -44,6 +46,8 @@ struct RunManifest {
   std::optional<profiler::FaultProfileReport> fault_report;
   std::optional<ddl::TrainResult> train_result;
   std::optional<profiler::TrainingEstimate> estimate;
+  // Ranked candidate list from a recommend run; empty = key absent.
+  std::vector<profiler::Recommendation> recommendations;
 
   // Snapshot source (not owned; may be null for runs without metrics).
   const MetricsRegistry* metrics = nullptr;

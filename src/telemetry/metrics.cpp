@@ -257,4 +257,74 @@ void MetricsRegistry::write(std::ostream& os, bool include_volatile) const {
   os << to_json(include_volatile);
 }
 
+namespace {
+
+// Prometheus metric names admit only [a-zA-Z0-9_:] and cannot start with a
+// digit; the registry's slash-separated hierarchy flattens to underscores.
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
+  return out;
+}
+
+void prom_line(std::string& out, const std::string& name, double v) {
+  out += name;
+  out += ' ';
+  out += util::json_double(v);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus(bool include_volatile) const {
+  std::string out;
+  for (const auto& [name, e] : metrics_) {
+    if (e.is_volatile && !include_volatile) continue;
+    const std::string p = prom_name(name);
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + p + " counter\n";
+        prom_line(out, p, e.counter->value());
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + p + " gauge\n";
+        prom_line(out, p, e.gauge->value());
+        break;
+      case Kind::kTimeGauge:
+        // No native Prometheus kind integrates over *simulated* time, so the
+        // derived statistics export as three gauges.
+        out += "# TYPE " + p + "_mean gauge\n";
+        prom_line(out, p + "_mean", e.time_gauge->time_weighted_mean());
+        out += "# TYPE " + p + "_max gauge\n";
+        prom_line(out, p + "_max", e.time_gauge->max());
+        out += "# TYPE " + p + "_last gauge\n";
+        prom_line(out, p + "_last", e.time_gauge->current());
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + p + " histogram\n";
+        const auto& bounds = e.histogram->upper_bounds();
+        const auto& counts = e.histogram->bucket_counts();
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          cum += counts[i];
+          out += p + "_bucket{le=\"" + util::json_double(bounds[i]) + "\"} " +
+                 std::to_string(cum) + "\n";
+        }
+        out += p + "_bucket{le=\"+Inf\"} " +
+               std::to_string(e.histogram->count()) + "\n";
+        prom_line(out, p + "_sum", e.histogram->sum());
+        out += p + "_count " + std::to_string(e.histogram->count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace stash::telemetry

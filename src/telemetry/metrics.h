@@ -159,6 +159,14 @@ class MetricsRegistry {
   std::string to_json(bool include_volatile = true) const;
   void write(std::ostream& os, bool include_volatile = true) const;
 
+  // Prometheus text exposition format (version 0.0.4), same ordering and
+  // volatility semantics as to_json. Slashes and other characters outside
+  // [a-zA-Z0-9_:] in instrument names become '_'. Counters and gauges map
+  // directly; a histogram becomes the conventional cumulative
+  // <name>_bucket{le="..."} series plus _sum and _count; a time-weighted
+  // gauge becomes three gauges <name>_mean / _max / _last.
+  std::string to_prometheus(bool include_volatile = true) const;
+
  private:
   enum class Kind { kCounter, kGauge, kTimeGauge, kHistogram };
   struct Entry {

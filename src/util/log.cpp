@@ -8,18 +8,8 @@ namespace stash::util {
 
 namespace {
 
-LogLevel parse_env_level() {
-  const char* env = std::getenv("STASH_LOG");
-  if (env == nullptr) return LogLevel::kOff;
-  std::string v(env);
-  if (v == "debug") return LogLevel::kDebug;
-  if (v == "info") return LogLevel::kInfo;
-  if (v == "warn") return LogLevel::kWarn;
-  return LogLevel::kOff;
-}
-
 LogLevel& level_storage() {
-  static LogLevel level = parse_env_level();
+  static LogLevel level = parse_log_level(std::getenv("STASH_LOG"));
   return level;
 }
 
@@ -28,12 +18,23 @@ const char* level_name(LogLevel level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
     case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
     case LogLevel::kOff: return "OFF";
   }
   return "?";
 }
 
 }  // namespace
+
+LogLevel parse_log_level(const char* value) {
+  if (value == nullptr) return LogLevel::kOff;
+  std::string v(value);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
 
 LogLevel log_level() { return level_storage(); }
 void set_log_level(LogLevel level) { level_storage() = level; }

@@ -1,5 +1,7 @@
 // Minimal leveled logging. Off by default so that benches print only the
-// tables they are asked for; enable with STASH_LOG=debug|info|warn.
+// tables they are asked for; enable with STASH_LOG=debug|info|warn|error.
+// The variable names the *least severe* level that still prints —
+// STASH_LOG=warn shows warnings and errors, STASH_LOG=debug everything.
 #pragma once
 
 #include <sstream>
@@ -7,11 +9,15 @@
 
 namespace stash::util {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 // Current threshold, read once from the STASH_LOG environment variable.
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+// STASH_LOG value -> threshold: "debug", "info", "warn", "error"; anything
+// else (including unset) is kOff. Exposed for tests.
+LogLevel parse_log_level(const char* value);
 
 void log_write(LogLevel level, const std::string& message);
 
@@ -40,6 +46,12 @@ template <typename... Args>
 void log_warn(Args&&... args) {
   if (log_level() <= LogLevel::kWarn)
     log_write(LogLevel::kWarn, detail::log_concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_write(LogLevel::kError, detail::log_concat(std::forward<Args>(args)...));
 }
 
 }  // namespace stash::util

@@ -1,0 +1,93 @@
+#include "obs/causal_log.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace stash::obs {
+namespace {
+
+TEST(CausalLogTest, CategoryNamesAreStableAndDistinct) {
+  for (std::size_t a = 0; a < kNumCategories; ++a) {
+    SCOPED_TRACE(a);
+    const char* name = category_name(static_cast<Category>(a));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+    for (std::size_t b = a + 1; b < kNumCategories; ++b)
+      EXPECT_STRNE(name, category_name(static_cast<Category>(b)));
+  }
+}
+
+TEST(CausalLogTest, IdsAreSequentialAndEdgesRecorded) {
+  CausalLog log;
+  int a = log.add_activity(Category::kCompute, "fwd", 0, 1, 3, 0.0, 1.0, -1);
+  int b = log.add_activity(Category::kH2D, "h2d", 1, 2, 4, 1.0, 2.0, a);
+  int c = log.add_wait(Category::kPipeline, "data_wait", 0, 0, 4, 2.0, 3.0, b, a);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c, 2);
+  ASSERT_EQ(log.size(), 3u);
+
+  const CausalEdge& ea = log.edges()[0];
+  EXPECT_FALSE(ea.wait);
+  EXPECT_EQ(ea.category, Category::kCompute);
+  EXPECT_STREQ(ea.phase, "fwd");
+  EXPECT_EQ(ea.machine, 0);
+  EXPECT_EQ(ea.gpu, 1);
+  EXPECT_EQ(ea.iteration, 3);
+  EXPECT_EQ(ea.prev, -1);
+  EXPECT_EQ(ea.cause, -1);  // activity: cause mirrors prev
+
+  const CausalEdge& ec = log.edges()[2];
+  EXPECT_TRUE(ec.wait);
+  EXPECT_EQ(ec.prev, b);
+  EXPECT_EQ(ec.cause, a);
+}
+
+TEST(CausalLogTest, RejectsNegativeIntervalsAndForwardLinks) {
+  CausalLog log;
+  EXPECT_THROW(log.add_activity(Category::kCompute, "x", 0, 0, 0, 2.0, 1.0, -1),
+               std::invalid_argument);
+  // prev/cause must reference an already-recorded edge.
+  EXPECT_THROW(log.add_activity(Category::kCompute, "x", 0, 0, 0, 0.0, 1.0, 0),
+               std::invalid_argument);
+  int a = log.add_activity(Category::kCompute, "x", 0, 0, 0, 0.0, 1.0, -1);
+  EXPECT_THROW(
+      log.add_wait(Category::kBarrier, "w", 0, 0, 0, 1.0, 2.0, a, a + 1),
+      std::invalid_argument);
+}
+
+TEST(CausalLogTest, IterationMarksValidateAnchor) {
+  CausalLog log;
+  EXPECT_THROW(log.mark_iteration(0, true, false, 0.0, 1.0, 0),
+               std::invalid_argument);
+  int a = log.add_activity(Category::kCompute, "x", 0, 0, 0, 0.0, 1.0, -1);
+  log.mark_iteration(0, true, false, 0.0, 1.0, a);
+  ASSERT_EQ(log.iterations().size(), 1u);
+  EXPECT_EQ(log.iterations()[0].anchor, a);
+  EXPECT_TRUE(log.iterations()[0].measured);
+}
+
+TEST(CausalLogTest, AmbientStateAndClear) {
+  CausalLog log;
+  EXPECT_EQ(log.iteration(), -1);
+  EXPECT_EQ(log.comm_chain(), -1);
+  log.set_iteration(7);
+  int a = log.add_activity(Category::kInterconnect, "ring_round", 0, 0,
+                           log.iteration(), 0.0, 1.0, log.comm_chain());
+  log.set_comm_chain(a);
+  EXPECT_EQ(log.comm_chain(), a);
+  log.add_fault_window(1.0, 3.0, "restart");
+  ASSERT_EQ(log.fault_windows().size(), 1u);
+  EXPECT_EQ(log.fault_windows()[0].end_s, 3.0);
+
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.iterations().empty());
+  EXPECT_TRUE(log.fault_windows().empty());
+  EXPECT_EQ(log.iteration(), -1);
+  EXPECT_EQ(log.comm_chain(), -1);
+}
+
+}  // namespace
+}  // namespace stash::obs

@@ -1,0 +1,185 @@
+// Walker semantics on hand-built causal logs: each test constructs a tiny
+// edge graph whose critical path is known by inspection and checks the
+// blame, the partition property, and the exporters.
+#include "obs/critical_path.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/causal_log.h"
+#include "util/trace.h"
+
+namespace stash::obs {
+namespace {
+
+double cat_s(const IterationBlame& ib, Category c) {
+  return ib.by_category[static_cast<std::size_t>(c)];
+}
+double cat_s(const BlameReport& r, Category c) {
+  return r.totals_s[static_cast<std::size_t>(c)];
+}
+
+// Segments must tile [start_s, end_s] exactly: ascending, contiguous at
+// shared boundaries (bitwise — boundaries are reused walker positions), and
+// flush with the window ends.
+void expect_exact_partition(const IterationBlame& ib) {
+  ASSERT_FALSE(ib.segments.empty());
+  EXPECT_EQ(ib.segments.front().start_s, ib.start_s);
+  EXPECT_EQ(ib.segments.back().end_s, ib.end_s);
+  for (std::size_t i = 0; i + 1 < ib.segments.size(); ++i)
+    EXPECT_EQ(ib.segments[i].end_s, ib.segments[i + 1].start_s);
+  double sum = 0.0;
+  for (std::size_t c = 0; c < kBlameCategories; ++c) sum += ib.by_category[c];
+  EXPECT_NEAR(sum, ib.end_s - ib.start_s, 1e-12);
+}
+
+TEST(CriticalPathTest, ActivityChainPartitionsWindow) {
+  CausalLog log;
+  int e0 = log.add_activity(Category::kCompute, "forward", 0, 0, 0, 0.0, 4.0, -1);
+  int e1 = log.add_activity(Category::kInterconnect, "flush", 0, 0, 0, 4.0, 6.0, e0);
+  int e2 = log.add_activity(Category::kCompute, "backward", 0, 0, 0, 6.0, 9.0, e1);
+  int e3 = log.add_wait(Category::kBarrier, "end_barrier", 0, 0, 0, 9.0, 10.0,
+                        e2, -1);
+  log.mark_iteration(0, true, false, 0.0, 10.0, e3);
+
+  BlameReport r = analyze_critical_path(log);
+  ASSERT_EQ(r.iterations.size(), 1u);
+  const IterationBlame& ib = r.iterations[0];
+  expect_exact_partition(ib);
+  ASSERT_EQ(ib.segments.size(), 4u);
+  EXPECT_DOUBLE_EQ(cat_s(ib, Category::kCompute), 7.0);
+  EXPECT_DOUBLE_EQ(cat_s(ib, Category::kInterconnect), 2.0);
+  // The causeless barrier wait is blamed on its fallback category.
+  EXPECT_DOUBLE_EQ(cat_s(ib, Category::kBarrier), 1.0);
+  EXPECT_DOUBLE_EQ(cat_s(ib, Category::kUnattributed), 0.0);
+  EXPECT_EQ(r.measured_iterations, 1);
+  EXPECT_DOUBLE_EQ(r.measured_window_s, 10.0);
+}
+
+TEST(CriticalPathTest, WaitWithCauseBlamesTheProducer) {
+  CausalLog log;
+  // A loader's disk fetch ends at t=7 and wakes a worker that has been
+  // waiting since t=2; the wait itself must vanish behind the producer.
+  int disk = log.add_activity(Category::kDisk, "disk_fetch", 0, 0, 0, 0.0, 7.0, -1);
+  int wait = log.add_wait(Category::kPipeline, "data_wait", 0, 1, 0, 2.0, 7.0,
+                          -1, disk);
+  int comp = log.add_activity(Category::kCompute, "forward", 0, 1, 0, 7.0, 10.0,
+                              wait);
+  log.mark_iteration(0, true, false, 0.0, 10.0, comp);
+
+  BlameReport r = analyze_critical_path(log);
+  const IterationBlame& ib = r.iterations[0];
+  expect_exact_partition(ib);
+  EXPECT_DOUBLE_EQ(cat_s(ib, Category::kCompute), 3.0);
+  EXPECT_DOUBLE_EQ(cat_s(ib, Category::kDisk), 7.0);
+  EXPECT_DOUBLE_EQ(cat_s(ib, Category::kPipeline), 0.0);
+}
+
+TEST(CriticalPathTest, UncoveredIntervalBecomesUnattributed) {
+  CausalLog log;
+  int e0 = log.add_activity(Category::kCompute, "forward", 0, 0, 0, 0.0, 3.0, -1);
+  // Program order jumps from t=3 to t=5 with nothing recorded in between.
+  int e1 = log.add_activity(Category::kCompute, "backward", 0, 0, 0, 5.0, 10.0, e0);
+  log.mark_iteration(0, true, false, 0.0, 10.0, e1);
+
+  BlameReport r = analyze_critical_path(log);
+  const IterationBlame& ib = r.iterations[0];
+  expect_exact_partition(ib);
+  EXPECT_DOUBLE_EQ(cat_s(ib, Category::kCompute), 8.0);
+  EXPECT_DOUBLE_EQ(cat_s(ib, Category::kUnattributed), 2.0);
+}
+
+TEST(CriticalPathTest, ZeroLengthWaitIsPureProgramOrder) {
+  CausalLog log;
+  int prod = log.add_activity(Category::kDisk, "disk_fetch", 0, 0, 0, 0.0, 2.0, -1);
+  int comp1 = log.add_activity(Category::kCompute, "forward", 0, 0, 0, 0.0, 6.0, -1);
+  // Data was already buffered: the wait has zero duration, so the walk must
+  // follow program order (comp1), never jump to the producer.
+  int wait = log.add_wait(Category::kPipeline, "data_wait", 0, 0, 0, 6.0, 6.0,
+                          comp1, prod);
+  int comp2 = log.add_activity(Category::kCompute, "backward", 0, 0, 0, 6.0, 10.0,
+                               wait);
+  log.mark_iteration(0, true, false, 0.0, 10.0, comp2);
+
+  BlameReport r = analyze_critical_path(log);
+  const IterationBlame& ib = r.iterations[0];
+  expect_exact_partition(ib);
+  EXPECT_DOUBLE_EQ(cat_s(ib, Category::kCompute), 10.0);
+  EXPECT_DOUBLE_EQ(cat_s(ib, Category::kDisk), 0.0);
+}
+
+TEST(CriticalPathTest, WarmupAndReworkExcludedFromAggregates) {
+  CausalLog log;
+  int w = log.add_activity(Category::kCompute, "forward", 0, 0, 0, 0.0, 5.0, -1);
+  log.mark_iteration(0, /*measured=*/false, false, 0.0, 5.0, w);
+  int m = log.add_activity(Category::kCompute, "forward", 0, 0, 1, 5.0, 8.0, w);
+  log.mark_iteration(1, /*measured=*/true, false, 5.0, 8.0, m);
+  int rw = log.add_activity(Category::kCompute, "forward", 0, 0, 1, 8.0, 12.0, m);
+  log.mark_iteration(1, /*measured=*/false, /*rework=*/true, 8.0, 12.0, rw);
+
+  BlameReport r = analyze_critical_path(log);
+  EXPECT_EQ(r.iterations.size(), 3u);
+  EXPECT_EQ(r.measured_iterations, 1);
+  EXPECT_DOUBLE_EQ(r.measured_window_s, 3.0);
+  EXPECT_DOUBLE_EQ(cat_s(r, Category::kCompute), 3.0);
+  EXPECT_TRUE(r.iterations[2].rework);
+}
+
+TEST(CriticalPathTest, OffPathCollectiveCountsAsHidden) {
+  CausalLog log;
+  // A ring round overlaps entirely with compute: recorded, but never on the
+  // critical path — it must show up as hidden communication.
+  log.add_activity(Category::kInterconnect, "ring_round", 0, 0, 0, 1.0, 3.0, -1);
+  int c = log.add_activity(Category::kCompute, "backward", 0, 0, 0, 0.0, 10.0, -1);
+  log.mark_iteration(0, true, false, 0.0, 10.0, c);
+
+  BlameReport r = analyze_critical_path(log);
+  EXPECT_DOUBLE_EQ(r.comm_activity_s, 2.0);
+  EXPECT_DOUBLE_EQ(r.comm_on_path_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.comm_hidden_s, 2.0);
+}
+
+TEST(CriticalPathTest, FaultWindowsAggregate) {
+  CausalLog log;
+  int c = log.add_activity(Category::kCompute, "forward", 0, 0, 0, 0.0, 1.0, -1);
+  log.mark_iteration(0, true, false, 0.0, 1.0, c);
+  log.add_fault_window(1.0, 4.0, "restart");
+  log.add_fault_window(6.0, 7.5, "shrink");
+
+  BlameReport r = analyze_critical_path(log);
+  EXPECT_EQ(r.fault_windows, 2);
+  EXPECT_DOUBLE_EQ(r.fault_window_s, 4.5);
+}
+
+TEST(CriticalPathTest, ExportersAreConsistent) {
+  CausalLog log;
+  int e0 = log.add_activity(Category::kCompute, "forward", 1, 2, 0, 0.0, 4.0, -1);
+  int e1 = log.add_activity(Category::kNetwork, "ring_round", 1, 2, 0, 4.0, 10.0,
+                            e0);
+  log.mark_iteration(0, true, false, 0.0, 10.0, e1);
+  BlameReport r = analyze_critical_path(log);
+  r.scenario = "unit";
+  r.model_name = "toy";
+  r.config_label = "test*1";
+
+  std::string json = blame_to_json(r);
+  EXPECT_NE(json.find("\"schema\":\"stash.blame/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\":\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"network\""), std::string::npos);
+
+  std::string folded = blame_to_folded(r);
+  EXPECT_NE(folded.find("machine1;gpu2;forward;compute 4000000\n"),
+            std::string::npos);
+  EXPECT_NE(folded.find("machine1;gpu2;ring_round;network 6000000\n"),
+            std::string::npos);
+
+  util::TraceRecorder trace;
+  annotate_trace(r, trace);
+  std::string tj = trace.to_json();
+  EXPECT_NE(tj.find("critical path"), std::string::npos);
+  EXPECT_NE(tj.find("network:ring_round"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stash::obs

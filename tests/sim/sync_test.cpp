@@ -303,6 +303,59 @@ TEST(AbortableBarrier, InvalidConstructionThrows) {
   EXPECT_THROW(AbortableBarrier(sim, 2, -1.0), std::invalid_argument);
 }
 
+Task<void> token_worker(Simulator& sim, Barrier& bar, double work, int token) {
+  co_await sim.delay(work);
+  co_await bar.arrive_and_wait(token);
+}
+
+TEST(Barrier, LastTokenIsTheStragglersAfterRelease) {
+  Simulator sim;
+  Barrier bar(sim, 3);
+  sim.spawn(token_worker(sim, bar, 1.0, 10));
+  sim.spawn(token_worker(sim, bar, 7.0, 30));
+  sim.spawn(token_worker(sim, bar, 2.0, 20));
+  sim.run();
+  // Arrivals overwrite in order, so the slowest worker's token survives.
+  EXPECT_EQ(bar.last_token(), 30);
+}
+
+TEST(Barrier, SinglePartyRecordsItsOwnToken) {
+  Simulator sim;
+  Barrier bar(sim, 1);
+  sim.spawn(token_worker(sim, bar, 1.0, 5));
+  sim.run();
+  EXPECT_EQ(bar.last_token(), 5);
+}
+
+Task<void> abortable_token_worker(Simulator& sim, AbortableBarrier& bar,
+                                  double work, int token) {
+  co_await sim.delay(work);
+  co_await bar.arrive_and_wait(token);
+}
+
+TEST(AbortableBarrier, LastTokenIsTheStragglersAfterRelease) {
+  Simulator sim;
+  AbortableBarrier bar(sim, 2);
+  sim.spawn(abortable_token_worker(sim, bar, 1.0, 41));
+  sim.spawn(abortable_token_worker(sim, bar, 3.0, 42));
+  sim.run();
+  EXPECT_EQ(bar.last_token(), 42);
+}
+
+TEST(AbortableBarrier, DeadBarrierStopsRecordingTokens) {
+  Simulator sim;
+  AbortableBarrier bar(sim, 3);
+  sim.spawn(abortable_token_worker(sim, bar, 1.0, 7));
+  sim.schedule(2.0, [&bar] { bar.abort(); });
+  sim.run();
+  EXPECT_EQ(bar.last_token(), 7);
+  // Arrivals after the abort return immediately and leave no provenance:
+  // there is no straggler on a dead barrier.
+  sim.spawn(abortable_token_worker(sim, bar, 1.0, 99));
+  sim.run();
+  EXPECT_EQ(bar.last_token(), 7);
+}
+
 TEST(JoinAll, EmptyVectorCompletesImmediately) {
   Simulator sim;
   double done_at = -1;

@@ -1,0 +1,142 @@
+// End-to-end attribution: the causal critical-path engine against the
+// five-step differencing methodology on real profiler runs. Three
+// properties are pinned: the two decompositions agree (the paper's
+// acceptance bound), the per-iteration blame exactly partitions iteration
+// wall time, and every attribution artifact is --jobs invariant.
+#include "stash/attribute.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "dnn/zoo.h"
+#include "exec/exec_context.h"
+#include "obs/causal_log.h"
+#include "stash/profiler.h"
+#include "telemetry/metrics.h"
+
+namespace stash::profiler {
+namespace {
+
+double cat_s(const obs::BlameReport& r, obs::Category c) {
+  return r.totals_s[static_cast<std::size_t>(c)];
+}
+
+TEST(AttributeAcceptance, CriticalPathAgreesWithDifferencingWithinTenPercent) {
+  // The paper's headline scenario: ResNet-50 on a two-machine-splittable
+  // p3.16xlarge, so every stall coordinate (including network) is exercised.
+  exec::SimCache cache;
+  exec::ExecContext ctx(4, &cache);
+  ProfileOptions opt;
+  opt.iterations = 4;
+  opt.warmup_iterations = 1;
+  opt.exec = &ctx;
+  StashProfiler prof(dnn::make_zoo_model("resnet50"), dnn::dataset_for("resnet50"),
+                     opt);
+  ClusterSpec spec;
+  spec.instance = "p3.16xlarge";
+
+  BlameProfile bp = attribute(prof, spec, 32);
+  ASSERT_TRUE(bp.has_network);
+  ASSERT_TRUE(bp.ic.available);
+  ASSERT_TRUE(bp.nw.available);
+  ASSERT_TRUE(bp.prep.available);
+  ASSERT_TRUE(bp.fetch.available);
+
+  // Acceptance bound: I/C and N/W causal blame within 10% (relative) of the
+  // differencing estimate.
+  ASSERT_GT(bp.ic.differencing_s, 0.0);
+  EXPECT_NEAR(bp.ic.blame_s, bp.ic.differencing_s, 0.10 * bp.ic.differencing_s);
+  ASSERT_GT(bp.nw.differencing_s, 0.0);
+  EXPECT_NEAR(bp.nw.blame_s, bp.nw.differencing_s, 0.10 * bp.nw.differencing_s);
+
+  // The primary (two-machine) run saw real network traffic on the path, and
+  // nothing was left unexplained by the instrumentation.
+  const obs::BlameReport& primary = bp.primary();
+  EXPECT_GT(cat_s(primary, obs::Category::kNetwork), 0.0);
+  EXPECT_NEAR(cat_s(primary, obs::Category::kUnattributed), 0.0, 1e-9);
+  EXPECT_EQ(primary.measured_iterations, opt.iterations - opt.warmup_iterations);
+
+  // The JSON carries all three sections of the cross-checked document.
+  std::string json = blame_profile_to_json(bp);
+  EXPECT_NE(json.find("\"schema\":\"stash.blame/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"differencing\":"), std::string::npos);
+  EXPECT_NE(json.find("\"crosscheck\":"), std::string::npos);
+}
+
+TEST(AttributeProperty, BlameSegmentsExactlyPartitionIterationWallTime) {
+  exec::SimCache cache;
+  exec::ExecContext ctx(2, &cache);
+  ProfileOptions opt;
+  opt.iterations = 4;
+  opt.warmup_iterations = 1;
+  opt.exec = &ctx;
+  StashProfiler prof(dnn::make_zoo_model("resnet18"), dnn::dataset_for("resnet18"),
+                     opt);
+  ClusterSpec spec;
+  spec.instance = "p3.8xlarge";
+
+  obs::BlameReport r = attribute_step(prof, spec, Step::kRealWarm, 32);
+  ASSERT_FALSE(r.iterations.empty());
+  for (const obs::IterationBlame& ib : r.iterations) {
+    SCOPED_TRACE(ib.iteration);
+    ASSERT_FALSE(ib.segments.empty());
+    // Boundaries are reused walker positions: flush with the window ends and
+    // bitwise-contiguous at every interior boundary.
+    EXPECT_EQ(ib.segments.front().start_s, ib.start_s);
+    EXPECT_EQ(ib.segments.back().end_s, ib.end_s);
+    for (std::size_t i = 0; i + 1 < ib.segments.size(); ++i)
+      EXPECT_EQ(ib.segments[i].end_s, ib.segments[i + 1].start_s);
+    // No gaps, no double counting: category sums reproduce the wall time.
+    double sum = 0.0;
+    for (double v : ib.by_category) sum += v;
+    EXPECT_NEAR(sum, ib.end_s - ib.start_s, 1e-12);
+  }
+  EXPECT_NEAR(cat_s(r, obs::Category::kUnattributed), 0.0, 1e-9);
+}
+
+TEST(AttributeDeterminism, AllArtifactsAreJobsInvariant) {
+  auto run = [](int jobs) {
+    struct Artifacts {
+      std::string blame_json;
+      std::string folded;
+      std::string prom;
+    } out;
+    exec::SimCache cache;
+    exec::ExecContext ctx(jobs, &cache);
+    telemetry::MetricsRegistry metrics;
+    ProfileOptions opt;
+    opt.iterations = 4;
+    opt.warmup_iterations = 1;
+    opt.exec = &ctx;
+    StashProfiler prof(dnn::make_zoo_model("resnet18"),
+                       dnn::dataset_for("resnet18"), opt);
+    ClusterSpec spec;
+    spec.instance = "p3.16xlarge";
+    BlameProfile bp = attribute(prof, spec, 32);
+    out.blame_json = blame_profile_to_json(bp);
+    out.folded = blame_to_folded(bp.primary());
+
+    // A separately metrics-sinked profile feeds the Prometheus dump.
+    ProfileOptions mopt = opt;
+    mopt.metrics = &metrics;
+    StashProfiler sinked(dnn::make_zoo_model("resnet18"),
+                         dnn::dataset_for("resnet18"), mopt);
+    sinked.profile(spec, 32);
+    out.prom = metrics.to_prometheus(/*include_volatile=*/false);
+    return out;
+  };
+
+  auto serial = run(1);
+  auto parallel = run(8);
+  EXPECT_EQ(serial.blame_json, parallel.blame_json);
+  EXPECT_EQ(serial.folded, parallel.folded);
+  EXPECT_EQ(serial.prom, parallel.prom);
+  EXPECT_FALSE(serial.blame_json.empty());
+  EXPECT_FALSE(serial.folded.empty());
+  EXPECT_FALSE(serial.prom.empty());
+}
+
+}  // namespace
+}  // namespace stash::profiler

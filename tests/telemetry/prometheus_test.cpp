@@ -1,0 +1,64 @@
+// Prometheus text exposition (version 0.0.4) of a metrics registry. The
+// main check is a golden-file comparison: the exposition is deterministic
+// (sorted names, shortest-round-trip doubles), so the expected output can
+// be pinned byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace stash::telemetry {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(PrometheusTest, MatchesGoldenExposition) {
+  MetricsRegistry reg;
+  reg.counter("coll/ring/bytes").add(1234.5);
+  reg.gauge("profiler/ic_stall_pct").set(12.25);
+  TimeWeightedGauge& tg = reg.time_gauge("queue/depth");
+  tg.set(0.0, 1.0);
+  tg.set(2.0, 3.0);
+  tg.set(4.0, 3.0);  // mean 2 over [0,4], max 3, last 3
+  Histogram& h = reg.histogram("iter/latency_s", {1.0, 10.0, 100.0});
+  h.observe(0.5);
+  h.observe(2.0);
+  h.observe(200.0);  // overflow bucket: only le="+Inf" sees it
+
+  const std::string golden =
+      read_file(std::string(STASH_TEST_DATA_DIR) + "/registry_golden.prom");
+  EXPECT_EQ(reg.to_prometheus(), golden);
+}
+
+TEST(PrometheusTest, VolatileInstrumentsAreExcludedFromDeterministicDump) {
+  MetricsRegistry reg;
+  reg.counter("sim/events").add(3.0);
+  reg.gauge("wall/speedup", /*volatile_metric=*/true).set(250.0);
+
+  const std::string full = reg.to_prometheus(/*include_volatile=*/true);
+  const std::string det = reg.to_prometheus(/*include_volatile=*/false);
+  EXPECT_NE(full.find("wall_speedup 250\n"), std::string::npos);
+  EXPECT_EQ(det.find("wall_speedup"), std::string::npos);
+  EXPECT_NE(det.find("sim_events 3\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, NamesAreSanitizedToTheExpositionCharset) {
+  MetricsRegistry reg;
+  // Slashes, dots and dashes flatten to '_'; a leading digit is prefixed.
+  reg.counter("9weird-name.x").increment();
+  const std::string out = reg.to_prometheus();
+  EXPECT_NE(out.find("# TYPE _9weird_name_x counter\n"), std::string::npos);
+  EXPECT_NE(out.find("_9weird_name_x 1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stash::telemetry

@@ -1,0 +1,79 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace stash::util {
+namespace {
+
+// Restores the process log level (and cerr's buffer) after each test; the
+// level is process-global state shared with every other test in the binary.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = log_level();
+    saved_buf_ = std::cerr.rdbuf(captured_.rdbuf());
+  }
+  void TearDown() override {
+    std::cerr.rdbuf(saved_buf_);
+    set_log_level(saved_level_);
+  }
+  std::string captured() const { return captured_.str(); }
+
+  std::ostringstream captured_;
+
+ private:
+  LogLevel saved_level_{};
+  std::streambuf* saved_buf_ = nullptr;
+};
+
+TEST_F(LogTest, ParseMapsEveryLevelAndDefaultsToOff) {
+  EXPECT_EQ(parse_log_level(nullptr), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("verbose"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kOff);  // case-sensitive
+}
+
+TEST_F(LogTest, SeverityOrderAdmitsMoreAtLowerThresholds) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug), static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo), static_cast<int>(LogLevel::kWarn));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarn), static_cast<int>(LogLevel::kError));
+  EXPECT_LT(static_cast<int>(LogLevel::kError), static_cast<int>(LogLevel::kOff));
+}
+
+TEST_F(LogTest, ErrorThresholdSuppressesWarningsButPrintsErrors) {
+  set_log_level(LogLevel::kError);
+  log_debug("d");
+  log_info("i");
+  log_warn("w");
+  log_error("boom ", 42);
+  EXPECT_EQ(captured(), "[ERROR] boom 42\n");
+}
+
+TEST_F(LogTest, OffSuppressesEverything) {
+  set_log_level(LogLevel::kOff);
+  log_debug("d");
+  log_info("i");
+  log_warn("w");
+  log_error("e");
+  EXPECT_EQ(captured(), "");
+}
+
+TEST_F(LogTest, DebugThresholdPrintsEverythingWithPrefixes) {
+  set_log_level(LogLevel::kDebug);
+  log_debug("a");
+  log_info("b");
+  log_warn("c");
+  log_error("d");
+  EXPECT_EQ(captured(), "[DEBUG] a\n[INFO] b\n[WARN] c\n[ERROR] d\n");
+}
+
+}  // namespace
+}  // namespace stash::util
