@@ -1,11 +1,13 @@
 // Cluster sweep: scale-out study across network-connected instances — how
 // throughput, cost, and parallel efficiency evolve as machines are added,
-// and how much a hierarchical collective recovers (extension beyond the
-// paper's flat-ring setup).
+// how much a hierarchical collective recovers (extension beyond the paper's
+// flat-ring setup), and which mixed spot/on-demand deployment of the same
+// scale-out ladder is actually worth buying (stash::plan frontier).
 //
-//   $ cluster_sweep [model] [instance] [max_machines]
+//   $ cluster_sweep [model] [instance] [max_machines] [epochs]
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "cloud/builder.h"
@@ -13,6 +15,9 @@
 #include "coll/ring_allreduce.h"
 #include "ddl/trainer.h"
 #include "dnn/zoo.h"
+#include "exec/exec_context.h"
+#include "plan/planner.h"
+#include "util/args.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -56,14 +61,33 @@ double collective_seconds(const std::string& instance, int count, double bytes,
   return done;
 }
 
+int usage() {
+  std::cerr << "usage: cluster_sweep [model] [instance] [max_machines] [epochs]\n";
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace stash;
 
-  std::string model_name = argc > 1 ? argv[1] : "resnet50";
-  std::string instance = argc > 2 ? argv[2] : "p3.8xlarge";
-  int max_machines = argc > 3 ? std::stoi(argv[3]) : 4;
+  util::Args args(argc, argv);
+  std::string model_name = args.positional(0, "resnet50");
+  std::string instance = args.positional(1, "p3.8xlarge");
+  std::optional<int> machines_arg = util::parse_int(args.positional(2, "4"));
+  std::optional<int> epochs_arg = util::parse_int(args.positional(3, "90"));
+  if (!machines_arg || *machines_arg < 1) {
+    std::cerr << "bad max_machines '" << args.positional(2)
+              << "': expected a positive integer\n";
+    return usage();
+  }
+  if (!epochs_arg || *epochs_arg < 1) {
+    std::cerr << "bad epochs '" << args.positional(3)
+              << "': expected a positive integer\n";
+    return usage();
+  }
+  int max_machines = *machines_arg;
+  int epochs = *epochs_arg;
   const int batch = 32;
 
   dnn::Model model = dnn::make_zoo_model(model_name);
@@ -106,5 +130,32 @@ int main(int argc, char** argv) {
   std::cout << "\nThe paper's takeaway holds: adding NIC-connected machines "
                "collapses scaling efficiency (Fig 13); hierarchical all-reduce "
                "recovers part of it by crossing the NIC once per machine.\n";
+
+  // Which point on the ladder should you actually buy, and at what spot mix?
+  // Plan the same 1..max_machines candidates through the mixed
+  // spot/on-demand planner and print the Pareto frontier.
+  std::cout << "\nDeployment frontier for a " << epochs << "-epoch run "
+               "(expected wall vs expected/p95 cost under revocation risk):\n";
+  exec::ExecContext exec_ctx(1);
+  plan::PlanOptions popt;
+  popt.epochs = epochs;
+  popt.per_gpu_batch = batch;
+  popt.profile.exec = &exec_ctx;
+  for (int n = 1; n <= max_machines; ++n)
+    popt.candidates.push_back(profiler::ClusterSpec{instance, n});
+  plan::PlanReport plan_report = plan::plan(model, data, popt);
+
+  util::Table p({"plan", "E[wall] (h)", "E[cost] ($)", "p95 cost ($)",
+                 "E[interrupts]", "frontier"});
+  for (const auto& cp : plan_report.plans)
+    p.row().cell(cp.label()).cell(util::to_hours(cp.expected_wall_s), 2)
+        .cell(cp.expected_cost_usd, 2).cell(cp.p95_cost_usd, 2)
+        .cell(cp.expected_interruptions, 1).cell(cp.on_frontier ? "*" : "");
+  p.print(std::cout);
+  if (const auto* best = plan_report.cheapest_on_frontier())
+    std::cout << "cheapest frontier plan: " << best->label() << " at $"
+              << util::format_double(best->expected_cost_usd, 2)
+              << " expected; pure on-demand pays the certainty premium, "
+                 "spot tiers trade p95 cost risk for the discount.\n";
   return 0;
 }

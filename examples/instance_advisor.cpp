@@ -5,17 +5,34 @@
 //   $ instance_advisor [model] [batch]
 //   $ instance_advisor vgg11 32
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "dnn/zoo.h"
 #include "stash/recommend.h"
+#include "util/args.h"
 #include "util/table.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: instance_advisor [model] [batch]\n";
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace stash;
 
-  std::string model_name = argc > 1 ? argv[1] : "resnet18";
-  int batch = argc > 2 ? std::stoi(argv[2]) : 32;
+  util::Args args(argc, argv);
+  std::string model_name = args.positional(0, "resnet18");
+  std::optional<int> batch_arg = util::parse_int(args.positional(1, "32"));
+  if (!batch_arg) {
+    std::cerr << "bad batch '" << args.positional(1) << "': expected an integer\n";
+    return usage();
+  }
+  int batch = *batch_arg;
 
   dnn::Model model = dnn::make_zoo_model(model_name);
   profiler::RecommendOptions options;

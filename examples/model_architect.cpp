@@ -7,6 +7,7 @@
 //
 //   $ model_architect [instance] [batch]
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,13 +16,29 @@
 #include "dnn/vgg.h"
 #include "dnn/zoo.h"
 #include "stash/profiler.h"
+#include "util/args.h"
 #include "util/table.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: model_architect [instance] [batch]\n";
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace stash;
 
-  std::string instance = argc > 1 ? argv[1] : "p3.16xlarge";
-  int batch = argc > 2 ? std::stoi(argv[2]) : 32;
+  util::Args args(argc, argv);
+  std::string instance = args.positional(0, "p3.16xlarge");
+  std::optional<int> batch_arg = util::parse_int(args.positional(1, "32"));
+  if (!batch_arg) {
+    std::cerr << "bad batch '" << args.positional(1) << "': expected an integer\n";
+    return usage();
+  }
+  int batch = *batch_arg;
   profiler::ClusterSpec spec{instance};
   coll::CollectiveConfig coll_cfg;
 

@@ -9,22 +9,39 @@
 // warm-cache run to that file.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "cloud/builder.h"
 #include "ddl/trainer.h"
 #include "dnn/zoo.h"
 #include "stash/profiler.h"
+#include "util/args.h"
 #include "util/table.h"
 #include "util/trace.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: quickstart [model] [instance] [batch] [trace.json]\n";
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace stash;
 
-  std::string model_name = argc > 1 ? argv[1] : "resnet18";
-  std::string instance = argc > 2 ? argv[2] : "p3.8xlarge";
-  int batch = argc > 3 ? std::stoi(argv[3]) : 32;
-  std::string trace_path = argc > 4 ? argv[4] : "";
+  util::Args args(argc, argv);
+  std::string model_name = args.positional(0, "resnet18");
+  std::string instance = args.positional(1, "p3.8xlarge");
+  std::optional<int> batch_arg = util::parse_int(args.positional(2, "32"));
+  if (!batch_arg) {
+    std::cerr << "bad batch '" << args.positional(2) << "': expected an integer\n";
+    return usage();
+  }
+  int batch = *batch_arg;
+  std::string trace_path = args.positional(3);
 
   dnn::Model model = dnn::make_zoo_model(model_name);
   dnn::Dataset dataset = dnn::dataset_for(model_name);

@@ -16,6 +16,7 @@
 //   --trace=FILE    write a chrome://tracing timeline of the instrumented
 //                   (warm-data) profiler step
 //   --metrics=FILE  write the metrics registry snapshot as JSON
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -28,6 +29,7 @@
 #include "obs/causal_log.h"
 #include "obs/critical_path.h"
 #include "obs/progress.h"
+#include "plan/planner.h"
 #include "stash/attribute.h"
 #include "stash/recommend.h"
 #include "stash/session.h"
@@ -42,6 +44,11 @@
 namespace {
 
 using namespace stash;
+
+// Boolean options: registered so a bare flag never swallows the following
+// positional (`stash_cli profile --progress resnet50` must keep resnet50).
+constexpr std::initializer_list<const char*> kFlags = {
+    "csv", "json", "full-quad", "spot", "progress", "no-calibrate"};
 
 bool write_file(const std::string& path, const std::string& content) {
   std::ofstream os(path, std::ios::binary);
@@ -76,13 +83,19 @@ int usage() {
       "                                   whole-run time & cost estimate\n"
       "  stalls <model> --instance T [--count N] [--batch B] [--jobs N] [--csv]\n"
       "                                   one-line stall decomposition\n"
+      "  plan <model> [--epochs E] [--batch B] [--budget USD] [--deadline H]\n"
+      "       [--spot-rate R] [--spot-price F] [--trials N] [--seed S]\n"
+      "       [--instance T [--count N]] [--no-calibrate] [--jobs N] [--csv]\n"
+      "                                   Pareto frontier of mixed\n"
+      "                                   spot/on-demand deployments\n"
       "\n"
       "--jobs N runs up to N simulations concurrently (default 1 = serial);\n"
       "output is byte-identical for every N.\n"
       "\n"
-      "profile, estimate, stalls and recommend also accept:\n"
+      "profile, estimate, stalls, recommend and plan also accept:\n"
       "  --json          print a stash.run_manifest/1 JSON document instead\n"
-      "                  of the table (attribute prints stash.blame/1)\n"
+      "                  of the table (attribute prints stash.blame/1,\n"
+      "                  plan prints stash.plan/1)\n"
       "  --trace=FILE    write a chrome://tracing timeline of the warm step\n"
       "                  (attribute: of the primary causal run, with the\n"
       "                  critical path as a highlighted track)\n"
@@ -547,6 +560,90 @@ int cmd_attribute(const util::Args& args) {
   return 0;
 }
 
+// Mixed spot/on-demand deployment planning: enumerate pure on-demand, pure
+// spot, and k-of-n spot allocations over the candidate set, price each under
+// the revocation process, and print the Pareto frontier of (expected wall,
+// expected cost, p95 cost).
+int cmd_plan(const util::Args& args) {
+  std::string model_name = args.positional(1);
+  if (model_name.empty()) return usage();
+
+  TelemetrySinks sinks(args);
+  if (int rc = sinks.check(); rc != 0) return rc;
+  exec::ExecContext exec(args.get_int("jobs", 1));
+
+  plan::PlanOptions opt;
+  opt.per_gpu_batch = args.get_int("batch", 32);
+  opt.epochs = args.get_int("epochs", 90);
+  opt.budget_usd = args.get_double("budget", 0.0);
+  opt.deadline_hours = args.get_double("deadline", 0.0);
+  opt.spot.interruptions_per_hour =
+      args.get_double("spot-rate", opt.spot.interruptions_per_hour);
+  opt.spot.price_factor = args.get_double("spot-price", opt.spot.price_factor);
+  opt.trials = args.get_int("trials", opt.trials);
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  if (args.has("no-calibrate")) opt.calibrate_recovery = false;
+  opt.profile.exec = &exec;
+  if (sinks.want_metrics()) opt.profile.metrics = &sinks.metrics;
+  if (args.has("instance")) {
+    profiler::ClusterSpec spec;
+    spec.instance = args.get("instance");
+    spec.count = args.get_int("count", 1);
+    opt.candidates.push_back(spec);
+  }
+
+  dnn::Model model = dnn::make_zoo_model(model_name);
+  dnn::Dataset dataset = dnn::dataset_for(model_name);
+  plan::PlanReport report = plan::plan(model, dataset, opt);
+  if (report.plans.empty()) {
+    std::cerr << "no configuration fits " << model_name << " at batch "
+              << opt.per_gpu_batch << "\n";
+    return 1;
+  }
+
+  // --trace: the planner sweep runs sink-free (candidates would race one
+  // registry), so the timeline comes from one instrumented warm-step run of
+  // the frontier's cheapest plan — cheap, its uninstrumented twin is cached.
+  if (sinks.want_trace()) {
+    profiler::ProfileOptions popt = opt.profile;
+    popt.metrics = nullptr;
+    popt.trace = &sinks.trace;
+    profiler::StashProfiler winner(model, dataset, popt);
+    winner.run_step(report.cheapest_on_frontier()->spec,
+                    profiler::Step::kRealWarm, opt.per_gpu_batch);
+  }
+
+  if (sinks.json) {
+    std::cout << plan::to_json(report, {},
+                               sinks.want_metrics() ? &sinks.metrics : nullptr)
+              << "\n";
+    return sinks.flush_files();
+  }
+
+  util::Table t({"plan", "E[wall] (h)", "E[cost] ($)", "p95 cost ($)",
+                 "E[interrupts]", "frontier", "feasible"});
+  for (const auto& p : report.plans) {
+    t.row().cell(p.label()).cell(util::to_hours(p.expected_wall_s), 2)
+        .cell(p.expected_cost_usd, 2).cell(p.p95_cost_usd, 2)
+        .cell(p.expected_interruptions, 1).cell(p.on_frontier ? "*" : "")
+        .cell(p.meets_budget && p.meets_deadline ? "yes" : "no");
+  }
+  emit(t, args.has("csv"));
+  if (!args.has("csv")) {
+    if (!report.any_feasible)
+      std::cerr << "warning: no plan meets the budget/deadline constraints; "
+                   "the frontier below is the least-bad set\n";
+    if (const auto* best = report.cheapest_on_frontier())
+      std::cout << "frontier: " << report.frontier.size() << " of "
+                << report.plans.size() << " plans; cheapest " << best->label()
+                << " at $" << util::format_double(best->expected_cost_usd, 2)
+                << " expected ($" << util::format_double(best->p95_cost_usd, 2)
+                << " p95), " << util::format_double(util::to_hours(best->expected_wall_s), 2)
+                << " h expected wall\n";
+  }
+  return sinks.flush_files();
+}
+
 int cmd_estimate(const util::Args& args) {
   std::string model_name = args.positional(1);
   if (model_name.empty()) return usage();
@@ -610,7 +707,7 @@ int cmd_estimate(const util::Args& args) {
 
 int main(int argc, char** argv) {
   try {
-    util::Args args(argc, argv);
+    util::Args args(argc, argv, kFlags);
     std::string cmd = args.positional(0);
     if (cmd == "catalog") return cmd_catalog(args);
     if (cmd == "models") return cmd_models(args);
@@ -619,6 +716,7 @@ int main(int argc, char** argv) {
     if (cmd == "recommend") return cmd_recommend(args);
     if (cmd == "estimate") return cmd_estimate(args);
     if (cmd == "stalls") return cmd_stalls(args);
+    if (cmd == "plan") return cmd_plan(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

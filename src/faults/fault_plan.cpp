@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/args.h"
 
 namespace stash::faults {
 
@@ -64,15 +67,11 @@ std::string num(double v) {
 }
 
 double parse_num(const std::string& s, const char* what) {
-  try {
-    std::size_t pos = 0;
-    double v = std::stod(s, &pos);
-    if (pos != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
+  std::optional<double> v = util::parse_double(s);
+  if (!v)
     throw std::invalid_argument(std::string("FaultPlan: bad number for ") + what +
                                 ": '" + s + "'");
-  }
+  return *v;
 }
 
 std::vector<std::string> split(const std::string& s, char sep) {

@@ -1,0 +1,347 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+#include "exec/thread_pool.h"
+#include "stash/recommend.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace stash::plan {
+
+const char* to_string(AllocKind kind) {
+  switch (kind) {
+    case AllocKind::kOnDemand:
+      return "on-demand";
+    case AllocKind::kSpot:
+      return "spot";
+    case AllocKind::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+void PlanOptions::validate() const {
+  if (epochs < 1) throw std::invalid_argument("PlanOptions: epochs must be >= 1");
+  if (per_gpu_batch < 1)
+    throw std::invalid_argument("PlanOptions: per_gpu_batch must be >= 1");
+  if (budget_usd < 0.0 || !std::isfinite(budget_usd))
+    throw std::invalid_argument("PlanOptions: budget_usd must be finite and >= 0");
+  if (deadline_hours < 0.0 || !std::isfinite(deadline_hours))
+    throw std::invalid_argument(
+        "PlanOptions: deadline_hours must be finite and >= 0");
+  if (trials < 1) throw std::invalid_argument("PlanOptions: trials must be >= 1");
+  spot.validate();
+  profile.validate();
+}
+
+std::string CandidatePlan::label() const {
+  std::string suffix;
+  switch (kind) {
+    case AllocKind::kOnDemand:
+      suffix = "od";
+      break;
+    case AllocKind::kSpot:
+      suffix = "spot";
+      break;
+    case AllocKind::kMixed:
+      suffix = "spot" + std::to_string(spot_machines) + "+od" +
+               std::to_string(ondemand_machines);
+      break;
+  }
+  return spec.label() + " [" + suffix + "]";
+}
+
+namespace {
+
+// Healthy and crash-calibration measurements for one candidate spec.
+struct Measurement {
+  double first_epoch_s = 0.0;
+  double steady_epoch_s = 0.0;
+  double recovery_fixed_cost_s = 0.0;
+  double calibration_fault_stall_pct = 0.0;
+};
+
+Measurement measure(const profiler::StashProfiler& prof,
+                    const profiler::ClusterSpec& spec, const PlanOptions& opt) {
+  Measurement m;
+  ddl::TrainResult cold =
+      prof.run_step(spec, profiler::Step::kRealCold, opt.per_gpu_batch);
+  ddl::TrainResult warm =
+      prof.run_step(spec, profiler::Step::kRealWarm, opt.per_gpu_batch);
+  double samples = prof.dataset().num_samples;
+  m.first_epoch_s = cold.epoch_time(samples, opt.per_gpu_batch);
+  m.steady_epoch_s = warm.epoch_time(samples, opt.per_gpu_batch);
+
+  if (!opt.calibrate_recovery) {
+    m.recovery_fixed_cost_s = opt.spot.restart_overhead_s;
+    return m;
+  }
+
+  // One revocation through the trainer's actual recovery machinery — the
+  // spot_replay calibration, per candidate: the recovery record's wait is
+  // the measured fixed cost of a revocation (partial iteration thrown away,
+  // watchdog detection gap, reprovision wait).
+  const double iter_s = std::max(warm.per_iteration, 1e-9);
+  profiler::FaultProfileOptions fopt;
+  fopt.policy = ddl::RecoveryPolicy::kCheckpointRestart;
+  fopt.barrier_timeout_s = std::max(2.0 * iter_s, 1e-6);
+  fopt.checkpoint_interval_s = opt.spot.checkpoint_interval_s;
+  fopt.checkpoint_write_s = opt.spot.checkpoint_write_s;
+
+  faults::FaultPlan crash_plan;
+  faults::FaultEvent crash;
+  crash.kind = faults::FaultKind::kCrash;
+  crash.start_s = iter_s * 2.5;
+  crash.machine = 0;
+  crash.reprovision_s = opt.spot.restart_overhead_s;
+  crash_plan.events.push_back(crash);
+
+  ddl::TrainResult faulted = prof.run_step(spec, profiler::Step::kRealWarm,
+                                           opt.per_gpu_batch, &crash_plan, fopt);
+  if (!faulted.recoveries.empty())
+    m.recovery_fixed_cost_s = faulted.recoveries.front().wait_seconds;
+  else  // crash missed the window (degenerate spec); assume watchdog + restart
+    m.recovery_fixed_cost_s = fopt.barrier_timeout_s + opt.spot.restart_overhead_s;
+  double total = faulted.window_time + faulted.fault_stall;
+  if (faulted.fault_stall > 0.0 && total > 0.0)
+    m.calibration_fault_stall_pct = faulted.fault_stall / total * 100.0;
+  return m;
+}
+
+}  // namespace
+
+PlanReport plan(const dnn::Model& model, const dnn::Dataset& dataset,
+                const PlanOptions& options) {
+  options.validate();
+
+  PlanReport report;
+  report.model_name = model.name();
+  report.epochs = options.epochs;
+  report.per_gpu_batch = options.per_gpu_batch;
+  report.budget_usd = options.budget_usd;
+  report.deadline_hours = options.deadline_hours;
+  report.spot = options.spot;
+  report.trials = options.trials;
+  report.seed = options.seed;
+  report.calibrated = options.calibrate_recovery;
+
+  std::vector<profiler::ClusterSpec> candidates =
+      options.candidates.empty() ? profiler::default_candidates()
+                                 : options.candidates;
+  // Telemetry sinks are stripped for the candidate sweep (recommend's rule:
+  // overlaid counters from many candidates are meaningless, and with a pool
+  // attached they would race); planner summary gauges land on the caller's
+  // registry after the sweep.
+  profiler::ProfileOptions popt = options.profile;
+  popt.trace = nullptr;
+  popt.metrics = nullptr;
+  popt.causal = nullptr;
+  profiler::StashProfiler prof(model, dataset, popt);
+
+  std::vector<profiler::ClusterSpec> fitting;
+  for (const profiler::ClusterSpec& spec : candidates) {
+    const auto& type = cloud::instance(spec.instance);
+    if (model.train_memory_bytes(options.per_gpu_batch) > type.gpu.memory_bytes)
+      continue;  // batch does not fit this GPU
+    fitting.push_back(spec);
+  }
+
+  // Profile (and crash-calibrate) the surviving candidates across the
+  // execution context's pool; results land by candidate index so the
+  // enumeration below never sees completion order, and the shared SimCache
+  // dedups the healthy steps against profile/estimate/recommend runs.
+  std::vector<Measurement> measured(fitting.size());
+  exec::ThreadPool* pool =
+      options.profile.exec != nullptr ? options.profile.exec->pool() : nullptr;
+  exec::parallel_for(pool, fitting.size(), [&](std::size_t i) {
+    measured[i] = measure(prof, fitting[i], options);
+  });
+
+  // Enumerate allocations in deterministic (candidate, spot-count) order.
+  // plan_index seeds each allocation's Monte-Carlo stream, so the draws are
+  // independent across plans yet identical across jobs values and runs.
+  util::Rng root(options.seed);
+  int plan_index = 0;
+  for (std::size_t i = 0; i < fitting.size(); ++i) {
+    const profiler::ClusterSpec& spec = fitting[i];
+    const Measurement& m = measured[i];
+    const auto& type = cloud::instance(spec.instance);
+    const int n = spec.count;
+    const double work_s =
+        m.first_epoch_s + (options.epochs - 1) * m.steady_epoch_s;
+
+    for (int k = 0; k <= n; ++k, ++plan_index) {
+      CandidatePlan p;
+      p.spec = spec;
+      p.spot_machines = k;
+      p.ondemand_machines = n - k;
+      p.kind = k == 0   ? AllocKind::kOnDemand
+               : k == n ? AllocKind::kSpot
+                        : AllocKind::kMixed;
+      p.steady_epoch_s = m.steady_epoch_s;
+
+      if (k == 0) {
+        // Deterministic: no revocation risk, so no checkpoints either.
+        p.expected_wall_s = work_s;
+        p.expected_cost_usd = cloud::cost_usd(type, work_s, n);
+        p.p95_wall_s = p.expected_wall_s;
+        p.p95_cost_usd = p.expected_cost_usd;
+      } else {
+        // Any spot machine's revocation stalls the whole synchronous job,
+        // so interruptions arrive at k times the per-machine rate; each one
+        // costs the measured recovery fixed cost plus replayed work. The
+        // bill charges k machines at the spot factor, n-k at on-demand.
+        cloud::SpotConfig cfg = options.spot;
+        cfg.interruptions_per_hour *= k;
+        cfg.restart_overhead_s = m.recovery_fixed_cost_s;
+        p.recovery_fixed_cost_s = m.recovery_fixed_cost_s;
+        p.calibration_fault_stall_pct = m.calibration_fault_stall_pct;
+
+        const double machine_factor =
+            k * options.spot.price_factor + (n - k);
+        util::Rng plan_rng = root.child(static_cast<std::uint64_t>(plan_index));
+        util::SampleSet walls, costs;
+        double interruptions = 0.0, lost = 0.0;
+        for (int t = 0; t < options.trials; ++t) {
+          util::Rng rng = plan_rng.child(static_cast<std::uint64_t>(t));
+          cloud::SpotOutcome o =
+              cloud::simulate_spot_run(work_s, type, n, cfg, rng);
+          double cost = cloud::cost_usd(type, o.wall_seconds, 1) * machine_factor;
+          walls.add(o.wall_seconds);
+          costs.add(cost);
+          interruptions += o.interruptions;
+          lost += o.lost_work_seconds;
+        }
+        p.expected_wall_s = walls.mean();
+        p.expected_cost_usd = costs.mean();
+        p.p95_wall_s = walls.percentile(95.0);
+        p.p95_cost_usd = costs.percentile(95.0);
+        p.expected_interruptions = interruptions / options.trials;
+        p.expected_lost_work_s = lost / options.trials;
+      }
+
+      p.meets_budget =
+          options.budget_usd <= 0.0 || p.expected_cost_usd <= options.budget_usd;
+      p.meets_deadline = options.deadline_hours <= 0.0 ||
+                         p.expected_wall_s <= options.deadline_hours * 3600.0;
+      report.plans.push_back(std::move(p));
+    }
+  }
+
+  std::sort(report.plans.begin(), report.plans.end(),
+            [](const CandidatePlan& a, const CandidatePlan& b) {
+              return std::make_tuple(a.expected_cost_usd, a.expected_wall_s,
+                                     a.label()) <
+                     std::make_tuple(b.expected_cost_usd, b.expected_wall_s,
+                                     b.label());
+            });
+
+  // Pareto frontier over (expected wall, expected cost, p95 cost) of the
+  // feasible plans; if nothing is feasible, over everything (a planner that
+  // answers "no plan fits, here is the least-bad frontier" beats one that
+  // answers nothing).
+  report.any_feasible = std::any_of(
+      report.plans.begin(), report.plans.end(),
+      [](const CandidatePlan& p) { return p.meets_budget && p.meets_deadline; });
+  auto eligible = [&](const CandidatePlan& p) {
+    return !report.any_feasible || (p.meets_budget && p.meets_deadline);
+  };
+  auto dominates = [](const CandidatePlan& a, const CandidatePlan& b) {
+    bool no_worse = a.expected_wall_s <= b.expected_wall_s &&
+                    a.expected_cost_usd <= b.expected_cost_usd &&
+                    a.p95_cost_usd <= b.p95_cost_usd;
+    bool better = a.expected_wall_s < b.expected_wall_s ||
+                  a.expected_cost_usd < b.expected_cost_usd ||
+                  a.p95_cost_usd < b.p95_cost_usd;
+    return no_worse && better;
+  };
+  for (std::size_t i = 0; i < report.plans.size(); ++i) {
+    if (!eligible(report.plans[i])) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < report.plans.size() && !dominated; ++j)
+      dominated = j != i && eligible(report.plans[j]) &&
+                  dominates(report.plans[j], report.plans[i]);
+    if (!dominated) {
+      report.plans[i].on_frontier = true;
+      report.frontier.push_back(static_cast<int>(i));
+    }
+  }
+
+  if (options.profile.metrics != nullptr) {
+    auto& mreg = *options.profile.metrics;
+    mreg.gauge("planner/plans_evaluated")
+        .set(static_cast<double>(report.plans.size()));
+    mreg.gauge("planner/frontier_size")
+        .set(static_cast<double>(report.frontier.size()));
+    if (const CandidatePlan* best = report.cheapest_on_frontier()) {
+      mreg.gauge("planner/frontier_min_cost_usd").set(best->expected_cost_usd);
+      mreg.gauge("planner/frontier_min_wall_s").set(best->expected_wall_s);
+    }
+  }
+  return report;
+}
+
+std::string to_json(const PlanReport& r,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        extra_config,
+                    const telemetry::MetricsRegistry* metrics) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("stash.plan/1");
+  w.key("tool").value("stash");
+  w.key("command").value("plan");
+  w.key("config").begin_object();
+  w.key("model").value(r.model_name);
+  w.key("epochs").value(r.epochs);
+  w.key("per_gpu_batch").value(r.per_gpu_batch);
+  w.key("budget_usd").value(r.budget_usd);
+  w.key("deadline_hours").value(r.deadline_hours);
+  w.key("spot_price_factor").value(r.spot.price_factor);
+  w.key("spot_interruptions_per_hour").value(r.spot.interruptions_per_hour);
+  w.key("spot_restart_overhead_s").value(r.spot.restart_overhead_s);
+  w.key("checkpoint_interval_s").value(r.spot.checkpoint_interval_s);
+  w.key("checkpoint_write_s").value(r.spot.checkpoint_write_s);
+  w.key("trials").value(r.trials);
+  w.key("seed").value(static_cast<unsigned long long>(r.seed));
+  w.key("calibrated").value(r.calibrated);
+  for (const auto& [k, v] : extra_config) w.key(k).value(v);
+  w.end_object();
+  w.key("plans").begin_array();
+  for (const CandidatePlan& p : r.plans) {
+    w.begin_object();
+    w.key("label").value(p.label());
+    w.key("instance").value(p.spec.instance);
+    w.key("count").value(p.spec.count);
+    w.key("kind").value(to_string(p.kind));
+    w.key("spot_machines").value(p.spot_machines);
+    w.key("ondemand_machines").value(p.ondemand_machines);
+    w.key("expected_wall_s").value(p.expected_wall_s);
+    w.key("expected_cost_usd").value(p.expected_cost_usd);
+    w.key("p95_wall_s").value(p.p95_wall_s);
+    w.key("p95_cost_usd").value(p.p95_cost_usd);
+    w.key("expected_interruptions").value(p.expected_interruptions);
+    w.key("expected_lost_work_s").value(p.expected_lost_work_s);
+    w.key("recovery_fixed_cost_s").value(p.recovery_fixed_cost_s);
+    w.key("calibration_fault_stall_pct").value(p.calibration_fault_stall_pct);
+    w.key("steady_epoch_s").value(p.steady_epoch_s);
+    w.key("meets_budget").value(p.meets_budget);
+    w.key("meets_deadline").value(p.meets_deadline);
+    w.key("on_frontier").value(p.on_frontier);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("frontier").begin_array();
+  for (int i : r.frontier) w.value(i);
+  w.end_array();
+  w.key("any_feasible").value(r.any_feasible);
+  if (metrics != nullptr) w.key("metrics").raw(metrics->to_json());
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace stash::plan

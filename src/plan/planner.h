@@ -1,0 +1,156 @@
+// Mixed spot/on-demand cluster planning (DeepVM-style tiering on top of the
+// paper's §V recommendations).
+//
+// The paper ranks on-demand clusters only; its related work on transient
+// instances shows the cost-optimal DDL deployment is usually a *mix* of
+// spot and on-demand capacity under revocation risk. This module composes
+// the two halves the repo already has — the Stash epoch-time profiles
+// (stash/profiler) and the Monte-Carlo revocation model (cloud/spot) — into
+// a deployment planner: for every candidate cluster it enumerates pure
+// on-demand, pure spot, and k-of-n spot-with-on-demand-fallback
+// allocations, prices each under the spot interruption process, and returns
+// the Pareto frontier of (expected wall time, expected cost, p95 cost).
+//
+// Pricing model, per allocation of a spec with n machines, k of them spot:
+//   * useful work = cold first epoch + (epochs-1) warm epochs, from the
+//     profiler's T3/T4 steps (cached in the shared SimCache, fanned out on
+//     the execution context's pool);
+//   * revocations arrive as a Poisson process with rate k * lambda — each
+//     spot machine is revoked independently, and any revocation stalls the
+//     whole synchronous job;
+//   * each revocation costs the measured per-revocation fixed cost (one
+//     crash-calibration run through ddl::Trainer's recovery machinery, the
+//     spot_replay approach lifted into the sweep) plus the work since the
+//     last checkpoint, replayed at training speed;
+//   * the bill charges k machines at the spot price factor and n-k at the
+//     on-demand price for the whole wall time.
+// k = 0 plans skip the Monte-Carlo loop and pay no checkpoint overhead:
+// with no revocation risk there is nothing to checkpoint for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/spot.h"
+#include "dnn/dataset.h"
+#include "dnn/model.h"
+#include "stash/profiler.h"
+#include "telemetry/metrics.h"
+
+namespace stash::plan {
+
+enum class AllocKind {
+  kOnDemand,  // every machine on-demand
+  kSpot,      // every machine spot
+  kMixed,     // k spot machines, n-k on-demand fallback (DeepVM tiering)
+};
+
+const char* to_string(AllocKind kind);
+
+struct PlanOptions {
+  int epochs = 90;
+  int per_gpu_batch = 32;
+
+  // Feasibility constraints; 0 = unconstrained.
+  double budget_usd = 0.0;
+  double deadline_hours = 0.0;
+
+  // Spot market parameters shared by every spot-using allocation; the
+  // per-machine interruption rate is scaled by the spot machine count.
+  cloud::SpotConfig spot{};
+  int trials = 25;  // Monte-Carlo draws per spot-using plan
+  std::uint64_t seed = 2026;
+
+  // Measure the per-revocation fixed cost (watchdog detection + reprovision
+  // wait) with one crash-calibration trainer run per candidate instead of
+  // assuming spot.restart_overhead_s. Calibration runs bypass the SimCache
+  // (fault-injected runs always do) but cost only one short warm-step sim.
+  bool calibrate_recovery = true;
+
+  // Candidate cluster configurations; empty = the paper's characterization
+  // set (profiler::default_candidates()).
+  std::vector<profiler::ClusterSpec> candidates;
+  profiler::ProfileOptions profile{};
+
+  // Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+struct CandidatePlan {
+  profiler::ClusterSpec spec;
+  AllocKind kind = AllocKind::kOnDemand;
+  int spot_machines = 0;
+  int ondemand_machines = 0;
+
+  double expected_wall_s = 0.0;
+  double expected_cost_usd = 0.0;
+  // Dispersion across the Monte-Carlo draws; equal to the expectation for
+  // deterministic (pure on-demand) plans.
+  double p95_wall_s = 0.0;
+  double p95_cost_usd = 0.0;
+
+  // Risk annotations.
+  double expected_interruptions = 0.0;
+  double expected_lost_work_s = 0.0;  // recomputed work + checkpoint writes
+  // Measured cost of one revocation when calibrated, else the configured
+  // restart overhead.
+  double recovery_fixed_cost_s = 0.0;
+  // Fault-stall share of the crash-calibration run (fault-conditioned
+  // profiler measurement); 0 for uncalibrated or on-demand plans.
+  double calibration_fault_stall_pct = 0.0;
+
+  double steady_epoch_s = 0.0;  // healthy warm-cache epoch on this spec
+
+  bool meets_budget = true;
+  bool meets_deadline = true;
+  bool on_frontier = false;
+
+  // "p3.8xlarge*2 [spot1+od1]", "p3.2xlarge [spot]", "p3.16xlarge [od]".
+  std::string label() const;
+};
+
+struct PlanReport {
+  std::string model_name;
+  int epochs = 0;
+  int per_gpu_batch = 0;
+  double budget_usd = 0.0;
+  double deadline_hours = 0.0;
+  cloud::SpotConfig spot{};
+  int trials = 0;
+  std::uint64_t seed = 0;
+  bool calibrated = false;
+
+  // Every evaluated allocation, sorted by (expected cost, expected wall,
+  // label) — a deterministic order independent of the jobs count.
+  std::vector<CandidatePlan> plans;
+  // Indices into `plans` of the Pareto frontier over (expected wall,
+  // expected cost, p95 cost), ascending by expected cost. Computed over the
+  // feasible plans when any allocation meets both constraints, over all
+  // plans otherwise (any_feasible says which).
+  std::vector<int> frontier;
+  bool any_feasible = true;
+
+  const CandidatePlan* cheapest_on_frontier() const {
+    return frontier.empty() ? nullptr : &plans[frontier.front()];
+  }
+};
+
+// Profiles every candidate (five-step machinery not required: T3/T4 plus an
+// optional crash calibration), enumerates allocations, and prices them.
+// Candidates whose GPU memory cannot fit the batch are skipped. With an
+// exec context in options.profile, candidate profiling fans out across the
+// pool and memoizes in the SimCache; the report is byte-identical for every
+// jobs value.
+PlanReport plan(const dnn::Model& model, const dnn::Dataset& dataset,
+                const PlanOptions& options);
+
+// stash.plan/1 JSON document. `extra_config` key/values are echoed into the
+// config block after the planner's own (RunManifest-style provenance);
+// `metrics` (may be null) appends a registry snapshot.
+std::string to_json(const PlanReport& r,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        extra_config = {},
+                    const telemetry::MetricsRegistry* metrics = nullptr);
+
+}  // namespace stash::plan

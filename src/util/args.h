@@ -1,21 +1,58 @@
 // Minimal command-line argument parser for the CLI and examples.
 //
 // Supports positionals plus --key=value / --key value options and --flag
-// booleans. No external dependencies; throws std::invalid_argument with a
-// usable message on malformed input.
+// booleans. Boolean flags must be registered by the caller: an unregistered
+// option followed by a non-option token takes that token as its value, so
+// without registration `--progress resnet50` would swallow the positional.
+// No external dependencies; throws std::invalid_argument with a usable
+// message on malformed input.
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <optional>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace stash::util {
 
+// Full-consumption numeric parsing: the entire string must be consumed, so
+// "8x" and "0.2.5" are rejected (nullopt) instead of silently truncated to
+// 8 and 0.2. Shared by Args::get_int/get_double and other CLI-facing
+// parsers (faults::FaultPlan::parse).
+inline std::optional<int> parse_int(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    int v = std::stoi(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+inline std::optional<double> parse_double(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    double v = std::stod(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
 class Args {
  public:
-  Args(int argc, const char* const* argv) {
+  // `flags` registers the boolean options: a registered flag never consumes
+  // the following token, so `--progress resnet50` keeps `resnet50` as a
+  // positional. Unregistered options followed by a non-option token (which
+  // may be a negative number like `-5`) take it as their value.
+  Args(int argc, const char* const* argv,
+       std::initializer_list<const char*> flags = {}) {
+    std::set<std::string> flag_set(flags.begin(), flags.end());
     for (int i = 1; i < argc; ++i) {
       std::string a = argv[i];
       if (a.rfind("--", 0) == 0) {
@@ -24,7 +61,8 @@ class Args {
         auto eq = body.find('=');
         if (eq != std::string::npos) {
           options_[body.substr(0, eq)] = body.substr(eq + 1);
-        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        } else if (!flag_set.contains(body) && i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
           options_[body] = argv[++i];
         } else {
           options_[body] = "";  // bare flag
@@ -51,23 +89,21 @@ class Args {
   int get_int(const std::string& key, int fallback) const {
     auto it = options_.find(key);
     if (it == options_.end()) return fallback;
-    try {
-      return std::stoi(it->second);
-    } catch (const std::exception&) {
+    std::optional<int> v = parse_int(it->second);
+    if (!v)
       throw std::invalid_argument("option --" + key + " expects an integer, got '" +
                                   it->second + "'");
-    }
+    return *v;
   }
 
   double get_double(const std::string& key, double fallback) const {
     auto it = options_.find(key);
     if (it == options_.end()) return fallback;
-    try {
-      return std::stod(it->second);
-    } catch (const std::exception&) {
+    std::optional<double> v = parse_double(it->second);
+    if (!v)
       throw std::invalid_argument("option --" + key + " expects a number, got '" +
                                   it->second + "'");
-    }
+    return *v;
   }
 
  private:

@@ -1,0 +1,242 @@
+#include "plan/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "dnn/zoo.h"
+#include "exec/exec_context.h"
+#include "stash/session.h"
+
+namespace stash::plan {
+namespace {
+
+// The paper's P3 candidate ladder (the acceptance set for the planner).
+std::vector<profiler::ClusterSpec> p3_candidates() {
+  std::vector<profiler::ClusterSpec> specs;
+  for (const char* name :
+       {"p3.2xlarge", "p3.8xlarge", "p3.16xlarge", "p3.24xlarge"})
+    specs.push_back(profiler::ClusterSpec{name});
+  specs.push_back(profiler::ClusterSpec{"p3.8xlarge", 2});
+  return specs;
+}
+
+PlanOptions fast_options(exec::ExecContext* exec) {
+  PlanOptions opt;
+  opt.epochs = 4;
+  opt.trials = 10;
+  opt.candidates = p3_candidates();
+  opt.profile.exec = exec;
+  return opt;
+}
+
+const CandidatePlan& cheapest_of_kind(const PlanReport& r, AllocKind kind) {
+  const CandidatePlan* best = nullptr;
+  for (const CandidatePlan& p : r.plans)
+    if (p.kind == kind &&
+        (best == nullptr || p.expected_cost_usd < best->expected_cost_usd))
+      best = &p;
+  EXPECT_NE(best, nullptr);
+  return *best;
+}
+
+// Acceptance criterion: for resnet50 on the P3 set with default spot
+// parameters, at least one spot-using plan strictly dominates the pure
+// on-demand cost-optimal plan on expected cost at equal or better wall time.
+TEST(Planner, SpotPlanDominatesOnDemandCostOptimal) {
+  exec::ExecContext exec(8);
+  PlanOptions opt = fast_options(&exec);
+  PlanReport r = plan(dnn::make_zoo_model("resnet50"),
+                      dnn::dataset_for("resnet50"), opt);
+  ASSERT_FALSE(r.plans.empty());
+
+  const CandidatePlan& od_best = cheapest_of_kind(r, AllocKind::kOnDemand);
+  bool dominated = false;
+  for (const CandidatePlan& p : r.plans)
+    if (p.spot_machines > 0 &&
+        p.expected_cost_usd < od_best.expected_cost_usd &&
+        p.expected_wall_s <= od_best.expected_wall_s)
+      dominated = true;
+  EXPECT_TRUE(dominated)
+      << "no spot plan beats " << od_best.label() << " ($"
+      << od_best.expected_cost_usd << ", " << od_best.expected_wall_s << " s)";
+  // A dominated on-demand optimum can never sit on the frontier.
+  EXPECT_FALSE(od_best.on_frontier);
+}
+
+TEST(Planner, EnumeratesAllTiersPerCandidate) {
+  exec::ExecContext exec(8);
+  PlanOptions opt = fast_options(&exec);
+  PlanReport r = plan(dnn::make_zoo_model("resnet18"),
+                      dnn::dataset_for("resnet18"), opt);
+
+  // Single-machine specs yield on-demand + spot; the 2-machine spec adds the
+  // DeepVM-style 1-spot/1-on-demand tier: 4*2 + 3 = 11 allocations.
+  EXPECT_EQ(r.plans.size(), 11u);
+  int mixed = 0;
+  for (const CandidatePlan& p : r.plans) {
+    EXPECT_EQ(p.spot_machines + p.ondemand_machines, p.spec.count);
+    if (p.kind == AllocKind::kMixed) {
+      ++mixed;
+      EXPECT_EQ(p.spec.count, 2);
+      EXPECT_EQ(p.spot_machines, 1);
+      EXPECT_EQ(p.ondemand_machines, 1);
+      // The mixed bill sits strictly between all-on-demand and all-spot.
+      const CandidatePlan* od = nullptr;
+      const CandidatePlan* spot = nullptr;
+      for (const CandidatePlan& q : r.plans) {
+        if (q.spec.label() != p.spec.label()) continue;
+        if (q.kind == AllocKind::kOnDemand) od = &q;
+        if (q.kind == AllocKind::kSpot) spot = &q;
+      }
+      ASSERT_NE(od, nullptr);
+      ASSERT_NE(spot, nullptr);
+      EXPECT_LT(p.expected_cost_usd, od->expected_cost_usd);
+      EXPECT_GT(p.expected_cost_usd, spot->expected_cost_usd);
+    }
+  }
+  EXPECT_EQ(mixed, 1);
+}
+
+// The report must be byte-identical for every jobs value (the CLI promise).
+TEST(Planner, JobsInvarianceByteIdenticalJson) {
+  dnn::Model model = dnn::make_zoo_model("resnet18");
+  dnn::Dataset dataset = dnn::dataset_for("resnet18");
+
+  exec::ExecContext serial(1);
+  PlanOptions o1 = fast_options(&serial);
+  std::string j1 = to_json(plan(model, dataset, o1));
+
+  exec::ExecContext wide(8);
+  PlanOptions o8 = fast_options(&wide);
+  std::string j8 = to_json(plan(model, dataset, o8));
+
+  EXPECT_EQ(j1, j8);
+}
+
+TEST(Planner, FrontierIsNondominatedAndSorted) {
+  exec::ExecContext exec(8);
+  PlanOptions opt = fast_options(&exec);
+  PlanReport r = plan(dnn::make_zoo_model("resnet18"),
+                      dnn::dataset_for("resnet18"), opt);
+  ASSERT_FALSE(r.frontier.empty());
+
+  // Plans are sorted by expected cost; frontier indices are ascending and
+  // agree with the on_frontier flags.
+  for (std::size_t i = 1; i < r.plans.size(); ++i)
+    EXPECT_LE(r.plans[i - 1].expected_cost_usd, r.plans[i].expected_cost_usd);
+  std::vector<int> flagged;
+  for (std::size_t i = 0; i < r.plans.size(); ++i)
+    if (r.plans[i].on_frontier) flagged.push_back(static_cast<int>(i));
+  EXPECT_EQ(flagged, r.frontier);
+
+  // No frontier member is dominated by any plan.
+  for (int fi : r.frontier) {
+    const CandidatePlan& f = r.plans[fi];
+    for (const CandidatePlan& q : r.plans) {
+      bool dominates = q.expected_wall_s <= f.expected_wall_s &&
+                       q.expected_cost_usd <= f.expected_cost_usd &&
+                       q.p95_cost_usd <= f.p95_cost_usd &&
+                       (q.expected_wall_s < f.expected_wall_s ||
+                        q.expected_cost_usd < f.expected_cost_usd ||
+                        q.p95_cost_usd < f.p95_cost_usd);
+      EXPECT_FALSE(dominates) << q.label() << " dominates frontier member "
+                              << f.label();
+    }
+  }
+}
+
+// The on-demand allocation must price exactly what estimate_training says
+// the run takes: same steps, same cache, no spot machinery in the way.
+TEST(Planner, OnDemandPlanMatchesTrainingEstimate) {
+  dnn::Model model = dnn::make_zoo_model("resnet18");
+  dnn::Dataset dataset = dnn::dataset_for("resnet18");
+  exec::ExecContext exec(8);
+
+  PlanOptions opt = fast_options(&exec);
+  opt.candidates = {profiler::ClusterSpec{"p3.8xlarge"}};
+  PlanReport r = plan(model, dataset, opt);
+
+  profiler::ProfileOptions popt;
+  popt.exec = &exec;
+  profiler::StashProfiler prof(model, dataset, popt);
+  auto est = profiler::estimate_training(prof, profiler::ClusterSpec{"p3.8xlarge"},
+                                         opt.per_gpu_batch, opt.epochs);
+
+  const CandidatePlan& od = cheapest_of_kind(r, AllocKind::kOnDemand);
+  EXPECT_DOUBLE_EQ(od.expected_wall_s, est.total_seconds);
+  EXPECT_DOUBLE_EQ(od.expected_cost_usd, est.total_cost_usd);
+  EXPECT_DOUBLE_EQ(od.p95_cost_usd, od.expected_cost_usd);
+  EXPECT_DOUBLE_EQ(od.expected_interruptions, 0.0);
+}
+
+TEST(Planner, BudgetAndDeadlineFeasibility) {
+  dnn::Model model = dnn::make_zoo_model("resnet18");
+  dnn::Dataset dataset = dnn::dataset_for("resnet18");
+  exec::ExecContext exec(8);
+
+  // Impossible budget: nothing feasible, but the frontier still answers.
+  PlanOptions opt = fast_options(&exec);
+  opt.candidates = {profiler::ClusterSpec{"p3.8xlarge"}};
+  opt.budget_usd = 0.0001;
+  PlanReport r = plan(model, dataset, opt);
+  EXPECT_FALSE(r.any_feasible);
+  EXPECT_FALSE(r.frontier.empty());
+  for (const CandidatePlan& p : r.plans) EXPECT_FALSE(p.meets_budget);
+
+  // Unconstrained (the default): everything is feasible.
+  opt.budget_usd = 0.0;
+  PlanReport r2 = plan(model, dataset, opt);
+  EXPECT_TRUE(r2.any_feasible);
+  for (const CandidatePlan& p : r2.plans) {
+    EXPECT_TRUE(p.meets_budget);
+    EXPECT_TRUE(p.meets_deadline);
+  }
+}
+
+TEST(Planner, CalibrationMeasuresRecoveryCost) {
+  dnn::Model model = dnn::make_zoo_model("resnet18");
+  dnn::Dataset dataset = dnn::dataset_for("resnet18");
+  exec::ExecContext exec(8);
+
+  PlanOptions opt = fast_options(&exec);
+  opt.candidates = {profiler::ClusterSpec{"p3.8xlarge"}};
+  PlanReport calibrated = plan(model, dataset, opt);
+  opt.calibrate_recovery = false;
+  PlanReport assumed = plan(model, dataset, opt);
+
+  const CandidatePlan& c = cheapest_of_kind(calibrated, AllocKind::kSpot);
+  const CandidatePlan& a = cheapest_of_kind(assumed, AllocKind::kSpot);
+  // The calibrated cost is a measurement (reprovision wait plus detection
+  // gap, minus the partial iteration already under way), not the assumed
+  // constant: positive and in the reprovision wait's neighbourhood.
+  EXPECT_GT(c.recovery_fixed_cost_s, 0.5 * opt.spot.restart_overhead_s);
+  EXPECT_LT(c.recovery_fixed_cost_s, 3.0 * opt.spot.restart_overhead_s);
+  EXPECT_DOUBLE_EQ(a.recovery_fixed_cost_s, opt.spot.restart_overhead_s);
+  EXPECT_GT(c.calibration_fault_stall_pct, 0.0);
+  EXPECT_DOUBLE_EQ(a.calibration_fault_stall_pct, 0.0);
+}
+
+TEST(Planner, ValidatesOptions) {
+  PlanOptions opt;
+  opt.epochs = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = PlanOptions{};
+  opt.trials = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = PlanOptions{};
+  opt.budget_usd = -1.0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = PlanOptions{};
+  opt.deadline_hours = -2.0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = PlanOptions{};
+  opt.spot.price_factor = 1.5;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = PlanOptions{};
+  EXPECT_NO_THROW(opt.validate());
+}
+
+}  // namespace
+}  // namespace stash::plan

@@ -5,10 +5,11 @@
 namespace stash::util {
 namespace {
 
-Args make(std::initializer_list<const char*> argv) {
+Args make(std::initializer_list<const char*> argv,
+          std::initializer_list<const char*> flags = {}) {
   std::vector<const char*> v{"prog"};
   v.insert(v.end(), argv.begin(), argv.end());
-  return Args(static_cast<int>(v.size()), v.data());
+  return Args(static_cast<int>(v.size()), v.data(), flags);
 }
 
 TEST(Args, Positionals) {
@@ -65,6 +66,65 @@ TEST(Args, NumericParsing) {
 TEST(Args, EmptyDashDashThrows) {
   std::vector<const char*> v{"prog", "--"};
   EXPECT_THROW(Args(static_cast<int>(v.size()), v.data()), std::invalid_argument);
+}
+
+// Regression: `stash_cli profile --progress resnet50` silently swallowed the
+// resnet50 positional because the unregistered bare flag consumed the next
+// token. A registered flag must never take a separate-token value.
+TEST(Args, RegisteredFlagDoesNotSwallowPositional) {
+  Args a = make({"profile", "--progress", "resnet50"}, {"progress"});
+  EXPECT_TRUE(a.has("progress"));
+  EXPECT_EQ(a.get("progress"), "");
+  ASSERT_EQ(a.num_positional(), 2u);
+  EXPECT_EQ(a.positional(0), "profile");
+  EXPECT_EQ(a.positional(1), "resnet50");
+}
+
+TEST(Args, RegisteredFlagBetweenValueOptions) {
+  Args a = make({"plan", "--csv", "--batch", "16", "--json", "model"},
+                {"csv", "json"});
+  EXPECT_TRUE(a.has("csv"));
+  EXPECT_TRUE(a.has("json"));
+  EXPECT_EQ(a.get_int("batch", 0), 16);
+  EXPECT_EQ(a.positional(1), "model");
+}
+
+// Regression: std::stoi/stod accepted trailing junk, so `--jobs 8x` parsed
+// as 8 and `--spot-rate 0.2.5` as 0.2. Partial parses must fail loudly.
+TEST(Args, TrailingJunkIntThrows) {
+  Args a = make({"--jobs", "8x"});
+  EXPECT_THROW(a.get_int("jobs", 1), std::invalid_argument);
+  Args b = make({"--jobs=12 "});
+  EXPECT_THROW(b.get_int("jobs", 1), std::invalid_argument);
+}
+
+TEST(Args, TrailingJunkDoubleThrows) {
+  Args a = make({"--spot-rate", "0.2.5"});
+  EXPECT_THROW(a.get_double("spot-rate", 0.0), std::invalid_argument);
+  Args b = make({"--ratio=1.5e"});
+  EXPECT_THROW(b.get_double("ratio", 0.0), std::invalid_argument);
+}
+
+// Negative numbers are values, not options: `--offset -5` must parse.
+TEST(Args, NegativeNumberOptionValue) {
+  Args a = make({"--offset", "-5", "--scale", "-2.5"});
+  EXPECT_EQ(a.get_int("offset", 0), -5);
+  EXPECT_DOUBLE_EQ(a.get_double("scale", 0.0), -2.5);
+  Args b = make({"--offset=-5"});
+  EXPECT_EQ(b.get_int("offset", 0), -5);
+}
+
+TEST(ParseNumbers, FullConsumption) {
+  EXPECT_EQ(parse_int("8"), 8);
+  EXPECT_EQ(parse_int("-5"), -5);
+  EXPECT_FALSE(parse_int("8x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("x8").has_value());
+  EXPECT_DOUBLE_EQ(*parse_double("0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(*parse_double("1e3"), 1000.0);
+  EXPECT_FALSE(parse_double("0.2.5").has_value());
+  EXPECT_FALSE(parse_double("1.5e").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
 }
 
 }  // namespace
