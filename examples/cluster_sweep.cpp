@@ -5,6 +5,7 @@
 // scale-out ladder is actually worth buying (stash::plan frontier).
 //
 //   $ cluster_sweep [model] [instance] [max_machines] [epochs]
+#include <algorithm>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -16,7 +17,9 @@
 #include "ddl/trainer.h"
 #include "dnn/zoo.h"
 #include "exec/exec_context.h"
+#include "faults/fault_plan.h"
 #include "plan/planner.h"
+#include "policy/autopilot.h"
 #include "util/args.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -157,5 +160,67 @@ int main(int argc, char** argv) {
               << util::format_double(best->expected_cost_usd, 2)
               << " expected; pure on-demand pays the certainty premium, "
                  "spot tiers trade p95 cost risk for the discount.\n";
+
+  // The frontier plan is only optimal until the first revocation. Replay
+  // four canonical revocation scenarios under each autopilot policy and
+  // compare achieved cost against the no-replan baseline (pure hold) and
+  // the trace-aware oracle.
+  int ap_machines = std::min(2, max_machines);
+  int ap_epochs = std::min(epochs, 4);
+  std::cout << "\nAutopilot policy comparison (" << ap_machines << " x "
+            << instance << " all-spot start, " << ap_epochs
+            << " epochs, 2 trials each):\n";
+  struct Scenario {
+    const char* name;
+    double rate;         // spot interruptions per machine-hour
+    const char* faults;  // scripted events layered on the Poisson process
+    int min_machines;    // fleet-below-k threshold
+  };
+  const Scenario scenarios[] = {
+      // Calm market: revocations are rare, re-planning should stay cheap.
+      {"calm", 0.2, "", 1},
+      // Storm: holding for replacements bleeds money; leave the market.
+      {"storm", 3.0, "", 1},
+      // Fleet-below-k: the one scripted crash would shrink below
+      // min_machines, exercising the graceful-degradation floor.
+      {"below-k", 0.0, "crash@1200:m1:r600", 2},
+      // Second revocation lands while the first is still recovering,
+      // exercising bounded retry + exponential backoff.
+      {"double-hit", 0.0, "crash@1200:m1:r900;crash@1300:m0:r900", 1},
+  };
+  const policy::PolicyKind kinds[] = {
+      policy::PolicyKind::kHold, policy::PolicyKind::kShrink,
+      policy::PolicyKind::kFallback, policy::PolicyKind::kMigrate,
+      policy::PolicyKind::kAdaptive};
+  util::Table a({"scenario", "policy", "E[wall] (h)", "E[cost] ($)",
+                 "baseline ($)", "oracle ($)", "regret ($)", "floored"});
+  for (const auto& sc : scenarios) {
+    for (auto kind : kinds) {
+      policy::AutopilotOptions aopt;
+      aopt.policy = kind;
+      aopt.epochs = ap_epochs;
+      aopt.per_gpu_batch = batch;
+      aopt.trials = 2;
+      aopt.plan_trials = 8;
+      aopt.spot.interruptions_per_hour = sc.rate;
+      aopt.min_machines = sc.min_machines;
+      aopt.initial_spec = profiler::ClusterSpec{instance, ap_machines};
+      aopt.initial_spot_machines = ap_machines;
+      if (*sc.faults) aopt.scripted_faults = faults::FaultPlan::parse(sc.faults);
+      aopt.profile.exec = &exec_ctx;
+      policy::AutopilotReport rep = policy::run_autopilot(model, data, aopt);
+      a.row().cell(sc.name).cell(policy::to_string(kind))
+          .cell(util::to_hours(rep.mean_achieved_wall_s), 2)
+          .cell(rep.mean_achieved_cost_usd, 2)
+          .cell(rep.mean_baseline_cost_usd, 2)
+          .cell(rep.mean_oracle_cost_usd, 2)
+          .cell(rep.mean_regret, 2)
+          .cell(rep.trials_degraded_to_floor);
+    }
+  }
+  a.print(std::cout);
+  std::cout << "Every scenario terminates — bounded retries and the "
+               "on-demand floor guarantee progress; adaptive tracks the "
+               "oracle where fixed policies overpay.\n";
   return 0;
 }

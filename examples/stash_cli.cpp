@@ -30,6 +30,7 @@
 #include "obs/critical_path.h"
 #include "obs/progress.h"
 #include "plan/planner.h"
+#include "policy/autopilot.h"
 #include "stash/attribute.h"
 #include "stash/recommend.h"
 #include "stash/session.h"
@@ -85,9 +86,21 @@ int usage() {
       "                                   one-line stall decomposition\n"
       "  plan <model> [--epochs E] [--batch B] [--budget USD] [--deadline H]\n"
       "       [--spot-rate R] [--spot-price F] [--trials N] [--seed S]\n"
-      "       [--instance T [--count N]] [--no-calibrate] [--jobs N] [--csv]\n"
+      "       [--instance T [--count N]] [--no-calibrate]\n"
+      "       [--watchdog-timeout S] [--jobs N] [--csv]\n"
       "                                   Pareto frontier of mixed\n"
       "                                   spot/on-demand deployments\n"
+      "  autopilot <model> [--policy hold|shrink|fallback|migrate|adaptive]\n"
+      "            [--epochs E] [--batch B] [--budget USD] [--deadline H]\n"
+      "            [--spot-rate R] [--spot-price F] [--trials N]\n"
+      "            [--plan-trials N] [--seed S] [--instance T [--count N]\n"
+      "            [--spot-machines K]] [--faults=SPEC] [--floor N]\n"
+      "            [--min-machines N] [--max-retries N]\n"
+      "            [--watchdog-timeout S] [--blame-threshold F]\n"
+      "            [--jobs N] [--csv]\n"
+      "                                   simulate mid-training re-planning\n"
+      "                                   under spot revocations: achieved vs\n"
+      "                                   planned/baseline/oracle + regret\n"
       "\n"
       "--jobs N runs up to N simulations concurrently (default 1 = serial);\n"
       "output is byte-identical for every N.\n"
@@ -582,6 +595,7 @@ int cmd_plan(const util::Args& args) {
   opt.spot.price_factor = args.get_double("spot-price", opt.spot.price_factor);
   opt.trials = args.get_int("trials", opt.trials);
   opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  opt.watchdog_timeout_s = args.get_double("watchdog-timeout", 0.0);
   if (args.has("no-calibrate")) opt.calibrate_recovery = false;
   opt.profile.exec = &exec;
   if (sinks.want_metrics()) opt.profile.metrics = &sinks.metrics;
@@ -640,6 +654,101 @@ int cmd_plan(const util::Args& args) {
                 << " expected ($" << util::format_double(best->p95_cost_usd, 2)
                 << " p95), " << util::format_double(util::to_hours(best->expected_wall_s), 2)
                 << " h expected wall\n";
+  }
+  return sinks.flush_files();
+}
+
+// Elastic autopilot: simulate the whole run under sampled revocation traces
+// and re-plan on every trigger; report achieved vs planned, the no-replan
+// baseline, the trace-aware oracle, and per-decision regret.
+int cmd_autopilot(const util::Args& args) {
+  std::string model_name = args.positional(1);
+  if (model_name.empty()) return usage();
+
+  TelemetrySinks sinks(args);
+  if (int rc = sinks.check(); rc != 0) return rc;
+  exec::ExecContext exec(args.get_int("jobs", 1));
+
+  policy::AutopilotOptions opt;
+  try {
+    opt.policy = policy::parse_policy(args.get("policy", "adaptive"));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  opt.epochs = args.get_int("epochs", opt.epochs);
+  opt.per_gpu_batch = args.get_int("batch", 32);
+  opt.budget_usd = args.get_double("budget", 0.0);
+  opt.deadline_hours = args.get_double("deadline", 0.0);
+  opt.spot.interruptions_per_hour =
+      args.get_double("spot-rate", opt.spot.interruptions_per_hour);
+  opt.spot.price_factor = args.get_double("spot-price", opt.spot.price_factor);
+  opt.trials = args.get_int("trials", opt.trials);
+  opt.plan_trials = args.get_int("plan-trials", opt.plan_trials);
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  opt.floor_machines = args.get_int("floor", opt.floor_machines);
+  opt.min_machines = args.get_int("min-machines", opt.min_machines);
+  opt.max_retries = args.get_int("max-retries", opt.max_retries);
+  opt.watchdog_timeout_s = args.get_double("watchdog-timeout", 0.0);
+  opt.nw_blame_threshold =
+      args.get_double("blame-threshold", opt.nw_blame_threshold);
+  if (args.has("faults"))
+    opt.scripted_faults = faults::FaultPlan::parse(args.get("faults"));
+  if (args.has("instance")) {
+    opt.initial_spec.instance = args.get("instance");
+    opt.initial_spec.count = args.get_int("count", 1);
+    opt.initial_spot_machines = args.get_int("spot-machines", -1);
+  }
+  opt.profile.exec = &exec;
+
+  dnn::Model model = dnn::make_zoo_model(model_name);
+  dnn::Dataset dataset = dnn::dataset_for(model_name);
+  policy::AutopilotReport report = policy::run_autopilot(model, dataset, opt);
+  policy::record_telemetry(report,
+                           sinks.want_metrics() ? &sinks.metrics : nullptr,
+                           sinks.want_trace() ? &sinks.trace : nullptr);
+
+  if (sinks.json) {
+    std::cout << policy::to_json(report, {},
+                                 sinks.want_metrics() ? &sinks.metrics : nullptr)
+              << "\n";
+    return sinks.flush_files();
+  }
+
+  util::Table t({"trial", "revocs", "decisions", "achieved (h)", "achieved ($)",
+                 "baseline (h)", "baseline ($)", "oracle ($)", "regret ($)",
+                 "floor", "final fleet"});
+  int i = 0;
+  for (const auto& tr : report.trials)
+    t.row().cell(i++).cell(tr.revocations)
+        .cell(static_cast<int>(tr.decisions.size()))
+        .cell(util::to_hours(tr.achieved_wall_s), 2).cell(tr.achieved_cost_usd, 2)
+        .cell(util::to_hours(tr.baseline_wall_s), 2).cell(tr.baseline_cost_usd, 2)
+        .cell(tr.oracle_cost_usd, 2).cell(tr.total_regret, 2)
+        .cell(tr.degraded_to_floor ? "yes" : "no").cell(tr.final_fleet);
+  emit(t, args.has("csv"));
+  if (!args.has("csv")) {
+    std::cout << "initial fleet " << report.initial_fleet.label()
+              << "; planned "
+              << util::format_double(util::to_hours(report.planned_wall_s), 2)
+              << " h / $" << util::format_double(report.planned_cost_usd, 2)
+              << "\nmean achieved "
+              << util::format_double(util::to_hours(report.mean_achieved_wall_s), 2)
+              << " h / $"
+              << util::format_double(report.mean_achieved_cost_usd, 2)
+              << " (baseline $"
+              << util::format_double(report.mean_baseline_cost_usd, 2)
+              << ", oracle $"
+              << util::format_double(report.mean_oracle_cost_usd, 2)
+              << ", mean regret $"
+              << util::format_double(report.mean_regret, 2) << ")\n"
+              << "beats the no-replan baseline on wall in "
+              << report.trials_beating_baseline_wall << "/"
+              << report.trials.size() << " trials, on cost in "
+              << report.trials_beating_baseline_cost << "/"
+              << report.trials.size() << "; "
+              << report.trials_degraded_to_floor
+              << " degraded to the on-demand floor\n";
   }
   return sinks.flush_files();
 }
@@ -717,6 +826,7 @@ int main(int argc, char** argv) {
     if (cmd == "estimate") return cmd_estimate(args);
     if (cmd == "stalls") return cmd_stalls(args);
     if (cmd == "plan") return cmd_plan(args);
+    if (cmd == "autopilot") return cmd_autopilot(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -6,6 +6,8 @@
 
 #include <cmath>
 
+#include "util/log.h"
+
 namespace stash::cloud {
 
 void SpotConfig::validate() const {
@@ -32,6 +34,14 @@ SpotOutcome simulate_spot_run(double work_seconds, const InstanceType& type,
   SpotOutcome out;
   double remaining = work_seconds;
   double since_checkpoint = 0.0;
+  // Fleet-below-k guard: at extreme interruption rates the expected
+  // progress per revocation cycle goes negative (every interval's work is
+  // lost before a checkpoint commits), so `remaining` grows without bound.
+  // After this many consecutive revocations with no net progress the run
+  // degrades to the on-demand floor instead of spinning forever.
+  constexpr int kMaxBarrenInterruptions = 8;
+  int barren = 0;
+  double remaining_at_last_revocation = std::numeric_limits<double>::infinity();
 
   while (remaining > 0.0) {
     // Time to the next interruption (infinite when the rate is zero).
@@ -58,6 +68,18 @@ SpotOutcome simulate_spot_run(double work_seconds, const InstanceType& type,
       remaining += since_checkpoint;
       since_checkpoint = 0.0;
       out.wall_seconds += config.restart_overhead_s;
+      barren = remaining >= remaining_at_last_revocation ? barren + 1 : 0;
+      remaining_at_last_revocation = remaining;
+      if (barren >= kMaxBarrenInterruptions) {
+        util::log_warn("simulate_spot_run: ", barren,
+                       " consecutive revocations without net progress; "
+                       "degrading to the on-demand floor for the remaining ",
+                       remaining, " s of work");
+        out.degraded_to_floor = true;
+        out.floor_wall_seconds = remaining;
+        out.wall_seconds += remaining;
+        remaining = 0.0;
+      }
     } else if (since_checkpoint >= config.checkpoint_interval_s) {
       out.wall_seconds += config.checkpoint_write_s;
       out.lost_work_seconds += config.checkpoint_write_s;
@@ -65,7 +87,11 @@ SpotOutcome simulate_spot_run(double work_seconds, const InstanceType& type,
     }
   }
 
-  out.cost_usd = cost_usd(type, out.wall_seconds, count) * config.price_factor;
+  // The degraded tail (if any) is billed at the on-demand price; the spot
+  // portion keeps the discount.
+  const double spot_wall = out.wall_seconds - out.floor_wall_seconds;
+  out.cost_usd = cost_usd(type, spot_wall, count) * config.price_factor +
+                 cost_usd(type, out.floor_wall_seconds, count);
   return out;
 }
 
@@ -82,10 +108,13 @@ SpotOutcome mean_spot_outcome(double work_seconds, const InstanceType& type,
     mean.cost_usd += o.cost_usd;
     mean.interruptions += o.interruptions;
     mean.lost_work_seconds += o.lost_work_seconds;
+    mean.floor_wall_seconds += o.floor_wall_seconds;
+    if (o.degraded_to_floor) mean.degraded_to_floor = true;
   }
   mean.wall_seconds /= trials;
   mean.cost_usd /= trials;
   mean.lost_work_seconds /= trials;
+  mean.floor_wall_seconds /= trials;
   mean.interruptions = static_cast<int>(mean.interruptions / trials);
   return mean;
 }

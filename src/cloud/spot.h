@@ -39,6 +39,13 @@ struct SpotOutcome {
   double cost_usd = 0.0;      // billed at the spot price
   int interruptions = 0;
   double lost_work_seconds = 0.0;  // recomputed work + checkpoint writes
+  // Set when the revocation process outpaced checkpoint progress (several
+  // consecutive interruptions with no net work retained): instead of
+  // looping forever the run degrades to an on-demand floor — interruptions
+  // stop and the remaining work runs (and is billed) at the on-demand
+  // price. floor_wall_seconds is that tail; it is included in wall_seconds.
+  bool degraded_to_floor = false;
+  double floor_wall_seconds = 0.0;
 };
 
 // One sampled run that needs `work_seconds` of useful compute on `count`

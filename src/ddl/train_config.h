@@ -2,6 +2,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <optional>
 #include <stdexcept>
@@ -94,19 +95,27 @@ struct FaultToleranceConfig {
   // from the last completed checkpoint.
   double checkpoint_interval_s = 900.0;
   double checkpoint_write_s = 20.0;
+  // Smallest ring a kShrink recovery is allowed to leave behind. When a
+  // crash would drop the surviving worker set below this floor (including
+  // to zero — the fleet-below-k edge), the episode degrades to
+  // checkpoint-restart with a warning instead of building an undefined
+  // ring or aborting the run.
+  int min_shrink_workers = 1;
 
   bool enabled() const { return faults != nullptr; }
 
   void validate() const {
     if (!enabled()) return;
-    if (!(barrier_timeout_s > 0.0))
+    if (!(barrier_timeout_s > 0.0) || !std::isfinite(barrier_timeout_s))
       throw std::invalid_argument(
-          "fault tolerance requires barrier_timeout_s > 0 (a crashed worker "
-          "is only detectable through the barrier watchdog)");
+          "fault tolerance requires a finite barrier_timeout_s > 0 (a "
+          "crashed worker is only detectable through the barrier watchdog)");
     if (!(checkpoint_interval_s > 0.0))
       throw std::invalid_argument("checkpoint_interval_s must be positive");
     if (checkpoint_write_s < 0.0)
       throw std::invalid_argument("checkpoint_write_s must be >= 0");
+    if (min_shrink_workers < 1)
+      throw std::invalid_argument("min_shrink_workers must be >= 1");
   }
 };
 

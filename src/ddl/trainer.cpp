@@ -736,11 +736,28 @@ sim::Task<void> orchestrate(RunState& st) {
       for (const auto& g : participants)
         if (std::find(dead.begin(), dead.end(), g.machine) == dead.end())
           survivors.push_back(g);
-      if (survivors.empty())
-        throw std::runtime_error("Trainer: every worker was lost to faults");
-      participants = std::move(survivors);
-      next_start = at.completed_through;
-      rec.workers_after = static_cast<int>(participants.size());
+      if (static_cast<int>(survivors.size()) < ft.min_shrink_workers) {
+        // Fleet fell below the shrink floor (possibly to zero survivors):
+        // the smaller ring would be undefined, so this episode degrades to
+        // checkpoint-restart — wait out every reprovision and replay from
+        // the last durable checkpoint with the full participant set.
+        util::log_warn("trainer: shrink would leave ", survivors.size(),
+                       " worker(s), below the floor of ", ft.min_shrink_workers,
+                       "; degrading this recovery to checkpoint-restart");
+        rec.policy = RecoveryPolicy::kCheckpointRestart;
+        double resume = detect;
+        for (int m : dead) resume = std::max(resume, fs.repair_time(m, detect));
+        if (resume > st.sim.now()) co_await st.sim.delay(resume - st.sim.now());
+        next_start = st.last_ckpt_iter;
+        rec.rework_iterations = at.completed_through - st.last_ckpt_iter;
+        rec.workers_after = rec.workers_before;
+        if (st.metrics != nullptr)
+          st.metrics->counter("faults/shrink_floor_degradations").increment();
+      } else {
+        participants = std::move(survivors);
+        next_start = at.completed_through;
+        rec.workers_after = static_cast<int>(participants.size());
+      }
     }
 
     rec.wait_seconds = st.sim.now() - at.last_commit_time;
@@ -754,15 +771,15 @@ sim::Task<void> orchestrate(RunState& st) {
       st.causal->add_fault_window(
           at.last_commit_time, st.sim.now(),
           dead.empty() ? "transient-retry"
-          : ft.policy == RecoveryPolicy::kCheckpointRestart ? "restart"
-                                                            : "shrink");
+          : rec.policy == RecoveryPolicy::kCheckpointRestart ? "restart"
+                                                             : "shrink");
 
     // Telemetry: one instant at the detection, one span covering the whole
     // recovery episode (detection gap + reprovision wait), and episode
     // counters.
     if (st.config.trace != nullptr) {
       const char* label = dead.empty() ? "recovery:transient-retry"
-                          : ft.policy == RecoveryPolicy::kCheckpointRestart
+                          : rec.policy == RecoveryPolicy::kCheckpointRestart
                               ? "recovery:restart"
                               : "recovery:shrink";
       st.config.trace->add_instant("fault detected", "fault", detect,

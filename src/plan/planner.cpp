@@ -7,6 +7,7 @@
 
 #include "exec/thread_pool.h"
 #include "stash/recommend.h"
+#include "stash/session.h"
 #include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -35,6 +36,10 @@ void PlanOptions::validate() const {
     throw std::invalid_argument(
         "PlanOptions: deadline_hours must be finite and >= 0");
   if (trials < 1) throw std::invalid_argument("PlanOptions: trials must be >= 1");
+  if (watchdog_timeout_s < 0.0 || !std::isfinite(watchdog_timeout_s))
+    throw std::invalid_argument(
+        "PlanOptions: watchdog_timeout_s must be finite and >= 0 "
+        "(0 = automatic)");
   spot.validate();
   profile.validate();
 }
@@ -69,13 +74,13 @@ struct Measurement {
 Measurement measure(const profiler::StashProfiler& prof,
                     const profiler::ClusterSpec& spec, const PlanOptions& opt) {
   Measurement m;
-  ddl::TrainResult cold =
-      prof.run_step(spec, profiler::Step::kRealCold, opt.per_gpu_batch);
-  ddl::TrainResult warm =
-      prof.run_step(spec, profiler::Step::kRealWarm, opt.per_gpu_batch);
-  double samples = prof.dataset().num_samples;
-  m.first_epoch_s = cold.epoch_time(samples, opt.per_gpu_batch);
-  m.steady_epoch_s = warm.epoch_time(samples, opt.per_gpu_batch);
+  // The healthy cold/warm measurements are the estimate_training pair —
+  // shared with the session/autopilot path so all planners price the same
+  // epoch profile (and hit the same SimCache entries).
+  profiler::TrainingEstimate est =
+      profiler::estimate_training(prof, spec, opt.per_gpu_batch, /*epochs=*/2);
+  m.first_epoch_s = est.first_epoch_seconds;
+  m.steady_epoch_s = est.steady_epoch_seconds;
 
   if (!opt.calibrate_recovery) {
     m.recovery_fixed_cost_s = opt.spot.restart_overhead_s;
@@ -86,10 +91,12 @@ Measurement measure(const profiler::StashProfiler& prof,
   // spot_replay calibration, per candidate: the recovery record's wait is
   // the measured fixed cost of a revocation (partial iteration thrown away,
   // watchdog detection gap, reprovision wait).
-  const double iter_s = std::max(warm.per_iteration, 1e-9);
+  const double iter_s = std::max(est.steady_iteration_seconds, 1e-9);
   profiler::FaultProfileOptions fopt;
   fopt.policy = ddl::RecoveryPolicy::kCheckpointRestart;
-  fopt.barrier_timeout_s = std::max(2.0 * iter_s, 1e-6);
+  fopt.barrier_timeout_s = opt.watchdog_timeout_s > 0.0
+                               ? opt.watchdog_timeout_s
+                               : std::max(2.0 * iter_s, 1e-6);
   fopt.checkpoint_interval_s = opt.spot.checkpoint_interval_s;
   fopt.checkpoint_write_s = opt.spot.checkpoint_write_s;
 
@@ -129,6 +136,7 @@ PlanReport plan(const dnn::Model& model, const dnn::Dataset& dataset,
   report.trials = options.trials;
   report.seed = options.seed;
   report.calibrated = options.calibrate_recovery;
+  report.watchdog_timeout_s = options.watchdog_timeout_s;
 
   std::vector<profiler::ClusterSpec> candidates =
       options.candidates.empty() ? profiler::default_candidates()
@@ -309,6 +317,7 @@ std::string to_json(const PlanReport& r,
   w.key("trials").value(r.trials);
   w.key("seed").value(static_cast<unsigned long long>(r.seed));
   w.key("calibrated").value(r.calibrated);
+  w.key("watchdog_timeout_s").value(r.watchdog_timeout_s);
   for (const auto& [k, v] : extra_config) w.key(k).value(v);
   w.end_object();
   w.key("plans").begin_array();

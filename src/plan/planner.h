@@ -68,6 +68,12 @@ struct PlanOptions {
   // (fault-injected runs always do) but cost only one short warm-step sim.
   bool calibrate_recovery = true;
 
+  // Barrier-watchdog window for the crash-calibration runs; 0 selects the
+  // automatic default (twice the measured iteration time). Negative, NaN,
+  // or infinite values are rejected — long-recovery stress scenarios set
+  // this explicitly so the watchdog does not false-trigger.
+  double watchdog_timeout_s = 0.0;
+
   // Candidate cluster configurations; empty = the paper's characterization
   // set (profiler::default_candidates()).
   std::vector<profiler::ClusterSpec> candidates;
@@ -120,6 +126,7 @@ struct PlanReport {
   int trials = 0;
   std::uint64_t seed = 0;
   bool calibrated = false;
+  double watchdog_timeout_s = 0.0;  // 0 = automatic (2x iteration time)
 
   // Every evaluated allocation, sorted by (expected cost, expected wall,
   // label) — a deterministic order independent of the jobs count.

@@ -1,0 +1,1148 @@
+#include "policy/autopilot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "cloud/instance.h"
+#include "exec/thread_pool.h"
+#include "plan/planner.h"
+#include "stash/attribute.h"
+#include "stash/session.h"
+#include "util/json.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace stash::policy {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kHold:
+      return "hold";
+    case PolicyKind::kShrink:
+      return "shrink";
+    case PolicyKind::kFallback:
+      return "fallback";
+    case PolicyKind::kMigrate:
+      return "migrate";
+    case PolicyKind::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+PolicyKind parse_policy(const std::string& name) {
+  if (name == "hold") return PolicyKind::kHold;
+  if (name == "shrink") return PolicyKind::kShrink;
+  if (name == "fallback") return PolicyKind::kFallback;
+  if (name == "migrate") return PolicyKind::kMigrate;
+  if (name == "adaptive") return PolicyKind::kAdaptive;
+  throw std::invalid_argument("unknown autopilot policy '" + name +
+                              "' (expected hold|shrink|fallback|migrate|adaptive)");
+}
+
+const char* to_string(Action a) {
+  switch (a) {
+    case Action::kHold:
+      return "hold";
+    case Action::kShrink:
+      return "shrink";
+    case Action::kFallback:
+      return "fallback";
+    case Action::kMigrate:
+      return "migrate";
+    case Action::kFloor:
+      return "floor";
+  }
+  return "?";
+}
+
+const char* to_string(Trigger t) {
+  switch (t) {
+    case Trigger::kRevocation:
+      return "revocation";
+    case Trigger::kStraggler:
+      return "straggler";
+    case Trigger::kBlameShift:
+      return "blame-shift";
+  }
+  return "?";
+}
+
+std::string FleetShape::label() const {
+  std::string alloc;
+  if (spot_machines <= 0)
+    alloc = "od";
+  else if (spot_machines >= spec.count)
+    alloc = "spot";
+  else
+    alloc = "spot" + std::to_string(spot_machines) + "+od" +
+            std::to_string(ondemand_machines());
+  return spec.label() + " [" + alloc + "]";
+}
+
+void AutopilotOptions::validate() const {
+  if (epochs < 1)
+    throw std::invalid_argument("AutopilotOptions: epochs must be >= 1");
+  if (per_gpu_batch < 1)
+    throw std::invalid_argument("AutopilotOptions: per_gpu_batch must be >= 1");
+  if (budget_usd < 0.0 || !std::isfinite(budget_usd))
+    throw std::invalid_argument(
+        "AutopilotOptions: budget_usd must be finite and >= 0");
+  if (deadline_hours < 0.0 || !std::isfinite(deadline_hours))
+    throw std::invalid_argument(
+        "AutopilotOptions: deadline_hours must be finite and >= 0");
+  if (trials < 1)
+    throw std::invalid_argument("AutopilotOptions: trials must be >= 1");
+  if (plan_trials < 1)
+    throw std::invalid_argument("AutopilotOptions: plan_trials must be >= 1");
+  if (!initial_spec.instance.empty() && initial_spec.count < 1)
+    throw std::invalid_argument(
+        "AutopilotOptions: a pinned initial_spec needs count >= 1");
+  if (initial_spot_machines < -1)
+    throw std::invalid_argument(
+        "AutopilotOptions: initial_spot_machines must be >= -1 (-1 = all)");
+  if (floor_machines < 1)
+    throw std::invalid_argument(
+        "AutopilotOptions: floor_machines must be >= 1 (the degradation floor "
+        "must be able to make progress)");
+  if (min_machines < 1)
+    throw std::invalid_argument("AutopilotOptions: min_machines must be >= 1");
+  if (max_retries < 1)
+    throw std::invalid_argument("AutopilotOptions: max_retries must be >= 1");
+  if (!(backoff_base_s > 0.0) || !std::isfinite(backoff_base_s))
+    throw std::invalid_argument(
+        "AutopilotOptions: backoff_base_s must be finite and > 0");
+  if (backoff_window_s < 0.0 || !std::isfinite(backoff_window_s))
+    throw std::invalid_argument(
+        "AutopilotOptions: backoff_window_s must be finite and >= 0");
+  if (watchdog_timeout_s < 0.0 || !std::isfinite(watchdog_timeout_s))
+    throw std::invalid_argument(
+        "AutopilotOptions: watchdog_timeout_s must be finite and >= 0 "
+        "(0 = automatic)");
+  if (!(nw_blame_threshold >= 0.0 && nw_blame_threshold <= 1.0))
+    throw std::invalid_argument(
+        "AutopilotOptions: nw_blame_threshold must be in [0, 1] (0 disables)");
+  spot.validate();
+  profile.validate();
+  scripted_faults.validate();
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Unit-exponential revocation draws sampled per trial. Every Poisson
+// revocation consumes one; an exhausted stream means no further market
+// revocations, which (with the finite scripted events) bounds every trial.
+constexpr int kDrawsPerTrial = 256;
+// Backstop far above any plausible event count; tripping it means the
+// engine stopped converging and aborting loudly beats hanging.
+constexpr int kMaxEngineEvents = 200000;
+constexpr int kMaxBackoffDoublings = 6;
+constexpr double kEps = 1e-9;
+
+// Everything the engine knows about one fleet shape, all measured through
+// the profiler (and therefore deterministic and SimCache-shared).
+struct ShapeStats {
+  double samples_per_s = 0.0;  // warm-cache steady throughput
+  double steady_epoch_s = 0.0;
+  double cold_penalty_s = 0.0;  // first-epoch extra over steady (disk-cold)
+  double iteration_s = 0.0;
+  double restart_wait_s = 0.0;  // watchdog detection + reprovision, measured
+  double shrink_wait_s = 0.0;   // detection only: survivors just continue
+  double nw_blame_share = 0.0;  // causal N/W critical-path share, in [0, 1]
+};
+
+// Lazy per-shape measurement memo. Measurements are pure functions of the
+// shape (seeded simulations), so concurrent duplicate computation is
+// harmless — the memo only avoids repeat work, and no lock is held while
+// simulating (which nests parallel_for on the caller-helps pool).
+class Measurer {
+ public:
+  Measurer(const profiler::StashProfiler& prof, const AutopilotOptions& opt)
+      : prof_(prof), opt_(opt) {}
+
+  ShapeStats get(const profiler::ClusterSpec& spec) {
+    const std::string key = spec.label();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
+    }
+    ShapeStats s = measure(spec);
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.emplace(key, s).first->second;
+  }
+
+ private:
+  ShapeStats measure(const profiler::ClusterSpec& spec) const {
+    ShapeStats s;
+    profiler::TrainingEstimate est = profiler::estimate_training(
+        prof_, spec, opt_.per_gpu_batch, /*epochs=*/2);
+    s.steady_epoch_s = std::max(est.steady_epoch_seconds, 1e-9);
+    s.cold_penalty_s =
+        std::max(0.0, est.first_epoch_seconds - est.steady_epoch_seconds);
+    s.samples_per_s =
+        static_cast<double>(prof_.dataset().num_samples) / s.steady_epoch_s;
+    s.iteration_s = std::max(est.steady_iteration_seconds, 1e-9);
+
+    // One revocation through the trainer's recovery machinery — the same
+    // crash calibration the planner runs — gives the measured fixed cost of
+    // losing a machine on this shape.
+    profiler::FaultProfileOptions fopt;
+    fopt.policy = ddl::RecoveryPolicy::kCheckpointRestart;
+    fopt.barrier_timeout_s = opt_.watchdog_timeout_s > 0.0
+                                 ? opt_.watchdog_timeout_s
+                                 : std::max(2.0 * s.iteration_s, 1e-6);
+    fopt.checkpoint_interval_s = opt_.spot.checkpoint_interval_s;
+    fopt.checkpoint_write_s = opt_.spot.checkpoint_write_s;
+    faults::FaultPlan crash_plan;
+    faults::FaultEvent crash;
+    crash.kind = faults::FaultKind::kCrash;
+    crash.start_s = s.iteration_s * 2.5;
+    crash.machine = 0;
+    crash.reprovision_s = opt_.spot.restart_overhead_s;
+    crash_plan.events.push_back(crash);
+    ddl::TrainResult faulted =
+        prof_.run_step(spec, profiler::Step::kRealWarm, opt_.per_gpu_batch,
+                       &crash_plan, fopt);
+    s.restart_wait_s =
+        !faulted.recoveries.empty()
+            ? faulted.recoveries.front().wait_seconds
+            : fopt.barrier_timeout_s + opt_.spot.restart_overhead_s;
+    // An elastic shrink skips the reprovision wait: survivors resume as
+    // soon as the watchdog declares the dead worker.
+    s.shrink_wait_s = std::min(s.restart_wait_s, fopt.barrier_timeout_s);
+
+    obs::BlameReport blame = profiler::attribute_step(
+        prof_, spec, profiler::Step::kRealWarm, opt_.per_gpu_batch);
+    s.nw_blame_share = std::clamp(blame.nw_stall_pct / 100.0, 0.0, 1.0);
+    return s;
+  }
+
+  const profiler::StashProfiler& prof_;
+  const AutopilotOptions& opt_;
+  std::mutex mu_;
+  std::map<std::string, ShapeStats> cache_;
+};
+
+// Memoized plan::plan calls keyed by remaining-epoch count, shared by every
+// trial's migrate decisions. Same lock discipline as Measurer.
+class PlannerMemo {
+ public:
+  PlannerMemo(const dnn::Model& model, const dnn::Dataset& dataset,
+              const AutopilotOptions& opt)
+      : model_(model), dataset_(dataset), opt_(opt) {}
+
+  std::shared_ptr<const plan::PlanReport> get(int epochs) {
+    epochs = std::max(1, epochs);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(epochs);
+      if (it != cache_.end()) return it->second;
+    }
+    plan::PlanOptions po;
+    po.epochs = epochs;
+    po.per_gpu_batch = opt_.per_gpu_batch;
+    po.spot = opt_.spot;
+    po.trials = opt_.plan_trials;
+    po.seed = opt_.seed;
+    // The autopilot measures recovery itself; re-calibrating inside every
+    // re-plan would only repeat cache-bypassing fault runs.
+    po.calibrate_recovery = false;
+    po.watchdog_timeout_s = opt_.watchdog_timeout_s;
+    po.candidates = opt_.candidates;
+    po.profile = opt_.profile;
+    po.profile.trace = nullptr;
+    po.profile.metrics = nullptr;
+    po.profile.causal = nullptr;
+    po.profile.progress = nullptr;
+    auto rep =
+        std::make_shared<const plan::PlanReport>(plan::plan(model_, dataset_, po));
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.emplace(epochs, rep).first->second;
+  }
+
+ private:
+  const dnn::Model& model_;
+  const dnn::Dataset& dataset_;
+  const AutopilotOptions& opt_;
+  std::mutex mu_;
+  std::map<int, std::shared_ptr<const plan::PlanReport>> cache_;
+};
+
+struct StragglerWindow {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double factor = 1.0;  // job-wide compute slowdown while active
+};
+
+// Shared, read-only context for one autopilot run; `draws` is per trial.
+struct EngineEnv {
+  const AutopilotOptions* opt = nullptr;
+  Measurer* measurer = nullptr;
+  PlannerMemo* planner = nullptr;
+  const std::vector<double>* draws = nullptr;  // unit exponentials
+  const std::vector<StragglerWindow>* windows = nullptr;
+  const std::vector<double>* crashes = nullptr;  // scripted revocation times
+  double total_samples = 0.0;
+  double samples_per_epoch = 0.0;
+  FleetShape initial{};
+  double deadline_s = 0.0;            // 0 = none
+  double lateness_penalty_per_s = 0.0;
+};
+
+struct SimState {
+  FleetShape fleet{};
+  double now = 0.0;
+  double cost = 0.0;
+  double samples = 0.0;
+  double durable = 0.0;  // progress captured by the last checkpoint
+  double last_ckpt_now = 0.0;
+  double remaining_unit = kInf;  // unit-exponential residual to next revocation
+  std::size_t draw_idx = 0;
+  std::size_t crash_idx = 0;
+  std::vector<char> window_cleared;    // migrated/floored away
+  std::vector<char> window_announced;  // straggler decision already fired
+  int consecutive = 0;
+  double last_rev_t = -kInf;
+  bool on_floor = false;
+  bool degraded = false;
+  int revocations = 0;
+  int scheduled_applied = 0;
+  double prev_nw_share = 0.0;
+};
+
+class Engine {
+ public:
+  struct RunResult {
+    double wall_s = 0.0;
+    double cost_usd = 0.0;
+    bool degraded = false;
+    int revocations = 0;
+    int scheduled = 0;
+    std::string final_fleet;
+    std::vector<Decision> decisions;
+  };
+
+  explicit Engine(const EngineEnv& env) : env_(env) {}
+
+  SimState init_state() const {
+    SimState st;
+    st.fleet = env_.initial;
+    ShapeStats is = stats(st.fleet);
+    // The cold first epoch's extra stall is paid up front, before the fleet
+    // is exposed to the revocation process (it is disk-bound ramp-up, not
+    // steady progress the market can steal twice).
+    st.now = is.cold_penalty_s;
+    st.cost = rate(st.fleet) * is.cold_penalty_s;
+    st.prev_nw_share = is.nw_blame_share;
+    st.window_cleared.assign(env_.windows->size(), 0);
+    st.window_announced.assign(env_.windows->size(), 0);
+    if (!env_.draws->empty()) {
+      st.remaining_unit = (*env_.draws)[0];
+      st.draw_idx = 1;
+    }
+    return st;
+  }
+
+  // Closed-form expected completion from `st` onward: throughput derated by
+  // the checkpoint duty cycle and the expected revocation overhead
+  // (restart wait plus half a checkpoint interval of rework per event).
+  // The currently active straggler window (if any) is modeled until its
+  // end; future windows are ignored — this is the adaptive policy's
+  // decision model, not the ground truth the engine simulates.
+  double expected_completion(const SimState& st, double* cost_out) const {
+    ShapeStats ns = stats(st.fleet);
+    const double remaining = std::max(0.0, env_.total_samples - st.samples);
+    const double rr = rev_rate(st.fleet);
+    double eff = ns.samples_per_s;
+    if (st.fleet.spot_machines > 0) {
+      const auto& sc = opt().spot;
+      eff *= sc.checkpoint_interval_s /
+             (sc.checkpoint_interval_s + sc.checkpoint_write_s);
+      eff *= std::clamp(
+          1.0 - rr * (ns.restart_wait_s + 0.5 * sc.checkpoint_interval_s),
+          0.05, 1.0);
+    }
+    double run_s;
+    const double f = straggler_factor(st);
+    if (f > 1.0) {
+      const double head = std::max(0.0, nearest_active_end(st) - st.now);
+      const double head_work = head * eff / f;
+      run_s = head_work >= remaining ? remaining * f / eff
+                                     : head + (remaining - head_work) / eff;
+    } else {
+      run_s = remaining / eff;
+    }
+    if (cost_out != nullptr) *cost_out = st.cost + rate(st.fleet) * run_s;
+    return st.now + run_s;
+  }
+
+  // depth 0 = a top-level run (may roll out candidates); depth 1 = a
+  // counterfactual rollout, which decides by the closed-form expectation
+  // only and therefore never recurses.
+  RunResult run(SimState st, PolicyKind policy, bool oracle, bool record,
+                int depth) const {
+    RunResult out;
+    int events = 0;
+    while (st.samples < env_.total_samples - kEps) {
+      if (++events > kMaxEngineEvents)
+        throw std::logic_error(
+            "autopilot engine: event cap exceeded (non-terminating scenario)");
+      ShapeStats ns = stats(st.fleet);
+      const double tput = ns.samples_per_s / straggler_factor(st);
+      const double rr = rev_rate(st.fleet);
+      const double t_finish = (env_.total_samples - st.samples) / tput;
+      const double t_ckpt =
+          st.fleet.spot_machines > 0
+              ? std::max(0.0, st.last_ckpt_now +
+                                  opt().spot.checkpoint_interval_s - st.now)
+              : kInf;
+      const double t_rev = rr > 0.0 && std::isfinite(st.remaining_unit)
+                               ? st.remaining_unit / rr
+                               : kInf;
+      const double t_crash =
+          st.crash_idx < env_.crashes->size()
+              ? std::max(0.0, (*env_.crashes)[st.crash_idx] - st.now)
+              : kInf;
+      const double t_edge = next_window_edge(st) - st.now;
+      const double dt = std::min({t_finish, t_ckpt, t_rev, t_crash, t_edge});
+
+      st.now += dt;
+      st.cost += rate(st.fleet) * dt;
+      st.samples += tput * dt;
+      if (rr > 0.0 && std::isfinite(st.remaining_unit))
+        st.remaining_unit = std::max(0.0, st.remaining_unit - rr * dt);
+
+      if (dt == t_finish) break;
+      if (dt == t_edge) {
+        announce_windows(st, policy, oracle, record, depth, out);
+      } else if (dt == t_crash) {
+        ++st.crash_idx;
+        // Scripted crashes model spot reclamations; an all-on-demand fleet
+        // has nothing for the market to take back.
+        if (st.fleet.spot_machines > 0) {
+          ++st.scheduled_applied;
+          on_revocation(st, policy, oracle, record, depth, out);
+        }
+      } else if (dt == t_rev) {
+        st.remaining_unit = st.draw_idx < env_.draws->size()
+                                ? (*env_.draws)[st.draw_idx++]
+                                : kInf;
+        on_revocation(st, policy, oracle, record, depth, out);
+      } else {
+        // Checkpoint: the write stalls training and is billed.
+        const double wr = opt().spot.checkpoint_write_s;
+        st.now += wr;
+        st.cost += rate(st.fleet) * wr;
+        st.durable = st.samples;
+        st.last_ckpt_now = st.now;
+      }
+    }
+    out.wall_s = st.now;
+    out.cost_usd = st.cost;
+    out.degraded = st.degraded;
+    out.revocations = st.revocations;
+    out.scheduled = st.scheduled_applied;
+    out.final_fleet = st.fleet.label();
+    return out;
+  }
+
+  double objective(double wall_s, double cost_usd) const {
+    double obj = cost_usd;
+    if (env_.deadline_s > 0.0)
+      obj += env_.lateness_penalty_per_s * std::max(0.0, wall_s - env_.deadline_s);
+    if (opt().budget_usd > 0.0)
+      obj += 2.0 * std::max(0.0, cost_usd - opt().budget_usd);
+    return obj;
+  }
+
+ private:
+  struct Applied {
+    double wait_s = 0.0;
+    double backoff_s = 0.0;
+    double lost_work_s = 0.0;
+  };
+
+  const AutopilotOptions& opt() const { return *env_.opt; }
+  ShapeStats stats(const FleetShape& f) const { return env_.measurer->get(f.spec); }
+
+  double rate(const FleetShape& f) const {
+    return cloud::instance(f.spec.instance).price_per_hour *
+           (f.spot_machines * opt().spot.price_factor + f.ondemand_machines()) /
+           3600.0;
+  }
+
+  double rev_rate(const FleetShape& f) const {
+    return f.spot_machines > 0
+               ? opt().spot.interruptions_per_hour * f.spot_machines / 3600.0
+               : 0.0;
+  }
+
+  double straggler_factor(const SimState& st) const {
+    double f = 1.0;
+    for (std::size_t i = 0; i < env_.windows->size(); ++i) {
+      const StragglerWindow& w = (*env_.windows)[i];
+      if (!st.window_cleared[i] && w.start_s <= st.now + kEps &&
+          st.now < w.end_s - kEps)
+        f = std::max(f, w.factor);
+    }
+    return f;
+  }
+
+  double nearest_active_end(const SimState& st) const {
+    double e = kInf;
+    for (std::size_t i = 0; i < env_.windows->size(); ++i) {
+      const StragglerWindow& w = (*env_.windows)[i];
+      if (!st.window_cleared[i] && w.start_s <= st.now + kEps &&
+          st.now < w.end_s - kEps)
+        e = std::min(e, w.end_s);
+    }
+    return e;
+  }
+
+  // Next throughput-changing window boundary strictly after now.
+  double next_window_edge(const SimState& st) const {
+    double e = kInf;
+    for (std::size_t i = 0; i < env_.windows->size(); ++i) {
+      const StragglerWindow& w = (*env_.windows)[i];
+      if (st.window_cleared[i]) continue;
+      if (w.start_s > st.now + kEps)
+        e = std::min(e, w.start_s);
+      else if (w.end_s > st.now + kEps)
+        e = std::min(e, w.end_s);
+    }
+    return e;
+  }
+
+  void clear_active_windows(SimState& st) const {
+    for (std::size_t i = 0; i < env_.windows->size(); ++i) {
+      const StragglerWindow& w = (*env_.windows)[i];
+      if (w.start_s <= st.now + kEps && st.now < w.end_s - kEps)
+        st.window_cleared[i] = 1;
+    }
+  }
+
+  FleetShape migrate_target(const SimState& st) const {
+    const double rem = std::max(0.0, env_.total_samples - st.samples);
+    const int rem_epochs = std::clamp(
+        static_cast<int>(std::ceil(rem / env_.samples_per_epoch)), 1,
+        opt().epochs);
+    auto rep = env_.planner->get(rem_epochs);
+    const plan::CandidatePlan* best = nullptr;
+    double best_obj = kInf;
+    for (int idx : rep->frontier) {
+      const plan::CandidatePlan& p = rep->plans[static_cast<std::size_t>(idx)];
+      const double obj =
+          objective(st.now + p.expected_wall_s, st.cost + p.expected_cost_usd);
+      if (obj < best_obj) {
+        best_obj = obj;
+        best = &p;
+      }
+    }
+    if (best == nullptr) return st.fleet;  // empty frontier: stay put
+    FleetShape f;
+    f.spec = best->spec;
+    f.spot_machines = best->spot_machines;
+    return f;
+  }
+
+  // Mutates `st` to reflect taking `a`. Revocation-trigger actions replace
+  // (or absorb) a machine the market just took; planned triggers (straggler
+  // / blame shift) checkpoint first and lose nothing.
+  Applied apply_action(SimState& st, Action a, Trigger trig,
+                       double backoff) const {
+    Applied ap;
+    ap.backoff_s = backoff;
+    const ShapeStats cur = stats(st.fleet);
+    const FleetShape before = st.fleet;
+    const bool planned = trig != Trigger::kRevocation;
+    double wait = 0.0;
+    auto rollback = [&] {
+      ap.lost_work_s = (st.samples - st.durable) / cur.samples_per_s;
+      st.samples = st.durable;
+    };
+    switch (a) {
+      case Action::kHold:
+        if (planned) return ap;  // observe only, no cost
+        wait = cur.restart_wait_s;
+        rollback();
+        break;
+      case Action::kShrink:  // revocation only: drop the revoked machine
+        st.fleet.spec.count -= 1;
+        st.fleet.spot_machines = std::max(0, st.fleet.spot_machines - 1);
+        wait = cur.shrink_wait_s;  // elastic: survivors keep their progress
+        break;
+      case Action::kFallback:  // replace the revoked spot machine with od
+        st.fleet.spot_machines = std::max(0, st.fleet.spot_machines - 1);
+        wait = cur.restart_wait_s;
+        rollback();
+        break;
+      case Action::kMigrate: {
+        const FleetShape target = migrate_target(st);
+        if (planned) {
+          const double wr = opt().spot.checkpoint_write_s;
+          st.now += wr;
+          st.cost += rate(before) * wr;
+          st.durable = st.samples;
+        } else {
+          rollback();
+        }
+        wait = cur.restart_wait_s;
+        if (!target.same_shape(before))
+          wait += stats(target).cold_penalty_s;
+        st.fleet = target;
+        clear_active_windows(st);
+        break;
+      }
+      case Action::kFloor: {
+        FleetShape floor;
+        floor.spec = env_.initial.spec;
+        floor.spec.count = opt().floor_machines;
+        floor.spot_machines = 0;
+        wait = cur.restart_wait_s;
+        rollback();
+        if (!floor.same_shape(before)) wait += stats(floor).cold_penalty_s;
+        st.fleet = floor;
+        st.on_floor = true;
+        st.degraded = true;
+        clear_active_windows(st);
+        break;
+      }
+    }
+    wait += backoff;
+    st.cost += rate(st.fleet) * wait;  // idle capacity is still billed
+    st.now += wait;
+    st.last_ckpt_now = st.now;
+    ap.wait_s = wait;
+    return ap;
+  }
+
+  CandidateEval expected_eval(const SimState& st0, Action a, Trigger trig,
+                              double backoff) const {
+    SimState st = st0;
+    apply_action(st, a, trig, backoff);
+    CandidateEval e;
+    e.action = a;
+    e.predicted_wall_s = expected_completion(st, &e.predicted_cost_usd);
+    e.objective = objective(e.predicted_wall_s, e.predicted_cost_usd);
+    return e;
+  }
+
+  // True-trace counterfactual: take `a`, then continue to completion under
+  // the expected-value adaptive policy on the same residual draw stream.
+  CandidateEval rollout_eval(const SimState& st0, Action a, Trigger trig,
+                             double backoff) const {
+    SimState st = st0;
+    const FleetShape before = st.fleet;
+    apply_action(st, a, trig, backoff);
+    RunResult scratch;
+    maybe_blame_shift(st, !st.fleet.same_shape(before), PolicyKind::kAdaptive,
+                      false, false, 1, scratch);
+    RunResult rr = run(std::move(st), PolicyKind::kAdaptive, false, false, 1);
+    CandidateEval e;
+    e.action = a;
+    e.predicted_wall_s = rr.wall_s;
+    e.predicted_cost_usd = rr.cost_usd;
+    e.objective = objective(rr.wall_s, rr.cost_usd);
+    return e;
+  }
+
+  static std::size_t argmin(const std::vector<CandidateEval>& evals) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < evals.size(); ++i)
+      if (evals[i].objective < evals[best].objective) best = i;
+    return best;
+  }
+
+  // Shared decision core: pick among `cands` per the run's mode, roll out
+  // every candidate when this run records regret (or is the oracle), apply,
+  // and record. Returns whether the fleet shape changed.
+  bool decide_and_apply(SimState& st, Trigger trig, double backoff,
+                        const std::vector<Action>& cands, Action fixed_choice,
+                        bool forced, PolicyKind policy, bool oracle,
+                        bool record, int depth, RunResult& out) const {
+    const bool want_rollouts = oracle || (record && depth == 0);
+    std::vector<CandidateEval> rolls;
+    if (want_rollouts) {
+      rolls.reserve(cands.size());
+      for (Action a : cands) rolls.push_back(rollout_eval(st, a, trig, backoff));
+    }
+    Action chosen;
+    if (forced) {
+      chosen = Action::kFloor;
+    } else if (oracle) {
+      chosen = rolls[argmin(rolls)].action;
+    } else if (policy == PolicyKind::kAdaptive) {
+      std::vector<CandidateEval> evals;
+      evals.reserve(cands.size());
+      for (Action a : cands) evals.push_back(expected_eval(st, a, trig, backoff));
+      chosen = evals[argmin(evals)].action;
+    } else {
+      chosen = fixed_choice;
+    }
+
+    Decision d;
+    d.time_s = st.now;
+    d.trigger = trig;
+    d.fleet_before = st.fleet.label();
+    d.consecutive_revocations = trig == Trigger::kRevocation ? st.consecutive : 0;
+    d.forced_floor = forced;
+
+    const FleetShape before = st.fleet;
+    const Applied ap = apply_action(st, chosen, trig, backoff);
+    const bool changed = !st.fleet.same_shape(before);
+
+    if (record && depth == 0) {
+      d.action = chosen;
+      d.fleet_after = st.fleet.label();
+      d.wait_s = ap.wait_s;
+      d.backoff_s = ap.backoff_s;
+      d.lost_work_s = ap.lost_work_s;
+      d.nw_blame_share = stats(st.fleet).nw_blame_share;
+      if (!rolls.empty()) {
+        double best = kInf, chosen_obj = kInf;
+        for (const CandidateEval& e : rolls) {
+          best = std::min(best, e.objective);
+          if (e.action == chosen) chosen_obj = e.objective;
+        }
+        if (std::isfinite(chosen_obj))
+          d.regret = std::max(0.0, chosen_obj - best);
+        d.candidates = std::move(rolls);
+      }
+      out.decisions.push_back(std::move(d));
+    }
+    return changed;
+  }
+
+  void on_revocation(SimState& st, PolicyKind policy, bool oracle, bool record,
+                     int depth, RunResult& out) const {
+    ++st.revocations;
+    st.consecutive = st.now - st.last_rev_t <= opt().backoff_window_s
+                         ? st.consecutive + 1
+                         : 1;
+    st.last_rev_t = st.now;
+    const double backoff =
+        st.consecutive > 1
+            ? opt().backoff_base_s *
+                  static_cast<double>(
+                      1ULL << std::min(st.consecutive - 2, kMaxBackoffDoublings))
+            : 0.0;
+    bool forced = st.consecutive > opt().max_retries;
+
+    std::vector<Action> cands;
+    Action fixed_choice = Action::kHold;
+    if (forced) {
+      if (record && depth == 0)
+        util::log_warn("autopilot: ", st.consecutive,
+                       " consecutive revocations exceed max_retries=",
+                       opt().max_retries,
+                       "; degrading to the on-demand floor");
+      cands = {Action::kFloor};
+    } else {
+      const bool can_shrink = st.fleet.spec.count - 1 >= opt().min_machines;
+      cands.push_back(Action::kHold);
+      if (can_shrink) cands.push_back(Action::kShrink);
+      cands.push_back(Action::kFallback);
+      cands.push_back(Action::kMigrate);
+      switch (policy) {
+        case PolicyKind::kHold:
+          fixed_choice = Action::kHold;
+          break;
+        case PolicyKind::kShrink:
+          if (can_shrink) {
+            fixed_choice = Action::kShrink;
+          } else {
+            // The fleet-below-k edge: shrinking under the floor would stop
+            // progress, so the policy degrades gracefully instead.
+            if (record && depth == 0)
+              util::log_warn(
+                  "autopilot: shrink would leave ", st.fleet.spec.count - 1,
+                  " machine(s), below min_machines=", opt().min_machines,
+                  "; degrading to the on-demand floor");
+            forced = true;
+            cands = {Action::kFloor};
+          }
+          break;
+        case PolicyKind::kFallback:
+          fixed_choice = Action::kFallback;
+          break;
+        case PolicyKind::kMigrate:
+          fixed_choice = Action::kMigrate;
+          break;
+        case PolicyKind::kAdaptive:
+          break;  // decided from the candidate evals
+      }
+    }
+    const bool changed = decide_and_apply(st, Trigger::kRevocation, backoff,
+                                          cands, fixed_choice, forced, policy,
+                                          oracle, record, depth, out);
+    maybe_blame_shift(st, changed, policy, oracle, record, depth, out);
+  }
+
+  void announce_windows(SimState& st, PolicyKind policy, bool oracle,
+                        bool record, int depth, RunResult& out) const {
+    for (std::size_t i = 0; i < env_.windows->size(); ++i) {
+      const StragglerWindow& w = (*env_.windows)[i];
+      if (st.window_cleared[i] || st.window_announced[i]) continue;
+      if (w.start_s > st.now + kEps || st.now >= w.end_s - kEps) continue;
+      st.window_announced[i] = 1;
+      const std::vector<Action> cands = {Action::kHold, Action::kMigrate};
+      const Action fixed_choice =
+          policy == PolicyKind::kMigrate ? Action::kMigrate : Action::kHold;
+      const bool changed =
+          decide_and_apply(st, Trigger::kStraggler, 0.0, cands, fixed_choice,
+                           false, policy, oracle, record, depth, out);
+      maybe_blame_shift(st, changed, policy, oracle, record, depth, out);
+    }
+  }
+
+  // After a fleet change, fire one extra decision if the causal N/W stall
+  // share of the new shape crossed the threshold from below — the "we
+  // replanned onto a network-bound fleet" signal.
+  void maybe_blame_shift(SimState& st, bool shape_changed, PolicyKind policy,
+                         bool oracle, bool record, int depth,
+                         RunResult& out) const {
+    if (!shape_changed) return;
+    const double share = stats(st.fleet).nw_blame_share;
+    const double prev = st.prev_nw_share;
+    st.prev_nw_share = share;
+    if (opt().nw_blame_threshold <= 0.0 || st.on_floor) return;
+    if (!(share >= opt().nw_blame_threshold &&
+          prev < opt().nw_blame_threshold))
+      return;
+    const std::vector<Action> cands = {Action::kHold, Action::kMigrate};
+    const Action fixed_choice =
+        policy == PolicyKind::kMigrate ? Action::kMigrate : Action::kHold;
+    const bool changed =
+        decide_and_apply(st, Trigger::kBlameShift, 0.0, cands, fixed_choice,
+                         false, policy, oracle, record, depth, out);
+    // A follow-up migration updates prev_nw_share; crossing logic prevents
+    // a re-fire loop.
+    maybe_blame_shift(st, changed, policy, oracle, record, depth, out);
+  }
+
+  const EngineEnv& env_;
+};
+
+}  // namespace
+
+AutopilotReport run_autopilot(const dnn::Model& model,
+                              const dnn::Dataset& dataset,
+                              const AutopilotOptions& options) {
+  options.validate();
+
+  AutopilotReport report;
+  report.model_name = model.name();
+  report.options = options;
+
+  // Telemetry sinks are stripped for the internal sweeps (the trial fan-out
+  // would race them); record_telemetry derives everything from the report.
+  profiler::ProfileOptions popt = options.profile;
+  popt.trace = nullptr;
+  popt.metrics = nullptr;
+  popt.causal = nullptr;
+  profiler::StashProfiler prof(model, dataset, popt);
+
+  Measurer measurer(prof, options);
+  PlannerMemo planner(model, dataset, options);
+
+  FleetShape initial;
+  if (options.initial_spec.instance.empty()) {
+    auto rep = planner.get(options.epochs);
+    const plan::CandidatePlan* best = nullptr;
+    double best_obj = kInf;
+    for (int idx : rep->frontier) {
+      const plan::CandidatePlan& p = rep->plans[static_cast<std::size_t>(idx)];
+      double obj = p.expected_cost_usd;
+      if (options.deadline_hours > 0.0)
+        obj += 2.0 * p.spec.hourly_price() / 3600.0 *
+               std::max(0.0, p.expected_wall_s -
+                                 options.deadline_hours * 3600.0);
+      if (options.budget_usd > 0.0)
+        obj += 2.0 * std::max(0.0, p.expected_cost_usd - options.budget_usd);
+      if (obj < best_obj) {
+        best_obj = obj;
+        best = &p;
+      }
+    }
+    if (best == nullptr)
+      throw std::runtime_error(
+          "autopilot: the planner returned an empty frontier (no candidate "
+          "fits this model/batch)");
+    initial.spec = best->spec;
+    initial.spot_machines = best->spot_machines;
+  } else {
+    initial.spec = options.initial_spec;
+    initial.spot_machines =
+        options.initial_spot_machines < 0
+            ? initial.spec.count
+            : std::min(options.initial_spot_machines, initial.spec.count);
+  }
+  report.initial_fleet = initial;
+
+  std::vector<StragglerWindow> windows;
+  std::vector<double> crashes;
+  for (const faults::FaultEvent& ev : options.scripted_faults.events) {
+    if (ev.kind == faults::FaultKind::kCrash)
+      crashes.push_back(ev.start_s);
+    else if (ev.kind == faults::FaultKind::kGpuStraggler)
+      windows.push_back({ev.start_s, ev.end_s(), ev.factor});
+  }
+  std::sort(crashes.begin(), crashes.end());
+  std::sort(windows.begin(), windows.end(),
+            [](const StragglerWindow& a, const StragglerWindow& b) {
+              return a.start_s != b.start_s ? a.start_s < b.start_s
+                                            : a.end_s < b.end_s;
+            });
+
+  EngineEnv base;
+  base.opt = &options;
+  base.measurer = &measurer;
+  base.planner = &planner;
+  base.windows = &windows;
+  base.crashes = &crashes;
+  base.samples_per_epoch = static_cast<double>(dataset.num_samples);
+  base.total_samples = base.samples_per_epoch * options.epochs;
+  base.initial = initial;
+  base.deadline_s = options.deadline_hours * 3600.0;
+  base.lateness_penalty_per_s =
+      2.0 * initial.spec.hourly_price() / 3600.0;
+
+  {
+    const std::vector<double> no_draws;
+    EngineEnv env = base;
+    env.draws = &no_draws;
+    Engine eng(env);
+    SimState st = eng.init_state();
+    report.planned_wall_s = eng.expected_completion(st, &report.planned_cost_usd);
+  }
+
+  report.trials.resize(static_cast<std::size_t>(options.trials));
+  util::Rng root(options.seed);
+  exec::ThreadPool* pool =
+      options.profile.exec != nullptr ? options.profile.exec->pool() : nullptr;
+  exec::parallel_for(pool, report.trials.size(), [&](std::size_t t) {
+    util::Rng rng = root.child(static_cast<std::uint64_t>(t));
+    std::vector<double> draws(kDrawsPerTrial);
+    for (double& d : draws) d = rng.exponential(1.0);
+
+    EngineEnv env = base;
+    env.draws = &draws;
+    Engine eng(env);
+
+    TrialResult tr;
+    tr.seed = util::splitmix64(options.seed) ^
+              util::splitmix64(static_cast<std::uint64_t>(t));
+
+    Engine::RunResult achieved =
+        eng.run(eng.init_state(), options.policy, false, true, 0);
+    Engine::RunResult baseline =
+        eng.run(eng.init_state(), PolicyKind::kHold, false, false, 0);
+    Engine::RunResult oracle =
+        eng.run(eng.init_state(), options.policy, true, false, 0);
+
+    tr.revocations = achieved.revocations;
+    tr.scheduled_crashes = achieved.scheduled;
+    tr.achieved_wall_s = achieved.wall_s;
+    tr.achieved_cost_usd = achieved.cost_usd;
+    tr.baseline_wall_s = baseline.wall_s;
+    tr.baseline_cost_usd = baseline.cost_usd;
+    tr.oracle_wall_s = oracle.wall_s;
+    tr.oracle_cost_usd = oracle.cost_usd;
+    tr.degraded_to_floor = achieved.degraded;
+    tr.final_fleet = achieved.final_fleet;
+    tr.decisions = std::move(achieved.decisions);
+    for (const Decision& d : tr.decisions) tr.total_regret += d.regret;
+    tr.met_budget = options.budget_usd <= 0.0 ||
+                    tr.achieved_cost_usd <= options.budget_usd + 1e-9;
+    tr.met_deadline =
+        options.deadline_hours <= 0.0 ||
+        tr.achieved_wall_s <= options.deadline_hours * 3600.0 + 1e-9;
+    report.trials[t] = std::move(tr);
+  });
+
+  const double n = static_cast<double>(report.trials.size());
+  for (const TrialResult& tr : report.trials) {
+    report.mean_achieved_wall_s += tr.achieved_wall_s / n;
+    report.mean_achieved_cost_usd += tr.achieved_cost_usd / n;
+    report.mean_baseline_wall_s += tr.baseline_wall_s / n;
+    report.mean_baseline_cost_usd += tr.baseline_cost_usd / n;
+    report.mean_oracle_wall_s += tr.oracle_wall_s / n;
+    report.mean_oracle_cost_usd += tr.oracle_cost_usd / n;
+    report.mean_regret += tr.total_regret / n;
+    if (tr.achieved_wall_s < tr.baseline_wall_s - 1e-9)
+      ++report.trials_beating_baseline_wall;
+    if (tr.achieved_cost_usd < tr.baseline_cost_usd - 1e-9)
+      ++report.trials_beating_baseline_cost;
+    if (tr.degraded_to_floor) ++report.trials_degraded_to_floor;
+  }
+  return report;
+}
+
+void record_telemetry(const AutopilotReport& r,
+                      telemetry::MetricsRegistry* metrics,
+                      util::TraceRecorder* trace) {
+  if (metrics != nullptr) {
+    auto& m = *metrics;
+    m.counter("autopilot/trials").add(static_cast<double>(r.trials.size()));
+    for (const TrialResult& tr : r.trials) {
+      m.counter("autopilot/revocations").add(tr.revocations);
+      m.counter("autopilot/decisions")
+          .add(static_cast<double>(tr.decisions.size()));
+      if (tr.degraded_to_floor) m.counter("autopilot/floor_degradations").increment();
+      for (const Decision& d : tr.decisions) {
+        m.counter(std::string("autopilot/actions/") + to_string(d.action))
+            .increment();
+        m.counter(std::string("autopilot/triggers/") + to_string(d.trigger))
+            .increment();
+        if (d.forced_floor) m.counter("autopilot/forced_floor").increment();
+        if (d.backoff_s > 0.0) m.counter("autopilot/backoffs").increment();
+        m.histogram("autopilot/decision_wait_s").observe(d.wait_s);
+        m.histogram("autopilot/decision_regret").observe(d.regret);
+      }
+    }
+    m.gauge("autopilot/mean_achieved_wall_s").set(r.mean_achieved_wall_s);
+    m.gauge("autopilot/mean_achieved_cost_usd").set(r.mean_achieved_cost_usd);
+    m.gauge("autopilot/mean_baseline_wall_s").set(r.mean_baseline_wall_s);
+    m.gauge("autopilot/mean_baseline_cost_usd").set(r.mean_baseline_cost_usd);
+    m.gauge("autopilot/mean_oracle_wall_s").set(r.mean_oracle_wall_s);
+    m.gauge("autopilot/mean_oracle_cost_usd").set(r.mean_oracle_cost_usd);
+    m.gauge("autopilot/mean_regret").set(r.mean_regret);
+  }
+  if (trace != nullptr && !r.trials.empty()) {
+    constexpr int kPid = 9000;  // clear of the per-machine tracks
+    trace->name_process(kPid, "autopilot");
+    trace->name_track(kPid, 0, "decisions (trial 0)");
+    for (const Decision& d : r.trials.front().decisions) {
+      trace->add_instant(std::string("trigger:") + to_string(d.trigger),
+                         "autopilot", d.time_s, kPid, 0);
+      trace->add_span(std::string(to_string(d.action)) + " " + d.fleet_before +
+                          " -> " + d.fleet_after,
+                      "autopilot", d.time_s, d.wait_s, kPid, 0);
+    }
+  }
+}
+
+std::string to_json(const AutopilotReport& r,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        extra_config,
+                    const telemetry::MetricsRegistry* metrics) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("stash.autopilot/1");
+  w.key("tool").value("stash");
+  w.key("command").value("autopilot");
+  w.key("config").begin_object();
+  w.key("model").value(r.model_name);
+  w.key("policy").value(to_string(r.options.policy));
+  w.key("epochs").value(r.options.epochs);
+  w.key("per_gpu_batch").value(r.options.per_gpu_batch);
+  w.key("budget_usd").value(r.options.budget_usd);
+  w.key("deadline_hours").value(r.options.deadline_hours);
+  w.key("spot_price_factor").value(r.options.spot.price_factor);
+  w.key("spot_interruptions_per_hour")
+      .value(r.options.spot.interruptions_per_hour);
+  w.key("spot_restart_overhead_s").value(r.options.spot.restart_overhead_s);
+  w.key("checkpoint_interval_s").value(r.options.spot.checkpoint_interval_s);
+  w.key("checkpoint_write_s").value(r.options.spot.checkpoint_write_s);
+  w.key("trials").value(r.options.trials);
+  w.key("plan_trials").value(r.options.plan_trials);
+  w.key("seed").value(static_cast<unsigned long long>(r.options.seed));
+  w.key("floor_machines").value(r.options.floor_machines);
+  w.key("min_machines").value(r.options.min_machines);
+  w.key("max_retries").value(r.options.max_retries);
+  w.key("backoff_base_s").value(r.options.backoff_base_s);
+  w.key("backoff_window_s").value(r.options.backoff_window_s);
+  w.key("watchdog_timeout_s").value(r.options.watchdog_timeout_s);
+  w.key("nw_blame_threshold").value(r.options.nw_blame_threshold);
+  w.key("scripted_faults").value(r.options.scripted_faults.to_spec());
+  for (const auto& [k, v] : extra_config) w.key(k).value(v);
+  w.end_object();
+
+  w.key("initial_fleet").begin_object();
+  w.key("label").value(r.initial_fleet.label());
+  w.key("instance").value(r.initial_fleet.spec.instance);
+  w.key("count").value(r.initial_fleet.spec.count);
+  w.key("spot_machines").value(r.initial_fleet.spot_machines);
+  w.key("ondemand_machines").value(r.initial_fleet.ondemand_machines());
+  w.end_object();
+
+  w.key("planned").begin_object();
+  w.key("wall_s").value(r.planned_wall_s);
+  w.key("cost_usd").value(r.planned_cost_usd);
+  w.end_object();
+
+  w.key("trials").begin_array();
+  for (const TrialResult& tr : r.trials) {
+    w.begin_object();
+    w.key("seed").value(static_cast<unsigned long long>(tr.seed));
+    w.key("revocations").value(tr.revocations);
+    w.key("scheduled_crashes").value(tr.scheduled_crashes);
+    w.key("achieved_wall_s").value(tr.achieved_wall_s);
+    w.key("achieved_cost_usd").value(tr.achieved_cost_usd);
+    w.key("baseline_wall_s").value(tr.baseline_wall_s);
+    w.key("baseline_cost_usd").value(tr.baseline_cost_usd);
+    w.key("oracle_wall_s").value(tr.oracle_wall_s);
+    w.key("oracle_cost_usd").value(tr.oracle_cost_usd);
+    w.key("total_regret").value(tr.total_regret);
+    w.key("degraded_to_floor").value(tr.degraded_to_floor);
+    w.key("met_budget").value(tr.met_budget);
+    w.key("met_deadline").value(tr.met_deadline);
+    w.key("final_fleet").value(tr.final_fleet);
+    w.key("decisions").begin_array();
+    for (const Decision& d : tr.decisions) {
+      w.begin_object();
+      w.key("time_s").value(d.time_s);
+      w.key("trigger").value(to_string(d.trigger));
+      w.key("action").value(to_string(d.action));
+      w.key("fleet_before").value(d.fleet_before);
+      w.key("fleet_after").value(d.fleet_after);
+      w.key("wait_s").value(d.wait_s);
+      w.key("backoff_s").value(d.backoff_s);
+      w.key("consecutive_revocations").value(d.consecutive_revocations);
+      w.key("lost_work_s").value(d.lost_work_s);
+      w.key("nw_blame_share").value(d.nw_blame_share);
+      w.key("forced_floor").value(d.forced_floor);
+      w.key("regret").value(d.regret);
+      w.key("candidates").begin_array();
+      for (const CandidateEval& c : d.candidates) {
+        w.begin_object();
+        w.key("action").value(to_string(c.action));
+        w.key("predicted_wall_s").value(c.predicted_wall_s);
+        w.key("predicted_cost_usd").value(c.predicted_cost_usd);
+        w.key("objective").value(c.objective);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("summary").begin_object();
+  w.key("mean_achieved_wall_s").value(r.mean_achieved_wall_s);
+  w.key("mean_achieved_cost_usd").value(r.mean_achieved_cost_usd);
+  w.key("mean_baseline_wall_s").value(r.mean_baseline_wall_s);
+  w.key("mean_baseline_cost_usd").value(r.mean_baseline_cost_usd);
+  w.key("mean_oracle_wall_s").value(r.mean_oracle_wall_s);
+  w.key("mean_oracle_cost_usd").value(r.mean_oracle_cost_usd);
+  w.key("mean_regret").value(r.mean_regret);
+  w.key("trials_beating_baseline_wall").value(r.trials_beating_baseline_wall);
+  w.key("trials_beating_baseline_cost").value(r.trials_beating_baseline_cost);
+  w.key("trials_degraded_to_floor").value(r.trials_degraded_to_floor);
+  w.end_object();
+
+  if (metrics != nullptr) w.key("metrics").raw(metrics->to_json());
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace stash::policy

@@ -33,6 +33,8 @@ TrainingEstimate estimate_training(const StashProfiler& profiler,
   e.per_gpu_batch = per_gpu_batch;
   e.first_epoch_seconds = cold.epoch_time(samples, per_gpu_batch);
   e.steady_epoch_seconds = warm.epoch_time(samples, per_gpu_batch);
+  e.first_iteration_seconds = cold.per_iteration;
+  e.steady_iteration_seconds = warm.per_iteration;
   e.total_seconds =
       e.first_epoch_seconds + (epochs - 1) * e.steady_epoch_seconds;
   e.total_cost_usd =

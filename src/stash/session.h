@@ -20,6 +20,11 @@ struct TrainingEstimate {
 
   double first_epoch_seconds = 0.0;   // cold-cache epoch (step 3 scaled)
   double steady_epoch_seconds = 0.0;  // warm-cache epochs (step 4 scaled)
+  // The measured per-iteration times behind the epoch scalings, for callers
+  // that need iteration granularity (the planner's crash calibration, the
+  // autopilot's throughput model).
+  double first_iteration_seconds = 0.0;
+  double steady_iteration_seconds = 0.0;
   double total_seconds = 0.0;
   double total_cost_usd = 0.0;
 

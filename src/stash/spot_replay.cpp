@@ -1,9 +1,11 @@
 #include "stash/spot_replay.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include "util/log.h"
 #include "util/rng.h"
 
 namespace stash::profiler {
@@ -11,9 +13,14 @@ namespace stash::profiler {
 SpotReplayResult replay_spot_run(const StashProfiler& prof, const ClusterSpec& spec,
                                  int per_gpu_batch, double work_seconds,
                                  const cloud::SpotConfig& config,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed,
+                                 double watchdog_timeout_s) {
   if (work_seconds < 0.0)
     throw std::invalid_argument("replay_spot_run: negative work_seconds");
+  if (watchdog_timeout_s < 0.0 || !std::isfinite(watchdog_timeout_s))
+    throw std::invalid_argument(
+        "replay_spot_run: watchdog_timeout_s must be finite and >= 0 "
+        "(0 = automatic)");
   config.validate();
 
   SpotReplayResult out;
@@ -30,7 +37,9 @@ SpotReplayResult replay_spot_run(const StashProfiler& prof, const ClusterSpec& s
   const double iter_s = std::max(healthy.per_iteration, 1e-9);
   FaultProfileOptions fopt;
   fopt.policy = ddl::RecoveryPolicy::kCheckpointRestart;
-  fopt.barrier_timeout_s = std::max(2.0 * iter_s, 1e-6);
+  fopt.barrier_timeout_s = watchdog_timeout_s > 0.0
+                               ? watchdog_timeout_s
+                               : std::max(2.0 * iter_s, 1e-6);
   fopt.checkpoint_interval_s = config.checkpoint_interval_s;
   fopt.checkpoint_write_s = config.checkpoint_write_s;
 
@@ -58,6 +67,12 @@ SpotReplayResult replay_spot_run(const StashProfiler& prof, const ClusterSpec& s
   cloud::SpotOutcome o;
   double remaining = work_seconds;
   double since_checkpoint = 0.0;
+  // Same fleet-below-k guard as cloud::simulate_spot_run: when consecutive
+  // revocations retain no net work, degrade to the on-demand floor instead
+  // of looping forever.
+  constexpr int kMaxBarrenInterruptions = 8;
+  int barren = 0;
+  double remaining_at_last_revocation = std::numeric_limits<double>::infinity();
   while (remaining > 0.0) {
     double next_interruption =
         config.interruptions_per_hour > 0.0
@@ -79,15 +94,30 @@ SpotReplayResult replay_spot_run(const StashProfiler& prof, const ClusterSpec& s
       remaining += since_checkpoint;
       o.wall_seconds += out.recovery_fixed_cost_s;
       since_checkpoint = 0.0;
+      barren = remaining >= remaining_at_last_revocation ? barren + 1 : 0;
+      remaining_at_last_revocation = remaining;
+      if (barren >= kMaxBarrenInterruptions) {
+        util::log_warn("replay_spot_run: ", barren,
+                       " consecutive revocations without net progress; "
+                       "degrading to the on-demand floor for the remaining ",
+                       remaining, " s of work");
+        o.degraded_to_floor = true;
+        o.floor_wall_seconds = remaining;
+        o.wall_seconds += remaining;
+        remaining = 0.0;
+      }
     } else if (since_checkpoint >= config.checkpoint_interval_s) {
       o.wall_seconds += config.checkpoint_write_s;
       o.lost_work_seconds += config.checkpoint_write_s;
       since_checkpoint = 0.0;
     }
   }
-  o.cost_usd = cloud::cost_usd(cloud::instance(spec.instance), o.wall_seconds,
+  // The degraded tail (if any) bills at the on-demand price.
+  const auto& type = cloud::instance(spec.instance);
+  o.cost_usd = cloud::cost_usd(type, o.wall_seconds - o.floor_wall_seconds,
                                spec.count) *
-               config.price_factor;
+                   config.price_factor +
+               cloud::cost_usd(type, o.floor_wall_seconds, spec.count);
   out.outcome = o;
   return out;
 }

@@ -33,9 +33,15 @@ struct SpotReplayResult {
 
 // Estimates wall time and spot bill for `work_seconds` of useful training
 // on `spec`, revocations arriving per `config`. Deterministic given `seed`.
+// `watchdog_timeout_s` sets the calibration run's barrier-watchdog window;
+// 0 selects the automatic default (twice the measured iteration time).
+// Negative, NaN, or infinite values throw std::invalid_argument. When the
+// interruption process outpaces checkpoint progress the outcome degrades to
+// the on-demand floor (outcome.degraded_to_floor) instead of diverging.
 SpotReplayResult replay_spot_run(const StashProfiler& prof, const ClusterSpec& spec,
                                  int per_gpu_batch, double work_seconds,
                                  const cloud::SpotConfig& config,
-                                 std::uint64_t seed);
+                                 std::uint64_t seed,
+                                 double watchdog_timeout_s = 0.0);
 
 }  // namespace stash::profiler

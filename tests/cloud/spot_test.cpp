@@ -99,6 +99,33 @@ TEST_P(RateSweep, WallTimeAtLeastWork) {
 
 INSTANTIATE_TEST_SUITE_P(Rates, RateSweep, ::testing::Values(0.0, 0.1, 0.5, 1.0, 3.0));
 
+// Fleet-below-k edge: when revocations outpace checkpoint progress the run
+// must degrade to the on-demand floor and terminate, never spin forever.
+TEST(Spot, ExtremeRateDegradesToOnDemandFloor) {
+  SpotConfig cfg;
+  cfg.interruptions_per_hour = 3600.0;  // mean gap 1 s vs a 900 s interval
+  util::Rng rng(17);
+  SpotOutcome o = simulate_spot_run(3600.0, p3_16(), 1, cfg, rng);
+  EXPECT_TRUE(o.degraded_to_floor);
+  EXPECT_GE(o.interruptions, 8);
+  EXPECT_GT(o.floor_wall_seconds, 0.0);
+  EXPECT_LE(o.floor_wall_seconds, o.wall_seconds);
+  // The degraded tail is billed at the on-demand price, the spot portion
+  // keeps the discount.
+  double spot_wall = o.wall_seconds - o.floor_wall_seconds;
+  EXPECT_NEAR(o.cost_usd,
+              cost_usd(p3_16(), spot_wall, 1) * cfg.price_factor +
+                  cost_usd(p3_16(), o.floor_wall_seconds, 1),
+              1e-9);
+}
+
+TEST(Spot, TypicalRateNeverDegrades) {
+  SpotConfig cfg;  // defaults: 0.2 interruptions/hour
+  SpotOutcome o = mean_spot_outcome(6.0 * 3600.0, p3_16(), 1, cfg, 21, 20);
+  EXPECT_FALSE(o.degraded_to_floor);
+  EXPECT_DOUBLE_EQ(o.floor_wall_seconds, 0.0);
+}
+
 TEST(SpotConfig, DefaultsAreValid) { EXPECT_NO_THROW(SpotConfig{}.validate()); }
 
 TEST(SpotConfig, ValidateRejectsNonsense) {

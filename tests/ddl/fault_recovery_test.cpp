@@ -9,6 +9,9 @@
 #include "ddl/trainer.h"
 #include "dnn/zoo.h"
 #include "faults/fault_plan.h"
+#include "obs/causal_log.h"
+#include "obs/critical_path.h"
+#include "telemetry/metrics.h"
 
 namespace stash::ddl {
 namespace {
@@ -213,6 +216,82 @@ TEST(FaultRecovery, EmptyPlanMatchesHealthyRun) {
   EXPECT_TRUE(r.recoveries.empty());
   EXPECT_DOUBLE_EQ(r.fault_stall, 0.0);
   EXPECT_EQ(r.gpus_at_end, r.gpus_used);
+}
+
+// Fleet-below-k edge: a shrink that would leave fewer workers than the
+// configured floor degrades to checkpoint-restart instead of building an
+// undefined ring or aborting.
+TEST(FaultRecovery, ShrinkBelowFloorDegradesToCheckpointRestart) {
+  dnn::Model model = dnn::make_alexnet();
+  const double iter_s = healthy_iteration_s(model);
+  faults::FaultPlan plan = crash_plan(2.5 * iter_s, 1, 4.0 * iter_s);
+  faults::FaultState fs(plan);
+
+  Harness h("p3.8xlarge", 2);
+  telemetry::MetricsRegistry metrics;
+  TrainConfig cfg = fault_cfg(fs, RecoveryPolicy::kShrink, iter_s);
+  cfg.fault_tolerance.min_shrink_workers = 8;  // survivors (4) fall below
+  cfg.metrics = &metrics;
+  TrainResult r = h.train(model, cfg);
+
+  EXPECT_EQ(r.measured_iterations, 4);
+  ASSERT_EQ(r.recoveries.size(), 1u);
+  const RecoveryRecord& rec = r.recoveries[0];
+  // The episode ran as a restart: full worker set kept, reprovision waited.
+  EXPECT_EQ(rec.policy, RecoveryPolicy::kCheckpointRestart);
+  EXPECT_EQ(rec.workers_after, rec.workers_before);
+  EXPECT_EQ(r.gpus_at_end, 8);
+  EXPECT_DOUBLE_EQ(metrics.counter("faults/shrink_floor_degradations").value(),
+                   1.0);
+}
+
+// Robustness property: a second revocation lands while the checkpoint
+// restart of the first is still waiting for its replacement. The run must
+// converge, recovery counters must match the episodes exactly, and the
+// causal blame segments must still tile every iteration window.
+TEST(FaultRecovery, SecondRevocationDuringRecoveryConverges) {
+  dnn::Model model = dnn::make_alexnet();
+  const double iter_s = healthy_iteration_s(model);
+
+  faults::FaultPlan plan = crash_plan(2.5 * iter_s, 1, 4.0 * iter_s);
+  plan.events.push_back(crash_plan(3.5 * iter_s, 0, 4.0 * iter_s).events[0]);
+  faults::FaultState fs(plan);
+
+  Harness h("p3.8xlarge", 2);
+  telemetry::MetricsRegistry metrics;
+  obs::CausalLog causal;
+  TrainConfig cfg = fault_cfg(fs, RecoveryPolicy::kCheckpointRestart, iter_s);
+  cfg.metrics = &metrics;
+  cfg.causal = &causal;
+  TrainResult r = h.train(model, cfg);
+
+  // Convergence: the full measurement window completes despite both hits.
+  EXPECT_EQ(r.measured_iterations, 4);
+  // One episode if the watchdog sees both machines down together, two if
+  // the second hit lands after the first recovery resumed.
+  ASSERT_GE(r.recoveries.size(), 1u);
+  ASSERT_LE(r.recoveries.size(), 2u);
+  for (const RecoveryRecord& rec : r.recoveries) {
+    EXPECT_EQ(rec.policy, RecoveryPolicy::kCheckpointRestart);
+    EXPECT_EQ(rec.workers_after, rec.workers_before);
+    EXPECT_GT(rec.wait_seconds, 0.0);
+  }
+  const double episodes = static_cast<double>(r.recoveries.size());
+  EXPECT_DOUBLE_EQ(metrics.counter("faults/detections").value(), episodes);
+  EXPECT_DOUBLE_EQ(metrics.counter("faults/recovery_episodes").value(),
+                   episodes);
+  // Each crashed machine takes its 4 GPU workers with it.
+  EXPECT_GE(metrics.counter("faults/worker_deaths").value(), 4.0);
+
+  obs::BlameReport blame = obs::analyze_critical_path(causal);
+  ASSERT_FALSE(blame.iterations.empty());
+  for (const obs::IterationBlame& it : blame.iterations) {
+    ASSERT_FALSE(it.segments.empty()) << "iteration " << it.iteration;
+    EXPECT_DOUBLE_EQ(it.segments.front().start_s, it.start_s);
+    EXPECT_DOUBLE_EQ(it.segments.back().end_s, it.end_s);
+    for (std::size_t i = 1; i < it.segments.size(); ++i)
+      EXPECT_DOUBLE_EQ(it.segments[i].start_s, it.segments[i - 1].end_s);
+  }
 }
 
 TEST(FaultRecovery, ValidationRejectsBadFaultToleranceConfig) {

@@ -1,0 +1,231 @@
+#include "policy/autopilot.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "dnn/zoo.h"
+#include "exec/exec_context.h"
+#include "faults/fault_plan.h"
+
+namespace stash::policy {
+namespace {
+
+// Small pinned configuration: two spot machines of one instance type, a
+// two-point candidate ladder for migrate targets, few epochs/trials. The
+// engine measures every shape through the SimCache, so the suite stays fast.
+AutopilotOptions fast_options(exec::ExecContext* exec) {
+  AutopilotOptions opt;
+  opt.epochs = 3;
+  opt.trials = 2;
+  opt.plan_trials = 6;
+  opt.initial_spec = profiler::ClusterSpec{"p3.8xlarge", 2};
+  opt.initial_spot_machines = 2;
+  opt.candidates = {profiler::ClusterSpec{"p3.8xlarge", 1},
+                    profiler::ClusterSpec{"p3.8xlarge", 2}};
+  opt.profile.exec = exec;
+  return opt;
+}
+
+TEST(Autopilot, ValidatesOptions) {
+  AutopilotOptions opt;
+  opt.epochs = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = AutopilotOptions{};
+  opt.trials = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = AutopilotOptions{};
+  opt.floor_machines = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = AutopilotOptions{};
+  opt.max_retries = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = AutopilotOptions{};
+  opt.watchdog_timeout_s = -1.0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = AutopilotOptions{};
+  opt.watchdog_timeout_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = AutopilotOptions{};
+  opt.watchdog_timeout_s = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = AutopilotOptions{};
+  opt.nw_blame_threshold = 1.5;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = AutopilotOptions{};
+  opt.backoff_base_s = 0.0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = AutopilotOptions{};
+  EXPECT_NO_THROW(opt.validate());
+}
+
+TEST(Autopilot, ParsePolicyRoundTrip) {
+  for (PolicyKind k :
+       {PolicyKind::kHold, PolicyKind::kShrink, PolicyKind::kFallback,
+        PolicyKind::kMigrate, PolicyKind::kAdaptive})
+    EXPECT_EQ(parse_policy(to_string(k)), k);
+  EXPECT_THROW(parse_policy("panic"), std::invalid_argument);
+}
+
+// The no-replan baseline IS the hold policy: running the autopilot with
+// policy=hold must reproduce the baseline numbers bit-for-bit (same trace,
+// same decisions — regret bookkeeping must not perturb the run).
+TEST(Autopilot, HoldPolicyMatchesBaseline) {
+  exec::ExecContext exec(4);
+  AutopilotOptions opt = fast_options(&exec);
+  opt.policy = PolicyKind::kHold;
+  opt.spot.interruptions_per_hour = 3.0;
+  AutopilotReport r = run_autopilot(dnn::make_zoo_model("resnet18"),
+                                    dnn::dataset_for("resnet18"), opt);
+  ASSERT_EQ(r.trials.size(), 2u);
+  int revocations = 0;
+  for (const TrialResult& tr : r.trials) {
+    EXPECT_DOUBLE_EQ(tr.achieved_wall_s, tr.baseline_wall_s);
+    EXPECT_DOUBLE_EQ(tr.achieved_cost_usd, tr.baseline_cost_usd);
+    revocations += tr.revocations;
+  }
+  // A storm rate over a multi-hour run must actually revoke machines.
+  EXPECT_GT(revocations, 0);
+  EXPECT_EQ(r.trials_beating_baseline_wall, 0);
+  EXPECT_EQ(r.trials_beating_baseline_cost, 0);
+}
+
+// Acceptance criterion: in a stormy market the adaptive policy beats the
+// no-replan baseline on cost in at least one trial, and its per-decision
+// regret against the trace-aware oracle is recorded and non-negative.
+TEST(Autopilot, AdaptiveBeatsHoldBaselineInStorm) {
+  exec::ExecContext exec(4);
+  AutopilotOptions opt = fast_options(&exec);
+  opt.policy = PolicyKind::kAdaptive;
+  opt.trials = 3;
+  opt.spot.interruptions_per_hour = 3.0;
+  AutopilotReport r = run_autopilot(dnn::make_zoo_model("resnet18"),
+                                    dnn::dataset_for("resnet18"), opt);
+  EXPECT_GE(r.trials_beating_baseline_cost, 1)
+      << "adaptive mean $" << r.mean_achieved_cost_usd << " vs baseline $"
+      << r.mean_baseline_cost_usd;
+  int decisions = 0;
+  for (const TrialResult& tr : r.trials) {
+    EXPECT_GE(tr.total_regret, 0.0);
+    EXPECT_GT(tr.oracle_cost_usd, 0.0);
+    for (const Decision& d : tr.decisions) {
+      ++decisions;
+      EXPECT_GE(d.regret, 0.0);
+      if (d.trigger == Trigger::kRevocation && !d.forced_floor)
+        // Every revocation decision weighed hold plus at least one
+        // alternative, each with a finite rollout objective.
+        EXPECT_GE(d.candidates.size(), 2u);
+      for (const CandidateEval& c : d.candidates)
+        EXPECT_TRUE(std::isfinite(c.objective));
+    }
+  }
+  EXPECT_GT(decisions, 0);
+  EXPECT_GE(r.mean_regret, 0.0);
+}
+
+// Fleet-below-k edge: a scripted revocation that would shrink below
+// min_machines forces the graceful-degradation floor instead of aborting.
+TEST(Autopilot, ShrinkBelowMinMachinesForcesFloor) {
+  exec::ExecContext exec(4);
+  AutopilotOptions opt = fast_options(&exec);
+  opt.policy = PolicyKind::kShrink;
+  opt.spot.interruptions_per_hour = 0.0;
+  opt.min_machines = 2;
+  opt.scripted_faults = faults::FaultPlan::parse("crash@1200:m1:r600");
+  AutopilotReport r = run_autopilot(dnn::make_zoo_model("resnet18"),
+                                    dnn::dataset_for("resnet18"), opt);
+  for (const TrialResult& tr : r.trials) {
+    EXPECT_EQ(tr.scheduled_crashes, 1);
+    EXPECT_TRUE(tr.degraded_to_floor);
+    ASSERT_FALSE(tr.decisions.empty());
+    const Decision& d = tr.decisions.front();
+    EXPECT_TRUE(d.forced_floor);
+    EXPECT_EQ(d.action, Action::kFloor);
+    // The floor is pure on-demand: no spot exposure in the final fleet.
+    EXPECT_NE(tr.final_fleet.find("[od]"), std::string::npos) << tr.final_fleet;
+  }
+  EXPECT_EQ(r.trials_degraded_to_floor, static_cast<int>(r.trials.size()));
+}
+
+// Bounded retry: back-to-back scripted revocations escalate the exponential
+// backoff and, past max_retries, force the floor — the run still terminates
+// with every machine revocation accounted for.
+TEST(Autopilot, RepeatedRevocationsEscalateBackoffThenFloor) {
+  exec::ExecContext exec(4);
+  AutopilotOptions opt = fast_options(&exec);
+  opt.policy = PolicyKind::kHold;
+  opt.spot.interruptions_per_hour = 0.0;
+  opt.max_retries = 2;
+  opt.backoff_base_s = 60.0;
+  opt.backoff_window_s = 3600.0;
+  opt.scripted_faults = faults::FaultPlan::parse(
+      "crash@900:m0:r300;crash@1000:m1:r300;crash@1100:m0:r300;"
+      "crash@1200:m1:r300");
+  AutopilotReport r = run_autopilot(dnn::make_zoo_model("resnet18"),
+                                    dnn::dataset_for("resnet18"), opt);
+  for (const TrialResult& tr : r.trials) {
+    EXPECT_TRUE(tr.degraded_to_floor);
+    bool backoff_seen = false;
+    bool floor_seen = false;
+    int max_consecutive = 0;
+    for (const Decision& d : tr.decisions) {
+      backoff_seen |= d.backoff_s > 0.0;
+      floor_seen |= d.forced_floor;
+      max_consecutive = std::max(max_consecutive, d.consecutive_revocations);
+    }
+    EXPECT_TRUE(backoff_seen);
+    EXPECT_TRUE(floor_seen);
+    EXPECT_GT(max_consecutive, opt.max_retries);
+    // Once on the floor there is no spot exposure left, so the remaining
+    // scripted crashes cannot fire: decisions stop at the forced floor.
+    EXPECT_TRUE(tr.decisions.back().forced_floor);
+  }
+}
+
+// A scripted straggler window fires its own trigger (and, like every
+// scenario, completes).
+TEST(Autopilot, StragglerWindowTriggersDecision) {
+  exec::ExecContext exec(4);
+  AutopilotOptions opt = fast_options(&exec);
+  opt.policy = PolicyKind::kAdaptive;
+  opt.spot.interruptions_per_hour = 0.0;
+  opt.scripted_faults = faults::FaultPlan::parse("straggler@600+1800:w0:x2.0");
+  AutopilotReport r = run_autopilot(dnn::make_zoo_model("resnet18"),
+                                    dnn::dataset_for("resnet18"), opt);
+  for (const TrialResult& tr : r.trials) {
+    bool straggler = false;
+    for (const Decision& d : tr.decisions)
+      straggler |= d.trigger == Trigger::kStraggler;
+    EXPECT_TRUE(straggler);
+    EXPECT_GT(tr.achieved_wall_s, 0.0);
+  }
+}
+
+// The CLI promise: byte-identical JSON for every jobs value, and for
+// repeated runs with the same seed.
+TEST(Autopilot, JobsInvarianceByteIdenticalJson) {
+  dnn::Model model = dnn::make_zoo_model("resnet18");
+  dnn::Dataset dataset = dnn::dataset_for("resnet18");
+
+  exec::ExecContext serial(1);
+  AutopilotOptions o1 = fast_options(&serial);
+  o1.spot.interruptions_per_hour = 2.0;
+  o1.scripted_faults = faults::FaultPlan::parse("straggler@600+900:w0:x2.0");
+  std::string j1 = to_json(run_autopilot(model, dataset, o1));
+
+  exec::ExecContext wide(8);
+  AutopilotOptions o8 = fast_options(&wide);
+  o8.spot.interruptions_per_hour = 2.0;
+  o8.scripted_faults = faults::FaultPlan::parse("straggler@600+900:w0:x2.0");
+  std::string j8 = to_json(run_autopilot(model, dataset, o8));
+  EXPECT_EQ(j1, j8);
+
+  std::string j8b = to_json(run_autopilot(model, dataset, o8));
+  EXPECT_EQ(j8, j8b);
+}
+
+}  // namespace
+}  // namespace stash::policy
