@@ -25,6 +25,7 @@
 #include "dnn/zoo.h"
 #include "exec/exec_context.h"
 #include "hw/flow_network.h"
+#include "monitor/monitor.h"
 #include "sim/simulator.h"
 #include "util/json.h"
 #include "util/units.h"
@@ -253,8 +254,59 @@ SuiteResult run_figure_suite(int jobs, const std::vector<std::string>& models,
   return res;
 }
 
+// Monitoring overhead: the identical warm-data training simulation with and
+// without the streaming stall monitor attached as the live iteration
+// observer. The monitor's per-sample work is O(1) (rolling moments, P^2
+// markers, two detectors per signal), so the delta must stay small — the
+// budget asserted in EXPERIMENTS.md is < 5% of the unmonitored run.
+struct MonitorOverheadResult {
+  int iterations = 0;
+  double off_seconds = 0.0;
+  double on_seconds = 0.0;
+  double overhead_pct = 0.0;
+};
+
+double run_training_once(const dnn::Model& model, const dnn::Dataset& data,
+                         int iterations, monitor::StallMonitor* mon) {
+  sim::Simulator sim;
+  hw::FlowNetwork net(sim);
+  hw::Cluster cluster(
+      net, sim, cloud::cluster_configs_for(cloud::instance("p3.8xlarge"), 1),
+      cloud::fabric_bandwidth());
+  ddl::TrainConfig cfg;
+  cfg.iterations = iterations;
+  cfg.warmup_iterations = 1;
+  cfg.synthetic_data = false;
+  cfg.cold_cache = false;
+  cfg.observer = mon;
+  ddl::Trainer trainer(sim, net, cluster, model, data, cfg);
+  auto t0 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(trainer.run().per_iteration);
+  return wall_seconds_since(t0);
+}
+
+MonitorOverheadResult measure_monitor_overhead(int iterations, int reps) {
+  dnn::Model model = dnn::make_zoo_model("resnet50");
+  dnn::Dataset data = dnn::dataset_for("resnet50");
+  MonitorOverheadResult res;
+  res.iterations = iterations;
+  for (int r = 0; r < reps; ++r) {
+    const double off = run_training_once(model, data, iterations, nullptr);
+    monitor::StallMonitor mon{monitor::MonitorConfig{}};
+    const double on = run_training_once(model, data, iterations, &mon);
+    if (res.off_seconds == 0.0 || off < res.off_seconds) res.off_seconds = off;
+    if (res.on_seconds == 0.0 || on < res.on_seconds) res.on_seconds = on;
+  }
+  res.overhead_pct =
+      res.off_seconds > 0.0
+          ? (res.on_seconds - res.off_seconds) / res.off_seconds * 100.0
+          : 0.0;
+  return res;
+}
+
 int write_report(const std::string& path, bool fast,
                  const EventQueueResult& eq,
+                 const MonitorOverheadResult& mo,
                  const std::vector<SuiteResult>& suites) {
   util::JsonWriter w;
   w.begin_object();
@@ -267,6 +319,14 @@ int write_report(const std::string& path, bool fast,
   w.key("events").value(static_cast<long long>(eq.events));
   w.key("wall_seconds").value(eq.wall_seconds);
   w.key("events_per_second").value(eq.events_per_second);
+  w.end_object();
+  w.key("monitor_overhead").begin_object();
+  w.key("workload").value("resnet50_warm_training");
+  w.key("iterations").value(mo.iterations);
+  w.key("monitor_off_seconds").value(mo.off_seconds);
+  w.key("monitor_on_seconds").value(mo.on_seconds);
+  w.key("overhead_pct").value(mo.overhead_pct);
+  w.key("budget_pct").value(5.0);
   w.end_object();
   w.key("figure_suite").begin_object();
   w.key("scenarios").value(suites.empty() ? 0 : suites.front().scenarios);
@@ -315,6 +375,14 @@ int main(int argc, char** argv) {
             << " ms (" << util::format_double(eq.events_per_second / 1e6, 2)
             << " M/s)\n";
 
+  MonitorOverheadResult mo =
+      measure_monitor_overhead(fast ? 64 : 256, fast ? 2 : 3);
+  std::cout << "monitor overhead (resnet50, " << mo.iterations
+            << " iters): off " << util::format_double(mo.off_seconds * 1e3, 1)
+            << " ms, on " << util::format_double(mo.on_seconds * 1e3, 1)
+            << " ms (" << util::format_double(mo.overhead_pct, 2)
+            << "% — budget 5%)\n";
+
   std::vector<std::string> models{"alexnet", "resnet18", "resnet50", "vgg11"};
   std::vector<profiler::ClusterSpec> specs{
       profiler::ClusterSpec{"p2.8xlarge"}, profiler::ClusterSpec{"p2.16xlarge"},
@@ -342,5 +410,5 @@ int main(int argc, char** argv) {
                      suites.front().wall_seconds / suites.back().wall_seconds, 2)
               << "x\n";
 
-  return write_report("BENCH_perf_sim.json", fast, eq, suites);
+  return write_report("BENCH_perf_sim.json", fast, eq, mo, suites);
 }

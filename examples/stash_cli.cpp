@@ -20,12 +20,15 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "cloud/spot.h"
 #include "dnn/zoo.h"
 #include "exec/exec_context.h"
 #include "faults/fault_plan.h"
+#include "monitor/dashboard.h"
+#include "monitor/driver.h"
 #include "obs/causal_log.h"
 #include "obs/critical_path.h"
 #include "obs/progress.h"
@@ -49,7 +52,7 @@ using namespace stash;
 // Boolean options: registered so a bare flag never swallows the following
 // positional (`stash_cli profile --progress resnet50` must keep resnet50).
 constexpr std::initializer_list<const char*> kFlags = {
-    "csv", "json", "full-quad", "spot", "progress", "no-calibrate"};
+    "csv", "json", "full-quad", "spot", "progress", "no-calibrate", "live"};
 
 bool write_file(const std::string& path, const std::string& content) {
   std::ofstream os(path, std::ios::binary);
@@ -97,25 +100,42 @@ int usage() {
       "            [--spot-machines K]] [--faults=SPEC] [--floor N]\n"
       "            [--min-machines N] [--max-retries N]\n"
       "            [--watchdog-timeout S] [--blame-threshold F]\n"
-      "            [--jobs N] [--csv]\n"
+      "            [--triggers=threshold|detector] [--jobs N] [--csv]\n"
       "                                   simulate mid-training re-planning\n"
       "                                   under spot revocations: achieved vs\n"
       "                                   planned/baseline/oracle + regret\n"
+      "  monitor <model> [--instance T] [--count N] [--batch B] [--iters N]\n"
+      "          [--warmup N] [--window W] [--faults=SPEC]\n"
+      "          [--recovery=restart|shrink] [--timeout S] [--live]\n"
+      "          [--events=FILE] [--jobs N] [--csv]\n"
+      "                                   stream a training simulation through\n"
+      "                                   the online stall monitor: change-\n"
+      "                                   point events + windowed live blame\n"
       "\n"
       "--jobs N runs up to N simulations concurrently (default 1 = serial);\n"
       "output is byte-identical for every N.\n"
       "\n"
-      "profile, estimate, stalls, recommend and plan also accept:\n"
+      "profile, estimate, stalls, recommend, plan, autopilot and monitor\n"
+      "also accept:\n"
       "  --json          print a stash.run_manifest/1 JSON document instead\n"
       "                  of the table (attribute prints stash.blame/1,\n"
-      "                  plan prints stash.plan/1)\n"
+      "                  plan stash.plan/1, autopilot stash.autopilot/1,\n"
+      "                  monitor the stash.monitor/1 JSONL stream)\n"
       "  --trace=FILE    write a chrome://tracing timeline of the warm step\n"
       "                  (attribute: of the primary causal run, with the\n"
-      "                  critical path as a highlighted track)\n"
+      "                  critical path as a highlighted track; monitor: of\n"
+      "                  the monitored run, detections as instants)\n"
       "  --metrics=FILE  write the metrics registry snapshot\n"
       "  --metrics-format=json|prom\n"
       "                  snapshot format: stash.metrics/1 JSON (default) or\n"
-      "                  Prometheus text exposition\n"
+      "                  Prometheus text exposition; monitor's prom output\n"
+      "                  also carries the per-window streaming snapshots\n"
+      "\n"
+      "monitor also accepts:\n"
+      "  --events=FILE   write the stash.monitor/1 JSONL stream to FILE\n"
+      "                  (independent of --json)\n"
+      "  --live          in-place stderr dashboard (sparkline + ALERT lines;\n"
+      "                  degrades to plain lines when stderr is not a tty)\n"
       "\n"
       "profile also accepts:\n"
       "  --blame=FILE    write a stash.blame/1 critical-path report of the\n"
@@ -692,6 +712,13 @@ int cmd_autopilot(const util::Args& args) {
   opt.watchdog_timeout_s = args.get_double("watchdog-timeout", 0.0);
   opt.nw_blame_threshold =
       args.get_double("blame-threshold", opt.nw_blame_threshold);
+  try {
+    opt.trigger_mode =
+        policy::parse_trigger_mode(args.get("triggers", "threshold"));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
   if (args.has("faults"))
     opt.scripted_faults = faults::FaultPlan::parse(args.get("faults"));
   if (args.has("instance")) {
@@ -751,6 +778,104 @@ int cmd_autopilot(const util::Args& args) {
               << " degraded to the on-demand floor\n";
   }
   return sinks.flush_files();
+}
+
+// Online observability: one warm-data training simulation with the
+// streaming stall monitor attached live. stdout carries the table (or the
+// stash.monitor/1 JSONL under --json); --live renders a stderr dashboard
+// that never touches the machine-readable stream.
+int cmd_monitor(const util::Args& args) {
+  std::string model_name = args.positional(1);
+  if (model_name.empty()) return usage();
+
+  TelemetrySinks sinks(args);
+  if (int rc = sinks.check(); rc != 0) return rc;
+  // --jobs is accepted for interface uniformity: the monitored run is one
+  // live serial simulation, so every N yields the same bytes by construction.
+  (void)args.get_int("jobs", 1);
+
+  monitor::MonitorOptions opt;
+  opt.spec.instance = args.get("instance", "p3.8xlarge");
+  opt.spec.count = args.get_int("count", 1);
+  if (args.has("full-quad")) opt.spec.slice = cloud::CrossbarSlice::kFullQuad;
+  opt.per_gpu_batch = args.get_int("batch", 32);
+  opt.iterations = args.get_int("iters", opt.iterations);
+  opt.warmup_iterations = args.get_int("warmup", opt.warmup_iterations);
+  opt.monitor.window = static_cast<std::size_t>(
+      args.get_int("window", static_cast<int>(opt.monitor.window)));
+  opt.faults_spec = args.get("faults");
+  std::string recovery = args.get("recovery", "restart");
+  if (recovery == "restart")
+    opt.recovery.policy = ddl::RecoveryPolicy::kCheckpointRestart;
+  else if (recovery == "shrink")
+    opt.recovery.policy = ddl::RecoveryPolicy::kShrink;
+  else {
+    std::cerr << "unknown --recovery '" << recovery
+              << "' (expected restart|shrink)\n";
+    return 2;
+  }
+  opt.recovery.barrier_timeout_s =
+      args.get_double("timeout", opt.recovery.barrier_timeout_s);
+
+  monitor::StallMonitor mon(opt.monitor);
+  dnn::Model model = dnn::make_zoo_model(model_name);
+  dnn::Dataset dataset = dnn::dataset_for(model_name);
+
+  obs::ProgressReporter progress;
+  std::optional<monitor::LiveDashboard> dash;
+  if (args.has("live")) dash.emplace(mon, progress, opt.iterations);
+
+  monitor::MonitorRunReport report = monitor::run_monitor(
+      model, dataset, opt, mon, dash ? &*dash : nullptr,
+      sinks.want_trace() ? &sinks.trace : nullptr,
+      sinks.want_metrics() ? &sinks.metrics : nullptr);
+  if (dash) dash->finish();
+
+  if (sinks.want_trace()) monitor::annotate_monitor_trace(report, sinks.trace);
+  if (sinks.want_metrics())
+    monitor::record_monitor_metrics(report, sinks.metrics);
+
+  const std::string jsonl = monitor::monitor_to_jsonl(report);
+  const std::string events_path = args.get("events");
+  if (!events_path.empty() && !write_file(events_path, jsonl)) return 1;
+  if (sinks.want_trace() && !write_file(sinks.trace_path, sinks.trace.to_json()))
+    return 1;
+  if (!sinks.metrics_path.empty()) {
+    // The prom snapshot is prefixed with the per-window streaming blocks —
+    // the scrape-shaped view of the run as it unfolded.
+    const std::string payload =
+        sinks.metrics_format == "prom"
+            ? report.openmetrics + sinks.metrics.to_prometheus()
+            : sinks.metrics.to_json() + "\n";
+    if (!write_file(sinks.metrics_path, payload)) return 1;
+  }
+
+  if (sinks.json) {
+    std::cout << jsonl;
+    return 0;
+  }
+
+  util::Table ev_table({"event", "detector", "signal", "onset it", "detect it",
+                        "latency", "sigma"});
+  for (const auto& ev : report.events)
+    ev_table.row().cell(monitor::to_string(ev.kind))
+        .cell(monitor::to_string(ev.detector)).cell(ev.signal)
+        .cell(ev.onset_iteration).cell(ev.detect_iteration)
+        .cell(ev.latency_iterations).cell(ev.magnitude_sigma, 1);
+  emit(ev_table, args.has("csv"));
+  if (!args.has("csv")) {
+    const monitor::Snapshot& snap = report.final_snapshot;
+    std::cout << report.model_name << " on " << report.config_label
+              << " (batch " << report.per_gpu_batch << "): "
+              << report.samples.size() << " samples, "
+              << util::format_double(snap.window_iters_per_s, 2)
+              << " it/s windowed, " << report.events.size() << " events ("
+              << report.live_events << " live), " << report.recoveries.size()
+              << " recoveries, comm blame share "
+              << util::format_double(snap.comm_blame_share * 100.0, 1)
+              << "%\n";
+  }
+  return 0;
 }
 
 int cmd_estimate(const util::Args& args) {
@@ -827,6 +952,7 @@ int main(int argc, char** argv) {
     if (cmd == "stalls") return cmd_stalls(args);
     if (cmd == "plan") return cmd_plan(args);
     if (cmd == "autopilot") return cmd_autopilot(args);
+    if (cmd == "monitor") return cmd_monitor(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

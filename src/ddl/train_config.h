@@ -130,6 +130,39 @@ struct RecoveryRecord {
   int rework_iterations = 0;    // committed work discarded by the rollback
 };
 
+// One committed iteration as seen by the lead worker, published live
+// through an IterationObserver the moment the end barrier releases. This is
+// the streaming counterpart of TrainResult's run-level means: every field
+// is a simulated-time quantity, so consumers (src/monitor/) stay
+// deterministic by construction.
+struct IterationSample {
+  int iteration = 0;      // global iteration index
+  int attempt = 0;        // recovery episode ordinal (0 on a healthy run)
+  bool measured = false;  // post-warmup and not rework
+  bool rework = false;    // replay of already-committed work after a fault
+  double start_s = 0.0;   // iteration window in simulated seconds
+  double end_s = 0.0;
+  double total_s = 0.0;      // end_s - start_s
+  double data_wait_s = 0.0;  // blocked on the device double buffer
+  double compute_s = 0.0;    // forward + backward (+flush charges) + optimizer
+  double comm_tail_s = 0.0;  // all-reduce time not hidden behind backward
+  double barrier_s = 0.0;    // start + end barrier waits (pacing on peers)
+  double checkpoint_s = 0.0; // periodic checkpoint write paid this iteration
+  int workers = 0;           // party size of the current attempt
+};
+
+// Live per-iteration consumer. on_iteration fires from the lead worker's
+// commit block in simulation order (iteration indices are monotone within
+// an attempt and may rewind across attempts after checkpoint-restart);
+// on_recovery fires once per fault-recovery episode. Implementations must
+// not re-enter the trainer.
+class IterationObserver {
+ public:
+  virtual ~IterationObserver() = default;
+  virtual void on_iteration(const IterationSample& sample) = 0;
+  virtual void on_recovery(const RecoveryRecord& rec) { (void)rec; }
+};
+
 struct TrainConfig {
   int per_gpu_batch = 32;
   // Simulated iteration window. Training is strictly periodic once the
@@ -187,6 +220,12 @@ struct TrainConfig {
   // for critical-path attribution (obs::analyze_critical_path). Not owned;
   // must outlive the run. One log per run — logs are not mergeable.
   obs::CausalLog* causal = nullptr;
+
+  // Optional streaming sink: the lead worker publishes one IterationSample
+  // per committed iteration (warmup and rework included, flagged) and one
+  // callback per recovery episode. Not owned; must outlive the run. This is
+  // the live tap src/monitor/ consumes.
+  IterationObserver* observer = nullptr;
 
   void validate() const {
     if (per_gpu_batch < 1) throw std::invalid_argument("per_gpu_batch must be >= 1");

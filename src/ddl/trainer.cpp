@@ -421,6 +421,13 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
     const bool measured =
         lead && !rework && iter >= st.config.warmup_iterations;
     const double iter_start = st.sim.now();
+    // Per-iteration phase breakdown for the streaming observer (lead only;
+    // kept alongside the run-level sums so both views agree exactly).
+    double it_data_wait = 0.0;
+    double it_compute = 0.0;
+    double it_comm_tail = 0.0;
+    double it_barrier = 0.0;
+    double it_checkpoint = 0.0;
     const double compute_scale =
         het_scale *
         (fs != nullptr ? fs->compute_scale(static_cast<int>(idx), st.sim.now())
@@ -435,6 +442,7 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
         prev = st.causal->add_wait(obs::Category::kPipeline, "data_wait",
                                    machine, local, iter, wait_start,
                                    st.sim.now(), prev, /*cause=*/batch_edge);
+      if (lead) it_data_wait = st.sim.now() - wait_start;
       if (measured) {
         st.sum_data_wait += st.sim.now() - wait_start;
         if (st.h_data_wait != nullptr)
@@ -453,6 +461,7 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
       at.worker_exited();
       co_return;
     }
+    if (lead) it_barrier += st.sim.now() - start_arrive;
     if (st.causal != nullptr && st.sim.now() > start_arrive)
       prev = st.causal->add_wait(obs::Category::kBarrier, "start_barrier",
                                  machine, local, iter, start_arrive,
@@ -550,6 +559,8 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
       trace_span(st, "optimizer", "compute", opt_start, machine, local);
       if (busy_s != nullptr)
         busy_s->add((st.fwd_time + st.bwd_time) * compute_scale + st.opt_time);
+      it_comm_tail = tail;
+      it_compute = (backward_end - compute_start) + st.opt_time;
       if (measured) {
         st.sum_comm_tail += tail;
         st.sum_compute += (backward_end - compute_start) + st.opt_time;
@@ -569,6 +580,7 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
                                          "checkpoint", machine, local, iter,
                                          ckpt_start, st.sim.now(), prev);
         trace_span(st, "checkpoint", "pipeline", ckpt_start, machine, local);
+        it_checkpoint = st.sim.now() - ckpt_start;
         wrote_checkpoint = true;
       }
     } else {
@@ -593,6 +605,7 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
       at.worker_exited();
       co_return;
     }
+    if (lead) it_barrier += st.sim.now() - end_arrive;
     if (st.causal != nullptr && st.sim.now() > end_arrive)
       prev = st.causal->add_wait(obs::Category::kBarrier, "end_barrier",
                                  machine, local, iter, end_arrive,
@@ -618,6 +631,23 @@ sim::Task<void> worker(RunState& st, Attempt& at, std::size_t idx) {
       } else if (iter >= st.config.warmup_iterations) {
         st.iter_times.add(st.sim.now() - iter_start);
         if (st.h_iter != nullptr) st.h_iter->observe(st.sim.now() - iter_start);
+      }
+      if (st.config.observer != nullptr) {
+        IterationSample sample;
+        sample.iteration = iter;
+        sample.attempt = static_cast<int>(st.attempts.size()) - 1;
+        sample.measured = measured;
+        sample.rework = rework;
+        sample.start_s = iter_start;
+        sample.end_s = st.sim.now();
+        sample.total_s = st.sim.now() - iter_start;
+        sample.data_wait_s = it_data_wait;
+        sample.compute_s = it_compute;
+        sample.comm_tail_s = it_comm_tail;
+        sample.barrier_s = it_barrier;
+        sample.checkpoint_s = it_checkpoint;
+        sample.workers = static_cast<int>(at.gpus.size());
+        st.config.observer->on_iteration(sample);
       }
       // Per-iteration counter-track samples: event-queue depth, in-flight
       // flows, and the lead machine's host-bridge / NIC utilization over
@@ -767,6 +797,7 @@ sim::Task<void> orchestrate(RunState& st) {
                    rec.workers_before, "->", rec.workers_after, ", waited ",
                    rec.wait_seconds, "s");
     st.recoveries.push_back(rec);
+    if (st.config.observer != nullptr) st.config.observer->on_recovery(rec);
     if (st.causal != nullptr)
       st.causal->add_fault_window(
           at.last_commit_time, st.sim.now(),

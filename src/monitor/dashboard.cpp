@@ -1,0 +1,100 @@
+#include "monitor/dashboard.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace stash::monitor {
+
+namespace {
+
+const char* const kBlocks[8] = {"▁", "▂", "▃", "▄",
+                                "▅", "▆", "▇", "█"};
+
+std::string pct(double num, double den) {
+  const double v = den > 0.0 ? num / den * 100.0 : 0.0;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", std::max(0.0, v));
+  return buf;
+}
+
+}  // namespace
+
+std::string sparkline(const std::vector<double>& values, std::size_t width) {
+  if (values.size() < 2 || width == 0) return "";
+  const std::size_t first =
+      values.size() > width ? values.size() - width : 0;
+  double lo = values[first], hi = values[first];
+  for (std::size_t i = first; i < values.size(); ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  std::string out;
+  for (std::size_t i = first; i < values.size(); ++i) {
+    int level = 0;
+    if (hi > lo)
+      level = static_cast<int>((values[i] - lo) / (hi - lo) * 7.0 + 0.5);
+    out += kBlocks[std::clamp(level, 0, 7)];
+  }
+  return out;
+}
+
+LiveDashboard::LiveDashboard(const StallMonitor& monitor,
+                             obs::ProgressReporter& reporter,
+                             int total_iterations)
+    : monitor_(monitor),
+      reporter_(reporter),
+      total_iterations_(total_iterations) {
+  reporter_.begin("monitor", total_iterations);
+}
+
+std::string LiveDashboard::frame(const ddl::IterationSample& sample) const {
+  const Snapshot snap = monitor_.snapshot();
+  char head[96];
+  std::snprintf(head, sizeof(head), "[monitor] it %d/%d  %.2f it/s ",
+                sample.iteration + 1, total_iterations_,
+                snap.window_iters_per_s);
+  std::string out = head;
+  out += sparkline(monitor_.recent_totals(), 16);
+  out += " | wait " + pct(snap.data_wait.mean, snap.total.mean);
+  out += " comp " + pct(snap.compute.mean, snap.total.mean);
+  out += " comm " + pct(snap.comm_tail.mean, snap.total.mean);
+  out += " barr " + pct(snap.barrier.mean, snap.total.mean);
+  out += " | alerts " + std::to_string(snap.events_total);
+  return out;
+}
+
+void LiveDashboard::on_iteration(const ddl::IterationSample& sample) {
+  // New detections become permanent ALERT lines before the frame redraw,
+  // so they stay on screen after the status line moves on.
+  const auto& events = monitor_.events();
+  for (; alerts_seen_ < events.size(); ++alerts_seen_) {
+    const MonitorEvent& ev = events[alerts_seen_];
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "ALERT %s (%s on %s): onset it %d, detected it %d "
+                  "(latency %d), %.1f sigma",
+                  to_string(ev.kind), to_string(ev.detector),
+                  ev.signal.c_str(), ev.onset_iteration, ev.detect_iteration,
+                  ev.latency_iterations, ev.magnitude_sigma);
+    reporter_.note(buf);
+  }
+  last_frame_ = frame(sample);
+  reporter_.status(last_frame_);
+}
+
+void LiveDashboard::on_recovery(const ddl::RecoveryRecord& rec) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "recovery at %.1f s (iteration %d): workers %d -> %d, "
+                "waited %.1f s",
+                rec.time_s, rec.at_iteration, rec.workers_before,
+                rec.workers_after, rec.wait_seconds);
+  reporter_.note(buf);
+}
+
+void LiveDashboard::finish() {
+  if (!last_frame_.empty()) reporter_.status(last_frame_, /*force=*/true);
+  reporter_.clear_status();
+}
+
+}  // namespace stash::monitor

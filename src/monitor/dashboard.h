@@ -1,0 +1,50 @@
+// Live terminal dashboard for `stash_cli monitor --live`.
+//
+// Hangs off the monitor driver's observer chain and renders one status
+// frame per committed iteration through a ProgressReporter:
+//
+//   [monitor] it 42/64  8.1 it/s ▂▃▂▇▇▇ | wait 2% comp 81% comm 11% barr 5% | alerts 1
+//
+// plus a permanent `ALERT <kind> ...` line the moment a detector fires. All
+// output goes to the reporter's stream (stderr for the CLI): stdout's
+// machine-readable documents and their byte-identical guarantee are
+// untouched. Frame pacing (>= 50 ms between redraws, in-place rewriting on
+// a TTY, plain lines when redirected) is the reporter's job.
+#pragma once
+
+#include <string>
+
+#include "ddl/train_config.h"
+#include "monitor/monitor.h"
+#include "obs/progress.h"
+
+namespace stash::monitor {
+
+class LiveDashboard : public ddl::IterationObserver {
+ public:
+  // `monitor` must be the observer ahead of this one in the chain (the
+  // dashboard renders its snapshot); `total_iterations` sizes the counter.
+  LiveDashboard(const StallMonitor& monitor, obs::ProgressReporter& reporter,
+                int total_iterations);
+
+  void on_iteration(const ddl::IterationSample& sample) override;
+  void on_recovery(const ddl::RecoveryRecord& rec) override;
+
+  // Draws the final frame unthrottled and drops to a fresh line.
+  void finish();
+
+  // The current frame text (exposed for tests; no terminal involved).
+  std::string frame(const ddl::IterationSample& sample) const;
+
+ private:
+  const StallMonitor& monitor_;
+  obs::ProgressReporter& reporter_;
+  int total_iterations_;
+  std::size_t alerts_seen_ = 0;
+  std::string last_frame_;
+};
+
+// Unicode block sparkline of `values` (empty string for < 2 values).
+std::string sparkline(const std::vector<double>& values, std::size_t width);
+
+}  // namespace stash::monitor

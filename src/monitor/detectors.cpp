@@ -1,0 +1,159 @@
+#include "monitor/detectors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stash::monitor {
+
+void DetectorConfig::validate() const {
+  if (baseline_iters < 2)
+    throw std::invalid_argument("DetectorConfig: baseline_iters must be >= 2");
+  if (!(cusum_k >= 0.0) || !std::isfinite(cusum_k))
+    throw std::invalid_argument("DetectorConfig: cusum_k must be >= 0");
+  if (!(cusum_h > 0.0) || !std::isfinite(cusum_h))
+    throw std::invalid_argument("DetectorConfig: cusum_h must be > 0");
+  if (!(ewma_lambda > 0.0 && ewma_lambda <= 1.0))
+    throw std::invalid_argument("DetectorConfig: ewma_lambda must be in (0, 1]");
+  if (!(ewma_limit > 0.0) || !std::isfinite(ewma_limit))
+    throw std::invalid_argument("DetectorConfig: ewma_limit must be > 0");
+  if (!(min_sigma > 0.0) || !std::isfinite(min_sigma))
+    throw std::invalid_argument("DetectorConfig: min_sigma must be > 0");
+  if (min_sigma_frac < 0.0 || !std::isfinite(min_sigma_frac))
+    throw std::invalid_argument("DetectorConfig: min_sigma_frac must be >= 0");
+  if (baseline_guard < 0.0 || !std::isfinite(baseline_guard))
+    throw std::invalid_argument("DetectorConfig: baseline_guard must be >= 0");
+}
+
+namespace {
+
+double floored_sigma(const DetectorConfig& cfg, double mu, double var,
+                     std::size_t n) {
+  double sigma = std::sqrt(std::max(0.0, var));
+  sigma *= 1.0 + cfg.baseline_guard / std::sqrt(static_cast<double>(n));
+  sigma = std::max(sigma, cfg.min_sigma);
+  return std::max(sigma, cfg.min_sigma_frac * std::abs(mu));
+}
+
+}  // namespace
+
+CusumDetector::CusumDetector(const DetectorConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+}
+
+void CusumDetector::freeze() {
+  const double n = static_cast<double>(armed_n_);
+  mu0_ = sum_ / n;
+  // Sample (Bessel-corrected) variance: a short baseline must not freeze an
+  // optimistically small sigma, or in-control noise turns into alarms.
+  const double var = (sum_sq_ - n * mu0_ * mu0_) / (n - 1.0);
+  sigma0_ = floored_sigma(cfg_, mu0_, var, armed_n_);
+  frozen_ = true;
+}
+
+Detection CusumDetector::push(double x) {
+  Detection d;
+  const std::size_t idx = n_++;
+  ++armed_n_;
+  if (!frozen_) {
+    sum_ += x;
+    sum_sq_ += x * x;
+    last_zero_ = idx;
+    if (armed_n_ >= cfg_.baseline_iters) freeze();
+    return d;
+  }
+  const double z = (x - mu0_) / sigma0_;
+  s_ = std::max(0.0, s_ + z - cfg_.cusum_k);
+  if (s_ == 0.0) last_zero_ = idx;
+  if (s_ > cfg_.cusum_h) {
+    d.fired = true;
+    d.onset_index = last_zero_ + 1;
+    d.detect_index = idx;
+    d.baseline_mean = mu0_;
+    d.baseline_sigma = sigma0_;
+    d.observed = x;
+    d.magnitude_sigma = z;
+    // Re-arm: learn the post-change regime as the new baseline.
+    frozen_ = false;
+    armed_n_ = 0;
+    sum_ = 0.0;
+    sum_sq_ = 0.0;
+    s_ = 0.0;
+  }
+  return d;
+}
+
+void CusumDetector::clear() {
+  n_ = 0;
+  armed_n_ = 0;
+  frozen_ = false;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+  mu0_ = 0.0;
+  sigma0_ = 0.0;
+  s_ = 0.0;
+  last_zero_ = 0;
+}
+
+EwmaDrift::EwmaDrift(const DetectorConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+}
+
+void EwmaDrift::freeze() {
+  const double n = static_cast<double>(armed_n_);
+  mu0_ = sum_ / n;
+  const double var = (sum_sq_ - n * mu0_ * mu0_) / (n - 1.0);
+  sigma0_ = floored_sigma(cfg_, mu0_, var, armed_n_);
+  z_ = mu0_;
+  frozen_ = true;
+}
+
+Detection EwmaDrift::push(double x) {
+  Detection d;
+  const std::size_t idx = n_++;
+  ++armed_n_;
+  if (!frozen_) {
+    sum_ += x;
+    sum_sq_ += x * x;
+    last_inside_ = idx;
+    if (armed_n_ >= cfg_.baseline_iters) freeze();
+    return d;
+  }
+  const double lam = cfg_.ewma_lambda;
+  z_ = lam * x + (1.0 - lam) * z_;
+  const double t = static_cast<double>(armed_n_);
+  const double correction = 1.0 - std::pow(1.0 - lam, 2.0 * t);
+  const double width =
+      cfg_.ewma_limit * sigma0_ * std::sqrt(lam / (2.0 - lam) * correction);
+  if (std::abs(z_ - mu0_) <= width) {
+    last_inside_ = idx;
+  } else {
+    d.fired = true;
+    d.onset_index = last_inside_ + 1;
+    d.detect_index = idx;
+    d.baseline_mean = mu0_;
+    d.baseline_sigma = sigma0_;
+    d.observed = x;
+    d.magnitude_sigma = (z_ - mu0_) / sigma0_;
+    frozen_ = false;
+    armed_n_ = 0;
+    sum_ = 0.0;
+    sum_sq_ = 0.0;
+    z_ = 0.0;
+  }
+  return d;
+}
+
+void EwmaDrift::clear() {
+  n_ = 0;
+  armed_n_ = 0;
+  frozen_ = false;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+  mu0_ = 0.0;
+  sigma0_ = 0.0;
+  z_ = 0.0;
+  last_inside_ = 0;
+}
+
+}  // namespace stash::monitor

@@ -1,0 +1,121 @@
+// Online change-point detectors over per-iteration stall signals.
+//
+// Two complementary detectors run per signal:
+//
+//   CusumDetector  one-sided CUSUM on standardized deviations from a frozen
+//                  baseline: S_t = max(0, S_{t-1} + (x_t - mu0)/sigma0 - k).
+//                  Alarms when S_t > h. Because S stays pinned at zero until
+//                  the shift starts, the last iteration with S == 0 is a
+//                  maximum-likelihood estimate of the onset — the detector
+//                  reports both the onset and the detection latency in
+//                  iterations.
+//   EwmaDrift      an EWMA control chart: z_t = lambda*x + (1-lambda)*z,
+//                  alarming when z leaves mu0 +/- L*sigma0*sqrt(lambda/
+//                  (2-lambda)*(1-(1-lambda)^(2t))). Catches slow drifts the
+//                  CUSUM's per-step drift allowance k absorbs.
+//
+// Both freeze their baseline (mu0, sigma0) from the first `baseline_iters`
+// samples, floor sigma0 at min_sigma (a perfectly deterministic simulation
+// can produce a zero-variance baseline), and re-arm after an alarm by
+// collecting a fresh baseline from post-change samples, so a later second
+// shift is detected against the new regime. Pure functions of the sample
+// stream: no clocks, no randomness.
+#pragma once
+
+#include <cstddef>
+
+namespace stash::monitor {
+
+struct DetectorConfig {
+  std::size_t baseline_iters = 8;  // samples frozen into (mu0, sigma0)
+  double cusum_k = 0.5;            // per-step drift allowance, in sigmas
+  double cusum_h = 5.0;            // alarm threshold, in sigmas
+  double ewma_lambda = 0.2;
+  double ewma_limit = 3.0;         // control-limit width L, in sigmas
+  double min_sigma = 1e-6;         // sigma0 floor (deterministic baselines)
+  // sigma0 is also floored at this fraction of |mu0|, so "interesting"
+  // shifts are relative to the signal's own scale rather than simulation
+  // noise when the baseline is nearly constant.
+  double min_sigma_frac = 0.02;
+  // Phase-I estimation guard: the frozen sigma0 is inflated by
+  // (1 + baseline_guard / sqrt(baseline_iters)). A short baseline both
+  // underestimates sigma (chi-square spread) and misplaces mu0 (sigma/
+  // sqrt(n) bias that CUSUM integrates every step); without the guard the
+  // realized in-control run length collapses far below the nominal ARL.
+  // Genuine shifts in the simulator are many baseline sigmas, so detection
+  // latency is unaffected. 0 disables.
+  double baseline_guard = 2.0;
+
+  void validate() const;
+};
+
+struct Detection {
+  bool fired = false;
+  // Estimated first shifted iteration: the sample index (0-based, in
+  // samples seen by this detector) after the last time the CUSUM statistic
+  // was zero.
+  std::size_t onset_index = 0;
+  std::size_t detect_index = 0;  // sample index that raised the alarm
+  double baseline_mean = 0.0;
+  double baseline_sigma = 0.0;
+  double observed = 0.0;          // the alarming sample
+  double magnitude_sigma = 0.0;   // (observed - mu0) / sigma0
+};
+
+class CusumDetector {
+ public:
+  explicit CusumDetector(const DetectorConfig& cfg);
+
+  // Feeds one sample; returns a Detection with fired=true at most once per
+  // armed period. The first `baseline_iters` samples only train the
+  // baseline and can never alarm.
+  Detection push(double x);
+
+  std::size_t samples() const { return n_; }
+  bool baseline_frozen() const { return frozen_; }
+  double baseline_mean() const { return mu0_; }
+  double baseline_sigma() const { return sigma0_; }
+  double statistic() const { return s_; }
+  void clear();
+
+ private:
+  void freeze();
+
+  DetectorConfig cfg_;
+  std::size_t n_ = 0;       // total samples consumed
+  std::size_t armed_n_ = 0; // samples consumed since the last (re)arm
+  bool frozen_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double mu0_ = 0.0;
+  double sigma0_ = 0.0;
+  double s_ = 0.0;
+  std::size_t last_zero_ = 0;  // last sample index with s_ == 0
+};
+
+class EwmaDrift {
+ public:
+  explicit EwmaDrift(const DetectorConfig& cfg);
+
+  Detection push(double x);
+
+  std::size_t samples() const { return n_; }
+  double value() const { return z_; }
+  void clear();
+
+ private:
+  void freeze();
+
+  DetectorConfig cfg_;
+  std::size_t n_ = 0;
+  std::size_t armed_n_ = 0;
+  bool frozen_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double mu0_ = 0.0;
+  double sigma0_ = 0.0;
+  double z_ = 0.0;
+  std::size_t last_inside_ = 0;  // last sample index inside the limits
+};
+
+}  // namespace stash::monitor

@@ -1,0 +1,349 @@
+#include "monitor/driver.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "cloud/builder.h"
+#include "faults/injector.h"
+#include "hw/flow_network.h"
+#include "obs/causal_log.h"
+#include "sim/simulator.h"
+#include "util/json.h"
+
+namespace stash::monitor {
+
+void MonitorOptions::validate() const {
+  if (per_gpu_batch < 1)
+    throw std::invalid_argument("MonitorOptions: per_gpu_batch must be >= 1");
+  if (iterations < 1)
+    throw std::invalid_argument("MonitorOptions: iterations must be >= 1");
+  if (warmup_iterations < 0 || warmup_iterations >= iterations)
+    throw std::invalid_argument(
+        "MonitorOptions: warmup_iterations must be in [0, iterations)");
+  monitor.validate();
+}
+
+namespace {
+
+// The trainer-side observer chain: monitor first (so detector state is
+// current), then the recording/streaming duties, then the caller's extra
+// observer (the live dashboard).
+struct Recorder : ddl::IterationObserver {
+  Recorder(StallMonitor& m, const MonitorOptions& opts,
+           ddl::IterationObserver* extra)
+      : monitor(m), opts(opts), extra(extra) {}
+
+  void on_iteration(const ddl::IterationSample& s) override {
+    monitor.on_iteration(s);
+    samples.push_back(s);
+    events_after.push_back(monitor.events().size());
+    if (opts.stream_openmetrics &&
+        samples.size() % opts.monitor.window == 0)
+      append_window();
+    if (extra != nullptr) extra->on_iteration(s);
+  }
+
+  void on_recovery(const ddl::RecoveryRecord& rec) override {
+    monitor.on_recovery(rec);
+    if (extra != nullptr) extra->on_recovery(rec);
+  }
+
+  void append_window() {
+    const Snapshot snap = monitor.snapshot();
+    ++windows;
+    telemetry::MetricsRegistry reg;
+    reg.gauge("monitor/iter_total_mean_s").set(snap.total.mean);
+    reg.gauge("monitor/iter_total_p50_s").set(snap.total.p50);
+    reg.gauge("monitor/iter_total_p95_s").set(snap.total.p95);
+    reg.gauge("monitor/data_wait_mean_s").set(snap.data_wait.mean);
+    reg.gauge("monitor/compute_mean_s").set(snap.compute.mean);
+    reg.gauge("monitor/comm_tail_mean_s").set(snap.comm_tail.mean);
+    reg.gauge("monitor/barrier_mean_s").set(snap.barrier.mean);
+    reg.gauge("monitor/iters_per_s").set(snap.window_iters_per_s);
+    reg.gauge("monitor/events_total")
+        .set(static_cast<double>(snap.events_total));
+    openmetrics += "# window " + std::to_string(windows) + " samples " +
+                   std::to_string(samples.size()) + " end_s " +
+                   util::json_double(snap.last_end_s) + "\n";
+    openmetrics += reg.to_prometheus();
+  }
+
+  StallMonitor& monitor;
+  const MonitorOptions& opts;
+  ddl::IterationObserver* extra;
+  std::vector<ddl::IterationSample> samples;
+  std::vector<std::size_t> events_after;
+  std::string openmetrics;
+  int windows = 0;
+};
+
+void write_signal(util::JsonWriter& w, const char* name,
+                  const SignalSummary& s) {
+  w.key(name).begin_object();
+  w.key("last_s").value(s.last);
+  w.key("mean_s").value(s.mean);
+  w.key("stddev_s").value(s.stddev);
+  w.key("p50_s").value(s.p50);
+  w.key("p95_s").value(s.p95);
+  w.end_object();
+}
+
+void write_event(util::JsonWriter& w, const MonitorEvent& ev) {
+  w.begin_object();
+  w.key("type").value("event");
+  w.key("kind").value(to_string(ev.kind));
+  w.key("detector").value(to_string(ev.detector));
+  w.key("signal").value(ev.signal);
+  w.key("onset_iteration").value(ev.onset_iteration);
+  w.key("detect_iteration").value(ev.detect_iteration);
+  w.key("latency_iterations").value(ev.latency_iterations);
+  w.key("time_s").value(ev.time_s);
+  w.key("baseline").value(ev.baseline);
+  w.key("observed").value(ev.observed);
+  w.key("magnitude_sigma").value(ev.magnitude_sigma);
+  w.end_object();
+}
+
+}  // namespace
+
+MonitorRunReport run_monitor(const dnn::Model& model,
+                             const dnn::Dataset& dataset,
+                             const MonitorOptions& opts, StallMonitor& monitor,
+                             ddl::IterationObserver* extra,
+                             util::TraceRecorder* trace,
+                             telemetry::MetricsRegistry* metrics) {
+  opts.validate();
+
+  sim::Simulator sim;
+  hw::FlowNetwork net(sim);
+  hw::Cluster cluster(
+      net, sim,
+      cloud::cluster_configs_for(cloud::instance(opts.spec.instance),
+                                 opts.spec.count, opts.spec.slice),
+      cloud::fabric_bandwidth());
+
+  // The production-like scenario: real data, warm caches (profiler step 4).
+  ddl::TrainConfig cfg;
+  cfg.per_gpu_batch = opts.per_gpu_batch;
+  cfg.iterations = opts.iterations;
+  cfg.warmup_iterations = opts.warmup_iterations;
+  cfg.synthetic_data = false;
+  cfg.cold_cache = false;
+  cfg.trace = trace;
+  cfg.metrics = metrics;
+
+  obs::CausalLog causal;
+  cfg.causal = &causal;
+
+  Recorder recorder(monitor, opts, extra);
+  cfg.observer = &recorder;
+
+  std::optional<faults::FaultPlan> plan;
+  std::optional<faults::FaultInjector> injector;
+  if (!opts.faults_spec.empty()) {
+    plan = faults::FaultPlan::parse(opts.faults_spec);
+    injector.emplace(sim, net, cluster, *plan);
+    injector->arm();
+    cfg.fault_tolerance = opts.recovery.tolerance(&injector->state());
+  }
+
+  MonitorRunReport report;
+  ddl::Trainer trainer(sim, net, cluster, model, dataset, cfg);
+  report.result = trainer.run();
+
+  report.model_name = model.name();
+  report.config_label = opts.spec.label();
+  report.per_gpu_batch = opts.per_gpu_batch;
+  report.iterations = opts.iterations;
+  report.warmup_iterations = opts.warmup_iterations;
+  report.faults_spec = opts.faults_spec;
+  report.monitor = monitor.config();
+  report.samples = std::move(recorder.samples);
+  report.events_after = std::move(recorder.events_after);
+  report.live_events = monitor.events().size();
+  report.openmetrics = std::move(recorder.openmetrics);
+
+  // Post-run: walk the causal log and fold each iteration's blame through
+  // the monitor's sliding window (the fold itself is streaming — the replay
+  // is batched only because the critical path needs the complete DAG).
+  report.blame = obs::analyze_critical_path(causal);
+  report.blame.scenario = "monitor";
+  report.blame.model_name = report.model_name;
+  report.blame.config_label = report.config_label;
+  for (const auto& ib : report.blame.iterations) monitor.fold_blame(ib);
+
+  report.events = monitor.events();
+  report.recoveries = monitor.recoveries();
+  report.final_snapshot = monitor.snapshot();
+  return report;
+}
+
+std::string event_to_json(const MonitorEvent& ev) {
+  util::JsonWriter w;
+  write_event(w, ev);
+  return w.str();
+}
+
+std::string monitor_to_jsonl(const MonitorRunReport& report) {
+  std::string out;
+  {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("schema").value("stash.monitor/1");
+    w.key("type").value("header");
+    w.key("model").value(report.model_name);
+    w.key("config").value(report.config_label);
+    w.key("batch").value(report.per_gpu_batch);
+    w.key("iterations").value(report.iterations);
+    w.key("warmup").value(report.warmup_iterations);
+    w.key("faults").value(report.faults_spec);
+    w.key("window").value(static_cast<int>(report.monitor.window));
+    w.key("detector").begin_object();
+    w.key("baseline_iters")
+        .value(static_cast<int>(report.monitor.detector.baseline_iters));
+    w.key("cusum_k").value(report.monitor.detector.cusum_k);
+    w.key("cusum_h").value(report.monitor.detector.cusum_h);
+    w.key("ewma_lambda").value(report.monitor.detector.ewma_lambda);
+    w.key("ewma_limit").value(report.monitor.detector.ewma_limit);
+    w.end_object();
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+
+  // Samples with their events interleaved exactly where they fired.
+  std::size_t emitted = 0;
+  for (std::size_t i = 0; i < report.samples.size(); ++i) {
+    const auto& s = report.samples[i];
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("type").value("sample");
+    w.key("iteration").value(s.iteration);
+    w.key("attempt").value(s.attempt);
+    w.key("measured").value(s.measured);
+    w.key("rework").value(s.rework);
+    w.key("start_s").value(s.start_s);
+    w.key("end_s").value(s.end_s);
+    w.key("total_s").value(s.total_s);
+    w.key("data_wait_s").value(s.data_wait_s);
+    w.key("compute_s").value(s.compute_s);
+    w.key("comm_tail_s").value(s.comm_tail_s);
+    w.key("barrier_s").value(s.barrier_s);
+    w.key("checkpoint_s").value(s.checkpoint_s);
+    w.key("workers").value(s.workers);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+    const std::size_t upto =
+        i < report.events_after.size() ? report.events_after[i] : emitted;
+    for (; emitted < upto && emitted < report.events.size(); ++emitted) {
+      out += event_to_json(report.events[emitted]);
+      out += '\n';
+    }
+  }
+  // Blame-fold events (the windowed causal stream) trail the samples.
+  for (; emitted < report.events.size(); ++emitted) {
+    out += event_to_json(report.events[emitted]);
+    out += '\n';
+  }
+
+  for (const auto& rec : report.recoveries) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("type").value("recovery");
+    w.key("time_s").value(rec.time_s);
+    w.key("at_iteration").value(rec.at_iteration);
+    w.key("policy").value(rec.policy == ddl::RecoveryPolicy::kCheckpointRestart
+                              ? "restart"
+                              : "shrink");
+    w.key("workers_before").value(rec.workers_before);
+    w.key("workers_after").value(rec.workers_after);
+    w.key("wait_seconds").value(rec.wait_seconds);
+    w.key("rework_iterations").value(rec.rework_iterations);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+
+  {
+    const Snapshot& snap = report.final_snapshot;
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("type").value("summary");
+    w.key("samples").value(static_cast<int>(report.samples.size()));
+    w.key("events").value(static_cast<int>(report.events.size()));
+    w.key("live_events").value(static_cast<int>(report.live_events));
+    w.key("events_by_kind").begin_object();
+    for (EventKind k :
+         {EventKind::kStragglerOnset, EventKind::kFetchStallRegression,
+          EventKind::kCommBlameShift, EventKind::kThroughputCollapse}) {
+      int n = 0;
+      for (const auto& ev : report.events)
+        if (ev.kind == k) ++n;
+      w.key(to_string(k)).value(n);
+    }
+    w.end_object();
+    w.key("recoveries").value(static_cast<int>(report.recoveries.size()));
+    w.key("per_iteration_s").value(report.result.per_iteration);
+    w.key("window_iters_per_s").value(snap.window_iters_per_s);
+    w.key("signals").begin_object();
+    write_signal(w, "total", snap.total);
+    write_signal(w, "data_wait", snap.data_wait);
+    write_signal(w, "compute", snap.compute);
+    write_signal(w, "comm_tail", snap.comm_tail);
+    write_signal(w, "barrier", snap.barrier);
+    w.end_object();
+    w.key("window_blame").begin_object();
+    w.key("total_s").value(snap.window_blame_total_s);
+    w.key("comm_share").value(snap.comm_blame_share);
+    w.key("by_category").begin_object();
+    for (std::size_t c = 0; c < obs::kBlameCategories; ++c)
+      w.key(obs::category_name(static_cast<obs::Category>(c)))
+          .value(snap.window_blame_s[c]);
+    w.end_object();
+    w.end_object();
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+void annotate_monitor_trace(const MonitorRunReport& report,
+                            util::TraceRecorder& trace) {
+  if (report.events.empty()) return;
+  // tid 130 sits above the trainer's worker (0..), H2D (100+), comm (110),
+  // fault (115) and critical-path (120) tracks.
+  trace.name_track(0, 130, "monitor detections");
+  for (const auto& ev : report.events)
+    trace.add_instant(std::string("monitor:") + to_string(ev.kind), "monitor",
+                      ev.time_s, 0, 130);
+}
+
+void record_monitor_metrics(const MonitorRunReport& report,
+                            telemetry::MetricsRegistry& metrics) {
+  const Snapshot& snap = report.final_snapshot;
+  metrics.gauge("monitor/samples")
+      .set(static_cast<double>(report.samples.size()));
+  metrics.gauge("monitor/iters_per_s").set(snap.window_iters_per_s);
+  metrics.gauge("monitor/iter_total_mean_s").set(snap.total.mean);
+  metrics.gauge("monitor/iter_total_p95_s").set(snap.total.p95);
+  metrics.gauge("monitor/comm_blame_share").set(snap.comm_blame_share);
+  for (EventKind k :
+       {EventKind::kStragglerOnset, EventKind::kFetchStallRegression,
+        EventKind::kCommBlameShift, EventKind::kThroughputCollapse}) {
+    int n = 0;
+    double latency = 0.0;
+    for (const auto& ev : report.events)
+      if (ev.kind == k) {
+        ++n;
+        latency += ev.latency_iterations;
+      }
+    const std::string base = std::string("monitor/events/") + to_string(k);
+    metrics.counter(base).add(n);
+    if (n > 0)
+      metrics.gauge(base + "_mean_latency_iters").set(latency / n);
+  }
+}
+
+}  // namespace stash::monitor

@@ -1,0 +1,112 @@
+// Monitor driver: runs one (optionally fault-injected) warm-data training
+// simulation with a StallMonitor attached live, replays the run's causal
+// blame through the monitor's sliding window, and serializes the resulting
+// stream three ways:
+//
+//   * monitor_to_jsonl      — the `stash.monitor/1` JSONL stream: one
+//                             header line, one line per committed iteration
+//                             with detector events interleaved exactly where
+//                             they fired, recovery and summary trailers.
+//   * report.openmetrics    — windowed OpenMetrics snapshots appended every
+//                             `window` iterations while the run streams.
+//   * annotate_monitor_trace— one Chrome-trace instant per detection on the
+//                             monitor track of the existing timeline.
+//
+// Every output is a pure function of (model, options): byte-identical for
+// any --jobs value, no wall-clock anywhere.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ddl/train_config.h"
+#include "dnn/dataset.h"
+#include "dnn/model.h"
+#include "faults/fault_plan.h"
+#include "monitor/monitor.h"
+#include "obs/critical_path.h"
+#include "stash/cluster_spec.h"
+#include "stash/profiler.h"
+#include "telemetry/metrics.h"
+#include "util/trace.h"
+
+namespace stash::monitor {
+
+struct MonitorOptions {
+  profiler::ClusterSpec spec;
+  int per_gpu_batch = 32;
+  int iterations = 64;
+  int warmup_iterations = 2;
+  MonitorConfig monitor{};
+  // ';'-separated fault events (faults::FaultPlan::parse syntax); empty =
+  // healthy run. Recovery behavior under faults comes from `recovery`.
+  std::string faults_spec;
+  profiler::FaultProfileOptions recovery{};
+  // Emit one OpenMetrics snapshot block every monitor.window iterations
+  // into MonitorRunReport::openmetrics.
+  bool stream_openmetrics = true;
+
+  void validate() const;
+};
+
+struct MonitorRunReport {
+  std::string model_name;
+  std::string config_label;
+  int per_gpu_batch = 0;
+  int iterations = 0;
+  int warmup_iterations = 0;
+  std::string faults_spec;
+  MonitorConfig monitor;
+
+  // The live sample stream, in commit order (iteration indices may rewind
+  // across recovery attempts).
+  std::vector<ddl::IterationSample> samples;
+  // events[0 .. events_after[i]) had fired once sample i was consumed; the
+  // JSONL writer uses this to interleave events at their firing position.
+  std::vector<std::size_t> events_after;
+  std::size_t live_events = 0;  // events from the sample stream itself
+  // Live events first (firing order), then blame-fold events (fold order).
+  std::vector<MonitorEvent> events;
+  std::vector<ddl::RecoveryRecord> recoveries;
+  Snapshot final_snapshot;
+
+  obs::BlameReport blame;
+  ddl::TrainResult result;
+
+  // Appended windowed OpenMetrics snapshots (empty unless requested).
+  std::string openmetrics;
+};
+
+// Runs the simulation with `monitor` attached as the trainer's live
+// observer. `extra` (may be null) sees every sample/recovery after the
+// monitor has consumed it — the live dashboard hangs here. `trace` and
+// `metrics` (may be null) attach to the training run like the profiler's
+// sinks. After the run the causal log is walked and its per-iteration
+// blame folded into the monitor, which may append further events.
+MonitorRunReport run_monitor(const dnn::Model& model,
+                             const dnn::Dataset& dataset,
+                             const MonitorOptions& opts, StallMonitor& monitor,
+                             ddl::IterationObserver* extra = nullptr,
+                             util::TraceRecorder* trace = nullptr,
+                             telemetry::MetricsRegistry* metrics = nullptr);
+
+// The `stash.monitor/1` JSONL stream (every line a complete JSON document,
+// newline-terminated; see EXPERIMENTS.md for the schema).
+std::string monitor_to_jsonl(const MonitorRunReport& report);
+
+// One JSON document for a single event (no trailing newline) — shared by
+// the JSONL writer and tests.
+std::string event_to_json(const MonitorEvent& ev);
+
+// Adds one instant per detection to the "monitor" track (pid 0, tid 130 —
+// above the trainer's worker tracks) of an existing timeline.
+void annotate_monitor_trace(const MonitorRunReport& report,
+                            util::TraceRecorder& trace);
+
+// Records the monitor's run-level summary into a registry under "monitor/"
+// (event counts by kind, final windowed signal means, detection latency).
+void record_monitor_metrics(const MonitorRunReport& report,
+                            telemetry::MetricsRegistry& metrics);
+
+}  // namespace stash::monitor

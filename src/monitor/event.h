@@ -1,0 +1,34 @@
+// Typed events the streaming observatory emits when a detector fires.
+#pragma once
+
+#include <string>
+
+namespace stash::monitor {
+
+enum class EventKind {
+  kStragglerOnset,       // barrier-wait shift: a peer started pacing the ring
+  kFetchStallRegression, // data-wait shift: the input pipeline fell behind
+  kCommBlameShift,       // windowed causal comm blame share drifted up
+  kThroughputCollapse,   // total iteration time shifted up
+};
+
+const char* to_string(EventKind k);
+
+enum class DetectorKind { kCusum, kEwma };
+
+const char* to_string(DetectorKind k);
+
+struct MonitorEvent {
+  EventKind kind = EventKind::kThroughputCollapse;
+  DetectorKind detector = DetectorKind::kCusum;
+  std::string signal;        // e.g. "iter_total_s", "barrier_s"
+  int onset_iteration = 0;   // estimated first shifted iteration
+  int detect_iteration = 0;  // iteration whose sample raised the alarm
+  int latency_iterations = 0;  // detect - onset
+  double time_s = 0.0;       // simulated time of the detecting sample's end
+  double baseline = 0.0;     // frozen baseline mean of the signal
+  double observed = 0.0;     // the alarming sample value
+  double magnitude_sigma = 0.0;
+};
+
+}  // namespace stash::monitor

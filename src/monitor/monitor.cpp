@@ -1,0 +1,181 @@
+#include "monitor/monitor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stash::monitor {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kStragglerOnset: return "straggler_onset";
+    case EventKind::kFetchStallRegression: return "fetch_stall_regression";
+    case EventKind::kCommBlameShift: return "comm_blame_shift";
+    case EventKind::kThroughputCollapse: return "throughput_collapse";
+  }
+  return "unknown";
+}
+
+const char* to_string(DetectorKind k) {
+  switch (k) {
+    case DetectorKind::kCusum: return "cusum";
+    case DetectorKind::kEwma: return "ewma";
+  }
+  return "unknown";
+}
+
+void MonitorConfig::validate() const {
+  if (window < 2)
+    throw std::invalid_argument("MonitorConfig: window must be >= 2");
+  detector.validate();
+}
+
+StallMonitor::Signal::Signal(const char* name, EventKind kind,
+                             const MonitorConfig& cfg)
+    : name(name),
+      kind(kind),
+      stats(cfg.window),
+      p50(0.5),
+      p95(0.95),
+      cusum(cfg.detector),
+      ewma(cfg.detector) {}
+
+SignalSummary StallMonitor::Signal::summary() const {
+  SignalSummary s;
+  s.last = last;
+  s.mean = stats.mean();
+  s.stddev = stats.stddev();
+  s.p50 = p50.value();
+  s.p95 = p95.value();
+  return s;
+}
+
+void StallMonitor::Signal::push(StallMonitor& m, double value, int iteration,
+                                double time_s) {
+  last = value;
+  stats.push(value);
+  p50.push(value);
+  p95.push(value);
+  iterations.push_back(iteration);
+  const Detection dc = cusum.push(value);
+  if (dc.fired) m.emit(*this, DetectorKind::kCusum, dc, iteration, time_s);
+  const Detection de = ewma.push(value);
+  if (de.fired) m.emit(*this, DetectorKind::kEwma, de, iteration, time_s);
+}
+
+StallMonitor::StallMonitor(const MonitorConfig& cfg)
+    : cfg_(cfg),
+      total_("iter_total_s", EventKind::kThroughputCollapse, cfg_),
+      data_wait_("data_wait_s", EventKind::kFetchStallRegression, cfg_),
+      compute_("compute_s", EventKind::kThroughputCollapse, cfg_),
+      comm_tail_("comm_tail_s", EventKind::kCommBlameShift, cfg_),
+      barrier_("barrier_s", EventKind::kStragglerOnset, cfg_),
+      comm_share_("comm_blame_share", EventKind::kCommBlameShift, cfg_),
+      window_ends_(cfg_.window),
+      blame_ring_(cfg_.window) {
+  cfg_.validate();
+}
+
+void StallMonitor::emit(Signal& sig, DetectorKind det, const Detection& d,
+                        int iteration, double time_s) {
+  // One regime shift should yield one event even though two detectors watch
+  // the signal: whichever fires first wins the cooldown window.
+  if (d.detect_index < sig.cooldown_until) return;
+  sig.cooldown_until = d.detect_index + cfg_.event_cooldown;
+
+  MonitorEvent ev;
+  ev.kind = sig.kind;
+  ev.detector = det;
+  ev.signal = sig.name;
+  const auto clamp_idx = [&](std::size_t idx) {
+    return sig.iterations[std::min(idx, sig.iterations.size() - 1)];
+  };
+  ev.onset_iteration = clamp_idx(d.onset_index);
+  ev.detect_iteration = iteration;
+  ev.latency_iterations = ev.detect_iteration - ev.onset_iteration;
+  ev.time_s = time_s;
+  ev.baseline = d.baseline_mean;
+  ev.observed = d.observed;
+  ev.magnitude_sigma = d.magnitude_sigma;
+  events_.push_back(ev);
+}
+
+void StallMonitor::on_iteration(const ddl::IterationSample& s) {
+  ++iterations_seen_;
+  last_iteration_ = s.iteration;
+  last_end_s_ = s.end_s;
+  window_ends_.push(s.end_s);
+
+  total_.push(*this, s.total_s, s.iteration, s.end_s);
+  data_wait_.push(*this, s.data_wait_s, s.iteration, s.end_s);
+  compute_.push(*this, s.compute_s, s.iteration, s.end_s);
+  comm_tail_.push(*this, s.comm_tail_s, s.iteration, s.end_s);
+  barrier_.push(*this, s.barrier_s, s.iteration, s.end_s);
+}
+
+void StallMonitor::on_recovery(const ddl::RecoveryRecord& rec) {
+  recoveries_.push_back(rec);
+}
+
+void StallMonitor::fold_blame(const obs::IterationBlame& blame) {
+  BlameEntry entry;
+  entry.by_category = blame.by_category;
+  for (double v : entry.by_category) entry.total += v;
+
+  BlameEntry evicted;
+  if (blame_ring_.push(entry, &evicted)) {
+    for (std::size_t i = 0; i < obs::kBlameCategories; ++i)
+      blame_sums_[i] -= evicted.by_category[i];
+    blame_total_ -= evicted.total;
+  }
+  for (std::size_t i = 0; i < obs::kBlameCategories; ++i)
+    blame_sums_[i] += entry.by_category[i];
+  blame_total_ += entry.total;
+  has_blame_ = true;
+
+  const double comm =
+      blame_sums_[static_cast<std::size_t>(obs::Category::kInterconnect)] +
+      blame_sums_[static_cast<std::size_t>(obs::Category::kNetwork)];
+  const double share = blame_total_ > 0.0 ? comm / blame_total_ : 0.0;
+  comm_share_.push(*this, share, blame.iteration, blame.end_s);
+}
+
+std::vector<double> StallMonitor::recent_totals() const {
+  std::vector<double> out;
+  // The throughput ring and the total signal's stats ring share a window;
+  // expose the retained iteration totals oldest-first for sparklines.
+  out.reserve(total_.stats.count());
+  for (std::size_t i = 0; i < total_.stats.count(); ++i)
+    out.push_back(total_.stats.at(i));
+  return out;
+}
+
+Snapshot StallMonitor::snapshot() const {
+  Snapshot s;
+  s.iterations_seen = iterations_seen_;
+  s.last_iteration = last_iteration_;
+  s.last_end_s = last_end_s_;
+  s.total = total_.summary();
+  s.data_wait = data_wait_.summary();
+  s.compute = compute_.summary();
+  s.comm_tail = comm_tail_.summary();
+  s.barrier = barrier_.summary();
+  if (window_ends_.size() >= 2) {
+    const double span = window_ends_.back() - window_ends_.front();
+    if (span > 0.0)
+      s.window_iters_per_s =
+          static_cast<double>(window_ends_.size() - 1) / span;
+  }
+  s.has_blame = has_blame_;
+  s.window_blame_s = blame_sums_;
+  s.window_blame_total_s = blame_total_;
+  if (blame_total_ > 0.0) {
+    const double comm =
+        blame_sums_[static_cast<std::size_t>(obs::Category::kInterconnect)] +
+        blame_sums_[static_cast<std::size_t>(obs::Category::kNetwork)];
+    s.comm_blame_share = comm / blame_total_;
+  }
+  s.events_total = static_cast<int>(events_.size());
+  return s;
+}
+
+}  // namespace stash::monitor

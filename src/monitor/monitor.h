@@ -1,0 +1,150 @@
+// StallMonitor: the streaming stall observatory core.
+//
+// Consumes the trainer's live per-iteration samples (ddl::IterationObserver)
+// and maintains, per stall signal, a fixed-capacity ring window with O(1)
+// rolling mean/variance, streaming p50/p95 (P-squared), and two online
+// change-point detectors (CUSUM onset + EWMA drift). Detections become
+// typed MonitorEvents carrying the estimated onset iteration and the
+// detection latency in iterations.
+//
+// It also maintains a sliding-window view of PR 4's causal blame: callers
+// fold per-iteration obs::IterationBlame records (in sample order) and the
+// monitor keeps windowed by-category totals incrementally — add the new
+// iteration, subtract whatever the ring evicts — instead of whole-run
+// aggregation. The windowed communication share (interconnect + network on
+// the critical path) feeds its own detectors and emits kCommBlameShift.
+//
+// Everything is a pure function of the (sample, blame) streams: no clocks,
+// no threads, no allocation in steady state beyond the event list.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ddl/train_config.h"
+#include "monitor/detectors.h"
+#include "monitor/event.h"
+#include "monitor/online_stats.h"
+#include "monitor/ring_buffer.h"
+#include "obs/causal_log.h"
+#include "obs/critical_path.h"
+
+namespace stash::monitor {
+
+struct MonitorConfig {
+  // Ring capacity per signal and the sliding blame window, in iterations.
+  std::size_t window = 32;
+  DetectorConfig detector{};
+  // After any event on a signal, further events on the same signal are
+  // suppressed for this many samples (both detectors re-baseline after
+  // firing; the cooldown keeps one regime shift from double-reporting
+  // through the other detector). 0 = no cooldown.
+  std::size_t event_cooldown = 8;
+
+  void validate() const;
+};
+
+// Windowed summary of one signal.
+struct SignalSummary {
+  double last = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+// Point-in-time view for dashboards and summary tables.
+struct Snapshot {
+  int iterations_seen = 0;
+  int last_iteration = -1;
+  double last_end_s = 0.0;
+  SignalSummary total;
+  SignalSummary data_wait;
+  SignalSummary compute;
+  SignalSummary comm_tail;
+  SignalSummary barrier;
+  // Mean iterations/s over the retained window (0 until two samples).
+  double window_iters_per_s = 0.0;
+  // Sliding-window causal blame (absent until blame is folded).
+  bool has_blame = false;
+  std::array<double, obs::kBlameCategories> window_blame_s{};
+  double window_blame_total_s = 0.0;
+  double comm_blame_share = 0.0;  // (interconnect + network) / total
+  int events_total = 0;
+};
+
+class StallMonitor : public ddl::IterationObserver {
+ public:
+  explicit StallMonitor(const MonitorConfig& cfg);
+
+  // ddl::IterationObserver: feed one committed iteration.
+  void on_iteration(const ddl::IterationSample& s) override;
+  void on_recovery(const ddl::RecoveryRecord& rec) override;
+
+  // Folds one iteration's causal blame into the sliding window. Records
+  // must arrive in the same order as the samples they describe; iterations
+  // the walker skipped may be omitted.
+  void fold_blame(const obs::IterationBlame& blame);
+
+  Snapshot snapshot() const;
+  const std::vector<MonitorEvent>& events() const { return events_; }
+  const std::vector<ddl::RecoveryRecord>& recoveries() const {
+    return recoveries_;
+  }
+  // Retained iteration totals, oldest first (dashboard sparkline).
+  std::vector<double> recent_totals() const;
+  const MonitorConfig& config() const { return cfg_; }
+
+ private:
+  // One monitored signal: window stats, quantiles, and both detectors.
+  struct Signal {
+    Signal(const char* name, EventKind kind, const MonitorConfig& cfg);
+    void push(StallMonitor& m, double value, int iteration, double time_s);
+    SignalSummary summary() const;
+
+    const char* name;
+    EventKind kind;
+    RollingStats stats;
+    P2Quantile p50;
+    P2Quantile p95;
+    CusumDetector cusum;
+    EwmaDrift ewma;
+    double last = 0.0;
+    // Sample-stream-index -> iteration mapping for onset reporting.
+    std::vector<int> iterations;
+    std::size_t cooldown_until = 0;  // suppress events below this index
+  };
+
+  void emit(Signal& sig, DetectorKind det, const Detection& d, int iteration,
+            double time_s);
+
+  MonitorConfig cfg_;
+  Signal total_;
+  Signal data_wait_;
+  Signal compute_;
+  Signal comm_tail_;
+  Signal barrier_;
+  Signal comm_share_;
+
+  int iterations_seen_ = 0;
+  int last_iteration_ = -1;
+  double last_end_s_ = 0.0;
+  RingBuffer<double> window_ends_;  // iteration end times (throughput)
+
+  // Sliding blame window.
+  struct BlameEntry {
+    std::array<double, obs::kBlameCategories> by_category{};
+    double total = 0.0;
+  };
+  RingBuffer<BlameEntry> blame_ring_;
+  std::array<double, obs::kBlameCategories> blame_sums_{};
+  double blame_total_ = 0.0;
+  bool has_blame_ = false;
+
+  std::vector<MonitorEvent> events_;
+  std::vector<ddl::RecoveryRecord> recoveries_;
+};
+
+}  // namespace stash::monitor

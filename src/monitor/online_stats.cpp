@@ -1,0 +1,153 @@
+#include "monitor/online_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stash::monitor {
+
+RollingStats::RollingStats(std::size_t window) : ring_(window) {}
+
+void RollingStats::push(double x) {
+  double evicted = 0.0;
+  if (ring_.push(x, &evicted)) {
+    sum_ -= evicted;
+    sum_sq_ -= evicted * evicted;
+  }
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double RollingStats::mean() const {
+  return ring_.empty() ? 0.0 : sum_ / static_cast<double>(ring_.size());
+}
+
+double RollingStats::variance() const {
+  if (ring_.size() < 2) return 0.0;
+  const double n = static_cast<double>(ring_.size());
+  const double m = sum_ / n;
+  return std::max(0.0, sum_sq_ / n - m * m);
+}
+
+double RollingStats::stddev() const { return std::sqrt(variance()); }
+
+double RollingStats::min() const {
+  double m = ring_.empty() ? 0.0 : ring_.at(0);
+  for (std::size_t i = 1; i < ring_.size(); ++i) m = std::min(m, ring_.at(i));
+  return m;
+}
+
+double RollingStats::max() const {
+  double m = ring_.empty() ? 0.0 : ring_.at(0);
+  for (std::size_t i = 1; i < ring_.size(); ++i) m = std::max(m, ring_.at(i));
+  return m;
+}
+
+void RollingStats::clear() {
+  ring_.clear();
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (!(q > 0.0 && q < 1.0))
+    throw std::invalid_argument("P2Quantile: q must be in (0, 1)");
+}
+
+void P2Quantile::push(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+      desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+      increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+    }
+    return;
+  }
+
+  // Find the cell the observation falls into and bump the extremes.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++count_;
+
+  // Adjust the three interior markers toward their desired positions using
+  // the piecewise-parabolic (P^2) formula, falling back to linear when the
+  // parabolic prediction would leave the bracketing heights.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      const double np = positions_[i] + s;
+      const double parabolic =
+          heights_[i] +
+          s / (positions_[i + 1] - positions_[i - 1]) *
+              ((below + s) * (heights_[i + 1] - heights_[i]) / above +
+               (above - s) * (heights_[i] - heights_[i - 1]) / below);
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const int j = i + static_cast<int>(s);
+        heights_[i] += s * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact quantile of the few buffered samples (nearest-rank).
+    std::array<double, 5> s = heights_;
+    std::sort(s.begin(), s.begin() + count_);
+    const auto idx = static_cast<std::size_t>(
+        q_ * static_cast<double>(count_ - 1) + 0.5);
+    return s[std::min(idx, count_ - 1)];
+  }
+  return heights_[2];
+}
+
+void P2Quantile::clear() {
+  count_ = 0;
+  heights_.fill(0.0);
+  positions_.fill(0.0);
+  desired_.fill(0.0);
+  increments_.fill(0.0);
+}
+
+Ewma::Ewma(double lambda) : lambda_(lambda) {
+  if (!(lambda > 0.0 && lambda <= 1.0))
+    throw std::invalid_argument("Ewma: lambda must be in (0, 1]");
+}
+
+void Ewma::push(double x) {
+  value_ = count_ == 0 ? x : lambda_ * x + (1.0 - lambda_) * value_;
+  ++count_;
+}
+
+double Ewma::limit_correction() const {
+  const double r = 1.0 - lambda_;
+  return 1.0 - std::pow(r, 2.0 * static_cast<double>(count_));
+}
+
+void Ewma::clear() {
+  value_ = 0.0;
+  count_ = 0;
+}
+
+}  // namespace stash::monitor

@@ -1,0 +1,87 @@
+// Streaming statistics over per-iteration samples: O(1) rolling
+// mean/variance over a fixed window, P-squared quantile estimation, and an
+// exponentially weighted moving average. All of it is a pure function of
+// the sample sequence — no clocks, no allocation in steady state — so every
+// consumer inherits the repo's byte-identical-output guarantee.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "monitor/ring_buffer.h"
+
+namespace stash::monitor {
+
+// Windowed mean/variance maintained incrementally: push adds the new sample
+// and subtracts whatever the ring evicts, so cost is O(1) regardless of the
+// window length. Variance is the population variance of the retained
+// window, clamped at zero against floating-point cancellation.
+class RollingStats {
+ public:
+  explicit RollingStats(std::size_t window);
+
+  void push(double x);
+  std::size_t count() const { return ring_.size(); }
+  std::size_t window() const { return ring_.capacity(); }
+  // i-th retained sample, oldest first.
+  double at(std::size_t i) const { return ring_.at(i); }
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+  double min() const;  // of the retained window, O(n) — diagnostics only
+  double max() const;
+  void clear();
+
+ private:
+  RingBuffer<double> ring_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+// P-squared (Jain & Chlamtac 1985) streaming quantile estimator: five
+// markers track min, q/2, q, (1+q)/2 and max, adjusted per observation with
+// piecewise-parabolic interpolation. O(1) per sample and O(1) memory, with
+// the classic accuracy of a few percent of the true quantile on smooth
+// distributions — the exact-sort oracle tolerance is pinned by tests.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void push(double x);
+  std::size_t count() const { return count_; }
+  // Current estimate. Before five samples have arrived this falls back to
+  // the exact quantile of the buffered samples.
+  double value() const;
+  void clear();
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};       // marker heights
+  std::array<double, 5> positions_{};     // actual marker positions
+  std::array<double, 5> desired_{};       // desired marker positions
+  std::array<double, 5> increments_{};    // desired-position increments
+};
+
+// Exponentially weighted moving average with the standard control-chart
+// variance correction: var(z_t) = sigma^2 * lambda/(2-lambda) *
+// (1 - (1-lambda)^{2t}).
+class Ewma {
+ public:
+  explicit Ewma(double lambda);
+
+  void push(double x);
+  std::size_t count() const { return count_; }
+  double value() const { return value_; }
+  double lambda() const { return lambda_; }
+  // The (1 - (1-lambda)^{2t}) startup correction factor for control limits.
+  double limit_correction() const;
+  void clear();
+
+ private:
+  double lambda_;
+  double value_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace stash::monitor

@@ -1,0 +1,64 @@
+// Fixed-capacity ring buffer: the storage discipline of the streaming
+// observatory. Capacity is set once; push evicts the oldest element when
+// full. No allocation after construction, O(1) push, oldest-first indexing
+// — a window over an unbounded sample stream with bounded memory.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace stash::monitor {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : buf_(capacity > 0
+                 ? capacity
+                 : throw std::invalid_argument(
+                       "RingBuffer: capacity must be >= 1")) {}
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == buf_.size(); }
+
+  // Appends `v`; returns true if an element was evicted to make room (the
+  // evicted value is written to *evicted when non-null, for streaming
+  // statistics that subtract what leaves the window).
+  bool push(const T& v, T* evicted = nullptr) {
+    const bool evict = full();
+    if (evict) {
+      if (evicted != nullptr) *evicted = buf_[head_];
+      buf_[head_] = v;
+      head_ = (head_ + 1) % buf_.size();
+    } else {
+      buf_[(head_ + size_) % buf_.size()] = v;
+      ++size_;
+    }
+    return evict;
+  }
+
+  // Oldest-first access: at(0) is the oldest retained element, at(size()-1)
+  // the newest.
+  const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer::at");
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  const T& front() const { return at(0); }
+  const T& back() const { return at(size_ - 1); }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;  // index of the oldest element
+  std::size_t size_ = 0;
+};
+
+}  // namespace stash::monitor

@@ -3,10 +3,19 @@
 #include <cstdio>
 #include <iostream>
 
+#include <unistd.h>
+
 namespace stash::obs {
+
+namespace {
+constexpr std::chrono::milliseconds kRedrawInterval{50};
+}  // namespace
+
+bool stderr_is_tty() { return ::isatty(2) != 0; }
 
 ProgressReporter::ProgressReporter(std::ostream* os)
     : os_(os != nullptr ? os : &std::cerr),
+      interactive_(os_ == &std::cerr && stderr_is_tty()),
       start_(std::chrono::steady_clock::now()) {}
 
 void ProgressReporter::begin(const std::string& task, int total) {
@@ -28,15 +37,56 @@ void ProgressReporter::step(const std::string& what) {
   std::string counter = total_ > 0 ? std::to_string(done_) + "/" +
                                          std::to_string(total_)
                                    : std::to_string(done_);
-  line("[" + task_ + "] " + counter + " " + what + suffix);
+  line_locked("[" + task_ + "] " + counter + " " + what + suffix);
 }
 
 void ProgressReporter::note(const std::string& what) {
   std::lock_guard<std::mutex> lock(mu_);
-  line("[" + task_ + "] " + what);
+  line_locked("[" + task_ + "] " + what);
 }
 
-void ProgressReporter::line(const std::string& text) {
+void ProgressReporter::status(const std::string& text, bool force) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  if (!force && now - last_draw_ < kRedrawInterval) return;
+  last_draw_ = now;
+  if (interactive_) {
+    *os_ << "\r\033[K" << text;
+    os_->flush();
+    status_active_ = true;
+  } else {
+    // Redirected stderr: each surviving frame is its own complete line, so
+    // logs stay grep-able and carry no control characters.
+    *os_ << text << '\n';
+    os_->flush();
+  }
+}
+
+void ProgressReporter::clear_status() {
+  std::lock_guard<std::mutex> lock(mu_);
+  erase_status_locked();
+}
+
+void ProgressReporter::set_interactive(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!on) erase_status_locked();
+  interactive_ = on;
+}
+
+bool ProgressReporter::interactive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return interactive_;
+}
+
+void ProgressReporter::erase_status_locked() {
+  if (!status_active_) return;
+  *os_ << "\r\033[K";
+  os_->flush();
+  status_active_ = false;
+}
+
+void ProgressReporter::line_locked(const std::string& text) {
+  erase_status_locked();
   *os_ << text << '\n';
   os_->flush();
 }

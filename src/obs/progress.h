@@ -6,6 +6,14 @@
 // determinism guarantee about the real outputs is untouched. Thread-safe:
 // the profiler's steps complete on pool threads in any order.
 //
+// Besides the permanent lines (begin/step/note), status() maintains a
+// single transient status line — the live dashboard's frame. On an
+// interactive terminal it is rewritten in place with \r + erase-to-EOL; when
+// stderr is redirected (CI logs, pipes) the reporter degrades to plain
+// line-buffered output so no carriage returns land in log files. Redraws
+// are throttled to at most one per 50 ms either way; pass force=true for
+// frames that must not be dropped (the final one).
+//
 // A null reporter pointer everywhere means "silent", which is the default;
 // stash_cli turns one on with --progress (or STASH_PROGRESS=1).
 #pragma once
@@ -17,9 +25,17 @@
 
 namespace stash::obs {
 
+// Whether stderr is attached to a terminal (POSIX isatty). The reporter
+// consults this once at construction; exposed for tests and callers that
+// pick output styles themselves.
+bool stderr_is_tty();
+
 class ProgressReporter {
  public:
-  // Writes to `os` (not owned); defaults to std::cerr.
+  // Writes to `os` (not owned); defaults to std::cerr. In-place status
+  // rewriting is only enabled when writing to the real std::cerr AND stderr
+  // is a terminal; any other stream (test harnesses, redirected logs) gets
+  // plain lines.
   explicit ProgressReporter(std::ostream* os = nullptr);
 
   // Starts a new task with `total` expected units (0 = indeterminate).
@@ -29,17 +45,34 @@ class ProgressReporter {
   // Prints an out-of-band line without advancing the counter.
   void note(const std::string& what);
 
+  // Draws (or redraws) the transient status line. Throttled: calls within
+  // 50 ms of the last draw are dropped unless force is set. A subsequent
+  // step/note/clear_status erases an active in-place status line before
+  // printing, so permanent lines never interleave with a stale frame.
+  void status(const std::string& text, bool force = false);
+  // Erases an active in-place status line (no-op in line mode).
+  void clear_status();
+
+  // Overrides the constructor's TTY detection (tests pin both modes).
+  void set_interactive(bool on);
+  bool interactive() const;
+
   int done() const;
 
  private:
-  void line(const std::string& text);
+  void line_locked(const std::string& text);
+  void erase_status_locked();
 
   mutable std::mutex mu_;
   std::ostream* os_;
+  bool interactive_ = false;
+  bool status_active_ = false;  // an in-place status line is on screen
   std::string task_ = "stash";
   int total_ = 0;
   int done_ = 0;
   std::chrono::steady_clock::time_point start_;
+  // Epoch-initialized so the very first status() always draws.
+  std::chrono::steady_clock::time_point last_draw_{};
 };
 
 }  // namespace stash::obs

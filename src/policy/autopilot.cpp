@@ -73,6 +73,17 @@ const char* to_string(Trigger t) {
   return "?";
 }
 
+const char* to_string(TriggerMode m) {
+  return m == TriggerMode::kDetector ? "detector" : "threshold";
+}
+
+TriggerMode parse_trigger_mode(const std::string& name) {
+  if (name == "threshold") return TriggerMode::kThreshold;
+  if (name == "detector") return TriggerMode::kDetector;
+  throw std::invalid_argument("unknown trigger mode '" + name +
+                              "' (expected threshold|detector)");
+}
+
 std::string FleetShape::label() const {
   std::string alloc;
   if (spot_machines <= 0)
@@ -130,6 +141,7 @@ void AutopilotOptions::validate() const {
   spot.validate();
   profile.validate();
   scripted_faults.validate();
+  detector.validate();
 }
 
 namespace {
@@ -279,7 +291,29 @@ struct StragglerWindow {
   double start_s = 0.0;
   double end_s = 0.0;
   double factor = 1.0;  // job-wide compute slowdown while active
+  // When the engine learns the window opened: start_s in threshold mode,
+  // start_s + the monitor CUSUM's detection latency in detector mode. A
+  // window that closes before announce_s is never announced — a blip the
+  // monitor would have missed.
+  double announce_s = 0.0;
+  int detect_latency_iters = 0;
 };
+
+// Detection latency, in iterations, of the streaming monitor's CUSUM on a
+// synthesized stream: baseline_iters samples at the steady iteration time,
+// then shifted samples at `factor` times that. The CUSUM standardizes by the
+// frozen baseline, so the iteration time cancels and this is a pure
+// function of (factor, detector config) — no randomness, no clocks.
+int cusum_detect_latency_iters(double factor,
+                               const monitor::DetectorConfig& cfg) {
+  if (factor <= 1.0) return 0;  // not a slowdown: nothing to detect
+  monitor::CusumDetector det(cfg);
+  for (std::size_t i = 0; i < cfg.baseline_iters; ++i) det.push(1.0);
+  constexpr int kCap = 4096;
+  for (int i = 1; i <= kCap; ++i)
+    if (det.push(factor).fired) return i;
+  return kCap;  // shift below the detector's resolution
+}
 
 // Shared, read-only context for one autopilot run; `draws` is per trial.
 struct EngineEnv {
@@ -506,16 +540,21 @@ class Engine {
     return e;
   }
 
-  // Next throughput-changing window boundary strictly after now.
+  // Next throughput-changing window boundary — or pending detector
+  // announcement — strictly after now.
   double next_window_edge(const SimState& st) const {
     double e = kInf;
     for (std::size_t i = 0; i < env_.windows->size(); ++i) {
       const StragglerWindow& w = (*env_.windows)[i];
       if (st.window_cleared[i]) continue;
-      if (w.start_s > st.now + kEps)
+      if (w.start_s > st.now + kEps) {
         e = std::min(e, w.start_s);
-      else if (w.end_s > st.now + kEps)
-        e = std::min(e, w.end_s);
+        continue;
+      }
+      if (!st.window_announced[i] && w.announce_s > st.now + kEps &&
+          w.announce_s < w.end_s - kEps)
+        e = std::min(e, w.announce_s);
+      if (w.end_s > st.now + kEps) e = std::min(e, w.end_s);
     }
     return e;
   }
@@ -790,7 +829,7 @@ class Engine {
     for (std::size_t i = 0; i < env_.windows->size(); ++i) {
       const StragglerWindow& w = (*env_.windows)[i];
       if (st.window_cleared[i] || st.window_announced[i]) continue;
-      if (w.start_s > st.now + kEps || st.now >= w.end_s - kEps) continue;
+      if (w.announce_s > st.now + kEps || st.now >= w.end_s - kEps) continue;
       st.window_announced[i] = 1;
       const std::vector<Action> cands = {Action::kHold, Action::kMigrate};
       const Action fixed_choice =
@@ -798,6 +837,11 @@ class Engine {
       const bool changed =
           decide_and_apply(st, Trigger::kStraggler, 0.0, cands, fixed_choice,
                            false, policy, oracle, record, depth, out);
+      if (record && depth == 0 && !out.decisions.empty() &&
+          w.detect_latency_iters > 0) {
+        out.decisions.back().detect_latency_iters = w.detect_latency_iters;
+        out.decisions.back().detect_delay_s = w.announce_s - w.start_s;
+      }
       maybe_blame_shift(st, changed, policy, oracle, record, depth, out);
     }
   }
@@ -813,9 +857,20 @@ class Engine {
     const double prev = st.prev_nw_share;
     st.prev_nw_share = share;
     if (opt().nw_blame_threshold <= 0.0 || st.on_floor) return;
-    if (!(share >= opt().nw_blame_threshold &&
-          prev < opt().nw_blame_threshold))
-      return;
+    bool fire;
+    if (opt().trigger_mode == TriggerMode::kDetector) {
+      // Single-sample CUSUM exceedance on the share sequence: the previous
+      // shape's share is the frozen baseline, min_sigma_frac scales it —
+      // a relative-shift detector instead of an absolute level.
+      const auto& dc = opt().detector;
+      const double sigma =
+          std::max(dc.min_sigma, dc.min_sigma_frac * std::abs(prev));
+      fire = (share - prev) / sigma - dc.cusum_k > dc.cusum_h;
+    } else {
+      fire = share >= opt().nw_blame_threshold &&
+             prev < opt().nw_blame_threshold;
+    }
+    if (!fire) return;
     const std::vector<Action> cands = {Action::kHold, Action::kMigrate};
     const Action fixed_choice =
         policy == PolicyKind::kMigrate ? Action::kMigrate : Action::kHold;
@@ -900,6 +955,18 @@ AutopilotReport run_autopilot(const dnn::Model& model,
               return a.start_s != b.start_s ? a.start_s < b.start_s
                                             : a.end_s < b.end_s;
             });
+  for (StragglerWindow& w : windows) {
+    w.announce_s = w.start_s;
+    if (options.trigger_mode == TriggerMode::kDetector) {
+      w.detect_latency_iters =
+          cusum_detect_latency_iters(w.factor, options.detector);
+      // Latency in wall seconds: the shifted iterations the monitor needed
+      // run `factor` times slower than the initial fleet's steady pace.
+      w.announce_s = w.start_s + w.detect_latency_iters *
+                                     measurer.get(initial.spec).iteration_s *
+                                     w.factor;
+    }
+  }
 
   EngineEnv base;
   base.opt = &options;
@@ -1061,6 +1128,7 @@ std::string to_json(const AutopilotReport& r,
   w.key("backoff_window_s").value(r.options.backoff_window_s);
   w.key("watchdog_timeout_s").value(r.options.watchdog_timeout_s);
   w.key("nw_blame_threshold").value(r.options.nw_blame_threshold);
+  w.key("trigger_mode").value(to_string(r.options.trigger_mode));
   w.key("scripted_faults").value(r.options.scripted_faults.to_spec());
   for (const auto& [k, v] : extra_config) w.key(k).value(v);
   w.end_object();
@@ -1108,6 +1176,8 @@ std::string to_json(const AutopilotReport& r,
       w.key("consecutive_revocations").value(d.consecutive_revocations);
       w.key("lost_work_s").value(d.lost_work_s);
       w.key("nw_blame_share").value(d.nw_blame_share);
+      w.key("detect_latency_iters").value(d.detect_latency_iters);
+      w.key("detect_delay_s").value(d.detect_delay_s);
       w.key("forced_floor").value(d.forced_floor);
       w.key("regret").value(d.regret);
       w.key("candidates").begin_array();

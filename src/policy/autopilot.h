@@ -52,6 +52,7 @@
 #include "dnn/dataset.h"
 #include "dnn/model.h"
 #include "faults/fault_plan.h"
+#include "monitor/detectors.h"
 #include "stash/profiler.h"
 #include "telemetry/metrics.h"
 #include "util/trace.h"
@@ -75,6 +76,26 @@ const char* to_string(Action a);
 
 enum class Trigger { kRevocation, kStraggler, kBlameShift };
 const char* to_string(Trigger t);
+
+// How planned triggers (straggler, blame shift) fire.
+//
+//   kThreshold  the engine learns of a straggler window the instant it
+//               opens and fires the blame-shift trigger on an absolute
+//               share threshold (the original behavior, and the default —
+//               existing outputs are unchanged).
+//   kDetector   the engine only learns of a straggler once the streaming
+//               monitor's CUSUM would have detected it: the straggler
+//               decision is delayed by the detector's latency on a
+//               synthesized iteration-time stream (a pure function of the
+//               slowdown factor and the detector config — standardization
+//               cancels the iteration time). The blame-shift trigger fires
+//               on a single-sample CUSUM exceedance of the share against
+//               the previous shape's share instead of an absolute level.
+enum class TriggerMode { kThreshold, kDetector };
+
+const char* to_string(TriggerMode m);
+// Parses "threshold|detector"; throws std::invalid_argument otherwise.
+TriggerMode parse_trigger_mode(const std::string& name);
 
 // One concrete fleet: a cluster spec plus how many of its machines ride the
 // spot market (the rest are on-demand).
@@ -142,6 +163,12 @@ struct AutopilotOptions {
   // fixed policies observe and hold). 0 disables the trigger.
   double nw_blame_threshold = 0.35;
 
+  // Planned-trigger firing semantics (see TriggerMode). Detector mode uses
+  // `detector` for the latency model; nw_blame_threshold > 0 still gates
+  // whether the blame-shift trigger is armed at all.
+  TriggerMode trigger_mode = TriggerMode::kThreshold;
+  monitor::DetectorConfig detector{};
+
   // Scripted events layered on the Poisson process: kCrash events become
   // scheduled revocations at their start_s (identical in every trial —
   // the repeatable part of a scenario), kGpuStraggler events become
@@ -177,6 +204,10 @@ struct Decision {
   int consecutive_revocations = 0;
   double lost_work_s = 0.0;  // rolled-back progress, in wall seconds
   double nw_blame_share = 0.0;  // causal N/W share of the fleet after
+  // Detector-mode straggler decisions only: how long the monitor took to
+  // notice the shift (0 in threshold mode and for other triggers).
+  int detect_latency_iters = 0;
+  double detect_delay_s = 0.0;
   bool forced_floor = false;
   // Chosen action's true-rollout objective minus the best candidate's
   // (>= 0; 0 when the engine chose what the oracle would have).

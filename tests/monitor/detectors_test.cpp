@@ -1,0 +1,159 @@
+#include "monitor/detectors.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace stash::monitor {
+namespace {
+
+DetectorConfig quick_config() {
+  DetectorConfig cfg;
+  cfg.baseline_iters = 8;
+  return cfg;
+}
+
+// A baseline regime with small seeded jitter followed by a step to a new
+// level — the synthetic analogue of a straggler joining the ring.
+std::vector<double> step_stream(int baseline_n, int shifted_n, double level0,
+                                double level1, double jitter,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> out;
+  for (int i = 0; i < baseline_n; ++i)
+    out.push_back(level0 + rng.normal(0.0, jitter));
+  for (int i = 0; i < shifted_n; ++i)
+    out.push_back(level1 + rng.normal(0.0, jitter));
+  return out;
+}
+
+TEST(DetectorConfig, Validates) {
+  DetectorConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.baseline_iters = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = DetectorConfig{};
+  cfg.cusum_h = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = DetectorConfig{};
+  cfg.ewma_lambda = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(CusumDetector, DetectsStepWithinFourSamplesAndEstimatesOnset) {
+  CusumDetector det(quick_config());
+  const int onset = 20;
+  auto xs = step_stream(onset, 30, 1.0, 1.5, 0.02, 17);
+  int fired_at = -1;
+  Detection d;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    d = det.push(xs[i]);
+    if (d.fired) {
+      fired_at = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(fired_at, onset) << "fired before the shift";
+  EXPECT_LE(fired_at, onset + 4) << "detection latency too high";
+  // Onset estimate: the sample after the last zero of the statistic.
+  EXPECT_NEAR(static_cast<double>(d.onset_index), onset, 2.0);
+  EXPECT_GT(d.magnitude_sigma, 0.0);
+  EXPECT_NEAR(d.baseline_mean, 1.0, 0.05);
+}
+
+TEST(CusumDetector, NoFalsePositivesOnStationaryNoise) {
+  // A genuinely noisy stream needs a baseline long enough to estimate sigma
+  // honestly (the simulator's near-deterministic streams get by with 8) and
+  // an alarm threshold matched to the desired in-control run length: h=6
+  // puts the expected false-alarm spacing in the thousands of samples.
+  DetectorConfig cfg = quick_config();
+  cfg.baseline_iters = 32;
+  cfg.cusum_h = 6.0;
+  CusumDetector det(cfg);
+  util::Rng rng(23);
+  for (int i = 0; i < 400; ++i)
+    EXPECT_FALSE(det.push(1.0 + rng.normal(0.0, 0.05)).fired)
+        << "false alarm at sample " << i;
+}
+
+TEST(CusumDetector, ZeroVarianceBaselineUsesSigmaFloorAndStillFires) {
+  CusumDetector det(quick_config());
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(det.push(1.0).fired);
+  EXPECT_GT(det.baseline_sigma(), 0.0);
+  // A 10% jump over a perfectly flat baseline: min_sigma_frac (2% of the
+  // mean) makes that a 5-sigma-per-step excursion.
+  bool fired = false;
+  for (int i = 0; i < 10 && !fired; ++i) fired = det.push(1.1).fired;
+  EXPECT_TRUE(fired);
+}
+
+TEST(CusumDetector, ReArmsAndCatchesSecondShiftAgainstNewRegime) {
+  CusumDetector det(quick_config());
+  util::Rng rng(29);
+  auto feed = [&](double level, int n, bool* fired, std::size_t* at) {
+    for (int i = 0; i < n; ++i) {
+      Detection d = det.push(level + rng.normal(0.0, 0.01));
+      if (d.fired) {
+        if (fired != nullptr) *fired = true;
+        if (at != nullptr) *at = d.detect_index;
+        return;
+      }
+    }
+  };
+  bool first = false, second = false;
+  std::size_t at1 = 0, at2 = 0;
+  feed(1.0, 20, nullptr, nullptr);
+  feed(2.0, 20, &first, &at1);
+  ASSERT_TRUE(first);
+  // After the alarm the detector re-baselines on the 2.0 regime...
+  feed(2.0, 20, nullptr, nullptr);
+  // ...so a further shift to 3.0 is detected relative to 2.0.
+  feed(3.0, 20, &second, &at2);
+  EXPECT_TRUE(second);
+  EXPECT_GT(at2, at1);
+}
+
+TEST(EwmaDrift, DetectsSlowDriftCusumAllowanceWouldAbsorbSlowly) {
+  DetectorConfig cfg = quick_config();
+  EwmaDrift det(cfg);
+  util::Rng rng(31);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_FALSE(det.push(1.0 + rng.normal(0.0, 0.05)).fired);
+  // Slow upward creep: +0.3 sigma per step.
+  bool fired = false;
+  int fired_at = -1;
+  for (int i = 0; i < 60 && !fired; ++i) {
+    Detection d = det.push(1.0 + 0.015 * i + rng.normal(0.0, 0.05));
+    fired = d.fired;
+    fired_at = static_cast<int>(d.detect_index);
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_GT(fired_at, 8);
+}
+
+TEST(EwmaDrift, NoFalsePositivesOnStationaryNoise) {
+  DetectorConfig cfg = quick_config();
+  cfg.baseline_iters = 32;
+  EwmaDrift det(cfg);
+  util::Rng rng(37);
+  for (int i = 0; i < 400; ++i)
+    EXPECT_FALSE(det.push(1.0 + rng.normal(0.0, 0.05)).fired)
+        << "false alarm at sample " << i;
+}
+
+TEST(Detectors, DeterministicAcrossRuns) {
+  auto run = [] {
+    CusumDetector det(quick_config());
+    auto xs = step_stream(16, 16, 1.0, 1.4, 0.03, 41);
+    std::vector<std::size_t> fires;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      if (det.push(xs[i]).fired) fires.push_back(i);
+    return fires;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace stash::monitor

@@ -1,0 +1,241 @@
+#include "monitor/monitor.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dnn/zoo.h"
+#include "monitor/dashboard.h"
+#include "monitor/driver.h"
+#include "util/rng.h"
+#include "util/trace.h"
+
+namespace stash::monitor {
+namespace {
+
+MonitorConfig small_config() {
+  MonitorConfig cfg;
+  cfg.window = 16;
+  cfg.detector.baseline_iters = 8;
+  return cfg;
+}
+
+ddl::IterationSample make_sample(int iter, double total, double barrier,
+                                 double data_wait = 0.0) {
+  ddl::IterationSample s;
+  s.iteration = iter;
+  s.measured = true;
+  s.start_s = iter * 0.1;
+  s.end_s = iter * 0.1 + total;
+  s.total_s = total;
+  s.compute_s = total - barrier - data_wait;
+  s.barrier_s = barrier;
+  s.data_wait_s = data_wait;
+  s.workers = 4;
+  return s;
+}
+
+TEST(StallMonitor, BarrierStepChangeEmitsOneStragglerOnsetEvent) {
+  StallMonitor mon(small_config());
+  util::Rng rng(3);
+  const int onset = 20;
+  for (int i = 0; i < 40; ++i) {
+    const double barrier =
+        (i < onset ? 0.002 : 0.05) + rng.normal(0.0, 0.0002);
+    mon.on_iteration(make_sample(i, 0.1 + barrier, barrier));
+  }
+  std::vector<MonitorEvent> straggler;
+  for (const auto& ev : mon.events())
+    if (ev.kind == EventKind::kStragglerOnset) straggler.push_back(ev);
+  ASSERT_EQ(straggler.size(), 1u) << "cooldown should dedup the shift";
+  EXPECT_EQ(straggler[0].signal, "barrier_s");
+  EXPECT_NEAR(straggler[0].onset_iteration, onset, 2);
+  EXPECT_LE(straggler[0].detect_iteration, onset + 5);
+  EXPECT_EQ(straggler[0].latency_iterations,
+            straggler[0].detect_iteration - straggler[0].onset_iteration);
+}
+
+TEST(StallMonitor, StationarySamplesProduceNoEvents) {
+  StallMonitor mon(small_config());
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double jitter = rng.normal(0.0, 0.001);
+    mon.on_iteration(make_sample(i, 0.1 + jitter, 0.002));
+  }
+  EXPECT_TRUE(mon.events().empty());
+}
+
+TEST(StallMonitor, FoldBlameDetectsCommShareShift) {
+  StallMonitor mon(small_config());
+  // The comm-share stream needs a live sample stream too (snapshot sanity);
+  // feed matching stationary samples.
+  for (int i = 0; i < 60; ++i) {
+    mon.on_iteration(make_sample(i, 0.1, 0.002));
+    obs::IterationBlame b;
+    b.iteration = i;
+    b.measured = true;
+    b.start_s = i * 0.1;
+    b.end_s = i * 0.1 + 0.1;
+    const double comm = i < 30 ? 0.01 : 0.05;  // share jumps 10% -> 50%
+    b.by_category[static_cast<std::size_t>(obs::Category::kNetwork)] = comm;
+    b.by_category[static_cast<std::size_t>(obs::Category::kCompute)] =
+        0.1 - comm;
+    mon.fold_blame(b);
+  }
+  bool shift = false;
+  for (const auto& ev : mon.events())
+    if (ev.kind == EventKind::kCommBlameShift && ev.signal == "comm_blame_share")
+      shift = true;
+  EXPECT_TRUE(shift);
+  EXPECT_GT(mon.snapshot().comm_blame_share, 0.3);
+}
+
+TEST(StallMonitor, SnapshotSummarizesWindow) {
+  StallMonitor mon(small_config());
+  for (int i = 0; i < 32; ++i) mon.on_iteration(make_sample(i, 0.2, 0.01));
+  const Snapshot snap = mon.snapshot();
+  EXPECT_EQ(snap.iterations_seen, 32);
+  EXPECT_EQ(snap.last_iteration, 31);
+  EXPECT_NEAR(snap.total.mean, 0.2, 1e-9);
+  EXPECT_NEAR(snap.total.p95, 0.2, 1e-9);
+  EXPECT_NEAR(snap.barrier.mean, 0.01, 1e-9);
+  // 16 retained ends spaced 0.1 s apart -> 10 it/s.
+  EXPECT_NEAR(snap.window_iters_per_s, 10.0, 0.5);
+}
+
+TEST(Sparkline, MapsRangeOntoBlocks) {
+  EXPECT_EQ(sparkline({}, 8), "");
+  EXPECT_EQ(sparkline({1.0}, 8), "");
+  const std::string s = sparkline({0.0, 1.0}, 8);
+  EXPECT_EQ(s, "▁█");  // min block, max block
+  // Constant series renders at the floor, one glyph per value.
+  EXPECT_EQ(sparkline({2.0, 2.0, 2.0}, 8), "▁▁▁");
+}
+
+// --- driver-level tests (real training simulations; the slow part) -------
+
+class MonitorDriverTest : public ::testing::Test {
+ protected:
+  MonitorOptions base_options() {
+    MonitorOptions opts;
+    opts.spec.instance = "p3.8xlarge";
+    opts.per_gpu_batch = 16;
+    opts.iterations = 48;
+    opts.warmup_iterations = 2;
+    opts.monitor = small_config();
+    return opts;
+  }
+};
+
+TEST_F(MonitorDriverTest, StragglerFaultYieldsOnsetEventWithinTwentyIters) {
+  MonitorOptions opts = base_options();
+  opts.faults_spec = "straggler@2+5:w1:x2.5";
+  StallMonitor mon(opts.monitor);
+  dnn::Model model = dnn::make_zoo_model("resnet50");
+  MonitorRunReport report = run_monitor(model, dnn::dataset_for("resnet50"),
+                                        opts, mon);
+  ASSERT_FALSE(report.samples.empty());
+
+  // The injected onset in iteration coordinates: the first committed sample
+  // whose window reaches past t=2 s.
+  int injected = -1;
+  for (const auto& s : report.samples)
+    if (s.end_s >= 2.0) {
+      injected = s.iteration;
+      break;
+    }
+  ASSERT_GE(injected, 0) << "run too short to reach the fault";
+
+  const MonitorEvent* onset_ev = nullptr;
+  for (const auto& ev : report.events)
+    if (ev.kind == EventKind::kStragglerOnset) {
+      onset_ev = &ev;
+      break;
+    }
+  ASSERT_NE(onset_ev, nullptr) << "no straggler onset detected";
+  EXPECT_GE(onset_ev->detect_iteration, injected - 1);
+  EXPECT_LE(onset_ev->detect_iteration, injected + 20)
+      << "detection latency exceeds the acceptance bound";
+  EXPECT_NEAR(onset_ev->onset_iteration, injected, 3);
+}
+
+TEST_F(MonitorDriverTest, HealthyRunIsQuietAndJsonlWellFormed) {
+  MonitorOptions opts = base_options();
+  opts.iterations = 32;
+  StallMonitor mon(opts.monitor);
+  dnn::Model model = dnn::make_zoo_model("resnet50");
+  MonitorRunReport report = run_monitor(model, dnn::dataset_for("resnet50"),
+                                        opts, mon);
+  // A healthy steady-state run must not raise throughput/straggler alarms
+  // on the live signals (the zero-false-positive property end to end).
+  EXPECT_EQ(report.live_events, 0u);
+
+  const std::string jsonl = monitor_to_jsonl(report);
+  std::size_t lines = 0, pos = 0;
+  while (pos < jsonl.size()) {
+    std::size_t nl = jsonl.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos) << "unterminated final line";
+    const std::string line = jsonl.substr(pos, nl - pos);
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++lines;
+    pos = nl + 1;
+  }
+  // header + one line per sample + events + recoveries + summary.
+  EXPECT_EQ(lines, 1 + report.samples.size() + report.events.size() +
+                       report.recoveries.size() + 1);
+  EXPECT_NE(jsonl.find("\"schema\":\"stash.monitor/1\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"summary\""), std::string::npos);
+}
+
+TEST_F(MonitorDriverTest, JsonlByteIdenticalAcrossRepeatedRuns) {
+  MonitorOptions opts = base_options();
+  opts.iterations = 24;
+  opts.faults_spec = "straggler@1+2:w1:x2";
+  dnn::Model model = dnn::make_zoo_model("resnet50");
+  auto run_once = [&] {
+    StallMonitor mon(opts.monitor);
+    return monitor_to_jsonl(
+        run_monitor(model, dnn::dataset_for("resnet50"), opts, mon));
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_F(MonitorDriverTest, ExportersEmitWindowsInstantsAndMetrics) {
+  MonitorOptions opts = base_options();
+  opts.iterations = 36;
+  opts.faults_spec = "straggler@2+4:w1:x2.5";
+  StallMonitor mon(opts.monitor);
+  dnn::Model model = dnn::make_zoo_model("resnet50");
+  MonitorRunReport report = run_monitor(model, dnn::dataset_for("resnet50"),
+                                        opts, mon);
+
+  // Streaming OpenMetrics: one block per full window.
+  const std::size_t expect_windows = report.samples.size() / opts.monitor.window;
+  std::size_t blocks = 0, pos = 0;
+  while ((pos = report.openmetrics.find("# window ", pos)) != std::string::npos) {
+    ++blocks;
+    pos += 9;
+  }
+  EXPECT_EQ(blocks, expect_windows);
+  EXPECT_NE(report.openmetrics.find("# TYPE monitor_iter_total_mean_s gauge"),
+            std::string::npos);
+
+  // Chrome-trace instants: one per event.
+  util::TraceRecorder trace;
+  annotate_monitor_trace(report, trace);
+  EXPECT_EQ(trace.instants().size(), report.events.size());
+
+  // Registry summary.
+  telemetry::MetricsRegistry reg;
+  record_monitor_metrics(report, reg);
+  const auto* c = reg.find_counter("monitor/events/straggler_onset");
+  ASSERT_NE(c, nullptr);
+  EXPECT_GE(c->value(), 1.0);
+}
+
+}  // namespace
+}  // namespace stash::monitor

@@ -1,0 +1,126 @@
+#include "monitor/online_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace stash::monitor {
+namespace {
+
+// Exact nearest-rank-with-interpolation-free oracle used by the P^2 checks:
+// sort and index, the same convention P2Quantile::value uses under five
+// samples.
+double exact_quantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+TEST(RollingStats, MatchesDirectComputationAcrossWraparound) {
+  const std::size_t window = 8;
+  RollingStats stats(window);
+  util::Rng rng(7);
+  std::vector<double> all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    all.push_back(x);
+    stats.push(x);
+
+    const std::size_t first = all.size() > window ? all.size() - window : 0;
+    double sum = 0.0, sum_sq = 0.0, mn = all[first], mx = all[first];
+    for (std::size_t j = first; j < all.size(); ++j) {
+      sum += all[j];
+      sum_sq += all[j] * all[j];
+      mn = std::min(mn, all[j]);
+      mx = std::max(mx, all[j]);
+    }
+    const double n = static_cast<double>(all.size() - first);
+    const double mean = sum / n;
+    EXPECT_NEAR(stats.mean(), mean, 1e-12);
+    if (n >= 2)
+      EXPECT_NEAR(stats.variance(), sum_sq / n - mean * mean, 1e-9);
+    EXPECT_DOUBLE_EQ(stats.min(), mn);
+    EXPECT_DOUBLE_EQ(stats.max(), mx);
+  }
+  EXPECT_EQ(stats.count(), window);
+}
+
+TEST(RollingStats, VarianceClampedNonNegative) {
+  RollingStats stats(4);
+  for (int i = 0; i < 10; ++i) stats.push(1e9);  // cancellation territory
+  EXPECT_GE(stats.variance(), 0.0);
+}
+
+TEST(P2Quantile, ExactUnderFiveSamples) {
+  P2Quantile p50(0.5);
+  p50.push(3.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 3.0);
+  p50.push(1.0);
+  p50.push(2.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 2.0);
+}
+
+TEST(P2Quantile, RejectsDegenerateQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+// The headline accuracy claim: the streaming estimate lands within a small
+// tolerance of the exact-sort oracle on smooth distributions. Seeded, so
+// these are fixed inputs, not a statistical test.
+TEST(P2Quantile, TracksUniformOracle) {
+  P2Quantile p50(0.5), p95(0.95);
+  util::Rng rng(11);
+  std::vector<double> all;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    all.push_back(x);
+    p50.push(x);
+    p95.push(x);
+  }
+  EXPECT_NEAR(p50.value(), exact_quantile(all, 0.5), 0.03);
+  EXPECT_NEAR(p95.value(), exact_quantile(all, 0.95), 0.03);
+}
+
+TEST(P2Quantile, TracksNormalOracle) {
+  P2Quantile p50(0.5), p95(0.95);
+  util::Rng rng(13);
+  std::vector<double> all;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    all.push_back(x);
+    p50.push(x);
+    p95.push(x);
+  }
+  EXPECT_NEAR(p50.value(), exact_quantile(all, 0.5), 0.2);
+  EXPECT_NEAR(p95.value(), exact_quantile(all, 0.95), 0.3);
+}
+
+TEST(P2Quantile, ShiftedStreamMovesEstimate) {
+  P2Quantile p50(0.5);
+  for (int i = 0; i < 100; ++i) p50.push(1.0);
+  for (int i = 0; i < 300; ++i) p50.push(2.0);
+  EXPECT_GT(p50.value(), 1.5);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.2);
+  for (int i = 0; i < 100; ++i) e.push(4.0);
+  EXPECT_DOUBLE_EQ(e.value(), 4.0);
+  // Startup correction approaches 1 as t grows.
+  EXPECT_NEAR(e.limit_correction(), 1.0, 1e-9);
+}
+
+TEST(Ewma, FirstSampleSeedsValue) {
+  Ewma e(0.1);
+  e.push(7.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.0);
+}
+
+}  // namespace
+}  // namespace stash::monitor

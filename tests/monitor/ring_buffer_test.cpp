@@ -1,0 +1,74 @@
+#include "monitor/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace stash::monitor {
+namespace {
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, FillsThenEvictsOldestFirst) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.push(1));
+  EXPECT_FALSE(rb.push(2));
+  EXPECT_FALSE(rb.push(3));
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.front(), 1);
+  EXPECT_EQ(rb.back(), 3);
+
+  int evicted = 0;
+  EXPECT_TRUE(rb.push(4, &evicted));
+  EXPECT_EQ(evicted, 1);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.at(0), 2);
+  EXPECT_EQ(rb.at(1), 3);
+  EXPECT_EQ(rb.at(2), 4);
+}
+
+TEST(RingBuffer, WraparoundKeepsOldestFirstOrderOverManyLaps) {
+  RingBuffer<int> rb(5);
+  // 4 full laps around the ring plus a partial one.
+  for (int i = 0; i < 23; ++i) rb.push(i);
+  ASSERT_EQ(rb.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(rb.at(i), 18 + static_cast<int>(i));
+  EXPECT_EQ(rb.front(), 18);
+  EXPECT_EQ(rb.back(), 22);
+}
+
+TEST(RingBuffer, EvictionSequenceMatchesInsertionOrder) {
+  RingBuffer<int> rb(2);
+  rb.push(10);
+  rb.push(20);
+  int e = -1;
+  rb.push(30, &e);
+  EXPECT_EQ(e, 10);
+  rb.push(40, &e);
+  EXPECT_EQ(e, 20);
+  rb.push(50, &e);
+  EXPECT_EQ(e, 30);
+}
+
+TEST(RingBuffer, AtOutOfRangeThrows) {
+  RingBuffer<int> rb(4);
+  rb.push(1);
+  EXPECT_THROW(rb.at(1), std::out_of_range);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);  // wrapped
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(7);
+  EXPECT_EQ(rb.front(), 7);
+  EXPECT_EQ(rb.size(), 1u);
+}
+
+}  // namespace
+}  // namespace stash::monitor

@@ -1,0 +1,121 @@
+#include "obs/progress.h"
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace stash::obs {
+namespace {
+
+TEST(ProgressReporter, NonCerrStreamIsNeverInteractive) {
+  std::ostringstream os;
+  ProgressReporter rep(&os);
+  EXPECT_FALSE(rep.interactive());
+}
+
+TEST(ProgressReporter, LineModeStatusHasNoCarriageReturns) {
+  std::ostringstream os;
+  ProgressReporter rep(&os);
+  rep.begin("monitor", 4);
+  rep.status("frame one", /*force=*/true);
+  rep.status("frame two", /*force=*/true);
+  rep.clear_status();
+  const std::string out = os.str();
+  EXPECT_EQ(out.find('\r'), std::string::npos)
+      << "redirected logs must stay line-buffered";
+  EXPECT_NE(out.find("frame one\n"), std::string::npos);
+  EXPECT_NE(out.find("frame two\n"), std::string::npos);
+}
+
+TEST(ProgressReporter, InteractiveStatusRewritesInPlace) {
+  std::ostringstream os;
+  ProgressReporter rep(&os);
+  rep.set_interactive(true);
+  rep.status("frame one", /*force=*/true);
+  rep.status("frame two", /*force=*/true);
+  const std::string out = os.str();
+  // Each frame starts with \r + erase-to-EOL and ends without a newline.
+  EXPECT_NE(out.find("\r\033[Kframe one"), std::string::npos);
+  EXPECT_NE(out.find("\r\033[Kframe two"), std::string::npos);
+  EXPECT_EQ(out.find('\n'), std::string::npos);
+}
+
+TEST(ProgressReporter, ClearStatusErasesInteractiveLine) {
+  std::ostringstream os;
+  ProgressReporter rep(&os);
+  rep.set_interactive(true);
+  rep.status("transient", /*force=*/true);
+  rep.clear_status();
+  const std::string out = os.str();
+  // The erase sequence must come after the frame, leaving a clean line.
+  EXPECT_GT(out.rfind("\r\033[K"), out.find("transient"));
+}
+
+TEST(ProgressReporter, PermanentLinesEraseActiveStatusFirst) {
+  std::ostringstream os;
+  ProgressReporter rep(&os);
+  rep.set_interactive(true);
+  rep.begin("monitor", 2);
+  rep.status("frame", /*force=*/true);
+  rep.note("ALERT straggler_onset");
+  const std::string out = os.str();
+  const std::size_t frame = out.find("frame");
+  const std::size_t note = out.find("ALERT");
+  ASSERT_NE(frame, std::string::npos);
+  ASSERT_NE(note, std::string::npos);
+  EXPECT_LT(frame, note);
+  // The note lands on its own fresh line, not appended to the frame.
+  const std::size_t erase = out.find("\r\033[K", frame + 1);
+  ASSERT_NE(erase, std::string::npos);
+  EXPECT_LT(erase, note);
+  EXPECT_NE(out.find("ALERT straggler_onset\n"), std::string::npos);
+}
+
+TEST(ProgressReporter, ThrottleDropsRapidFrames) {
+  std::ostringstream os;
+  ProgressReporter rep(&os);
+  rep.status("first", /*force=*/true);
+  // Immediately after a draw, unforced frames are dropped for >= 50 ms.
+  rep.status("dropped");
+  EXPECT_EQ(os.str().find("dropped"), std::string::npos);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  rep.status("second");
+  EXPECT_NE(os.str().find("second"), std::string::npos);
+}
+
+TEST(ProgressReporter, ForceBypassesThrottle) {
+  std::ostringstream os;
+  ProgressReporter rep(&os);
+  rep.status("first", /*force=*/true);
+  rep.status("final", /*force=*/true);
+  EXPECT_NE(os.str().find("final"), std::string::npos);
+}
+
+TEST(ProgressReporter, SetInteractiveOffErasesActiveStatus) {
+  std::ostringstream os;
+  ProgressReporter rep(&os);
+  rep.set_interactive(true);
+  rep.status("transient", /*force=*/true);
+  rep.set_interactive(false);
+  rep.status("plain", /*force=*/true);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("plain\n"), std::string::npos);
+}
+
+TEST(ProgressReporter, StepCountsUnits) {
+  std::ostringstream os;
+  ProgressReporter rep(&os);
+  rep.begin("profile", 2);
+  rep.step("T1");
+  rep.step("T2");
+  EXPECT_EQ(rep.done(), 2);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("1/2"), std::string::npos);
+  EXPECT_NE(out.find("2/2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stash::obs

@@ -204,6 +204,95 @@ TEST(Autopilot, StragglerWindowTriggersDecision) {
   }
 }
 
+TEST(Autopilot, ParseTriggerModeRoundTrip) {
+  EXPECT_EQ(parse_trigger_mode("threshold"), TriggerMode::kThreshold);
+  EXPECT_EQ(parse_trigger_mode("detector"), TriggerMode::kDetector);
+  EXPECT_THROW(parse_trigger_mode("oracle"), std::invalid_argument);
+  EXPECT_EQ(std::string(to_string(TriggerMode::kDetector)), "detector");
+}
+
+// Detector mode delays the straggler announcement by the monitor CUSUM's
+// detection latency — the decision fires after the window opens, carries
+// the latency, and the run still completes with non-negative regret across
+// the whole policy suite.
+TEST(Autopilot, DetectorTriggersDelayStragglerAndKeepRegretNonNegative) {
+  for (PolicyKind policy :
+       {PolicyKind::kHold, PolicyKind::kShrink, PolicyKind::kFallback,
+        PolicyKind::kMigrate, PolicyKind::kAdaptive}) {
+    exec::ExecContext exec(4);
+    AutopilotOptions opt = fast_options(&exec);
+    opt.policy = policy;
+    opt.spot.interruptions_per_hour = policy == PolicyKind::kShrink ? 1.0 : 0.0;
+    opt.trigger_mode = TriggerMode::kDetector;
+    opt.scripted_faults = faults::FaultPlan::parse("straggler@600+1800:w0:x2.0");
+    AutopilotReport r = run_autopilot(dnn::make_zoo_model("resnet18"),
+                                      dnn::dataset_for("resnet18"), opt);
+    for (const TrialResult& tr : r.trials) {
+      EXPECT_GE(tr.total_regret, 0.0) << to_string(policy);
+      EXPECT_GT(tr.achieved_wall_s, 0.0) << to_string(policy);
+      for (const Decision& d : tr.decisions)
+        if (d.trigger == Trigger::kStraggler) {
+          EXPECT_GT(d.time_s, 600.0) << to_string(policy);
+          EXPECT_GT(d.detect_latency_iters, 0) << to_string(policy);
+          EXPECT_NEAR(d.time_s, 600.0 + d.detect_delay_s, 1.0)
+              << to_string(policy);
+        }
+    }
+  }
+}
+
+// Threshold mode (the default) must announce the window the instant it
+// opens and never stamp a detection latency — the pre-detector behavior.
+TEST(Autopilot, ThresholdTriggersAnnounceImmediately) {
+  exec::ExecContext exec(4);
+  AutopilotOptions opt = fast_options(&exec);
+  opt.policy = PolicyKind::kAdaptive;
+  opt.spot.interruptions_per_hour = 0.0;
+  opt.scripted_faults = faults::FaultPlan::parse("straggler@600+1800:w0:x2.0");
+  AutopilotReport r = run_autopilot(dnn::make_zoo_model("resnet18"),
+                                    dnn::dataset_for("resnet18"), opt);
+  for (const TrialResult& tr : r.trials)
+    for (const Decision& d : tr.decisions)
+      if (d.trigger == Trigger::kStraggler) {
+        EXPECT_NEAR(d.time_s, 600.0, 1e-6);
+        EXPECT_EQ(d.detect_latency_iters, 0);
+        EXPECT_EQ(d.detect_delay_s, 0.0);
+      }
+}
+
+// A window shorter than the detector's latency is a blip the monitor never
+// confirms: detector mode must not announce it at all.
+TEST(Autopilot, DetectorModeSkipsWindowsShorterThanLatency) {
+  exec::ExecContext exec(4);
+  AutopilotOptions opt = fast_options(&exec);
+  opt.policy = PolicyKind::kAdaptive;
+  opt.spot.interruptions_per_hour = 0.0;
+  opt.trigger_mode = TriggerMode::kDetector;
+  // Tiny shift (x1.01) over a short window: the CUSUM needs many shifted
+  // iterations to accumulate past h, more than the window holds.
+  opt.scripted_faults = faults::FaultPlan::parse("straggler@600+2:w0:x1.01");
+  AutopilotReport r = run_autopilot(dnn::make_zoo_model("resnet18"),
+                                    dnn::dataset_for("resnet18"), opt);
+  for (const TrialResult& tr : r.trials)
+    for (const Decision& d : tr.decisions)
+      EXPECT_NE(d.trigger, Trigger::kStraggler);
+}
+
+// Detector mode keeps the jobs-invariance promise.
+TEST(Autopilot, DetectorModeJobsInvariant) {
+  dnn::Model model = dnn::make_zoo_model("resnet18");
+  dnn::Dataset dataset = dnn::dataset_for("resnet18");
+  auto run_with = [&](int jobs) {
+    exec::ExecContext exec(jobs);
+    AutopilotOptions opt = fast_options(&exec);
+    opt.trigger_mode = TriggerMode::kDetector;
+    opt.spot.interruptions_per_hour = 2.0;
+    opt.scripted_faults = faults::FaultPlan::parse("straggler@600+900:w0:x2.0");
+    return to_json(run_autopilot(model, dataset, opt));
+  };
+  EXPECT_EQ(run_with(1), run_with(8));
+}
+
 // The CLI promise: byte-identical JSON for every jobs value, and for
 // repeated runs with the same seed.
 TEST(Autopilot, JobsInvarianceByteIdenticalJson) {
