@@ -17,11 +17,11 @@ if [[ "${1:-}" == "--no-sanitizers" ]]; then
   exit 0
 fi
 
-echo "==> tier 1: ASan+UBSan pass over fault/concurrency tests"
+echo "==> tier 1: ASan+UBSan pass over fault/concurrency/flow-engine tests"
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)" \
-  --target test_sim test_faults test_ddl test_stash
+  --target test_sim test_hw test_faults test_ddl test_stash
 ctest --preset asan -j "$(nproc)" \
-  -R '(Fault|Abortable|SpotReplay|Revocation|Barrier|Event|Latch|Semaphore|Mailbox|Simulator)'
+  -R '(Fault|Abortable|SpotReplay|Revocation|Barrier|Event|Latch|Semaphore|Mailbox|Simulator|Incremental|FlowNetwork)'
 
 echo "==> verify OK"

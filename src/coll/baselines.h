@@ -6,6 +6,8 @@
 // fabric, plus a hierarchical collective as an extension ablation.
 #pragma once
 
+#include <vector>
+
 #include "coll/collective.h"
 #include "sim/task.h"
 
@@ -37,5 +39,28 @@ sim::Task<void> parameter_server_exchange(CollectiveContext& ctx, PsServer serve
 // multi-machine clusters this sends only one payload per machine across
 // the slow NIC instead of k/M.
 sim::Task<void> hierarchical_allreduce(CollectiveContext& ctx, double bytes);
+
+// Hierarchical all-reduce over an explicit participant set (the trainer's
+// surviving workers after a shrink, or a subset ring in tests). Groups the
+// participants by machine, rings each group over the NVLink tier, rings the
+// group leaders over the NIC tier, then broadcasts back down the intra
+// rings. Falls back to a flat intra-machine ring when only one machine is
+// represented. This is what makes 1024-machine clusters tractable: the
+// flat ring's 2(k-1) global rounds become 2(M-1) machine rounds plus
+// 2(g-1) NVLink rounds per machine.
+sim::Task<void> hierarchical_allreduce_over(CollectiveContext& ctx,
+                                            std::vector<hw::GpuRef> gpus,
+                                            double bytes);
+
+// Closed-form cost of the hierarchical schedule for a homogeneous
+// machines x gpus_per_machine cluster (the §VI-style analytic companion to
+// ring_allreduce_analytic):
+//   phase 1: 2(g-1) * (intra_latency + bytes / (g * intra_bw))
+//   phase 2: 2(M-1) * (inter_latency + bytes / (M * inter_bw))
+//   phase 3: intra_latency + bytes / intra_bw   (pipelined broadcast)
+double hierarchical_allreduce_analytic(double bytes, int machines,
+                                       int gpus_per_machine, double intra_bw,
+                                       double inter_bw, double intra_latency,
+                                       double inter_latency);
 
 }  // namespace stash::coll

@@ -15,6 +15,18 @@
 
 namespace stash::coll {
 
+// Which all-reduce the trainer's gradient exchange uses. kAuto picks the
+// flat NVLink-optimized ring for small clusters (the paper's measured
+// configuration) and switches to the hierarchical collective once the ring
+// would cross enough machine boundaries that its 2(k-1) global rounds
+// dominate — a flat ring over 1024 machines x 8 GPUs is ~16k rounds per
+// all-reduce, the hierarchical one ~2k machine-rounds plus 14 NVLink-rounds.
+enum class CollectiveAlgo {
+  kAuto,
+  kRing,
+  kHierarchical,
+};
+
 struct CollectiveConfig {
   // Wire-level cost per ring round (protocol hop latency).
   double intra_round_latency = 2e-6;   // all hops inside one machine
@@ -33,6 +45,15 @@ struct CollectiveConfig {
   // (1 - overlap_fraction) is charged synchronously on the compute stream.
   // 1.0 models ideal DDP overlap; 0.0 fully serial exchange.
   double overlap_fraction = 0.5;
+
+  // Gradient-exchange algorithm selection (see CollectiveAlgo). The kAuto
+  // threshold is the machine count at which the hierarchical schedule takes
+  // over; 16 keeps every configuration the paper measured (<= 4 machines)
+  // on the flat ring, so their outputs are byte-identical to before. Kept
+  // after the latency/overlap fields so existing aggregate initializers
+  // are unaffected.
+  CollectiveAlgo algorithm = CollectiveAlgo::kAuto;
+  int hierarchical_auto_machines = 16;
 };
 
 // Bundles the simulation handles every collective needs.

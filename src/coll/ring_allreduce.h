@@ -14,11 +14,33 @@ namespace stash::coll {
 // phase drains. k=1 degenerates to a launch latency.
 sim::Task<void> ring_allreduce(CollectiveContext& ctx, double bytes);
 
+// How the 2(k-1) ring rounds are paced in simulation.
+//
+// kPerRound simulates every round lock-step: one bytes/k chunk per ring
+// edge, barrier, repeat. This is the exact round-synchronous schedule and
+// the default everywhere the paper's measured configurations run.
+//
+// kAggregated collapses the rounds into one aggregate flow per ring edge
+// carrying 2(k-1)*bytes/k, after a single up-front charge of the
+// serialized round latencies. Under contention that is static for the
+// duration of the collective the two pacings complete at the same
+// simulated time: lock-step costs sum_r (L + chunk/rate) = R*L +
+// R*chunk/rate, aggregation costs R*L + (R*chunk)/rate. What aggregation
+// gives up is per-round re-pacing when background traffic changes
+// mid-collective (it integrates through the change instead); what it buys
+// is O(k) simulated transfers per collective instead of O(k^2), which is
+// what makes the 1024-machine leader ring tractable.
+enum class RingPacing {
+  kPerRound,
+  kAggregated,
+};
+
 // Ring all-reduce over an explicit participant ring (used by the
 // hierarchical collective and by tests).
 sim::Task<void> ring_allreduce_over(CollectiveContext& ctx,
                                     std::vector<hw::GpuRef> ring, double bytes,
-                                    double round_latency);
+                                    double round_latency,
+                                    RingPacing pacing = RingPacing::kPerRound);
 
 // Closed-form cost used by the §VI analytic model and by tests:
 //   2(k-1) * (round_latency + bytes / (k * bottleneck_bw)).

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "coll/baselines.h"
 #include "coll/comm_stream.h"
 #include "coll/ring_allreduce.h"
 #include "sim/mailbox.h"
@@ -160,6 +161,7 @@ struct Attempt {
   // *current* capacities at each flush so time-varying QoS (and injected
   // link faults) are felt.
   double round_latency = 0.0;
+  double intra_round_latency = 0.0;
   std::vector<std::vector<hw::Link*>> ring_hop_paths;
   std::unordered_map<const hw::Link*, int> ring_traversals;
   // Intra-machine subset of the hops, for the causal split of the
@@ -168,6 +170,17 @@ struct Attempt {
   // no machine boundary crossed.
   std::vector<std::vector<hw::Link*>> intra_hop_paths;
   std::unordered_map<const hw::Link*, int> intra_traversals;
+
+  // True when this attempt exchanges gradients with the hierarchical
+  // collective (explicitly requested, or kAuto crossed the machine-count
+  // threshold). The analytic pricing below follows the same schedule.
+  bool hierarchical = false;
+  // Hierarchical pricing inputs: hop paths/traversals of the leader ring
+  // (NIC tier) and of the slowest machine's intra ring, plus that ring's
+  // participant count.
+  std::vector<std::vector<hw::Link*>> leader_hop_paths;
+  std::unordered_map<const hw::Link*, int> leader_traversals;
+  std::size_t intra_ring_size = 0;
 
   Attempt(RunState& st, std::vector<hw::GpuRef> parts, int from, int to)
       : gpus(std::move(parts)),
@@ -189,6 +202,14 @@ struct Attempt {
     round_latency = machines_used.size() > 1
                         ? st.config.collective.inter_round_latency
                         : st.config.collective.intra_round_latency;
+    intra_round_latency = st.config.collective.intra_round_latency;
+    const auto algo = st.config.collective.algorithm;
+    hierarchical =
+        machines_used.size() > 1 &&
+        (algo == coll::CollectiveAlgo::kHierarchical ||
+         (algo == coll::CollectiveAlgo::kAuto &&
+          static_cast<int>(machines_used.size()) >=
+              st.config.collective.hierarchical_auto_machines));
     if (gpus.size() > 1) {
       for (std::size_t i = 0; i < gpus.size(); ++i) {
         auto path = st.cluster.path(gpus[i], gpus[(i + 1) % gpus.size()]);
@@ -198,6 +219,29 @@ struct Attempt {
         }
         for (const hw::Link* l : path) ++ring_traversals[l];
         ring_hop_paths.push_back(std::move(path));
+      }
+    }
+    if (hierarchical) {
+      // Leader ring: the first participant of each machine, in appearance
+      // order — the same grouping hierarchical_allreduce_over derives.
+      std::vector<hw::GpuRef> leaders;
+      std::unordered_map<int, std::size_t> group_of;
+      std::vector<std::size_t> group_sizes;
+      for (const auto& g : gpus) {
+        auto [it, inserted] = group_of.try_emplace(g.machine, leaders.size());
+        if (inserted) {
+          leaders.push_back(g);
+          group_sizes.push_back(0);
+        }
+        ++group_sizes[it->second];
+      }
+      for (std::size_t sz : group_sizes)
+        intra_ring_size = std::max(intra_ring_size, sz);
+      for (std::size_t i = 0; i < leaders.size(); ++i) {
+        auto path =
+            st.cluster.path(leaders[i], leaders[(i + 1) % leaders.size()]);
+        for (const hw::Link* l : path) ++leader_traversals[l];
+        leader_hop_paths.push_back(std::move(path));
       }
     }
   }
@@ -219,21 +263,44 @@ struct Attempt {
     return slowest_hop_seconds_per_byte(ring_hop_paths, ring_traversals);
   }
 
-  // Analytic cost of one all-reduce of `bytes` over the participant ring.
+  // The intra-machine phases of the hierarchical schedule priced against
+  // current capacities: phase-1 ring of the largest machine group plus the
+  // phase-3 pipelined broadcast.
+  double hierarchical_intra_seconds(double bytes, double intra_latency) const {
+    auto g = static_cast<double>(intra_ring_size);
+    if (g < 2.0) return 0.0;
+    double per_byte =
+        slowest_hop_seconds_per_byte(intra_hop_paths, intra_traversals);
+    return 2.0 * (g - 1.0) * (intra_latency + (bytes / g) * per_byte) +
+           intra_latency + bytes * per_byte;
+  }
+
+  // Analytic cost of one all-reduce of `bytes` over the participant set,
+  // following whichever schedule this attempt actually runs (flat ring or
+  // hierarchical).
   double estimate_collective_seconds(double bytes) const {
     auto k = static_cast<double>(gpus.size());
     if (k < 2) return 0.0;
+    if (hierarchical) {
+      auto m = static_cast<double>(leader_hop_paths.size());
+      double per_byte =
+          slowest_hop_seconds_per_byte(leader_hop_paths, leader_traversals);
+      double total = 2.0 * (m - 1.0) * (round_latency + (bytes / m) * per_byte);
+      return total + hierarchical_intra_seconds(bytes, intra_round_latency);
+    }
     double rounds = 2.0 * (k - 1.0);
     return rounds * (round_latency + (bytes / k) * ring_seconds_per_chunk_byte());
   }
 
   // The same collective priced against only the intra-machine hops: the
   // interconnect share of the charge. Always <= the full estimate — the
-  // intra bottleneck is a subset of the full ring's constraints.
+  // intra bottleneck is a subset of the full ring's constraints (for the
+  // hierarchical schedule, it is the machine-internal phases).
   double estimate_collective_seconds_intra(double bytes,
                                            double intra_latency) const {
     auto k = static_cast<double>(gpus.size());
     if (k < 2) return 0.0;
+    if (hierarchical) return hierarchical_intra_seconds(bytes, intra_latency);
     double rounds = 2.0 * (k - 1.0);
     double per_byte =
         slowest_hop_seconds_per_byte(intra_hop_paths, intra_traversals);
@@ -288,8 +355,11 @@ sim::Task<void> stream_allreduce(RunState& st, Attempt& at, double bytes,
         /*prev=*/flush_edge, /*cause=*/st.causal->comm_chain());
     st.causal->set_comm_chain(queued);
   }
-  co_await coll::ring_allreduce_over(st.coll_ctx, at.gpus, bytes,
-                                     at.round_latency);
+  if (at.hierarchical)
+    co_await coll::hierarchical_allreduce_over(st.coll_ctx, at.gpus, bytes);
+  else
+    co_await coll::ring_allreduce_over(st.coll_ctx, at.gpus, bytes,
+                                       at.round_latency);
 }
 
 sim::Task<void> run_one_allreduce(RunState& st, Attempt& at, double bytes,

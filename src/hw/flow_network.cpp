@@ -4,7 +4,6 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace stash::hw {
 
@@ -14,16 +13,48 @@ namespace {
 constexpr double kDrainEpsilonBytes = 1e-6;
 }  // namespace
 
+FlowNetwork::FlowNetwork(sim::Simulator& sim) : sim_(sim) {
+  // The network must outlive any run() of the simulator it registers with
+  // (in practice the two are always members of the same harness/scenario
+  // object, constructed and destroyed together).
+  flush_hook_ = sim_.add_flush_hook([this] { flush(); });
+#ifndef NDEBUG
+  verify_ = true;
+#endif
+}
+
 Link* FlowNetwork::add_link(std::string name, double capacity_bytes_per_s) {
   links_.push_back(std::make_unique<Link>(std::move(name), capacity_bytes_per_s));
+  links_.back()->set_net_index(static_cast<std::uint32_t>(links_.size() - 1));
+  link_states_.emplace_back();
   return links_.back().get();
+}
+
+void FlowNetwork::check_owned(const Link* l) const {
+  std::uint32_t idx = l->net_index();
+  if (idx >= links_.size() || links_[idx].get() != l)
+    throw std::invalid_argument("FlowNetwork: link not owned by this network");
+}
+
+std::uint32_t FlowNetwork::alloc_flow() {
+  if (free_head_ != kNil) {
+    std::uint32_t slot = free_head_;
+    free_head_ = flow_slots_[slot].next_free;
+    return slot;
+  }
+  flow_slots_.emplace_back();
+  return static_cast<std::uint32_t>(flow_slots_.size() - 1);
 }
 
 sim::Task<void> FlowNetwork::transfer(double bytes, std::vector<Link*> path,
                                       double latency_s) {
   if (bytes < 0.0) throw std::invalid_argument("FlowNetwork::transfer: negative bytes");
-  for (Link* l : path)
+  for (Link* l : path) {
     if (l == nullptr) throw std::invalid_argument("FlowNetwork::transfer: null link");
+    check_owned(l);
+  }
+  if (path.size() > 64)
+    throw std::invalid_argument("FlowNetwork::transfer: path longer than 64 links");
 
   if (latency_s > 0.0) co_await sim_.delay(latency_s);
   if (bytes <= kDrainEpsilonBytes || path.empty()) {
@@ -32,103 +63,347 @@ sim::Task<void> FlowNetwork::transfer(double bytes, std::vector<Link*> path,
   }
 
   settle();
+  std::uint32_t slot = alloc_flow();
+  Flow& f = flow_slots_[slot];
+  f.id = next_flow_id_++;
+  f.remaining = bytes;
+  f.rate = 0.0;
+  f.first_mask = 0;
+  f.path = std::move(path);
+  f.member_pos.resize(f.path.size());
   auto done = std::make_shared<sim::Event>(sim_);
-  for (Link* l : path) l->account_bytes(bytes);
-  flows_.push_back(Flow{next_flow_id_++, bytes, 0.0, std::move(path), done});
-  rebalance();
+  f.done = done;
+  for (std::size_t i = 0; i < f.path.size(); ++i) {
+    Link* l = f.path[i];
+    bool first = true;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (f.path[j] == l) {
+        first = false;
+        break;
+      }
+    }
+    if (first) f.first_mask |= 1ull << i;
+    LinkState& ls = state_of(l);
+    if (ls.members.empty()) {  // idle -> busy: settle() charges it from now on
+      ls.busy_pos = static_cast<std::uint32_t>(busy_links_.size());
+      busy_links_.push_back(l->net_index());
+    }
+    f.member_pos[i] = static_cast<std::uint32_t>(ls.members.size());
+    ls.members.push_back(Member{slot, static_cast<std::uint32_t>(i)});
+    mark_link_dirty(l->net_index());
+    l->account_bytes(bytes);
+  }
+  f.active_pos = static_cast<std::uint32_t>(active_.size());
+  active_.push_back(slot);
+  mark_dirty_and_arm();
   co_await done->wait();
 }
 
 double FlowNetwork::link_throughput(const Link* link) const {
-  double sum = 0.0;
-  for (const Flow& f : flows_)
-    if (std::find(f.path.begin(), f.path.end(), link) != f.path.end()) sum += f.rate;
-  return sum;
+  // Read barrier: a deferred refill must land before rates are observed.
+  const_cast<FlowNetwork*>(this)->flush();
+  if (link == nullptr) return 0.0;
+  std::uint32_t idx = link->net_index();
+  if (idx >= links_.size() || links_[idx].get() != link) return 0.0;
+  return link_states_[idx].throughput;
+}
+
+std::size_t FlowNetwork::active_flows() const {
+  const_cast<FlowNetwork*>(this)->flush();
+  return active_.size();
 }
 
 void FlowNetwork::update_capacity(Link* link, double capacity_bytes_per_s) {
   if (link == nullptr) throw std::invalid_argument("update_capacity: null link");
   settle();
   link->set_capacity(capacity_bytes_per_s);
-  rebalance();
+  std::uint32_t idx = link->net_index();
+  if (idx < links_.size() && links_[idx].get() == link) {
+    mark_link_dirty(idx);
+    mark_dirty_and_arm();
+  }
 }
 
 void FlowNetwork::settle() {
   double dt = sim_.now() - last_settle_;
   if (dt > 0.0) {
-    for (Flow& f : flows_) f.remaining = std::max(0.0, f.remaining - f.rate * dt);
-    // Busy-time accounting: every link touched by an active flow was
-    // occupied for the elapsed window (links are deduplicated so shared
-    // links are charged once).
-    std::unordered_set<Link*> touched;
-    for (Flow& f : flows_)
-      for (Link* l : f.path) touched.insert(l);
-    for (Link* l : touched) l->account_busy(dt);
+    for (std::uint32_t s : active_) {
+      Flow& f = flow_slots_[s];
+      f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+    }
+    // Busy-time accounting: every link with at least one active flow was
+    // occupied for the elapsed window (busy_links_ holds each such link
+    // once, so shared links are charged once).
+    for (std::uint32_t li : busy_links_) links_[li]->account_busy(dt);
   }
   last_settle_ = sim_.now();
 }
 
-void FlowNetwork::compute_max_min_rates() {
-  // Progressive filling. All flows start frozen at zero and unfrozen flows
-  // grow uniformly until some link saturates; flows crossing a saturated
-  // link freeze at their current rate.
-  std::unordered_map<const Link*, double> headroom;
-  std::unordered_map<const Link*, int> unfrozen_count;
-  for (Flow& f : flows_) {
-    f.rate = 0.0;
-    for (const Link* l : f.path) {
-      headroom.try_emplace(l, l->capacity());
-      ++unfrozen_count[l];
+void FlowNetwork::mark_link_dirty(std::uint32_t link_idx) {
+  LinkState& ls = link_states_[link_idx];
+  if (!ls.dirty) {
+    ls.dirty = true;
+    dirty_links_.push_back(link_idx);
+  }
+}
+
+void FlowNetwork::mark_dirty_and_arm() {
+  needs_rebalance_ = true;
+  sim_.request_flush(flush_hook_);
+}
+
+void FlowNetwork::flush() {
+  if (!needs_rebalance_) return;
+  needs_rebalance_ = false;
+  settle();
+  rebalance();
+}
+
+void FlowNetwork::remove_flow(std::uint32_t slot) {
+  Flow& f = flow_slots_[slot];
+  for (std::size_t i = 0; i < f.path.size(); ++i) {
+    Link* l = f.path[i];
+    LinkState& ls = state_of(l);
+    mark_link_dirty(l->net_index());
+    std::uint32_t pos = f.member_pos[i];
+    ls.members[pos] = ls.members.back();
+    ls.members.pop_back();
+    if (pos < static_cast<std::uint32_t>(ls.members.size())) {
+      const Member& moved = ls.members[pos];
+      flow_slots_[moved.flow_slot].member_pos[moved.path_idx] = pos;
+    }
+    if (ls.members.empty()) {  // busy -> idle (settle() already charged it)
+      std::uint32_t bpos = ls.busy_pos;
+      busy_links_[bpos] = busy_links_.back();
+      busy_links_.pop_back();
+      if (bpos < static_cast<std::uint32_t>(busy_links_.size()))
+        link_states_[busy_links_[bpos]].busy_pos = bpos;
+      ls.busy_pos = kNil;
     }
   }
+  std::uint32_t apos = f.active_pos;
+  active_[apos] = active_.back();
+  active_.pop_back();
+  if (apos < static_cast<std::uint32_t>(active_.size()))
+    flow_slots_[active_[apos]].active_pos = apos;
+  // Recycle the slot; path/member_pos keep their capacity for reuse.
+  f.path.clear();
+  f.member_pos.clear();
+  f.done.reset();
+  f.rate = 0.0;
+  f.active_pos = kNil;
+  f.next_free = free_head_;
+  free_head_ = slot;
+}
 
-  std::vector<Flow*> unfrozen;
-  unfrozen.reserve(flows_.size());
-  for (Flow& f : flows_) unfrozen.push_back(&f);
+void FlowNetwork::refill_dirty() {
+  if (dirty_links_.empty()) return;
+  ++epoch_;
+  for (std::uint32_t seed : dirty_links_) {
+    LinkState& ss = link_states_[seed];
+    ss.dirty = false;
+    if (ss.epoch == epoch_) continue;  // already refilled via another seed
+    // Walk outward to the connected component containing this link: only
+    // flows sharing a link (directly or transitively) can affect each
+    // other's max-min rates, so the component boundary is exact.
+    comp_links_.clear();
+    comp_flows_.clear();
+    walk_stack_.clear();
+    ss.epoch = epoch_;
+    comp_links_.push_back(seed);
+    walk_stack_.push_back(seed);
+    while (!walk_stack_.empty()) {
+      std::uint32_t li = walk_stack_.back();
+      walk_stack_.pop_back();
+      for (const Member& m : link_states_[li].members) {
+        Flow& f = flow_slots_[m.flow_slot];
+        if (f.epoch == epoch_) continue;
+        f.epoch = epoch_;
+        comp_flows_.push_back(m.flow_slot);
+        for (Link* l : f.path) {
+          LinkState& ls = state_of(l);
+          if (ls.epoch != epoch_) {
+            ls.epoch = epoch_;
+            comp_links_.push_back(l->net_index());
+            walk_stack_.push_back(l->net_index());
+          }
+        }
+      }
+    }
+    fill_component();
+    ++refills_;
+    refill_flow_visits_ += comp_flows_.size();
+  }
+  dirty_links_.clear();
+}
 
-  while (!unfrozen.empty()) {
+void FlowNetwork::fill_component() {
+  // Progressive filling restricted to one component. All flows start at
+  // zero and unfrozen flows grow uniformly until some link saturates; flows
+  // crossing a saturated link freeze at their current rate. Every
+  // arithmetic step is elementwise (and min is exact), so the result is a
+  // pure function of the component's membership and capacities,
+  // independent of iteration order — which is what makes incremental
+  // refills bitwise-reproducible against the from-scratch oracle.
+  for (std::uint32_t li : comp_links_) {
+    LinkState& ls = link_states_[li];
+    ls.headroom = links_[li]->capacity();
+    ls.unfrozen = static_cast<std::uint32_t>(ls.members.size());
+    ls.throughput = 0.0;
+  }
+  // Flow-id order makes each link's throughput accumulate in arrival
+  // order regardless of the walk's discovery order, so the sums (which,
+  // unlike the rates, are order-sensitive in floating point) are
+  // deterministic and oracle-comparable.
+  std::sort(comp_flows_.begin(), comp_flows_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return flow_slots_[a].id < flow_slots_[b].id;
+            });
+  unfrozen_.clear();
+  for (std::uint32_t s : comp_flows_) {
+    flow_slots_[s].rate = 0.0;
+    unfrozen_.push_back(s);
+  }
+  while (!unfrozen_.empty()) {
     // The next link to saturate bounds the uniform rate increase.
     double delta = std::numeric_limits<double>::infinity();
-    for (const auto& [link, room] : headroom) {
-      int n = unfrozen_count[link];
-      if (n > 0) delta = std::min(delta, room / n);
+    for (std::uint32_t li : comp_links_) {
+      const LinkState& ls = link_states_[li];
+      if (ls.unfrozen > 0) delta = std::min(delta, ls.headroom / ls.unfrozen);
     }
     if (!std::isfinite(delta)) break;  // no loaded links remain
 
-    for (Flow* f : unfrozen) f->rate += delta;
-    for (auto& [link, room] : headroom) room -= delta * unfrozen_count[link];
+    for (std::uint32_t s : unfrozen_) flow_slots_[s].rate += delta;
+    for (std::uint32_t li : comp_links_) {
+      LinkState& ls = link_states_[li];
+      ls.headroom -= delta * ls.unfrozen;
+    }
 
     // Freeze flows that cross any saturated link.
-    std::vector<Flow*> still;
-    still.reserve(unfrozen.size());
-    for (Flow* f : unfrozen) {
+    still_unfrozen_.clear();
+    for (std::uint32_t s : unfrozen_) {
+      Flow& f = flow_slots_[s];
       bool saturated = false;
-      for (const Link* l : f->path) {
-        if (headroom[l] <= 1e-9 * l->capacity()) {
+      for (Link* l : f.path) {
+        if (state_of(l).headroom <= 1e-9 * l->capacity()) {
           saturated = true;
           break;
         }
       }
       if (saturated) {
-        for (const Link* l : f->path) --unfrozen_count[l];
+        for (Link* l : f.path) --state_of(l).unfrozen;
       } else {
-        still.push_back(f);
+        still_unfrozen_.push_back(s);
       }
     }
-    if (still.size() == unfrozen.size()) {
+    if (still_unfrozen_.size() == unfrozen_.size()) {
       // Numerical stall guard: freeze everything crossing the tightest link.
       break;
     }
-    unfrozen.swap(still);
+    unfrozen_.swap(still_unfrozen_);
+  }
+  for (std::uint32_t s : comp_flows_) {
+    const Flow& f = flow_slots_[s];
+    for (std::size_t i = 0; i < f.path.size(); ++i) {
+      if (f.first_mask >> i & 1ull) state_of(f.path[i]).throughput += f.rate;
+    }
+  }
+}
+
+void FlowNetwork::verify_against_oracle() const {
+  // Independent from-scratch recompute: decompose all active flows into
+  // connected components and run progressive filling per component. The
+  // incremental engine must match bitwise — any ulp of drift here means a
+  // stale component was skipped or a membership structure is corrupt.
+  std::vector<double> rate(flow_slots_.size(), 0.0);
+  std::vector<double> thr(link_states_.size(), 0.0);
+  std::vector<char> fseen(flow_slots_.size(), 0);
+  std::vector<char> lseen(link_states_.size(), 0);
+  std::vector<double> headroom(link_states_.size(), 0.0);
+  std::vector<std::uint32_t> ucount(link_states_.size(), 0);
+
+  std::vector<std::uint32_t> order(active_.begin(), active_.end());
+  std::sort(order.begin(), order.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return flow_slots_[a].id < flow_slots_[b].id;
+  });
+
+  std::vector<std::uint32_t> cflows, clinks, stack, unfrozen, still;
+  for (std::uint32_t seed : order) {
+    if (fseen[seed]) continue;
+    cflows.clear();
+    clinks.clear();
+    stack.clear();
+    fseen[seed] = 1;
+    cflows.push_back(seed);
+    stack.push_back(seed);
+    while (!stack.empty()) {
+      std::uint32_t fs = stack.back();
+      stack.pop_back();
+      for (Link* l : flow_slots_[fs].path) {
+        std::uint32_t li = l->net_index();
+        if (lseen[li]) continue;
+        lseen[li] = 1;
+        clinks.push_back(li);
+        for (const Member& m : link_states_[li].members) {
+          if (fseen[m.flow_slot]) continue;
+          fseen[m.flow_slot] = 1;
+          cflows.push_back(m.flow_slot);
+          stack.push_back(m.flow_slot);
+        }
+      }
+    }
+    for (std::uint32_t li : clinks) {
+      headroom[li] = links_[li]->capacity();
+      ucount[li] = static_cast<std::uint32_t>(link_states_[li].members.size());
+    }
+    unfrozen = cflows;
+    while (!unfrozen.empty()) {
+      double delta = std::numeric_limits<double>::infinity();
+      for (std::uint32_t li : clinks)
+        if (ucount[li] > 0) delta = std::min(delta, headroom[li] / ucount[li]);
+      if (!std::isfinite(delta)) break;
+      for (std::uint32_t fs : unfrozen) rate[fs] += delta;
+      for (std::uint32_t li : clinks) headroom[li] -= delta * ucount[li];
+      still.clear();
+      for (std::uint32_t fs : unfrozen) {
+        bool saturated = false;
+        for (Link* l : flow_slots_[fs].path) {
+          if (headroom[l->net_index()] <= 1e-9 * l->capacity()) {
+            saturated = true;
+            break;
+          }
+        }
+        if (saturated) {
+          for (Link* l : flow_slots_[fs].path) --ucount[l->net_index()];
+        } else {
+          still.push_back(fs);
+        }
+      }
+      if (still.size() == unfrozen.size()) break;
+      unfrozen.swap(still);
+    }
+  }
+  for (std::uint32_t s : order) {
+    const Flow& f = flow_slots_[s];
+    for (std::size_t i = 0; i < f.path.size(); ++i)
+      if (f.first_mask >> i & 1ull) thr[f.path[i]->net_index()] += rate[s];
+  }
+
+  for (std::uint32_t s : active_) {
+    if (rate[s] != flow_slots_[s].rate)
+      throw std::logic_error(
+          "FlowNetwork verify: incremental max-min rate diverged from the "
+          "progressive-filling oracle");
+  }
+  for (std::size_t li = 0; li < link_states_.size(); ++li) {
+    if (thr[li] != link_states_[li].throughput)
+      throw std::logic_error(
+          "FlowNetwork verify: incremental link throughput diverged from the "
+          "progressive-filling oracle");
   }
 }
 
 void FlowNetwork::rebalance() {
-  if (pending_completion_.valid()) {
-    sim_.cancel(pending_completion_);
-    pending_completion_ = {};
-  }
-
   // Smallest delay that still advances the simulated clock at the current
   // magnitude; a residual below it can never drain through the event loop
   // (now + dt == now in double), so such flows are completed immediately.
@@ -137,22 +412,39 @@ void FlowNetwork::rebalance() {
   double next = 0.0;
   while (true) {
     // Complete drained flows (settle() must have been called beforehand).
-    std::vector<std::shared_ptr<sim::Event>> finished;
-    for (auto it = flows_.begin(); it != flows_.end();) {
-      if (it->remaining <= kDrainEpsilonBytes) {
-        finished.push_back(std::move(it->done));
-        it = flows_.erase(it);
-      } else {
-        ++it;
+    finished_.clear();
+    for (std::uint32_t s : active_)
+      if (flow_slots_[s].remaining <= kDrainEpsilonBytes) finished_.push_back(s);
+    if (!finished_.empty()) {
+      // Waiters resume in arrival order — active_ is scrambled by
+      // swap-and-pop, so restore the deterministic completion order.
+      std::sort(finished_.begin(), finished_.end(),
+                [this](std::uint32_t a, std::uint32_t b) {
+                  return flow_slots_[a].id < flow_slots_[b].id;
+                });
+      finished_events_.clear();
+      for (std::uint32_t s : finished_) {
+        finished_events_.push_back(std::move(flow_slots_[s].done));
+        remove_flow(s);
       }
+      for (auto& ev : finished_events_) ev->trigger();
+      finished_events_.clear();
     }
-    for (auto& ev : finished) ev->trigger();
 
-    compute_max_min_rates();
-    if (flows_.empty()) return;
+    refill_dirty();
+    if (verify_) verify_against_oracle();
+
+    if (active_.empty()) {
+      if (pending_completion_.valid()) {
+        sim_.cancel(pending_completion_);
+        pending_completion_ = {};
+      }
+      return;
+    }
 
     next = std::numeric_limits<double>::infinity();
-    for (const Flow& f : flows_) {
+    for (std::uint32_t s : active_) {
+      const Flow& f = flow_slots_[s];
       if (f.rate > 0.0) next = std::min(next, f.remaining / f.rate);
     }
     if (!std::isfinite(next))
@@ -161,15 +453,18 @@ void FlowNetwork::rebalance() {
     if (next >= min_progress) break;
 
     // Sub-resolution residues: drain them now and go round again.
-    for (Flow& f : flows_) {
+    for (std::uint32_t s : active_) {
+      Flow& f = flow_slots_[s];
       if (f.rate > 0.0 && f.remaining / f.rate < min_progress) f.remaining = 0.0;
     }
   }
 
+  if (pending_completion_.valid()) sim_.cancel(pending_completion_);
   pending_completion_ = sim_.schedule(next, [this] {
     pending_completion_ = {};
-    settle();
-    rebalance();
+    // Completion work joins the timestamp's batch flush: when a round of
+    // chunks drains together, the scan + refill runs once, not per chunk.
+    mark_dirty_and_arm();
   });
 }
 

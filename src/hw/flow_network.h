@@ -14,12 +14,30 @@
 //     share one bridge, so each sees ~1/16 of it;
 //   * NVLink crossbar rings: disjoint hop links, no sharing, full rate;
 //   * slow-NIC bottleneck: a ring crossing a 10 Gbps NIC is throttled to it.
+//
+// Incremental rebalancing: progressive filling is a per-connected-component
+// computation — flows that share no link (directly or transitively) cannot
+// affect each other's rates. The network therefore keeps per-link member
+// lists and, on each transition (flow arrival/departure, capacity change),
+// walks outward from the touched links to find the affected component(s)
+// and refills only those; every other component keeps its rates. Because
+// filling restricted to a component is a pure, iteration-order-independent
+// function of its membership and capacities, the incrementally maintained
+// rates are *bitwise* equal to a from-scratch per-component recompute — a
+// property the verify mode (on by default in debug builds) cross-checks
+// after every refill against an independent oracle.
+//
+// Rebalance deferral: transitions mark the network dirty and arm a
+// Simulator batch-flush hook instead of refilling inline, so a collective
+// step that starts or completes hundreds of flows at one timestamp pays for
+// one settle + one refill pass, not one per flow. Observer methods
+// (link_throughput, active_flows) flush first, so callers never see stale
+// state — the deferral is invisible except in speed.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "hw/link.h"
@@ -31,7 +49,7 @@ namespace stash::hw {
 
 class FlowNetwork {
  public:
-  explicit FlowNetwork(sim::Simulator& sim) : sim_(sim) {}
+  explicit FlowNetwork(sim::Simulator& sim);
   FlowNetwork(const FlowNetwork&) = delete;
   FlowNetwork& operator=(const FlowNetwork&) = delete;
 
@@ -45,7 +63,8 @@ class FlowNetwork {
   sim::Task<void> transfer(double bytes, std::vector<Link*> path, double latency_s = 0.0);
 
   // Instantaneous max-min fair rate of the flows currently on `link`
-  // (bytes/s, sum over flows). For tests and the Fig 7 bandwidth probe.
+  // (bytes/s, sum over flows — each flow counted once even if its path
+  // traverses the link twice). For tests and the Fig 7 bandwidth probe.
   double link_throughput(const Link* link) const;
 
   // Changes a link's capacity mid-simulation: in-flight flows are settled
@@ -54,7 +73,7 @@ class FlowNetwork {
   // high temporal variation).
   void update_capacity(Link* link, double capacity_bytes_per_s);
 
-  std::size_t active_flows() const { return flows_.size(); }
+  std::size_t active_flows() const;
   std::size_t num_links() const { return links_.size(); }
 
   // Every link created on this network, in creation order (stable, so the
@@ -66,28 +85,104 @@ class FlowNetwork {
     return out;
   }
 
+  // Cross-checks the incrementally maintained rates against a from-scratch
+  // per-component progressive-filling oracle after every refill; throws
+  // std::logic_error on any bitwise mismatch. Defaults to on when NDEBUG is
+  // not defined, off otherwise.
+  void set_verify(bool on) { verify_ = on; }
+  bool verify() const { return verify_; }
+
+  // Incremental-engine telemetry: refill passes run and total flows visited
+  // across them. refill_flow_visits() / (refills() * active_flows()) ≪ 1
+  // is the incremental win over global recomputation.
+  std::uint64_t refills() const { return refills_; }
+  std::uint64_t refill_flow_visits() const { return refill_flow_visits_; }
+
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   struct Flow {
-    std::uint64_t id;
-    double remaining;               // bytes left to transfer
-    double rate = 0.0;              // current fair-share rate, bytes/s
-    std::vector<Link*> path;
+    std::uint64_t id = 0;            // monotonic arrival id (trigger order)
+    double remaining = 0.0;          // bytes left to transfer
+    double rate = 0.0;               // current fair-share rate, bytes/s
+    std::vector<Link*> path;         // one entry per traversal
+    std::vector<std::uint32_t> member_pos;  // position in each link's members
+    std::uint64_t first_mask = 0;    // bit i set: path[i] is the first
+                                     // traversal of that link in this path
     std::shared_ptr<sim::Event> done;
+    std::uint32_t active_pos = kNil;  // position in active_ (kNil = free slot)
+    std::uint32_t next_free = kNil;   // free-list link
+    std::uint64_t epoch = 0;          // component-walk visit stamp
   };
 
-  // Advances all flows' remaining bytes to the current simulated time.
+  // One traversal of a link by an active flow. A path that crosses a link
+  // twice (the PCIe host bridge round trip) contributes two members.
+  struct Member {
+    std::uint32_t flow_slot;
+    std::uint32_t path_idx;
+  };
+
+  struct LinkState {
+    std::vector<Member> members;   // flows currently on this link
+    double throughput = 0.0;       // sum of member flows' rates (flow counted once)
+    std::uint32_t busy_pos = kNil;  // position in busy_links_ (kNil = idle)
+    bool dirty = false;
+    std::uint64_t epoch = 0;       // component-walk visit stamp
+    // Progressive-filling scratch (valid only during a refill pass).
+    double headroom = 0.0;
+    std::uint32_t unfrozen = 0;
+  };
+
+  LinkState& state_of(const Link* l) { return link_states_[l->net_index()]; }
+  void check_owned(const Link* l) const;
+
+  // Advances all flows' remaining bytes (and busy links' busy seconds) to
+  // the current simulated time. Only the first call at a timestamp does
+  // work, so calling it per transition costs O(1) amortized per timestamp.
   void settle();
-  // Completes drained flows, recomputes max-min rates, and (re)schedules
-  // the next completion event.
+  // Runs the deferred settle + rebalance if any transition marked the
+  // network dirty since the last pass. Invoked by the Simulator's
+  // batch-flush hook and by the observer read-barrier.
+  void flush();
+  void mark_dirty_and_arm();
+  void mark_link_dirty(std::uint32_t link_idx);
+  // Completes drained flows, refills the affected components, and
+  // (re)schedules the next completion event.
   void rebalance();
-  void compute_max_min_rates();
+  // Walks outward from each dirty link to its connected component and
+  // re-runs progressive filling on that component alone.
+  void refill_dirty();
+  void fill_component();
+  void verify_against_oracle() const;
+  std::uint32_t alloc_flow();
+  void remove_flow(std::uint32_t slot);
 
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<Link>> links_;
-  std::vector<Flow> flows_;
+  std::vector<LinkState> link_states_;   // parallel to links_
+  std::vector<Flow> flow_slots_;         // slab; freed slots reused via free list
+  std::uint32_t free_head_ = kNil;
+  std::vector<std::uint32_t> active_;    // slots of in-flight flows (unordered)
+  std::vector<std::uint32_t> busy_links_;  // link indices with >= 1 member
+  std::vector<std::uint32_t> dirty_links_;  // touched since last refill
   double last_settle_ = 0.0;
   std::uint64_t next_flow_id_ = 1;
+  std::uint64_t epoch_ = 0;
   sim::EventId pending_completion_{};
+  std::size_t flush_hook_ = 0;
+  bool needs_rebalance_ = false;
+  bool verify_ = false;
+  std::uint64_t refills_ = 0;
+  std::uint64_t refill_flow_visits_ = 0;
+
+  // Reused per-pass scratch (no steady-state allocation).
+  std::vector<std::uint32_t> comp_links_;
+  std::vector<std::uint32_t> comp_flows_;
+  std::vector<std::uint32_t> walk_stack_;
+  std::vector<std::uint32_t> unfrozen_;
+  std::vector<std::uint32_t> still_unfrozen_;
+  std::vector<std::uint32_t> finished_;
+  std::vector<std::shared_ptr<sim::Event>> finished_events_;
 };
 
 }  // namespace stash::hw

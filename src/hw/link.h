@@ -44,11 +44,18 @@ class Link {
   double busy_seconds() const { return busy_seconds_; }
   void account_busy(double seconds) { busy_seconds_ += seconds; }
 
+  // Dense index assigned by the owning FlowNetwork at add_link time; maps
+  // the pointer to the network's per-link flow state in O(1). Links are
+  // only ever created through FlowNetwork::add_link, which sets it.
+  std::uint32_t net_index() const { return net_index_; }
+  void set_net_index(std::uint32_t idx) { net_index_ = idx; }
+
  private:
   std::string name_;
   double capacity_;  // bytes per second
   double bytes_carried_ = 0.0;
   double busy_seconds_ = 0.0;
+  std::uint32_t net_index_ = 0;
 };
 
 }  // namespace stash::hw

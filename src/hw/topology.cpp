@@ -29,7 +29,7 @@ std::vector<std::pair<int, int>> full_mesh(int n) {
 }  // namespace
 
 Machine::Machine(FlowNetwork& net, sim::Simulator& sim, MachineConfig config,
-                 int machine_id)
+                 int machine_id, const Machine* ring_donor)
     : config_(std::move(config)), id_(machine_id) {
   if (config_.num_gpus < 1) throw std::invalid_argument("Machine needs >= 1 GPU");
   if (config_.pcie_lane_bw <= 0 || config_.host_bridge_bw <= 0)
@@ -50,7 +50,18 @@ Machine::Machine(FlowNetwork& net, sim::Simulator& sim, MachineConfig config,
   }
 
   build_links(net);
-  compute_ring_order();
+  // The ring order is a pure function of (num_gpus, interconnect, NVLink
+  // adjacency) — compare post-defaulting, since the donor's config_ already
+  // has its built-in mesh filled in. A matching donor short-circuits the
+  // exhaustive permutation search.
+  if (ring_donor != nullptr && ring_donor->config_.num_gpus == config_.num_gpus &&
+      ring_donor->config_.interconnect == config_.interconnect &&
+      ring_donor->config_.nvlink_pairs == config_.nvlink_pairs) {
+    ring_order_ = ring_donor->ring_order_;
+    ring_pcie_hops_ = ring_donor->ring_pcie_hops_;
+  } else {
+    compute_ring_order();
+  }
 
   storage_ = std::make_unique<StorageDevice>(
       net, config_.name + "#" + std::to_string(id_) + ".ssd", config_.ssd_bw,
@@ -190,9 +201,11 @@ SampleCache& Machine::cache(double bytes_per_sample) {
 Cluster::Cluster(FlowNetwork& net, sim::Simulator& sim,
                  std::vector<MachineConfig> configs, double fabric_bw) {
   if (configs.empty()) throw std::invalid_argument("Cluster needs >= 1 machine");
-  for (std::size_t m = 0; m < configs.size(); ++m)
-    machines_.push_back(
-        std::make_unique<Machine>(net, sim, configs[m], static_cast<int>(m)));
+  for (std::size_t m = 0; m < configs.size(); ++m) {
+    const Machine* donor = machines_.empty() ? nullptr : machines_.back().get();
+    machines_.push_back(std::make_unique<Machine>(net, sim, configs[m],
+                                                  static_cast<int>(m), donor));
+  }
   if (machines_.size() > 1) {
     for (const auto& mach : machines_)
       if (mach->nic_tx() == nullptr)

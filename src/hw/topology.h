@@ -61,8 +61,12 @@ struct MachineConfig {
 class Machine {
  public:
   // Creates the machine's links inside `net`. `machine_id` namespaces link
-  // names when several machines share a FlowNetwork.
-  Machine(FlowNetwork& net, sim::Simulator& sim, MachineConfig config, int machine_id);
+  // names when several machines share a FlowNetwork. `ring_donor`, when it
+  // has the same GPU count, interconnect and NVLink adjacency, donates its
+  // already-computed ring order — building a 1024-machine homogeneous
+  // cluster then runs the exhaustive ring search once instead of 1024 times.
+  Machine(FlowNetwork& net, sim::Simulator& sim, MachineConfig config, int machine_id,
+          const Machine* ring_donor = nullptr);
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 

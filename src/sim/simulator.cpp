@@ -52,7 +52,16 @@ EventId Simulator::schedule_impl(SimTime t, InlineCallback fn) {
     slot = static_cast<std::uint32_t>(records_.size());
   }
   std::uint32_t gen = records_[slot - 1].gen;
-  heap_push(HeapEntry{t, next_seq_++, slot, gen});
+  if (in_batch_ && t == now_) {
+    // Scheduled at the timestamp currently draining: join the FIFO batch
+    // instead of round-tripping through the heap. Sequence numbers stay
+    // monotonic, so batch order == schedule order, and every entry already
+    // in the heap at this time precedes every batch entry.
+    batch_.push_back(HeapEntry{t, next_seq_++, slot, gen});
+    ++heap_bypasses_;
+  } else {
+    heap_push(HeapEntry{t, next_seq_++, slot, gen});
+  }
   ++live_events_;
   max_queue_depth_ = std::max(max_queue_depth_, live_events_);
   return EventId{slot, gen};
@@ -93,27 +102,75 @@ void Simulator::spawn(Task<void> task) {
   roots_.back().start();
 }
 
-bool Simulator::step() {
-  while (!heap_.empty()) {
-    HeapEntry top = heap_.front();
-    heap_pop();
-    EventRecord& rec = records_[top.slot - 1];
-    if (rec.gen != top.gen) {  // cancelled: lazily deleted corpse
+void Simulator::exec_entry(const HeapEntry& e) {
+  EventRecord& rec = records_[e.slot - 1];
+  InlineCallback fn = std::move(rec.fn);
+  rec.fn.reset();
+  ++rec.gen;
+  rec.next_free = free_head_;
+  free_head_ = e.slot;
+  --live_events_;
+  ++events_executed_;
+  fn();
+}
+
+std::size_t Simulator::add_flush_hook(std::function<void()> fn) {
+  flush_hooks_.push_back(FlushHook{std::move(fn), false});
+  return flush_hooks_.size() - 1;
+}
+
+void Simulator::request_flush(std::size_t hook_id) {
+  flush_hooks_[hook_id].armed = true;
+  hooks_armed_ = true;
+}
+
+void Simulator::run_flush_hooks() {
+  // Clear the summary flag first: a hook that re-arms (or arms an earlier
+  // hook) raises it again and the caller loops for another pass.
+  hooks_armed_ = false;
+  for (std::size_t i = 0; i < flush_hooks_.size(); ++i) {
+    if (!flush_hooks_[i].armed) continue;
+    flush_hooks_[i].armed = false;
+    flush_hooks_[i].fn();
+  }
+}
+
+void Simulator::drain_batch() {
+  const SimTime t = now_;
+  for (;;) {
+    // Heap entries at time t were all scheduled before this batch began
+    // (same-time schedules divert to the batch while it drains), so their
+    // sequence numbers precede every batch entry's: execute them first.
+    while (!heap_.empty() && !entry_live(heap_.front())) {
       if (stale_entries_ > 0) --stale_entries_;
+      heap_pop();
+    }
+    if (!heap_.empty() && heap_.front().time == t) {
+      HeapEntry e = heap_.front();
+      heap_pop();
+      exec_entry(e);
       continue;
     }
-    now_ = top.time;
-    InlineCallback fn = std::move(rec.fn);
-    rec.fn.reset();
-    ++rec.gen;
-    rec.next_free = free_head_;
-    free_head_ = top.slot;
-    --live_events_;
-    ++events_executed_;
-    fn();
-    return true;
+    if (batch_pos_ < batch_.size()) {
+      HeapEntry e = batch_[batch_pos_++];
+      if (!entry_live(e)) {  // cancelled while queued in the batch
+        if (stale_entries_ > 0) --stale_entries_;
+        continue;
+      }
+      exec_entry(e);
+      continue;
+    }
+    if (hooks_armed_) {
+      // Batch fixpoint: every same-time event has fired. Hooks may
+      // schedule more same-time work or re-arm, so keep draining.
+      run_flush_hooks();
+      continue;
+    }
+    break;
   }
-  return false;
+  batch_.clear();
+  batch_pos_ = 0;
+  in_batch_ = false;
 }
 
 void Simulator::check_root_failures() {
@@ -122,7 +179,21 @@ void Simulator::check_root_failures() {
 
 SimTime Simulator::run() {
   auto wall_start = std::chrono::steady_clock::now();
-  while (step()) {
+  for (;;) {
+    // Hooks armed outside a batch (e.g. a transfer started before run())
+    // must flush at the timestamp that armed them, before time advances.
+    if (hooks_armed_) {
+      run_flush_hooks();
+      continue;
+    }
+    while (!heap_.empty() && !entry_live(heap_.front())) {
+      if (stale_entries_ > 0) --stale_entries_;
+      heap_pop();
+    }
+    if (heap_.empty()) break;
+    now_ = heap_.front().time;
+    in_batch_ = true;
+    drain_batch();
   }
   wall_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
@@ -133,15 +204,19 @@ SimTime Simulator::run() {
 
 SimTime Simulator::run_until(SimTime t) {
   auto wall_start = std::chrono::steady_clock::now();
-  while (!heap_.empty()) {
-    const HeapEntry& top = heap_.front();
-    if (!entry_live(top)) {
-      if (stale_entries_ > 0) --stale_entries_;
-      heap_pop();
+  for (;;) {
+    if (hooks_armed_) {
+      run_flush_hooks();
       continue;
     }
-    if (top.time > t) break;
-    step();
+    while (!heap_.empty() && !entry_live(heap_.front())) {
+      if (stale_entries_ > 0) --stale_entries_;
+      heap_pop();
+    }
+    if (heap_.empty() || heap_.front().time > t) break;
+    now_ = heap_.front().time;
+    in_batch_ = true;
+    drain_batch();
   }
   // Advance the clock to the requested horizon even if nothing fires there.
   now_ = std::max(now_, t);

@@ -20,10 +20,21 @@
 // entries outnumber live ones. EventIds carry the generation they were
 // issued under, so cancel() on an id whose event already fired (or whose
 // slot was since reused) is a checked no-op rather than a hazard.
+//
+// Same-timestamp batching: the run loop executes events one *timestamp* at
+// a time. While a timestamp's events drain, anything scheduled at the
+// current time (the zero-delay wake-ups every Event::trigger, Latch and
+// Barrier release produces) is appended to a FIFO batch queue instead of
+// round-tripping through the heap — O(1) instead of two O(log n) heap
+// operations, and a collective step that fires thousands of simultaneous
+// completions touches the heap once. Batch-flush hooks let components
+// defer work until the batch drains: the FlowNetwork settles and
+// rebalances once per timestamp instead of once per flow arrival.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -207,6 +218,21 @@ class Simulator {
   // Runs until the queue is empty or simulated time would exceed `t`.
   SimTime run_until(SimTime t);
 
+  // Registers a batch-flush hook and returns its id. Hooks run in
+  // registration order at the *end* of a same-timestamp event batch (and
+  // always before simulated time advances past the timestamp that armed
+  // them), but only when armed via request_flush since they last ran. A
+  // hook may schedule same-time events or re-arm itself/others; the batch
+  // keeps draining until no same-time work and no armed hooks remain.
+  // Components use this to coalesce work across a burst of simultaneous
+  // events — e.g. the FlowNetwork settles and rebalances once per
+  // timestamp instead of once per flow arrival/completion.
+  std::size_t add_flush_hook(std::function<void()> fn);
+  // Arms a registered flush hook for the current timestamp.
+  void request_flush(std::size_t hook_id);
+  // True while a same-timestamp batch is draining.
+  bool in_batch() const { return in_batch_; }
+
   // True if every spawned root process has completed. A false value after
   // run() indicates a model deadlock (processes blocked forever).
   bool all_processes_done() const;
@@ -223,6 +249,9 @@ class Simulator {
   // many compaction passes have run; exposed for the simulator tests.
   std::size_t stale_entries() const { return stale_entries_; }
   std::uint64_t compactions() const { return compactions_; }
+  // Events that joined a same-timestamp batch directly, skipping the two
+  // O(log n) heap operations a heap round-trip would have cost.
+  std::uint64_t heap_bypasses() const { return heap_bypasses_; }
 
  private:
   // One pending (or free) slab slot. `gen` advances every time the slot's
@@ -246,7 +275,12 @@ class Simulator {
   };
 
   EventId schedule_impl(SimTime t, InlineCallback fn);
-  bool step();                 // executes one event; false if queue empty
+  void exec_entry(const HeapEntry& e);  // fires a live entry's callback
+  // Executes every event at the current timestamp (heap entries first —
+  // their sequence numbers predate the batch — then the FIFO batch queue),
+  // running armed flush hooks at each fixpoint until nothing remains.
+  void drain_batch();
+  void run_flush_hooks();      // one pass over armed hooks, in order
   void check_root_failures();  // rethrows stored process exceptions
   // Drops stale heap entries in place (and restores the heap property).
   void compact();
@@ -258,6 +292,11 @@ class Simulator {
   [[noreturn]] static void throw_negative_delay();
   [[noreturn]] static void throw_past_time();
 
+  struct FlushHook {
+    std::function<void()> fn;
+    bool armed = false;
+  };
+
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
@@ -265,10 +304,16 @@ class Simulator {
   std::size_t stale_entries_ = 0;
   std::size_t max_queue_depth_ = 0;
   std::uint64_t compactions_ = 0;
+  std::uint64_t heap_bypasses_ = 0;
   double wall_seconds_ = 0.0;
   std::vector<HeapEntry> heap_;       // binary min-heap, storage reused
   std::vector<EventRecord> records_;  // slab, indexed by slot-1
   std::uint32_t free_head_ = 0;       // head of the free-slot list (1-based)
+  bool in_batch_ = false;             // a timestamp's events are draining
+  bool hooks_armed_ = false;          // at least one flush hook is armed
+  std::vector<HeapEntry> batch_;      // FIFO of same-timestamp events
+  std::size_t batch_pos_ = 0;         // next batch entry to execute
+  std::vector<FlushHook> flush_hooks_;
   std::vector<Task<void>> roots_;
 };
 

@@ -124,6 +124,58 @@ TEST(Hierarchical, SingleMachineEqualsRing) {
   EXPECT_NEAR(th, tr, 1e-9);
 }
 
+TEST(Hierarchical, OverSubsetThrowsOnEmptySet) {
+  Fixture f("p3.16xlarge");
+  CollectiveContext ctx{f.sim, f.net, *f.cluster, f.config};
+  bool threw = false;
+  try {
+    auto task = hierarchical_allreduce_over(ctx, {}, mib(1));
+    (void)task;
+  } catch (const std::invalid_argument&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(Hierarchical, OverSubsetCompletesAcrossMachines) {
+  // An explicit participant subset spanning two machines (e.g. the trainer
+  // after a shrink) runs the full three-phase schedule and drains.
+  Fixture f("p3.16xlarge", 2);
+  std::vector<hw::GpuRef> gpus;
+  for (int m = 0; m < 2; ++m)
+    for (int g = 0; g < 4; ++g) gpus.push_back(hw::GpuRef{m, g});
+  double t = f.run([&](CollectiveContext& c) {
+    return hierarchical_allreduce_over(c, gpus, mib(64));
+  });
+  EXPECT_GT(t, 0.0);
+  EXPECT_TRUE(f.sim.all_processes_done());
+  EXPECT_EQ(f.net.active_flows(), 0u);
+}
+
+TEST(Hierarchical, AnalyticMatchesShape) {
+  // Closed form: single machine degenerates to the intra ring; multi
+  // machine adds the leader ring plus one pipelined broadcast payload.
+  const double bytes = mib(100);
+  const double intra_bw = 20e9, inter_bw = 1.25e9;
+  const double intra_lat = 2e-6, inter_lat = 20e-6;
+  EXPECT_DOUBLE_EQ(
+      hierarchical_allreduce_analytic(bytes, 1, 8, intra_bw, inter_bw, intra_lat,
+                                      inter_lat),
+      ring_allreduce_analytic(bytes, 8, intra_bw, intra_lat));
+  double multi = hierarchical_allreduce_analytic(bytes, 16, 8, intra_bw, inter_bw,
+                                                 intra_lat, inter_lat);
+  EXPECT_DOUBLE_EQ(multi, ring_allreduce_analytic(bytes, 16, inter_bw, inter_lat) +
+                              ring_allreduce_analytic(bytes, 8, intra_bw, intra_lat) +
+                              intra_lat + bytes / intra_bw);
+  // The hierarchical schedule's NIC traffic is independent of per-machine
+  // GPU count; the flat ring's is not. At 1024 machines the flat ring's
+  // 2(8191) rounds dwarf the hierarchical 2(1023) + 2(7).
+  double flat = ring_allreduce_analytic(bytes, 1024 * 8, inter_bw, inter_lat);
+  double hier = hierarchical_allreduce_analytic(bytes, 1024, 8, intra_bw, inter_bw,
+                                                intra_lat, inter_lat);
+  EXPECT_LT(hier, flat);
+}
+
 TEST(Hierarchical, BeatsFlatRingAcrossNetwork) {
   // Extension ablation: hierarchical sends one payload per machine across
   // the NIC instead of one chunk stream per round; for large payloads over

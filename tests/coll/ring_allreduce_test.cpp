@@ -146,6 +146,31 @@ TEST(RingAllreduce, CostScalesLinearlyInBytes) {
   EXPECT_NEAR(t2, 2.0 * t1, 1e-6 * t2);
 }
 
+// The completion-time equivalence the hierarchical collective relies on:
+// with no background traffic (static contention), aggregated pacing lands
+// on the same simulated duration as the lock-step per-round schedule —
+// R*(L + chunk/rate) vs R*L + (R*chunk)/rate — on both a single-machine
+// NVLink ring and a NIC-paced cross-machine ring. Tolerance covers only
+// the floating-point difference between summing R round durations and one
+// multiply.
+TEST(RingAllreduce, AggregatedPacingMatchesPerRoundWhenStatic) {
+  for (int count : {1, 2}) {
+    double bytes = mib(128);
+    Fixture per_round("p3.8xlarge", count);
+    double lat = per_round.ctx().round_latency();
+    double tp = per_round.run([&](CollectiveContext& c) {
+      return ring_allreduce_over(c, c.cluster.ring_order(), bytes, lat,
+                                 RingPacing::kPerRound);
+    });
+    Fixture aggregated("p3.8xlarge", count);
+    double ta = aggregated.run([&](CollectiveContext& c) {
+      return ring_allreduce_over(c, c.cluster.ring_order(), bytes, lat,
+                                 RingPacing::kAggregated);
+    });
+    EXPECT_NEAR(ta, tp, 1e-9 * tp) << count << " machine(s)";
+  }
+}
+
 // Property sweep over cluster shapes: simulated ring time is within 30% of
 // the analytic bound computed from the slowest hop (contention-free rings
 // should sit right on it).

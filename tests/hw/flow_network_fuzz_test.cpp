@@ -20,6 +20,17 @@ struct FuzzCase {
 
 class FlowNetworkFuzz : public ::testing::TestWithParam<FuzzCase> {};
 
+// A free coroutine function, not a lambda: a coroutine lambda's captures
+// live in the closure object, which would die with the spawn loop's scope
+// while the coroutine is still suspended; by-value parameters are copied
+// into the coroutine frame and survive.
+sim::Task<void> fuzz_transfer(hw::FlowNetwork& net, double bytes,
+                              std::vector<Link*> path, double latency,
+                              int& completed) {
+  co_await net.transfer(bytes, std::move(path), latency);
+  ++completed;
+}
+
 TEST_P(FlowNetworkFuzz, InvariantsHold) {
   const FuzzCase& fc = GetParam();
   util::Rng rng(fc.seed);
@@ -52,11 +63,7 @@ TEST_P(FlowNetworkFuzz, InvariantsHold) {
       for (std::size_t i = 0; i < links.size(); ++i)
         if (links[i] == l) expected_link_bytes[i] += bytes;
     }
-    auto proc = [&net, &sim, bytes, latency, path, &completed]() -> sim::Task<void> {
-      co_await net.transfer(bytes, path, latency);
-      ++completed;
-    };
-    sim.spawn(proc());
+    sim.spawn(fuzz_transfer(net, bytes, std::move(path), latency, completed));
   }
 
   // Capacity invariant sampled on a fine grid while flows drain.

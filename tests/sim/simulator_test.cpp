@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace stash::sim {
@@ -243,6 +244,107 @@ TEST(InlineCallbackTest, LargeCallablesFallBackToHeap) {
   static_assert(sizeof(Big) > InlineCallback::kInlineSize);
   sim.run();
   EXPECT_DOUBLE_EQ(result, 42.0);
+}
+
+TEST(Simulator, SameTimestampSchedulesBypassHeap) {
+  // Work scheduled for the current timestamp while a batch drains goes to
+  // the FIFO batch queue, not the heap; cross-timestamp work still heaps.
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] {
+    for (int i = 0; i < 5; ++i) sim.schedule(0.0, [&] { ++fired; });
+    sim.schedule(1.0, [&] { ++fired; });  // future: must take the heap
+  });
+  sim.run();
+  EXPECT_EQ(fired, 6);
+  EXPECT_EQ(sim.heap_bypasses(), 5u);
+}
+
+TEST(Simulator, BatchPreservesSeqOrderWithinTimestamp) {
+  // Heap entries for time t all predate batch entries created while t
+  // drains, so heap-then-FIFO equals global (time, seq) order.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(1.0, [&] {
+    order.push_back(0);
+    sim.schedule(0.0, [&] {
+      order.push_back(2);
+      sim.schedule(0.0, [&] { order.push_back(4); });
+    });
+    sim.schedule(0.0, [&] { order.push_back(3); });
+  });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, CancelledBatchEntryDoesNotFire) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] {
+    EventId id = sim.schedule(0.0, [&] { ++fired; });
+    sim.schedule(0.0, [&] { ++fired; });
+    sim.cancel(id);
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.stale_entries(), 0u);
+}
+
+TEST(Simulator, FlushHookRunsOncePerTimestampAtBatchEnd) {
+  // A flush hook armed repeatedly during a timestamp runs once, after every
+  // same-timestamp event has executed.
+  Simulator sim;
+  int events = 0;
+  std::vector<int> events_at_flush;
+  std::size_t hook = sim.add_flush_hook([&] { events_at_flush.push_back(events); });
+  sim.schedule(1.0, [&] {
+    ++events;
+    sim.request_flush(hook);
+    sim.schedule(0.0, [&] {
+      ++events;
+      sim.request_flush(hook);
+    });
+  });
+  sim.schedule(2.0, [&] {
+    ++events;
+    sim.request_flush(hook);
+  });
+  sim.run();
+  EXPECT_EQ(events_at_flush, (std::vector<int>{2, 3}));
+}
+
+TEST(Simulator, FlushHookMayScheduleMoreSameTimestampWork) {
+  // A hook that schedules same-timestamp work re-enters the batch loop; the
+  // new work (and any re-armed flush) runs before time advances.
+  Simulator sim;
+  std::vector<std::pair<double, int>> log;
+  int round = 0;
+  std::size_t hook = 0;
+  hook = sim.add_flush_hook([&] {
+    log.emplace_back(sim.now(), ++round);
+    if (round == 1) {
+      sim.schedule(0.0, [&] { sim.request_flush(hook); });
+    }
+  });
+  sim.schedule(1.0, [&] { sim.request_flush(hook); });
+  sim.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(log[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(log[1].first, 1.0);
+}
+
+TEST(Simulator, ArmedHookFlushesBeforeRunAdvancesTime) {
+  // A hook armed outside run() (e.g. a transfer started before the event
+  // loop) must flush at its own timestamp, before the first heap pop
+  // advances now().
+  Simulator sim;
+  double flushed_at = -1.0;
+  std::size_t hook = sim.add_flush_hook([&] { flushed_at = sim.now(); });
+  sim.request_flush(hook);
+  sim.schedule(5.0, [] {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(flushed_at, 0.0);
 }
 
 }  // namespace
