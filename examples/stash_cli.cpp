@@ -11,7 +11,7 @@
 //
 // Every subcommand prints an ASCII table by default or CSV with --csv.
 // profile, estimate and stalls additionally accept:
-//   --json          print a stash.run_manifest/1 JSON document instead of
+//   --json          print a stash.run_manifest/2 JSON document instead of
 //                   the table (report + config + metrics snapshot)
 //   --trace=FILE    write a chrome://tracing timeline of the instrumented
 //                   (warm-data) profiler step
@@ -23,6 +23,9 @@
 #include <optional>
 #include <string>
 
+#include "archive/archive.h"
+#include "archive/diff.h"
+#include "archive/drift.h"
 #include "cloud/spot.h"
 #include "dnn/zoo.h"
 #include "exec/exec_context.h"
@@ -111,13 +114,24 @@ int usage() {
       "                                   stream a training simulation through\n"
       "                                   the online stall monitor: change-\n"
       "                                   point events + windowed live blame\n"
+      "  runs <list|show|diff|drift> --archive DIR\n"
+      "       list [--csv]                archived runs in append order\n"
+      "       show <ref>                  print one stash.run_record/1 document\n"
+      "       diff <refA> <refB> [--flame=FILE] [--json] [--csv]\n"
+      "                                   structural comparison of two runs:\n"
+      "                                   stall deltas, metric drift, config\n"
+      "                                   changes, folded-stack blame diff\n"
+      "       drift [--metrics=FILE] [--json] [--csv]\n"
+      "                                   replay the CUSUM/EWMA detectors over\n"
+      "                                   each run group's archive time series\n"
+      "       (<ref> is an archive seq number or a record-id prefix)\n"
       "\n"
       "--jobs N runs up to N simulations concurrently (default 1 = serial);\n"
       "output is byte-identical for every N.\n"
       "\n"
       "profile, estimate, stalls, recommend, plan, autopilot and monitor\n"
       "also accept:\n"
-      "  --json          print a stash.run_manifest/1 JSON document instead\n"
+      "  --json          print a stash.run_manifest/2 JSON document instead\n"
       "                  of the table (attribute prints stash.blame/1,\n"
       "                  plan stash.plan/1, autopilot stash.autopilot/1,\n"
       "                  monitor the stash.monitor/1 JSONL stream)\n"
@@ -130,6 +144,9 @@ int usage() {
       "                  snapshot format: stash.metrics/1 JSON (default) or\n"
       "                  Prometheus text exposition; monitor's prom output\n"
       "                  also carries the per-window streaming snapshots\n"
+      "  --archive DIR   append this run as a stash.run_record/1 (manifest +\n"
+      "                  metrics snapshot + blame when attribution ran) to\n"
+      "                  the archive at DIR; query later with `runs`\n"
       "\n"
       "monitor also accepts:\n"
       "  --events=FILE   write the stash.monitor/1 JSONL stream to FILE\n"
@@ -141,6 +158,9 @@ int usage() {
       "  --blame=FILE    write a stash.blame/1 critical-path report of the\n"
       "                  warm-data run (healthy profiles only)\n"
       "  --flame=FILE    write a folded-stack flamegraph of the same run\n"
+      "  --prefetch N    loader prefetch depth (default 4)\n"
+      "  --loader-workers N\n"
+      "                  data-loader workers per GPU (default 3)\n"
       "\n"
       "profile and attribute accept --progress (or STASH_PROGRESS=1) for\n"
       "live step-completion reporting on stderr.\n"
@@ -167,13 +187,19 @@ void warn_if_degenerate(const profiler::StallReport& r) {
                  "clamped to 0 and are not trustworthy\n";
 }
 
-// Shared --trace/--metrics/--json plumbing for profile, estimate, stalls,
-// recommend and attribute.
+// Returns the canonical dataset name for the archive grouping axis.
+std::string dataset_name(const std::string& model) {
+  return dnn::dataset_for(model).name;
+}
+
+// Shared --trace/--metrics/--json/--archive plumbing for profile, estimate,
+// stalls, recommend and attribute.
 struct TelemetrySinks {
   explicit TelemetrySinks(const util::Args& args)
       : trace_path(args.get("trace")),
         metrics_path(args.get("metrics")),
         metrics_format(args.get("metrics-format", "json")),
+        archive_path(args.get("archive")),
         json(args.has("json")) {}
 
   // Validates the option values; returns 0 or the exit code to fail with.
@@ -187,7 +213,12 @@ struct TelemetrySinks {
   }
 
   bool want_trace() const { return !trace_path.empty(); }
-  bool want_metrics() const { return !metrics_path.empty() || json; }
+  // An archived record embeds a metrics snapshot, so --archive implies
+  // metrics collection even without --metrics/--json.
+  bool want_metrics() const {
+    return !metrics_path.empty() || json || want_archive();
+  }
+  bool want_archive() const { return !archive_path.empty(); }
 
   void attach(profiler::ProfileOptions& opt) {
     if (want_trace()) opt.trace = &trace;
@@ -229,9 +260,50 @@ struct TelemetrySinks {
     return 0;
   }
 
+  // --archive: append one stash.run_record/1 built from the manifest (and,
+  // when attribution ran, the blame report + folded stacks; plan/autopilot
+  // attach their report as `payload`, monitor its event stream). The
+  // archived manifest copy drops volatile metrics so identical runs yield
+  // identical, content-addressed records; the notice goes to stderr so
+  // stdout stays the machine-readable stream.
+  int archive(const telemetry::RunManifest& man, const std::string& model,
+              const std::string& dataset, const std::string& instance,
+              int count, int batch, const obs::BlameReport* blame = nullptr,
+              const std::string& payload_json = {},
+              const std::string& events_jsonl = {}) const {
+    if (!want_archive()) return 0;
+    try {
+      archive::RecordInputs in;
+      in.command = man.command;
+      in.model = model;
+      in.dataset = dataset;
+      in.instance = instance;
+      in.count = count;
+      in.batch = batch;
+      in.config = man.config;
+      telemetry::RunManifest copy = man;
+      copy.include_volatile_metrics = false;
+      in.manifest_json = copy.to_json();
+      if (blame != nullptr) {
+        in.blame_json = obs::blame_to_json(*blame);
+        in.folded = obs::blame_to_folded(*blame);
+      }
+      in.payload_json = payload_json;
+      in.events_jsonl = events_jsonl;
+      archive::Archive ar(archive_path);
+      archive::IndexEntry e = ar.append(in);
+      std::cerr << "archived run " << e.seq << " (" << e.id << ")\n";
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "error: archive append failed: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   std::string trace_path;
   std::string metrics_path;
   std::string metrics_format;
+  std::string archive_path;
   bool json = false;
   util::TraceRecorder trace;
   telemetry::MetricsRegistry metrics;
@@ -292,12 +364,25 @@ int cmd_profile(const util::Args& args) {
   exec::ExecContext exec(args.get_int("jobs", 1));
   profiler::ProfileOptions opt;
   opt.exec = &exec;
+  opt.prefetch_depth = args.get_int("prefetch", opt.prefetch_depth);
+  opt.loader_workers_per_gpu =
+      args.get_int("loader-workers", opt.loader_workers_per_gpu);
   sinks.attach(opt);
   obs::ProgressReporter progress;
   if (want_progress(args)) opt.progress = &progress;
 
   dnn::Model model = dnn::make_zoo_model(model_name);
   profiler::StashProfiler prof(model, dnn::dataset_for(model_name), opt);
+
+  // Loader configuration is part of the archived config key, so perturbing
+  // --prefetch between archived runs shows up in `runs diff`.
+  auto profile_manifest = [&]() {
+    telemetry::RunManifest man = sinks.manifest("profile", args, model_name, spec);
+    man.add_config("prefetch", std::to_string(opt.prefetch_depth));
+    man.add_config("loader_workers",
+                   std::to_string(opt.loader_workers_per_gpu));
+    return man;
+  };
 
   if (args.has("faults")) {
     faults::FaultPlan plan = faults::FaultPlan::parse(args.get("faults"));
@@ -320,13 +405,16 @@ int cmd_profile(const util::Args& args) {
 
     profiler::FaultProfileReport fr =
         prof.profile_under_faults(spec, batch, plan, fopt);
-    if (sinks.json) {
-      telemetry::RunManifest man =
-          sinks.manifest("profile", args, model_name, spec);
+    if (sinks.json || sinks.want_archive()) {
+      telemetry::RunManifest man = profile_manifest();
       man.add_config("faults", args.get("faults"));
       man.add_config("recovery", recovery);
       man.fault_report = fr;
-      return sinks.flush(man);
+      if (int rc = sinks.archive(man, model_name, dataset_name(model_name),
+                                 spec.instance, spec.count, batch);
+          rc != 0)
+        return rc;
+      if (sinks.json) return sinks.flush(man);
     }
     util::Table t({"run", "I/C %", "N/W %", "prep %", "fetch %", "fault %",
                    "epoch (s)", "epoch ($)"});
@@ -371,20 +459,25 @@ int cmd_profile(const util::Args& args) {
   // profile itself stays cache-friendly.
   const std::string blame_path = args.get("blame");
   const std::string flame_path = args.get("flame");
+  std::optional<obs::BlameReport> br;
   if (!blame_path.empty() || !flame_path.empty()) {
-    obs::BlameReport br =
-        profiler::attribute_step(prof, spec, profiler::Step::kRealWarm, batch);
+    br = profiler::attribute_step(prof, spec, profiler::Step::kRealWarm, batch);
     if (!blame_path.empty() &&
-        !write_file(blame_path, obs::blame_to_json(br) + "\n"))
+        !write_file(blame_path, obs::blame_to_json(*br) + "\n"))
       return 1;
-    if (!flame_path.empty() && !write_file(flame_path, obs::blame_to_folded(br)))
+    if (!flame_path.empty() && !write_file(flame_path, obs::blame_to_folded(*br)))
       return 1;
   }
 
-  if (sinks.json) {
-    telemetry::RunManifest man = sinks.manifest("profile", args, model_name, spec);
+  if (sinks.json || sinks.want_archive()) {
+    telemetry::RunManifest man = profile_manifest();
     man.stall_report = r;
-    return sinks.flush(man);
+    if (int rc = sinks.archive(man, model_name, dataset_name(model_name),
+                               spec.instance, spec.count, batch,
+                               br ? &*br : nullptr);
+        rc != 0)
+      return rc;
+    if (sinks.json) return sinks.flush(man);
   }
 
   util::Table t({"config", "model", "batch", "I/C %", "N/W %", "prep %", "fetch %",
@@ -422,10 +515,14 @@ int cmd_stalls(const util::Args& args) {
                                dnn::dataset_for(model_name), opt);
   profiler::StallReport r = prof.profile(spec, batch);
 
-  if (sinks.json) {
+  if (sinks.json || sinks.want_archive()) {
     telemetry::RunManifest man = sinks.manifest("stalls", args, model_name, spec);
     man.stall_report = r;
-    return sinks.flush(man);
+    if (int rc = sinks.archive(man, model_name, dataset_name(model_name),
+                               spec.instance, spec.count, batch);
+        rc != 0)
+      return rc;
+    if (sinks.json) return sinks.flush(man);
   }
   if (args.has("csv")) {
     util::Table t({"config", "model", "batch", "I/C %", "N/W %", "prep %",
@@ -481,7 +578,7 @@ int cmd_recommend(const util::Args& args) {
     winner.profile(recs.front().spec, opt.per_gpu_batch);
   }
 
-  if (sinks.json) {
+  if (sinks.json || sinks.want_archive()) {
     telemetry::RunManifest man;
     man.command = "recommend";
     man.add_config("model", model_name);
@@ -489,7 +586,14 @@ int cmd_recommend(const util::Args& args) {
     man.add_config("winner", recs.front().spec.label());
     man.recommendations = recs;
     if (sinks.want_metrics()) man.metrics = &sinks.metrics;
-    return sinks.flush(man);
+    // Grouped under the winning configuration: that's the run the sweep
+    // recommends and re-profiles for telemetry.
+    if (int rc = sinks.archive(man, model_name, dataset.name,
+                               recs.front().spec.instance,
+                               recs.front().spec.count, opt.per_gpu_batch);
+        rc != 0)
+      return rc;
+    if (sinks.json) return sinks.flush(man);
   }
 
   util::Table t({"config", "epoch (s)", "epoch ($)", "time rank", "cost rank"});
@@ -531,6 +635,16 @@ int cmd_attribute(const util::Args& args) {
       !write_file(flame_path, obs::blame_to_folded(primary)))
     return 1;
   if (int rc = sinks.flush_files(); rc != 0) return rc;
+
+  if (sinks.want_archive()) {
+    telemetry::RunManifest man =
+        sinks.manifest("attribute", args, model_name, spec);
+    if (int rc = sinks.archive(man, model_name, dataset_name(model_name),
+                               spec.instance, spec.count, batch, &primary,
+                               profiler::blame_profile_to_json(bp));
+        rc != 0)
+      return rc;
+  }
 
   if (sinks.json) {
     std::cout << profiler::blame_profile_to_json(bp) << "\n";
@@ -647,6 +761,27 @@ int cmd_plan(const util::Args& args) {
                     profiler::Step::kRealWarm, opt.per_gpu_batch);
   }
 
+  if (sinks.want_archive()) {
+    telemetry::RunManifest man;
+    man.command = "plan";
+    man.add_config("model", model_name);
+    man.add_config("batch", std::to_string(opt.per_gpu_batch));
+    man.add_config("epochs", std::to_string(opt.epochs));
+    man.add_config("trials", std::to_string(opt.trials));
+    man.add_config("seed", std::to_string(opt.seed));
+    if (sinks.want_metrics()) man.metrics = &sinks.metrics;
+    // Grouped under the frontier's cheapest plan — the deployment the
+    // planner would actually launch.
+    const plan::CandidatePlan* best = report.cheapest_on_frontier();
+    const profiler::ClusterSpec& gspec =
+        best != nullptr ? best->spec : report.plans.front().spec;
+    if (int rc = sinks.archive(man, model_name, dataset.name, gspec.instance,
+                               gspec.count, opt.per_gpu_batch, nullptr,
+                               plan::to_json(report));
+        rc != 0)
+      return rc;
+  }
+
   if (sinks.json) {
     std::cout << plan::to_json(report, {},
                                sinks.want_metrics() ? &sinks.metrics : nullptr)
@@ -734,6 +869,24 @@ int cmd_autopilot(const util::Args& args) {
   policy::record_telemetry(report,
                            sinks.want_metrics() ? &sinks.metrics : nullptr,
                            sinks.want_trace() ? &sinks.trace : nullptr);
+
+  if (sinks.want_archive()) {
+    telemetry::RunManifest man;
+    man.command = "autopilot";
+    man.add_config("model", model_name);
+    man.add_config("policy", args.get("policy", "adaptive"));
+    man.add_config("batch", std::to_string(opt.per_gpu_batch));
+    man.add_config("epochs", std::to_string(opt.epochs));
+    man.add_config("trials", std::to_string(opt.trials));
+    man.add_config("seed", std::to_string(opt.seed));
+    if (sinks.want_metrics()) man.metrics = &sinks.metrics;
+    const profiler::ClusterSpec& gspec = report.initial_fleet.spec;
+    if (int rc = sinks.archive(man, model_name, dataset.name, gspec.instance,
+                               gspec.count, opt.per_gpu_batch, nullptr,
+                               policy::to_json(report));
+        rc != 0)
+      return rc;
+  }
 
   if (sinks.json) {
     std::cout << policy::to_json(report, {},
@@ -850,6 +1003,19 @@ int cmd_monitor(const util::Args& args) {
     if (!write_file(sinks.metrics_path, payload)) return 1;
   }
 
+  if (sinks.want_archive()) {
+    telemetry::RunManifest man =
+        sinks.manifest("monitor", args, model_name, opt.spec);
+    man.add_config("iters", std::to_string(opt.iterations));
+    man.add_config("window", std::to_string(opt.monitor.window));
+    if (!opt.faults_spec.empty()) man.add_config("faults", opt.faults_spec);
+    if (int rc = sinks.archive(man, model_name, dataset.name,
+                               opt.spec.instance, opt.spec.count,
+                               opt.per_gpu_batch, nullptr, {}, jsonl);
+        rc != 0)
+      return rc;
+  }
+
   if (sinks.json) {
     std::cout << jsonl;
     return 0;
@@ -878,6 +1044,131 @@ int cmd_monitor(const util::Args& args) {
   return 0;
 }
 
+// Query side of the archive: list the index, print a record, diff two runs
+// structurally, or replay the drift detectors over each group's time
+// series. All output is a pure function of the archive contents — no
+// paths, no clocks — so archives with identical bytes report identically.
+int cmd_runs(const util::Args& args) {
+  const std::string sub = args.positional(1);
+  if (sub.empty()) return usage();
+  const std::string dir = args.get("archive");
+  if (dir.empty()) {
+    std::cerr << "runs " << sub << ": --archive DIR is required\n";
+    return 2;
+  }
+  archive::Archive ar(dir);
+
+  if (sub == "list") {
+    util::Table t({"seq", "id", "command", "model", "dataset", "instance",
+                   "count", "batch", "group"});
+    for (const auto& e : ar.list())
+      t.row().cell(static_cast<int>(e.seq)).cell(e.id).cell(e.command)
+          .cell(e.model).cell(e.dataset).cell(e.instance).cell(e.count)
+          .cell(e.batch).cell(e.group_key.substr(0, 8));
+    emit(t, args.has("csv"));
+    return 0;
+  }
+
+  if (sub == "show") {
+    const std::string ref = args.positional(2);
+    if (ref.empty()) return usage();
+    std::cout << ar.read_raw(ar.resolve(ref).id);
+    return 0;
+  }
+
+  if (sub == "diff") {
+    const std::string ra = args.positional(2);
+    const std::string rb = args.positional(3);
+    if (ra.empty() || rb.empty()) return usage();
+    const archive::IndexEntry ea = ar.resolve(ra);
+    const archive::IndexEntry eb = ar.resolve(rb);
+    const archive::RunDiff d =
+        archive::diff_records(ea, ar.load(ea.id), eb, ar.load(eb.id));
+    const std::string flame_path = args.get("flame");
+    if (!flame_path.empty() &&
+        !write_file(flame_path, archive::diff_to_folded(d)))
+      return 1;
+    if (args.has("json")) {
+      std::cout << archive::diff_to_json(d) << "\n";
+      return 0;
+    }
+    if (!d.config_changes.empty()) {
+      util::Table ct({"config", "a", "b"});
+      for (const auto& c : d.config_changes)
+        ct.row().cell(c.key).cell(c.a_present ? c.a : "-")
+            .cell(c.b_present ? c.b : "-");
+      emit(ct, args.has("csv"));
+    }
+    if (d.has_stalls) {
+      util::Table st({"stall", "a %", "b %", "delta (pp)"});
+      for (const auto& s : d.stalls)
+        st.row().cell(s.category).cell(s.a_pct, 1).cell(s.b_pct, 1)
+            .cell(s.delta_pct, 1);
+      emit(st, args.has("csv"));
+    }
+    if (!args.has("csv")) {
+      std::size_t changed = 0;
+      for (const auto& m : d.metrics)
+        if (m.delta != 0.0 || !m.a_present || !m.b_present) ++changed;
+      std::cout << "runs " << d.a.seq << " -> " << d.b.seq
+                << (d.same_group ? "" : " (different groups)") << ": "
+                << changed << "/" << d.metrics.size() << " metrics changed";
+      if (d.has_folded) {
+        std::size_t moved = 0;
+        for (const auto& f : d.folded)
+          if (f.delta_us != 0.0) ++moved;
+        std::cout << ", " << moved << "/" << d.folded.size()
+                  << " folded stacks moved";
+      }
+      std::cout << "\n";
+    }
+    return 0;
+  }
+
+  if (sub == "drift") {
+    // --jobs accepted for interface uniformity; the scan is one serial
+    // replay, so every N yields the same bytes by construction.
+    (void)args.get_int("jobs", 1);
+    const archive::DriftReport report = archive::scan_archive(ar);
+    const std::string metrics_path = args.get("metrics");
+    if (!metrics_path.empty() &&
+        !write_file(metrics_path, archive::drift_to_openmetrics(report)))
+      return 1;
+    if (args.has("json")) {
+      std::cout << archive::drift_to_json(report) << "\n";
+      return 0;
+    }
+    util::Table t({"group", "signal", "dir", "detectors", "onset", "detect",
+                   "baseline", "observed", "sigma"});
+    for (const auto& f : report.findings) {
+      std::string g = f.model + "@" + f.instance;
+      if (f.count > 1) g += "*" + std::to_string(f.count);
+      g += " b" + std::to_string(f.batch);
+      t.row().cell(g).cell(f.signal).cell(f.increase ? "up" : "down")
+          .cell(f.detectors).cell(static_cast<int>(f.onset_seq))
+          .cell(static_cast<int>(f.detect_seq)).cell(f.baseline_mean, 2)
+          .cell(f.observed, 2).cell(f.magnitude_sigma, 1);
+    }
+    emit(t, args.has("csv"));
+    if (!args.has("csv")) {
+      std::size_t runs = 0;
+      for (const auto& g : report.groups) runs += g.runs;
+      if (report.findings.empty())
+        std::cout << "no drift detected across " << report.groups.size()
+                  << " group(s), " << runs << " archived run(s)\n";
+      else
+        std::cout << report.findings.size() << " drift finding(s) across "
+                  << report.groups.size() << " group(s), " << runs
+                  << " archived run(s)\n";
+    }
+    return 0;
+  }
+
+  std::cerr << "unknown runs subcommand '" << sub
+            << "' (expected list|show|diff|drift)\n";
+  return 2;
+}
+
 int cmd_estimate(const util::Args& args) {
   std::string model_name = args.positional(1);
   if (model_name.empty()) return usage();
@@ -897,11 +1188,15 @@ int cmd_estimate(const util::Args& args) {
                                dnn::dataset_for(model_name), opt);
   auto est = profiler::estimate_training(prof, spec, batch, epochs);
 
-  if (sinks.json) {
+  if (sinks.json || sinks.want_archive()) {
     telemetry::RunManifest man = sinks.manifest("estimate", args, model_name, spec);
     man.add_config("epochs", std::to_string(epochs));
     man.estimate = est;
-    return sinks.flush(man);
+    if (int rc = sinks.archive(man, model_name, dataset_name(model_name),
+                               spec.instance, spec.count, batch);
+        rc != 0)
+      return rc;
+    if (sinks.json) return sinks.flush(man);
   }
 
   util::Table t({"config", "epochs", "cold epoch (s)", "steady epoch (s)",
@@ -953,6 +1248,7 @@ int main(int argc, char** argv) {
     if (cmd == "plan") return cmd_plan(args);
     if (cmd == "autopilot") return cmd_autopilot(args);
     if (cmd == "monitor") return cmd_monitor(args);
+    if (cmd == "runs") return cmd_runs(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

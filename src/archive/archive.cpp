@@ -1,0 +1,326 @@
+#include "archive/archive.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "exec/sim_cache.h"
+
+namespace stash::archive {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string hex64(std::uint64_t h) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kDigits[h & 0xf];
+    h >>= 4;
+  }
+  return s;
+}
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = exec::KeyBuilder::kFnvOffset;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= exec::KeyBuilder::kFnvPrime;
+  }
+  return h;
+}
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+// Flushes directory metadata so a rename/creation survives a crash. Best
+// effort: some filesystems reject O_DIRECTORY fsync, which is not fatal.
+void fsync_dir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+// Crash-safe whole-file write: temp file in the same directory, fsync,
+// rename over the final name, fsync the directory.
+void write_durable(const std::string& dir, const std::string& name,
+                   const std::string& content) {
+  const std::string tmp = dir + "/." + name + ".tmp";
+  const std::string path = dir + "/" + name;
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot create", tmp);
+  std::size_t off = 0;
+  while (off < content.size()) {
+    ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      ::close(fd);
+      fail("cannot write", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("cannot fsync", tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) fail("cannot rename", path);
+  fsync_dir(dir);
+}
+
+// Appends one line with a single write() so a crash tears at most the last
+// line of the index — the recovery case list() handles.
+void append_durable(const std::string& path, const std::string& content) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) fail("cannot open", path);
+  // A file not ending in '\n' holds a torn line from a crashed append;
+  // lead with a newline so the fragment becomes its own (skipped) line
+  // instead of corrupting this entry too.
+  std::string line = content;
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size > 0) {
+    char last = '\n';
+    if (::pread(fd, &last, 1, size - 1) == 1 && last != '\n')
+      line.insert(line.begin(), '\n');
+  }
+  std::size_t off = 0;
+  while (off < line.size()) {
+    ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      ::close(fd);
+      fail("cannot append to", path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("cannot fsync", path);
+  }
+  ::close(fd);
+}
+
+std::string index_line(const IndexEntry& e) {
+  util::JsonWriter w;
+  write_index_entry(w, e);
+  return w.str() + "\n";
+}
+
+bool parse_index_line(const std::string& line, IndexEntry& e,
+                      std::string& err) {
+  util::JsonValue doc;
+  try {
+    doc = util::json_parse(line);
+  } catch (const util::JsonParseError& ex) {
+    err = ex.what();
+    return false;
+  }
+  if (!doc.is_object() || !doc.has("seq") || !doc.has("id")) {
+    err = "missing seq/id";
+    return false;
+  }
+  e.seq = static_cast<std::uint64_t>(doc.get("seq").as_int());
+  e.id = doc.get("id").as_string();
+  e.command = doc.get("command").as_string();
+  e.model = doc.get("model").as_string();
+  e.dataset = doc.get("dataset").as_string();
+  e.instance = doc.get("instance").as_string();
+  e.count = static_cast<int>(doc.get("count").as_int());
+  e.batch = static_cast<int>(doc.get("batch").as_int());
+  e.group_key = doc.get("group_key").as_string();
+  return true;
+}
+
+}  // namespace
+
+void write_index_entry(util::JsonWriter& w, const IndexEntry& e) {
+  w.begin_object();
+  w.key("seq").value(static_cast<unsigned long long>(e.seq));
+  w.key("id").value(e.id);
+  w.key("command").value(e.command);
+  w.key("model").value(e.model);
+  w.key("dataset").value(e.dataset);
+  w.key("instance").value(e.instance);
+  w.key("count").value(e.count);
+  w.key("batch").value(e.batch);
+  w.key("group_key").value(e.group_key);
+  w.end_object();
+}
+
+std::string group_key(const std::string& model, const std::string& dataset,
+                      const std::string& instance, int count, int batch) {
+  exec::KeyBuilder kb;
+  kb.add("model", model)
+      .add("dataset", dataset)
+      .add("instance", instance)
+      .add("count", count)
+      .add("batch", batch);
+  return hex64(kb.hash());
+}
+
+BuiltRecord build_record(const RecordInputs& in) {
+  exec::KeyBuilder ck;
+  ck.add("command", in.command);
+  for (const auto& [k, v] : in.config) ck.add(k, v);
+
+  // The body is serialized first and hashed into the id; the final document
+  // prepends schema+id to the same bytes, so the id commits to everything
+  // after it.
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("command").value(in.command);
+  w.key("group").begin_object();
+  w.key("model").value(in.model);
+  w.key("dataset").value(in.dataset);
+  w.key("instance").value(in.instance);
+  w.key("count").value(in.count);
+  w.key("batch").value(in.batch);
+  w.end_object();
+  w.key("group_key").value(
+      group_key(in.model, in.dataset, in.instance, in.count, in.batch));
+  w.key("config_key").value(hex64(ck.hash()));
+  w.key("manifest").raw(in.manifest_json);
+  if (!in.blame_json.empty()) w.key("blame").raw(in.blame_json);
+  if (!in.folded.empty()) w.key("folded").value(in.folded);
+  if (!in.payload_json.empty()) w.key("payload").raw(in.payload_json);
+  if (!in.events_jsonl.empty()) w.key("events_jsonl").value(in.events_jsonl);
+  w.end_object();
+
+  const std::string& body = w.str();
+  BuiltRecord rec;
+  rec.id = hex64(fnv1a(body));
+  rec.json = "{\"schema\":\"stash.run_record/1\",\"id\":\"" + rec.id + "\"," +
+             body.substr(1);
+  return rec;
+}
+
+Archive::Archive(std::string dir) : dir_(std::move(dir)) {
+  records_dir_ = dir_ + "/records";
+  index_path_ = dir_ + "/index.jsonl";
+  std::error_code ec;
+  fs::create_directories(records_dir_, ec);
+  if (ec)
+    throw std::runtime_error("cannot create archive directory " +
+                             records_dir_ + ": " + ec.message());
+}
+
+IndexEntry Archive::append(const RecordInputs& in) {
+  if (in.manifest_json.empty())
+    throw std::runtime_error("archive append: manifest_json is required");
+  BuiltRecord rec = build_record(in);
+
+  IndexEntry e;
+  e.seq = list().size() + 1;
+  e.id = rec.id;
+  e.command = in.command;
+  e.model = in.model;
+  e.dataset = in.dataset;
+  e.instance = in.instance;
+  e.count = in.count;
+  e.batch = in.batch;
+  e.group_key = group_key(in.model, in.dataset, in.instance, in.count, in.batch);
+
+  // Content-addressed: a record file that already exists holds these exact
+  // bytes, so re-appending an identical run only adds an index line (the
+  // run *count* still matters to the drift time series).
+  if (!fs::exists(records_dir_ + "/" + rec.id + ".json"))
+    write_durable(records_dir_, rec.id + ".json", rec.json + "\n");
+  append_durable(index_path_, index_line(e));
+  return e;
+}
+
+std::vector<IndexEntry> Archive::list() const {
+  std::vector<IndexEntry> out;
+  std::ifstream is(index_path_);
+  if (!is) return out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    IndexEntry e;
+    std::string err;
+    if (parse_index_line(line, e, err)) {
+      out.push_back(std::move(e));
+    } else {
+      std::cerr << "stash runs: warning: skipping corrupt index line "
+                << lineno << " in " << index_path_ << " (" << err << ")\n";
+    }
+  }
+  return out;
+}
+
+std::string Archive::read_raw(const std::string& id) const {
+  const std::string path = records_dir_ + "/" + id + ".json";
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("archive record missing: " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+util::JsonValue Archive::load(const std::string& id) const {
+  const std::string raw = read_raw(id);
+  try {
+    return util::json_parse(raw);
+  } catch (const util::JsonParseError& ex) {
+    throw std::runtime_error("archive record " + id +
+                             " is corrupt: " + ex.what());
+  }
+}
+
+IndexEntry Archive::resolve(const std::string& ref) const {
+  if (ref.empty()) throw std::runtime_error("empty run reference");
+  const std::vector<IndexEntry> entries = list();
+  const bool numeric =
+      ref.find_first_not_of("0123456789") == std::string::npos;
+  if (numeric) {
+    const std::uint64_t seq = std::stoull(ref);
+    for (const auto& e : entries)
+      if (e.seq == seq) return e;
+    throw std::runtime_error("no archived run with seq " + ref);
+  }
+  if (ref.size() < 4)
+    throw std::runtime_error("run id prefix '" + ref +
+                             "' is too short (need >= 4 hex digits)");
+  const IndexEntry* match = nullptr;
+  for (const auto& e : entries) {
+    if (e.id.compare(0, ref.size(), ref) != 0) continue;
+    if (match != nullptr && match->id != e.id)
+      throw std::runtime_error("run id prefix '" + ref + "' is ambiguous");
+    if (match == nullptr) match = &e;
+  }
+  if (match == nullptr)
+    throw std::runtime_error("no archived run matches id prefix '" + ref + "'");
+  return *match;
+}
+
+const util::JsonValue& primary_stall_report(const util::JsonValue& record) {
+  const util::JsonValue& manifest = record.get("manifest");
+  const util::JsonValue& direct = manifest.get("stall_report");
+  if (!direct.is_null()) return direct;
+  return manifest.get("fault_report").get("faulted");
+}
+
+std::string metric_unit(const std::string& name) {
+  auto ends_with = [&name](const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return name.size() >= n &&
+           name.compare(name.size() - n, n, suffix) == 0;
+  };
+  if (ends_with("_pct")) return "percent";
+  if (ends_with("_s") || ends_with("_seconds")) return "seconds";
+  if (ends_with("_usd")) return "usd";
+  if (ends_with("_bytes") || ends_with("bytes")) return "bytes";
+  return "count";
+}
+
+}  // namespace stash::archive

@@ -1,0 +1,134 @@
+// Append-only, content-addressed on-disk run archive.
+//
+// Every producing stash_cli command can append one `stash.run_record/1`
+// JSON document per run: the run manifest (config, reports, metrics
+// snapshot), the blame report and folded stacks when attribution ran, and a
+// command-specific payload (plan/autopilot report, monitor event stream).
+// The record id is the FNV-1a 64-bit hash of the serialized record body —
+// the same canonical-key machinery SimCache uses — so identical runs
+// produce identical records with identical ids, and an archive built with
+// `--jobs 8` is byte-for-byte the archive built with `--jobs 1`.
+//
+// On-disk layout under the archive directory:
+//
+//   records/<id>.json   one record per distinct content, written to a temp
+//                       file, fsync'd, then renamed into place — a crash
+//                       leaves either the old state or the complete record,
+//                       never a torn one
+//   index.jsonl         one line per appended run (seq, id, group axis),
+//                       appended with a single O_APPEND write + fsync; a
+//                       torn trailing line (the documented crash window) is
+//                       skipped with a warning on read, never an abort
+//
+// The index is the time axis: `seq` is the append order, and the drift
+// scanner (drift.h) treats each (model, dataset, instance, count, batch)
+// group's seq-ordered records as a time series. Records deliberately carry
+// no wall-clock timestamps — they would break both content addressing and
+// the --jobs byte-identity guarantee.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
+
+namespace stash::archive {
+
+// Everything a command hands the archive. Documents arrive pre-serialized
+// so the archive depends only on their schemas, not their producing
+// libraries; `manifest_json` is required, the rest optional (empty = omit).
+struct RecordInputs {
+  std::string command;  // producing subcommand, e.g. "profile"
+
+  // Grouping axis for cross-run analysis.
+  std::string model;
+  std::string dataset;
+  std::string instance;
+  int count = 0;  // machines
+  int batch = 0;  // per-GPU batch
+
+  // Manifest config key/values, folded into config_key (insertion order is
+  // part of the key, matching the manifest's own serialization).
+  std::vector<std::pair<std::string, std::string>> config;
+
+  std::string manifest_json;  // stash.run_manifest/1 or /2 document
+  std::string blame_json;     // stash.blame/1 document, when attribution ran
+  std::string folded;         // folded-stack flamegraph text
+  std::string payload_json;   // command-specific document (plan, autopilot)
+  std::string events_jsonl;   // stash.monitor/1 JSONL stream, as a string
+};
+
+struct BuiltRecord {
+  std::string id;    // 16 lowercase hex digits
+  std::string json;  // complete stash.run_record/1 document, one line
+};
+
+// Serializes the record body, hashes it into the id, and returns the
+// finished document. Pure: same inputs, same bytes.
+BuiltRecord build_record(const RecordInputs& in);
+
+// Canonical group hash (16 hex digits) of the cross-run comparison axis.
+std::string group_key(const std::string& model, const std::string& dataset,
+                      const std::string& instance, int count, int batch);
+
+// One line of index.jsonl.
+struct IndexEntry {
+  std::uint64_t seq = 0;  // 1-based append order — the drift time axis
+  std::string id;
+  std::string command;
+  std::string model;
+  std::string dataset;
+  std::string instance;
+  int count = 0;
+  int batch = 0;
+  std::string group_key;
+};
+
+class Archive {
+ public:
+  // Opens (creating if needed) the archive at `dir`.
+  explicit Archive(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  // Builds the record and appends it: record file first (skipped when the
+  // content-addressed file already exists), then the index line. Throws
+  // std::runtime_error on I/O failure.
+  IndexEntry append(const RecordInputs& in);
+
+  // All valid index entries in append order. Corrupt or truncated lines
+  // (torn trailing write) are skipped with a warning on stderr.
+  std::vector<IndexEntry> list() const;
+
+  // Raw record bytes / parsed record by id. Throws when missing or corrupt.
+  std::string read_raw(const std::string& id) const;
+  util::JsonValue load(const std::string& id) const;
+
+  // Resolves a user-supplied run reference: a decimal seq number, or an id
+  // prefix of at least 4 hex digits. Throws std::runtime_error when the
+  // reference is unknown or ambiguous.
+  IndexEntry resolve(const std::string& ref) const;
+
+ private:
+  std::string dir_;
+  std::string records_dir_;
+  std::string index_path_;
+};
+
+// Writes an IndexEntry as a JSON object in value position (shared by the
+// index lines and the diff/drift documents).
+void write_index_entry(util::JsonWriter& w, const IndexEntry& e);
+
+// The stall report a record's signals are read from: the manifest's
+// `stall_report` when present, else a fault-conditioned run's
+// `fault_report.faulted` (the faulted run is the one being archived for
+// comparison). Returns a null JsonValue when the record carries neither.
+const util::JsonValue& primary_stall_report(const util::JsonValue& record);
+
+// Unit inferred from a metric/signal name suffix: _pct -> "percent",
+// _s/_seconds -> "seconds", _usd -> "usd", _bytes -> "bytes", else "count".
+std::string metric_unit(const std::string& name);
+
+}  // namespace stash::archive

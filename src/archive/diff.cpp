@@ -1,0 +1,260 @@
+#include "archive/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+
+namespace stash::archive {
+
+namespace {
+
+struct CategoryKey {
+  const char* category;
+  const char* key;
+};
+
+constexpr CategoryKey kStallCategories[] = {
+    {"ic", "ic_stall_pct"},     {"nw", "nw_stall_pct"},
+    {"prep", "prep_stall_pct"}, {"fetch", "fetch_stall_pct"},
+    {"fault", "fault_stall_pct"},
+};
+
+// Numeric summary of one metrics-registry entry: the value for counters and
+// gauges, the mean for time-weighted gauges and histograms.
+std::optional<double> metric_value(const util::JsonValue& m) {
+  const std::string type = m.get("type").as_string();
+  if (type == "counter" || type == "gauge") {
+    const util::JsonValue* v = m.find("value");
+    if (v != nullptr && v->is_number()) return v->as_double();
+    return std::nullopt;
+  }
+  const util::JsonValue* mean = m.find("mean");
+  if (mean != nullptr && mean->is_number()) return mean->as_double();
+  return std::nullopt;
+}
+
+// All comparable scalars of one record, keyed by name: the metrics snapshot
+// plus the report-level scalars the drift scanner also tracks.
+std::map<std::string, double> scalars(const util::JsonValue& record) {
+  std::map<std::string, double> out;
+  const util::JsonValue& metrics =
+      record.get("manifest").get("metrics").get("metrics");
+  for (const auto& [name, m] : metrics.members()) {
+    std::optional<double> v = metric_value(m);
+    if (v) out[name] = *v;
+  }
+  const util::JsonValue& stall = primary_stall_report(record);
+  for (const char* key : {"epoch_seconds", "epoch_cost_usd"}) {
+    const util::JsonValue* v = stall.find(key);
+    if (v != nullptr && v->is_number()) out[key] = v->as_double();
+  }
+  const util::JsonValue& est = record.get("manifest").get("estimate");
+  for (const char* key : {"total_seconds", "total_cost_usd"}) {
+    const util::JsonValue* v = est.find(key);
+    if (v != nullptr && v->is_number()) out[key] = v->as_double();
+  }
+  return out;
+}
+
+// Folded-stack text -> per-stack microseconds. Lines are `stack value`;
+// anything unparseable is ignored (foreign folded files).
+std::map<std::string, double> parse_folded(const std::string& text) {
+  std::map<std::string, double> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0) continue;
+    try {
+      out[line.substr(0, sp)] += std::stod(line.substr(sp + 1));
+    } catch (const std::exception&) {
+      // not a folded line; skip
+    }
+  }
+  return out;
+}
+
+void write_null_or(util::JsonWriter& w, bool present, double v) {
+  if (present)
+    w.value(v);
+  else
+    w.null();
+}
+
+}  // namespace
+
+RunDiff diff_records(const IndexEntry& ea, const util::JsonValue& a,
+                     const IndexEntry& eb, const util::JsonValue& b) {
+  RunDiff d;
+  d.a = ea;
+  d.b = eb;
+  d.same_group = ea.group_key == eb.group_key;
+
+  const util::JsonValue& sa = primary_stall_report(a);
+  const util::JsonValue& sb = primary_stall_report(b);
+  d.has_stalls = sa.is_object() && sb.is_object();
+  if (d.has_stalls) {
+    for (const auto& cat : kStallCategories) {
+      StallDelta s;
+      s.category = cat.category;
+      s.a_pct = sa.get(cat.key).as_double();
+      s.b_pct = sb.get(cat.key).as_double();
+      s.delta_pct = s.b_pct - s.a_pct;
+      d.stalls.push_back(std::move(s));
+    }
+  }
+
+  const std::map<std::string, double> ma = scalars(a);
+  const std::map<std::string, double> mb = scalars(b);
+  std::map<std::string, MetricDelta> joined;
+  for (const auto& [name, v] : ma) {
+    MetricDelta& m = joined[name];
+    m.name = name;
+    m.a_present = true;
+    m.a = v;
+  }
+  for (const auto& [name, v] : mb) {
+    MetricDelta& m = joined[name];
+    m.name = name;
+    m.b_present = true;
+    m.b = v;
+  }
+  for (auto& [name, m] : joined) {
+    m.unit = metric_unit(name);
+    if (m.a_present && m.b_present) m.delta = m.b - m.a;
+    d.metrics.push_back(std::move(m));
+  }
+
+  const util::JsonValue& ca = a.get("manifest").get("config");
+  const util::JsonValue& cb = b.get("manifest").get("config");
+  std::map<std::string, ConfigChange> config;
+  for (const auto& [k, v] : ca.members()) {
+    ConfigChange& c = config[k];
+    c.key = k;
+    c.a_present = true;
+    c.a = v.as_string();
+  }
+  for (const auto& [k, v] : cb.members()) {
+    ConfigChange& c = config[k];
+    c.key = k;
+    c.b_present = true;
+    c.b = v.as_string();
+  }
+  for (auto& [k, c] : config) {
+    if (c.a_present && c.b_present && c.a == c.b) continue;
+    d.config_changes.push_back(std::move(c));
+  }
+
+  const std::string fa = a.get("folded").as_string();
+  const std::string fb = b.get("folded").as_string();
+  d.has_folded = !fa.empty() && !fb.empty();
+  if (d.has_folded) {
+    const std::map<std::string, double> pa = parse_folded(fa);
+    const std::map<std::string, double> pb = parse_folded(fb);
+    std::map<std::string, FoldedDelta> stacks;
+    for (const auto& [stack, us] : pa) {
+      FoldedDelta& f = stacks[stack];
+      f.stack = stack;
+      f.a_us = us;
+    }
+    for (const auto& [stack, us] : pb) {
+      FoldedDelta& f = stacks[stack];
+      f.stack = stack;
+      f.b_us = us;
+    }
+    for (auto& [stack, f] : stacks) {
+      f.delta_us = f.b_us - f.a_us;
+      d.folded.push_back(std::move(f));
+    }
+  }
+  return d;
+}
+
+std::string diff_to_json(const RunDiff& d) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("stash.runs/1");
+  w.key("mode").value("diff");
+  w.key("a");
+  write_index_entry(w, d.a);
+  w.key("b");
+  write_index_entry(w, d.b);
+  w.key("same_group").value(d.same_group);
+  w.key("config_changes").begin_array();
+  for (const auto& c : d.config_changes) {
+    w.begin_object();
+    w.key("key").value(c.key);
+    w.key("a");
+    if (c.a_present)
+      w.value(c.a);
+    else
+      w.null();
+    w.key("b");
+    if (c.b_present)
+      w.value(c.b);
+    else
+      w.null();
+    w.end_object();
+  }
+  w.end_array();
+  if (d.has_stalls) {
+    w.key("stalls").begin_array();
+    for (const auto& s : d.stalls) {
+      w.begin_object();
+      w.key("category").value(s.category);
+      w.key("a_pct").value(s.a_pct);
+      w.key("b_pct").value(s.b_pct);
+      w.key("delta_pct").value(s.delta_pct);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.key("metrics").begin_array();
+  for (const auto& m : d.metrics) {
+    w.begin_object();
+    w.key("name").value(m.name);
+    w.key("unit").value(m.unit);
+    w.key("a");
+    write_null_or(w, m.a_present, m.a);
+    w.key("b");
+    write_null_or(w, m.b_present, m.b);
+    w.key("delta").value(m.delta);
+    w.end_object();
+  }
+  w.end_array();
+  if (d.has_folded) {
+    w.key("folded_diff").begin_array();
+    for (const auto& f : d.folded) {
+      w.begin_object();
+      w.key("stack").value(f.stack);
+      w.key("a_us").value(f.a_us);
+      w.key("b_us").value(f.b_us);
+      w.key("delta_us").value(f.delta_us);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string diff_to_folded(const RunDiff& d) {
+  std::string out;
+  for (const auto& f : d.folded) {
+    out += f.stack;
+    out += ' ';
+    out += std::to_string(static_cast<long long>(std::llround(f.b_us)));
+    out += ' ';
+    const long long delta = std::llround(f.delta_us);
+    if (delta >= 0) out += '+';
+    out += std::to_string(delta);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace stash::archive

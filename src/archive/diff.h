@@ -1,0 +1,74 @@
+// Structural comparison of two archived runs.
+//
+// A diff joins the two records field-by-field rather than textually:
+// per-category stall deltas from the primary stall reports, per-metric
+// drift (manifest metrics snapshot plus the report-level scalars) with
+// units inferred from the metric name, config changes from the manifest
+// config blocks, and a folded-stack blame diff when both records carry
+// folded stacks — `stack b_us delta_us` lines loadable as a differential
+// flamegraph. Serialized as a `stash.runs/1` document with mode "diff".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+
+namespace stash::archive {
+
+struct StallDelta {
+  std::string category;  // ic, nw, prep, fetch, fault
+  double a_pct = 0.0;
+  double b_pct = 0.0;
+  double delta_pct = 0.0;
+};
+
+struct MetricDelta {
+  std::string name;
+  std::string unit;
+  bool a_present = false;
+  bool b_present = false;
+  double a = 0.0;
+  double b = 0.0;
+  double delta = 0.0;  // b - a; 0 when either side is absent
+};
+
+struct ConfigChange {
+  std::string key;
+  bool a_present = false;
+  bool b_present = false;
+  std::string a;
+  std::string b;
+};
+
+struct FoldedDelta {
+  std::string stack;  // machineM;gpuG;phase;category
+  double a_us = 0.0;
+  double b_us = 0.0;
+  double delta_us = 0.0;
+};
+
+struct RunDiff {
+  IndexEntry a;
+  IndexEntry b;
+  bool same_group = false;
+  bool has_stalls = false;  // both records carried a stall report
+  bool has_folded = false;  // both records carried folded stacks
+  std::vector<StallDelta> stalls;
+  std::vector<MetricDelta> metrics;         // sorted by name
+  std::vector<ConfigChange> config_changes; // differing keys only, sorted
+  std::vector<FoldedDelta> folded;          // union of stacks, sorted
+};
+
+// Pure structural join of two loaded records.
+RunDiff diff_records(const IndexEntry& ea, const util::JsonValue& a,
+                     const IndexEntry& eb, const util::JsonValue& b);
+
+// stash.runs/1 document, mode "diff". Deliberately contains no archive
+// paths or timestamps, so equal archives diff to equal bytes.
+std::string diff_to_json(const RunDiff& d);
+
+// Differential flamegraph text: `stack b_us delta_us`, one line per stack.
+std::string diff_to_folded(const RunDiff& d);
+
+}  // namespace stash::archive

@@ -1,0 +1,262 @@
+#include "archive/drift.h"
+
+#include <map>
+#include <optional>
+
+namespace stash::archive {
+
+namespace {
+
+// The fixed signal set scanned per run, in report order. Stall categories
+// first (the paper's coordinate system), then the run-level time/cost
+// scalars. Registry metrics are deliberately not scanned: most are
+// throughput counters whose scale tracks run length, not health.
+constexpr const char* kSignals[] = {
+    "ic_stall_pct",  "nw_stall_pct",   "prep_stall_pct", "fetch_stall_pct",
+    "fault_stall_pct", "epoch_seconds", "epoch_cost_usd", "total_seconds",
+    "total_cost_usd",
+};
+
+// One run's value for `signal`, when the record carries it.
+std::optional<double> signal_value(const util::JsonValue& record,
+                                   const std::string& signal) {
+  const util::JsonValue& stall = primary_stall_report(record);
+  if (stall.is_object()) {
+    // A report without a network step has no meaningful N/W percentage.
+    if (signal == "nw_stall_pct" && !stall.get("has_network_step").as_bool())
+      return std::nullopt;
+    const util::JsonValue* v = stall.find(signal);
+    if (v != nullptr && v->is_number()) return v->as_double();
+  }
+  const util::JsonValue& est = record.get("manifest").get("estimate");
+  if (est.is_object()) {
+    const util::JsonValue* v = est.find(signal);
+    if (v != nullptr && v->is_number()) return v->as_double();
+  }
+  return std::nullopt;
+}
+
+struct SeriesPoint {
+  std::uint64_t seq = 0;
+  std::string id;
+  double value = 0.0;
+};
+
+std::string prom_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '"')
+      out += "\\\"";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+  return out;
+}
+
+std::string group_labels(const DriftGroupSummary& g) {
+  return "model=\"" + prom_label(g.model) + "\",dataset=\"" +
+         prom_label(g.dataset) + "\",instance=\"" + prom_label(g.instance) +
+         "\",count=\"" + std::to_string(g.count) + "\",batch=\"" +
+         std::to_string(g.batch) + "\"";
+}
+
+std::string finding_labels(const DriftFinding& f) {
+  return "model=\"" + prom_label(f.model) + "\",instance=\"" +
+         prom_label(f.instance) + "\",count=\"" + std::to_string(f.count) +
+         "\",batch=\"" + std::to_string(f.batch) + "\",signal=\"" +
+         prom_label(f.signal) + "\",direction=\"" +
+         (f.increase ? "increase" : "decrease") + "\",detectors=\"" +
+         f.detectors + "\"";
+}
+
+const char* detector_name(monitor::SeriesFinding::Detector d) {
+  return d == monitor::SeriesFinding::Detector::kCusum ? "cusum" : "ewma";
+}
+
+}  // namespace
+
+DriftReport scan_archive(const Archive& ar,
+                         const monitor::DetectorConfig& cfg) {
+  cfg.validate();
+  DriftReport report;
+  report.config = cfg;
+
+  const std::vector<IndexEntry> entries = ar.list();
+
+  // Group by group_key in first-seen order; records are loaded once per
+  // distinct id (identical re-runs share a content-addressed record).
+  std::vector<std::string> group_order;
+  std::map<std::string, std::vector<const IndexEntry*>> groups;
+  for (const auto& e : entries) {
+    auto [it, inserted] = groups.try_emplace(e.group_key);
+    if (inserted) group_order.push_back(e.group_key);
+    it->second.push_back(&e);
+  }
+  std::map<std::string, util::JsonValue> records;
+  for (const auto& e : entries)
+    if (records.find(e.id) == records.end()) records[e.id] = ar.load(e.id);
+
+  for (const std::string& key : group_order) {
+    const std::vector<const IndexEntry*>& members = groups[key];
+    DriftGroupSummary summary;
+    summary.group_key = key;
+    summary.model = members.front()->model;
+    summary.dataset = members.front()->dataset;
+    summary.instance = members.front()->instance;
+    summary.count = members.front()->count;
+    summary.batch = members.front()->batch;
+    summary.runs = members.size();
+
+    for (const char* signal : kSignals) {
+      std::vector<SeriesPoint> points;
+      for (const IndexEntry* e : members) {
+        std::optional<double> v = signal_value(records[e->id], signal);
+        if (!v) continue;
+        points.push_back({e->seq, e->id, *v});
+      }
+      // A series the baseline would swallow whole cannot alarm; leave it
+      // out of the scanned-signals list so the summary reflects coverage.
+      if (points.size() < cfg.baseline_iters + 1) continue;
+      summary.signals.push_back(signal);
+
+      std::vector<double> xs;
+      xs.reserve(points.size());
+      for (const auto& p : points) xs.push_back(p.value);
+      const std::vector<monitor::SeriesFinding> fired =
+          monitor::scan_series(xs, cfg);
+
+      // Merge an EWMA firing into a CUSUM firing with the same direction
+      // and onset; everything else stays its own finding.
+      std::vector<DriftFinding> merged;
+      for (const auto& f : fired) {
+        bool absorbed = false;
+        if (f.detector == monitor::SeriesFinding::Detector::kEwma) {
+          for (auto& m : merged) {
+            if (m.increase == f.increase &&
+                m.onset_seq == points[f.detection.onset_index].seq &&
+                m.detectors == "cusum") {
+              m.detectors = "cusum+ewma";
+              absorbed = true;
+              break;
+            }
+          }
+        }
+        if (absorbed) continue;
+        DriftFinding out;
+        out.group_key = key;
+        out.model = summary.model;
+        out.dataset = summary.dataset;
+        out.instance = summary.instance;
+        out.count = summary.count;
+        out.batch = summary.batch;
+        out.signal = signal;
+        out.unit = metric_unit(signal);
+        out.increase = f.increase;
+        out.detectors = detector_name(f.detector);
+        out.onset_seq = points[f.detection.onset_index].seq;
+        out.onset_id = points[f.detection.onset_index].id;
+        out.detect_seq = points[f.detection.detect_index].seq;
+        out.detect_id = points[f.detection.detect_index].id;
+        out.baseline_mean = f.detection.baseline_mean;
+        out.observed = f.detection.observed;
+        out.delta = f.detection.observed - f.detection.baseline_mean;
+        out.magnitude_sigma = f.detection.magnitude_sigma;
+        merged.push_back(std::move(out));
+      }
+      for (auto& m : merged) report.findings.push_back(std::move(m));
+    }
+    report.groups.push_back(std::move(summary));
+  }
+  return report;
+}
+
+std::string drift_to_json(const DriftReport& r) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("stash.runs/1");
+  w.key("mode").value("drift");
+  w.key("detector").begin_object();
+  w.key("baseline_runs")
+      .value(static_cast<unsigned long long>(r.config.baseline_iters));
+  w.key("cusum_k").value(r.config.cusum_k);
+  w.key("cusum_h").value(r.config.cusum_h);
+  w.key("ewma_lambda").value(r.config.ewma_lambda);
+  w.key("ewma_limit").value(r.config.ewma_limit);
+  w.key("min_sigma").value(r.config.min_sigma);
+  w.key("min_sigma_frac").value(r.config.min_sigma_frac);
+  w.key("baseline_guard").value(r.config.baseline_guard);
+  w.end_object();
+  w.key("groups").begin_array();
+  for (const auto& g : r.groups) {
+    w.begin_object();
+    w.key("group_key").value(g.group_key);
+    w.key("model").value(g.model);
+    w.key("dataset").value(g.dataset);
+    w.key("instance").value(g.instance);
+    w.key("count").value(g.count);
+    w.key("batch").value(g.batch);
+    w.key("runs").value(static_cast<unsigned long long>(g.runs));
+    w.key("signals").begin_array();
+    for (const auto& s : g.signals) w.value(s);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("findings").begin_array();
+  for (const auto& f : r.findings) {
+    w.begin_object();
+    w.key("group_key").value(f.group_key);
+    w.key("model").value(f.model);
+    w.key("dataset").value(f.dataset);
+    w.key("instance").value(f.instance);
+    w.key("count").value(f.count);
+    w.key("batch").value(f.batch);
+    w.key("signal").value(f.signal);
+    w.key("unit").value(f.unit);
+    w.key("direction").value(f.increase ? "increase" : "decrease");
+    w.key("detectors").value(f.detectors);
+    w.key("onset_seq").value(static_cast<unsigned long long>(f.onset_seq));
+    w.key("onset_id").value(f.onset_id);
+    w.key("detect_seq").value(static_cast<unsigned long long>(f.detect_seq));
+    w.key("detect_id").value(f.detect_id);
+    w.key("baseline_mean").value(f.baseline_mean);
+    w.key("observed").value(f.observed);
+    w.key("delta").value(f.delta);
+    w.key("magnitude_sigma").value(f.magnitude_sigma);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string drift_to_openmetrics(const DriftReport& r) {
+  std::string out;
+  out += "# TYPE stash_runs_archive_runs gauge\n";
+  for (const auto& g : r.groups)
+    out += "stash_runs_archive_runs{" + group_labels(g) + "} " +
+           std::to_string(g.runs) + "\n";
+  out += "# TYPE stash_runs_drift_flag gauge\n";
+  for (const auto& f : r.findings)
+    out += "stash_runs_drift_flag{" + finding_labels(f) + "} 1\n";
+  out += "# TYPE stash_runs_drift_onset_seq gauge\n";
+  for (const auto& f : r.findings)
+    out += "stash_runs_drift_onset_seq{" + finding_labels(f) + "} " +
+           std::to_string(f.onset_seq) + "\n";
+  out += "# TYPE stash_runs_drift_delta gauge\n";
+  for (const auto& f : r.findings)
+    out += "stash_runs_drift_delta{" + finding_labels(f) + "} " +
+           util::json_double(f.delta) + "\n";
+  out += "# TYPE stash_runs_drift_magnitude_sigma gauge\n";
+  for (const auto& f : r.findings)
+    out += "stash_runs_drift_magnitude_sigma{" + finding_labels(f) + "} " +
+           util::json_double(f.magnitude_sigma) + "\n";
+  return out;
+}
+
+}  // namespace stash::archive

@@ -1,0 +1,85 @@
+// Cross-run drift observatory: the archive as a time series.
+//
+// Runs are grouped by (model, dataset, instance, count, batch) — the
+// group_key — and each group's records, in archive seq order, form one time
+// series per signal: the five stall-category percentages, epoch
+// time/cost, and estimate totals. The same CUSUM/EWMA machinery the online
+// monitor applies per-iteration (src/monitor/detectors.h) is replayed with
+// one sample per *run* (monitor::run_axis_config tunes the baseline down to
+// 3 runs), so a regression introduced between archived runs is flagged with
+// its onset run (archive seq), direction, and magnitude in baseline sigmas.
+//
+// A CUSUM firing and an EWMA firing with the same direction and onset merge
+// into one finding ("cusum+ewma"); distinct onsets stay distinct findings.
+// The scan is a pure function of the archive contents — reports over
+// archives with identical bytes are byte-identical, whatever --jobs built
+// them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+#include "monitor/detectors.h"
+
+namespace stash::archive {
+
+struct DriftFinding {
+  std::string group_key;
+  std::string model;
+  std::string dataset;
+  std::string instance;
+  int count = 0;
+  int batch = 0;
+
+  std::string signal;  // e.g. "fetch_stall_pct"
+  std::string unit;
+  bool increase = true;
+  std::string detectors;  // "cusum", "ewma", or "cusum+ewma"
+
+  // Archive seqs (1-based append order) and record ids of the estimated
+  // first shifted run and the run that raised the alarm.
+  std::uint64_t onset_seq = 0;
+  std::uint64_t detect_seq = 0;
+  std::string onset_id;
+  std::string detect_id;
+
+  double baseline_mean = 0.0;
+  double observed = 0.0;         // the alarming sample
+  double delta = 0.0;            // observed - baseline_mean
+  double magnitude_sigma = 0.0;  // in frozen baseline sigmas
+};
+
+struct DriftGroupSummary {
+  std::string group_key;
+  std::string model;
+  std::string dataset;
+  std::string instance;
+  int count = 0;
+  int batch = 0;
+  std::size_t runs = 0;
+  std::vector<std::string> signals;  // signals with enough samples to scan
+};
+
+struct DriftReport {
+  monitor::DetectorConfig config;
+  std::vector<DriftGroupSummary> groups;  // first-seen order
+  std::vector<DriftFinding> findings;     // group order, then signal order
+};
+
+// Scans every group of the archive. Groups (and signals within a group)
+// shorter than baseline_iters + 1 runs cannot alarm and are reported in the
+// summary only.
+DriftReport scan_archive(const Archive& ar,
+                         const monitor::DetectorConfig& cfg =
+                             monitor::run_axis_config());
+
+// stash.runs/1 document, mode "drift". No archive paths, no timestamps.
+std::string drift_to_json(const DriftReport& r);
+
+// OpenMetrics/Prometheus text exposition: per-group run counts plus one
+// labeled gauge set per finding (flag, onset seq, delta, magnitude).
+std::string drift_to_openmetrics(const DriftReport& r);
+
+}  // namespace stash::archive

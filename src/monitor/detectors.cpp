@@ -156,4 +156,86 @@ void EwmaDrift::clear() {
   last_inside_ = 0;
 }
 
+DetectorConfig run_axis_config() {
+  DetectorConfig cfg;
+  // Archives are short series: three runs establish the baseline, and a
+  // single strongly-shifted run should alarm (h = 3 sigmas after the k
+  // allowance). Identical seeded runs freeze sigma at the floors: 5% of the
+  // baseline mean, or an absolute 0.05 when the baseline sits at zero (a
+  // stall category that appears out of nowhere is then ~20 sigma per
+  // percentage point, not millions).
+  cfg.baseline_iters = 3;
+  cfg.cusum_k = 0.5;
+  cfg.cusum_h = 3.0;
+  cfg.ewma_lambda = 0.4;
+  cfg.ewma_limit = 3.0;
+  cfg.min_sigma = 0.05;
+  cfg.min_sigma_frac = 0.05;
+  cfg.baseline_guard = 1.0;
+  return cfg;
+}
+
+namespace {
+
+// Rank used only to order same-index firings deterministically.
+int finding_rank(const SeriesFinding& f) {
+  if (f.detector == SeriesFinding::Detector::kCusum) return f.increase ? 0 : 1;
+  return 2;
+}
+
+}  // namespace
+
+std::vector<SeriesFinding> scan_series(const std::vector<double>& xs,
+                                       const DetectorConfig& cfg) {
+  std::vector<SeriesFinding> out;
+
+  CusumDetector up(cfg);
+  for (double x : xs) {
+    Detection d = up.push(x);
+    if (d.fired) {
+      SeriesFinding f;
+      f.detector = SeriesFinding::Detector::kCusum;
+      f.increase = true;
+      f.detection = d;
+      out.push_back(f);
+    }
+  }
+
+  // Decrease side: the one-sided CUSUM only accumulates positive shifts, so
+  // feed the negated series and map the affected fields back to raw units.
+  CusumDetector down(cfg);
+  for (double x : xs) {
+    Detection d = down.push(-x);
+    if (d.fired) {
+      d.baseline_mean = -d.baseline_mean;
+      d.observed = -d.observed;
+      SeriesFinding f;
+      f.detector = SeriesFinding::Detector::kCusum;
+      f.increase = false;
+      f.detection = d;
+      out.push_back(f);
+    }
+  }
+
+  EwmaDrift ewma(cfg);
+  for (double x : xs) {
+    Detection d = ewma.push(x);
+    if (d.fired) {
+      SeriesFinding f;
+      f.detector = SeriesFinding::Detector::kEwma;
+      f.increase = d.magnitude_sigma >= 0.0;
+      f.detection = d;
+      out.push_back(f);
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SeriesFinding& a, const SeriesFinding& b) {
+                     if (a.detection.detect_index != b.detection.detect_index)
+                       return a.detection.detect_index < b.detection.detect_index;
+                     return finding_rank(a) < finding_rank(b);
+                   });
+  return out;
+}
+
 }  // namespace stash::monitor

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 namespace stash::monitor {
 
@@ -92,6 +93,32 @@ class CusumDetector {
   double s_ = 0.0;
   std::size_t last_zero_ = 0;  // last sample index with s_ == 0
 };
+
+// Detector configuration retuned for the run axis: the archive's drift
+// scan feeds one sample per *run*, not per iteration, so series are short
+// (often 5-20 points). The baseline shrinks to 3 runs and the CUSUM
+// threshold drops so a sustained shift is flagged within ~2 shifted runs,
+// while min_sigma_frac rises to 5% — run-to-run variation below that is
+// configuration noise, not a regression.
+DetectorConfig run_axis_config();
+
+// One firing from scan_series: which detector fired, in which direction,
+// and the embedded Detection (onset_index/detect_index are indices into the
+// scanned series).
+struct SeriesFinding {
+  enum class Detector { kCusum, kEwma };
+  Detector detector = Detector::kCusum;
+  bool increase = true;  // shift direction relative to the frozen baseline
+  Detection detection;
+};
+
+// Replays a finite series through fresh detectors and returns every firing
+// in detection order: an increase-side CUSUM on the raw series, a
+// decrease-side CUSUM on the negated series (Detection fields mapped back
+// to raw-series units), and the two-sided EWMA chart. Deterministic — a
+// pure function of (xs, cfg).
+std::vector<SeriesFinding> scan_series(const std::vector<double>& xs,
+                                       const DetectorConfig& cfg);
 
 class EwmaDrift {
  public:

@@ -1,0 +1,25 @@
+// Build provenance baked in at configure time, so every archived record is
+// attributable to the exact build that produced it: git commit (+dirty
+// flag), compiler, and build type. Values are captured by CMake when the
+// build tree is configured — a stale configure can lag the working tree,
+// which is why the dirty flag exists. Outside a git checkout the sha is
+// "unknown".
+#pragma once
+
+#include <string>
+
+namespace stash::telemetry {
+
+struct BuildInfo {
+  std::string git_sha;           // short sha, or "unknown"
+  bool git_dirty = false;        // tracked files modified at configure time
+  std::string compiler_id;       // e.g. "GNU", "Clang"
+  std::string compiler_version;  // e.g. "13.2.0"
+  std::string build_type;        // CMAKE_BUILD_TYPE, e.g. "RelWithDebInfo"
+};
+
+// The provenance of this binary (values substituted by CMake into
+// build_info.cpp). Constant for the life of the process.
+const BuildInfo& build_info();
+
+}  // namespace stash::telemetry

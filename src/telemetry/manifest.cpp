@@ -156,10 +156,29 @@ std::string to_json(const profiler::Recommendation& r) {
 }
 
 std::string RunManifest::to_json() const {
+  // Every machine-readable schema this build emits, recorded in the
+  // provenance block so an archive reader knows what a given binary could
+  // have produced without probing for each document kind.
+  static const char* const kEmittedSchemas[] = {
+      "stash.run_manifest/2", "stash.run_record/1", "stash.runs/1",
+      "stash.metrics/1",      "stash.blame/1",      "stash.plan/1",
+      "stash.autopilot/1",    "stash.monitor/1",    "stash.sim_key/1",
+  };
+  const BuildInfo& build = provenance != nullptr ? *provenance : build_info();
   util::JsonWriter w;
   w.begin_object();
-  w.key("schema").value("stash.run_manifest/1");
+  w.key("schema").value("stash.run_manifest/2");
   w.key("tool").value("stash");
+  w.key("provenance").begin_object();
+  w.key("git_sha").value(build.git_sha);
+  w.key("git_dirty").value(build.git_dirty);
+  w.key("compiler_id").value(build.compiler_id);
+  w.key("compiler_version").value(build.compiler_version);
+  w.key("build_type").value(build.build_type);
+  w.key("schemas").begin_array();
+  for (const char* s : kEmittedSchemas) w.value(s);
+  w.end_array();
+  w.end_object();
   w.key("command").value(command);
   w.key("config").begin_object();
   for (const auto& [k, v] : config) w.key(k).value(v);

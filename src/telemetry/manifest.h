@@ -23,6 +23,7 @@
 #include "stash/profiler.h"
 #include "stash/recommend.h"
 #include "stash/session.h"
+#include "telemetry/build_info.h"
 #include "telemetry/metrics.h"
 
 namespace stash::telemetry {
@@ -52,6 +53,11 @@ struct RunManifest {
   // Snapshot source (not owned; may be null for runs without metrics).
   const MetricsRegistry* metrics = nullptr;
   bool include_volatile_metrics = true;
+
+  // Build provenance stamped into the manifest (schema /2). Defaults to the
+  // binary's own configure-time build_info(); tests inject a fixed BuildInfo
+  // so golden manifests stay byte-stable across machines. Not owned.
+  const BuildInfo* provenance = nullptr;
 
   void add_config(std::string key, std::string value) {
     config.emplace_back(std::move(key), std::move(value));

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace stash::util {
 
@@ -13,17 +14,22 @@ std::string json_escape(const std::string& s) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
       case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+      case '\t': out += "\\t"; break;
+      default: {
+        const unsigned char uc = static_cast<unsigned char>(c);
+        if (uc < 0x20) {
+          // Remaining control characters (NUL included) have no short form.
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x", uc);
           out += buf;
         } else {
-          out += c;
+          out += c;  // includes DEL and raw UTF-8 bytes, both legal in JSON
         }
+      }
     }
   }
   return out;
@@ -128,6 +134,331 @@ JsonWriter& JsonWriter::raw(const std::string& json) {
   comma_for_value();
   out_ += json;
   return *this;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  static const JsonValue kNullValue;
+  if (is_array() && i < array_.size()) return array_[i];
+  return kNullValue;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::get(const std::string& key) const {
+  static const JsonValue kNullValue;
+  const JsonValue* v = find(key);
+  return v != nullptr ? *v : kNullValue;
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double num, std::string raw) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = num;
+  v.string_ = std::move(raw);
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+void JsonValue::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; return;
+    case Kind::kBool: out += bool_ ? "true" : "false"; return;
+    case Kind::kNumber:
+      // Raw spelling from the source (or from make_number); falls back to
+      // shortest-round-trip when a caller built one without a spelling.
+      out += string_.empty() ? json_double(number_) : string_;
+      return;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      return;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& v : array_) {
+        if (!first) out += ',';
+        first = false;
+        v.dump_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(k);
+        out += "\":";
+        v.dump_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser: strict recursive descent over the RFC 8259 grammar.
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& s) : s_(s) {}
+
+  JsonValue parse_document() {
+    ws();
+    JsonValue v = parse_value();
+    ws();
+    if (pos_ != s_.size()) fail("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError(what, pos_);
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void literal(const char* word, std::size_t n) {
+    if (s_.compare(pos_, n, word) != 0) fail("invalid literal");
+    pos_ += n;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::make_string(parse_string());
+      case 't': literal("true", 4); return JsonValue::make_bool(true);
+      case 'f': literal("false", 5); return JsonValue::make_bool(false);
+      case 'n': literal("null", 4); return JsonValue::make_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      ws();
+      std::string key = parse_string();
+      ws();
+      expect(':');
+      ws();
+      members.emplace_back(std::move(key), parse_value());
+      ws();
+      if (peek() == '}') {
+        ++pos_;
+        return JsonValue::make_object(std::move(members));
+      }
+      expect(',');
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    std::vector<JsonValue> items;
+    ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      ws();
+      items.push_back(parse_value());
+      ws();
+      if (peek() == ']') {
+        ++pos_;
+        return JsonValue::make_array(std::move(items));
+      }
+      expect(',');
+    }
+  }
+
+  unsigned hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = peek();
+      unsigned d;
+      if (c >= '0' && c <= '9') d = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') d = static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') d = static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+      v = v * 16 + d;
+      ++pos_;
+    }
+    return v;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // consume backslash
+      switch (peek()) {
+        case '"': out += '"'; ++pos_; break;
+        case '\\': out += '\\'; ++pos_; break;
+        case '/': out += '/'; ++pos_; break;
+        case 'b': out += '\b'; ++pos_; break;
+        case 'f': out += '\f'; ++pos_; break;
+        case 'n': out += '\n'; ++pos_; break;
+        case 'r': out += '\r'; ++pos_; break;
+        case 't': out += '\t'; ++pos_; break;
+        case 'u': {
+          ++pos_;
+          unsigned cp = hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (peek() != '\\') fail("unpaired surrogate");
+            ++pos_;
+            if (peek() != 'u') fail("unpaired surrogate");
+            ++pos_;
+            unsigned lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  void digits() {
+    if (!(peek() >= '0' && peek() <= '9')) fail("expected digit");
+    while (peek() >= '0' && peek() <= '9') ++pos_;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      digits();
+    }
+    if (peek() == '.') {
+      ++pos_;
+      digits();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      digits();
+    }
+    if (pos_ == start) fail("expected value");
+    std::string raw = s_.substr(start, pos_ - start);
+    // strtod over the validated spelling: exact for everything json_double
+    // emits (shortest-round-trip decimals convert back bit-identically).
+    double v = std::strtod(raw.c_str(), nullptr);
+    return JsonValue::make_number(v, std::move(raw));
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(const std::string& text) {
+  return Parser(text).parse_document();
 }
 
 }  // namespace stash::util

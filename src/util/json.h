@@ -1,23 +1,41 @@
-// Minimal JSON emission helpers shared by every machine-readable output
-// (TraceRecorder, MetricsRegistry, RunManifest).
+// Minimal JSON emission and parsing helpers shared by every
+// machine-readable surface (TraceRecorder, MetricsRegistry, RunManifest,
+// the run archive).
 //
-// There is deliberately no parser here — the repo has no dependency budget
-// for one and never consumes JSON, only produces it. What matters for the
-// producers is (a) strings are escaped correctly and (b) doubles round-trip
-// exactly, so a manifest reader recovers bit-identical stall percentages.
+// Emission guarantees: (a) strings are escaped correctly — every control
+// character U+0000..U+001F is escaped, either with its short form
+// (\b \t \n \f \r \" \\) or as \u00XX — and (b) doubles round-trip exactly
+// (shortest-round-trip via std::to_chars). Non-finite doubles have no JSON
+// spelling; json_double maps them to "null", and JsonWriter::value(double)
+// goes through json_double, so no emitter can produce a bare `nan`/`inf`
+// token. Code that formats doubles into JSON by hand must use json_double —
+// the adversarial-string and non-finite regression tests in
+// tests/util/json_test.cpp pin both properties.
+//
+// Parsing exists for exactly one consumer: the run archive
+// (src/archive/), which reads back the JSONL records it wrote. The parser
+// is strict RFC 8259 (no trailing commas, no comments, no NaN/Infinity
+// literals) and preserves both object key order and the raw spelling of
+// numbers, so parse(x).dump() == x for any document JsonWriter produced —
+// the round-trip property the archive's content-addressed ids rely on.
 #pragma once
 
+#include <cstddef>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace stash::util {
 
 // Escapes `s` for inclusion inside a JSON string literal (quotes not
-// included). Control characters are \u-escaped.
+// included). All control characters are escaped; everything >= 0x20 passes
+// through untouched (UTF-8 sequences are preserved byte-for-byte).
 std::string json_escape(const std::string& s);
 
 // Shortest decimal representation that round-trips the exact double
 // (std::to_chars). Non-finite values have no JSON spelling and become
-// "null" — callers that care must clamp first.
+// "null" — callers that need a number must clamp first.
 std::string json_double(double v);
 
 // Streaming JSON writer with automatic comma placement. Usage:
@@ -56,5 +74,94 @@ class JsonWriter {
   std::string need_comma_;  // stack of flags, one char per open scope
   bool after_key_ = false;
 };
+
+// Thrown by json_parse on malformed input; what() names the byte offset.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+// Parsed JSON document. Objects keep insertion order (so dump() reproduces
+// the source) and numbers keep their raw source spelling alongside the
+// converted double (so dump() is byte-exact and integers survive intact).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_double(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  long long as_int(long long fallback = 0) const {
+    return is_number() ? static_cast<long long>(number_) : fallback;
+  }
+  const std::string& as_string() const { return string_; }
+  std::string as_string(const std::string& fallback) const {
+    return is_string() ? string_ : fallback;
+  }
+
+  // Array access. size() is 0 for non-arrays/objects.
+  std::size_t size() const {
+    return is_array() ? array_.size() : is_object() ? members_.size() : 0;
+  }
+  const JsonValue& at(std::size_t i) const;
+  const std::vector<JsonValue>& items() const { return array_; }
+
+  // Object access: find returns nullptr when absent (or not an object);
+  // `get` returns a shared null value instead, so lookups chain safely:
+  // doc.get("manifest").get("stall_report").find("fetch_stall_pct").
+  const JsonValue* find(const std::string& key) const;
+  const JsonValue& get(const std::string& key) const;
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // Compact re-serialization: key order and number spellings are preserved,
+  // strings re-escape through json_escape. For any document produced by
+  // JsonWriter, dump(parse(doc)) == doc.
+  std::string dump() const;
+
+  // Construction helpers (used by the parser; handy in tests).
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v, std::string raw);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;  // string value, or the raw number spelling
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Strict RFC 8259 parse of exactly one document (trailing whitespace
+// allowed, trailing garbage is an error). Throws JsonParseError.
+JsonValue json_parse(const std::string& text);
 
 }  // namespace stash::util

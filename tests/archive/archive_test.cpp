@@ -1,0 +1,245 @@
+// Core archive behavior: content addressing, the append/index contract,
+// crash-window recovery, run-reference resolution, and a byte-stable golden
+// for the stash.run_record/1 wire format (regenerate with
+// STASH_REGEN_GOLDEN=1 after an intentional format change).
+#include "archive/archive.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "archive_test_util.h"
+#include "util/json.h"
+
+namespace stash::archive {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+TEST(BuildRecord, IsPureAndContentAddressed) {
+  BuiltRecord a = build_record(inputs_for(3.0));
+  BuiltRecord b = build_record(inputs_for(3.0));
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.id.size(), 16u);
+  EXPECT_EQ(a.id.find_first_not_of("0123456789abcdef"), std::string::npos);
+
+  // Any input change moves the id: manifest bytes, config values, command.
+  EXPECT_NE(build_record(inputs_for(3.5)).id, a.id);
+  EXPECT_NE(build_record(inputs_for(3.0, "1")).id, a.id);
+  RecordInputs other = inputs_for(3.0);
+  other.command = "stalls";
+  EXPECT_NE(build_record(other).id, a.id);
+}
+
+TEST(BuildRecord, DocumentParsesAndRoundTrips) {
+  RecordInputs in = inputs_for(3.0);
+  in.blame_json = R"({"schema":"stash.blame/1","rows":[]})";
+  in.folded = "machine0;gpu0;forward;compute 100\n";
+  in.payload_json = R"({"k":1})";
+  in.events_jsonl = "{\"iter\":1}\n{\"iter\":2}\n";
+  BuiltRecord rec = build_record(in);
+
+  util::JsonValue doc = util::json_parse(rec.json);
+  EXPECT_EQ(doc.dump(), rec.json);  // parse/dump round-trip, byte-exact
+  EXPECT_EQ(doc.get("schema").as_string(), "stash.run_record/1");
+  EXPECT_EQ(doc.get("id").as_string(), rec.id);
+  EXPECT_EQ(doc.get("command").as_string(), "profile");
+  EXPECT_EQ(doc.get("group").get("model").as_string(), "resnet18");
+  EXPECT_EQ(doc.get("group").get("batch").as_int(), 32);
+  EXPECT_EQ(doc.get("group_key").as_string(),
+            group_key("resnet18", "imagenet-1k", "p3.2xlarge", 1, 32));
+  EXPECT_EQ(doc.get("manifest").get("schema").as_string(),
+            "stash.run_manifest/1");
+  EXPECT_EQ(doc.get("blame").get("schema").as_string(), "stash.blame/1");
+  EXPECT_EQ(doc.get("folded").as_string(),
+            "machine0;gpu0;forward;compute 100\n");
+  EXPECT_EQ(doc.get("payload").get("k").as_int(), 1);
+  EXPECT_EQ(doc.get("events_jsonl").as_string(),
+            "{\"iter\":1}\n{\"iter\":2}\n");
+}
+
+TEST(BuildRecord, MatchesCommittedGolden) {
+  RecordInputs in = inputs_for(3.0);
+  in.folded = "machine0;gpu0;forward;compute 100\n";
+  BuiltRecord rec = build_record(in);
+
+  const std::string golden_path =
+      std::string(STASH_TEST_DATA_DIR) + "/run_record_golden.json";
+  if (std::getenv("STASH_REGEN_GOLDEN") != nullptr) {
+    std::ofstream os(golden_path, std::ios::binary);
+    os << rec.json << "\n";
+  }
+  // The golden pins the wire format: a byte change here is a schema change
+  // and must be intentional (regen + bump stash.run_record).
+  EXPECT_EQ(rec.json + "\n", read_file(golden_path));
+}
+
+TEST(Archive, AppendListAndContentDedup) {
+  TempDir td;
+  Archive ar(td.sub("arch"));
+
+  IndexEntry e1 = ar.append(inputs_for(3.0));
+  IndexEntry e2 = ar.append(inputs_for(3.0));  // identical content
+  IndexEntry e3 = ar.append(inputs_for(9.0));
+
+  EXPECT_EQ(e1.seq, 1u);
+  EXPECT_EQ(e2.seq, 2u);
+  EXPECT_EQ(e3.seq, 3u);
+  EXPECT_EQ(e1.id, e2.id);  // content-addressed
+  EXPECT_NE(e1.id, e3.id);
+
+  // Two distinct record files, three index lines.
+  std::size_t files = 0;
+  for (const auto& p : fs::directory_iterator(td.sub("arch") + "/records"))
+    if (p.path().extension() == ".json") ++files;
+  EXPECT_EQ(files, 2u);
+
+  std::vector<IndexEntry> entries = ar.list();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].seq, 1u);
+  EXPECT_EQ(entries[1].id, e1.id);
+  EXPECT_EQ(entries[2].model, "resnet18");
+  EXPECT_EQ(entries[2].group_key, e1.group_key);
+
+  // read_raw/load agree with the built record.
+  EXPECT_EQ(ar.read_raw(e1.id), build_record(inputs_for(3.0)).json + "\n");
+  EXPECT_EQ(ar.load(e3.id).get("id").as_string(), e3.id);
+}
+
+TEST(Archive, IdenticalAppendSequencesAreByteIdentical) {
+  // The unit-level form of the --jobs guarantee: two archives built from
+  // the same append sequence hold identical bytes, file for file.
+  TempDir td;
+  for (const char* name : {"a", "b"}) {
+    Archive ar(td.sub(name));
+    ar.append(inputs_for(3.0));
+    ar.append(inputs_for(9.0));
+    ar.append(inputs_for(3.0));
+  }
+  EXPECT_EQ(read_file(td.sub("a") + "/index.jsonl"),
+            read_file(td.sub("b") + "/index.jsonl"));
+  for (const auto& p : fs::directory_iterator(td.sub("a") + "/records")) {
+    const std::string name = p.path().filename().string();
+    EXPECT_EQ(read_file(p.path().string()),
+              read_file(td.sub("b") + "/records/" + name))
+        << name;
+  }
+}
+
+TEST(Archive, SkipsTornTrailingIndexLine) {
+  TempDir td;
+  Archive ar(td.sub("arch"));
+  ar.append(inputs_for(3.0));
+  IndexEntry e2 = ar.append(inputs_for(9.0));
+
+  // Simulate the documented crash window: a torn final line (no newline,
+  // truncated JSON).
+  {
+    std::ofstream os(td.sub("arch") + "/index.jsonl",
+                     std::ios::binary | std::ios::app);
+    os << "{\"seq\":3,\"id\":\"dead";
+  }
+  std::vector<IndexEntry> entries = ar.list();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[1].id, e2.id);
+
+  // The next append recovers: seq continues from the surviving entries.
+  IndexEntry e3 = ar.append(inputs_for(12.0));
+  EXPECT_EQ(e3.seq, 3u);
+  EXPECT_EQ(ar.list().size(), 3u);
+}
+
+TEST(Archive, SkipsCorruptMidIndexLineAndKeepsTheRest) {
+  TempDir td;
+  Archive ar(td.sub("arch"));
+  IndexEntry e1 = ar.append(inputs_for(3.0));
+  IndexEntry e2 = ar.append(inputs_for(9.0));
+
+  // Corrupt the middle of the index by hand: line 2 becomes garbage.
+  const std::string path = td.sub("arch") + "/index.jsonl";
+  std::string index = read_file(path);
+  const std::size_t first_eol = index.find('\n');
+  ASSERT_NE(first_eol, std::string::npos);
+  std::string mangled = index.substr(0, first_eol + 1) + "not json at all\n" +
+                        index.substr(first_eol + 1);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << mangled;
+  }
+  std::vector<IndexEntry> entries = ar.list();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].id, e1.id);
+  EXPECT_EQ(entries[1].id, e2.id);
+}
+
+TEST(Archive, ResolvesSeqAndIdPrefix) {
+  TempDir td;
+  Archive ar(td.sub("arch"));
+  IndexEntry e1 = ar.append(inputs_for(3.0));
+  IndexEntry e2 = ar.append(inputs_for(9.0));
+
+  EXPECT_EQ(ar.resolve("1").id, e1.id);
+  EXPECT_EQ(ar.resolve("2").id, e2.id);
+  EXPECT_EQ(ar.resolve(e1.id).seq, 1u);
+  EXPECT_EQ(ar.resolve(e2.id.substr(0, 6)).id, e2.id);
+
+  EXPECT_THROW(ar.resolve("7"), std::runtime_error);       // unknown seq
+  EXPECT_THROW(ar.resolve("zzzz9999"), std::runtime_error);  // unknown prefix
+  EXPECT_THROW(ar.resolve(e1.id.substr(0, 3)), std::runtime_error);  // short
+  EXPECT_THROW(ar.resolve(""), std::runtime_error);
+
+  // A prefix shared by two *identical* ids (the dedup case) is not
+  // ambiguous — it names one record.
+  ar.append(inputs_for(3.0));
+  EXPECT_EQ(ar.resolve(e1.id.substr(0, 4)).id, e1.id);
+}
+
+TEST(Archive, AppendRequiresManifest) {
+  TempDir td;
+  Archive ar(td.sub("arch"));
+  RecordInputs in = inputs_for(3.0);
+  in.manifest_json.clear();
+  EXPECT_THROW(ar.append(in), std::runtime_error);
+}
+
+TEST(MetricUnit, InfersFromSuffix) {
+  EXPECT_EQ(metric_unit("fetch_stall_pct"), "percent");
+  EXPECT_EQ(metric_unit("epoch_seconds"), "seconds");
+  EXPECT_EQ(metric_unit("ddl/iter/total_s"), "seconds");
+  EXPECT_EQ(metric_unit("epoch_cost_usd"), "usd");
+  EXPECT_EQ(metric_unit("coll/ring/bytes_sent"), "count");
+  EXPECT_EQ(metric_unit("hw/link/bytes_carried"), "count");
+  EXPECT_EQ(metric_unit("link_bytes"), "bytes");
+  EXPECT_EQ(metric_unit("sim/events_executed"), "count");
+}
+
+TEST(PrimaryStallReport, PrefersDirectThenFaultedThenNull) {
+  util::JsonValue direct = util::json_parse(
+      R"({"manifest":{"stall_report":{"fetch_stall_pct":3},)"
+      R"("fault_report":{"faulted":{"fetch_stall_pct":9}}}})");
+  EXPECT_EQ(primary_stall_report(direct).get("fetch_stall_pct").as_double(),
+            3.0);
+
+  util::JsonValue faulted = util::json_parse(
+      R"({"manifest":{"fault_report":{"faulted":{"fetch_stall_pct":9}}}})");
+  EXPECT_EQ(primary_stall_report(faulted).get("fetch_stall_pct").as_double(),
+            9.0);
+
+  util::JsonValue neither = util::json_parse(R"({"manifest":{}})");
+  EXPECT_TRUE(primary_stall_report(neither).is_null());
+}
+
+}  // namespace
+}  // namespace stash::archive

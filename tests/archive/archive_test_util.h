@@ -1,0 +1,90 @@
+// Shared fixtures for the run-archive tests: a self-cleaning temp
+// directory (every gtest instance runs as its own ctest process, so each
+// needs its own archive dir) and hand-authored manifest documents whose
+// bytes are stable forever — unlike profiler output, they can never drift
+// under model changes, which is what makes the golden tests golden.
+#pragma once
+
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+#include "util/json.h"
+
+namespace stash::archive {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "stash_archive.XXXXXX")
+            .string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* p = ::mkdtemp(buf.data());
+    path_ = p != nullptr ? p : tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string sub(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+// A stash.run_manifest/1 document (pre-provenance schema): the archive must
+// keep reading records written before the /2 bump.
+inline std::string manifest_v1(double fetch_pct, double epoch_s = 100.0) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("stash.run_manifest/1");
+  w.key("tool").value("stash");
+  w.key("command").value("profile");
+  w.key("config").begin_object();
+  w.key("model").value("resnet18");
+  w.key("instance").value("p3.2xlarge");
+  w.key("batch").value("32");
+  w.end_object();
+  w.key("stall_report").begin_object();
+  w.key("has_network_step").value(false);
+  w.key("ic_stall_pct").value(1.5);
+  w.key("nw_stall_pct").value(0.0);
+  w.key("prep_stall_pct").value(2.0);
+  w.key("fetch_stall_pct").value(fetch_pct);
+  w.key("fault_stall_pct").value(0.0);
+  w.key("epoch_seconds").value(epoch_s);
+  w.key("epoch_cost_usd").value(epoch_s * 0.01);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+// Inputs for one synthetic profile record in the default test group.
+inline RecordInputs inputs_for(double fetch_pct,
+                               const std::string& prefetch = "4") {
+  RecordInputs in;
+  in.command = "profile";
+  in.model = "resnet18";
+  in.dataset = "imagenet-1k";
+  in.instance = "p3.2xlarge";
+  in.count = 1;
+  in.batch = 32;
+  in.config = {{"model", "resnet18"},
+               {"instance", "p3.2xlarge"},
+               {"batch", "32"},
+               {"prefetch", prefetch}};
+  in.manifest_json = manifest_v1(fetch_pct);
+  return in;
+}
+
+}  // namespace stash::archive

@@ -1,0 +1,156 @@
+// Structural run-diff tests: stall deltas, config joins, metric joins with
+// absent sides, and the folded-stack differential format.
+#include "archive/diff.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "archive_test_util.h"
+#include "util/json.h"
+
+namespace stash::archive {
+namespace {
+
+struct LoadedPair {
+  IndexEntry ea, eb;
+  util::JsonValue a, b;
+};
+
+LoadedPair load_pair(const RecordInputs& ia, const RecordInputs& ib) {
+  TempDir td;
+  Archive ar(td.sub("arch"));
+  LoadedPair p;
+  p.ea = ar.append(ia);
+  p.eb = ar.append(ib);
+  p.a = ar.load(p.ea.id);
+  p.b = ar.load(p.eb.id);
+  return p;
+}
+
+TEST(DiffRecords, StallDeltasAndConfigChanges) {
+  LoadedPair p = load_pair(inputs_for(3.0), inputs_for(9.5, "1"));
+  RunDiff d = diff_records(p.ea, p.a, p.eb, p.b);
+
+  EXPECT_TRUE(d.same_group);
+  ASSERT_TRUE(d.has_stalls);
+  ASSERT_EQ(d.stalls.size(), 5u);  // ic, nw, prep, fetch, fault — in order
+  EXPECT_EQ(d.stalls[0].category, "ic");
+  EXPECT_EQ(d.stalls[3].category, "fetch");
+  EXPECT_EQ(d.stalls[3].a_pct, 3.0);
+  EXPECT_EQ(d.stalls[3].b_pct, 9.5);
+  EXPECT_EQ(d.stalls[3].delta_pct, 6.5);
+  EXPECT_EQ(d.stalls[0].delta_pct, 0.0);
+
+  // Only the differing config key surfaces. (The archived manifest config
+  // here omits prefetch, but the record-level config still feeds the
+  // config_key, so the two records are distinct.)
+  EXPECT_NE(p.ea.id, p.eb.id);
+
+  // epoch scalars joined from the stall reports.
+  bool saw_epoch = false;
+  for (const auto& m : d.metrics) {
+    if (m.name != "epoch_seconds") continue;
+    saw_epoch = true;
+    EXPECT_EQ(m.unit, "seconds");
+    EXPECT_TRUE(m.a_present);
+    EXPECT_TRUE(m.b_present);
+    EXPECT_EQ(m.delta, 0.0);
+  }
+  EXPECT_TRUE(saw_epoch);
+}
+
+TEST(DiffRecords, ManifestConfigJoin) {
+  RecordInputs ia = inputs_for(3.0);
+  RecordInputs ib = inputs_for(3.0);
+  // Differing + one-sided manifest config keys.
+  ia.manifest_json =
+      R"({"schema":"stash.run_manifest/1","config":)"
+      R"({"model":"resnet18","prefetch":"4","only_a":"x"}})";
+  ib.manifest_json =
+      R"({"schema":"stash.run_manifest/1","config":)"
+      R"({"model":"resnet18","prefetch":"1"}})";
+  LoadedPair p = load_pair(ia, ib);
+  RunDiff d = diff_records(p.ea, p.a, p.eb, p.b);
+
+  EXPECT_FALSE(d.has_stalls);  // neither manifest carries a stall report
+  ASSERT_EQ(d.config_changes.size(), 2u);  // sorted by key
+  EXPECT_EQ(d.config_changes[0].key, "only_a");
+  EXPECT_TRUE(d.config_changes[0].a_present);
+  EXPECT_FALSE(d.config_changes[0].b_present);
+  EXPECT_EQ(d.config_changes[1].key, "prefetch");
+  EXPECT_EQ(d.config_changes[1].a, "4");
+  EXPECT_EQ(d.config_changes[1].b, "1");
+}
+
+TEST(DiffRecords, FoldedStackUnionAndText) {
+  RecordInputs ia = inputs_for(3.0);
+  ia.folded = "m0;gpu0;forward;compute 100\nm0;gpu0;h2d;pcie 40\n";
+  RecordInputs ib = inputs_for(9.0);
+  ib.folded = "m0;gpu0;forward;compute 65\nm0;gpu0;fetch;storage 25\n";
+  LoadedPair p = load_pair(ia, ib);
+  RunDiff d = diff_records(p.ea, p.a, p.eb, p.b);
+
+  ASSERT_TRUE(d.has_folded);
+  ASSERT_EQ(d.folded.size(), 3u);  // union, sorted by stack
+  EXPECT_EQ(d.folded[0].stack, "m0;gpu0;fetch;storage");
+  EXPECT_EQ(d.folded[0].a_us, 0.0);
+  EXPECT_EQ(d.folded[0].b_us, 25.0);
+  EXPECT_EQ(d.folded[1].stack, "m0;gpu0;forward;compute");
+  EXPECT_EQ(d.folded[1].delta_us, -35.0);
+  EXPECT_EQ(d.folded[2].stack, "m0;gpu0;h2d;pcie");
+  EXPECT_EQ(d.folded[2].delta_us, -40.0);
+
+  EXPECT_EQ(diff_to_folded(d),
+            "m0;gpu0;fetch;storage 25 +25\n"
+            "m0;gpu0;forward;compute 65 -35\n"
+            "m0;gpu0;h2d;pcie 0 -40\n");
+}
+
+TEST(DiffToJson, IsValidDeterministicStashRunsDocument) {
+  RecordInputs ia = inputs_for(3.0);
+  ia.folded = "m0;x 10\n";
+  RecordInputs ib = inputs_for(9.0, "1");
+  ib.folded = "m0;x 30\n";
+  LoadedPair p = load_pair(ia, ib);
+  RunDiff d = diff_records(p.ea, p.a, p.eb, p.b);
+
+  const std::string json = diff_to_json(d);
+  util::JsonValue doc = util::json_parse(json);
+  EXPECT_EQ(doc.get("schema").as_string(), "stash.runs/1");
+  EXPECT_EQ(doc.get("mode").as_string(), "diff");
+  EXPECT_TRUE(doc.get("same_group").as_bool());
+  EXPECT_EQ(doc.get("a").get("seq").as_int(), 1);
+  EXPECT_EQ(doc.get("b").get("seq").as_int(), 2);
+  ASSERT_TRUE(doc.has("stalls"));
+  EXPECT_EQ(doc.get("stalls").at(3).get("delta_pct").as_double(), 6.0);
+  ASSERT_TRUE(doc.has("folded_diff"));
+  EXPECT_EQ(doc.get("folded_diff").at(0).get("delta_us").as_double(), 20.0);
+
+  // Same inputs, same bytes — the determinism the CI smoke cmp relies on.
+  EXPECT_EQ(diff_to_json(diff_records(p.ea, p.a, p.eb, p.b)), json);
+}
+
+TEST(DiffRecords, AbsentMetricSidesSerializeAsNull) {
+  RecordInputs ia = inputs_for(3.0);
+  RecordInputs ib = inputs_for(3.0);
+  ib.manifest_json =
+      R"({"schema":"stash.run_manifest/1","config":{},)"
+      R"("estimate":{"total_seconds":1200,"total_cost_usd":4.5}})";
+  LoadedPair p = load_pair(ia, ib);
+  RunDiff d = diff_records(p.ea, p.a, p.eb, p.b);
+
+  util::JsonValue doc = util::json_parse(diff_to_json(d));
+  bool saw_total = false;
+  for (const auto& m : doc.get("metrics").items()) {
+    if (m.get("name").as_string() != "total_seconds") continue;
+    saw_total = true;
+    EXPECT_TRUE(m.get("a").is_null());
+    EXPECT_EQ(m.get("b").as_double(), 1200.0);
+    EXPECT_EQ(m.get("delta").as_double(), 0.0);  // one-sided: no delta
+  }
+  EXPECT_TRUE(saw_total);
+}
+
+}  // namespace
+}  // namespace stash::archive

@@ -1,0 +1,187 @@
+// Cross-run drift scan: a mid-series fetch-stall regression must be
+// flagged with the right signal, direction, and onset run; a quiet archive
+// must stay quiet; reports must be byte-deterministic; and records written
+// under both manifest schema versions must scan together.
+#include "archive/drift.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "archive_test_util.h"
+#include "util/json.h"
+
+namespace stash::archive {
+namespace {
+
+// 3 baseline runs + 2 regressed runs in one group: the acceptance-criteria
+// series shape (regression introduced before run 4).
+void fill_step_archive(Archive& ar) {
+  for (int i = 0; i < 3; ++i) ar.append(inputs_for(3.0));
+  for (int i = 0; i < 2; ++i) ar.append(inputs_for(25.0));
+}
+
+TEST(ScanArchive, FlagsInjectedFetchRegressionWithOnsetRun) {
+  TempDir td;
+  Archive ar(td.sub("arch"));
+  fill_step_archive(ar);
+
+  DriftReport r = scan_archive(ar);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].runs, 5u);
+  EXPECT_EQ(r.groups[0].model, "resnet18");
+
+  // Exactly the injected category, nothing else.
+  ASSERT_EQ(r.findings.size(), 1u);
+  const DriftFinding& f = r.findings[0];
+  EXPECT_EQ(f.signal, "fetch_stall_pct");
+  EXPECT_EQ(f.unit, "percent");
+  EXPECT_TRUE(f.increase);
+  EXPECT_EQ(f.detectors, "cusum+ewma");  // both detectors, merged
+  EXPECT_EQ(f.onset_seq, 4u);
+  EXPECT_EQ(f.detect_seq, 4u);
+  EXPECT_EQ(f.onset_id, ar.resolve("4").id);
+  EXPECT_EQ(f.baseline_mean, 3.0);
+  EXPECT_EQ(f.observed, 25.0);
+  EXPECT_EQ(f.delta, 22.0);
+  EXPECT_GT(f.magnitude_sigma, 3.0);
+}
+
+TEST(ScanArchive, QuietArchiveReportsNoFindings) {
+  TempDir td;
+  Archive ar(td.sub("arch"));
+  for (int i = 0; i < 5; ++i) ar.append(inputs_for(3.0));
+
+  DriftReport r = scan_archive(ar);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].runs, 5u);
+  EXPECT_TRUE(r.findings.empty());
+  // Constant-but-present signals were still scanned...
+  bool scanned_fetch = false, scanned_nw = false;
+  for (const auto& s : r.groups[0].signals) {
+    if (s == "fetch_stall_pct") scanned_fetch = true;
+    if (s == "nw_stall_pct") scanned_nw = true;
+  }
+  EXPECT_TRUE(scanned_fetch);
+  // ...but N/W is gated off when the report has no network step.
+  EXPECT_FALSE(scanned_nw);
+}
+
+TEST(ScanArchive, ShortGroupsCannotAlarm) {
+  TempDir td;
+  Archive ar(td.sub("arch"));
+  // 3 runs = baseline only: the whole series is swallowed by the baseline.
+  ar.append(inputs_for(3.0));
+  ar.append(inputs_for(3.0));
+  ar.append(inputs_for(25.0));
+
+  DriftReport r = scan_archive(ar);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_TRUE(r.groups[0].signals.empty());  // nothing had > baseline runs
+}
+
+TEST(ScanArchive, GroupsAreIndependentTimeSeries) {
+  TempDir td;
+  Archive ar(td.sub("arch"));
+  // Interleave a second, quiet group with the regressing one.
+  RecordInputs other = inputs_for(3.0);
+  other.instance = "p3.16xlarge";
+  for (int i = 0; i < 3; ++i) {
+    ar.append(inputs_for(3.0));
+    ar.append(other);
+  }
+  ar.append(inputs_for(25.0));
+  ar.append(other);
+  ar.append(inputs_for(25.0));
+
+  DriftReport r = scan_archive(ar);
+  ASSERT_EQ(r.groups.size(), 2u);  // first-seen order
+  EXPECT_EQ(r.groups[0].instance, "p3.2xlarge");
+  EXPECT_EQ(r.groups[0].runs, 5u);
+  EXPECT_EQ(r.groups[1].instance, "p3.16xlarge");
+  EXPECT_EQ(r.groups[1].runs, 4u);
+
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].instance, "p3.2xlarge");
+  // Onset in *archive* seq: the 4th run of the regressing group is the
+  // interleaved archive's seq 7.
+  EXPECT_EQ(r.findings[0].onset_seq, 7u);
+}
+
+TEST(ScanArchive, MixedManifestSchemasScanTogether) {
+  TempDir td;
+  Archive ar(td.sub("arch"));
+  // Three /1-manifest baseline records, then two /2-manifest regressed
+  // records: the reader must treat both schema versions as one series.
+  for (int i = 0; i < 3; ++i) ar.append(inputs_for(3.0));
+  for (int i = 0; i < 2; ++i) {
+    RecordInputs in = inputs_for(25.0);
+    in.manifest_json =
+        R"({"schema":"stash.run_manifest/2","tool":"stash",)"
+        R"("provenance":{"git_sha":"abc123def456","git_dirty":false,)"
+        R"("compiler_id":"GNU","compiler_version":"12.2.0",)"
+        R"("build_type":"Release","schemas":["stash.run_manifest/2"]},)"
+        R"("command":"profile","config":{"model":"resnet18"},)"
+        R"("stall_report":{"has_network_step":false,"ic_stall_pct":1.5,)"
+        R"("nw_stall_pct":0,"prep_stall_pct":2,"fetch_stall_pct":25,)"
+        R"("fault_stall_pct":0,"epoch_seconds":100,"epoch_cost_usd":1}})";
+    ar.append(in);
+  }
+
+  DriftReport r = scan_archive(ar);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].runs, 5u);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].signal, "fetch_stall_pct");
+  EXPECT_EQ(r.findings[0].onset_seq, 4u);
+}
+
+TEST(DriftToJson, IsValidDeterministicStashRunsDocument) {
+  TempDir td;
+  Archive ar(td.sub("arch"));
+  fill_step_archive(ar);
+
+  const std::string json = drift_to_json(scan_archive(ar));
+  EXPECT_EQ(drift_to_json(scan_archive(ar)), json);  // byte-deterministic
+
+  util::JsonValue doc = util::json_parse(json);
+  EXPECT_EQ(doc.get("schema").as_string(), "stash.runs/1");
+  EXPECT_EQ(doc.get("mode").as_string(), "drift");
+  EXPECT_EQ(doc.get("detector").get("baseline_runs").as_int(), 3);
+  ASSERT_EQ(doc.get("groups").size(), 1u);
+  EXPECT_EQ(doc.get("groups").at(0).get("runs").as_int(), 5);
+  ASSERT_EQ(doc.get("findings").size(), 1u);
+  const util::JsonValue& f = doc.get("findings").at(0);
+  EXPECT_EQ(f.get("signal").as_string(), "fetch_stall_pct");
+  EXPECT_EQ(f.get("direction").as_string(), "increase");
+  EXPECT_EQ(f.get("onset_seq").as_int(), 4);
+
+  // No filesystem paths leak into the document (portable across archives).
+  EXPECT_EQ(json.find(td.path()), std::string::npos);
+}
+
+TEST(DriftToOpenMetrics, EmitsLabeledGauges) {
+  TempDir td;
+  Archive ar(td.sub("arch"));
+  fill_step_archive(ar);
+
+  const std::string om = drift_to_openmetrics(scan_archive(ar));
+  EXPECT_NE(om.find("# TYPE stash_runs_archive_runs gauge\n"),
+            std::string::npos);
+  EXPECT_NE(
+      om.find("stash_runs_archive_runs{model=\"resnet18\","
+              "dataset=\"imagenet-1k\",instance=\"p3.2xlarge\","
+              "count=\"1\",batch=\"32\"} 5\n"),
+      std::string::npos);
+  EXPECT_NE(om.find("signal=\"fetch_stall_pct\",direction=\"increase\","
+                    "detectors=\"cusum+ewma\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(om.find("stash_runs_drift_onset_seq{"), std::string::npos);
+  EXPECT_NE(om.find("} 4\n"), std::string::npos);
+  EXPECT_NE(om.find("stash_runs_drift_delta{"), std::string::npos);
+  EXPECT_NE(om.find("} 22\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stash::archive

@@ -155,5 +155,71 @@ TEST(Detectors, DeterministicAcrossRuns) {
   EXPECT_EQ(run(), run());
 }
 
+// ---------------------------------------------------------------------------
+// Run-axis replay: the archive drift scanner feeds one sample per run.
+
+TEST(ScanSeries, RunAxisConfigIsValidAndShortBaselined) {
+  DetectorConfig cfg = run_axis_config();
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.baseline_iters, 3u);  // archives are short series
+}
+
+TEST(ScanSeries, FlagsUpwardStepWithOnsetAtFirstShiftedSample) {
+  // Three baseline runs at 10, then a regime at 25: the first shifted
+  // sample (index 3) is both the onset and the alarm, and CUSUM + EWMA
+  // agree on it.
+  std::vector<double> xs = {10.0, 10.0, 10.0, 25.0, 25.0};
+  auto findings = scan_series(xs, run_axis_config());
+  ASSERT_FALSE(findings.empty());
+  const SeriesFinding& f = findings.front();
+  EXPECT_EQ(f.detector, SeriesFinding::Detector::kCusum);
+  EXPECT_TRUE(f.increase);
+  EXPECT_EQ(f.detection.onset_index, 3u);
+  EXPECT_EQ(f.detection.detect_index, 3u);
+  EXPECT_EQ(f.detection.baseline_mean, 10.0);
+  EXPECT_EQ(f.detection.observed, 25.0);
+  bool ewma_agrees = false;
+  for (const auto& g : findings)
+    if (g.detector == SeriesFinding::Detector::kEwma && g.increase &&
+        g.detection.onset_index == 3u)
+      ewma_agrees = true;
+  EXPECT_TRUE(ewma_agrees);
+}
+
+TEST(ScanSeries, FlagsDownwardStepInRawUnits) {
+  std::vector<double> xs = {25.0, 25.0, 25.0, 10.0, 10.0};
+  auto findings = scan_series(xs, run_axis_config());
+  ASSERT_FALSE(findings.empty());
+  const SeriesFinding& f = findings.front();
+  EXPECT_FALSE(f.increase);
+  EXPECT_EQ(f.detection.onset_index, 3u);
+  // The decrease CUSUM runs on the negated series; the detection must be
+  // mapped back to raw units before callers see it.
+  EXPECT_EQ(f.detection.baseline_mean, 25.0);
+  EXPECT_EQ(f.detection.observed, 10.0);
+}
+
+TEST(ScanSeries, QuietSeriesYieldsNoFindings) {
+  std::vector<double> xs(8, 10.0);
+  EXPECT_TRUE(scan_series(xs, run_axis_config()).empty());
+  // Shorter than baseline + 1: nothing can alarm either.
+  EXPECT_TRUE(scan_series({10.0, 25.0}, run_axis_config()).empty());
+}
+
+TEST(ScanSeries, OrderIsDeterministic) {
+  std::vector<double> xs = {10.0, 10.0, 10.0, 25.0, 25.0, 10.0, 10.0};
+  auto a = scan_series(xs, run_axis_config());
+  auto b = scan_series(xs, run_axis_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].detector, b[i].detector);
+    EXPECT_EQ(a[i].increase, b[i].increase);
+    EXPECT_EQ(a[i].detection.detect_index, b[i].detection.detect_index);
+  }
+  // Findings arrive sorted by detection index.
+  for (std::size_t i = 1; i < a.size(); ++i)
+    EXPECT_LE(a[i - 1].detection.detect_index, a[i].detection.detect_index);
+}
+
 }  // namespace
 }  // namespace stash::monitor

@@ -325,6 +325,44 @@ TEST_F(ManifestFixture, InstrumentedProfileMeetsAcceptanceCriteria) {
   EXPECT_GT(metrics.find_gauge("sim/events_executed")->value(), 0.0);
 }
 
+TEST_F(ManifestFixture, ProvenanceStampsSchemaV2) {
+  RunManifest man;
+  man.command = "profile";
+
+  // Injected provenance serializes verbatim — the archive's byte-stable
+  // golden records depend on this override.
+  BuildInfo fixed;
+  fixed.git_sha = "abc123def456";
+  fixed.git_dirty = false;
+  fixed.compiler_id = "TestCC";
+  fixed.compiler_version = "1.0";
+  fixed.build_type = "Release";
+  man.provenance = &fixed;
+
+  std::string json = man.to_json();
+  EXPECT_TRUE(JsonChecker::valid(json));
+  EXPECT_NE(json.find("\"schema\":\"stash.run_manifest/2\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\":\"abc123def456\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_dirty\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"compiler_id\":\"TestCC\""), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\":\"Release\""), std::string::npos);
+  // The emitted-schemas list names the record and runs documents too.
+  EXPECT_NE(json.find("\"stash.run_record/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"stash.runs/1\""), std::string::npos);
+
+  // Same manifest, same bytes: provenance must not break determinism.
+  EXPECT_EQ(man.to_json(), json);
+
+  // Default provenance (the binary's own build_info) still yields a valid
+  // /2 document with a populated provenance block.
+  man.provenance = nullptr;
+  std::string dflt = man.to_json();
+  EXPECT_TRUE(JsonChecker::valid(dflt));
+  EXPECT_NE(dflt.find("\"provenance\":{"), std::string::npos);
+  EXPECT_NE(dflt.find("\"compiler_id\":\"" ), std::string::npos);
+}
+
 TEST_F(ManifestFixture, EstimateSerializes) {
   profiler::TrainingEstimate est;
   est.config_label = "p3.8xlarge";

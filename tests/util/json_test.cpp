@@ -1,0 +1,156 @@
+// Adversarial coverage for the JSON layer every machine-readable surface
+// rides on: escaping of the full control-character range, non-finite
+// doubles, and the strict parser's round-trip guarantee the run archive's
+// content-addressed ids depend on (parse(x).dump() == x for anything
+// JsonWriter produced).
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace stash::util {
+namespace {
+
+TEST(JsonEscape, EscapesEveryControlCharacter) {
+  // Short forms where JSON defines them, \u00XX everywhere else.
+  EXPECT_EQ(json_escape(std::string(1, '\0')), "\\u0000");
+  EXPECT_EQ(json_escape("\x01"), "\\u0001");
+  EXPECT_EQ(json_escape("\b"), "\\b");
+  EXPECT_EQ(json_escape("\t"), "\\t");
+  EXPECT_EQ(json_escape("\n"), "\\n");
+  EXPECT_EQ(json_escape("\f"), "\\f");
+  EXPECT_EQ(json_escape("\r"), "\\r");
+  EXPECT_EQ(json_escape("\x0b"), "\\u000b");
+  EXPECT_EQ(json_escape("\x1f"), "\\u001f");
+  EXPECT_EQ(json_escape("\""), "\\\"");
+  EXPECT_EQ(json_escape("\\"), "\\\\");
+
+  // Sweep all 32: the escaped form must contain no raw byte < 0x20.
+  for (int c = 0; c < 0x20; ++c) {
+    std::string s = json_escape(std::string(1, static_cast<char>(c)));
+    for (char e : s) EXPECT_GE(static_cast<unsigned char>(e), 0x20u) << c;
+    EXPECT_EQ(s[0], '\\') << c;
+  }
+}
+
+TEST(JsonEscape, PassesUtf8AndDelThrough) {
+  // Bytes >= 0x20 are not the escaper's business: multi-byte UTF-8
+  // sequences (and DEL, which RFC 8259 does not require escaping) survive
+  // byte-for-byte.
+  const std::string utf8 = "caf\xc3\xa9 \xe2\x98\x83 \x7f";
+  EXPECT_EQ(json_escape(utf8), utf8);
+}
+
+TEST(JsonEscape, EmbeddedNulDoesNotTruncate) {
+  std::string s = "a";
+  s.push_back('\0');
+  s += "b";
+  EXPECT_EQ(json_escape(s), "a\\u0000b");
+}
+
+TEST(JsonDouble, ShortestFormRoundTripsExactly) {
+  for (double v :
+       {0.0, -0.0, 1.0 / 3.0, 0.1, 97.39646745599968, 9.642200741509247e-14,
+        -2.5e-300, 1.7976931348623157e308, 5e-324}) {
+    std::string s = json_double(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(JsonDouble, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_double(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_double(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriter, NonFiniteValueEmitsNullToken) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("nan").value(std::numeric_limits<double>::quiet_NaN());
+  w.key("inf").value(std::numeric_limits<double>::infinity());
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"nan\":null,\"inf\":null}");
+  // And the strict parser accepts the result — no bare nan/inf leaked.
+  EXPECT_NO_THROW(json_parse(w.str()));
+}
+
+TEST(JsonWriter, CommaBookkeepingAcrossNesting) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").begin_array().value("x").begin_object().end_object().null()
+      .end_array();
+  w.key("c").value(true);
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[\"x\",{},null],\"c\":true}");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("weird \"key\"\n").value("\x01 control \\ done");
+  w.key("nums").begin_array().value(0.1).value(-3).value(1.0 / 3.0)
+      .end_array();
+  w.key("nested").begin_object().key("t").value(false).end_object();
+  w.end_object();
+  JsonValue doc = json_parse(w.str());
+  EXPECT_EQ(doc.dump(), w.str());
+  EXPECT_EQ(doc.get("weird \"key\"\n").as_string(), "\x01 control \\ done");
+  EXPECT_EQ(doc.get("nums").at(0).as_double(), 0.1);
+  EXPECT_FALSE(doc.get("nested").get("t").as_bool(true));
+}
+
+TEST(JsonParse, NumbersKeepSourceSpelling) {
+  // dump() must reproduce the raw spelling — 1e3 stays 1e3, 1.50 stays
+  // 1.50 — or content-addressed ids would change on a parse/dump cycle.
+  for (const char* doc : {"[1e3]", "[1.50]", "[-0.0]", "[12345678901234567]"})
+    EXPECT_EQ(json_parse(doc).dump(), doc);
+  EXPECT_EQ(json_parse("[1e3]").at(0).as_double(), 1000.0);
+}
+
+TEST(JsonParse, DecodesEscapesAndSurrogatePairs) {
+  EXPECT_EQ(json_parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(json_parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(json_parse("\"\\u2603\"").as_string(), "\xe2\x98\x83");
+  // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(json_parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+  EXPECT_EQ(json_parse("\"\\\"\\\\\\/\\b\\f\\n\\r\\t\"").as_string(),
+            "\"\\/\b\f\n\r\t");
+}
+
+TEST(JsonParse, RejectsMalformedInputWithOffset) {
+  EXPECT_THROW(json_parse(""), JsonParseError);
+  EXPECT_THROW(json_parse("{"), JsonParseError);
+  EXPECT_THROW(json_parse("[1,]"), JsonParseError);
+  EXPECT_THROW(json_parse("{\"a\":1,}"), JsonParseError);
+  EXPECT_THROW(json_parse("nan"), JsonParseError);
+  EXPECT_THROW(json_parse("Infinity"), JsonParseError);
+  EXPECT_THROW(json_parse("[01]"), JsonParseError);
+  EXPECT_THROW(json_parse("'a'"), JsonParseError);
+  EXPECT_THROW(json_parse("{} extra"), JsonParseError);
+  EXPECT_THROW(json_parse("\"\\ud83d\""), JsonParseError);  // lone surrogate
+  EXPECT_THROW(json_parse("\"\x01\""), JsonParseError);  // raw control char
+  try {
+    json_parse("[1, )");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset(), 4u);
+  }
+}
+
+TEST(JsonValue, ChainedLookupsAreNullSafe) {
+  JsonValue doc = json_parse(R"({"manifest":{"stall_report":{"x":1}}})");
+  EXPECT_EQ(doc.get("manifest").get("stall_report").get("x").as_double(), 1.0);
+  // Missing keys at any depth land on the shared null, never crash.
+  EXPECT_TRUE(doc.get("manifest").get("absent").get("deeper").is_null());
+  EXPECT_EQ(doc.get("nope").find("x"), nullptr);
+  EXPECT_EQ(doc.get("nope").as_double(42.0), 42.0);
+}
+
+}  // namespace
+}  // namespace stash::util
