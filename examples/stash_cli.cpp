@@ -16,6 +16,8 @@
 //   --trace=FILE    write a chrome://tracing timeline of the instrumented
 //                   (warm-data) profiler step
 //   --metrics=FILE  write the metrics registry snapshot as JSON
+#include <cerrno>
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -37,6 +39,8 @@
 #include "obs/progress.h"
 #include "plan/planner.h"
 #include "policy/autopilot.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
 #include "stash/attribute.h"
 #include "stash/recommend.h"
 #include "stash/session.h"
@@ -114,6 +118,12 @@ int usage() {
       "                                   stream a training simulation through\n"
       "                                   the online stall monitor: change-\n"
       "                                   point events + windowed live blame\n"
+      "  query <command> (--socket PATH | --port P) [--key value ...]\n"
+      "                                   send one request to a running\n"
+      "                                   stash_serve daemon and print the\n"
+      "                                   stash.serve_response/1 document;\n"
+      "                                   options forward as request params\n"
+      "                                   (e.g. --model resnet18 --batch 32)\n"
       "  runs <list|show|diff|drift> --archive DIR\n"
       "       list [--csv]                archived runs in append order\n"
       "       show <ref>                  print one stash.run_record/1 document\n"
@@ -1232,26 +1242,96 @@ int cmd_estimate(const util::Args& args) {
   return sinks.flush({});
 }
 
+// Client side of the stash_serve daemon: build a stash.serve_request/1 from
+// the command line, send it over the daemon's socket, print the response
+// JSON. Every option other than the connection ones forwards as a request
+// param ('-' becomes '_'), typed by inference: bare flags become true,
+// integers and decimals become numbers, everything else a string.
+//
+//   stash_cli query profile --socket /tmp/stash.sock --model resnet18
+//   stash_cli query estimate --port 7457 --model vgg11 --epochs 30
+int cmd_query(const util::Args& args) {
+  const std::string command = args.positional(1);
+  if (command.empty()) return usage();
+  const std::string socket_path = args.get("socket");
+  const bool have_port = args.has("port");
+  if (socket_path.empty() && !have_port) {
+    std::cerr << "query needs --socket PATH or --port P\n";
+    return 2;
+  }
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("stash.serve_request/1");
+  w.key("id").value("stash_cli");
+  w.key("command").value(command);
+  w.key("params").begin_object();
+  for (const auto& [key, value] : args.options()) {
+    if (key == "socket" || key == "port") continue;
+    std::string name = key;
+    for (char& c : name)
+      if (c == '-') c = '_';
+    w.key(name);
+    if (value.empty())
+      w.value(true);  // bare flag, e.g. --full-quad
+    else if (auto i = util::parse_int(value))
+      w.value(*i);
+    else if (auto d = util::parse_double(value))
+      w.value(*d);
+    else if (value == "true" || value == "false")
+      w.value(value == "true");
+    else
+      w.value(value);
+  }
+  w.end_object();
+  w.end_object();
+
+  serve::Client client = socket_path.empty()
+                             ? serve::Client::connect_tcp(args.get_int("port", 0))
+                             : serve::Client::connect_unix(socket_path);
+  const std::string response = client.roundtrip(w.str());
+  std::cout << response << "\n";
+
+  // Exit code mirrors the response status so scripts can branch without
+  // parsing: 0 ok, 1 error, 3 overloaded (retryable).
+  util::JsonValue doc = util::json_parse(response);
+  const std::string status = doc.get("status").as_string();
+  if (status == "ok") return 0;
+  if (status == "overloaded") return 3;
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Piping into `head` must end the program quietly, not kill it: ignore
+  // SIGPIPE so a closed stdout surfaces as EPIPE on write instead.
+  std::signal(SIGPIPE, SIG_IGN);
+  int rc;
   try {
     util::Args args(argc, argv, kFlags);
     std::string cmd = args.positional(0);
-    if (cmd == "catalog") return cmd_catalog(args);
-    if (cmd == "models") return cmd_models(args);
-    if (cmd == "profile") return cmd_profile(args);
-    if (cmd == "attribute") return cmd_attribute(args);
-    if (cmd == "recommend") return cmd_recommend(args);
-    if (cmd == "estimate") return cmd_estimate(args);
-    if (cmd == "stalls") return cmd_stalls(args);
-    if (cmd == "plan") return cmd_plan(args);
-    if (cmd == "autopilot") return cmd_autopilot(args);
-    if (cmd == "monitor") return cmd_monitor(args);
-    if (cmd == "runs") return cmd_runs(args);
-    return usage();
+    if (cmd == "catalog") rc = cmd_catalog(args);
+    else if (cmd == "models") rc = cmd_models(args);
+    else if (cmd == "profile") rc = cmd_profile(args);
+    else if (cmd == "attribute") rc = cmd_attribute(args);
+    else if (cmd == "recommend") rc = cmd_recommend(args);
+    else if (cmd == "estimate") rc = cmd_estimate(args);
+    else if (cmd == "stalls") rc = cmd_stalls(args);
+    else if (cmd == "plan") rc = cmd_plan(args);
+    else if (cmd == "autopilot") rc = cmd_autopilot(args);
+    else if (cmd == "monitor") rc = cmd_monitor(args);
+    else if (cmd == "runs") rc = cmd_runs(args);
+    else if (cmd == "query") rc = cmd_query(args);
+    else rc = usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
+  // EPIPE on stdout (the reader went away) is a clean early exit, not a
+  // failure — the classic `stash_cli runs list | head -1` case.
+  errno = 0;
+  std::cout.flush();
+  if (std::cout.fail() && errno == EPIPE) return 0;
+  return rc;
 }

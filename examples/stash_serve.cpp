@@ -1,0 +1,105 @@
+// stash_serve — the profiling-as-a-service daemon (src/serve/server.h).
+//
+//   stash_serve --socket /tmp/stash.sock [--jobs 4] [--metrics-port 9464]
+//   stash_serve --port 7457 --persist-dir /var/lib/stash/results
+//               --cache-entries 4096 --cache-bytes 268435456
+//
+// Query it with `stash_cli query` (or any client speaking the 4-byte
+// length-prefixed stash.serve_request/1 protocol). SIGINT/SIGTERM drain
+// gracefully: in-flight requests finish and get their responses before the
+// process exits.
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "exec/thread_pool.h"
+#include "serve/server.h"
+#include "util/args.h"
+
+namespace {
+
+int usage() {
+  std::cout <<
+      "usage: stash_serve [--socket PATH] [--port P] [options]\n"
+      "  --socket PATH      listen on a Unix socket at PATH\n"
+      "  --port P           listen on 127.0.0.1:P (0 = ephemeral; the bound\n"
+      "                     port is printed on startup)\n"
+      "  --metrics-port P   serve Prometheus text on 127.0.0.1:P\n"
+      "  --jobs N           concurrent simulations per request (default: cores)\n"
+      "  --max-inflight N   pure requests beyond N get status=overloaded\n"
+      "                     (default 32, 0 = unlimited)\n"
+      "  --cache-entries N  max completed scenarios kept in memory (0 = all)\n"
+      "  --cache-bytes N    approximate in-memory result cache cap (0 = none)\n"
+      "  --persist-dir DIR  persist completed results; a restarted daemon\n"
+      "                     answers previously seen queries without simulating\n"
+      "at least one of --socket/--port is required\n";
+  return 2;
+}
+
+std::size_t size_flag(const stash::util::Args& args, const std::string& key) {
+  if (!args.has(key)) return 0;
+  auto v = stash::util::parse_u64(args.get(key));
+  if (!v)
+    throw std::invalid_argument("option --" + key +
+                                " expects a non-negative integer, got '" +
+                                args.get(key) + "'");
+  return static_cast<std::size_t>(*v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // A client that vanishes mid-response must cost us an EPIPE on that one
+  // socket, never a process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+  try {
+    stash::util::Args args(argc, argv);
+    stash::serve::ServeOptions opt;
+    opt.unix_path = args.get("socket");
+    opt.tcp_port = args.has("port") ? args.get_int("port", 0) : -1;
+    opt.metrics_port =
+        args.has("metrics-port") ? args.get_int("metrics-port", 0) : -1;
+    opt.jobs = args.get_int("jobs", stash::exec::default_jobs());
+    opt.max_inflight = args.get_int("max-inflight", opt.max_inflight);
+    opt.cache_entries = size_flag(args, "cache-entries");
+    opt.cache_bytes = size_flag(args, "cache-bytes");
+    opt.persist_dir = args.get("persist-dir");
+    if (opt.unix_path.empty() && opt.tcp_port < 0) return usage();
+
+    // Route SIGINT/SIGTERM through a sigwait thread instead of a handler:
+    // request_shutdown() takes locks, which a signal handler must not.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+    stash::serve::Server server(opt);
+    server.start();
+
+    std::thread([&server, sigs] {
+      int sig = 0;
+      sigwait(&sigs, &sig);
+      std::cerr << "stash_serve: received signal " << sig << ", draining\n";
+      server.request_shutdown();
+    }).detach();
+
+    if (!opt.unix_path.empty())
+      std::cerr << "stash_serve: listening on " << opt.unix_path << "\n";
+    if (server.tcp_port() >= 0)
+      std::cerr << "stash_serve: listening on 127.0.0.1:" << server.tcp_port()
+                << "\n";
+    if (server.metrics_port() >= 0)
+      std::cerr << "stash_serve: metrics on http://127.0.0.1:"
+                << server.metrics_port() << "/metrics\n";
+
+    server.wait_for_shutdown();
+    server.stop();
+    std::cerr << "stash_serve: drained, exiting\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

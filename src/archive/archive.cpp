@@ -11,7 +11,9 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "exec/sim_cache.h"
+#include "exec/scenario_key.h"
+#include "util/args.h"
+#include "util/fsio.h"
 
 namespace stash::archive {
 
@@ -40,41 +42,6 @@ std::uint64_t fnv1a(const std::string& bytes) {
 
 [[noreturn]] void fail(const std::string& what, const std::string& path) {
   throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
-}
-
-// Flushes directory metadata so a rename/creation survives a crash. Best
-// effort: some filesystems reject O_DIRECTORY fsync, which is not fatal.
-void fsync_dir(const std::string& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return;
-  ::fsync(fd);
-  ::close(fd);
-}
-
-// Crash-safe whole-file write: temp file in the same directory, fsync,
-// rename over the final name, fsync the directory.
-void write_durable(const std::string& dir, const std::string& name,
-                   const std::string& content) {
-  const std::string tmp = dir + "/." + name + ".tmp";
-  const std::string path = dir + "/" + name;
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) fail("cannot create", tmp);
-  std::size_t off = 0;
-  while (off < content.size()) {
-    ssize_t n = ::write(fd, content.data() + off, content.size() - off);
-    if (n < 0) {
-      ::close(fd);
-      fail("cannot write", tmp);
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    fail("cannot fsync", tmp);
-  }
-  ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) fail("cannot rename", path);
-  fsync_dir(dir);
 }
 
 // Appends one line with a single write() so a crash tears at most the last
@@ -232,7 +199,7 @@ IndexEntry Archive::append(const RecordInputs& in) {
   // bytes, so re-appending an identical run only adds an index line (the
   // run *count* still matters to the drift time series).
   if (!fs::exists(records_dir_ + "/" + rec.id + ".json"))
-    write_durable(records_dir_, rec.id + ".json", rec.json + "\n");
+    util::write_file_durable(records_dir_, rec.id + ".json", rec.json + "\n");
   append_durable(index_path_, index_line(e));
   return e;
 }
@@ -283,9 +250,13 @@ IndexEntry Archive::resolve(const std::string& ref) const {
   const bool numeric =
       ref.find_first_not_of("0123456789") == std::string::npos;
   if (numeric) {
-    const std::uint64_t seq = std::stoull(ref);
-    for (const auto& e : entries)
-      if (e.seq == seq) return e;
+    // parse_u64 treats overflow as a failed parse, so an absurdly long
+    // all-digit ref reports "no archived run" instead of throwing
+    // std::out_of_range out of the CLI.
+    const std::optional<std::uint64_t> seq = util::parse_u64(ref);
+    if (seq)
+      for (const auto& e : entries)
+        if (e.seq == *seq) return e;
     throw std::runtime_error("no archived run with seq " + ref);
   }
   if (ref.size() < 4)

@@ -1,0 +1,201 @@
+// Bounded, coalescing, exception-memoizing memo — the slot mechanism that
+// SimCache pioneered for simulation results, generalized so any layer can
+// memoize any value under the same canonical-key discipline (stash_serve
+// memoizes whole response documents with it).
+//
+// Semantics:
+//   - Exactly-once: the first requester of a key installs an in-flight slot
+//     and computes outside the lock; concurrent requesters of the same key
+//     block on the slot (counted as `coalesced`, and as hits) instead of
+//     recomputing.
+//   - Exceptions memoize like values: deterministic functions fail
+//     deterministically, so every current and future caller rethrows the
+//     first failure without re-running it.
+//   - Bounded: `Limits{max_entries, max_bytes}` (0 = unbounded) cap the
+//     COMPLETED entries. Eviction is strict LRU over completed slots; a hit
+//     refreshes recency, an in-flight slot is never evicted (someone is
+//     waiting on it), and a key that was evicted and re-requested is a miss
+//     again — the hit/miss counters always describe what actually ran.
+//   - Byte accounting comes from the caller-supplied sizer (plus the
+//     canonical key string); with no sizer every value weighs its sizeof.
+//
+// Waiters hold a shared_ptr to their slot, so eviction never invalidates a
+// blocked reader; values are returned by copy for the same reason (there is
+// no stable interior pointer once entries can be evicted).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "exec/scenario_key.h"
+
+namespace stash::exec {
+
+template <typename V>
+class LruMemo {
+ public:
+  struct Limits {
+    std::size_t max_entries = 0;  // 0 = unbounded
+    std::size_t max_bytes = 0;    // 0 = unbounded
+  };
+  using Sizer = std::function<std::size_t(const V&)>;
+
+  explicit LruMemo(Limits limits = {}, Sizer sizer = {})
+      : limits_(limits), sizer_(std::move(sizer)) {}
+  LruMemo(const LruMemo&) = delete;
+  LruMemo& operator=(const LruMemo&) = delete;
+
+  // Returns the memoized value for `key`, running `fn` exactly once among
+  // concurrent callers to produce it. If `fn` throws, the exception is
+  // memoized and rethrown to every current and future caller of the key
+  // (until the slot is evicted like any other entry).
+  V get_or_run(const ScenarioKey& key, const std::function<V()>& fn) {
+    std::shared_ptr<Slot> slot;
+    bool owner = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = map_.find(key);
+      if (it == map_.end()) {
+        slot = std::make_shared<Slot>();
+        slot->key = key;
+        map_.emplace(key, slot);
+        owner = true;
+        ++misses_;
+      } else {
+        slot = it->second;
+        ++hits_;
+        if (slot->in_lru) {
+          // Completed entry: a hit refreshes LRU recency.
+          lru_.splice(lru_.begin(), lru_, slot->lru_it);
+        } else {
+          // Still in flight: this caller coalesces onto the running one.
+          ++coalesced_;
+        }
+      }
+    }
+    if (owner) {
+      V value{};
+      std::exception_ptr error;
+      try {
+        value = fn();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(slot->mu);
+        slot->value = std::move(value);
+        slot->error = error;
+        slot->done = true;
+      }
+      slot->cv.notify_all();
+      publish(slot);
+    }
+    std::unique_lock<std::mutex> lock(slot->mu);
+    slot->cv.wait(lock, [&] { return slot->done; });
+    if (slot->error) std::rethrow_exception(slot->error);
+    return slot->value;
+  }
+
+  // Peek without computing or perturbing recency; nullopt when absent,
+  // still in flight, or memoized as an error.
+  std::optional<V> find(const ScenarioKey& key) const {
+    std::shared_ptr<Slot> slot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = map_.find(key);
+      if (it == map_.end()) return std::nullopt;
+      slot = it->second;
+    }
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (!slot->done || slot->error) return std::nullopt;
+    return slot->value;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+  std::size_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
+  std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  std::uint64_t coalesced() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return coalesced_;
+  }
+  std::uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
+
+ private:
+  struct Slot {
+    ScenarioKey key;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    V value{};
+    std::exception_ptr error;
+    // LRU bookkeeping, guarded by the memo's mu_ (not the slot's): a slot
+    // enters the list only once complete, so in-flight slots are unevictable.
+    bool in_lru = false;
+    std::size_t charged_bytes = 0;
+    typename std::list<std::shared_ptr<Slot>>::iterator lru_it;
+  };
+
+  // Moves a freshly completed slot into the LRU list and enforces the caps.
+  // Called after the slot's cv fired, so evicting even this slot is safe —
+  // every waiter holds its own shared_ptr.
+  void publish(const std::shared_ptr<Slot>& slot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t value_bytes = sizeof(V);
+    {
+      std::lock_guard<std::mutex> slock(slot->mu);
+      if (!slot->error && sizer_) value_bytes = sizer_(slot->value);
+    }
+    slot->charged_bytes = slot->key.canonical.size() + value_bytes;
+    lru_.push_front(slot);
+    slot->lru_it = lru_.begin();
+    slot->in_lru = true;
+    bytes_ += slot->charged_bytes;
+    while (!lru_.empty() &&
+           ((limits_.max_entries != 0 && lru_.size() > limits_.max_entries) ||
+            (limits_.max_bytes != 0 && bytes_ > limits_.max_bytes))) {
+      std::shared_ptr<Slot> victim = lru_.back();
+      lru_.pop_back();
+      victim->in_lru = false;
+      bytes_ -= victim->charged_bytes;
+      map_.erase(victim->key);
+      ++evictions_;
+    }
+  }
+
+  Limits limits_;
+  Sizer sizer_;
+  mutable std::mutex mu_;
+  std::unordered_map<ScenarioKey, std::shared_ptr<Slot>, ScenarioKeyHash> map_;
+  std::list<std::shared_ptr<Slot>> lru_;  // front = most recent, back = victim
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace stash::exec

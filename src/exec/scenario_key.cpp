@@ -1,0 +1,36 @@
+#include "exec/scenario_key.h"
+
+#include "util/json.h"
+
+namespace stash::exec {
+
+void KeyBuilder::fold(const std::string& bytes) {
+  for (unsigned char c : bytes) {
+    hash_ ^= static_cast<std::uint64_t>(c);
+    hash_ *= kFnvPrime;
+  }
+  canonical_ += bytes;
+}
+
+KeyBuilder& KeyBuilder::add(const std::string& tag, const std::string& v) {
+  // Length-prefixing makes the encoding injective: ("ab","c") can never
+  // collide with ("a","bc") under any tag/value split.
+  fold(tag + ":s" + std::to_string(v.size()) + ":" + v + ";");
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(const std::string& tag, double v) {
+  // Shortest round-trip form: distinct doubles get distinct encodings and
+  // equal doubles always encode identically (json_double maps non-finite
+  // values to "null", which is fine for a key — NaN != NaN never matters
+  // here because config validation rejects non-finite fields).
+  fold(tag + ":d" + util::json_double(v) + ";");
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(const std::string& tag, std::int64_t v) {
+  fold(tag + ":i" + std::to_string(v) + ";");
+  return *this;
+}
+
+}  // namespace stash::exec

@@ -1,0 +1,61 @@
+// Canonical content-addressed keys: the hash family every memoizing layer
+// shares (SimCache scenarios, archive record/group ids, stash_serve request
+// coalescing).
+//
+// A KeyBuilder folds tagged fields (with shortest-round-trip double
+// encoding so 0.1 and 0.1000...1 never alias) into a canonical byte string
+// and its FNV-1a 64-bit hash. Maps key by the hash but compare the
+// canonical string on collision, so a 64-bit collision can never serve the
+// wrong value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace stash::exec {
+
+// Incremental FNV-1a over a tagged canonical encoding. Field order is part
+// of the content; every add() also appends to the canonical string used to
+// disambiguate hash collisions.
+class KeyBuilder {
+ public:
+  static constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+  static constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+  KeyBuilder& add(const std::string& tag, const std::string& v);
+  KeyBuilder& add(const std::string& tag, const char* v) {
+    return add(tag, std::string(v));
+  }
+  KeyBuilder& add(const std::string& tag, double v);
+  KeyBuilder& add(const std::string& tag, std::int64_t v);
+  KeyBuilder& add(const std::string& tag, int v) {
+    return add(tag, static_cast<std::int64_t>(v));
+  }
+  KeyBuilder& add(const std::string& tag, bool v) {
+    return add(tag, static_cast<std::int64_t>(v ? 1 : 0));
+  }
+
+  std::uint64_t hash() const { return hash_; }
+  const std::string& canonical() const { return canonical_; }
+
+ private:
+  void fold(const std::string& bytes);
+  std::uint64_t hash_ = kFnvOffset;
+  std::string canonical_;
+};
+
+struct ScenarioKey {
+  std::uint64_t hash = 0;
+  std::string canonical;
+
+  bool operator==(const ScenarioKey& o) const { return canonical == o.canonical; }
+};
+
+struct ScenarioKeyHash {
+  std::size_t operator()(const ScenarioKey& k) const {
+    return static_cast<std::size_t>(k.hash);
+  }
+};
+
+}  // namespace stash::exec

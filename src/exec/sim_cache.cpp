@@ -1,39 +1,35 @@
 #include "exec/sim_cache.h"
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <utility>
 
+#include "util/fsio.h"
 #include "util/json.h"
+#include "util/log.h"
 
 namespace stash::exec {
 
-void KeyBuilder::fold(const std::string& bytes) {
-  for (unsigned char c : bytes) {
-    hash_ ^= static_cast<std::uint64_t>(c);
-    hash_ *= kFnvPrime;
+namespace {
+
+std::string hex64(std::uint64_t h) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kDigits[h & 0xf];
+    h >>= 4;
   }
-  canonical_ += bytes;
+  return s;
 }
 
-KeyBuilder& KeyBuilder::add(const std::string& tag, const std::string& v) {
-  // Length-prefixing makes the encoding injective: ("ab","c") can never
-  // collide with ("a","bc") under any tag/value split.
-  fold(tag + ":s" + std::to_string(v.size()) + ":" + v + ";");
-  return *this;
+// Approximate in-memory weight of a cached result, for the byte cap.
+std::size_t train_result_bytes(const ddl::TrainResult& r) {
+  return sizeof(ddl::TrainResult) +
+         r.recoveries.capacity() * sizeof(ddl::RecoveryRecord);
 }
 
-KeyBuilder& KeyBuilder::add(const std::string& tag, double v) {
-  // Shortest round-trip form: distinct doubles get distinct encodings and
-  // equal doubles always encode identically (json_double maps non-finite
-  // values to "null", which is fine for a key — NaN != NaN never matters
-  // here because config validation rejects non-finite fields).
-  fold(tag + ":d" + util::json_double(v) + ";");
-  return *this;
-}
-
-KeyBuilder& KeyBuilder::add(const std::string& tag, std::int64_t v) {
-  fold(tag + ":i" + std::to_string(v) + ";");
-  return *this;
-}
+}  // namespace
 
 bool cacheable(const ddl::TrainConfig& cfg) {
   return cfg.trace == nullptr && cfg.metrics == nullptr &&
@@ -95,70 +91,157 @@ ScenarioKey scenario_key(const dnn::Model& model, const dnn::Dataset& dataset,
   return ScenarioKey{b.hash(), b.canonical()};
 }
 
+std::string train_result_to_json(const ddl::TrainResult& r) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("measured_iterations").value(r.measured_iterations);
+  w.key("window_time").value(r.window_time);
+  w.key("per_iteration").value(r.per_iteration);
+  w.key("data_wait").value(r.data_wait);
+  w.key("h2d_time").value(r.h2d_time);
+  w.key("compute_time").value(r.compute_time);
+  w.key("comm_tail").value(r.comm_tail);
+  w.key("gpus_used").value(r.gpus_used);
+  w.key("fault_stall").value(r.fault_stall);
+  w.key("checkpoint_seconds").value(r.checkpoint_seconds);
+  w.key("checkpoints_written").value(r.checkpoints_written);
+  w.key("gpus_at_end").value(r.gpus_at_end);
+  w.key("recoveries").begin_array();
+  for (const auto& rec : r.recoveries) {
+    w.begin_object();
+    w.key("time_s").value(rec.time_s);
+    w.key("at_iteration").value(rec.at_iteration);
+    w.key("policy").value(
+        rec.policy == ddl::RecoveryPolicy::kCheckpointRestart ? "restart"
+                                                              : "shrink");
+    w.key("workers_before").value(rec.workers_before);
+    w.key("workers_after").value(rec.workers_after);
+    w.key("wait_seconds").value(rec.wait_seconds);
+    w.key("rework_iterations").value(rec.rework_iterations);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::optional<ddl::TrainResult> train_result_from_json(const std::string& json) {
+  util::JsonValue doc;
+  try {
+    doc = util::json_parse(json);
+  } catch (const util::JsonParseError&) {
+    return std::nullopt;
+  }
+  if (!doc.is_object() || !doc.has("per_iteration") || !doc.has("gpus_used"))
+    return std::nullopt;
+  ddl::TrainResult r;
+  r.measured_iterations =
+      static_cast<int>(doc.get("measured_iterations").as_int());
+  r.window_time = doc.get("window_time").as_double();
+  r.per_iteration = doc.get("per_iteration").as_double();
+  r.data_wait = doc.get("data_wait").as_double();
+  r.h2d_time = doc.get("h2d_time").as_double();
+  r.compute_time = doc.get("compute_time").as_double();
+  r.comm_tail = doc.get("comm_tail").as_double();
+  r.gpus_used = static_cast<int>(doc.get("gpus_used").as_int());
+  r.fault_stall = doc.get("fault_stall").as_double();
+  r.checkpoint_seconds = doc.get("checkpoint_seconds").as_double();
+  r.checkpoints_written =
+      static_cast<int>(doc.get("checkpoints_written").as_int());
+  r.gpus_at_end = static_cast<int>(doc.get("gpus_at_end").as_int());
+  for (const auto& item : doc.get("recoveries").items()) {
+    if (!item.is_object()) return std::nullopt;
+    ddl::RecoveryRecord rec;
+    rec.time_s = item.get("time_s").as_double();
+    rec.at_iteration = static_cast<int>(item.get("at_iteration").as_int());
+    rec.policy = item.get("policy").as_string() == "shrink"
+                     ? ddl::RecoveryPolicy::kShrink
+                     : ddl::RecoveryPolicy::kCheckpointRestart;
+    rec.workers_before = static_cast<int>(item.get("workers_before").as_int());
+    rec.workers_after = static_cast<int>(item.get("workers_after").as_int());
+    rec.wait_seconds = item.get("wait_seconds").as_double();
+    rec.rework_iterations =
+        static_cast<int>(item.get("rework_iterations").as_int());
+    r.recoveries.push_back(rec);
+  }
+  return r;
+}
+
+SimCache::SimCache(SimCacheConfig config)
+    : config_(std::move(config)),
+      memo_(LruMemo<ddl::TrainResult>::Limits{config_.max_entries,
+                                              config_.max_bytes},
+            &train_result_bytes) {
+  if (!config_.persist_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.persist_dir, ec);
+    if (ec)
+      util::log_warn("sim cache: cannot create persist dir ",
+                     config_.persist_dir, ": ", ec.message(),
+                     " (persistence disabled)");
+  }
+}
+
+std::string SimCache::persist_path(const ScenarioKey& key) const {
+  return config_.persist_dir + "/" + hex64(key.hash) + ".json";
+}
+
+std::optional<ddl::TrainResult> SimCache::load_persisted(
+    const ScenarioKey& key) const {
+  if (config_.persist_dir.empty()) return std::nullopt;
+  std::ifstream is(persist_path(key), std::ios::binary);
+  if (!is) return std::nullopt;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  util::JsonValue doc;
+  try {
+    doc = util::json_parse(ss.str());
+  } catch (const util::JsonParseError&) {
+    return std::nullopt;  // torn or foreign file: just a miss
+  }
+  if (!doc.is_object() ||
+      doc.get("schema").as_string() != "stash.sim_result/1" ||
+      doc.get("key").as_string() != key.canonical)
+    return std::nullopt;  // hash collision or schema drift: a miss, never a lie
+  const util::JsonValue* result = doc.find("result");
+  if (result == nullptr) return std::nullopt;
+  return train_result_from_json(result->dump());
+}
+
+void SimCache::persist(const ScenarioKey& key,
+                       const ddl::TrainResult& result) const {
+  if (config_.persist_dir.empty()) return;
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("stash.sim_result/1");
+  w.key("key").value(key.canonical);
+  w.key("result").raw(train_result_to_json(result));
+  w.end_object();
+  try {
+    util::write_file_durable(config_.persist_dir, hex64(key.hash) + ".json",
+                             w.str() + "\n");
+  } catch (const std::exception& e) {
+    // Persistence is an accelerator, not a correctness surface: losing a
+    // write only costs a future re-simulation.
+    util::log_warn("sim cache: persist failed: ", e.what());
+  }
+}
+
 ddl::TrainResult SimCache::get_or_run(
     const ScenarioKey& key, const std::function<ddl::TrainResult()>& fn) {
-  std::shared_ptr<Slot> slot;
-  bool owner = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = map_.find(key);
-    if (it == map_.end()) {
-      slot = std::make_shared<Slot>();
-      map_.emplace(key, slot);
-      owner = true;
-      ++misses_;
-    } else {
-      slot = it->second;
-      ++hits_;
+  return memo_.get_or_run(key, [&]() -> ddl::TrainResult {
+    if (std::optional<ddl::TrainResult> loaded = load_persisted(key)) {
+      disk_hits_.fetch_add(1, std::memory_order_relaxed);
+      return *loaded;
     }
-  }
-  if (owner) {
-    ddl::TrainResult result;
-    std::exception_ptr error;
-    try {
-      result = fn();
-    } catch (...) {
-      error = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> lock(slot->mu);
-      slot->result = std::move(result);
-      slot->error = error;
-      slot->done = true;
-    }
-    slot->cv.notify_all();
-  }
-  std::unique_lock<std::mutex> lock(slot->mu);
-  slot->cv.wait(lock, [&] { return slot->done; });
-  if (slot->error) std::rethrow_exception(slot->error);
-  return slot->result;
+    ddl::TrainResult result = fn();
+    persist(key, result);
+    return result;
+  });
 }
 
-const ddl::TrainResult* SimCache::find(const ScenarioKey& key) const {
-  std::shared_ptr<Slot> slot;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = map_.find(key);
-    if (it == map_.end()) return nullptr;
-    slot = it->second;
-  }
-  std::lock_guard<std::mutex> lock(slot->mu);
-  return slot->done && !slot->error ? &slot->result : nullptr;
-}
-
-std::size_t SimCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
-}
-
-std::uint64_t SimCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
-}
-
-std::uint64_t SimCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
+std::optional<ddl::TrainResult> SimCache::find(const ScenarioKey& key) const {
+  return memo_.find(key);
 }
 
 }  // namespace stash::exec

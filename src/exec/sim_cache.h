@@ -1,23 +1,33 @@
-// Content-addressed, thread-safe memo of simulation results.
+// Content-addressed, thread-safe, bounded memo of simulation results.
 //
-// Every figure bench, the five profiler steps, recommend's candidate grid
-// and the batch sweeps ultimately call the same pure function: (ClusterSpec,
-// TrainConfig, step, seed) -> ddl::TrainResult. The SimCache makes that
-// function execute exactly once per distinct scenario process-wide, no
-// matter how many layers ask for it or how many threads ask concurrently.
+// Every figure bench, the five profiler steps, recommend's candidate grid,
+// the batch sweeps and every stash_serve query ultimately call the same
+// pure function: (ClusterSpec, TrainConfig, step, seed) -> ddl::TrainResult.
+// The SimCache makes that function execute exactly once per distinct
+// scenario process-wide, no matter how many layers ask for it or how many
+// threads ask concurrently.
 //
-// Keys are content-addressed: a KeyBuilder folds every semantically
-// significant field (tagged, with shortest-round-trip double encoding so
-// 0.1 and 0.1000...1 never alias) into a canonical byte string and its
-// FNV-1a 64-bit hash. The map is keyed by the hash but compares the
-// canonical string on collision, so a 64-bit collision can never serve the
-// wrong result.
+// Keys are content-addressed (exec/scenario_key.h): a KeyBuilder folds
+// every semantically significant field into a canonical byte string and its
+// FNV-1a 64-bit hash; the map compares the canonical string on collision,
+// so a 64-bit collision can never serve the wrong result.
 //
-// Exactly-once under concurrency: the first requester of a key installs an
-// in-flight slot and computes outside the lock; later requesters block on
-// the slot's condition variable. A scenario that throws (ModelDoesNotFit
-// is routine) memoizes its exception — deterministic functions fail
-// deterministically, so re-running could only waste time.
+// Exactly-once under concurrency, bounded residency: the slot mechanism
+// (first requester computes, later requesters block on the slot) now lives
+// in the generic exec::LruMemo, which also bounds the cache — a
+// SimCacheConfig caps entries and bytes, eviction is strict LRU over
+// completed scenarios, a hit refreshes recency, and an evicted-then-
+// re-requested key counts as a miss because the simulation really re-runs.
+// A scenario that throws (ModelDoesNotFit is routine) memoizes its
+// exception in memory only — deterministic functions fail deterministically,
+// so re-running could only waste time — and is never persisted.
+//
+// Persistence: with `persist_dir` set, every completed TrainResult is also
+// written to disk as a stash.sim_result/1 document named by the key hash
+// (temp+fsync+rename, the archive's crash-safety discipline), and a miss
+// consults the directory before simulating. This is what lets a restarted
+// stash_serve daemon answer a previously seen profile query without running
+// a single simulation.
 //
 // What must NOT go through the cache: runs with attached telemetry sinks
 // (trace/metrics) or armed fault injectors. Their value is the side
@@ -25,65 +35,20 @@
 // gate on that; SimCache itself is policy-free.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <exception>
 #include <functional>
-#include <memory>
-#include <mutex>
+#include <optional>
 #include <string>
-#include <unordered_map>
-#include <vector>
 
 #include "ddl/train_config.h"
 #include "dnn/dataset.h"
 #include "dnn/model.h"
+#include "exec/lru_memo.h"
+#include "exec/scenario_key.h"
 #include "stash/cluster_spec.h"
 
 namespace stash::exec {
-
-// Incremental FNV-1a over a tagged canonical encoding. Field order is part
-// of the content; every add() also appends to the canonical string used to
-// disambiguate hash collisions.
-class KeyBuilder {
- public:
-  static constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-  static constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-  KeyBuilder& add(const std::string& tag, const std::string& v);
-  KeyBuilder& add(const std::string& tag, const char* v) {
-    return add(tag, std::string(v));
-  }
-  KeyBuilder& add(const std::string& tag, double v);
-  KeyBuilder& add(const std::string& tag, std::int64_t v);
-  KeyBuilder& add(const std::string& tag, int v) {
-    return add(tag, static_cast<std::int64_t>(v));
-  }
-  KeyBuilder& add(const std::string& tag, bool v) {
-    return add(tag, static_cast<std::int64_t>(v ? 1 : 0));
-  }
-
-  std::uint64_t hash() const { return hash_; }
-  const std::string& canonical() const { return canonical_; }
-
- private:
-  void fold(const std::string& bytes);
-  std::uint64_t hash_ = kFnvOffset;
-  std::string canonical_;
-};
-
-struct ScenarioKey {
-  std::uint64_t hash = 0;
-  std::string canonical;
-
-  bool operator==(const ScenarioKey& o) const { return canonical == o.canonical; }
-};
-
-struct ScenarioKeyHash {
-  std::size_t operator()(const ScenarioKey& k) const {
-    return static_cast<std::size_t>(k.hash);
-  }
-};
 
 // Canonical key of one simulated training scenario. `seed` namespaces runs
 // that would otherwise collide (e.g. spot-replay re-draws); the profiler's
@@ -98,40 +63,63 @@ ScenarioKey scenario_key(const dnn::Model& model, const dnn::Dataset& dataset,
 // sinks to populate and no live fault state to consult.
 bool cacheable(const ddl::TrainConfig& cfg);
 
+// TrainResult <-> stash.sim_result/1 JSON, the persistence format (and a
+// handy deterministic serialization for tests). from_json returns nullopt
+// on any structural mismatch instead of throwing — a corrupt or
+// foreign-schema cache file is simply a miss.
+std::string train_result_to_json(const ddl::TrainResult& r);
+std::optional<ddl::TrainResult> train_result_from_json(const std::string& json);
+
+struct SimCacheConfig {
+  std::size_t max_entries = 0;  // completed scenarios kept in memory; 0 = all
+  std::size_t max_bytes = 0;    // approximate in-memory bytes cap; 0 = none
+  std::string persist_dir;      // on-disk result store; empty = none
+};
+
 class SimCache {
  public:
-  SimCache() = default;
+  explicit SimCache(SimCacheConfig config = {});
   SimCache(const SimCache&) = delete;
   SimCache& operator=(const SimCache&) = delete;
 
-  // Returns the memoized result for `key`, running `fn` exactly once
-  // process-wide to produce it. Concurrent callers of the same key block
-  // until the first finishes. If `fn` throws, the exception is memoized
+  // Returns the memoized result for `key`, running `fn` exactly once among
+  // concurrent callers to produce it. Lookup order: in-memory slot, then
+  // the persist directory (a disk hit repopulates memory without running
+  // `fn`), then `fn`. If `fn` throws, the exception is memoized in memory
   // and rethrown to every current and future caller of the key.
   ddl::TrainResult get_or_run(const ScenarioKey& key,
                               const std::function<ddl::TrainResult()>& fn);
 
-  // Peek without computing; nullptr when absent or still in flight.
-  // (Returned pointer is stable: slots are never evicted.)
-  const ddl::TrainResult* find(const ScenarioKey& key) const;
+  // Peek without computing; nullopt when absent, in flight, or memoized as
+  // an error. Returns a copy — entries can be evicted at any moment, so
+  // there is no stable interior pointer to hand out.
+  std::optional<ddl::TrainResult> find(const ScenarioKey& key) const;
 
-  std::size_t size() const;
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
+  const SimCacheConfig& config() const { return config_; }
+
+  std::size_t size() const { return memo_.size(); }
+  std::size_t bytes() const { return memo_.bytes(); }
+  // Counter contract (pinned by tests): a hit is a request served from a
+  // live in-memory slot — completed (refreshes LRU recency) or in-flight
+  // (also counted in `coalesced`). A miss is a request that had to install
+  // a fresh slot; an evicted-then-re-requested key is therefore a miss, and
+  // hits+misses always equals total get_or_run calls. `disk_hits` counts
+  // the misses that were answered from the persist directory instead of a
+  // simulation.
+  std::uint64_t hits() const { return memo_.hits(); }
+  std::uint64_t misses() const { return memo_.misses(); }
+  std::uint64_t coalesced() const { return memo_.coalesced(); }
+  std::uint64_t evictions() const { return memo_.evictions(); }
+  std::uint64_t disk_hits() const { return disk_hits_.load(); }
 
  private:
-  struct Slot {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    ddl::TrainResult result;
-    std::exception_ptr error;
-  };
+  std::optional<ddl::TrainResult> load_persisted(const ScenarioKey& key) const;
+  void persist(const ScenarioKey& key, const ddl::TrainResult& result) const;
+  std::string persist_path(const ScenarioKey& key) const;
 
-  mutable std::mutex mu_;
-  std::unordered_map<ScenarioKey, std::shared_ptr<Slot>, ScenarioKeyHash> map_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  SimCacheConfig config_;
+  LruMemo<ddl::TrainResult> memo_;
+  std::atomic<std::uint64_t> disk_hits_{0};
 };
 
 }  // namespace stash::exec

@@ -1,0 +1,90 @@
+#include "serve/client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/protocol.h"
+
+namespace stash::serve {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("cannot create socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("cannot connect to " + path);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("cannot create socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("cannot connect to 127.0.0.1:" + std::to_string(port));
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+
+Client& Client::operator=(Client&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(o.fd_, -1);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Client::roundtrip(const std::string& request_json) {
+  if (fd_ < 0) throw std::runtime_error("client not connected");
+  if (!write_frame(fd_, request_json)) fail_errno("cannot send request");
+  std::string payload;
+  std::string err;
+  switch (read_frame(fd_, payload, err)) {
+    case ReadStatus::kOk:
+      return payload;
+    case ReadStatus::kClosed:
+      throw std::runtime_error("server closed the connection");
+    case ReadStatus::kError:
+      throw std::runtime_error("cannot read response: " + err);
+  }
+  throw std::runtime_error("unreachable");
+}
+
+}  // namespace stash::serve

@@ -1,0 +1,34 @@
+// Minimal blocking client for the stash_serve protocol, shared by the
+// `stash_cli query` subcommand and the serve tests. One connection, one
+// outstanding request at a time; the daemon's coalescing makes concurrency
+// a multi-connection (or multi-client) affair, not a pipelining one.
+#pragma once
+
+#include <string>
+
+namespace stash::serve {
+
+class Client {
+ public:
+  // Both throw std::runtime_error (with errno text) on connection failure.
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(int port);  // 127.0.0.1 only, like the daemon
+
+  Client(Client&& o) noexcept;
+  Client& operator=(Client&& o) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  // Sends one framed request payload and blocks for the framed response.
+  // Throws std::runtime_error on any I/O or framing failure.
+  std::string roundtrip(const std::string& request_json);
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace stash::serve

@@ -1,0 +1,174 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace stash::serve {
+
+namespace {
+
+// Reads exactly n bytes; false on EOF or error (errno preserved).
+bool read_exact(int fd, char* buf, std::size_t n, bool& eof) {
+  std::size_t off = 0;
+  eof = false;
+  while (off < n) {
+    ssize_t r = ::recv(fd, buf + off, n - off, 0);
+    if (r == 0) {
+      eof = true;
+      return false;
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+ReadStatus read_frame(int fd, std::string& payload, std::string& error) {
+  unsigned char hdr[4];
+  bool eof = false;
+  if (!read_exact(fd, reinterpret_cast<char*>(hdr), 4, eof)) {
+    if (eof) {
+      error.clear();
+      return ReadStatus::kClosed;
+    }
+    error = std::strerror(errno);
+    return ReadStatus::kError;
+  }
+  const std::uint32_t len = (static_cast<std::uint32_t>(hdr[0]) << 24) |
+                            (static_cast<std::uint32_t>(hdr[1]) << 16) |
+                            (static_cast<std::uint32_t>(hdr[2]) << 8) |
+                            static_cast<std::uint32_t>(hdr[3]);
+  if (len > kMaxFrameBytes) {
+    error = "frame of " + std::to_string(len) + " bytes exceeds limit";
+    return ReadStatus::kError;
+  }
+  payload.resize(len);
+  if (len > 0 && !read_exact(fd, payload.data(), len, eof)) {
+    error = eof ? "connection closed mid-frame" : std::strerror(errno);
+    return ReadStatus::kError;
+  }
+  return ReadStatus::kOk;
+}
+
+bool write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::string framed;
+  framed.reserve(4 + payload.size());
+  framed.push_back(static_cast<char>((len >> 24) & 0xff));
+  framed.push_back(static_cast<char>((len >> 16) & 0xff));
+  framed.push_back(static_cast<char>((len >> 8) & 0xff));
+  framed.push_back(static_cast<char>(len & 0xff));
+  framed += payload;
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t w = ::send(fd, framed.data() + off, framed.size() - off,
+                       MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool parse_request(const std::string& payload, Request& out,
+                   std::string& error) {
+  util::JsonValue doc;
+  try {
+    doc = util::json_parse(payload);
+  } catch (const util::JsonParseError& e) {
+    error = std::string("malformed JSON: ") + e.what();
+    return false;
+  }
+  if (!doc.is_object()) {
+    error = "request must be a JSON object";
+    return false;
+  }
+  if (doc.get("schema").as_string() != "stash.serve_request/1") {
+    error = "unknown schema (expected stash.serve_request/1)";
+    return false;
+  }
+  const util::JsonValue* command = doc.find("command");
+  if (command == nullptr || !command->is_string() ||
+      command->as_string().empty()) {
+    error = "missing command";
+    return false;
+  }
+  out.command = command->as_string();
+  out.id = doc.get("id").as_string();
+  const util::JsonValue* params = doc.find("params");
+  if (params != nullptr && !params->is_object()) {
+    error = "params must be an object";
+    return false;
+  }
+  out.params = params != nullptr ? *params : util::JsonValue::make_object({});
+  return true;
+}
+
+exec::ScenarioKey request_key(const Request& req) {
+  exec::KeyBuilder b;
+  b.add("v", "stash.serve_key/1");
+  b.add("command", req.command);
+  // Sorted members: {"a":1,"b":2} and {"b":2,"a":1} are the same query.
+  std::vector<std::pair<std::string, std::string>> members;
+  members.reserve(req.params.members().size());
+  for (const auto& [k, v] : req.params.members())
+    members.emplace_back(k, v.dump());
+  std::sort(members.begin(), members.end());
+  for (const auto& [k, v] : members) b.add(k, v);
+  return exec::ScenarioKey{b.hash(), b.canonical()};
+}
+
+namespace {
+
+void envelope_head(util::JsonWriter& w, const Request& req,
+                   const char* status) {
+  w.begin_object();
+  w.key("schema").value("stash.serve_response/1");
+  w.key("id").value(req.id);
+  w.key("command").value(req.command);
+  w.key("status").value(status);
+}
+
+}  // namespace
+
+std::string ok_response(const Request& req, const std::string& result_json,
+                        bool cached, double elapsed_ms) {
+  util::JsonWriter w;
+  envelope_head(w, req, "ok");
+  w.key("cached").value(cached);
+  w.key("elapsed_ms").value(elapsed_ms);
+  w.key("result").raw(result_json);
+  w.end_object();
+  return w.str();
+}
+
+std::string error_response(const Request& req, const std::string& message) {
+  util::JsonWriter w;
+  envelope_head(w, req, "error");
+  w.key("error").value(message);
+  w.end_object();
+  return w.str();
+}
+
+std::string overloaded_response(const Request& req) {
+  util::JsonWriter w;
+  envelope_head(w, req, "overloaded");
+  w.key("error").value("server at max in-flight requests, retry later");
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace stash::serve

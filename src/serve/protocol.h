@@ -1,0 +1,73 @@
+// Wire protocol of the stash_serve daemon.
+//
+// Transport framing: each message is a 4-byte big-endian payload length
+// followed by exactly that many bytes of UTF-8 JSON. Length-prefixing keeps
+// the reader trivial (no delimiter scanning, no partial-JSON buffering) and
+// makes oversized or garbage input rejectable before any parsing happens.
+//
+// Payloads are single JSON documents:
+//
+//   stash.serve_request/1
+//     {"schema":"stash.serve_request/1", "id":"<client tag, echoed back>",
+//      "command":"profile", "params":{"model":"resnet18", ...}}
+//
+//   stash.serve_response/1
+//     {"schema":"stash.serve_response/1", "id":"...", "command":"profile",
+//      "status":"ok"|"error"|"overloaded", "cached":true|false,
+//      "elapsed_ms":..., "result":{...}}       (ok)
+//      ..., "error":"message"}                 (error / overloaded)
+//
+// The result fragment of a pure command is exactly the document the CLI's
+// --json mode prints for the same query (stash.run_manifest-style report
+// JSON), so existing consumers parse both identically. The envelope fields
+// `cached` and `elapsed_ms` are per-request observations and deliberately
+// NOT part of the memoized fragment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "exec/scenario_key.h"
+#include "util/json.h"
+
+namespace stash::serve {
+
+// Frames larger than this are a protocol error, not a malloc attempt.
+inline constexpr std::uint32_t kMaxFrameBytes = 8u << 20;
+
+enum class ReadStatus {
+  kOk,        // one whole frame read into `payload`
+  kClosed,    // clean EOF at a frame boundary
+  kError,     // I/O failure, oversized frame, or truncated frame
+};
+
+// Blocking whole-frame read from a socket fd. Retries EINTR; a peer close
+// mid-frame is kError, at a frame boundary kClosed.
+ReadStatus read_frame(int fd, std::string& payload, std::string& error);
+
+// Blocking whole-frame write (MSG_NOSIGNAL: a vanished peer yields EPIPE,
+// never a SIGPIPE). Returns false on any send failure.
+bool write_frame(int fd, const std::string& payload);
+
+struct Request {
+  std::string id;        // client correlation tag, echoed verbatim
+  std::string command;   // "profile", "estimate", "attribute", "plan", ...
+  util::JsonValue params;  // object; empty object when absent
+};
+
+// Parses and validates a stash.serve_request/1 payload. Returns false with
+// a human-readable reason on schema or shape mismatch.
+bool parse_request(const std::string& payload, Request& out, std::string& error);
+
+// Canonical cache identity of a pure request: the command plus every param,
+// folded sorted by key so JSON member order never splits the cache. This is
+// the request-level KeyBuilder hash the daemon coalesces and memoizes on.
+exec::ScenarioKey request_key(const Request& req);
+
+// Response builders. `result_json` must be a serialized JSON value.
+std::string ok_response(const Request& req, const std::string& result_json,
+                        bool cached, double elapsed_ms);
+std::string error_response(const Request& req, const std::string& message);
+std::string overloaded_response(const Request& req);
+
+}  // namespace stash::serve

@@ -1,0 +1,534 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "dnn/zoo.h"
+#include "plan/planner.h"
+#include "stash/attribute.h"
+#include "stash/session.h"
+#include "telemetry/manifest.h"
+#include "util/json.h"
+
+namespace stash::serve {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+// --- request parameter helpers -------------------------------------------
+// Typed, validating extraction: an absent key yields the fallback, a key of
+// the wrong JSON type is the client's bug and throws (surfaced as a status
+// "error" response naming the field).
+
+std::string param_string(const util::JsonValue& params, const std::string& key,
+                         const std::string& fallback = "") {
+  const util::JsonValue* v = params.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_string())
+    throw std::invalid_argument("param '" + key + "' must be a string");
+  return v->as_string();
+}
+
+int param_int(const util::JsonValue& params, const std::string& key,
+              int fallback) {
+  const util::JsonValue* v = params.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number())
+    throw std::invalid_argument("param '" + key + "' must be a number");
+  return static_cast<int>(v->as_int());
+}
+
+double param_double(const util::JsonValue& params, const std::string& key,
+                    double fallback) {
+  const util::JsonValue* v = params.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number())
+    throw std::invalid_argument("param '" + key + "' must be a number");
+  return v->as_double();
+}
+
+bool param_bool(const util::JsonValue& params, const std::string& key,
+                bool fallback) {
+  const util::JsonValue* v = params.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_bool())
+    throw std::invalid_argument("param '" + key + "' must be a boolean");
+  return v->as_bool();
+}
+
+profiler::ClusterSpec spec_from(const util::JsonValue& params) {
+  profiler::ClusterSpec spec;
+  spec.instance = param_string(params, "instance", "p3.8xlarge");
+  spec.count = param_int(params, "count", 1);
+  if (param_bool(params, "full_quad", false))
+    spec.slice = cloud::CrossbarSlice::kFullQuad;
+  return spec;
+}
+
+std::string required_model(const util::JsonValue& params) {
+  std::string model = param_string(params, "model");
+  if (model.empty()) throw std::invalid_argument("param 'model' is required");
+  return model;
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      sim_cache_(exec::SimCacheConfig{options_.cache_entries,
+                                      options_.cache_bytes,
+                                      options_.persist_dir}),
+      exec_(options_.jobs < 1 ? 1 : options_.jobs, &sim_cache_),
+      responses_(exec::LruMemo<std::string>::Limits{options_.response_entries,
+                                                    0},
+                 [](const std::string& s) { return s.size(); }) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.exchange(true)) throw std::logic_error("server already started");
+  if (options_.unix_path.empty() && options_.tcp_port < 0)
+    throw std::runtime_error("no listener configured (need a socket path or port)");
+  if (::pipe(wake_pipe_) != 0) fail_errno("cannot create wake pipe");
+
+  if (!options_.unix_path.empty()) {
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0) fail_errno("cannot create unix socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path))
+      throw std::runtime_error("socket path too long: " + options_.unix_path);
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_path.c_str());  // stale socket from a dead daemon
+    if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+      fail_errno("cannot bind " + options_.unix_path);
+    if (::listen(unix_fd_, options_.accept_backlog) != 0)
+      fail_errno("cannot listen on " + options_.unix_path);
+  }
+
+  if (options_.tcp_port >= 0) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd_ < 0) fail_errno("cannot create tcp socket");
+    int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+      fail_errno("cannot bind 127.0.0.1:" + std::to_string(options_.tcp_port));
+    if (::listen(tcp_fd_, options_.accept_backlog) != 0)
+      fail_errno("cannot listen on port " + std::to_string(options_.tcp_port));
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    ::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+    tcp_port_bound_ = ntohs(bound.sin_port);
+  }
+
+  if (options_.metrics_port >= 0) {
+    metrics_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (metrics_fd_ < 0) fail_errno("cannot create metrics socket");
+    int one = 1;
+    ::setsockopt(metrics_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.metrics_port));
+    if (::bind(metrics_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+      fail_errno("cannot bind metrics port " +
+                 std::to_string(options_.metrics_port));
+    if (::listen(metrics_fd_, 16) != 0) fail_errno("cannot listen on metrics port");
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    ::getsockname(metrics_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+    metrics_port_bound_ = ntohs(bound.sin_port);
+    metrics_thread_ = std::thread([this] { metrics_loop(); });
+  }
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::request_shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void Server::wait_for_shutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+}
+
+void Server::stop() {
+  if (!running_.load()) return;
+  if (stopping_.exchange(true)) {
+    // A concurrent stop() is already draining; just wait for the threads it
+    // owns by returning — destructor-level double stop is a no-op.
+    return;
+  }
+  request_shutdown();
+
+  // Wake the poll()ers so they observe stopping_ and exit.
+  if (wake_pipe_[1] >= 0) {
+    char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+  close_fd(unix_fd_);
+  close_fd(tcp_fd_);
+  close_fd(metrics_fd_);
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+
+  // Half-close every live connection: the reader sees EOF after finishing
+  // (and answering) its current request — the graceful part of the drain.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, conn] : conns_)
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (;;) {
+    std::unique_ptr<Connection> victim;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conns_.empty()) break;
+      auto it = conns_.begin();
+      victim = std::move(it->second);
+      conns_.erase(it);
+    }
+    if (victim->thread.joinable()) victim->thread.join();
+    close_fd(victim->fd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    finished_.clear();
+  }
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+  running_.store(false);
+}
+
+void Server::reap_finished_locked() {
+  for (std::uint64_t id : finished_) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    if (it->second->thread.joinable()) it->second->thread.join();
+    close_fd(it->second->fd);
+    conns_.erase(it);
+  }
+  finished_.clear();
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd fds[3];
+    nfds_t nfds = 0;
+    int idx_unix = -1, idx_tcp = -1;
+    fds[nfds] = {wake_pipe_[0], POLLIN, 0};
+    ++nfds;
+    if (unix_fd_ >= 0) {
+      idx_unix = static_cast<int>(nfds);
+      fds[nfds] = {unix_fd_, POLLIN, 0};
+      ++nfds;
+    }
+    if (tcp_fd_ >= 0) {
+      idx_tcp = static_cast<int>(nfds);
+      fds[nfds] = {tcp_fd_, POLLIN, 0};
+      ++nfds;
+    }
+    int rc = ::poll(fds, nfds, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load()) break;
+    for (int idx : {idx_unix, idx_tcp}) {
+      if (idx < 0 || (fds[idx].revents & POLLIN) == 0) continue;
+      int conn = ::accept(fds[idx].fd, nullptr, nullptr);
+      if (conn < 0) continue;
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      reap_finished_locked();
+      const std::uint64_t id = next_conn_id_++;
+      auto c = std::make_unique<Connection>();
+      c->fd = conn;
+      c->thread = std::thread([this, id, conn] {
+        serve_connection(conn);
+        std::lock_guard<std::mutex> lock2(conns_mu_);
+        finished_.push_back(id);
+      });
+      conns_.emplace(id, std::move(c));
+    }
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string payload;
+  std::string err;
+  for (;;) {
+    ReadStatus rs = read_frame(fd, payload, err);
+    if (rs != ReadStatus::kOk) break;  // clean close or broken peer: done
+    if (!handle_request(fd, payload)) break;
+  }
+}
+
+bool Server::handle_request(int fd, const std::string& payload) {
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    metrics_.counter("serve/requests_total").increment();
+  }
+  Request req;
+  std::string parse_err;
+  if (!parse_request(payload, req, parse_err)) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    metrics_.counter("serve/errors_total").increment();
+    return write_frame(fd, error_response(Request{}, parse_err));
+  }
+
+  // Control commands: cheap, never memoized, never admission-controlled.
+  if (req.command == "ping")
+    return write_frame(fd, ok_response(req, "{\"pong\":true}", false, 0.0));
+  if (req.command == "stats")
+    return write_frame(fd, ok_response(req, stats_json(), false, 0.0));
+  if (req.command == "shutdown") {
+    write_frame(fd, ok_response(req, "{\"shutting_down\":true}", false, 0.0));
+    request_shutdown();
+    return false;  // close this connection; stop() drains the rest
+  }
+
+  // Pure commands: admission control, then the coalescing response memo.
+  const int inflight = in_flight_.fetch_add(1) + 1;
+  if (options_.max_inflight > 0 && inflight > options_.max_inflight) {
+    in_flight_.fetch_sub(1);
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    metrics_.counter("serve/overloaded_total").increment();
+    return write_frame(fd, overloaded_response(req));
+  }
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    metrics_.gauge("serve/in_flight", /*volatile_metric=*/true)
+        .set(static_cast<double>(inflight));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string response;
+  bool ok = true;
+  try {
+    bool computed = false;
+    std::string result = responses_.get_or_run(request_key(req), [&] {
+      computed = true;
+      return run_command(req);
+    });
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    response = ok_response(req, result, /*cached=*/!computed, elapsed_ms);
+  } catch (const std::exception& e) {
+    response = error_response(req, e.what());
+    ok = false;
+  }
+  in_flight_.fetch_sub(1);
+  {
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    metrics_.histogram("serve/latency_ms").observe(elapsed_ms);
+    metrics_.counter(ok ? "serve/ok_total" : "serve/errors_total").increment();
+  }
+  return write_frame(fd, response);
+}
+
+std::string Server::run_command(const Request& req) {
+  const util::JsonValue& p = req.params;
+
+  if (req.command == "sleep") {
+    if (!options_.enable_test_commands)
+      throw std::invalid_argument("unknown command 'sleep'");
+    const int ms = param_int(p, "ms", 10);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return "{\"slept_ms\":" + std::to_string(ms) + "}";
+  }
+
+  if (req.command == "profile" || req.command == "stalls") {
+    const std::string model = required_model(p);
+    const profiler::ClusterSpec spec = spec_from(p);
+    const int batch = param_int(p, "batch", 32);
+    profiler::ProfileOptions opt;
+    opt.exec = &exec_;
+    opt.prefetch_depth = param_int(p, "prefetch", opt.prefetch_depth);
+    opt.loader_workers_per_gpu =
+        param_int(p, "loader_workers", opt.loader_workers_per_gpu);
+    profiler::StashProfiler prof(dnn::make_zoo_model(model),
+                                 dnn::dataset_for(model), opt);
+    return telemetry::to_json(prof.profile(spec, batch));
+  }
+
+  if (req.command == "estimate") {
+    const std::string model = required_model(p);
+    const profiler::ClusterSpec spec = spec_from(p);
+    const int batch = param_int(p, "batch", 32);
+    const int epochs = param_int(p, "epochs", 90);
+    profiler::ProfileOptions opt;
+    opt.exec = &exec_;
+    profiler::StashProfiler prof(dnn::make_zoo_model(model),
+                                 dnn::dataset_for(model), opt);
+    return telemetry::to_json(
+        profiler::estimate_training(prof, spec, batch, epochs));
+  }
+
+  if (req.command == "attribute") {
+    const std::string model = required_model(p);
+    const profiler::ClusterSpec spec = spec_from(p);
+    const int batch = param_int(p, "batch", 32);
+    profiler::ProfileOptions opt;
+    opt.exec = &exec_;
+    profiler::StashProfiler prof(dnn::make_zoo_model(model),
+                                 dnn::dataset_for(model), opt);
+    return profiler::blame_profile_to_json(profiler::attribute(prof, spec, batch));
+  }
+
+  if (req.command == "plan") {
+    const std::string model = required_model(p);
+    plan::PlanOptions opt;
+    opt.per_gpu_batch = param_int(p, "batch", opt.per_gpu_batch);
+    opt.epochs = param_int(p, "epochs", opt.epochs);
+    opt.budget_usd = param_double(p, "budget", opt.budget_usd);
+    opt.deadline_hours = param_double(p, "deadline", opt.deadline_hours);
+    opt.spot.interruptions_per_hour =
+        param_double(p, "spot_rate", opt.spot.interruptions_per_hour);
+    opt.spot.price_factor =
+        param_double(p, "spot_price", opt.spot.price_factor);
+    opt.trials = param_int(p, "trials", opt.trials);
+    opt.seed = static_cast<std::uint64_t>(
+        param_int(p, "seed", static_cast<int>(opt.seed)));
+    opt.calibrate_recovery = param_bool(p, "calibrate", opt.calibrate_recovery);
+    opt.watchdog_timeout_s =
+        param_double(p, "watchdog_timeout", opt.watchdog_timeout_s);
+    if (p.has("instance")) opt.candidates.push_back(spec_from(p));
+    opt.profile.exec = &exec_;
+    plan::PlanReport report = plan::plan(
+        dnn::make_zoo_model(model), dnn::dataset_for(model), opt);
+    if (report.plans.empty())
+      throw std::runtime_error("no configuration fits " + model + " at batch " +
+                               std::to_string(opt.per_gpu_batch));
+    return plan::to_json(report);
+  }
+
+  throw std::invalid_argument("unknown command '" + req.command + "'");
+}
+
+std::string Server::stats_json() {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("stash.serve_stats/1");
+  w.key("sim_cache").begin_object();
+  w.key("size").value(static_cast<unsigned long long>(sim_cache_.size()));
+  w.key("bytes").value(static_cast<unsigned long long>(sim_cache_.bytes()));
+  w.key("hits").value(static_cast<unsigned long long>(sim_cache_.hits()));
+  w.key("misses").value(static_cast<unsigned long long>(sim_cache_.misses()));
+  w.key("coalesced").value(
+      static_cast<unsigned long long>(sim_cache_.coalesced()));
+  w.key("evictions").value(
+      static_cast<unsigned long long>(sim_cache_.evictions()));
+  w.key("disk_hits").value(
+      static_cast<unsigned long long>(sim_cache_.disk_hits()));
+  w.end_object();
+  w.key("responses").begin_object();
+  w.key("size").value(static_cast<unsigned long long>(responses_.size()));
+  w.key("bytes").value(static_cast<unsigned long long>(responses_.bytes()));
+  w.key("hits").value(static_cast<unsigned long long>(responses_.hits()));
+  w.key("misses").value(static_cast<unsigned long long>(responses_.misses()));
+  w.key("coalesced").value(
+      static_cast<unsigned long long>(responses_.coalesced()));
+  w.key("evictions").value(
+      static_cast<unsigned long long>(responses_.evictions()));
+  w.end_object();
+  w.key("in_flight").value(in_flight_.load());
+  w.key("jobs").value(options_.jobs);
+  w.end_object();
+  return w.str();
+}
+
+std::string Server::prometheus_snapshot() {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  // Cache counters live in the caches; copy them into gauges at scrape time
+  // so one exposition carries the request metrics and the cache state.
+  auto set = [&](const char* name, double v) {
+    metrics_.gauge(name, /*volatile_metric=*/true).set(v);
+  };
+  set("serve/sim_cache_size", static_cast<double>(sim_cache_.size()));
+  set("serve/sim_cache_bytes", static_cast<double>(sim_cache_.bytes()));
+  set("serve/sim_cache_hits", static_cast<double>(sim_cache_.hits()));
+  set("serve/sim_cache_misses", static_cast<double>(sim_cache_.misses()));
+  set("serve/sim_cache_coalesced", static_cast<double>(sim_cache_.coalesced()));
+  set("serve/sim_cache_evictions", static_cast<double>(sim_cache_.evictions()));
+  set("serve/sim_cache_disk_hits", static_cast<double>(sim_cache_.disk_hits()));
+  set("serve/response_cache_size", static_cast<double>(responses_.size()));
+  set("serve/response_cache_hits", static_cast<double>(responses_.hits()));
+  set("serve/response_cache_misses", static_cast<double>(responses_.misses()));
+  set("serve/response_cache_coalesced",
+      static_cast<double>(responses_.coalesced()));
+  set("serve/in_flight_now", static_cast<double>(in_flight_.load()));
+  return metrics_.to_prometheus();
+}
+
+void Server::metrics_loop() {
+  while (!stopping_.load()) {
+    pollfd fds[2] = {{wake_pipe_[0], POLLIN, 0}, {metrics_fd_, POLLIN, 0}};
+    int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load()) break;
+    if ((fds[1].revents & POLLIN) == 0) continue;
+    int conn = ::accept(metrics_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    // Minimal HTTP: read whatever request line arrives, answer the one page
+    // this endpoint has, close. Enough for curl and a Prometheus scraper.
+    char buf[1024];
+    [[maybe_unused]] ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+    const std::string body = prometheus_snapshot();
+    std::string resp =
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) +
+        "\r\n"
+        "Connection: close\r\n\r\n" +
+        body;
+    std::size_t off = 0;
+    while (off < resp.size()) {
+      ssize_t w = ::send(conn, resp.data() + off, resp.size() - off,
+                         MSG_NOSIGNAL);
+      if (w <= 0) break;
+      off += static_cast<std::size_t>(w);
+    }
+    ::close(conn);
+  }
+}
+
+}  // namespace stash::serve

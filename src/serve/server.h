@@ -1,0 +1,159 @@
+// stash_serve: the long-running profiling-as-a-service daemon.
+//
+// One process owns the expensive state — a bounded, disk-backed SimCache of
+// simulation results and an exec::ThreadPool — and answers profile /
+// estimate / attribute / plan queries over a Unix or localhost-TCP socket
+// (serve/protocol.h framing). The point is amortization: the first profile
+// of a scenario simulates, every later identical query (from any client,
+// any connection, even after a daemon restart when --persist-dir is set)
+// is a cache read.
+//
+// Request lifecycle:
+//   accept thread --> one reader thread per connection --> per request:
+//     control commands (ping / stats / shutdown / sleep) run inline;
+//     pure commands pass admission control (max in-flight, `overloaded`
+//     response when saturated), then go through the response memo — an
+//     exec::LruMemo keyed by the request-level KeyBuilder hash — so N
+//     identical concurrent queries block on ONE computation (the SimCache
+//     slot mechanism generalized to whole responses), and repeats are
+//     served from memory without touching the profiler at all.
+//
+// Shutdown is graceful: stop() closes the listeners, half-closes every
+// connection (SHUT_RD — the in-flight request finishes and its response is
+// written), then joins every thread. A `shutdown` request or SIGTERM in the
+// binary routes through request_shutdown()/wait_for_shutdown().
+//
+// Telemetry: per-request latency histograms, hit/miss/coalesce/eviction
+// counters for both caches, and an in-flight gauge, exposed as Prometheus
+// text on an optional localhost HTTP port (--metrics-port) and through the
+// `stats` command.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "exec/lru_memo.h"
+#include "serve/protocol.h"
+#include "telemetry/metrics.h"
+
+namespace stash::serve {
+
+struct ServeOptions {
+  // Listeners; at least one must be enabled. TCP binds 127.0.0.1 only —
+  // this daemon has no authentication story and never should be exposed.
+  std::string unix_path;  // empty = no Unix listener
+  int tcp_port = -1;      // -1 = no TCP listener, 0 = ephemeral port
+  int metrics_port = -1;  // -1 = no metrics HTTP listener, 0 = ephemeral
+
+  int jobs = 1;           // simulation fan-out per request (exec::ExecContext)
+  int max_inflight = 32;  // pure requests beyond this get `overloaded`; 0 = off
+  int accept_backlog = 64;
+
+  // SimCache bounds + persistence (exec::SimCacheConfig).
+  std::size_t cache_entries = 0;
+  std::size_t cache_bytes = 0;
+  std::string persist_dir;
+
+  // Response-memo entry bound (completed response fragments kept hot).
+  std::size_t response_entries = 1024;
+
+  // Enables the `sleep` command ({"ms":N}), which the overload and drain
+  // tests use as a calibrated slow request. Off in the shipped binary.
+  bool enable_test_commands = false;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();  // stop()s if still running
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds the listeners and starts the accept / metrics threads. Throws
+  // std::runtime_error on bind failure.
+  void start();
+
+  // Marks the server as shutting down (idempotent, thread-safe; callable
+  // from a request handler). wait_for_shutdown() wakes; actually draining
+  // is stop()'s job.
+  void request_shutdown();
+
+  // Blocks until request_shutdown() or stop() is called.
+  void wait_for_shutdown();
+
+  // Graceful drain: stop accepting, half-close every live connection, join
+  // every thread. Idempotent.
+  void stop();
+
+  // Actual bound ports (useful with port 0); -1 when the listener is off.
+  int tcp_port() const { return tcp_port_bound_; }
+  int metrics_port() const { return metrics_port_bound_; }
+
+  const ServeOptions& options() const { return options_; }
+  exec::SimCache& sim_cache() { return sim_cache_; }
+  const exec::LruMemo<std::string>& response_memo() const { return responses_; }
+
+  // Prometheus exposition with cache gauges refreshed at scrape time (what
+  // the metrics HTTP listener serves).
+  std::string prometheus_snapshot();
+
+  // stash.serve_stats/1 JSON fragment (the `stats` command's result).
+  std::string stats_json();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void metrics_loop();
+  void serve_connection(int fd);
+  void reap_finished_locked();
+
+  // One request in, one response out. Returns false when the connection
+  // should close (shutdown command, write failure).
+  bool handle_request(int fd, const std::string& payload);
+  std::string run_command(const Request& req);  // the actual computation
+
+  ServeOptions options_;
+  exec::SimCache sim_cache_;
+  exec::ExecContext exec_;
+  exec::LruMemo<std::string> responses_;
+
+  std::mutex metrics_mu_;  // MetricsRegistry instruments are not atomic
+  telemetry::MetricsRegistry metrics_;
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int metrics_fd_ = -1;
+  int tcp_port_bound_ = -1;
+  int metrics_port_bound_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: stop() wakes poll()ers
+
+  std::thread accept_thread_;
+  std::thread metrics_thread_;
+
+  std::mutex conns_mu_;
+  std::uint64_t next_conn_id_ = 0;
+  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::vector<std::uint64_t> finished_;
+
+  std::atomic<int> in_flight_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace stash::serve

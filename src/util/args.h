@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
@@ -31,6 +32,21 @@ inline std::optional<int> parse_int(const std::string& s) {
   } catch (const std::exception&) {
     return std::nullopt;
   }
+}
+
+// Strict unsigned 64-bit parse: digits only, full consumption, and overflow
+// is a parse failure (nullopt) rather than an exception — "99999999999999999999999"
+// must not crash the caller (Archive::resolve regression).
+inline std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return std::nullopt;  // would overflow
+    v = v * 10 + digit;
+  }
+  return v;
 }
 
 inline std::optional<double> parse_double(const std::string& s) {
@@ -95,6 +111,10 @@ class Args {
                                   it->second + "'");
     return *v;
   }
+
+  // All parsed options in key order (bare flags map to ""). Lets generic
+  // forwarders (stash_cli query) pass unknown options through verbatim.
+  const std::map<std::string, std::string>& options() const { return options_; }
 
   double get_double(const std::string& key, double fallback) const {
     auto it = options_.find(key);

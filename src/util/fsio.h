@@ -1,0 +1,23 @@
+// Crash-safe file writes shared by every persistent surface (the run
+// archive's records, SimCache's persisted results).
+//
+// The discipline: write the full content to a dot-prefixed temp file in the
+// destination directory, fsync it, rename over the final name, then fsync
+// the directory. A crash at any point leaves either the old state or the
+// complete new file — never a torn one.
+#pragma once
+
+#include <string>
+
+namespace stash::util {
+
+// Flushes directory metadata so a rename/creation survives a crash. Best
+// effort: some filesystems reject O_DIRECTORY fsync, which is not fatal.
+void fsync_dir(const std::string& dir);
+
+// Crash-safe whole-file write of `dir`/`name`. Throws std::runtime_error
+// (with errno text) on any I/O failure.
+void write_file_durable(const std::string& dir, const std::string& name,
+                        const std::string& content);
+
+}  // namespace stash::util

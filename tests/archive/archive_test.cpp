@@ -206,6 +206,28 @@ TEST(Archive, ResolvesSeqAndIdPrefix) {
   EXPECT_EQ(ar.resolve(e1.id.substr(0, 4)).id, e1.id);
 }
 
+TEST(Archive, ResolveRejectsOverflowingSeqWithUsableError) {
+  TempDir td;
+  Archive ar(td.sub("arch"));
+  ar.append(inputs_for(3.0));
+
+  // All-digit refs wider than uint64 used to escape as std::out_of_range
+  // from std::stoull ("stash_cli runs show 99999999999999999999999" crashed
+  // with an uncaught exception). They must fail like any other unknown run.
+  const std::string huge = "99999999999999999999999";
+  try {
+    ar.resolve(huge);
+    FAIL() << "expected resolve('" << huge << "') to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("no archived run"), std::string::npos)
+        << e.what();
+  }
+  // Exactly UINT64_MAX parses but names no run: same clean error.
+  EXPECT_THROW(ar.resolve("18446744073709551615"), std::runtime_error);
+  // Mixed digit/letter refs are id prefixes, never seq lookups.
+  EXPECT_THROW(ar.resolve("99999999999999999999999x"), std::runtime_error);
+}
+
 TEST(Archive, AppendRequiresManifest) {
   TempDir td;
   Archive ar(td.sub("arch"));

@@ -1,8 +1,12 @@
 #include "exec/sim_cache.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -144,14 +148,14 @@ TEST(SimCache, MemoizesAndCountsHits) {
 
 TEST(SimCache, FindPeeksWithoutComputing) {
   SimCache cache;
-  EXPECT_EQ(cache.find(toy_key(1)), nullptr);
+  EXPECT_FALSE(cache.find(toy_key(1)).has_value());
   cache.get_or_run(toy_key(1), [] {
     ddl::TrainResult r;
     r.per_iteration = 2.0;
     return r;
   });
-  const ddl::TrainResult* hit = cache.find(toy_key(1));
-  ASSERT_NE(hit, nullptr);
+  std::optional<ddl::TrainResult> hit = cache.find(toy_key(1));
+  ASSERT_TRUE(hit.has_value());
   EXPECT_DOUBLE_EQ(hit->per_iteration, 2.0);
 }
 
@@ -189,7 +193,226 @@ TEST(SimCache, MemoizesExceptions) {
   EXPECT_THROW(cache.get_or_run(toy_key(9), fn), std::runtime_error);
   EXPECT_THROW(cache.get_or_run(toy_key(9), fn), std::runtime_error);
   EXPECT_EQ(runs, 1);  // deterministic failures fail deterministically
-  EXPECT_EQ(cache.find(toy_key(9)), nullptr);  // errors are not results
+  EXPECT_FALSE(cache.find(toy_key(9)).has_value());  // errors are not results
+}
+
+ddl::TrainResult result_with(double per_iteration) {
+  ddl::TrainResult r;
+  r.per_iteration = per_iteration;
+  return r;
+}
+
+TEST(SimCache, LruEvictsOldestCompletedEntry) {
+  SimCacheConfig cfg;
+  cfg.max_entries = 2;
+  SimCache cache(cfg);
+  cache.get_or_run(toy_key(1), [] { return result_with(1.0); });
+  cache.get_or_run(toy_key(2), [] { return result_with(2.0); });
+  cache.get_or_run(toy_key(3), [] { return result_with(3.0); });  // evicts 1
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.find(toy_key(1)).has_value());
+  EXPECT_TRUE(cache.find(toy_key(2)).has_value());
+  EXPECT_TRUE(cache.find(toy_key(3)).has_value());
+}
+
+TEST(SimCache, HitRefreshesRecency) {
+  SimCacheConfig cfg;
+  cfg.max_entries = 2;
+  SimCache cache(cfg);
+  cache.get_or_run(toy_key(1), [] { return result_with(1.0); });
+  cache.get_or_run(toy_key(2), [] { return result_with(2.0); });
+  // Touch 1 so 2 becomes the LRU victim.
+  cache.get_or_run(toy_key(1), [] { return result_with(-1.0); });
+  cache.get_or_run(toy_key(3), [] { return result_with(3.0); });  // evicts 2
+  EXPECT_TRUE(cache.find(toy_key(1)).has_value());
+  EXPECT_FALSE(cache.find(toy_key(2)).has_value());
+  EXPECT_TRUE(cache.find(toy_key(3)).has_value());
+}
+
+TEST(SimCache, EvictedKeyCountsAsMissAndReruns) {
+  SimCacheConfig cfg;
+  cfg.max_entries = 1;
+  SimCache cache(cfg);
+  int runs = 0;
+  auto fn = [&] {
+    ++runs;
+    return result_with(1.0);
+  };
+  cache.get_or_run(toy_key(1), fn);
+  cache.get_or_run(toy_key(2), fn);  // evicts 1
+  cache.get_or_run(toy_key(1), fn);  // miss again: really re-runs
+  EXPECT_EQ(runs, 3);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  // hits + misses always equals total get_or_run calls.
+  EXPECT_EQ(cache.hits() + cache.misses(), 3u);
+}
+
+TEST(SimCache, ByteCapBoundsResidency) {
+  SimCacheConfig cfg;
+  // Each entry weighs at least sizeof(TrainResult) + key bytes; a cap of
+  // three sizeofs keeps at most ~2 entries resident regardless of count.
+  cfg.max_bytes = 3 * sizeof(ddl::TrainResult);
+  SimCache cache(cfg);
+  for (int i = 0; i < 32; ++i)
+    cache.get_or_run(toy_key(i), [] { return result_with(1.0); });
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_LE(cache.bytes(), cfg.max_bytes);
+  EXPECT_GE(cache.evictions(), 30u);
+}
+
+TEST(SimCache, SizeTracksEvictions) {
+  SimCacheConfig cfg;
+  cfg.max_entries = 4;
+  SimCache cache(cfg);
+  for (int i = 0; i < 100; ++i)
+    cache.get_or_run(toy_key(i), [] { return result_with(1.0); });
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 96u);
+}
+
+TEST(TrainResultJson, RoundTripsAllFields) {
+  ddl::TrainResult r;
+  r.measured_iterations = 12;
+  r.window_time = 34.5;
+  r.per_iteration = 2.875;
+  r.data_wait = 0.25;
+  r.h2d_time = 0.125;
+  r.compute_time = 1.5;
+  r.comm_tail = 1.0;
+  r.gpus_used = 8;
+  r.fault_stall = 3.25;
+  r.checkpoint_seconds = 0.5;
+  r.checkpoints_written = 2;
+  r.gpus_at_end = 7;
+  ddl::RecoveryRecord rec;
+  rec.time_s = 10.0;
+  rec.at_iteration = 5;
+  rec.policy = ddl::RecoveryPolicy::kShrink;
+  rec.workers_before = 8;
+  rec.workers_after = 7;
+  rec.wait_seconds = 1.5;
+  rec.rework_iterations = 3;
+  r.recoveries.push_back(rec);
+
+  std::optional<ddl::TrainResult> back =
+      train_result_from_json(train_result_to_json(r));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->measured_iterations, 12);
+  EXPECT_DOUBLE_EQ(back->window_time, 34.5);
+  EXPECT_DOUBLE_EQ(back->per_iteration, 2.875);
+  EXPECT_DOUBLE_EQ(back->data_wait, 0.25);
+  EXPECT_DOUBLE_EQ(back->h2d_time, 0.125);
+  EXPECT_DOUBLE_EQ(back->compute_time, 1.5);
+  EXPECT_DOUBLE_EQ(back->comm_tail, 1.0);
+  EXPECT_EQ(back->gpus_used, 8);
+  EXPECT_DOUBLE_EQ(back->fault_stall, 3.25);
+  EXPECT_DOUBLE_EQ(back->checkpoint_seconds, 0.5);
+  EXPECT_EQ(back->checkpoints_written, 2);
+  EXPECT_EQ(back->gpus_at_end, 7);
+  ASSERT_EQ(back->recoveries.size(), 1u);
+  EXPECT_EQ(back->recoveries[0].policy, ddl::RecoveryPolicy::kShrink);
+  EXPECT_EQ(back->recoveries[0].workers_after, 7);
+  EXPECT_DOUBLE_EQ(back->recoveries[0].wait_seconds, 1.5);
+}
+
+TEST(TrainResultJson, RejectsGarbage) {
+  EXPECT_FALSE(train_result_from_json("not json").has_value());
+  EXPECT_FALSE(train_result_from_json("{}").has_value());
+  EXPECT_FALSE(train_result_from_json("[1,2,3]").has_value());
+}
+
+class SimCachePersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/sim_cache_persist_" +
+           std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(SimCachePersistTest, RestartAnswersFromDiskWithoutRerunning) {
+  SimCacheConfig cfg;
+  cfg.persist_dir = dir_;
+  int runs = 0;
+  auto fn = [&] {
+    ++runs;
+    return result_with(4.25);
+  };
+  {
+    SimCache first(cfg);
+    first.get_or_run(toy_key(1), fn);
+    EXPECT_EQ(first.disk_hits(), 0u);
+  }
+  // A fresh cache (new process, same directory) must not re-simulate.
+  SimCache second(cfg);
+  EXPECT_DOUBLE_EQ(second.get_or_run(toy_key(1), fn).per_iteration, 4.25);
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(second.disk_hits(), 1u);
+  EXPECT_EQ(second.misses(), 1u);  // a disk hit is still a memory miss
+}
+
+TEST_F(SimCachePersistTest, ExceptionsAreNeverPersisted) {
+  SimCacheConfig cfg;
+  cfg.persist_dir = dir_;
+  int runs = 0;
+  auto fn = [&]() -> ddl::TrainResult {
+    ++runs;
+    throw std::runtime_error("does not fit");
+  };
+  {
+    SimCache first(cfg);
+    EXPECT_THROW(first.get_or_run(toy_key(9), fn), std::runtime_error);
+  }
+  SimCache second(cfg);
+  EXPECT_THROW(second.get_or_run(toy_key(9), fn), std::runtime_error);
+  EXPECT_EQ(runs, 2);  // the failure re-ran: only results persist
+  EXPECT_EQ(second.disk_hits(), 0u);
+}
+
+TEST_F(SimCachePersistTest, CorruptFileIsJustAMiss) {
+  SimCacheConfig cfg;
+  cfg.persist_dir = dir_;
+  SimCache first(cfg);
+  first.get_or_run(toy_key(1), [] { return result_with(1.0); });
+  // Truncate every persisted file to simulate a torn write.
+  for (const auto& e : std::filesystem::directory_iterator(dir_))
+    std::ofstream(e.path(), std::ios::trunc) << "{torn";
+  int runs = 0;
+  SimCache second(cfg);
+  second.get_or_run(toy_key(1), [&] {
+    ++runs;
+    return result_with(1.0);
+  });
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(second.disk_hits(), 0u);
+}
+
+TEST_F(SimCachePersistTest, DiskHitVerifiesCanonicalKey) {
+  SimCacheConfig cfg;
+  cfg.persist_dir = dir_;
+  SimCache first(cfg);
+  const ScenarioKey a{777, "scenario-a"};
+  const ScenarioKey b{777, "scenario-b"};  // same hash → same file name
+  first.get_or_run(a, [] { return result_with(1.0); });
+  int runs = 0;
+  SimCache second(cfg);
+  // b's file exists (shared hash) but holds a's canonical: must re-run.
+  EXPECT_DOUBLE_EQ(second
+                       .get_or_run(b,
+                                   [&] {
+                                     ++runs;
+                                     return result_with(2.0);
+                                   })
+                       .per_iteration,
+                   2.0);
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(second.disk_hits(), 0u);
 }
 
 TEST(SimCache, HashCollisionServedByCanonicalComparison) {

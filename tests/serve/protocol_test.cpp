@@ -1,0 +1,203 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "util/json.h"
+
+namespace stash::serve {
+namespace {
+
+// Paired sockets so read_frame/write_frame exercise real socket fds (the
+// MSG_NOSIGNAL path) without a listener.
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() { EXPECT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, fds_)); }
+  ~SocketPair() {
+    if (fds_[0] >= 0) close(fds_[0]);
+    if (fds_[1] >= 0) close(fds_[1]);
+  }
+  int writer() const { return fds_[0]; }
+  int reader() const { return fds_[1]; }
+  void close_writer() {
+    close(fds_[0]);
+    fds_[0] = -1;
+  }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+TEST(Framing, RoundTripsPayloadBytes) {
+  SocketPair sp;
+  const std::string payload = "{\"hello\":\"\\u0000 world\",\"n\":42}";
+  ASSERT_TRUE(write_frame(sp.writer(), payload));
+  std::string got, err;
+  ASSERT_EQ(ReadStatus::kOk, read_frame(sp.reader(), got, err)) << err;
+  EXPECT_EQ(payload, got);
+}
+
+TEST(Framing, RoundTripsEmptyAndLargePayloads) {
+  SocketPair sp;
+  const std::string big(1 << 20, 'x');
+  std::thread writer([&] {
+    ASSERT_TRUE(write_frame(sp.writer(), ""));
+    ASSERT_TRUE(write_frame(sp.writer(), big));
+  });
+  std::string got, err;
+  ASSERT_EQ(ReadStatus::kOk, read_frame(sp.reader(), got, err)) << err;
+  EXPECT_TRUE(got.empty());
+  ASSERT_EQ(ReadStatus::kOk, read_frame(sp.reader(), got, err)) << err;
+  EXPECT_EQ(big, got);
+  writer.join();
+}
+
+TEST(Framing, CleanEofAtBoundaryIsClosed) {
+  SocketPair sp;
+  sp.close_writer();
+  std::string got, err;
+  EXPECT_EQ(ReadStatus::kClosed, read_frame(sp.reader(), got, err));
+}
+
+TEST(Framing, TruncatedFrameIsError) {
+  SocketPair sp;
+  // Header promises 100 bytes; deliver 3 and hang up.
+  const unsigned char header[4] = {0, 0, 0, 100};
+  ASSERT_EQ(4, send(sp.writer(), header, 4, 0));
+  ASSERT_EQ(3, send(sp.writer(), "abc", 3, 0));
+  sp.close_writer();
+  std::string got, err;
+  EXPECT_EQ(ReadStatus::kError, read_frame(sp.reader(), got, err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Framing, OversizedLengthIsRejectedBeforeAllocation) {
+  SocketPair sp;
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(huge >> 24),
+      static_cast<unsigned char>(huge >> 16),
+      static_cast<unsigned char>(huge >> 8),
+      static_cast<unsigned char>(huge)};
+  ASSERT_EQ(4, send(sp.writer(), header, 4, 0));
+  std::string got, err;
+  EXPECT_EQ(ReadStatus::kError, read_frame(sp.reader(), got, err));
+  EXPECT_NE(err.find("frame"), std::string::npos) << err;
+}
+
+TEST(ParseRequest, AcceptsWellFormedRequest) {
+  Request req;
+  std::string err;
+  ASSERT_TRUE(parse_request(
+      R"({"schema":"stash.serve_request/1","id":"t1","command":"profile",)"
+      R"("params":{"model":"resnet18","batch":32}})",
+      req, err))
+      << err;
+  EXPECT_EQ("t1", req.id);
+  EXPECT_EQ("profile", req.command);
+  ASSERT_TRUE(req.params.is_object());
+  EXPECT_EQ("resnet18", req.params.get("model").as_string());
+  EXPECT_EQ(32, req.params.get("batch").as_int());
+}
+
+TEST(ParseRequest, MissingParamsBecomesEmptyObject) {
+  Request req;
+  std::string err;
+  ASSERT_TRUE(parse_request(
+      R"({"schema":"stash.serve_request/1","command":"ping"})", req, err))
+      << err;
+  ASSERT_TRUE(req.params.is_object());
+  EXPECT_EQ(0u, req.params.size());
+}
+
+TEST(ParseRequest, RejectsBadInputsWithReason) {
+  Request req;
+  std::string err;
+  EXPECT_FALSE(parse_request("{torn", req, err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(parse_request(R"({"schema":"wrong/9","command":"ping"})", req, err));
+  EXPECT_FALSE(parse_request(R"({"schema":"stash.serve_request/1"})", req, err));
+  EXPECT_FALSE(parse_request(
+      R"({"schema":"stash.serve_request/1","command":""})", req, err));
+  EXPECT_FALSE(parse_request(
+      R"({"schema":"stash.serve_request/1","command":"x","params":[1]})", req,
+      err));
+}
+
+Request must_parse(const std::string& payload) {
+  Request req;
+  std::string err;
+  EXPECT_TRUE(parse_request(payload, req, err)) << err;
+  return req;
+}
+
+TEST(RequestKey, IgnoresParamMemberOrder) {
+  const Request a = must_parse(
+      R"({"schema":"stash.serve_request/1","command":"profile",)"
+      R"("params":{"model":"resnet18","batch":32,"instance":"p3.8xlarge"}})");
+  const Request b = must_parse(
+      R"({"schema":"stash.serve_request/1","command":"profile",)"
+      R"("params":{"instance":"p3.8xlarge","batch":32,"model":"resnet18"}})");
+  EXPECT_EQ(request_key(a).hash, request_key(b).hash);
+  EXPECT_EQ(request_key(a).canonical, request_key(b).canonical);
+}
+
+TEST(RequestKey, DistinguishesCommandAndParamValues) {
+  const Request base = must_parse(
+      R"({"schema":"stash.serve_request/1","command":"profile",)"
+      R"("params":{"model":"resnet18"}})");
+  const Request other_value = must_parse(
+      R"({"schema":"stash.serve_request/1","command":"profile",)"
+      R"("params":{"model":"resnet50"}})");
+  const Request other_cmd = must_parse(
+      R"({"schema":"stash.serve_request/1","command":"estimate",)"
+      R"("params":{"model":"resnet18"}})");
+  EXPECT_NE(request_key(base).canonical, request_key(other_value).canonical);
+  EXPECT_NE(request_key(base).canonical, request_key(other_cmd).canonical);
+}
+
+TEST(RequestKey, ClientIdDoesNotSplitTheCache) {
+  const Request a = must_parse(
+      R"({"schema":"stash.serve_request/1","id":"client-a","command":"profile",)"
+      R"("params":{"model":"resnet18"}})");
+  const Request b = must_parse(
+      R"({"schema":"stash.serve_request/1","id":"client-b","command":"profile",)"
+      R"("params":{"model":"resnet18"}})");
+  EXPECT_EQ(request_key(a).canonical, request_key(b).canonical);
+}
+
+TEST(Responses, OkEnvelopeCarriesResultVerbatim) {
+  Request req;
+  req.id = "t9";
+  req.command = "profile";
+  const util::JsonValue doc =
+      util::json_parse(ok_response(req, R"({"x":1.5})", true, 3.25));
+  EXPECT_EQ("stash.serve_response/1", doc.get("schema").as_string());
+  EXPECT_EQ("t9", doc.get("id").as_string());
+  EXPECT_EQ("profile", doc.get("command").as_string());
+  EXPECT_EQ("ok", doc.get("status").as_string());
+  EXPECT_TRUE(doc.get("cached").as_bool());
+  EXPECT_DOUBLE_EQ(3.25, doc.get("elapsed_ms").as_double());
+  EXPECT_DOUBLE_EQ(1.5, doc.get("result").get("x").as_double());
+}
+
+TEST(Responses, ErrorAndOverloadedEnvelopes) {
+  Request req;
+  req.command = "plan";
+  const util::JsonValue err = util::json_parse(error_response(req, "boom \"q\""));
+  EXPECT_EQ("error", err.get("status").as_string());
+  EXPECT_EQ("boom \"q\"", err.get("error").as_string());
+  EXPECT_FALSE(err.has("result"));
+  const util::JsonValue ovl = util::json_parse(overloaded_response(req));
+  EXPECT_EQ("overloaded", ovl.get("status").as_string());
+  EXPECT_FALSE(ovl.get("error").as_string().empty());
+}
+
+}  // namespace
+}  // namespace stash::serve

@@ -1,0 +1,287 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "util/json.h"
+
+namespace stash::serve {
+namespace {
+
+std::string make_request(const std::string& command,
+                         const std::string& params_json = "{}",
+                         const std::string& id = "test") {
+  return std::string("{\"schema\":\"stash.serve_request/1\",\"id\":\"") + id +
+         "\",\"command\":\"" + command + "\",\"params\":" + params_json + "}";
+}
+
+util::JsonValue query(int port, const std::string& command,
+                      const std::string& params_json = "{}") {
+  Client client = Client::connect_tcp(port);
+  return util::json_parse(client.roundtrip(make_request(command, params_json)));
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServeOptions base_options() {
+    ServeOptions opt;
+    opt.tcp_port = 0;  // ephemeral
+    opt.jobs = 2;
+    opt.enable_test_commands = true;
+    return opt;
+  }
+};
+
+TEST_F(ServerTest, PingRoundTripsAndEchoesId) {
+  Server server(base_options());
+  server.start();
+  Client client = Client::connect_tcp(server.tcp_port());
+  const util::JsonValue doc = util::json_parse(
+      client.roundtrip(make_request("ping", "{}", "client-7")));
+  EXPECT_EQ("stash.serve_response/1", doc.get("schema").as_string());
+  EXPECT_EQ("client-7", doc.get("id").as_string());
+  EXPECT_EQ("ok", doc.get("status").as_string());
+  EXPECT_TRUE(doc.get("result").get("pong").as_bool());
+}
+
+TEST_F(ServerTest, WarmRepeatAnswersFromCacheUnder10ms) {
+  Server server(base_options());
+  server.start();
+  const std::string params = R"({"model":"resnet18","batch":32})";
+  const util::JsonValue cold = query(server.tcp_port(), "profile", params);
+  ASSERT_EQ("ok", cold.get("status").as_string());
+  EXPECT_FALSE(cold.get("cached").as_bool());
+  ASSERT_TRUE(cold.get("result").is_object());
+
+  const util::JsonValue warm = query(server.tcp_port(), "profile", params);
+  ASSERT_EQ("ok", warm.get("status").as_string());
+  EXPECT_TRUE(warm.get("cached").as_bool());
+  EXPECT_LT(warm.get("elapsed_ms").as_double(), 10.0);
+  // The memoized result fragment is byte-identical; only the envelope
+  // (cached / elapsed_ms) differs between cold and warm.
+  EXPECT_EQ(cold.get("result").dump(), warm.get("result").dump());
+}
+
+TEST_F(ServerTest, ParamOrderDoesNotSplitTheResponseCache) {
+  Server server(base_options());
+  server.start();
+  ASSERT_EQ("ok", query(server.tcp_port(), "profile",
+                        R"({"model":"resnet18","batch":32})")
+                      .get("status")
+                      .as_string());
+  const util::JsonValue reordered = query(
+      server.tcp_port(), "profile", R"({"batch":32,"model":"resnet18"})");
+  EXPECT_TRUE(reordered.get("cached").as_bool());
+  EXPECT_EQ(1u, server.response_memo().misses());
+}
+
+TEST_F(ServerTest, ThousandConcurrentIdenticalQueriesComputeOnce) {
+  ServeOptions opt = base_options();
+  opt.max_inflight = 0;  // admission control off: everyone must coalesce
+  Server server(opt);
+  server.start();
+
+  constexpr int kThreads = 100;
+  constexpr int kPerThread = 10;  // 1000 identical queries total
+  std::atomic<int> computed{0};
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      Client client = Client::connect_tcp(server.tcp_port());
+      for (int i = 0; i < kPerThread; ++i) {
+        const util::JsonValue doc = util::json_parse(client.roundtrip(
+            make_request("profile", R"({"model":"resnet18","batch":32})")));
+        if (doc.get("status").as_string() == "ok") ++ok;
+        if (!doc.get("cached").as_bool()) ++computed;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  EXPECT_EQ(kThreads * kPerThread, ok.load());
+  // Exactly one request computed; 999 were coalesced onto it or served from
+  // the completed memo entry afterwards.
+  EXPECT_EQ(1, computed.load());
+  EXPECT_EQ(1u, server.response_memo().misses());
+  EXPECT_EQ(static_cast<std::uint64_t>(kThreads * kPerThread - 1),
+            server.response_memo().hits());
+}
+
+TEST_F(ServerTest, SaturatedServerRespondsOverloadedNotQueued) {
+  ServeOptions opt = base_options();
+  opt.max_inflight = 1;
+  Server server(opt);
+  server.start();
+
+  std::thread slow([&] {
+    const util::JsonValue doc =
+        query(server.tcp_port(), "sleep", R"({"ms":2000})");
+    EXPECT_EQ("ok", doc.get("status").as_string());
+  });
+  // Wait until the slow request is inside the handler before poking it.
+  for (int i = 0; i < 400; ++i) {
+    const util::JsonValue stats = util::json_parse(server.stats_json());
+    if (stats.get("in_flight").as_int() >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const util::JsonValue doc =
+      query(server.tcp_port(), "sleep", R"({"ms":2001})");
+  EXPECT_EQ("overloaded", doc.get("status").as_string());
+  slow.join();
+}
+
+TEST_F(ServerTest, StatsExposesBothCachesAndInFlight) {
+  Server server(base_options());
+  server.start();
+  ASSERT_EQ("ok", query(server.tcp_port(), "profile",
+                        R"({"model":"resnet18","batch":32})")
+                      .get("status")
+                      .as_string());
+  const util::JsonValue doc = query(server.tcp_port(), "stats");
+  const util::JsonValue& stats = doc.get("result");
+  EXPECT_EQ("stash.serve_stats/1", stats.get("schema").as_string());
+  EXPECT_GE(stats.get("sim_cache").get("misses").as_int(), 1);
+  EXPECT_GE(stats.get("responses").get("misses").as_int(), 1);
+  EXPECT_EQ(0, stats.get("in_flight").as_int());
+  // Prometheus exposition carries the same counters as scrape-time gauges.
+  const std::string prom = server.prometheus_snapshot();
+  EXPECT_NE(prom.find("serve_sim_cache_misses"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("serve_requests"), std::string::npos) << prom;
+}
+
+TEST_F(ServerTest, EntryCapBoundsResidentScenariosUnderSweep) {
+  ServeOptions opt = base_options();
+  opt.cache_entries = 4;
+  Server server(opt);
+  server.start();
+  // Sweep more distinct scenarios than the cap; residency must stay bounded.
+  for (int batch : {8, 16, 24, 32, 40, 48, 56, 64})
+    ASSERT_EQ("ok", query(server.tcp_port(), "profile",
+                          R"({"model":"resnet18","batch":)" +
+                              std::to_string(batch) + "}")
+                        .get("status")
+                        .as_string());
+  EXPECT_LE(server.sim_cache().size(), 4u);
+  EXPECT_GT(server.sim_cache().evictions(), 0u);
+}
+
+TEST_F(ServerTest, MalformedPayloadGetsErrorWithoutKillingConnection) {
+  Server server(base_options());
+  server.start();
+  Client client = Client::connect_tcp(server.tcp_port());
+  const util::JsonValue err = util::json_parse(client.roundtrip("{torn"));
+  EXPECT_EQ("error", err.get("status").as_string());
+  EXPECT_FALSE(err.get("error").as_string().empty());
+  // Same connection still serves well-formed requests afterwards.
+  const util::JsonValue ping = util::json_parse(client.roundtrip(make_request("ping")));
+  EXPECT_EQ("ok", ping.get("status").as_string());
+}
+
+TEST_F(ServerTest, UnknownCommandIsAnErrorResponse) {
+  Server server(base_options());
+  server.start();
+  const util::JsonValue doc = query(server.tcp_port(), "frobnicate");
+  EXPECT_EQ("error", doc.get("status").as_string());
+  EXPECT_NE(doc.get("error").as_string().find("frobnicate"), std::string::npos);
+}
+
+TEST_F(ServerTest, ShutdownCommandUnblocksWaiters) {
+  Server server(base_options());
+  server.start();
+  const util::JsonValue doc = query(server.tcp_port(), "shutdown");
+  EXPECT_EQ("ok", doc.get("status").as_string());
+  server.wait_for_shutdown();  // must return promptly, not block forever
+  server.stop();
+}
+
+TEST_F(ServerTest, GracefulStopDrainsInFlightRequest) {
+  Server server(base_options());
+  server.start();
+  std::atomic<bool> got_ok{false};
+  std::thread slow([&] {
+    const util::JsonValue doc =
+        query(server.tcp_port(), "sleep", R"({"ms":500})");
+    got_ok = doc.get("status").as_string() == "ok";
+  });
+  for (int i = 0; i < 400; ++i) {
+    const util::JsonValue stats = util::json_parse(server.stats_json());
+    if (stats.get("in_flight").as_int() >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.stop();  // half-closes the connection; the sleep must still answer
+  slow.join();
+  EXPECT_TRUE(got_ok.load());
+}
+
+class ServePersistTest : public ServerTest {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("stash_serve_persist_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ServePersistTest, RestartedDaemonAnswersFromDiskWithoutSimulating) {
+  const std::string params = R"({"model":"resnet18","batch":32})";
+  std::string cold_result;
+  {
+    ServeOptions opt = base_options();
+    opt.persist_dir = dir_.string();
+    Server server(opt);
+    server.start();
+    const util::JsonValue doc = query(server.tcp_port(), "profile", params);
+    ASSERT_EQ("ok", doc.get("status").as_string());
+    cold_result = doc.get("result").dump();
+    EXPECT_GT(server.sim_cache().misses(), 0u);
+    EXPECT_EQ(0u, server.sim_cache().disk_hits());
+    server.stop();
+  }
+  ServeOptions opt = base_options();
+  opt.persist_dir = dir_.string();
+  Server server(opt);
+  server.start();
+  const util::JsonValue doc = query(server.tcp_port(), "profile", params);
+  ASSERT_EQ("ok", doc.get("status").as_string());
+  EXPECT_EQ(cold_result, doc.get("result").dump());
+  // Every scenario the profile needed came back from disk: the memory cache
+  // records them as misses, all of which the persisted store satisfied.
+  EXPECT_GT(server.sim_cache().disk_hits(), 0u);
+  EXPECT_EQ(server.sim_cache().misses(), server.sim_cache().disk_hits());
+}
+
+TEST_F(ServerTest, UnixSocketListenerServesRequests) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("stash_serve_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  ServeOptions opt = base_options();
+  opt.tcp_port = -1;
+  opt.unix_path = path;
+  Server server(opt);
+  server.start();
+  Client client = Client::connect_unix(path);
+  const util::JsonValue doc =
+      util::json_parse(client.roundtrip(make_request("ping")));
+  EXPECT_EQ("ok", doc.get("status").as_string());
+  server.stop();
+  EXPECT_FALSE(std::filesystem::exists(path)) << "stale socket not unlinked";
+}
+
+}  // namespace
+}  // namespace stash::serve
